@@ -1,0 +1,92 @@
+"""AWE vs a SPICE-class transient baseline.
+
+Paper §3.1: "Recall that AWE has also been benchmarked to be at least an
+order of magnitude faster than SPICE [5] for this class of problem, so
+AWEsymbolic's speedup over traditional techniques may be quite high."
+
+We regenerate that underlying claim with our trapezoidal transient
+simulator as the SPICE stand-in: computing a step response via AWE
+(moments + Padé + closed-form exponentials) vs time-stepping the full MNA
+system, with the accuracy of the AWE answer asserted against the
+time-stepped reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import transient_step_response
+from repro.awe import awe
+from repro.circuits import builders
+from repro.mna import assemble
+
+N_SECTIONS = 300
+N_TIMEPOINTS = 400
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    ckt = builders.rc_ladder(N_SECTIONS, r=50.0, c=0.2e-12)
+    return ckt, assemble(ckt), f"n{N_SECTIONS}"
+
+
+@pytest.fixture(scope="module")
+def horizon(ladder):
+    ckt, _, out = ladder
+    # 10 dominant time constants: fully settled end point for the checks
+    return 2.0 * awe(ckt, out, order=4).model.settle_time_hint()
+
+
+@pytest.mark.benchmark(group="awe-vs-spice")
+def test_awe_step_response(benchmark, ladder, horizon):
+    """Step response via AWE: one analysis + exponential evaluation."""
+    ckt, _, out = ladder
+    t = np.linspace(0.0, horizon, N_TIMEPOINTS)
+
+    def awe_path():
+        model = awe(ckt, out, order=4).model
+        return model.step_response(t)
+
+    y = benchmark(awe_path)
+    assert y[-1] == pytest.approx(1.0, rel=1e-3)
+
+
+@pytest.mark.benchmark(group="awe-vs-spice")
+def test_spice_step_response(benchmark, ladder, horizon):
+    """Step response via trapezoidal time stepping (the SPICE stand-in).
+    Step count chosen for comparable (~0.1%) accuracy."""
+    _, system, out = ladder
+
+    def spice_path():
+        res = transient_step_response(system, horizon, 2000)
+        return np.interp(np.linspace(0, horizon, N_TIMEPOINTS), res.t,
+                         res.output(system, out))
+
+    y = benchmark(spice_path)
+    assert y[-1] == pytest.approx(1.0, rel=1e-3)
+
+
+def test_awe_accuracy_against_transient(ladder, horizon):
+    """The speed comparison is only fair if the answers agree."""
+    ckt, system, out = ladder
+    t = np.linspace(0.0, horizon, N_TIMEPOINTS)
+    model = awe(ckt, out, order=4).model
+    res = transient_step_response(system, horizon, 4000)
+    reference = np.interp(t, res.t, res.output(system, out))
+    assert np.max(np.abs(model.step_response(t) - reference)) < 5e-3
+
+
+@pytest.mark.benchmark(group="awe-vs-spice-741")
+def test_awe_on_741(benchmark, ss741):
+    result = benchmark(awe, ss741.circuit, "out", 2)
+    assert result.model.stable
+
+
+@pytest.mark.benchmark(group="awe-vs-spice-741")
+def test_ac_sweep_on_741(benchmark, sys741):
+    """Classical AC analysis (one LU per frequency) — the frequency-domain
+    'traditional' baseline AWE replaces."""
+    from repro.mna import ac_solve
+
+    omegas = np.logspace(1, 8, 50)
+    out = benchmark(ac_solve, sys741, omegas)
+    assert out.shape[0] == 50

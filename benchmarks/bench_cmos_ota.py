@@ -1,0 +1,71 @@
+"""Extension experiment: the paper's flow on a modern CMOS OTA.
+
+Not a paper artifact — a forward-looking benchmark showing AWEsymbolic's
+"highly iterative applications" pitch on a compensation-capacitor design
+sweep, the bread-and-butter loop of analog sizing tools.
+"""
+
+import numpy as np
+import pytest
+
+from repro import awesymbolic
+from repro.awe import awe
+from repro.circuits.library import small_signal_ota
+from repro.core.metrics import phase_margin
+
+
+@pytest.fixture(scope="module")
+def ota_model():
+    ss = small_signal_ota()
+    return ss, awesymbolic(ss.circuit, "out", symbols=["Cc", "gds_M6"],
+                           order=2)
+
+
+@pytest.mark.benchmark(group="cmos-ota")
+def test_ota_compiled_iteration(benchmark, ota_model):
+    _, res = ota_model
+    rom = benchmark(res.model.rom, {"Cc": 6e-12})
+    assert rom.stable
+
+
+@pytest.mark.benchmark(group="cmos-ota")
+def test_ota_numeric_awe_iteration(benchmark, ota_model):
+    ss, _ = ota_model
+
+    def full():
+        circuit = ss.circuit.copy()
+        circuit.replace_value("Cc", 6e-12)
+        return awe(circuit, "out", order=2)
+
+    result = benchmark(full)
+    assert result.model.stable
+
+
+@pytest.mark.benchmark(group="cmos-ota")
+def test_ota_design_sweep(benchmark, ota_model):
+    """A 16-point phase-margin sweep over Cc (the sizing-loop workload)."""
+    _, res = ota_model
+    grid = {"Cc": np.linspace(2e-12, 12e-12, 16)}
+    pm = benchmark(res.model.sweep, grid, phase_margin)
+    assert np.all(np.diff(pm) > 0)  # monotone: more Cc, more margin
+
+
+@pytest.mark.benchmark(group="cmos-ota")
+def test_ota_pole_sensitivities(benchmark, ota_model):
+    """Closed-form design gradients from the compiled model."""
+    _, res = ota_model
+    out = benchmark(res.model.pole_sensitivities, {"Cc": 5e-12})
+    p, dp = out["Cc"].dominant()
+    assert p.real < 0 and dp.real > 0
+
+
+def test_ota_exactness(ota_model):
+    ss, res = ota_model
+    for cc in (2e-12, 8e-12):
+        check = ss.circuit.copy()
+        check.replace_value("Cc", cc)
+        ref = awe(check, "out", order=2).model
+        got = res.rom({"Cc": cc})
+        assert got.dc_gain() == pytest.approx(ref.dc_gain(), rel=1e-8)
+        assert got.dominant_pole().real == pytest.approx(
+            ref.dominant_pole().real, rel=1e-6)

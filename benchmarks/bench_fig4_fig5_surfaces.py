@@ -1,0 +1,87 @@
+"""Figures 4 & 5 (paper §3.1): first-order-form surfaces over the symbols.
+
+Figure 4 plots the dominant pole p1 and Figure 5 the DC gain of the 741 as
+functions of (g_outQ14, Ccomp), generated *from the symbolic forms*.  The
+benchmark times regenerating each surface from the compiled first-order
+model; companion checks assert the physical shape (p1 ~ 1/Ccomp via the
+Miller effect, DC gain independent of Ccomp and weakly falling in go).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import dominant_pole_hz
+
+GRID_N = 12
+
+
+@pytest.fixture(scope="module")
+def grids(model741):
+    go_nom = model741.partition.symbolic[0].symbol.nominal
+    return {
+        "go_Q14": np.linspace(0.5, 4.0, GRID_N) * go_nom,
+        "Ccomp": np.linspace(10e-12, 60e-12, GRID_N),
+    }
+
+
+@pytest.mark.benchmark(group="fig4-fig5")
+def test_fig4_dominant_pole_surface(benchmark, model741, grids):
+    surface = benchmark(model741.model.sweep, grids, dominant_pole_hz, 1)
+    assert surface.shape == (GRID_N, GRID_N)
+    assert np.all(np.isfinite(surface))
+    # Miller relation: p1 * Ccomp constant along the Ccomp axis
+    products = surface * grids["Ccomp"][None, :]
+    np.testing.assert_allclose(
+        products, np.broadcast_to(products[:, :1], products.shape), rtol=0.05)
+
+
+@pytest.mark.benchmark(group="fig4-fig5")
+def test_fig5_dc_gain_surface(benchmark, model741, grids):
+    surface = benchmark(model741.model.sweep, grids,
+                        lambda m: m.dc_gain(), 1)
+    assert np.all(surface > 1e4)  # 741-class open-loop gain everywhere
+    # DC gain is independent of the compensation capacitor
+    np.testing.assert_allclose(
+        surface, np.broadcast_to(surface[:, :1], surface.shape), rtol=1e-9)
+    # and decreases (weakly) as the output conductance grows
+    assert np.all(np.diff(surface[:, 0]) < 0)
+
+
+@pytest.mark.benchmark(group="fig4-fig5")
+def test_fig4_fig5_vectorized_first_order(benchmark, model741, grids):
+    """The same data through the vectorized compiled moments: the entire
+    grid in a single numpy-evaluated call (how a tool would do it)."""
+    cm = model741.model.compiled_moments
+    go = grids["go_Q14"][:, None]
+    cc = grids["Ccomp"][None, :]
+
+    def full_grid():
+        m = cm([np.broadcast_to(go, (GRID_N, GRID_N)),
+                np.broadcast_to(cc, (GRID_N, GRID_N))])
+        pole = m[0] / m[1]          # first-order symbolic pole p1 = m0/m1
+        dc = m[0]
+        return pole, dc
+
+    pole, dc = benchmark(full_grid)
+    assert pole.shape == (GRID_N, GRID_N)
+    # cross-check against the scalar path
+    rom = model741.model.rom_closed_form(
+        {"go_Q14": float(grids["go_Q14"][3]), "Ccomp": float(grids["Ccomp"][5])},
+        order=1)
+    assert pole[3, 5] == pytest.approx(rom.poles[0].real, rel=1e-9)
+
+
+def test_multilinearity_structure(model741):
+    """Paper §2.1: the transfer-function coefficients are multilinear in the
+    symbolic elements.  In our division-free representation that shows up
+    as det(Yg0) (the denominator's constant coefficient) and the m0
+    numerator being multilinear; the DC gain itself is a multilinear
+    rational.  Higher moment numerators legitimately carry det powers
+    (products of multilinear factors), matching eq. (14)'s composite terms."""
+    sm = model741.moments
+    assert sm.det.is_multilinear()
+    assert sm.numerators[0].is_multilinear()
+    fo = model741.first_order
+    assert fo is not None
+    assert fo.dc_gain.num.is_multilinear()
+    assert fo.dc_gain.den.is_multilinear()

@@ -1,0 +1,75 @@
+"""Figures 6 & 7 (paper §3.1): second-order-form surfaces.
+
+Figure 6 plots the unity-gain frequency and Figure 7 the phase margin of
+the 741 versus (g_outQ14, Ccomp), from the *second-order* symbolic form
+("more complex and of course more accurate").  The paper also notes the
+second-order DC-gain plot is identical to the first-order one since m0 is
+always exact — asserted below.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import phase_margin, unity_gain_frequency
+
+GRID_N = 8
+
+
+@pytest.fixture(scope="module")
+def grids(model741):
+    go_nom = model741.partition.symbolic[0].symbol.nominal
+    return {
+        "go_Q14": np.linspace(0.5, 4.0, GRID_N) * go_nom,
+        "Ccomp": np.linspace(10e-12, 60e-12, GRID_N),
+    }
+
+
+@pytest.mark.benchmark(group="fig6-fig7")
+def test_fig6_unity_gain_surface(benchmark, model741, grids):
+    surface = benchmark(model741.model.sweep, grids, unity_gain_frequency)
+    assert np.all(np.isfinite(surface))
+    # fu ~ Gm/Ccomp: falls monotonically with compensation
+    assert np.all(np.diff(surface, axis=1) < 0)
+    # 741 regime: ~1 MHz at the nominal 30 pF
+    fu_mid = surface[0, GRID_N // 2] / (2 * np.pi)
+    assert 0.2e6 < fu_mid < 3e6
+
+
+@pytest.mark.benchmark(group="fig6-fig7")
+def test_fig7_phase_margin_surface(benchmark, model741, grids):
+    surface = benchmark(model741.model.sweep, grids, phase_margin)
+    assert np.all(np.isfinite(surface))
+    assert np.all((surface > 20.0) & (surface < 120.0))
+    # heavier compensation buys phase margin
+    assert np.all(np.diff(surface, axis=1) > 0)
+
+
+def test_second_order_dc_gain_identical_to_first_order(model741):
+    """Paper: 'The DC gain plot from the second order form is identical to
+    that of the first order form ... since the first moment computed by AWE
+    is always an exact form of the DC gain.'"""
+    values = {"go_Q14": 5e-6, "Ccomp": 25e-12}
+    rom1 = model741.model.rom_closed_form(values, order=1)
+    rom2 = model741.model.rom_closed_form(values, order=2)
+    assert rom1.dc_gain() == pytest.approx(rom2.dc_gain(), rel=1e-9)
+
+
+def test_second_order_not_multilinear(model741):
+    """Paper: 'The symbolic form is not in multi-linear form.'"""
+    so = model741.second_order
+    assert so is not None
+    assert not (so.b1.num.is_multilinear() and so.b1.den.is_multilinear()
+                and so.b2.num.is_multilinear() and so.b2.den.is_multilinear())
+
+
+@pytest.mark.benchmark(group="fig6-fig7")
+def test_closed_form_vs_numeric_pade_cost(benchmark, model741):
+    """The compiled closed-form (quadratic formula) evaluation path."""
+    values = {"go_Q14": 5e-6, "Ccomp": 25e-12}
+    rom = benchmark(model741.model.rom_closed_form, values, 2)
+    ref = model741.model.rom(values)
+    # dominant pole tight; the far pole carries the usual Hankel conditioning
+    assert rom.dominant_pole().real == pytest.approx(
+        ref.dominant_pole().real, rel=1e-6)
+    np.testing.assert_allclose(np.sort(rom.poles.real), np.sort(ref.poles.real),
+                               rtol=5e-3)

@@ -1,0 +1,118 @@
+"""Figures 9 & 10 (paper §3.2): coupled-line crosstalk transient families.
+
+The paper builds a timing model for two coupled 1000-segment RC lines with
+the driver resistance and load capacitance symbolic, then plots the victim
+step-response crosstalk as each symbol varies.  §3.2 timing claims:
+
+    single numeric AWE analysis : 1.12 s
+    AWEsymbolic setup           : 5.41 s
+    incremental evaluation      : 0.11 ms   (~4 orders of magnitude)
+
+Benchmarks cover the one-time costs and the per-curve incremental cost;
+checks assert the crosstalk physics (zero DC coupling, non-monotonic
+pulse, peak moving with the symbols).
+"""
+
+import numpy as np
+import pytest
+
+from repro import awesymbolic
+from repro.awe import awe
+from repro.circuits.library.coupled_lines import victim_output
+
+from .conftest import LINE_SEGMENTS
+
+
+@pytest.mark.benchmark(group="fig9-fig10-setup")
+def test_single_numeric_awe_analysis(benchmark, lines):
+    """Paper: 1.12 s for one AWE analysis of the 1000-segment pair."""
+    ckt, out = lines
+    result = benchmark(awe, ckt, out, 2)
+    assert result.model.stable
+    benchmark.extra_info["paper_s"] = 1.12
+
+
+@pytest.mark.benchmark(group="fig9-fig10-setup")
+def test_awesymbolic_setup(benchmark, lines):
+    """Paper: 5.41 s to build the symbolic timing model."""
+    ckt, out = lines
+
+    def setup():
+        return awesymbolic(ckt, out, symbols=["Rdrv1", "Cload2"], order=2)
+
+    res = benchmark.pedantic(setup, rounds=1, iterations=1)
+    assert res.second_order is not None
+    benchmark.extra_info["paper_s"] = 5.41
+
+
+@pytest.mark.benchmark(group="fig9-fig10-incremental")
+def test_incremental_evaluation(benchmark, model_lines):
+    """Paper: 0.11 ms per re-evaluation at new symbol values."""
+    rom = benchmark(model_lines.model.rom, {"Rdrv1": 120.0})
+    assert rom.stable
+    benchmark.extra_info["paper_ms"] = 0.11
+
+
+@pytest.mark.benchmark(group="fig9-fig10-incremental")
+def test_fig9_curve_family(benchmark, model_lines):
+    """One full Figure-9 family: 6 driver-resistance curves x 64 timepoints."""
+    r_values = np.linspace(10.0, 400.0, 6)
+
+    def family():
+        t = np.linspace(0.0, 5e-9, 64)
+        return np.stack([model_lines.model.rom({"Rdrv1": float(r)})
+                         .step_response(t) for r in r_values])
+
+    curves = benchmark(family)
+    assert curves.shape == (6, 64)
+    # every curve is a pulse: rises from 0, peaks, decays towards 0
+    peaks = np.abs(curves).max(axis=1)
+    assert np.all(peaks > 5e-3)
+    assert np.all(np.abs(curves[:, -1]) < peaks)
+
+
+@pytest.mark.benchmark(group="fig9-fig10-incremental")
+def test_fig10_curve_family(benchmark, model_lines):
+    """One full Figure-10 family: 6 load-capacitance curves."""
+    c_values = np.linspace(10e-15, 1000e-15, 6)
+
+    def family():
+        t = np.linspace(0.0, 5e-9, 64)
+        return np.stack([model_lines.model.rom({"Cload2": float(c)})
+                         .step_response(t) for c in c_values])
+
+    curves = benchmark(family)
+    assert curves.shape == (6, 64)
+    # heavier victim load suppresses and delays the crosstalk peak
+    peak_vals = np.abs(curves).max(axis=1)
+    assert peak_vals[-1] < peak_vals[0]
+
+
+class TestCrosstalkPhysics:
+    def test_no_dc_coupling(self, model_lines):
+        assert model_lines.rom({}).dc_gain() == pytest.approx(0.0, abs=1e-9)
+
+    def test_second_order_needed_for_nonmonotonic_pulse(self, model_lines):
+        """Paper: 'In order to model the non-monotonic nature of the cross
+        coupling response, a second order AWE approximation is used.'
+        A first-order (single real pole) step response is monotonic."""
+        rom2 = model_lines.rom({})
+        t = np.linspace(0.0, 5e-9, 200)
+        y2 = rom2.step_response(t)
+        dy = np.diff(y2)
+        assert np.any(dy > 0) and np.any(dy < 0)  # rises then falls
+
+    def test_symbolic_matches_numeric_awe_offnominal(self, lines, model_lines):
+        ckt, out = lines
+        check = ckt.copy()
+        check.replace_value("Rdrv1", 300.0)
+        ref = awe(check, out, order=2).model
+        got = model_lines.rom({"Rdrv1": 300.0})
+        t = np.linspace(0, 5e-9, 80)
+        np.testing.assert_allclose(got.step_response(t), ref.step_response(t),
+                                   atol=1e-6)
+
+    def test_peak_shifts_later_with_driver_resistance(self, model_lines):
+        t10 = model_lines.rom({"Rdrv1": 10.0}).peak_response()[0]
+        t400 = model_lines.rom({"Rdrv1": 400.0}).peak_response()[0]
+        assert t400 > t10

@@ -1,0 +1,94 @@
+"""Extension experiment: N-port macromodel reuse.
+
+AWE's sibling application (AWEsim [13], the AWE macromodeling literature):
+condense a big interconnect block once, then simulate many host
+configurations against the tiny model.  We compare a 60-point AC sweep of
+a driver/load host around a 1500-section line done (a) monolithically and
+(b) with the line replaced by an order-4 two-port macromodel.  (scipy's
+sparse LU makes the monolithic baseline very competitive below ~1k nodes;
+the macromodel's edge grows with block size and with the number of host
+configurations sharing one build.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.awe import ac_solve_with_macromodel, port_macromodel
+from repro.circuits import Circuit
+from repro.mna import ac_solve, assemble
+
+N_SECTIONS = 1500
+N_FREQS = 60
+
+
+def make_block():
+    block = Circuit("line")
+    prev = "p0"
+    for i in range(1, N_SECTIONS + 1):
+        node = "p1" if i == N_SECTIONS else f"m{i}"
+        block.R(f"R{i}", prev, node, 2.0)
+        block.C(f"C{i}", node, "0", 5e-15)
+        prev = node
+    return block
+
+
+def make_host():
+    host = Circuit("host")
+    host.V("Vin", "in", "0", ac=1.0)
+    host.R("Rdrv", "in", "p0", 40.0)
+    host.C("CL", "p1", "0", 50e-15)
+    host.R("RL", "p1", "0", 100_000.0)
+    return host
+
+
+@pytest.fixture(scope="module")
+def setup():
+    block = make_block()
+    macro = port_macromodel(block, ("p0", "p1"), order=4)
+    omegas = np.logspace(7, 10, N_FREQS)
+    return block, macro, omegas
+
+
+@pytest.mark.benchmark(group="macromodel")
+def test_macromodel_build_once(benchmark):
+    block = make_block()
+    macro = benchmark(port_macromodel, block, ("p0", "p1"), 4)
+    assert macro.n_ports == 2
+
+
+@pytest.mark.benchmark(group="macromodel")
+def test_host_sweep_with_macromodel(benchmark, setup):
+    _, macro, omegas = setup
+    out = benchmark(ac_solve_with_macromodel, make_host(), macro, omegas, "p1")
+    assert out.shape == (N_FREQS,)
+
+
+@pytest.mark.benchmark(group="macromodel")
+def test_host_sweep_monolithic(benchmark, setup):
+    block, _, omegas = setup
+    full = make_host()
+    for e in block:
+        full.add(e)
+    system = assemble(full)
+    idx = system.index_of("p1")
+
+    def sweep():
+        return ac_solve(system, omegas)[:, idx]
+
+    out = benchmark(sweep)
+    assert out.shape == (N_FREQS,)
+
+
+def test_macromodel_accuracy(setup):
+    block, macro, omegas = setup
+    via_macro = ac_solve_with_macromodel(make_host(), macro, omegas, "p1")
+    full = make_host()
+    for e in block:
+        full.add(e)
+    system = assemble(full)
+    exact = ac_solve(system, omegas)[:, system.index_of("p1")]
+    # compare only in-band: beyond ~30 dB of attenuation a 4-pole model
+    # has legitimately run out of dynamic range
+    mask = np.abs(exact) > 3e-2 * np.abs(exact).max()
+    np.testing.assert_allclose(np.abs(via_macro[mask]), np.abs(exact[mask]),
+                               rtol=5e-2)

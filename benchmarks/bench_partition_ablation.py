@@ -1,0 +1,136 @@
+"""Ablation (paper §2.4): what moment-level partitioning buys.
+
+"Since a mixed numeric-symbolic analysis is inevitably slower than a
+numeric simulation, separating the symbolic and numeric moment calculation
+provides the bulk of the execution time improvement."
+
+We compare three ways to obtain the same symbolic moments on a mid-size
+circuit:
+
+1. *partitioned* — numeric blocks condensed to port expansions, small
+   symbolic solve (AWEsymbolic, this library's default);
+2. *unpartitioned symbolic* — exact symbolic MNA on the whole circuit
+   (classical symbolic analysis), followed by a Maclaurin expansion;
+3. *numeric only* — a numeric AWE run (the floor).
+
+The unpartitioned path is exponential in circuit size, so the circuit here
+is deliberately small enough for it to finish; the gap still spans orders
+of magnitude and widens rapidly with size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.awe import transfer_moments
+from repro.circuits import builders
+from repro.core.exact import exact_transfer_function
+from repro.partition import partition, symbolic_moments
+
+N_SECTIONS = 7
+ORDER = 3
+SYMBOLS = ["R1", f"C{N_SECTIONS}"]
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    return builders.rc_ladder(N_SECTIONS, r=100.0, c=1e-12)
+
+
+@pytest.fixture(scope="module")
+def out_node():
+    return f"n{N_SECTIONS}"
+
+
+@pytest.mark.benchmark(group="partition-ablation")
+def test_partitioned_symbolic_moments(benchmark, ladder, out_node):
+    part = partition(ladder, SYMBOLS, output=out_node)
+
+    def run():
+        return symbolic_moments(part, out_node, ORDER)
+
+    sm = benchmark(run)
+    assert sm.order == ORDER
+
+
+@pytest.mark.benchmark(group="partition-ablation")
+def test_unpartitioned_exact_symbolic(benchmark, ladder, out_node):
+    def run():
+        h = exact_transfer_function(ladder, out_node, symbols=SYMBOLS)
+        return h.maclaurin("s", ORDER)
+
+    moments = benchmark(run)
+    assert len(moments) == ORDER + 1
+
+
+@pytest.mark.benchmark(group="partition-ablation")
+def test_numeric_awe_floor(benchmark, ladder, out_node):
+    moments = benchmark(transfer_moments, ladder, out_node, ORDER)
+    assert len(moments) == ORDER + 1
+
+
+def test_all_three_agree(ladder, out_node):
+    """Identity of results across the three paths (the paper's exactness)."""
+    part = partition(ladder, SYMBOLS, output=out_node)
+    sm = symbolic_moments(part, out_node, ORDER)
+    values = part.symbol_values({})
+    via_partition = sm.evaluate(values)
+
+    h = exact_transfer_function(ladder, out_node, symbols=SYMBOLS)
+    point = {"s": 0.0, "g_R1": values["g_R1"], f"C{N_SECTIONS}": values[f"C{N_SECTIONS}"]}
+    via_exact = np.array([m.evaluate(point) for m in h.maclaurin("s", ORDER)])
+
+    via_numeric = transfer_moments(ladder, out_node, ORDER)
+
+    np.testing.assert_allclose(via_partition, via_numeric, rtol=1e-9)
+    np.testing.assert_allclose(via_exact, via_numeric, rtol=1e-9)
+
+
+@pytest.mark.benchmark(group="partition-multi-output")
+def test_bus_all_victims_one_solve(benchmark):
+    """All victims of a 4-line bus from one composite solve."""
+    from repro.partition import symbolic_moments_multi
+
+    ckt = builders.coupled_bus(4, n_segments=30, drive_line=0)
+    victims = [f"l{k}n30" for k in (1, 2, 3)]
+    part = partition(ckt, ["Rdrv0", "Cload1"], output=victims[0],
+                     extra_ports=victims[1:])
+
+    def run():
+        return symbolic_moments_multi(part, victims, ORDER)
+
+    out = benchmark(run)
+    assert len(out) == 3
+
+
+@pytest.mark.benchmark(group="partition-multi-output")
+def test_bus_victims_separate_solves(benchmark):
+    """The same three victims via three independent symbolic solves."""
+    ckt = builders.coupled_bus(4, n_segments=30, drive_line=0)
+    victims = [f"l{k}n30" for k in (1, 2, 3)]
+    part = partition(ckt, ["Rdrv0", "Cload1"], output=victims[0],
+                     extra_ports=victims[1:])
+
+    def run():
+        return [symbolic_moments(part, v, ORDER) for v in victims]
+
+    out = benchmark(run)
+    assert len(out) == 3
+
+
+@pytest.mark.benchmark(group="partition-scaling")
+@pytest.mark.parametrize("n_sections", [50, 200, 800])
+def test_partitioned_scales_with_circuit_size(benchmark, n_sections):
+    """Partitioned symbolic analysis stays near-linear in circuit size
+    (the numeric port expansion dominates; the symbolic solve is constant)."""
+    ladder = builders.rc_ladder(n_sections, r=100.0, c=1e-12)
+    out = f"n{n_sections}"
+    part = partition(ladder, ["R1", f"C{n_sections}"], output=out)
+
+    def run():
+        return symbolic_moments(part, out, ORDER)
+
+    sm = benchmark(run)
+    values = part.symbol_values({})
+    np.testing.assert_allclose(sm.evaluate(values),
+                               transfer_moments(ladder, out, ORDER),
+                               rtol=1e-8)

@@ -1,0 +1,69 @@
+"""Ablation: cost vs number of symbolic elements.
+
+Paper §2.4: the global matrix dimensions are "proportional to the number
+of ports, which is generally proportional to the number of symbolic
+elements"; the symbolic solve is the only part that grows.  We sweep the
+symbol count on a fixed 200-section ladder and measure the symbolic
+moment computation and the compiled per-iteration cost.  The numeric port
+expansion dominates at few symbols; the subset-DP determinant's 2^n
+growth only matters beyond ~10 symbols.
+"""
+
+import numpy as np
+import pytest
+
+from repro.awe import transfer_moments
+from repro.circuits import builders
+from repro.partition import partition, symbolic_moments
+
+N_SECTIONS = 200
+ORDER = 3
+
+
+def ladder_and_symbols(n_symbols):
+    ckt = builders.rc_ladder(N_SECTIONS, r=100.0, c=1e-12)
+    # spread the symbols along the line: R1, C at 1/4, R at 1/2, C at 3/4...
+    picks = ["R1", f"C{N_SECTIONS // 4}", f"R{N_SECTIONS // 2}",
+             f"C{3 * N_SECTIONS // 4}", f"R{N_SECTIONS - 1}",
+             f"C{N_SECTIONS}"][:n_symbols]
+    return ckt, picks
+
+
+@pytest.mark.benchmark(group="symbol-scaling-setup")
+@pytest.mark.parametrize("n_symbols", [1, 2, 3, 4])
+def test_symbolic_setup_vs_symbol_count(benchmark, n_symbols):
+    ckt, picks = ladder_and_symbols(n_symbols)
+    out = f"n{N_SECTIONS}"
+    part = partition(ckt, picks, output=out)
+
+    def run():
+        return symbolic_moments(part, out, ORDER)
+
+    sm = benchmark(run)
+    # exactness regardless of symbol count
+    np.testing.assert_allclose(sm.evaluate(part.symbol_values({})),
+                               transfer_moments(ckt, out, ORDER), rtol=1e-7)
+    benchmark.extra_info["numerator_terms"] = [len(n) for n in sm.numerators]
+
+
+@pytest.mark.benchmark(group="symbol-scaling-eval")
+@pytest.mark.parametrize("n_symbols", [1, 2, 4])
+def test_compiled_eval_vs_symbol_count(benchmark, n_symbols):
+    ckt, picks = ladder_and_symbols(n_symbols)
+    out = f"n{N_SECTIONS}"
+    part = partition(ckt, picks, output=out)
+    compiled = symbolic_moments(part, out, ORDER).compile()
+    values = part.symbol_values({})
+    vec = [values[name] for name in part.space.names]
+    result = benchmark(compiled.scalars, vec)
+    assert np.isfinite(result[0])
+    benchmark.extra_info["n_ops"] = compiled.n_ops
+
+
+def test_multilinearity_of_determinant_any_symbol_count():
+    """The composite determinant stays multilinear however many symbols."""
+    for n_symbols in (1, 2, 3, 4):
+        ckt, picks = ladder_and_symbols(n_symbols)
+        part = partition(ckt, picks, output=f"n{N_SECTIONS}")
+        sm = symbolic_moments(part, f"n{N_SECTIONS}", 1)
+        assert sm.det.is_multilinear(), n_symbols

@@ -1,0 +1,57 @@
+"""Shared session fixtures for the benchmark suite.
+
+Every fixture is session-scoped: the paper's timing methodology explicitly
+excludes "common overhead such as parsing and setup", so the circuits and
+compiled models are built once and the benchmarks time only the operation
+under study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import awesymbolic
+from repro.circuits import builders
+from repro.circuits.library import paper_coupled_lines, small_signal_741
+from repro.circuits.library.coupled_lines import victim_output
+from repro.mna import assemble
+
+#: coupled-line scale for the benches; the paper uses 1000 segments.
+LINE_SEGMENTS = 1000
+
+
+@pytest.fixture(scope="session")
+def ss741():
+    """Linearized 741 small-signal circuit (paper §3.1)."""
+    return small_signal_741()
+
+
+@pytest.fixture(scope="session")
+def sys741(ss741):
+    return assemble(ss741.circuit)
+
+
+@pytest.fixture(scope="session")
+def model741(ss741):
+    """Compiled AWEsymbolic model of the 741 with the paper's symbols."""
+    return awesymbolic(ss741.circuit, "out",
+                       symbols=["go_Q14", "Ccomp"], order=2)
+
+
+@pytest.fixture(scope="session")
+def lines():
+    """Figure-8 coupled lines at paper scale."""
+    ckt = paper_coupled_lines(n_segments=LINE_SEGMENTS)
+    return ckt, victim_output(LINE_SEGMENTS)
+
+
+@pytest.fixture(scope="session")
+def model_lines(lines):
+    ckt, out = lines
+    return awesymbolic(ckt, out, symbols=["Rdrv1", "Cload2"], order=2)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2026)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""AWEsymbolic on a modern circuit: a two-stage CMOS Miller OTA.
+
+The paper's flow is technology-agnostic; this example runs it end-to-end
+on MOS devices instead of the 741's bipolars:
+
+1. transistor-level OTA -> Newton DC (square-law MOSFETs, the solver's
+   MOS-friendly continuation strategy) -> hybrid-pi linearization;
+2. automatic symbol selection via AWEsensitivity;
+3. compiled symbolic model: compensation-capacitor design sweep with
+   exact pole/phase-margin surfaces and closed-form pole sensitivities.
+
+Run:  python examples/cmos_ota.py
+"""
+
+import numpy as np
+
+from repro import awesymbolic
+from repro.awe import awe
+from repro.circuits.library import bias_ota, small_signal_ota
+from repro.core import rank_elements
+from repro.core.metrics import phase_margin, unity_gain_frequency
+
+
+def main() -> None:
+    print("biasing the OTA ...")
+    op = bias_ota()
+    print(f"  converged in {op.iterations} Newton iterations; "
+          f"out = {op.v('out'):.3f} V")
+    for name in ("M1", "M6"):
+        state = op.device_state[name]
+        print(f"  {name}: id = {state['id'] * 1e6:6.1f} uA, "
+              f"gm = {state['gm'] * 1e6:6.1f} uS")
+
+    ss = small_signal_ota()
+    stats = ss.stats()
+    print(f"linearized: {stats['elements']} elements, "
+          f"{stats['storage']} capacitors")
+
+    # ------------------------------------------------------------------
+    print("\nAWEsensitivity ranking (top 6):")
+    ranks = rank_elements(ss.circuit, "out", order=2)
+    for r in ranks[:6]:
+        print(f"  {r.name:10s} score {r.score:7.3f}")
+
+    res = awesymbolic(ss.circuit, "out", symbols=["Cc", "gds_M6"], order=2)
+    rom = res.rom({})
+    print(f"\nnominal: gain {20 * np.log10(abs(rom.dc_gain())):.1f} dB, "
+          f"fu {unity_gain_frequency(rom) / 2 / np.pi / 1e6:.2f} MHz, "
+          f"PM {phase_margin(rom):.1f} deg")
+
+    # ------------------------------------------------------------------
+    print("\ncompensation design sweep (compiled model, exact vs AWE):")
+    print(f"  {'Cc (pF)':>8} {'fu (MHz)':>10} {'PM (deg)':>10}")
+    for cc in (2e-12, 3e-12, 5e-12, 8e-12, 12e-12):
+        m = res.rom({"Cc": cc})
+        print(f"  {cc * 1e12:8.1f} "
+              f"{unity_gain_frequency(m) / 2 / np.pi / 1e6:10.2f} "
+              f"{phase_margin(m):10.1f}")
+
+    # closed-form pole sensitivities at the chosen design point
+    sens = res.model.pole_sensitivities({"Cc": 5e-12})
+    p, dp = sens["Cc"].dominant()
+    print(f"\nat Cc = 5 pF: dominant pole {p.real / 2 / np.pi:.0f} Hz, "
+          f"d p1/d Cc = {dp.real:.3e} (rad/s)/F")
+    # exactness spot check
+    check = ss.circuit.copy()
+    check.replace_value("Cc", 8e-12)
+    ref = awe(check, "out", order=2).model
+    got = res.rom({"Cc": 8e-12})
+    assert abs(got.dominant_pole().real - ref.dominant_pole().real) \
+        <= 1e-6 * abs(ref.dominant_pole().real)
+    print("[ok] compiled OTA model == numeric AWE at off-nominal Cc")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+* Single-transistor common-emitter amplifier (device cards)
+* analyze with:  python -m repro analyze examples/netlists/ce_amp.sp -o c --devices --auto-symbols 2
+Vcc vcc 0 10
+Vin b 0 DC 0.65 AC 1
+Rc vcc c 5k
+CL c 0 5p
+Q1 c b 0 IS=1e-15 BF=100 VAF=75 CJE=2p CJC=1p TF=0.5n
+.end

@@ -1,0 +1,8 @@
+* Paper Figure 1: two-node RC sample circuit (eqs. 5-6)
+* analyze with:  python -m repro analyze examples/netlists/fig1.sp -o out -s G2,C1,C2
+Vin in 0 AC 1
+G1 in n1 5
+C1 n1 0 1
+G2 n1 out 2
+C2 out 0 2
+.end

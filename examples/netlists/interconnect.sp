@@ -1,0 +1,14 @@
+* Five-stage RC interconnect with a stronger far-end load
+* analyze with:  python -m repro analyze examples/netlists/interconnect.sp -o n5 --auto-symbols 2
+Vin in 0 AC 1
+Rdrv in n1 120
+C1 n1 0 15f
+R2 n1 n2 80
+C2 n2 0 15f
+R3 n2 n3 80
+C3 n3 0 15f
+R4 n3 n4 80
+C4 n4 0 15f
+R5 n4 n5 80
+C5 n5 0 60f    ; receiver load
+.end

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Paper §3.1: frequency-domain symbolic analysis of the 741 op-amp.
+
+Walks the full pipeline:
+
+* transistor-level 741 -> Newton DC operating point -> hybrid-pi
+  linearization ("after linearization, the small signal circuit contains
+  ~150 linear elements");
+* AWEsensitivity ranking (the paper's mechanism for choosing symbols);
+* AWEsymbolic with the paper's symbols (g_out of Q14 and the compensation
+  capacitor);
+* the Figure 4-7 surfaces: dominant pole, DC gain (first-order form),
+  unity-gain frequency and phase margin (second-order form);
+* the Table-1 style timing comparison (per-iteration compiled evaluation
+  vs a full numeric AWE re-analysis).
+
+Run:  python examples/opamp_741.py
+"""
+
+import time
+import timeit
+
+import numpy as np
+
+from repro import awesymbolic
+from repro.awe import awe
+from repro.awe.driver import awe_from_system
+from repro.circuits.library import small_signal_741
+from repro.core import rank_elements
+from repro.core.metrics import dominant_pole_hz, phase_margin, unity_gain_frequency
+from repro.mna import assemble
+
+
+def surface(model, grids, metric, fmt="{:12.4g}"):
+    """Print a 2-D metric surface over two element grids."""
+    (name_x, xs), (name_y, ys) = grids.items()
+    vals = model.sweep(grids, metric)
+    header = f"{name_x + chr(92) + name_y:>14}" + "".join(
+        f"{y:12.3g}" for y in ys)
+    print(header)
+    for i, x in enumerate(xs):
+        print(f"{x:14.3g}" + "".join(fmt.format(v) for v in vals[i]))
+    return vals
+
+
+def main() -> None:
+    print("building + biasing + linearizing the 741 ...")
+    t0 = time.perf_counter()
+    ss = small_signal_741()
+    t_build = time.perf_counter() - t0
+    stats = ss.stats()
+    print(f"  done in {t_build:.2f} s: {stats['elements']} linear elements, "
+          f"{stats['storage']} energy-storage elements")
+    print(f"  input pair bias: {ss.op.device_state['Q1']['ic'] * 1e6:.1f} uA; "
+          f"output quiescent: {ss.op.device_state['Q14']['ic'] * 1e3:.2f} mA")
+
+    # ------------------------------------------------------------------
+    print("\nAWEsensitivity element ranking (top 8):")
+    for r in rank_elements(ss.circuit, "out", order=2)[:8]:
+        print(f"  {r.name:12s} normalized sensitivity {r.score:8.3f}")
+
+    # ------------------------------------------------------------------
+    print("\nAWEsymbolic with the paper's symbols (go_Q14, Ccomp):")
+    t0 = time.perf_counter()
+    res = awesymbolic(ss.circuit, "out", symbols=["go_Q14", "Ccomp"], order=2)
+    t_sym = time.perf_counter() - t0
+    print(res.partition.summary())
+    print(f"  symbolic compilation: {t_sym:.2f} s "
+          f"(paper: 3.03 s on a DECstation 5000)")
+    print(f"  compiled model: {res.model.n_ops} arithmetic ops per evaluation")
+
+    rom = res.rom({})
+    print(f"\nnominal open-loop characteristics:")
+    print(f"  DC gain        : {rom.dc_gain():.4g}  "
+          f"({20 * np.log10(abs(rom.dc_gain())):.1f} dB)")
+    print(f"  dominant pole  : {dominant_pole_hz(rom):.2f} Hz")
+    print(f"  unity-gain freq: {unity_gain_frequency(rom) / 2 / np.pi / 1e6:.3f} MHz")
+    print(f"  phase margin   : {phase_margin(rom):.1f} deg")
+
+    # ------------------------------------------------------------------
+    go_grid = np.linspace(0.5, 4.0, 4) * res.partition.symbolic[0].symbol.nominal
+    cc_grid = np.array([10e-12, 20e-12, 30e-12, 45e-12, 60e-12])
+    grids = {"go_Q14": go_grid, "Ccomp": cc_grid}
+
+    print("\nFigure 4: dominant pole |p1| (Hz) vs (go_Q14, Ccomp)")
+    surface(res.model, grids, dominant_pole_hz)
+
+    print("\nFigure 5: DC gain vs (go_Q14, Ccomp) [first-order form]")
+    surface(res.model, grids, lambda m: m.dc_gain())
+
+    print("\nFigure 6: unity-gain frequency (MHz) [second-order form]")
+    surface(res.model, grids,
+            lambda m: unity_gain_frequency(m) / 2 / np.pi / 1e6)
+
+    print("\nFigure 7: phase margin (deg) [second-order form]")
+    surface(res.model, grids, phase_margin)
+
+    # ------------------------------------------------------------------
+    print("\nTable-1 style timing (this machine):")
+    sys = assemble(ss.circuit)
+    t_eval = timeit.timeit(lambda: res.rom({"Ccomp": 33e-12}), number=2000) / 2000
+    t_awe = timeit.timeit(lambda: awe_from_system(sys, "out", order=2),
+                          number=50) / 50
+    t_awe_full = timeit.timeit(lambda: awe(ss.circuit, "out", order=2),
+                               number=20) / 20
+    print(f"  AWEsymbolic compiled evaluation : {t_eval * 1e6:9.1f} us/iter")
+    print(f"  numeric AWE (matrices reused)   : {t_awe * 1e6:9.1f} us/iter")
+    print(f"  numeric AWE (full re-analysis)  : {t_awe_full * 1e6:9.1f} us/iter")
+    print(f"  per-iteration speedup           : {t_awe_full / t_eval:9.0f} x "
+          f"(paper: ~330 x)")
+    for n_pts in (10, 100, 1000):
+        print(f"  {n_pts:5d} datapoints: AWEsymbolic {t_sym + n_pts * t_eval:8.2f} s"
+              f"   numeric AWE {n_pts * t_awe_full:8.2f} s")
+
+
+if __name__ == "__main__":
+    main()

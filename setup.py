@@ -1,0 +1,6 @@
+"""Thin shim so legacy ``pip install -e .`` works on environments without
+the ``wheel`` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

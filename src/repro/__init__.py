@@ -1,0 +1,56 @@
+"""AWEsymbolic — compiled symbolic analysis of linear(ized) circuits via
+Asymptotic Waveform Evaluation.
+
+Reproduction of J.Y. Lee & R.A. Rohrer, DAC 1992.  The top-level namespace
+re-exports the working set; see subpackages for the full API:
+
+* :mod:`repro.circuits` — elements, netlists, builders, devices, 741 library
+* :mod:`repro.mna` — modified nodal analysis
+* :mod:`repro.analysis` — SPICE-like DC / AC / transient baselines
+* :mod:`repro.awe` — numeric AWE (moments, Padé, sensitivities)
+* :mod:`repro.symbolic` — the symbolic engine (polynomials, compiler)
+* :mod:`repro.partition` — moment-level partitioning
+* :mod:`repro.core` — AWEsymbolic proper (compiled symbolic models)
+
+Quickstart::
+
+    from repro import Circuit, awesymbolic
+
+    ckt = Circuit("demo")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "out", 1e3)
+    ckt.C("C1", "out", "0", 1e-9)
+    result = awesymbolic(ckt, output="out", symbols=["C1"], order=1)
+    rom = result.rom({"C1": 2e-9})        # microseconds, no circuit solve
+    print(rom.dc_gain(), rom.dominant_pole())
+"""
+
+from .circuits import Circuit, parse_netlist, builders
+from .mna import assemble
+from .awe import awe, ReducedOrderModel
+from .core import awesymbolic, exact_transfer_function
+from .errors import (ApproximationError, CircuitError, ConvergenceError,
+                     NetlistError, PartitionError, ReproError,
+                     SingularCircuitError, SymbolicError)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Circuit",
+    "parse_netlist",
+    "builders",
+    "assemble",
+    "awe",
+    "ReducedOrderModel",
+    "awesymbolic",
+    "exact_transfer_function",
+    "ReproError",
+    "CircuitError",
+    "NetlistError",
+    "SingularCircuitError",
+    "ConvergenceError",
+    "SymbolicError",
+    "ApproximationError",
+    "PartitionError",
+    "__version__",
+]

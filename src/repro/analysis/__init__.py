@@ -1,0 +1,19 @@
+"""Reference analyses: nonlinear DC operating point (Newton with gmin
+stepping), AC sweeps (re-exported from :mod:`repro.mna`), and SPICE-like
+trapezoidal transient simulation — the "traditional circuit simulator"
+baseline the paper benchmarks AWE against."""
+
+from ..mna.solve import ac_solve
+from .dc import OperatingPoint, operating_point
+from .dcsweep import DCSweepResult, dc_sweep
+from .tran import TransientResult, transient_step_response
+
+__all__ = [
+    "ac_solve",
+    "OperatingPoint",
+    "operating_point",
+    "DCSweepResult",
+    "dc_sweep",
+    "TransientResult",
+    "transient_step_response",
+]

@@ -1,0 +1,319 @@
+"""Nonlinear DC operating point by Newton-Raphson with gmin stepping.
+
+The solver handles the linear part through the standard MNA stamps and the
+nonlinear devices through Norton companion models re-linearized each
+iteration.  Robustness measures (all standard SPICE practice):
+
+* junction-voltage limiting inside the device models (``_limited_exp``);
+* Newton step damping (junction updates clipped per iteration);
+* gmin stepping: a conductance from every device node, relaxed decade by
+  decade, warm-starting each stage from the previous solution;
+* a ladder of continuation strategies tried in order: plain gmin-to-ground
+  stepping (best for exponential/bipolar circuits, where the undamped
+  Newton jumps are the feature), then guess-anchored gmin with a residual
+  line search on a half-decade schedule (best for square-law/MOS circuits,
+  whose region boundaries provoke limit cycles under undamped Newton).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..circuits.circuit import GROUND, Circuit
+from ..circuits.devices import BJT, MOSFET, Diode, NonlinearCircuit
+from ..errors import ConvergenceError, SingularCircuitError
+from ..mna import assemble
+
+#: Newton iteration controls
+MAX_ITERATIONS = 200
+ABS_TOL = 1e-9
+REL_TOL = 1e-6
+MAX_STEP = 0.3  # volts per Newton update on any unknown
+
+#: gmin stepping schedule (S)
+GMIN_STEPS = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11, 1e-12)
+
+#: finer half-decade schedule for the damped (MOS-friendly) strategy
+GMIN_STEPS_FINE = tuple(10.0 ** (-e / 2.0) for e in range(4, 25))
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Solved DC operating point of a nonlinear circuit.
+
+    Attributes:
+        voltages: node name -> DC voltage.
+        branch_currents: element name -> branch current (V sources, inductors).
+        device_state: device name -> dict of currents/junction voltages
+            (for BJTs: ``ic``, ``ib``, ``vbe``, ``vbc`` — polarity-normalized).
+        iterations: total Newton iterations across all gmin stages.
+    """
+
+    voltages: dict[str, float]
+    branch_currents: dict[str, float]
+    device_state: dict[str, dict[str, float]]
+    iterations: int
+
+    def v(self, node: str) -> float:
+        if node == GROUND:
+            return 0.0
+        return self.voltages[node]
+
+
+def operating_point(circuit: NonlinearCircuit,
+                    initial: dict[str, float] | None = None,
+                    gmin_steps: tuple[float, ...] = GMIN_STEPS,
+                    max_iterations: int = MAX_ITERATIONS) -> OperatingPoint:
+    """Solve the DC operating point.
+
+    Args:
+        circuit: linear part + devices.
+        initial: optional starting node voltages (name -> volts).
+        gmin_steps: descending gmin schedule; the last value is the final
+            accuracy of the solve.
+        max_iterations: per gmin stage.
+
+    Tries the continuation strategies described in the module docstring in
+    order and returns the first success.
+
+    Raises:
+        ConvergenceError: every strategy failed (the last error propagates).
+        SingularCircuitError: structurally singular Jacobian.
+    """
+    # assemble the linear skeleton once; devices ride on top.  Devices may
+    # reference nodes the linear part never mentions — pin them with
+    # zero-current sources so they get MNA rows.
+    linear = circuit.linear.copy()
+    linear_nodes = set(linear.node_names())
+    for dev in circuit.devices.values():
+        for node in dev.nodes:
+            if node != GROUND and node not in linear_nodes:
+                linear.I(f"__pin_{node}", "0", node, dc=0.0)
+                linear_nodes.add(node)
+    system = assemble(linear, check=False)
+    G = system.G.tocsc()
+    b = system.b_dc
+    n = system.size
+    node_index = system.node_index
+
+    x = np.zeros(n)
+    if initial:
+        for node, v in initial.items():
+            if node in node_index:
+                x[node_index[node]] = v
+
+    device_rows: list[tuple[BJT | Diode, list[int]]] = []
+    for dev in circuit.devices.values():
+        rows = [node_index[node] if node != GROUND else -1
+                for node in dev.nodes]
+        device_rows.append((dev, rows))
+
+    gmin_nodes = sorted({r for _, rows in device_rows for r in rows if r >= 0})
+
+    strategies = (
+        # (anchor, schedule, line_search)
+        ("ground", gmin_steps, False),
+        ("guess", GMIN_STEPS_FINE, True),
+        ("ground", GMIN_STEPS_FINE, True),
+    )
+    x_guess = x.copy()
+    total_iter = 0
+    last_error: ConvergenceError | None = None
+    for anchor, schedule, line_search in strategies:
+        x = x_guess.copy()
+        x_ref = x_guess.copy() if anchor == "guess" else np.zeros(n)
+        try:
+            for gmin in schedule:
+                x, iters = _newton_stage(G, b, x, device_rows, gmin_nodes,
+                                         gmin, max_iterations, x_ref,
+                                         line_search)
+                total_iter += iters
+            last_error = None
+            break
+        except ConvergenceError as exc:
+            last_error = exc
+    if last_error is not None:
+        raise last_error
+
+    voltages = {node: float(x[i]) for node, i in node_index.items()}
+    branch_currents = {name: float(x[i])
+                       for name, i in system.branch_index.items()
+                       if not name.startswith("__pin_")}
+    device_state: dict[str, dict[str, float]] = {}
+    for dev, rows in device_rows:
+        device_state[dev.name] = _device_report(dev, rows, x)
+    return OperatingPoint(voltages=voltages, branch_currents=branch_currents,
+                          device_state=device_state, iterations=total_iter)
+
+
+def _residual(G, b, x, device_rows, gmin_nodes, gmin, x_ref,
+              collect_jacobian: bool):
+    """KCL residual and (optionally) device Jacobian entries at ``x``.
+
+    The gmin term pulls each device node toward ``x_ref`` (the user's
+    initial guess), making the gmin sweep a continuation from the guess to
+    the true solution.
+    """
+    f = G @ x - b
+    J_entries: list[tuple[int, int, float]] = []
+    for r in gmin_nodes:
+        f[r] += gmin * (x[r] - x_ref[r])
+        if collect_jacobian:
+            J_entries.append((r, r, gmin))
+    if collect_jacobian:
+        for dev, rows in device_rows:
+            _stamp_device(dev, rows, x, f, J_entries)
+    else:
+        sink: list = []
+        for dev, rows in device_rows:
+            _stamp_device(dev, rows, x, f, sink)
+    return f, J_entries
+
+
+def _newton_stage(G, b, x0, device_rows, gmin_nodes, gmin, max_iterations,
+                  x_ref, line_search: bool = True):
+    n = len(b)
+    x = x0.copy()
+    f, J_entries = _residual(G, b, x, device_rows, gmin_nodes, gmin, x_ref,
+                             True)
+    f_norm = np.linalg.norm(f)
+    step = np.inf
+    for iteration in range(1, max_iterations + 1):
+        if J_entries:
+            ri, ci, vi = zip(*J_entries)
+            J = G + sp.coo_matrix((vi, (ri, ci)), shape=(n, n)).tocsc()
+        else:
+            J = G
+        try:
+            dx = spla.splu(J.tocsc()).solve(-f)
+        except RuntimeError as exc:
+            raise SingularCircuitError(
+                f"singular Jacobian at gmin={gmin:g}: {exc}") from exc
+        if not np.all(np.isfinite(dx)):
+            raise SingularCircuitError(f"non-finite Newton step at gmin={gmin:g}")
+        step = np.max(np.abs(dx))
+        if step > MAX_STEP:
+            dx *= MAX_STEP / step
+        # optional backtracking line search on the residual norm: prevents
+        # the region-boundary limit cycles square-law devices provoke, but
+        # *hurts* exponential devices (their big junction-limited jumps are
+        # productive), hence strategy-controlled
+        alpha = 1.0
+        if line_search:
+            for _ in range(12):
+                x_try = x + alpha * dx
+                f_try, _ = _residual(G, b, x_try, device_rows, gmin_nodes,
+                                     gmin, x_ref, False)
+                norm_try = np.linalg.norm(f_try)
+                if (norm_try <= f_norm * (1.0 - 1e-4 * alpha)
+                        or norm_try < ABS_TOL):
+                    break
+                alpha *= 0.5
+        x = x + alpha * dx
+        f, J_entries = _residual(G, b, x, device_rows, gmin_nodes, gmin,
+                                 x_ref, True)
+        f_norm = np.linalg.norm(f)
+        if alpha * step < ABS_TOL + REL_TOL * max(1.0, np.max(np.abs(x))):
+            return x, iteration
+    raise ConvergenceError(
+        f"Newton did not converge at gmin={gmin:g} "
+        f"after {max_iterations} iterations (last step {step:.3g} V, "
+        f"residual {f_norm:.3g})")
+
+
+def _stamp_device(dev, rows, x, f, J_entries) -> None:
+    def v(row: int) -> float:
+        return x[row] if row >= 0 else 0.0
+
+    if isinstance(dev, Diode):
+        ra, rc = rows
+        vd = v(ra) - v(rc)
+        i, g = dev.current(vd)
+        for row, sign in ((ra, 1.0), (rc, -1.0)):
+            if row < 0:
+                continue
+            f[row] += sign * i
+            if ra >= 0:
+                J_entries.append((row, ra, sign * g))
+            if rc >= 0:
+                J_entries.append((row, rc, -sign * g))
+        return
+
+    if isinstance(dev, MOSFET):
+        rd, rg, rs = rows
+        p = dev.polarity
+        vgs = p * (v(rg) - v(rs))
+        vds = p * (v(rd) - v(rs))
+        i, di_dvgs, di_dvds = dev.drain_current(vgs, vds)
+        i_phys = p * i  # current into the drain terminal
+        # currents leaving nodes into the device: drain +i, source -i, gate 0
+        if rd >= 0:
+            f[rd] += i_phys
+        if rs >= 0:
+            f[rs] -= i_phys
+        # d(i_phys)/d(v_node): polarity cancels as for the BJT
+        grads = {
+            rd: di_dvds,
+            rg: di_dvgs,
+            rs: -(di_dvgs + di_dvds),
+        }
+        for row, sign in ((rd, 1.0), (rs, -1.0)):
+            if row < 0:
+                continue
+            for col, g in grads.items():
+                if col >= 0 and g != 0.0:
+                    J_entries.append((row, col, sign * g))
+        return
+
+    # BJT
+    rc_, rb, re = rows
+    p = dev.polarity
+    vbe = p * (v(rb) - v(re))
+    vbc = p * (v(rb) - v(rc_))
+    ic, ib, d = dev.terminal_currents(vbe, vbc)
+    ic_phys = p * ic
+    ib_phys = p * ib
+    ie_phys = -(ic_phys + ib_phys)
+    # current leaving each node into the device
+    leaving = ((rc_, ic_phys), (rb, ib_phys), (re, ie_phys))
+    for row, current in leaving:
+        if row >= 0:
+            f[row] += current
+    # Jacobian: d(leaving current)/d(node voltage); polarity cancels
+    dic = (-d["dic_dvbc"], d["dic_dvbe"] + d["dic_dvbc"], -d["dic_dvbe"])
+    dib = (-d["dib_dvbc"], d["dib_dvbe"] + d["dib_dvbc"], -d["dib_dvbe"])
+    die = tuple(-(a + b) for a, b in zip(dic, dib))
+    for row, grads in ((rc_, dic), (rb, dib), (re, die)):
+        if row < 0:
+            continue
+        for col, g in zip((rc_, rb, re), grads):
+            if col >= 0 and g != 0.0:
+                J_entries.append((row, col, g))
+
+
+def _device_report(dev, rows, x) -> dict[str, float]:
+    def v(row: int) -> float:
+        return x[row] if row >= 0 else 0.0
+
+    if isinstance(dev, Diode):
+        ra, rc = rows
+        vd = v(ra) - v(rc)
+        i, g = dev.current(vd)
+        return {"v": vd, "i": i, "g": g}
+    if isinstance(dev, MOSFET):
+        rd, rg, rs = rows
+        p = dev.polarity
+        vgs = p * (v(rg) - v(rs))
+        vds = p * (v(rd) - v(rs))
+        i, gm, gds = dev.drain_current(vgs, vds)
+        return {"vgs": vgs, "vds": vds, "id": i, "gm": gm, "gds": gds}
+    rc_, rb, re = rows
+    p = dev.polarity
+    vbe = p * (v(rb) - v(re))
+    vbc = p * (v(rb) - v(rc_))
+    ic, ib, _ = dev.terminal_currents(vbe, vbc)
+    return {"vbe": vbe, "vbc": vbc, "ic": ic, "ib": ib}

@@ -1,0 +1,88 @@
+"""DC transfer-curve sweeps of nonlinear circuits.
+
+Sweeps one independent source and solves the operating point at each
+step, warm-starting from the previous solution (continuation), which is
+both faster and far more robust than independent solves.  The slope of
+the resulting transfer curve is the ultimate ground truth for the
+small-signal linearization: ``d v_out / d v_in`` at the bias point must
+equal the linearized DC gain (asserted in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.devices import NonlinearCircuit
+from ..circuits.elements import CurrentSource, VoltageSource
+from ..errors import CircuitError, ConvergenceError
+from .dc import OperatingPoint, operating_point
+
+
+@dataclass(frozen=True)
+class DCSweepResult:
+    """Transfer curves from a DC source sweep.
+
+    Attributes:
+        source: swept source name.
+        values: swept source values.
+        outputs: ``{node: voltage array}`` for every node.
+        points: full operating points, parallel to ``values``.
+    """
+
+    source: str
+    values: np.ndarray
+    outputs: dict[str, np.ndarray]
+    points: tuple[OperatingPoint, ...]
+
+    def curve(self, node: str) -> np.ndarray:
+        try:
+            return self.outputs[node]
+        except KeyError:
+            raise CircuitError(f"unknown node {node!r} in sweep result") from None
+
+    def slope(self, node: str) -> np.ndarray:
+        """Centered-difference ``d v(node) / d v(source)`` along the sweep."""
+        return np.gradient(self.curve(node), self.values)
+
+
+def dc_sweep(circuit: NonlinearCircuit, source: str, values,
+             initial: dict[str, float] | None = None) -> DCSweepResult:
+    """Sweep a V or I source's DC value and track every node voltage.
+
+    Args:
+        circuit: the nonlinear circuit (not mutated).
+        source: name of an independent source in the linear part.
+        values: DC values to sweep, solved in the given order.
+        initial: starting guess for the first point.
+
+    Raises:
+        CircuitError: unknown or non-source element.
+        ConvergenceError: a sweep point failed even with warm starting.
+    """
+    if source not in circuit.linear:
+        raise CircuitError(f"no source named {source!r}")
+    element = circuit.linear[source]
+    if not isinstance(element, (VoltageSource, CurrentSource)):
+        raise CircuitError(f"{source!r} is not an independent source")
+
+    values = np.asarray(values, dtype=float)
+    points: list[OperatingPoint] = []
+    guess = dict(initial or {})
+    work = NonlinearCircuit(circuit.linear.copy(), dict(circuit.devices))
+    for value in values:
+        work.linear.replace_value(source, float(value))
+        try:
+            op = operating_point(work, initial=guess)
+        except ConvergenceError as exc:
+            raise ConvergenceError(
+                f"sweep of {source!r} failed at {value:g}: {exc}") from exc
+        points.append(op)
+        guess = dict(op.voltages)  # continuation warm start
+
+    node_names = points[0].voltages.keys()
+    outputs = {node: np.array([p.voltages[node] for p in points])
+               for node in node_names}
+    return DCSweepResult(source=source, values=values, outputs=outputs,
+                         points=tuple(points))

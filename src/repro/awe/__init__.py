@@ -1,0 +1,41 @@
+"""Asymptotic Waveform Evaluation: moments, Padé approximation,
+reduced-order models, stability handling and adjoint sensitivities.
+
+This package is the numeric AWE engine of Pillage & Rohrer that
+AWEsymbolic builds on.  Top level entry point: :func:`~repro.awe.driver.awe`.
+"""
+
+from .moments import (output_moments, shifted_factorization,
+                      shifted_output_moments, state_moments, transfer_moments)
+from .pade import pade_coefficients, poles_and_residues
+from .scaling import moment_scale, scale_moments
+from .model import ReducedOrderModel
+from .stability import stable_reduction
+from .driver import AWEResult, awe
+from .macromodel import (PortMacromodel, ac_solve_with_macromodel,
+                         port_macromodel)
+from .sensitivity import (element_stamp_derivatives, moment_sensitivities,
+                          pole_sensitivities, pole_zero_sensitivities)
+
+__all__ = [
+    "state_moments",
+    "output_moments",
+    "transfer_moments",
+    "shifted_output_moments",
+    "shifted_factorization",
+    "pade_coefficients",
+    "poles_and_residues",
+    "moment_scale",
+    "scale_moments",
+    "ReducedOrderModel",
+    "stable_reduction",
+    "AWEResult",
+    "awe",
+    "PortMacromodel",
+    "port_macromodel",
+    "ac_solve_with_macromodel",
+    "element_stamp_derivatives",
+    "moment_sensitivities",
+    "pole_sensitivities",
+    "pole_zero_sensitivities",
+]

@@ -1,0 +1,111 @@
+"""Top-level numeric AWE analysis: circuit in, reduced-order model out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..mna import MNASystem, assemble, factorize
+from .model import ReducedOrderModel
+from .moments import output_moments
+from .stability import stable_reduction
+
+#: Default number of poles; the paper notes "the order of a reasonably
+#: accurate AWE approximation is typically low, often less than five".
+DEFAULT_ORDER = 4
+
+
+@dataclass(frozen=True)
+class AWEResult:
+    """Everything a numeric AWE run produces.
+
+    Attributes:
+        model: the stable reduced-order model.
+        moments: the raw transfer-function moments used.
+        system: the assembled MNA system (reusable for sensitivities).
+        output: the output spec the model describes.
+    """
+
+    model: ReducedOrderModel
+    moments: np.ndarray
+    system: MNASystem
+    output: str | tuple[str, str]
+
+    @property
+    def order(self) -> int:
+        return self.model.order
+
+
+def awe(circuit: Circuit, output: str | tuple[str, str],
+        order: int = DEFAULT_ORDER, extra_moments: int = 0,
+        require_stable: bool = True,
+        expansion_point: float = 0.0) -> AWEResult:
+    """Run numeric AWE on ``circuit``.
+
+    Args:
+        circuit: linear circuit with exactly the AC-annotated sources as input.
+        output: node name or ``("branch", element_name)``.
+        order: requested pole count (``2*order`` moments are computed).
+        extra_moments: additional moments beyond ``2*order`` (kept in the
+            result for diagnostics / higher-order retries).
+        require_stable: drop to lower orders until the model is stable.
+        expansion_point: Maclaurin point ``s0 <= 0``; a negative shift
+            sharpens poles near ``s0`` (multipoint-AWE refinement).
+
+    Returns:
+        :class:`AWEResult` with the model and its raw moments.
+
+    Raises:
+        ApproximationError: positive ``expansion_point`` (a stable shifted
+        model could hide unstable true poles).
+    """
+    system = assemble(circuit)
+    n_moments = 2 * order - 1 + extra_moments
+    if expansion_point == 0.0:
+        moments = output_moments(system, output, n_moments)
+        model = stable_reduction(moments, order, require_stable=require_stable)
+    else:
+        from ..errors import ApproximationError
+        from .model import ReducedOrderModel
+        from .moments import shifted_output_moments
+        if expansion_point > 0.0:
+            raise ApproximationError(
+                "expansion_point must be <= 0 so shifted-domain stability "
+                "implies true stability")
+        moments = shifted_output_moments(system, output, n_moments,
+                                         expansion_point)
+        # stability must be judged on the *unshifted* poles: a stable pole
+        # between s0 and 0 looks unstable in the shifted domain
+        model = None
+        last_exc: Exception | None = None
+        for q in range(order, 0, -1):
+            try:
+                shifted = stable_reduction(moments, q, require_stable=False)
+            except ApproximationError as exc:
+                last_exc = exc
+                continue
+            candidate = ReducedOrderModel(shifted.poles + expansion_point,
+                                          shifted.residues,
+                                          order_requested=order,
+                                          scale=shifted.scale,
+                                          dropped_unstable=order - q)
+            if candidate.stable or not require_stable:
+                model = candidate
+                break
+        if model is None:
+            raise ApproximationError(
+                f"no stable shifted-expansion model found: {last_exc}")
+    return AWEResult(model=model, moments=moments, system=system, output=output)
+
+
+def awe_from_system(system: MNASystem, output: str | tuple[str, str],
+                    order: int = DEFAULT_ORDER,
+                    require_stable: bool = True) -> AWEResult:
+    """AWE on a pre-assembled system (used in tight benchmark loops where
+    assembly cost must be excluded, mirroring the paper's
+    "do not include common overhead such as parsing" accounting)."""
+    moments = output_moments(system, output, 2 * order - 1)
+    model = stable_reduction(moments, order, require_stable=require_stable)
+    return AWEResult(model=model, moments=moments, system=system, output=output)

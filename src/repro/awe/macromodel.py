@@ -1,0 +1,155 @@
+"""N-port reduced-order macromodels of linear blocks.
+
+The companion use of AWE the paper's introduction gestures at (and [13]'s
+AWEsim implements): condense an interconnect block into a small pole/
+residue model *per port pair*, reusable inside a larger simulation.  We
+build on the same multiport moment machinery as the partitioner: each
+``Y[i, j](s)`` entry's Maclaurin coefficients get their own stable Padé
+model.
+
+The DC conductance (``Y0``) and the linear capacitive term (``Y1``) are
+carried exactly; the reduced model approximates the remainder
+``(Y(s) - Y0 - s Y1) / s²`` per entry, so purely static and purely
+capacitive couplings need no poles at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..errors import ApproximationError
+from ..partition.ports import NumericBlockExpansion, port_admittance_moments
+from .model import ReducedOrderModel
+from .stability import stable_reduction
+
+
+@dataclass(frozen=True)
+class PortMacromodel:
+    """Reduced-order admittance macromodel of an N-port block.
+
+    Attributes:
+        ports: ordered port node names.
+        y0: exact DC admittance matrix.
+        y1: exact first-order (capacitive) admittance matrix.
+        entries: ``entries[i][j]`` is the ROM of
+            ``(Y[i,j](s) - Y0 - s Y1) / s²`` — i.e. the model is
+            ``Y(s) ≈ Y0 + s Y1 + s² * entries(s)`` — or ``None`` for
+            entries with no higher-order dynamics at the modeled accuracy.
+        order: requested Padé order per entry.
+    """
+
+    ports: tuple[str, ...]
+    y0: np.ndarray
+    y1: np.ndarray
+    entries: tuple[tuple[ReducedOrderModel | None, ...], ...]
+    order: int
+
+    @property
+    def n_ports(self) -> int:
+        return len(self.ports)
+
+    def admittance(self, s: complex | np.ndarray) -> np.ndarray:
+        """Evaluate the macromodel ``Y(s)``; vectorized over ``s``.
+
+        Returns shape ``s.shape + (n, n)``.
+        """
+        s = np.asarray(s, dtype=complex)
+        n = self.n_ports
+        out = np.broadcast_to(self.y0.astype(complex),
+                              s.shape + (n, n)).copy()
+        out += s[..., None, None] * self.y1
+        for i in range(n):
+            for j in range(n):
+                model = self.entries[i][j]
+                if model is not None:
+                    out[..., i, j] += s * s * model.transfer(s)
+        return out
+
+    def max_model_order(self) -> int:
+        orders = [m.order for row in self.entries for m in row
+                  if m is not None]
+        return max(orders, default=0)
+
+
+def port_macromodel(block: Circuit, ports: tuple[str, ...], order: int = 2,
+                    expansion: NumericBlockExpansion | None = None,
+                    rel_threshold: float = 1e-12) -> PortMacromodel:
+    """Build an N-port admittance macromodel of ``block``.
+
+    Args:
+        block: the linear block (no independent sources needed).
+        ports: port node names (grounded reference).
+        order: Padé order per admittance entry.
+        expansion: pre-computed moment expansion to reuse.
+        rel_threshold: entries whose frequency-dependent moments are below
+            this fraction of the largest are modeled as static (``None``).
+
+    Raises:
+        ApproximationError: when some entry's moments defeat the Padé at
+            every order (does not happen for RC blocks).
+    """
+    needed = 2 * order + 2
+    if expansion is None or expansion.order < needed:
+        expansion = port_admittance_moments(block, ports, needed)
+    n = expansion.n_ports
+    y0 = expansion.Y[0].copy()
+    y1 = expansion.Y[1].copy()
+    scale = np.max(np.abs(expansion.Y[2:])) or 1.0
+    rows: list[list[ReducedOrderModel | None]] = []
+    for i in range(n):
+        row: list[ReducedOrderModel | None] = []
+        for j in range(n):
+            # moments of (Y[i,j](s) - Y0 - s Y1)/s^2 are Y2, Y3, ...
+            moments = expansion.Y[2:, i, j]
+            if np.max(np.abs(moments), initial=0.0) <= rel_threshold * scale:
+                row.append(None)
+                continue
+            row.append(stable_reduction(moments[:2 * order], order))
+        rows.append(row)
+    return PortMacromodel(ports=tuple(ports), y0=y0, y1=y1,
+                          entries=tuple(tuple(r) for r in rows), order=order)
+
+
+def ac_solve_with_macromodel(host: Circuit, macro: PortMacromodel,
+                             omegas, output) -> np.ndarray:
+    """AC sweep of a host circuit with a macromodeled block attached.
+
+    The macromodel's ports must name nodes of ``host``; at each frequency
+    its ``Y(jω)`` matrix is stamped into the host MNA system.  This is the
+    macromodel's raison d'être: the condensed block re-used inside another
+    simulation at N-port cost instead of full-circuit cost.
+
+    Returns the complex output phasor per frequency.
+    """
+    import scipy.sparse as sp
+    import scipy.sparse.linalg as spla
+
+    from ..errors import SingularCircuitError
+    from ..mna import assemble
+
+    system = assemble(host, check=False)
+    rows = [system.node_index[p] for p in macro.ports]
+    omegas = np.asarray(omegas, dtype=float)
+    out = np.empty(omegas.size, dtype=complex)
+    idx = system.index_of(output)
+    G = system.G.tocsc()
+    C = system.C.tocsc()
+    n = system.size
+    for k, w in enumerate(omegas):
+        y = macro.admittance(1j * w)
+        entries = [(rows[i], rows[j], y[i, j])
+                   for i in range(macro.n_ports)
+                   for j in range(macro.n_ports)]
+        ri, ci, vi = zip(*entries)
+        block = sp.coo_matrix((vi, (ri, ci)), shape=(n, n)).tocsc()
+        matrix = (G + 1j * w * C + block).tocsc()
+        try:
+            out[k] = spla.splu(matrix).solve(
+                system.b_ac.astype(complex))[idx]
+        except RuntimeError as exc:
+            raise SingularCircuitError(
+                f"macromodel AC solve singular at omega={w:g}: {exc}") from exc
+    return out

@@ -1,0 +1,55 @@
+"""Frequency scaling of moments for Padé conditioning.
+
+Raw circuit moments grow like ``1/|p_dom|^k`` — for a nanosecond-scale
+circuit the 8th moment is ~10⁷² times the 0th, and the Hankel system is
+hopeless in double precision.  We substitute ``s' = s / a`` with ``a``
+close to the dominant pole magnitude:
+
+    H(s) = Σ m_k s^k  =  Σ (m_k a^k) s'^k,
+
+so the scaled moments ``m'_k = m_k a^k`` stay O(m_0).  The Padé model is
+built in the ``s'`` domain and mapped back by
+
+    p = a p'      (poles)
+    r = a r'      (residues, since r'/(s' - p') = (a r')/(s - a p')).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def moment_scale(moments: np.ndarray) -> float:
+    """Estimate the dominant pole magnitude ``a`` from moment ratios.
+
+    Successive moment ratios ``|m_k / m_{k+1}|`` converge to the dominant
+    time-constant reciprocal; the geometric mean over available ratios is a
+    robust single estimate.  Returns 1.0 for degenerate sequences (all
+    zeros, single moment).
+    """
+    m = np.asarray(moments, dtype=float)
+    ratios = [abs(m[k] / m[k + 1])
+              for k in range(len(m) - 1)
+              if m[k + 1] != 0.0 and m[k] != 0.0]
+    if not ratios:
+        return 1.0
+    scale = float(np.exp(np.mean(np.log(ratios))))
+    if not np.isfinite(scale) or scale == 0.0:
+        return 1.0
+    return scale
+
+
+def scale_moments(moments: np.ndarray, a: float) -> np.ndarray:
+    """Scaled moments ``m'_k = m_k * a^k`` for the substitution ``s' = s/a``."""
+    m = np.asarray(moments, dtype=float)
+    return m * a ** np.arange(len(m), dtype=float)
+
+
+def unscale_poles(poles: np.ndarray, a: float) -> np.ndarray:
+    """Map scaled-domain poles back to real frequency: ``p = a * p'``."""
+    return np.asarray(poles) * a
+
+
+def unscale_residues(residues: np.ndarray, a: float) -> np.ndarray:
+    """Map scaled-domain residues back: ``r = a * r'``."""
+    return np.asarray(residues) * a

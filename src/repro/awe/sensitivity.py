@@ -1,0 +1,276 @@
+"""AWEsensitivity: adjoint moment sensitivities and pole/zero sensitivities.
+
+Following Lee, Huang & Rohrer [4], the sensitivity of every moment to every
+element value comes from one extra *adjoint* recursion:
+
+    forward:  G x0 = b,      G x_k = -C x_{k-1}
+    adjoint:  Gᵀ y0 = c,     Gᵀ y_j = -Cᵀ y_{j-1}
+
+    ∂m_k/∂v = - Σ_{j=0..k}   y_jᵀ (∂G/∂v) x_{k-j}
+              - Σ_{j=0..k-1} y_jᵀ (∂C/∂v) x_{k-1-j}
+
+(derives from m_k = cᵀ(-G⁻¹C)^k G⁻¹ b and the product rule; the identity is
+checked against finite differences in the tests).  Pole sensitivities then
+follow by differentiating through the Hankel solve and the root condition
+``Q(p) = 0``: ``dp = -(dQ)(p) / Q'(p)``.
+
+The paper uses these normalized sensitivities to *select* which elements
+deserve to be symbols; see :mod:`repro.core.select`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..circuits.elements import (Conductance, CurrentSource, Element,
+                                 Resistor, VoltageSource)
+from ..errors import ApproximationError, CircuitError
+from ..mna import MNAFactorization, MNASystem, factorize
+from ..mna.stamps import StampContext, stamp_element
+from .pade import pade_coefficients
+from .scaling import moment_scale, scale_moments
+
+
+def _stamp_matrices(system: MNASystem, element: Element,
+                    ) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+    """G and C contributions of a single element at its current value."""
+    ctx = StampContext(system.node_index, system.branch_index)
+    stamp_element(ctx, element)
+    size = system.size
+
+    def build(entries):
+        if entries:
+            rows, cols, vals = zip(*entries)
+        else:
+            rows, cols, vals = (), (), ()
+        return sp.coo_matrix((vals, (rows, cols)), shape=(size, size)).tocsr()
+
+    return build(ctx.g_entries), build(ctx.c_entries)
+
+
+def element_stamp_derivatives(system: MNASystem, name: str,
+                              ) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+    """``(∂G/∂v, ∂C/∂v)`` for element ``name`` w.r.t. its stored value.
+
+    All stamps are affine in the element value, so the derivative is the
+    stamp difference between values 2 and 1 — except resistors, whose
+    stored value is the resistance while the stamp uses ``1/R`` (chain rule
+    factor ``-1/R²``).  Independent sources only touch the RHS: zero.
+    """
+    element = system.circuit[name]
+    if isinstance(element, (VoltageSource, CurrentSource)):
+        empty = sp.csr_matrix((system.size, system.size))
+        return empty, empty
+    if isinstance(element, Resistor):
+        proxy = Conductance(element.name, element.n1, element.n2, 1.0)
+        dG, dC = _stamp_matrices(system, proxy)
+        factor = -1.0 / element.resistance ** 2
+        return (dG * factor).tocsr(), (dC * factor).tocsr()
+    g2, c2 = _stamp_matrices(system, element.with_value(2.0))
+    g1, c1 = _stamp_matrices(system, element.with_value(1.0))
+    return (g2 - g1).tocsr(), (c2 - c1).tocsr()
+
+
+def adjoint_moments(system: MNASystem, output: str | tuple[str, str],
+                    order: int,
+                    factorization: MNAFactorization | None = None) -> np.ndarray:
+    """Adjoint moment vectors ``y0..y_order`` (see module docstring)."""
+    lu = factorization if factorization is not None else factorize(system)
+    c = np.zeros(system.size)
+    c[system.index_of(output)] = 1.0
+    out = np.empty((order + 1, system.size))
+    out[0] = lu.solve_transpose(c)
+    Ct = system.C.T.tocsr()
+    for j in range(1, order + 1):
+        out[j] = lu.solve_transpose(-(Ct @ out[j - 1]))
+    return out
+
+
+def moment_sensitivities(system: MNASystem, output: str | tuple[str, str],
+                         order: int, element_names: list[str],
+                         factorization: MNAFactorization | None = None,
+                         ) -> dict[str, np.ndarray]:
+    """``∂m_k/∂v`` for ``k = 0..order`` and every element in ``element_names``.
+
+    Cost: one forward and one adjoint moment recursion shared across all
+    elements, then sparse inner products per element — the efficiency that
+    makes sensitivity-driven symbol selection practical.
+    """
+    from .moments import state_moments  # local import to avoid cycle
+
+    lu = factorization if factorization is not None else factorize(system)
+    xs = state_moments(system, order, lu)
+    ys = adjoint_moments(system, output, order, lu)
+    out: dict[str, np.ndarray] = {}
+    for name in element_names:
+        dG, dC = element_stamp_derivatives(system, name)
+        dGx = [dG @ xs[i] for i in range(order + 1)] if dG.nnz else None
+        dCx = [dC @ xs[i] for i in range(order + 1)] if dC.nnz else None
+        sens = np.zeros(order + 1)
+        for k in range(order + 1):
+            total = 0.0
+            if dGx is not None:
+                for j in range(k + 1):
+                    total -= ys[j] @ dGx[k - j]
+            if dCx is not None:
+                for j in range(k):
+                    total -= ys[j] @ dCx[k - 1 - j]
+            sens[k] = total
+        out[name] = sens
+    return out
+
+
+@dataclass(frozen=True)
+class PoleZeroSensitivity:
+    """Sensitivities of one model's poles (and zeros) to one element value.
+
+    ``d_poles[i] = ∂p_i/∂v``; ``normalized[i] = (v/p_i) ∂p_i/∂v`` is the
+    dimensionless ranking quantity the paper prunes on.
+    """
+
+    element: str
+    value: float
+    poles: np.ndarray
+    d_poles: np.ndarray
+    zeros: np.ndarray
+    d_zeros: np.ndarray
+
+    @property
+    def normalized(self) -> np.ndarray:
+        return np.abs(self.d_poles * self.value / self.poles)
+
+    @property
+    def normalized_zeros(self) -> np.ndarray:
+        if len(self.zeros) == 0:
+            return np.array([])
+        return np.abs(self.d_zeros * self.value / self.zeros)
+
+    def score(self) -> float:
+        """Largest normalized pole/zero sensitivity (the ranking scalar)."""
+        vals = list(self.normalized) + list(self.normalized_zeros)
+        return float(max(vals)) if vals else 0.0
+
+
+def pole_sensitivities(moments: np.ndarray, d_moments: np.ndarray,
+                       order: int) -> tuple[np.ndarray, np.ndarray,
+                                            np.ndarray, np.ndarray]:
+    """Differentiate the Padé model w.r.t. one parameter.
+
+    Args:
+        moments: ``2*order`` raw moments.
+        d_moments: their derivatives w.r.t. the parameter.
+
+    Returns:
+        ``(poles, d_poles, zeros, d_zeros)`` — zeros of the order-q Padé
+        numerator (may be fewer than ``order - 1`` after trimming tiny
+        leading coefficients).
+
+    Raises:
+        ApproximationError: singular Hankel system or repeated roots.
+    """
+    q = int(order)
+    m_raw = np.asarray(moments, dtype=float)
+    dm_raw = np.asarray(d_moments, dtype=float)
+    a = moment_scale(m_raw)
+    m = scale_moments(m_raw, a)
+    dm = scale_moments(dm_raw, a)
+
+    num, den = pade_coefficients(m, q)
+    b = den[1:]
+    # Hankel system A b = -m_tail; differentiate: A db = -dm_tail - dA b
+    A = np.empty((q, q))
+    dA = np.empty((q, q))
+    for r in range(q):
+        for j in range(1, q + 1):
+            A[r, j - 1] = m[q + r - j]
+            dA[r, j - 1] = dm[q + r - j]
+    try:
+        db = np.linalg.solve(A, -dm[q:2 * q] - dA @ b)
+    except np.linalg.LinAlgError as exc:
+        raise ApproximationError(f"singular Hankel system: {exc}") from exc
+
+    dden = np.concatenate(([0.0], db))
+    poles_s = np.roots(den[::-1])
+    d_poles_s = _root_sensitivity(den, dden, poles_s)
+
+    # numerator: a_k = sum_j b_j m_{k-j} -> da_k
+    dnum = np.array([
+        sum(dden[j] * m[k - j] + den[j] * dm[k - j] for j in range(0, k + 1))
+        for k in range(q)])
+    zeros_s, d_zeros_s = _polynomial_roots_with_sensitivity(num, dnum)
+
+    # unscale: p = a p', dp = a dp' (a treated as a fixed scale)
+    return poles_s * a, d_poles_s * a, zeros_s * a, d_zeros_s * a
+
+
+def _root_sensitivity(coeffs: np.ndarray, d_coeffs: np.ndarray,
+                      roots: np.ndarray) -> np.ndarray:
+    """``dr = -(Σ dc_k r^k) / P'(r)`` for each root of ``P = Σ c_k s^k``."""
+    powers = np.arange(len(coeffs))
+    out = np.empty(len(roots), dtype=complex)
+    for i, r in enumerate(roots):
+        p_prime = np.sum(powers[1:] * coeffs[1:] * r ** (powers[1:] - 1))
+        if p_prime == 0:
+            raise ApproximationError("repeated root; sensitivity undefined")
+        out[i] = -np.sum(d_coeffs * r ** powers) / p_prime
+    return out
+
+
+def _polynomial_roots_with_sensitivity(coeffs: np.ndarray, d_coeffs: np.ndarray,
+                                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Roots and their sensitivities for a low-degree polynomial, trimming
+    negligible leading coefficients first."""
+    c = np.asarray(coeffs, dtype=float)
+    scale = np.max(np.abs(c)) if len(c) else 0.0
+    if scale == 0.0:
+        return np.array([]), np.array([])
+    keep = len(c)
+    while keep > 1 and abs(c[keep - 1]) < 1e-12 * scale:
+        keep -= 1
+    c = c[:keep]
+    dc = np.asarray(d_coeffs, dtype=float)[:keep]
+    if keep <= 1:
+        return np.array([]), np.array([])
+    roots = np.roots(c[::-1])
+    return roots, _root_sensitivity(c, dc, roots)
+
+
+def pole_zero_sensitivities(system: MNASystem, output: str | tuple[str, str],
+                            order: int,
+                            element_names: list[str] | None = None,
+                            ) -> dict[str, PoleZeroSensitivity]:
+    """Full AWEsensitivity pass: normalized pole/zero sensitivities for every
+    candidate element (default: all non-source elements)."""
+    if element_names is None:
+        element_names = [e.name for e in system.circuit
+                         if not isinstance(e, (VoltageSource, CurrentSource))]
+    n_moments = 2 * order
+    lu = factorize(system)
+    moments = np.array(
+        state_moments_output(system, output, n_moments - 1, lu))
+    dm_all = moment_sensitivities(system, output, n_moments - 1,
+                                  element_names, lu)
+    out: dict[str, PoleZeroSensitivity] = {}
+    for name in element_names:
+        value = system.circuit[name].value
+        try:
+            poles, d_poles, zeros, d_zeros = pole_sensitivities(
+                moments, dm_all[name], order)
+        except ApproximationError:
+            continue
+        out[name] = PoleZeroSensitivity(element=name, value=value,
+                                        poles=poles, d_poles=d_poles,
+                                        zeros=zeros, d_zeros=d_zeros)
+    return out
+
+
+def state_moments_output(system: MNASystem, output: str | tuple[str, str],
+                         order: int, lu: MNAFactorization) -> np.ndarray:
+    """Output moments reusing a factorization (thin helper)."""
+    from .moments import state_moments
+
+    idx = system.index_of(output)
+    return state_moments(system, order, lu)[:, idx]

@@ -1,0 +1,28 @@
+"""Circuit representation: elements, netlists, programmatic builders,
+nonlinear device models and small-signal linearization."""
+
+from .elements import (CCCS, CCVS, VCCS, VCVS, Capacitor, Conductance,
+                       CurrentSource, Element, Inductor, Resistor,
+                       TwoTerminal, VoltageSource)
+from .circuit import Circuit, GROUND_NAMES
+from .netlist import parse_netlist
+from . import builders
+
+__all__ = [
+    "Element",
+    "TwoTerminal",
+    "Resistor",
+    "Conductance",
+    "Capacitor",
+    "Inductor",
+    "VCCS",
+    "VCVS",
+    "CCCS",
+    "CCVS",
+    "VoltageSource",
+    "CurrentSource",
+    "Circuit",
+    "GROUND_NAMES",
+    "parse_netlist",
+    "builders",
+]

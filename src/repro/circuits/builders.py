@@ -1,0 +1,228 @@
+"""Programmatic circuit builders: RC ladders, interconnect trees, and the
+paper's coupled-line lumped model (Figure 8).
+
+All builders return a fresh :class:`~repro.circuits.circuit.Circuit` with a
+deterministic node-naming scheme so tests and benchmarks can reference
+nodes by name.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import CircuitError
+from .circuit import Circuit
+
+
+def rc_ladder(n_sections: int, r: float = 1.0, c: float = 1.0,
+              r_source: float | None = None, input_kind: str = "voltage",
+              title: str | None = None) -> Circuit:
+    """Uniform RC ladder: ``in -R- n1 -R- n2 ... nN`` with C to ground at each tap.
+
+    Nodes are named ``n1 .. n{n_sections}``; the input node is ``in``.  With
+    ``input_kind="voltage"`` a unit-AC voltage source drives ``in`` (through
+    ``r_source`` when given); with ``"current"`` a unit-AC current source
+    injects into ``n1`` directly and ``in`` is omitted.
+    """
+    if n_sections < 1:
+        raise CircuitError("rc_ladder needs at least one section")
+    ckt = Circuit(title or f"rc_ladder_{n_sections}")
+    if input_kind == "voltage":
+        ckt.V("Vin", "in", "0", dc=0.0, ac=1.0)
+        prev = "in"
+        if r_source is not None:
+            ckt.R("Rsrc", "in", "nsrc", r_source)
+            prev = "nsrc"
+    elif input_kind == "current":
+        ckt.I("Iin", "0", "n1", dc=0.0, ac=1.0)
+        prev = None
+    else:
+        raise CircuitError(f"unknown input_kind {input_kind!r}")
+    for i in range(1, n_sections + 1):
+        node = f"n{i}"
+        if prev is not None:
+            ckt.R(f"R{i}", prev, node, r)
+        elif i > 1:
+            ckt.R(f"R{i}", f"n{i-1}", node, r)
+        ckt.C(f"C{i}", node, "0", c)
+        prev = node
+    return ckt
+
+
+def rc_tree(depth: int, r: float = 100.0, c: float = 10e-15,
+            fanout: int = 2, skew: float = 1.0, title: str | None = None) -> Circuit:
+    """Balanced RC interconnect tree driven by a unit step at the root.
+
+    ``skew`` scales the R and C of the "right" subtrees to break symmetry
+    (useful for delay-modeling examples).  Leaves are ``leaf0, leaf1, ...``
+    left-to-right; internal nodes ``t<path>`` with path in base-``fanout``
+    digits.
+    """
+    if depth < 1:
+        raise CircuitError("rc_tree needs depth >= 1")
+    ckt = Circuit(title or f"rc_tree_d{depth}")
+    ckt.V("Vin", "in", "0", dc=0.0, ac=1.0)
+    leaf_count = 0
+
+    def grow(parent: str, path: str, level: int, scale: float) -> None:
+        nonlocal leaf_count
+        if level == depth:
+            leaf = f"leaf{leaf_count}"
+            leaf_count += 1
+            ckt.R(f"Rleaf{leaf_count - 1}", parent, leaf, r * scale)
+            ckt.C(f"Cleaf{leaf_count - 1}", leaf, "0", c * scale)
+            return
+        for k in range(fanout):
+            node = f"t{path}{k}"
+            child_scale = scale * (skew if k else 1.0)
+            ckt.R(f"R{path}{k}", parent, node, r * child_scale)
+            ckt.C(f"C{path}{k}", node, "0", c * child_scale)
+            grow(node, f"{path}{k}", level + 1, child_scale)
+
+    grow("in", "", 0, 1.0)
+    return ckt
+
+
+def coupled_rc_lines(n_segments: int = 1000,
+                     r_total: float = 1000.0,
+                     c_total: float = 1e-12,
+                     cc_total: float = 0.5e-12,
+                     r_driver: float = 50.0,
+                     c_load: float = 50e-15,
+                     drive_line: int = 1,
+                     title: str | None = None) -> Circuit:
+    """The paper's Figure 8: two symmetric coupled lines as a lumped RC model.
+
+    Each line is ``n_segments`` RC sections with per-segment series
+    resistance ``r_total/n``, ground capacitance ``c_total/n`` and
+    line-to-line coupling capacitance ``cc_total/n``.  Each line has a
+    linearized Thevenin driver (``Vs`` + ``Rdrv``) and a purely capacitive
+    load ``Cload``.  Only the driver of ``drive_line`` carries an AC
+    stimulus; the victim driver's source is quiet (0 AC), modelling the
+    quiet aggressor/victim step-response crosstalk setup of Figures 9-10.
+
+    Node naming: ``a0..aN`` on line 1, ``b0..bN`` on line 2, where ``x0`` is
+    the driver output and ``xN`` the loaded far end.
+    """
+    if n_segments < 1:
+        raise CircuitError("coupled_rc_lines needs at least one segment")
+    if drive_line not in (1, 2):
+        raise CircuitError("drive_line must be 1 or 2")
+    ckt = Circuit(title or f"coupled_lines_{n_segments}")
+    r_seg = r_total / n_segments
+    c_seg = c_total / n_segments
+    cc_seg = cc_total / n_segments
+
+    ckt.V("Vs1", "src1", "0", dc=0.0, ac=1.0 if drive_line == 1 else 0.0)
+    ckt.V("Vs2", "src2", "0", dc=0.0, ac=1.0 if drive_line == 2 else 0.0)
+    ckt.R("Rdrv1", "src1", "a0", r_driver)
+    ckt.R("Rdrv2", "src2", "b0", r_driver)
+
+    for i in range(1, n_segments + 1):
+        ckt.R(f"Ra{i}", f"a{i-1}", f"a{i}", r_seg)
+        ckt.R(f"Rb{i}", f"b{i-1}", f"b{i}", r_seg)
+        ckt.C(f"Ca{i}", f"a{i}", "0", c_seg)
+        ckt.C(f"Cb{i}", f"b{i}", "0", c_seg)
+        ckt.C(f"Cc{i}", f"a{i}", f"b{i}", cc_seg)
+
+    last = n_segments
+    ckt.C("Cload1", f"a{last}", "0", c_load)
+    ckt.C("Cload2", f"b{last}", "0", c_load)
+    return ckt
+
+
+def rlc_line(n_segments: int, r_total: float = 50.0, l_total: float = 5e-9,
+             c_total: float = 2e-12, r_source: float = 25.0,
+             r_load: float | None = None,
+             title: str | None = None) -> Circuit:
+    """Lumped RLC transmission line: series R+L, shunt C per segment.
+
+    The classic AWE showcase — inductance makes the response ring, which
+    low-order real-pole models cannot capture but complex-pair Padé models
+    can.  Node ``n0`` is the driven end, ``n{n_segments}`` the far end
+    (open-circuited unless ``r_load`` is given).
+    """
+    if n_segments < 1:
+        raise CircuitError("rlc_line needs at least one segment")
+    ckt = Circuit(title or f"rlc_line_{n_segments}")
+    ckt.V("Vin", "src", "0", dc=0.0, ac=1.0)
+    ckt.R("Rsrc", "src", "n0", r_source)
+    r_seg = r_total / n_segments
+    l_seg = l_total / n_segments
+    c_seg = c_total / n_segments
+    for i in range(1, n_segments + 1):
+        ckt.R(f"R{i}", f"n{i-1}", f"m{i}", r_seg)
+        ckt.L(f"L{i}", f"m{i}", f"n{i}", l_seg)
+        ckt.C(f"C{i}", f"n{i}", "0", c_seg)
+    if r_load is not None:
+        ckt.R("Rload", f"n{n_segments}", "0", r_load)
+    return ckt
+
+
+def coupled_bus(n_lines: int, n_segments: int = 50,
+                r_total: float = 1000.0, c_total: float = 1e-12,
+                cc_total: float = 0.3e-12, r_driver: float = 50.0,
+                c_load: float = 50e-15, drive_line: int = 0,
+                title: str | None = None) -> Circuit:
+    """A bus of ``n_lines`` parallel RC lines with nearest-neighbour coupling.
+
+    Generalizes :func:`coupled_rc_lines` to wide buses (crosstalk matrices,
+    worst-victim analysis).  Line ``k`` uses nodes ``l{k}n0..l{k}n{N}``;
+    only ``drive_line`` carries an AC stimulus.
+    """
+    if n_lines < 2:
+        raise CircuitError("coupled_bus needs at least two lines")
+    if not 0 <= drive_line < n_lines:
+        raise CircuitError(f"drive_line must be in [0, {n_lines})")
+    if n_segments < 1:
+        raise CircuitError("coupled_bus needs at least one segment")
+    ckt = Circuit(title or f"coupled_bus_{n_lines}x{n_segments}")
+    r_seg = r_total / n_segments
+    c_seg = c_total / n_segments
+    cc_seg = cc_total / n_segments
+    for k in range(n_lines):
+        ac = 1.0 if k == drive_line else 0.0
+        ckt.V(f"Vs{k}", f"src{k}", "0", dc=0.0, ac=ac)
+        ckt.R(f"Rdrv{k}", f"src{k}", f"l{k}n0", r_driver)
+    for i in range(1, n_segments + 1):
+        for k in range(n_lines):
+            ckt.R(f"R{k}_{i}", f"l{k}n{i-1}", f"l{k}n{i}", r_seg)
+            ckt.C(f"C{k}_{i}", f"l{k}n{i}", "0", c_seg)
+            if k + 1 < n_lines:
+                ckt.C(f"Cc{k}_{i}", f"l{k}n{i}", f"l{k+1}n{i}", cc_seg)
+    for k in range(n_lines):
+        ckt.C(f"Cload{k}", f"l{k}n{n_segments}", "0", c_load)
+    return ckt
+
+
+def random_rc_mesh(n_nodes: int, extra_edges: int = 0, seed: int = 0,
+                   r_range: tuple[float, float] = (10.0, 1000.0),
+                   c_range: tuple[float, float] = (1e-15, 1e-12),
+                   title: str | None = None) -> Circuit:
+    """Random connected RC network for property-based testing.
+
+    Builds a random spanning tree over ``n_nodes`` nodes plus
+    ``extra_edges`` chords, a grounded capacitor at every node, and a unit
+    AC current source into node ``n1``.  Always grounded and connected.
+    """
+    if n_nodes < 1:
+        raise CircuitError("random_rc_mesh needs at least one node")
+    rng = np.random.default_rng(seed)
+    ckt = Circuit(title or f"random_rc_mesh_{n_nodes}_{seed}")
+    names = [f"n{i+1}" for i in range(n_nodes)]
+    ckt.I("Iin", "0", "n1", dc=0.0, ac=1.0)
+    ckt.R("Rg", "n1", "0", float(rng.uniform(*r_range)))
+    for i in range(1, n_nodes):
+        j = int(rng.integers(0, i))
+        ckt.R(f"Rt{i}", names[j], names[i], float(rng.uniform(*r_range)))
+    for k in range(extra_edges):
+        i, j = rng.choice(n_nodes, size=2, replace=False)
+        lo, hi = (int(i), int(j)) if i < j else (int(j), int(i))
+        name = f"Rx{k}"
+        ckt.R(name, names[lo], names[hi], float(rng.uniform(*r_range)))
+    for i, node in enumerate(names):
+        ckt.C(f"C{i+1}", node, "0", float(rng.uniform(*c_range)))
+    return ckt

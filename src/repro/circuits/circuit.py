@@ -1,0 +1,273 @@
+"""The :class:`Circuit` container.
+
+A circuit is an ordered collection of named elements over string-named
+nodes.  Ground may be called ``"0"`` or ``"gnd"`` (case-insensitive); all
+ground aliases collapse to ``"0"`` internally.
+
+The container is deliberately dumb: analyses (MNA assembly, AWE,
+partitioning) consume it read-only.  Mutation is append/replace-only, which
+keeps node indexing deterministic — important because symbolic results are
+reported against node names and must be reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from ..errors import CircuitError
+from .elements import (CCCS, CCVS, VCCS, VCVS, Capacitor, Conductance,
+                       CurrentSource, Element, Inductor, Resistor,
+                       VoltageSource)
+
+#: Accepted spellings of the ground node.
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "Gnd"})
+
+GROUND = "0"
+
+
+def canonical_node(name: str) -> str:
+    name = str(name)
+    return GROUND if name in GROUND_NAMES or name.lower() == "gnd" else name
+
+
+class Circuit:
+    """Ordered, name-indexed collection of circuit elements."""
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self._elements: dict[str, Element] = {}
+
+    # ------------------------------------------------------------------
+    # element management
+    # ------------------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add a validated element; names must be unique.
+
+        Returns the element (with nodes canonicalized) for convenience.
+        """
+        element = self._canonicalize(element)
+        element.validate()
+        if element.name in self._elements:
+            raise CircuitError(f"duplicate element name {element.name!r}")
+        if isinstance(element, (CCCS, CCVS)):
+            ctrl = self._elements.get(element.ctrl)
+            if ctrl is None or not ctrl.needs_branch:
+                raise CircuitError(
+                    f"{element.name!r} controls through {element.ctrl!r}, which is "
+                    "not an existing branch-current element (V source or inductor)")
+        self._elements[element.name] = element
+        return element
+
+    @staticmethod
+    def _canonicalize(element: Element) -> Element:
+        from dataclasses import replace
+        updates = {}
+        for attr in ("n1", "n2", "nc1", "nc2"):
+            if hasattr(element, attr):
+                updates[attr] = canonical_node(getattr(element, attr))
+        return replace(element, **updates) if updates else element
+
+    def replace_value(self, name: str, value: float) -> None:
+        """Replace the value of an existing element in place."""
+        self._elements[name] = self[name].with_value(value)
+
+    def remove(self, name: str) -> Element:
+        """Remove and return an element.
+
+        Raises:
+            CircuitError: if the element is a control branch for a CC* source.
+        """
+        if name not in self._elements:
+            raise CircuitError(f"no element named {name!r}")
+        for other in self._elements.values():
+            if isinstance(other, (CCCS, CCVS)) and other.ctrl == name:
+                raise CircuitError(
+                    f"cannot remove {name!r}: it is the control branch of {other.name!r}")
+        return self._elements.pop(name)
+
+    # convenience adders -------------------------------------------------
+    def R(self, name: str, n1: str, n2: str, resistance: float) -> Resistor:
+        return self.add(Resistor(name, n1, n2, float(resistance)))  # type: ignore[return-value]
+
+    def G(self, name: str, n1: str, n2: str, conductance: float) -> Conductance:
+        return self.add(Conductance(name, n1, n2, float(conductance)))  # type: ignore[return-value]
+
+    def C(self, name: str, n1: str, n2: str, capacitance: float) -> Capacitor:
+        return self.add(Capacitor(name, n1, n2, float(capacitance)))  # type: ignore[return-value]
+
+    def L(self, name: str, n1: str, n2: str, inductance: float) -> Inductor:
+        return self.add(Inductor(name, n1, n2, float(inductance)))  # type: ignore[return-value]
+
+    def vccs(self, name: str, n1: str, n2: str, nc1: str, nc2: str, gm: float) -> VCCS:
+        return self.add(VCCS(name, n1=n1, n2=n2, nc1=nc1, nc2=nc2, gm=float(gm)))  # type: ignore[return-value]
+
+    def vcvs(self, name: str, n1: str, n2: str, nc1: str, nc2: str, gain: float) -> VCVS:
+        return self.add(VCVS(name, n1=n1, n2=n2, nc1=nc1, nc2=nc2, gain=float(gain)))  # type: ignore[return-value]
+
+    def cccs(self, name: str, n1: str, n2: str, ctrl: str, gain: float) -> CCCS:
+        return self.add(CCCS(name, n1=n1, n2=n2, ctrl=ctrl, gain=float(gain)))  # type: ignore[return-value]
+
+    def ccvs(self, name: str, n1: str, n2: str, ctrl: str, r: float) -> CCVS:
+        return self.add(CCVS(name, n1=n1, n2=n2, ctrl=ctrl, r=float(r)))  # type: ignore[return-value]
+
+    def V(self, name: str, n1: str, n2: str, dc: float = 0.0, ac: float = 0.0) -> VoltageSource:
+        return self.add(VoltageSource(name, n1, n2, dc=float(dc), ac=float(ac)))  # type: ignore[return-value]
+
+    def I(self, name: str, n1: str, n2: str, dc: float = 0.0, ac: float = 0.0) -> CurrentSource:  # noqa: E743
+        return self.add(CurrentSource(name, n1, n2, dc=float(dc), ac=float(ac)))  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> Element:
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise CircuitError(f"no element named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements.values())
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @property
+    def elements(self) -> tuple[Element, ...]:
+        return tuple(self._elements.values())
+
+    def elements_of(self, *types: type) -> list[Element]:
+        return [e for e in self._elements.values() if isinstance(e, types)]
+
+    def sources(self) -> list[Element]:
+        return self.elements_of(VoltageSource, CurrentSource)
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def node_names(self) -> list[str]:
+        """All non-ground node names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for element in self._elements.values():
+            for node in element.nodes:
+                if node != GROUND:
+                    seen.setdefault(node, None)
+        return list(seen)
+
+    def node_index(self) -> dict[str, int]:
+        """Stable mapping node name -> MNA row (ground excluded)."""
+        return {name: i for i, name in enumerate(self.node_names())}
+
+    def has_ground(self) -> bool:
+        return any(GROUND in e.nodes for e in self._elements.values())
+
+    def stats(self) -> dict[str, int]:
+        """Element counts: the paper quotes "170 linear elements, 62 of which
+        are energy storage elements" for the linearized 741."""
+        storage = len(self.elements_of(Capacitor, Inductor))
+        return {
+            "elements": len(self._elements),
+            "nodes": len(self.node_names()),
+            "storage": storage,
+            "sources": len(self.sources()),
+        }
+
+    # ------------------------------------------------------------------
+    # topology checks
+    # ------------------------------------------------------------------
+    def connectivity_graph(self) -> "nx.Graph":
+        """Undirected graph over nodes; edges for every element's terminal pairs
+        (controlled-source *sensing* terminals do not create connectivity)."""
+        graph = nx.Graph()
+        graph.add_node(GROUND)
+        for element in self._elements.values():
+            conn = element.nodes[:2]
+            graph.add_nodes_from(element.nodes)
+            if len(conn) == 2 and conn[0] != conn[1]:
+                graph.add_edge(conn[0], conn[1], name=element.name)
+        return graph
+
+    def check(self) -> None:
+        """Structural validation: a ground reference exists and every node
+        has a DC path to ground through connecting terminals.
+
+        Raises:
+            CircuitError: with a description of the first problem found.
+        """
+        if not self._elements:
+            raise CircuitError("circuit has no elements")
+        if not self.has_ground():
+            raise CircuitError("circuit has no ground node ('0' or 'gnd')")
+        graph = self.connectivity_graph()
+        reachable = nx.node_connected_component(graph, GROUND)
+        floating = [n for n in self.node_names() if n not in reachable]
+        if floating:
+            raise CircuitError(f"nodes not connected to ground: {sorted(floating)}")
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def copy(self, title: str | None = None) -> "Circuit":
+        out = Circuit(self.title if title is None else title)
+        out._elements = dict(self._elements)
+        return out
+
+    def subcircuit(self, names: Iterable[str], title: str = "") -> "Circuit":
+        """New circuit containing only the named elements (order preserved)."""
+        wanted = set(names)
+        missing = wanted - set(self._elements)
+        if missing:
+            raise CircuitError(f"unknown elements in subcircuit: {sorted(missing)}")
+        out = Circuit(title or f"{self.title}:sub")
+        for name, element in self._elements.items():
+            if name in wanted:
+                out._elements[name] = element
+        return out
+
+    def embed(self, sub: "Circuit", prefix: str,
+              node_map: Mapping[str, str] | None = None) -> None:
+        """Instantiate ``sub`` inside this circuit (hierarchical composition).
+
+        Every element of ``sub`` is added under ``<prefix><name>``; nodes
+        listed in ``node_map`` connect to this circuit's nodes, all other
+        non-ground nodes become ``<prefix><node>``.  Ground stays ground.
+        Control references of CC* sources are prefixed consistently.
+
+        Raises:
+            CircuitError: name collisions with existing elements.
+        """
+        from dataclasses import replace as _replace
+
+        node_map = dict(node_map or {})
+
+        def map_node(node: str) -> str:
+            if node == GROUND:
+                return GROUND
+            return node_map.get(node, f"{prefix}{node}")
+
+        for element in sub:
+            updates: dict[str, str] = {"name": f"{prefix}{element.name}"}
+            for attr in ("n1", "n2", "nc1", "nc2"):
+                if hasattr(element, attr):
+                    updates[attr] = map_node(getattr(element, attr))
+            if hasattr(element, "ctrl"):
+                updates["ctrl"] = f"{prefix}{element.ctrl}"
+            self.add(_replace(element, **updates))
+
+    def without(self, names: Iterable[str], title: str = "") -> "Circuit":
+        """New circuit with the named elements removed."""
+        dropped = set(names)
+        out = Circuit(title or self.title)
+        for name, element in self._elements.items():
+            if name not in dropped:
+                out._elements[name] = element
+        return out
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"Circuit({self.title!r}: {s['elements']} elements, "
+                f"{s['nodes']} nodes, {s['storage']} storage)")

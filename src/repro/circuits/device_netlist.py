@@ -1,0 +1,121 @@
+"""Netlist parsing for nonlinear circuits (D/Q/M cards).
+
+Extends the linear netlist format of :mod:`repro.circuits.netlist` with
+SPICE-flavoured device cards carrying inline ``NAME=value`` parameters:
+
+```
+Dname anode cathode [IS=1e-14] [N=1] [CJ=2p]
+Qname c b e [PNP|NPN] [IS=..] [BF=..] [BR=..] [VAF=..] [CJE=..] [CJC=..]
++     [CCS=..] [TF=..]
+Mname d g s [PMOS|NMOS] [KP=..] [VTO=..] [LAMBDA=..] [CGS=..] [CGD=..]
++     [CDB=..]
+```
+
+Model-card (``.model``) indirection is deliberately not implemented: the
+per-instance parameter form keeps the decks self-contained, which suits a
+reproduction library (every example circuit is one readable file).
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+from ..units import parse_value
+from .devices import BJT, MOSFET, Diode, NonlinearCircuit
+from .netlist import _logical_lines, _strip_comment, parse_netlist
+
+_DIODE_PARAMS = {"IS": "i_s", "N": "n", "CJ": "c_junction"}
+_BJT_PARAMS = {"IS": "i_s", "BF": "beta_f", "BR": "beta_r", "VAF": "vaf",
+               "CJE": "c_je", "CJC": "c_jc", "CCS": "c_cs", "TF": "tf"}
+_MOS_PARAMS = {"KP": "kp", "VTO": "vto", "LAMBDA": "lam",
+               "CGS": "c_gs", "CGD": "c_gd", "CDB": "c_db"}
+
+
+def _split_params(tokens: list[str], table: dict[str, str], line_no: int,
+                  card: str) -> tuple[list[str], dict[str, float]]:
+    """Separate positional tokens from ``NAME=value`` parameters."""
+    positional: list[str] = []
+    params: dict[str, float] = {}
+    for tok in tokens:
+        if "=" in tok:
+            key, _, value = tok.partition("=")
+            field = table.get(key.upper())
+            if field is None:
+                raise NetlistError(f"unknown device parameter {key!r}",
+                                   line_no, card)
+            params[field] = parse_value(value)
+        elif params:
+            raise NetlistError("positional token after parameters",
+                               line_no, card)
+        else:
+            positional.append(tok)
+    return positional, params
+
+
+def parse_device_netlist(text: str, title: str = "") -> NonlinearCircuit:
+    """Parse a netlist that may contain D/Q/M device cards.
+
+    Linear cards go through :func:`~repro.circuits.netlist.parse_netlist`
+    unchanged; device cards build :class:`~repro.circuits.devices`
+    models.
+
+    Raises:
+        NetlistError: malformed cards, with line context.
+    """
+    linear_lines: list[str] = []
+    devices: list[Diode | BJT | MOSFET] = []
+    for line_no, raw_card in _logical_lines(text):
+        card = _strip_comment(raw_card)
+        if not card or card.startswith("*"):
+            linear_lines.append(raw_card)
+            continue
+        kind = card[0].upper()
+        if kind not in ("D", "Q", "M") or card.lower().startswith(".model"):
+            linear_lines.append(raw_card)
+            continue
+        tokens = card.split()
+        name, args = tokens[0], tokens[1:]
+        try:
+            if kind == "D":
+                pos, params = _split_params(args, _DIODE_PARAMS, line_no, card)
+                if len(pos) != 2:
+                    raise NetlistError("D card needs anode cathode",
+                                       line_no, card)
+                devices.append(Diode(name, pos[0], pos[1], **params))
+            elif kind == "Q":
+                pos, params = _split_params(args, _BJT_PARAMS, line_no, card)
+                polarity = 1
+                if len(pos) == 4:
+                    flag = pos.pop().upper()
+                    if flag not in ("NPN", "PNP"):
+                        raise NetlistError(f"unknown BJT type {flag!r}",
+                                           line_no, card)
+                    polarity = -1 if flag == "PNP" else 1
+                if len(pos) != 3:
+                    raise NetlistError("Q card needs collector base emitter",
+                                       line_no, card)
+                devices.append(BJT(name, pos[0], pos[1], pos[2],
+                                   polarity=polarity, **params))
+            else:  # M
+                pos, params = _split_params(args, _MOS_PARAMS, line_no, card)
+                polarity = 1
+                if len(pos) == 4:
+                    flag = pos.pop().upper()
+                    if flag not in ("NMOS", "PMOS"):
+                        raise NetlistError(f"unknown MOSFET type {flag!r}",
+                                           line_no, card)
+                    polarity = -1 if flag == "PMOS" else 1
+                if len(pos) != 3:
+                    raise NetlistError("M card needs drain gate source",
+                                       line_no, card)
+                devices.append(MOSFET(name, pos[0], pos[1], pos[2],
+                                      polarity=polarity, **params))
+        except NetlistError:
+            raise
+        except Exception as exc:
+            raise NetlistError(str(exc), line_no, card) from exc
+
+    linear = parse_netlist("\n".join(linear_lines), title=title)
+    nc = NonlinearCircuit(linear)
+    for dev in devices:
+        nc.add_device(dev)
+    return nc

@@ -1,0 +1,307 @@
+"""Nonlinear device models: diode and Ebers-Moll (transport) BJT.
+
+The paper analyzes the *linearized* 741 — "after linearization, the small
+signal circuit contains 170 linear elements".  To reproduce that honestly we
+carry the whole path: a transistor-level nonlinear circuit, a Newton DC
+operating-point solve (:mod:`repro.analysis.dc`), and hybrid-pi small-signal
+extraction (:mod:`repro.circuits.linearize`).
+
+Models are deliberately SPICE-level-1 simple — exponential junctions,
+forward/reverse beta, Early effect, constant junction + diffusion
+capacitances — which is all the linearized analysis consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping
+
+from ..errors import CircuitError
+from .circuit import Circuit, canonical_node
+
+#: thermal voltage at ~300 K
+VT = 0.02585
+
+#: junction voltage beyond which the exponential is linearized to keep
+#: Newton iterates finite (standard SPICE-style junction limiting)
+V_EXP_LIMIT = 0.85
+
+
+def _limited_exp(v: float, vt: float) -> tuple[float, float]:
+    """``(exp(v/vt), d/dv exp(v/vt))`` with linear extrapolation past the limit."""
+    if v <= V_EXP_LIMIT:
+        e = math.exp(v / vt)
+        return e, e / vt
+    e0 = math.exp(V_EXP_LIMIT / vt)
+    slope = e0 / vt
+    return e0 + slope * (v - V_EXP_LIMIT), slope
+
+
+@dataclass(frozen=True)
+class Diode:
+    """Junction diode: ``i = IS (exp(v / (n VT)) - 1)``."""
+
+    name: str
+    anode: str
+    cathode: str
+    i_s: float = 1e-14
+    n: float = 1.0
+    c_junction: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "anode", canonical_node(self.anode))
+        object.__setattr__(self, "cathode", canonical_node(self.cathode))
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.anode, self.cathode)
+
+    def current(self, v: float) -> tuple[float, float]:
+        """``(i, di/dv)`` at junction voltage ``v``."""
+        e, de = _limited_exp(v, self.n * VT)
+        return self.i_s * (e - 1.0), self.i_s * de
+
+
+@dataclass(frozen=True)
+class BJT:
+    """Bipolar transistor, SPICE transport (Ebers-Moll) model.
+
+    ``polarity`` +1 for NPN, -1 for PNP; internally all junction voltages
+    are polarity-normalized so one set of equations serves both.
+
+    Small-signal parameters (hybrid-pi) come from :meth:`small_signal`:
+    ``gm = |IC|/VT``, ``gpi = gm/BF``, ``go = |IC|/VAF``,
+    ``Cpi = CJE + TF*gm``, ``Cmu = CJC``.
+    """
+
+    name: str
+    collector: str
+    base: str
+    emitter: str
+    polarity: int = 1  # +1 NPN, -1 PNP
+    i_s: float = 1e-15
+    beta_f: float = 200.0
+    beta_r: float = 2.0
+    vaf: float = 100.0
+    c_je: float = 1e-12
+    c_jc: float = 0.5e-12
+    c_cs: float = 0.0  # collector-substrate junction capacitance
+    tf: float = 0.3e-9
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (1, -1):
+            raise CircuitError(f"BJT {self.name!r} polarity must be +1 or -1")
+        for attr in ("collector", "base", "emitter"):
+            object.__setattr__(self, attr, canonical_node(getattr(self, attr)))
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.collector, self.base, self.emitter)
+
+    @property
+    def is_npn(self) -> bool:
+        return self.polarity == 1
+
+    # ------------------------------------------------------------------
+    def terminal_currents(self, vbe: float, vbc: float,
+                          ) -> tuple[float, float, dict[str, float]]:
+        """``(ic, ib, derivatives)`` for polarity-normalized junction voltages.
+
+        ``derivatives`` holds ``dic_dvbe, dic_dvbc, dib_dvbe, dib_dvbc``.
+        Currents are polarity-normalized too (positive = conventional NPN
+        direction); the DC solver applies the polarity sign.
+        """
+        ef, def_ = _limited_exp(vbe, VT)
+        er, der = _limited_exp(vbc, VT)
+        icc = self.i_s * (ef - 1.0)
+        iec = self.i_s * (er - 1.0)
+        dicc = self.i_s * def_
+        diec = self.i_s * der
+        # Early effect on the transport current (forward operation form)
+        early = 1.0 - vbc / self.vaf
+        it = (icc - iec) * early
+        dit_dvbe = dicc * early
+        dit_dvbc = -diec * early - (icc - iec) / self.vaf
+        ic = it - iec / self.beta_r
+        ib = icc / self.beta_f + iec / self.beta_r
+        derivs = {
+            "dic_dvbe": dit_dvbe,
+            "dic_dvbc": dit_dvbc - diec / self.beta_r,
+            "dib_dvbe": dicc / self.beta_f,
+            "dib_dvbc": diec / self.beta_r,
+        }
+        return ic, ib, derivs
+
+    def small_signal(self, ic: float, min_ic: float = 1e-12) -> dict[str, float]:
+        """Hybrid-pi parameters at collector current ``ic`` (normalized sign).
+
+        Raises:
+            CircuitError: when the device is off (|ic| below ``min_ic``).
+        """
+        ic = abs(ic)
+        if ic < min_ic:
+            raise CircuitError(
+                f"BJT {self.name!r} carries no collector current; "
+                "cannot linearize an off device")
+        gm = ic / VT
+        return {
+            "gm": gm,
+            "gpi": gm / self.beta_f,
+            "go": ic / self.vaf,
+            "cpi": self.c_je + self.tf * gm,
+            "cmu": self.c_jc,
+            "ccs": self.c_cs,
+        }
+
+
+@dataclass(frozen=True)
+class MOSFET:
+    """Level-1 (square-law) MOSFET.
+
+    ``polarity`` +1 for NMOS, -1 for PMOS; junction voltages are
+    polarity-normalized internally.  Channel-length modulation through
+    ``lam`` (SPICE LAMBDA).  Small-signal: ``gm``, ``gds`` from the
+    square-law derivatives plus constant ``c_gs``/``c_gd``/``c_db``.
+    """
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    polarity: int = 1  # +1 NMOS, -1 PMOS
+    kp: float = 200e-6  # transconductance factor kp' * W/L  (A/V^2)
+    vto: float = 0.6
+    lam: float = 0.05  # channel-length modulation (1/V)
+    c_gs: float = 20e-15
+    c_gd: float = 5e-15
+    c_db: float = 10e-15
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (1, -1):
+            raise CircuitError(f"MOSFET {self.name!r} polarity must be +1 or -1")
+        if self.kp <= 0.0:
+            raise CircuitError(f"MOSFET {self.name!r} needs kp > 0")
+        for attr in ("drain", "gate", "source"):
+            object.__setattr__(self, attr, canonical_node(getattr(self, attr)))
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.drain, self.gate, self.source)
+
+    @property
+    def is_nmos(self) -> bool:
+        return self.polarity == 1
+
+    #: subthreshold slope factor times VT (smoothing scale, ~2 VT)
+    _n_vt = 2.0 * VT
+
+    def _effective_overdrive(self, vgs: float) -> tuple[float, float]:
+        """Softplus-smoothed overdrive and its dvgs derivative.
+
+        Replaces the hard cutoff ``max(vgs - vto, 0)`` with
+        ``n·VT·ln(1 + exp((vgs - vto)/(n·VT)))`` — physically a weak-
+        inversion tail, numerically a gradient Newton can follow out of
+        cutoff (a hard zero-derivative region traps the solver).
+        """
+        u = (vgs - self.vto) / self._n_vt
+        if u > 40.0:
+            return vgs - self.vto, 1.0
+        if u < -40.0:
+            e = math.exp(u)
+            return self._n_vt * e, e
+        e = math.exp(u)
+        return self._n_vt * math.log1p(e), e / (1.0 + e)
+
+    def drain_current(self, vgs: float, vds: float,
+                      ) -> tuple[float, float, float]:
+        """``(id, did/dvgs, did/dvds)`` for polarity-normalized voltages.
+
+        ``vds < 0`` is handled by source/drain symmetry.  The square law
+        uses the smoothed overdrive of :meth:`_effective_overdrive`, so a
+        tiny subthreshold current flows below ``vto`` (by design).
+        """
+        if vds < 0.0:
+            # exploit symmetry: swap drain/source
+            i, g_gd, g_dd = self.drain_current(vgs - vds, -vds)
+            did_dvgs = -g_gd
+            did_dvds = g_gd + g_dd
+            return -i, did_dvgs, did_dvds
+        vov, dvov = self._effective_overdrive(vgs)
+        clm = 1.0 + self.lam * vds
+        if vds >= vov:  # saturation
+            i = 0.5 * self.kp * vov * vov * clm
+            return (i,
+                    self.kp * vov * clm * dvov,
+                    0.5 * self.kp * vov * vov * self.lam)
+        # triode
+        i = self.kp * (vov * vds - 0.5 * vds * vds) * clm
+        did_dvgs = self.kp * vds * clm * dvov
+        did_dvds = (self.kp * (vov - vds) * clm
+                    + self.kp * (vov * vds - 0.5 * vds * vds) * self.lam)
+        return i, did_dvgs, did_dvds
+
+    def small_signal(self, vgs: float, vds: float) -> dict[str, float]:
+        """Small-signal parameters at the (normalized) bias point.
+
+        Raises:
+            CircuitError: device in cutoff.
+        """
+        i, gm, gds = self.drain_current(vgs, vds)
+        if gm < 1e-12 and gds < 1e-12:  # deep subthreshold: effectively off
+            raise CircuitError(
+                f"MOSFET {self.name!r} is in cutoff; cannot linearize")
+        return {"id": i, "gm": gm, "gds": gds,
+                "cgs": self.c_gs, "cgd": self.c_gd, "cdb": self.c_db}
+
+
+@dataclass
+class NonlinearCircuit:
+    """A linear circuit plus nonlinear devices.
+
+    The linear part carries sources, resistors and capacitors; devices are
+    stamped by the Newton solver.  Capacitors are open at DC and reappear
+    (along with device junction capacitances) in the linearized circuit.
+    """
+
+    linear: Circuit = field(default_factory=Circuit)
+    devices: dict[str, "Diode | BJT | MOSFET"] = field(default_factory=dict)
+
+    @property
+    def title(self) -> str:
+        return self.linear.title
+
+    def add_device(self, device: "Diode | BJT | MOSFET") -> "Diode | BJT | MOSFET":
+        if device.name in self.devices or device.name in self.linear:
+            raise CircuitError(f"duplicate device name {device.name!r}")
+        self.devices[device.name] = device
+        return device
+
+    def bjt(self, name: str, collector: str, base: str, emitter: str,
+            polarity: int = 1, **params) -> BJT:
+        return self.add_device(BJT(name, collector, base, emitter,
+                                   polarity=polarity, **params))  # type: ignore[return-value]
+
+    def diode(self, name: str, anode: str, cathode: str, **params) -> Diode:
+        return self.add_device(Diode(name, anode, cathode, **params))  # type: ignore[return-value]
+
+    def mosfet(self, name: str, drain: str, gate: str, source: str,
+               polarity: int = 1, **params) -> MOSFET:
+        return self.add_device(MOSFET(name, drain, gate, source,
+                                      polarity=polarity, **params))  # type: ignore[return-value]
+
+    def node_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for node in self.linear.node_names():
+            seen.setdefault(node, None)
+        for dev in self.devices.values():
+            for node in dev.nodes:
+                if node != "0":
+                    seen.setdefault(node, None)
+        return list(seen)
+
+    def __iter__(self) -> Iterator[Diode | BJT]:
+        return iter(self.devices.values())
+
+    def __len__(self) -> int:
+        return len(self.devices)

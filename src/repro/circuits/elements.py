@@ -1,0 +1,272 @@
+"""Linear circuit elements.
+
+Every element is a lightweight value object naming its terminals (node
+names as strings) and carrying its numeric value.  MNA stamping lives in
+:mod:`repro.mna.stamps`; elements only describe topology and value, plus
+two bits of metadata the rest of the library relies on:
+
+* ``needs_branch`` — whether the element introduces an auxiliary MNA branch
+  current (voltage sources, inductors, VCVS, CCVS).
+* ``moment_kind`` — where the element's value lands in the Maclaurin
+  expansion of its admittance stamp: ``"G"`` (order 0: resistors, sources,
+  controlled sources) or ``"C"`` (order 1: capacitors, inductors).  This is
+  exactly the paper's observation (eq. 10) that under MNA every element's
+  port expansion is *finite*: ``Y = G + s(C + L)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import CircuitError
+
+
+@dataclass(frozen=True)
+class Element:
+    """Base class: a named element attached to an ordered tuple of nodes."""
+
+    name: str
+
+    #: class-level metadata, overridden by subclasses
+    needs_branch = False
+    moment_kind = "G"
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    @property
+    def value(self) -> float:
+        raise NotImplementedError
+
+    def with_value(self, value: float) -> "Element":
+        return replace(self, **{self._value_field: float(value)})
+
+    _value_field = "value"
+
+    def validate(self) -> None:
+        if not self.name:
+            raise CircuitError("element has empty name")
+
+
+@dataclass(frozen=True)
+class TwoTerminal(Element):
+    """An element between nodes ``n1`` (+) and ``n2`` (-)."""
+
+    n1: str
+    n2: str
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2)
+
+    def validate(self) -> None:
+        super().validate()
+        if self.n1 == self.n2:
+            raise CircuitError(
+                f"element {self.name!r} has both terminals on node {self.n1!r}")
+
+
+@dataclass(frozen=True)
+class Resistor(TwoTerminal):
+    """Resistance in ohms.  Stamped as the conductance ``1/resistance``."""
+
+    resistance: float = 0.0
+    _value_field = "resistance"
+
+    @property
+    def value(self) -> float:
+        return self.resistance
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+    def validate(self) -> None:
+        super().validate()
+        if self.resistance <= 0.0:
+            raise CircuitError(f"resistor {self.name!r} must have R > 0, got {self.resistance}")
+
+
+@dataclass(frozen=True)
+class Conductance(TwoTerminal):
+    """Conductance in siemens (the natural symbolic form for resistive symbols)."""
+
+    conductance: float = 0.0
+    _value_field = "conductance"
+
+    @property
+    def value(self) -> float:
+        return self.conductance
+
+    def validate(self) -> None:
+        super().validate()
+        if self.conductance < 0.0:
+            raise CircuitError(
+                f"conductance {self.name!r} must be >= 0, got {self.conductance}")
+
+
+@dataclass(frozen=True)
+class Capacitor(TwoTerminal):
+    """Capacitance in farads."""
+
+    capacitance: float = 0.0
+    moment_kind = "C"
+    _value_field = "capacitance"
+
+    @property
+    def value(self) -> float:
+        return self.capacitance
+
+    def validate(self) -> None:
+        super().validate()
+        if self.capacitance < 0.0:
+            raise CircuitError(
+                f"capacitor {self.name!r} must have C >= 0, got {self.capacitance}")
+
+
+@dataclass(frozen=True)
+class Inductor(TwoTerminal):
+    """Inductance in henries.  Introduces a branch current (impedance stencil)."""
+
+    inductance: float = 0.0
+    needs_branch = True
+    moment_kind = "C"
+    _value_field = "inductance"
+
+    @property
+    def value(self) -> float:
+        return self.inductance
+
+    def validate(self) -> None:
+        super().validate()
+        if self.inductance <= 0.0:
+            raise CircuitError(
+                f"inductor {self.name!r} must have L > 0, got {self.inductance}")
+
+
+@dataclass(frozen=True)
+class VCCS(Element):
+    """Voltage-controlled current source: ``i(n1->n2) = gm * (v(nc1) - v(nc2))``.
+
+    The workhorse of small-signal models (every transistor ``gm`` and ``go``).
+    """
+
+    n1: str = ""
+    n2: str = ""
+    nc1: str = ""
+    nc2: str = ""
+    gm: float = 0.0
+    _value_field = "gm"
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2, self.nc1, self.nc2)
+
+    @property
+    def value(self) -> float:
+        return self.gm
+
+    def validate(self) -> None:
+        super().validate()
+        if self.n1 == self.n2:
+            raise CircuitError(f"VCCS {self.name!r} output shorted at {self.n1!r}")
+
+
+@dataclass(frozen=True)
+class VCVS(Element):
+    """Voltage-controlled voltage source: ``v(n1)-v(n2) = gain * (v(nc1)-v(nc2))``."""
+
+    n1: str = ""
+    n2: str = ""
+    nc1: str = ""
+    nc2: str = ""
+    gain: float = 0.0
+    needs_branch = True
+    _value_field = "gain"
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2, self.nc1, self.nc2)
+
+    @property
+    def value(self) -> float:
+        return self.gain
+
+
+@dataclass(frozen=True)
+class CCCS(Element):
+    """Current-controlled current source: ``i(n1->n2) = gain * i(ctrl_branch)``.
+
+    ``ctrl`` names an element that owns a branch current (a voltage source
+    or an inductor).
+    """
+
+    n1: str = ""
+    n2: str = ""
+    ctrl: str = ""
+    gain: float = 0.0
+    _value_field = "gain"
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2)
+
+    @property
+    def value(self) -> float:
+        return self.gain
+
+
+@dataclass(frozen=True)
+class CCVS(Element):
+    """Current-controlled voltage source: ``v(n1)-v(n2) = r * i(ctrl_branch)``."""
+
+    n1: str = ""
+    n2: str = ""
+    ctrl: str = ""
+    r: float = 0.0
+    needs_branch = True
+    _value_field = "r"
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.n1, self.n2)
+
+    @property
+    def value(self) -> float:
+        return self.r
+
+
+@dataclass(frozen=True)
+class VoltageSource(TwoTerminal):
+    """Independent voltage source; ``dc`` for operating point, ``ac`` for
+    small-signal magnitude (the AWE input applies an impulse of area ``ac``)."""
+
+    dc: float = 0.0
+    ac: float = 0.0
+    needs_branch = True
+    _value_field = "dc"
+
+    @property
+    def value(self) -> float:
+        return self.dc
+
+    def validate(self) -> None:
+        Element.validate(self)  # a V source may legally short a node to itself? no:
+        if self.n1 == self.n2:
+            raise CircuitError(
+                f"voltage source {self.name!r} has both terminals on {self.n1!r}")
+
+
+@dataclass(frozen=True)
+class CurrentSource(TwoTerminal):
+    """Independent current source, ``dc`` amps flowing n1 -> n2 internally
+    (i.e. injected into ``n2``, drawn from ``n1``)."""
+
+    dc: float = 0.0
+    ac: float = 0.0
+    _value_field = "dc"
+
+    @property
+    def value(self) -> float:
+        return self.dc

@@ -1,0 +1,28 @@
+"""The paper's example circuits.
+
+* :func:`~repro.circuits.library.rc_fig1.fig1_circuit` — the two-node RC of
+  Figure 1 / equations (5)-(6).
+* :mod:`~repro.circuits.library.opamp741` — transistor-level 741 op-amp,
+  its DC bias, and the linearized small-signal circuit of §3.1.
+* :func:`~repro.circuits.library.coupled_lines.paper_coupled_lines` — the
+  1000-segment symmetric coupled RC lines of Figure 8.
+"""
+
+from .rc_fig1 import fig1_circuit
+from .coupled_lines import paper_coupled_lines
+from .opamp741 import (build_741, bias_741, small_signal_741,
+                       SmallSignal741)
+from .cmos_ota import SmallSignalOTA, bias_ota, build_ota, small_signal_ota
+
+__all__ = [
+    "fig1_circuit",
+    "paper_coupled_lines",
+    "build_741",
+    "bias_741",
+    "small_signal_741",
+    "SmallSignal741",
+    "build_ota",
+    "bias_ota",
+    "small_signal_ota",
+    "SmallSignalOTA",
+]

@@ -1,0 +1,37 @@
+"""Figure 8 of the paper: two symmetric coupled RC lines, lumped model.
+
+"Each line has been approximated with a 1000 segment model.  The driver at
+each line is modeled by a linearized Thevenin equivalent, and the loading
+is assumed to be purely capacitive."  The symbolic parameters of §3.2 are
+the driver resistance and the load capacitance.
+
+The paper gives no absolute RC values; the defaults below are a plausible
+centimeter-scale on-chip pair (1 kΩ, 1 pF per line, 0.5 pF coupling) that
+produces the non-monotonic crosstalk pulse of Figures 9-10.
+"""
+
+from __future__ import annotations
+
+from ..builders import coupled_rc_lines
+from ..circuit import Circuit
+
+#: the paper's segment count
+PAPER_SEGMENTS = 1000
+
+#: victim far-end node for the default (drive line 1, observe line 2) setup
+def victim_output(n_segments: int = PAPER_SEGMENTS) -> str:
+    return f"b{n_segments}"
+
+
+def aggressor_output(n_segments: int = PAPER_SEGMENTS) -> str:
+    return f"a{n_segments}"
+
+
+def paper_coupled_lines(n_segments: int = PAPER_SEGMENTS,
+                        r_driver: float = 50.0,
+                        c_load: float = 50e-15) -> Circuit:
+    """The Figure-8 circuit at paper scale (1000 segments per line)."""
+    return coupled_rc_lines(n_segments=n_segments,
+                            r_total=1000.0, c_total=1e-12, cc_total=0.5e-12,
+                            r_driver=r_driver, c_load=c_load,
+                            title=f"paper fig. 8 coupled lines ({n_segments} seg)")

@@ -1,0 +1,202 @@
+"""Transistor-level 741 operational amplifier (paper §3.1).
+
+Topology follows the classic Fairchild µA741 internal schematic
+(Gray & Meyer): NPN emitter-follower inputs Q1/Q2 cascoded by the lateral
+PNPs Q3/Q4, active load Q5-Q7, the Q8/Q9 and Q10/Q11 (Widlar) bias
+network with R5 = 39 kΩ reference, Q12/Q13 second-stage current source,
+Darlington-ish second stage Q16/Q17, class-AB output Q14/Q20 biased by the
+two diode drops D1/D2, and the 30 pF Miller compensation capacitor from
+the second stage's input to its output.  The short-circuit-protection
+devices (Q15, Q21-Q24, R10/R11) are omitted — they are off at the
+quiescent point and contribute nothing to the small-signal response the
+paper analyzes.
+
+After linearization the small-signal circuit carries ~150 linear elements
+of which ~65 are capacitors (paper: 170 elements / 62 storage; the gap is
+the protection circuitry).  The symbolic elements of the paper's §3.1 are
+
+* ``go_Q14`` — output conductance of output transistor Q14 (the paper's
+  ``g_outQ14``), and
+* ``Ccomp`` — the compensation capacitor.
+
+Both exist by these exact names in :func:`small_signal_741`'s result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...analysis.dc import OperatingPoint, operating_point
+from ...errors import ConvergenceError
+from ..circuit import Circuit
+from ..devices import BJT, NonlinearCircuit
+from ..linearize import small_signal_circuit
+
+#: supply voltages
+VCC = 15.0
+VEE = -15.0
+
+#: classic 741 resistor values (ohms)
+R1 = 1_000.0
+R2 = 1_000.0
+R3 = 50_000.0
+R4 = 5_000.0
+R5 = 39_000.0
+R8 = 100.0
+R9 = 50_000.0
+R6 = 27.0
+R7 = 22.0
+
+#: compensation capacitor
+CCOMP = 30e-12
+
+_NPN = dict(i_s=5e-15, beta_f=200.0, beta_r=2.0, vaf=130.0,
+            c_je=1.0e-12, c_jc=0.3e-12, c_cs=1.0e-12, tf=0.35e-9)
+_PNP = dict(i_s=2e-15, beta_f=50.0, beta_r=4.0, vaf=50.0,
+            c_je=0.3e-12, c_jc=1.0e-12, c_cs=2.0e-12, tf=30e-9)
+
+
+def build_741(r_load: float = 2_000.0, c_load: float = 10e-12,
+              with_feedback: bool = True) -> NonlinearCircuit:
+    """Build the transistor-level 741.
+
+    Args:
+        r_load: output load resistance.
+        c_load: output load capacitance.
+        with_feedback: include the DC-bias feedback short ``Vfb`` from the
+            output to the inverting input (standard practice for biasing a
+            high-gain op-amp at its linear operating point; removed again
+            by :func:`small_signal_741` for the open-loop analysis).
+
+    Node names: ``inp``/``inn`` inputs, ``out`` output, ``vcc``/``vee``
+    rails, internal nodes ``n1..``.
+    """
+    nc = NonlinearCircuit(Circuit("uA741"))
+    lin = nc.linear
+    lin.V("Vcc", "vcc", "0", dc=VCC)
+    lin.V("Vee", "vee", "0", dc=VEE)
+    lin.V("Vin", "inp", "0", dc=0.0, ac=1.0)
+    if with_feedback:
+        lin.V("Vfb", "out", "inn", dc=0.0)  # unity-feedback bias short
+
+    # ---- bias reference: Q11/Q12 diode string with R5 ---------------------
+    # IREF = (VCC - VEE - 2 VBE)/R5 ~ 0.73 mA
+    lin.R("R5", "n12c", "n11c", R5)
+    nc.bjt("Q11", "n11c", "n11c", "vee", **_NPN)       # diode-connected NPN
+    nc.bjt("Q12", "n12c", "n12c", "vcc", -1, **_PNP)   # diode-connected PNP
+
+    # ---- Widlar source Q10 sets the input-stage tail (~19 uA) ------------
+    nc.bjt("Q10", "n7", "n11c", "n10e", **_NPN)
+    lin.R("R4", "n10e", "vee", R4)
+
+    # ---- input stage ------------------------------------------------------
+    # Q1/Q2 NPN followers; Q3/Q4 lateral PNP common-base
+    nc.bjt("Q1", "n3", "inp", "n1e", **_NPN)
+    nc.bjt("Q2", "n3", "inn", "n2e", **_NPN)
+    nc.bjt("Q3", "n6", "n7", "n1e", -1, **_PNP)
+    nc.bjt("Q4", "n8", "n7", "n2e", -1, **_PNP)
+    # Q8/Q9 PNP mirror: senses the follower collector current, feeds back
+    # to the common-base bias node n7 (the famous bias loop)
+    nc.bjt("Q8", "n3", "n3", "vcc", -1, **_PNP)        # diode-connected
+    nc.bjt("Q9", "n7", "n3", "vcc", -1, **_PNP)
+
+    # ---- input-stage active load Q5/Q6 with beta-helper Q7 ----------------
+    nc.bjt("Q5", "n6", "n9", "n5e", **_NPN)
+    nc.bjt("Q6", "n8", "n9", "n6e", **_NPN)
+    nc.bjt("Q7", "vcc", "n6", "n9", **_NPN)
+    lin.R("R1", "n5e", "vee", R1)
+    lin.R("R2", "n6e", "vee", R2)
+    lin.R("R3", "n9", "vee", R3)
+
+    # ---- second stage: Q16 follower into Q17 common-emitter --------------
+    nc.bjt("Q16", "vcc", "n8", "n15", **_NPN)
+    lin.R("R9", "n15", "vee", R9)
+    nc.bjt("Q17", "n17", "n15", "n17e", **_NPN)
+    lin.R("R8", "n17e", "vee", R8)
+
+    # ---- second-stage / output-stage current source Q13 -------------------
+    nc.bjt("Q13", "n18", "n12c", "vcc", -1, **_PNP)
+
+    # ---- class-AB bias: two diode-connected NPNs between n18 and n17 -----
+    nc.bjt("Q18", "n18", "n18", "n19", **_NPN)
+    nc.bjt("Q19", "n19", "n19", "n17", **_NPN)
+
+    # ---- output stage -----------------------------------------------------
+    nc.bjt("Q14", "vcc", "n18", "n14e", **_NPN)
+    lin.R("R6", "n14e", "out", R6)
+    nc.bjt("Q20", "vee", "n17", "n20e", -1, **_PNP)
+    lin.R("R7", "n20e", "out", R7)
+
+    # ---- compensation and load --------------------------------------------
+    lin.C("Ccomp", "n8", "n17", CCOMP)
+    lin.R("RL", "out", "0", r_load)
+    lin.C("CL", "out", "0", c_load)
+    return nc
+
+
+def bias_741(nc: NonlinearCircuit | None = None) -> OperatingPoint:
+    """DC operating point of the 741 under unity-feedback bias.
+
+    Raises:
+        ConvergenceError: Newton failed (should not happen for the default
+        circuit; a clear signal if device parameters are edited badly).
+    """
+    if nc is None:
+        nc = build_741()
+    # seed the rails so gmin stepping starts near the right region
+    initial = {"vcc": VCC, "vee": VEE,
+               "n11c": VEE + 0.65, "n12c": VCC - 0.65,
+               "n10e": VEE + 0.1, "n9": VEE + 0.6,
+               "n5e": VEE + 0.05, "n6e": VEE + 0.05,
+               "n6": VEE + 1.2, "n8": VEE + 1.3, "n15": VEE + 0.7,
+               "n17e": VEE + 0.05, "n17": 0.0 - 1.2, "n18": 0.0 + 1.2,
+               "n19": 0.6, "n3": VCC - 0.65, "n7": VCC - 1.3,
+               "n1e": -0.65, "n2e": -0.65, "n14e": 0.0, "n20e": 0.0,
+               "out": 0.0}
+    return operating_point(nc, initial=initial)
+
+
+@dataclass(frozen=True)
+class SmallSignal741:
+    """Linearized 741 bundle.
+
+    Attributes:
+        circuit: open-loop small-signal circuit (input ``Vin`` at ``inp``,
+            output node ``out``); contains the paper's symbolic elements
+            ``go_Q14`` and ``Ccomp``.
+        op: the DC operating point it was linearized at.
+        nonlinear: the transistor-level circuit.
+    """
+
+    circuit: Circuit
+    op: OperatingPoint
+    nonlinear: NonlinearCircuit
+
+    def stats(self) -> dict[str, int]:
+        return self.circuit.stats()
+
+
+_CACHE: dict[tuple, SmallSignal741] = {}
+
+
+def small_signal_741(r_load: float = 2_000.0, c_load: float = 10e-12,
+                     use_cache: bool = True) -> SmallSignal741:
+    """Linearized open-loop 741 small-signal circuit (paper §3.1).
+
+    The DC point is solved with the feedback short in place; the
+    small-signal circuit drops it so the open-loop response (gain ~1e5,
+    unity-gain ~1 MHz) is observable from ``inp`` to ``out``.
+    """
+    key = (r_load, c_load)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    nc = build_741(r_load=r_load, c_load=c_load)
+    op = bias_741(nc)
+    open_loop = NonlinearCircuit(nc.linear.without(["Vfb"]), dict(nc.devices))
+    # ground the inverting input for single-ended open-loop drive
+    open_loop.linear.V("Vinn", "inn", "0", dc=0.0, ac=0.0)
+    ss = small_signal_circuit(open_loop, op, title="uA741 small-signal")
+    result = SmallSignal741(circuit=ss, op=op, nonlinear=nc)
+    if use_cache:
+        _CACHE[key] = result
+    return result

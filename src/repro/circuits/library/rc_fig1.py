@@ -1,0 +1,30 @@
+"""Figure 1 of the paper: the two-node RC sample circuit.
+
+The fully symbolic transfer function (paper eq. 5) is
+
+    H(s) = G1 G2 / (C1 C2 s² + (G2 C1 + G2 C2 + G1 C2) s + G1 G2)
+
+and with ``G1 = 5`` fixed, eq. (6) follows.  Element values beyond ``G1``
+are not given in the paper; the defaults here are round numbers that keep
+the two time constants well separated.
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit
+
+
+def fig1_circuit(g1: float = 5.0, g2: float = 2.0,
+                 c1: float = 1.0, c2: float = 2.0) -> Circuit:
+    """Build the Figure-1 circuit: ``Vin - G1 - n1(C1) - G2 - out(C2)``.
+
+    Conductances in siemens, capacitances in farads (the paper works in
+    normalized units for this pedagogical example).
+    """
+    ckt = Circuit("paper fig. 1 RC circuit")
+    ckt.V("Vin", "in", "0", dc=0.0, ac=1.0)
+    ckt.G("G1", "in", "n1", g1)
+    ckt.C("C1", "n1", "0", c1)
+    ckt.G("G2", "n1", "out", g2)
+    ckt.C("C2", "out", "0", c2)
+    return ckt

@@ -1,0 +1,103 @@
+"""Small-signal linearization: nonlinear circuit + operating point -> linear
+hybrid-pi circuit.
+
+This is the "(ized)" in "linear(ized) circuits": every BJT becomes the
+five-element hybrid-pi cell (``gpi``, ``gm``, ``go``, ``Cpi``, ``Cmu``),
+every diode a conductance plus junction capacitance, every DC voltage
+source a short (0 V source, AC magnitude preserved), every DC current
+source an open.  The linear resistors and capacitors carry over unchanged.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dc import OperatingPoint
+from ..errors import CircuitError
+from .circuit import Circuit
+from .devices import BJT, MOSFET, Diode, NonlinearCircuit, VT
+from .elements import (Capacitor, Conductance, CurrentSource, Element,
+                       Inductor, Resistor, VoltageSource, VCCS)
+
+
+def small_signal_circuit(circuit: NonlinearCircuit, op: OperatingPoint,
+                         title: str | None = None,
+                         min_off_conductance: float = 1e-12) -> Circuit:
+    """Build the linearized small-signal circuit at ``op``.
+
+    Devices that are off (negligible collector current) contribute only
+    their junction capacitances plus a tiny leakage conductance
+    (``min_off_conductance``) so the small-signal MNA stays well posed.
+
+    Element naming: ``gpi_<Q>``, ``gm_<Q>``, ``go_<Q>``, ``cpi_<Q>``,
+    ``cmu_<Q>`` for a transistor ``<Q>``; ``gd_<D>``/``cj_<D>`` for diodes.
+    """
+    out = Circuit(title or f"{circuit.title}:small_signal")
+    for element in circuit.linear:
+        if element.name.startswith("__pin_"):
+            continue
+        if isinstance(element, VoltageSource):
+            out.V(element.name, element.n1, element.n2, dc=0.0, ac=element.ac)
+        elif isinstance(element, CurrentSource):
+            if element.ac != 0.0:
+                out.I(element.name, element.n1, element.n2, dc=0.0,
+                      ac=element.ac)
+        else:
+            out.add(element)
+
+    for dev in circuit.devices.values():
+        state = op.device_state.get(dev.name)
+        if state is None:
+            raise CircuitError(f"operating point has no entry for {dev.name!r}")
+        if isinstance(dev, Diode):
+            g = max(state["g"], min_off_conductance)
+            out.G(f"gd_{dev.name}", dev.anode, dev.cathode, g)
+            if dev.c_junction > 0.0:
+                out.C(f"cj_{dev.name}", dev.anode, dev.cathode, dev.c_junction)
+            continue
+        if isinstance(dev, MOSFET):
+            _stamp_mosfet(out, dev, state, min_off_conductance)
+            continue
+        _stamp_bjt(out, dev, state, min_off_conductance)
+    return out
+
+
+def _stamp_mosfet(out: Circuit, dev: MOSFET, state: dict, min_g: float) -> None:
+    d, g, s = dev.drain, dev.gate, dev.source
+    gm, gds = state["gm"], state["gds"]
+    if d != s:
+        out.G(f"gds_{dev.name}", d, s, max(gds, min_g))
+        if gm > 0.0 and g != s:
+            # small-signal drain current gm*v_gs flows d -> s for both
+            # polarities (signs cancel in the linearization)
+            out.vccs(f"gm_{dev.name}", d, s, g, s, gm)
+    if g != s and dev.c_gs > 0.0:
+        out.C(f"cgs_{dev.name}", g, s, dev.c_gs)
+    if g != d and dev.c_gd > 0.0:
+        out.C(f"cgd_{dev.name}", g, d, dev.c_gd)
+    if dev.c_db > 0.0 and d != "0":
+        out.C(f"cdb_{dev.name}", d, "0", dev.c_db)
+
+
+def _stamp_bjt(out: Circuit, dev: BJT, state: dict, min_g: float) -> None:
+    c, b, e = dev.collector, dev.base, dev.emitter
+    ic = state["ic"]
+    try:
+        ss = dev.small_signal(ic)
+        gm, gpi, go = ss["gm"], ss["gpi"], ss["go"]
+        cpi, cmu = ss["cpi"], ss["cmu"]
+    except CircuitError:
+        gm, gpi, go = 0.0, min_g, min_g
+        cpi, cmu = dev.c_je, dev.c_jc
+    if b != e:
+        out.G(f"gpi_{dev.name}", b, e, max(gpi, min_g))
+        if cpi > 0.0:
+            out.C(f"cpi_{dev.name}", b, e, cpi)
+    if c != e:
+        out.G(f"go_{dev.name}", c, e, max(go, min_g))
+        if gm > 0.0 and b != e:
+            # small-signal collector current gm*v_be flows c -> e for both
+            # polarities (signs cancel in the linearization)
+            out.vccs(f"gm_{dev.name}", c, e, b, e, gm)
+    if c != b and cmu > 0.0:
+        out.C(f"cmu_{dev.name}", b, c, cmu)
+    if dev.c_cs > 0.0 and c != "0":
+        out.C(f"ccs_{dev.name}", c, "0", dev.c_cs)

@@ -1,0 +1,204 @@
+"""SPICE-flavoured netlist parsing.
+
+Supported cards (case-insensitive first letter selects the element type):
+
+```
+* comment                      ; or leading '*' / ';' / '//' comments
+Rname n1 n2 value              ; resistor (ohms)
+Gname n1 n2 nc1 nc2 value      ; VCCS (siemens) -- SPICE 'G' card
+Cname n1 n2 value              ; capacitor (farads)
+Lname n1 n2 value              ; inductor (henries)
+Ename n1 n2 nc1 nc2 gain       ; VCVS
+Fname n1 n2 Vctrl gain         ; CCCS
+Hname n1 n2 Vctrl r            ; CCVS
+Vname n1 n2 [dc] [AC mag]      ; independent voltage source
+Iname n1 n2 [dc] [AC mag]      ; independent current source
++ continuation of previous card
+.title / .end                  ; ignored / stop
+```
+
+Note the SPICE quirk this parser honours: a 4-token ``G`` card
+(``Gname n1 n2 value``) is accepted as a plain *conductance* between two
+nodes — the form symbolic conductances take in this library.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable
+
+from ..errors import NetlistError
+from ..units import parse_value
+from .circuit import Circuit
+from .elements import (CCCS, CCVS, VCCS, VCVS, Capacitor, Conductance,
+                       CurrentSource, Inductor, Resistor, VoltageSource)
+
+
+def _logical_lines(text: str) -> Iterable[tuple[int, str]]:
+    """Yield (first_line_no, joined_card) handling '+' continuations."""
+    pending: list[str] = []
+    pending_no = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.startswith("+"):
+            if not pending:
+                raise NetlistError("continuation with no previous card",
+                                   line_no, raw)
+            pending.append(stripped[1:])
+            continue
+        if pending:
+            yield pending_no, " ".join(pending)
+            pending = []
+        if stripped:
+            pending = [stripped]
+            pending_no = line_no
+    if pending:
+        yield pending_no, " ".join(pending)
+
+
+def _strip_comment(card: str) -> str:
+    for marker in (";", "//"):
+        idx = card.find(marker)
+        if idx >= 0:
+            card = card[:idx]
+    return card.strip()
+
+
+def _source_values(tokens: list[str], line_no: int, card: str) -> tuple[float, float]:
+    """Parse `[dc] [AC mag]` tails of V/I cards."""
+    dc = 0.0
+    ac = 0.0
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i].upper()
+        if tok == "DC":
+            i += 1
+            if i >= len(tokens):
+                raise NetlistError("DC keyword with no value", line_no, card)
+            dc = parse_value(tokens[i])
+        elif tok == "AC":
+            i += 1
+            if i >= len(tokens):
+                raise NetlistError("AC keyword with no value", line_no, card)
+            ac = parse_value(tokens[i])
+        else:
+            dc = parse_value(tokens[i])
+        i += 1
+    return dc, ac
+
+
+def parse_netlist(text: str, title: str = "") -> Circuit:
+    """Parse a netlist string into a :class:`~repro.circuits.circuit.Circuit`.
+
+    Raises:
+        NetlistError: on any malformed card, with line number context.
+    """
+    circuit = Circuit(title)
+    first = True
+    for line_no, card in _logical_lines(text):
+        card = _strip_comment(card)
+        if not card:
+            continue
+        if card.startswith("*"):
+            if first and not circuit.title:
+                circuit.title = card.lstrip("* ").strip()
+            first = False
+            continue
+        first = False
+        lower = card.lower()
+        if lower.startswith(".end"):
+            break
+        if lower.startswith(".title"):
+            circuit.title = card.split(None, 1)[1] if " " in card else ""
+            continue
+        if lower.startswith("."):
+            raise NetlistError(f"unsupported control card {card.split()[0]!r}",
+                               line_no, card)
+        tokens = card.split()
+        name = tokens[0]
+        kind = name[0].upper()
+        args = tokens[1:]
+        try:
+            if kind == "R":
+                _need(args, 3, line_no, card)
+                circuit.add(Resistor(name, args[0], args[1], parse_value(args[2])))
+            elif kind == "C":
+                _need(args, 3, line_no, card)
+                circuit.add(Capacitor(name, args[0], args[1], parse_value(args[2])))
+            elif kind == "L":
+                _need(args, 3, line_no, card)
+                circuit.add(Inductor(name, args[0], args[1], parse_value(args[2])))
+            elif kind == "G":
+                if len(args) == 3:  # plain conductance form
+                    circuit.add(Conductance(name, args[0], args[1], parse_value(args[2])))
+                else:
+                    _need(args, 5, line_no, card)
+                    circuit.add(VCCS(name, n1=args[0], n2=args[1], nc1=args[2],
+                                     nc2=args[3], gm=parse_value(args[4])))
+            elif kind == "E":
+                _need(args, 5, line_no, card)
+                circuit.add(VCVS(name, n1=args[0], n2=args[1], nc1=args[2],
+                                 nc2=args[3], gain=parse_value(args[4])))
+            elif kind == "F":
+                _need(args, 4, line_no, card)
+                circuit.add(CCCS(name, n1=args[0], n2=args[1], ctrl=args[2],
+                                 gain=parse_value(args[3])))
+            elif kind == "H":
+                _need(args, 4, line_no, card)
+                circuit.add(CCVS(name, n1=args[0], n2=args[1], ctrl=args[2],
+                                 r=parse_value(args[3])))
+            elif kind == "V":
+                if len(args) < 2:
+                    raise NetlistError("V card needs two nodes", line_no, card)
+                dc, ac = _source_values(args[2:], line_no, card)
+                circuit.add(VoltageSource(name, args[0], args[1], dc=dc, ac=ac))
+            elif kind == "I":
+                if len(args) < 2:
+                    raise NetlistError("I card needs two nodes", line_no, card)
+                dc, ac = _source_values(args[2:], line_no, card)
+                circuit.add(CurrentSource(name, args[0], args[1], dc=dc, ac=ac))
+            else:
+                raise NetlistError(f"unknown element type {kind!r}", line_no, card)
+        except NetlistError as exc:
+            if exc.line_no is None:  # e.g. a bare parse_value failure
+                raise NetlistError(str(exc), line_no, card) from exc
+            raise
+        except Exception as exc:
+            raise NetlistError(str(exc), line_no, card) from exc
+    return circuit
+
+
+def _need(args: list[str], count: int, line_no: int, card: str) -> None:
+    if len(args) != count:
+        raise NetlistError(f"expected {count} fields, got {len(args)}", line_no, card)
+
+
+def write_netlist(circuit: Circuit) -> str:
+    """Serialize a circuit back to netlist text (round-trips with the parser
+    for element types whose card order is unambiguous)."""
+    out = io.StringIO()
+    if circuit.title:
+        out.write(f"* {circuit.title}\n")
+    for e in circuit:
+        if isinstance(e, Resistor):
+            out.write(f"{e.name} {e.n1} {e.n2} {e.resistance:.12g}\n")
+        elif isinstance(e, Conductance):
+            out.write(f"{e.name} {e.n1} {e.n2} {e.conductance:.12g}\n")
+        elif isinstance(e, Capacitor):
+            out.write(f"{e.name} {e.n1} {e.n2} {e.capacitance:.12g}\n")
+        elif isinstance(e, Inductor):
+            out.write(f"{e.name} {e.n1} {e.n2} {e.inductance:.12g}\n")
+        elif isinstance(e, VCCS):
+            out.write(f"{e.name} {e.n1} {e.n2} {e.nc1} {e.nc2} {e.gm:.12g}\n")
+        elif isinstance(e, VCVS):
+            out.write(f"{e.name} {e.n1} {e.n2} {e.nc1} {e.nc2} {e.gain:.12g}\n")
+        elif isinstance(e, CCCS):
+            out.write(f"{e.name} {e.n1} {e.n2} {e.ctrl} {e.gain:.12g}\n")
+        elif isinstance(e, CCVS):
+            out.write(f"{e.name} {e.n1} {e.n2} {e.ctrl} {e.r:.12g}\n")
+        elif isinstance(e, VoltageSource):
+            out.write(f"{e.name} {e.n1} {e.n2} DC {e.dc:.12g} AC {e.ac:.12g}\n")
+        elif isinstance(e, CurrentSource):
+            out.write(f"{e.name} {e.n1} {e.n2} DC {e.dc:.12g} AC {e.ac:.12g}\n")
+    out.write(".end\n")
+    return out.getvalue()

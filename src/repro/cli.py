@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``analyze`` — run AWE / AWEsymbolic on a netlist file and print the
+  reduced-order model, metrics, and (with symbols) the symbolic forms.
+* ``figures`` — regenerate the paper's figure/table data as CSV
+  (delegates to :mod:`repro.reporting.figures`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+from .errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AWEsymbolic: compiled symbolic circuit analysis "
+                    "(Lee & Rohrer, DAC 1992)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze",
+                             help="analyze a netlist with AWE / AWEsymbolic")
+    analyze.add_argument("netlist", type=Path, help="netlist file")
+    analyze.add_argument("--output", "-o", required=True,
+                         help="observed node name")
+    analyze.add_argument("--order", type=int, default=2,
+                         help="Padé order (default 2)")
+    analyze.add_argument("--symbols", "-s", default=None,
+                         help="comma-separated symbolic element names")
+    analyze.add_argument("--auto-symbols", type=int, default=0, metavar="K",
+                         help="pick the K most sensitive elements as symbols")
+    analyze.add_argument("--devices", action="store_true",
+                         help="netlist contains D/Q/M cards: solve the DC "
+                              "operating point and linearize first")
+    analyze.add_argument("--at", action="append", default=[],
+                         metavar="NAME=VALUE",
+                         help="re-evaluate the compiled model at an "
+                              "off-nominal element value (repeatable)")
+    analyze.add_argument("--save", type=Path, default=None, metavar="FILE",
+                         help="save the compiled symbolic model as JSON")
+
+    evaluate = sub.add_parser("evaluate",
+                              help="evaluate a saved compiled model "
+                                   "(no circuit needed)")
+    evaluate.add_argument("model", type=Path, help="saved model JSON")
+    evaluate.add_argument("--at", action="append", default=[],
+                          metavar="NAME=VALUE",
+                          help="element value override (repeatable)")
+
+    figures = sub.add_parser("figures",
+                             help="regenerate the paper's figure data (CSV)")
+    figures.add_argument("outdir", nargs="?", default="paper_figures",
+                         help="output directory (default: paper_figures)")
+    return parser
+
+
+def _load_circuit(args):
+    text = args.netlist.read_text()
+    if args.devices:
+        from .analysis import operating_point
+        from .circuits.device_netlist import parse_device_netlist
+        from .circuits.linearize import small_signal_circuit
+
+        nc = parse_device_netlist(text, title=args.netlist.stem)
+        op = operating_point(nc)
+        print(f"DC operating point: {op.iterations} Newton iterations")
+        for name, state in sorted(op.device_state.items()):
+            current = state.get("ic", state.get("id", state.get("i", 0.0)))
+            print(f"  {name:10s} current {current * 1e6:10.3f} uA")
+        return small_signal_circuit(nc, op)
+    from .circuits import parse_netlist
+
+    return parse_netlist(text, title=args.netlist.stem)
+
+
+def cmd_analyze(args) -> int:
+    from .awe import awe
+    from .core.metrics import (bandwidth_3db, phase_margin,
+                               unity_gain_frequency)
+
+    circuit = _load_circuit(args)
+    stats = circuit.stats()
+    print(f"circuit: {stats['elements']} elements, {stats['nodes']} nodes, "
+          f"{stats['storage']} storage")
+
+    symbols = None
+    if args.symbols:
+        symbols = [s.strip() for s in args.symbols.split(",") if s.strip()]
+    if symbols is None and args.auto_symbols <= 0:
+        result = awe(circuit, args.output, order=args.order)
+        _print_model(result.model)
+        return 0
+
+    from . import awesymbolic
+
+    res = awesymbolic(circuit, args.output, symbols=symbols,
+                      n_symbols=max(args.auto_symbols, 1), order=args.order)
+    print(res.partition.summary())
+    print(f"compiled model: {res.model.n_ops} ops per evaluation")
+    if res.first_order is not None:
+        print(f"symbolic first-order pole: {res.first_order.pole.cancel()}")
+    _print_model(res.rom({}), label="nominal model")
+    for spec in args.at:
+        _print_model(res.rom(_parse_at(spec)), label=f"at {spec}")
+    if args.save is not None:
+        from .core.serialize import model_to_json
+
+        args.save.write_text(model_to_json(res, indent=2))
+        print(f"saved compiled model to {args.save}")
+    return 0
+
+
+def _parse_at(spec: str) -> dict:
+    from .units import parse_value
+
+    name, _, value = spec.partition("=")
+    if not value:
+        raise ReproError(f"--at needs NAME=VALUE, got {spec!r}")
+    return {name.strip(): parse_value(value)}
+
+
+def cmd_evaluate(args) -> int:
+    from .core.serialize import model_from_json
+
+    loaded = model_from_json(args.model.read_text())
+    print(f"saved model: {loaded.title!r}, output {loaded.output!r}, "
+          f"symbols {list(loaded.element_slots)}")
+    _print_model(loaded.rom({}), label="nominal model")
+    for spec in args.at:
+        _print_model(loaded.rom(_parse_at(spec)), label=f"at {spec}")
+    return 0
+
+
+def _print_model(model, label: str = "reduced-order model") -> None:
+    from .core.metrics import phase_margin, unity_gain_frequency
+
+    print(f"{label}:")
+    print(f"  order {model.order}, stable={model.stable}")
+    for p, r in zip(model.poles, model.residues):
+        print(f"  pole {p:.6g}   residue {r:.6g}")
+    zeros = model.zeros()
+    for z in zeros:
+        print(f"  zero {z:.6g}")
+    print(f"  dc gain     {model.dc_gain():.6g}")
+    wu = unity_gain_frequency(model)
+    if np.isfinite(wu):
+        print(f"  unity gain  {wu / 2 / np.pi:.6g} Hz")
+        print(f"  phase marg. {phase_margin(model):.1f} deg")
+    print(f"  50% delay   {model.delay_50():.6g} s")
+
+
+def cmd_figures(args) -> int:
+    from .reporting.figures import main as figures_main
+
+    return figures_main([args.outdir])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "analyze":
+            return cmd_analyze(args)
+        if args.command == "evaluate":
+            return cmd_evaluate(args)
+        if args.command == "figures":
+            return cmd_figures(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - argparse enforces known commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

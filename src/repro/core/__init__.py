@@ -1,0 +1,40 @@
+"""AWEsymbolic: the paper's primary contribution.
+
+* :func:`~repro.core.awesymbolic.awesymbolic` — one-call mixed
+  numeric-symbolic analysis: pick symbols (or take the user's), partition,
+  compute symbolic moments, compile.
+* :mod:`~repro.core.exact` — exact symbolic transfer functions (eqs. 5/6),
+  the classical-symbolic-analysis baseline AWE improves on.
+* :mod:`~repro.core.symbolic_pade` — closed-form order-1/order-2 symbolic
+  models (poles via the quadratic formula as expression DAGs).
+* :mod:`~repro.core.compiled_model` — the compiled evaluator whose
+  per-iteration cost is the paper's headline result.
+* :mod:`~repro.core.metrics` — DC gain, unity-gain frequency, phase margin,
+  crosstalk peak: the quantities of Figures 4-10.
+* :mod:`~repro.core.select` — sensitivity-driven symbolic element selection.
+"""
+
+from .exact import exact_transfer_function, transfer_polynomials
+from .symbolic_pade import (CompiledStepResponse, SymbolicFirstOrder,
+                            SymbolicSecondOrder)
+from .compiled_model import CompiledAWEModel, PoleSensitivityResult
+from .metrics import (bandwidth_3db, phase_margin, unity_gain_frequency)
+from .select import rank_elements, select_symbols
+from .awesymbolic import AWESymbolicResult, awesymbolic
+
+__all__ = [
+    "exact_transfer_function",
+    "transfer_polynomials",
+    "SymbolicFirstOrder",
+    "SymbolicSecondOrder",
+    "CompiledStepResponse",
+    "CompiledAWEModel",
+    "PoleSensitivityResult",
+    "unity_gain_frequency",
+    "phase_margin",
+    "bandwidth_3db",
+    "rank_elements",
+    "select_symbols",
+    "awesymbolic",
+    "AWESymbolicResult",
+]

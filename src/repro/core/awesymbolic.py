@@ -1,0 +1,108 @@
+"""Top-level AWEsymbolic orchestration.
+
+One call runs the whole pipeline of the paper:
+
+1. choose symbolic elements (user-specified, or automatically from
+   normalized AWE pole/zero sensitivities);
+2. partition the circuit at the moment level;
+3. condense numeric blocks to port-admittance moment expansions (numeric,
+   fast, sparse);
+4. run the recursive symbolic moment solve on the small global system;
+5. build closed-form order-1/order-2 symbolic models and compile
+   everything into a :class:`~repro.core.compiled_model.CompiledAWEModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..errors import ApproximationError
+from ..partition import CircuitPartition, SymbolicMoments, partition, symbolic_moments
+from .compiled_model import CompiledAWEModel
+from .select import select_symbols
+from .symbolic_pade import SymbolicFirstOrder, SymbolicSecondOrder
+
+#: extra moments beyond 2*order, kept for stability fallback headroom
+DEFAULT_EXTRA_MOMENTS = 2
+
+
+@dataclass(frozen=True)
+class AWESymbolicResult:
+    """Everything an AWEsymbolic run produces.
+
+    Attributes:
+        partition: the numeric/symbolic split.
+        moments: symbolic moments (rational functions of the symbols).
+        model: the compiled fast-evaluation model.
+        first_order: closed-form single-pole symbolic model (when built).
+        second_order: closed-form two-pole symbolic model (when built).
+        selected_automatically: True when symbols came from sensitivities.
+    """
+
+    partition: CircuitPartition
+    moments: SymbolicMoments
+    model: CompiledAWEModel
+    first_order: SymbolicFirstOrder | None
+    second_order: SymbolicSecondOrder | None
+    selected_automatically: bool
+
+    @property
+    def symbols(self) -> list[str]:
+        return [se.name for se in self.partition.symbolic]
+
+    def rom(self, element_values=None, order=None):
+        """Shortcut for :meth:`CompiledAWEModel.rom`."""
+        return self.model.rom(element_values, order=order)
+
+
+def awesymbolic(circuit: Circuit, output: str,
+                symbols: list[str] | None = None,
+                n_symbols: int = 2,
+                order: int = 2,
+                extra_moments: int = DEFAULT_EXTRA_MOMENTS,
+                extra_ports: tuple[str, ...] = (),
+                build_closed_forms: bool = True) -> AWESymbolicResult:
+    """Run the full AWEsymbolic analysis.
+
+    Args:
+        circuit: linear(ized) circuit; AC-annotated sources are the input.
+        output: observed node.
+        symbols: element names to treat symbolically; ``None`` selects the
+            ``n_symbols`` highest-sensitivity elements automatically.
+        order: Padé order of the compiled model (the paper typically uses
+            1 or 2; "often less than five" in general).
+        extra_moments: headroom moments for stable order fallback.
+        extra_ports: additional nodes to preserve in the composite system.
+        build_closed_forms: also derive the order-1/2 symbolic pole forms.
+
+    Returns:
+        :class:`AWESymbolicResult`.
+    """
+    auto = symbols is None
+    if auto:
+        symbols = select_symbols(circuit, output, k=n_symbols,
+                                 order=max(order, 2))
+    part = partition(circuit, symbols, output=output, extra_ports=extra_ports)
+    n_moments = 2 * order - 1 + max(0, extra_moments)
+    sm = symbolic_moments(part, output, n_moments)
+
+    first = second = None
+    if build_closed_forms:
+        try:
+            first = SymbolicFirstOrder.from_moments(sm)
+        except ApproximationError:
+            first = None
+        if sm.order >= 3:
+            try:
+                second = SymbolicSecondOrder.from_moments(sm)
+            except ApproximationError:
+                second = None
+
+    model = CompiledAWEModel(part, sm, order,
+                             first_order=first, second_order=second)
+    return AWESymbolicResult(partition=part, moments=sm, model=model,
+                             first_order=first, second_order=second,
+                             selected_automatically=auto)

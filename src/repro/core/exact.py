@@ -1,0 +1,185 @@
+"""Exact symbolic transfer functions — the classical baseline.
+
+This is what traditional symbolic analyzers (ISAAC, Sspice, ...) compute:
+the full network function ``H(s, e)`` with no order reduction.  We build the
+MNA matrix over a symbol space containing the Laplace variable ``s`` plus
+one symbol per selected element, and solve by division-free Cramer.
+
+For the paper's Figure 1 circuit this reproduces eq. (5) exactly (and
+eq. (6) after substituting ``G1 = 5``).  It also serves as ground truth for
+AWE moments in tests: the Maclaurin coefficients of the exact ``H`` in ``s``
+must match the moment recursion.
+
+Complexity is exponential in matrix size (symbolic determinants), which is
+precisely the scalability problem AWEsymbolic exists to avoid — use it only
+on small circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import GROUND, Circuit
+from ..circuits.elements import (CCCS, CCVS, VCCS, VCVS, Capacitor,
+                                 Conductance, CurrentSource, Inductor,
+                                 Resistor, VoltageSource)
+from ..errors import PartitionError, SymbolicError
+from ..symbolic import Poly, PolyMatrix, Rational, Symbol, SymbolicLinearSolver, SymbolSpace
+
+#: name of the Laplace-variable symbol in exact transfer functions
+S_NAME = "s"
+
+
+def _element_symbol_name(element) -> str:
+    if isinstance(element, Resistor):
+        return f"g_{element.name}"
+    return element.name
+
+
+def exact_transfer_function(circuit: Circuit, output: str,
+                            symbols: Sequence[str] | str = "all",
+                            ) -> Rational:
+    """Exact ``H(s, e)`` from symbolic MNA.
+
+    Args:
+        circuit: the circuit; its AC-annotated sources form the input.
+        output: observed node name.
+        symbols: element names to keep symbolic, or ``"all"`` for a fully
+            symbolic analysis (sources always stay numeric).  Resistors are
+            symbolized as conductances named ``g_<name>``.
+
+    Returns:
+        A :class:`~repro.symbolic.rational.Rational` over a space whose
+        first symbol is ``s``.
+
+    Raises:
+        SymbolicError / PartitionError: unsupported symbolic element types,
+        oversized system, unknown output.
+    """
+    if symbols == "all":
+        chosen = [e.name for e in circuit
+                  if not isinstance(e, (VoltageSource, CurrentSource))]
+    else:
+        chosen = list(symbols)
+    chosen_set = set(chosen)
+    for name in chosen:
+        element = circuit[name]
+        if isinstance(element, (VoltageSource, CurrentSource)):
+            raise PartitionError(f"source {name!r} cannot be symbolic")
+
+    node_index = circuit.node_index()
+    if output not in node_index:
+        raise PartitionError(f"unknown output node {output!r}")
+    branch_index: dict[str, int] = {}
+    for e in circuit:
+        if e.needs_branch:
+            branch_index[e.name] = len(node_index) + len(branch_index)
+    size = len(node_index) + len(branch_index)
+
+    space_symbols = [Symbol(S_NAME)]
+    for name in chosen:
+        element = circuit[name]
+        nominal = element.value
+        if isinstance(element, Resistor):
+            nominal = 1.0 / nominal
+        space_symbols.append(Symbol(_element_symbol_name(element), nominal=nominal))
+    space = SymbolSpace(space_symbols)
+    s = Poly.symbol(space, S_NAME)
+
+    def value_poly(element) -> Poly:
+        if element.name in chosen_set:
+            return Poly.symbol(space, _element_symbol_name(element))
+        if isinstance(element, Resistor):
+            return Poly.constant(space, element.conductance)
+        return Poly.constant(space, element.value)
+
+    matrix = PolyMatrix.zeros(space, size, size)
+    rhs = [Poly.zero(space) for _ in range(size)]
+
+    def row(node: str) -> int:
+        return -1 if node == GROUND else node_index[node]
+
+    def stamp2(a: int, b: int, val: Poly) -> None:
+        nonlocal matrix
+        if a >= 0:
+            matrix = matrix.add_to_entry(a, a, val)
+        if b >= 0:
+            matrix = matrix.add_to_entry(b, b, val)
+        if a >= 0 and b >= 0:
+            matrix = matrix.add_to_entry(a, b, -1.0 * val)
+            matrix = matrix.add_to_entry(b, a, -1.0 * val)
+
+    one = Poly.one(space)
+    for e in circuit:
+        if isinstance(e, (Resistor, Conductance)):
+            stamp2(row(e.n1), row(e.n2), value_poly(e))
+        elif isinstance(e, Capacitor):
+            stamp2(row(e.n1), row(e.n2), value_poly(e) * s)
+        elif isinstance(e, Inductor):
+            a, b, br = row(e.n1), row(e.n2), branch_index[e.name]
+            for node_row, sign in ((a, 1.0), (b, -1.0)):
+                if node_row >= 0:
+                    matrix = matrix.add_to_entry(node_row, br, one * sign)
+                    matrix = matrix.add_to_entry(br, node_row, one * sign)
+            matrix = matrix.add_to_entry(br, br, value_poly(e) * s * -1.0)
+        elif isinstance(e, VCCS):
+            gm = value_poly(e)
+            for out_node, s_out in ((row(e.n1), 1.0), (row(e.n2), -1.0)):
+                if out_node < 0:
+                    continue
+                for ctl_node, s_ctl in ((row(e.nc1), 1.0), (row(e.nc2), -1.0)):
+                    if ctl_node >= 0:
+                        matrix = matrix.add_to_entry(out_node, ctl_node,
+                                                     gm * (s_out * s_ctl))
+        elif isinstance(e, VCVS):
+            a, b, br = row(e.n1), row(e.n2), branch_index[e.name]
+            gain = value_poly(e)
+            for node_row, sign in ((a, 1.0), (b, -1.0)):
+                if node_row >= 0:
+                    matrix = matrix.add_to_entry(node_row, br, one * sign)
+                    matrix = matrix.add_to_entry(br, node_row, one * sign)
+            for ctl_node, s_ctl in ((row(e.nc1), -1.0), (row(e.nc2), 1.0)):
+                if ctl_node >= 0:
+                    matrix = matrix.add_to_entry(br, ctl_node, gain * s_ctl)
+        elif isinstance(e, CCCS):
+            ctl = branch_index[e.ctrl]
+            gain = value_poly(e)
+            for node_row, sign in ((row(e.n1), 1.0), (row(e.n2), -1.0)):
+                if node_row >= 0:
+                    matrix = matrix.add_to_entry(node_row, ctl, gain * sign)
+        elif isinstance(e, CCVS):
+            a, b, br = row(e.n1), row(e.n2), branch_index[e.name]
+            ctl = branch_index[e.ctrl]
+            for node_row, sign in ((a, 1.0), (b, -1.0)):
+                if node_row >= 0:
+                    matrix = matrix.add_to_entry(node_row, br, one * sign)
+                    matrix = matrix.add_to_entry(br, node_row, one * sign)
+            matrix = matrix.add_to_entry(br, ctl, value_poly(e) * -1.0)
+        elif isinstance(e, VoltageSource):
+            a, b, br = row(e.n1), row(e.n2), branch_index[e.name]
+            for node_row, sign in ((a, 1.0), (b, -1.0)):
+                if node_row >= 0:
+                    matrix = matrix.add_to_entry(node_row, br, one * sign)
+                    matrix = matrix.add_to_entry(br, node_row, one * sign)
+            rhs[br] = rhs[br] + e.ac
+        elif isinstance(e, CurrentSource):
+            if (a := row(e.n1)) >= 0:
+                rhs[a] = rhs[a] - e.ac
+            if (b := row(e.n2)) >= 0:
+                rhs[b] = rhs[b] + e.ac
+        else:
+            raise SymbolicError(
+                f"no symbolic stamp for element type {type(e).__name__}")
+
+    solver = SymbolicLinearSolver(matrix)
+    nums, det = solver.solve_poly(rhs)
+    return Rational(nums[node_index[output]], det)
+
+
+def transfer_polynomials(h: Rational) -> tuple[dict[int, Poly], dict[int, Poly]]:
+    """Collect numerator and denominator of ``H(s, e)`` by powers of ``s``.
+
+    Returns two ``{power: coefficient-Poly}`` dicts, the presentation used
+    in eq. (5)/(6) of the paper.
+    """
+    return h.num.as_univariate(S_NAME), h.den.as_univariate(S_NAME)

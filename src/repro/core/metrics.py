@@ -1,0 +1,131 @@
+"""Performance metrics evaluated on reduced-order models.
+
+These are the quantities the paper plots against the symbolic parameters:
+DC gain (Fig. 5), dominant pole (Fig. 4), unity-gain frequency (Fig. 6),
+phase margin (Fig. 7), and step-response crosstalk peaks (Figs. 9/10 via
+:meth:`~repro.awe.model.ReducedOrderModel.peak_response`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import brentq
+
+from ..awe.model import ReducedOrderModel
+from ..errors import ApproximationError
+
+
+def _frequency_bracket(model: ReducedOrderModel) -> tuple[float, float]:
+    mags = np.abs(model.poles)
+    return float(mags.min()) * 1e-4, float(mags.max()) * 1e4
+
+
+def unity_gain_frequency(model: ReducedOrderModel) -> float:
+    """Angular frequency where ``|H(jω)| = 1`` (NaN when no crossing).
+
+    Assumes the usual op-amp shape: ``|H|`` above 1 at DC, decaying through
+    unity at the gain-bandwidth point.
+    """
+    return gain_crossing_frequency(model, 1.0)
+
+
+def gain_crossing_frequency(model: ReducedOrderModel, level: float) -> float:
+    """First ω (scanning upward) where ``|H(jω)|`` crosses ``level``."""
+    lo, hi = _frequency_bracket(model)
+    omegas = np.logspace(np.log10(lo), np.log10(hi), 600)
+    mags = np.abs(model.frequency_response(omegas))
+    above = mags > level
+    crossings = np.nonzero(above[:-1] != above[1:])[0]
+    if len(crossings) == 0:
+        if abs(model.dc_gain()) > level:
+            return float("nan")  # never comes back down within bracket
+        return float("nan")
+    i = crossings[0]
+
+    def f(log_w: float) -> float:
+        return float(np.log(np.abs(model.frequency_response(
+            np.array([np.exp(log_w)]))[0])) - np.log(level))
+
+    log_w = brentq(f, np.log(omegas[i]), np.log(omegas[i + 1]), xtol=1e-12)
+    return float(np.exp(log_w))
+
+
+def phase_margin(model: ReducedOrderModel) -> float:
+    """``180° + ∠H(jω_u)`` at the unity-gain frequency (NaN if no ω_u).
+
+    The textbook stability margin plotted in Fig. 7.
+    """
+    w_u = unity_gain_frequency(model)
+    if not np.isfinite(w_u):
+        return float("nan")
+    h = model.frequency_response(np.array([w_u]))[0]
+    return float(180.0 + np.degrees(np.angle(h)))
+
+
+def bandwidth_3db(model: ReducedOrderModel) -> float:
+    """-3 dB bandwidth: ω where ``|H|`` falls to ``|H(0)|/sqrt(2)``."""
+    dc = abs(model.dc_gain())
+    if dc == 0.0:
+        raise ApproximationError("zero DC gain: -3 dB bandwidth undefined")
+    return gain_crossing_frequency(model, dc / np.sqrt(2.0))
+
+
+def gain_bandwidth_product(model: ReducedOrderModel) -> float:
+    """``|H(0)| * f_3dB`` in angular units — for single-pole-ish amplifiers
+    this approximates the unity-gain frequency."""
+    return abs(model.dc_gain()) * bandwidth_3db(model)
+
+
+def dominant_pole_hz(model: ReducedOrderModel) -> float:
+    """Dominant pole magnitude in Hz (the paper's Fig. 4 y-axis)."""
+    return float(abs(model.dominant_pole().real)) / (2.0 * np.pi)
+
+
+def overshoot(model: ReducedOrderModel, horizon: float | None = None,
+              n: int = 4096) -> float:
+    """Fractional step-response overshoot: ``(peak - final) / |final|``.
+
+    Zero for monotone responses; NaN when the DC gain is zero (crosstalk
+    pulses have no meaningful overshoot reference).
+    """
+    final = model.dc_gain()
+    if final == 0.0:
+        return float("nan")
+    horizon = horizon if horizon is not None else model.settle_time_hint()
+    t = np.linspace(0.0, horizon, n)
+    y = model.step_response(t)
+    peak = y.max() if final > 0 else y.min()
+    return max(0.0, float((peak - final) / abs(final)))
+
+
+def settling_time(model: ReducedOrderModel, tolerance: float = 0.02,
+                  horizon: float | None = None, n: int = 8192) -> float:
+    """Time after which the step response stays within ``tolerance`` of final.
+
+    Returns NaN for zero-DC-gain responses and when the response has not
+    settled within the horizon.
+    """
+    final = model.dc_gain()
+    if final == 0.0:
+        return float("nan")
+    horizon = horizon if horizon is not None else 2.0 * model.settle_time_hint()
+    t = np.linspace(0.0, horizon, n)
+    y = model.step_response(t)
+    outside = np.abs(y - final) > tolerance * abs(final)
+    if outside[-1]:
+        return float("nan")
+    last_outside = np.nonzero(outside)[0]
+    if len(last_outside) == 0:
+        return 0.0
+    return float(t[min(last_outside[-1] + 1, n - 1)])
+
+
+def group_delay(model: ReducedOrderModel, omega: float) -> float:
+    """Group delay ``-dφ/dω`` at ``omega``, analytic from poles/zeros:
+    ``τ(ω) = Σ -Re(pᵢ)/|jω - pᵢ|² - Σ -Re(zⱼ)/|jω - zⱼ|²``."""
+    s = 1j * omega
+    tau = float(np.sum(-model.poles.real / np.abs(s - model.poles) ** 2))
+    zeros = model.zeros()
+    if len(zeros):
+        tau -= float(np.sum(-zeros.real / np.abs(s - zeros) ** 2))
+    return tau

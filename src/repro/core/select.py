@@ -1,0 +1,123 @@
+"""Sensitivity-driven selection of symbolic elements (paper §2.3).
+
+"If a choice of symbolic elements has not been made, a pole-zero
+sensitivity analysis is performed using AWE.  Elements with large
+normalized sensitivities are [kept] as symbolic elements."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.circuit import Circuit
+from ..circuits.elements import CurrentSource, VoltageSource
+from ..errors import PartitionError
+from ..mna import assemble
+from ..awe.sensitivity import pole_zero_sensitivities
+from ..partition.blocks import _SYMBOLIZABLE
+
+
+@dataclass(frozen=True)
+class ElementRank:
+    """One candidate element with its normalized sensitivity score."""
+
+    name: str
+    score: float
+    value: float
+
+
+def rank_elements(circuit: Circuit, output: str, order: int = 2,
+                  candidates: list[str] | None = None) -> list[ElementRank]:
+    """Rank candidate elements by normalized pole/zero sensitivity.
+
+    Candidates default to every element that can legally become a symbol
+    (R, G, C, L, VCCS).  Elements whose sensitivity analysis degenerates
+    are ranked last with score 0.
+    """
+    system = assemble(circuit)
+    if candidates is None:
+        candidates = [e.name for e in circuit
+                      if type(e) in _SYMBOLIZABLE
+                      and not isinstance(e, (VoltageSource, CurrentSource))]
+    if not candidates:
+        raise PartitionError("no symbolizable candidate elements in circuit")
+    sens = pole_zero_sensitivities(system, output, order, candidates)
+    ranks = []
+    for name in candidates:
+        entry = sens.get(name)
+        score = entry.score() if entry is not None else 0.0
+        ranks.append(ElementRank(name=name, score=score,
+                                 value=circuit[name].value))
+    ranks.sort(key=lambda r: r.score, reverse=True)
+    return ranks
+
+
+def select_symbols(circuit: Circuit, output: str, k: int = 2,
+                   order: int = 2,
+                   candidates: list[str] | None = None) -> list[str]:
+    """Names of the ``k`` most significant elements for symbolic treatment."""
+    ranked = rank_elements(circuit, output, order=order, candidates=candidates)
+    return [r.name for r in ranked[:k]]
+
+
+@dataclass(frozen=True)
+class SelectionWarning:
+    """A corner of the symbol ranges where an unchosen element outranks a
+    chosen one."""
+
+    corner: dict[str, float]
+    element: str
+    score: float
+    worst_chosen_score: float
+
+    def __str__(self) -> str:
+        return (f"at {self.corner}: element {self.element!r} "
+                f"(score {self.score:.3g}) outranks the weakest chosen "
+                f"symbol (score {self.worst_chosen_score:.3g})")
+
+
+def validate_selection(circuit: Circuit, output: str, chosen: list[str],
+                       ranges: dict[str, tuple[float, float]],
+                       order: int = 2,
+                       margin: float = 1.5) -> list[SelectionWarning]:
+    """Check a symbol choice across its intended value ranges (paper §2.3).
+
+    "Given that the sensitivities computed by AWE provide only local
+    information, it may be necessary to validate the choice of symbolic
+    elements over the range spanned by the symbolic elements."  This
+    re-runs the sensitivity ranking at every corner of ``ranges`` and
+    reports corners where some *unchosen* element's normalized sensitivity
+    exceeds ``margin`` times the weakest chosen element's — a sign the
+    symbol set should be enlarged for that region.
+
+    Args:
+        chosen: the symbol set under validation.
+        ranges: ``{element: (lo, hi)}`` for each swept element (usually the
+            chosen symbols themselves).
+        margin: how decisively an outsider must win before warning.
+
+    Returns:
+        Possibly-empty list of :class:`SelectionWarning`.
+    """
+    from itertools import product
+
+    names = list(ranges)
+    warnings: list[SelectionWarning] = []
+    for corner_values in product(*(ranges[n] for n in names)):
+        corner = dict(zip(names, corner_values))
+        cornered = circuit.copy()
+        for name, value in corner.items():
+            cornered.replace_value(name, float(value))
+        ranked = rank_elements(cornered, output, order=order)
+        scores = {r.name: r.score for r in ranked}
+        chosen_scores = [scores.get(name, 0.0) for name in chosen]
+        worst_chosen = min(chosen_scores) if chosen_scores else 0.0
+        for r in ranked:
+            if r.name in chosen:
+                continue
+            if r.score > margin * worst_chosen:
+                warnings.append(SelectionWarning(
+                    corner=corner, element=r.name, score=r.score,
+                    worst_chosen_score=worst_chosen))
+            break  # only the top-ranked outsider matters per corner
+    return warnings

@@ -1,0 +1,259 @@
+"""Closed-form symbolic Padé models of order 1 and 2.
+
+The paper factors its low-order approximations into symbolic poles/zeros
+(eqs. 14-15).  For one pole the algebra stays rational:
+
+    p1 = m0 / m1,      r1 = -m0² / m1,      H(0) = m0.
+
+For two poles the denominator coefficients are rational in the symbols
+(Cramer on the 2x2 Hankel system) and the poles need a square root —
+represented as expression DAGs and compiled together with the residues:
+
+    q(s) = 1 + b1 s + b2 s²,   p = (-b1 ± sqrt(b1² - 4 b2)) / (2 b2).
+
+First-order forms are multilinear in the symbols (the paper notes this is
+the general rule); second-order forms are not, matching the paper's remark
+that "our symbolic elements do not have a physical representation in the
+symbolic form".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..awe.model import ReducedOrderModel
+from ..errors import ApproximationError
+from ..symbolic import (CompiledFunction, Expr, ExprBuilder, Rational,
+                        SymbolSpace, compile_exprs)
+from ..symbolic.symbols import Symbol
+from ..partition.composite import SymbolicMoments
+
+
+def _time_symbol(space: SymbolSpace) -> Symbol:
+    """A time symbol that cannot collide with a circuit symbol name."""
+    name = "t"
+    while name in space:
+        name = "_" + name
+    return Symbol(name)
+
+
+@dataclass(frozen=True)
+class CompiledStepResponse:
+    """Compiled symbolic step response ``y(t; symbols)``.
+
+    The paper (§3.2) emphasizes that "the transient response of a circuit
+    can be expressed symbolically as well": this object is that expression,
+    compiled.  Call with symbol values and a time grid; the exponential
+    terms evaluate vectorized over ``t`` (complex-pair imaginary parts
+    cancel; the real part is returned).
+    """
+
+    fn: CompiledFunction
+    circuit_space: SymbolSpace
+    time_name: str
+
+    def __call__(self, values, t) -> np.ndarray:
+        """``values``: symbol values (mapping or aligned sequence);
+        ``t``: scalar or array of times."""
+        t = np.asarray(t, dtype=float)
+        vec = self.circuit_space.values_vector(values)
+        (out,) = self.fn.eval_raw(*vec, t)
+        return np.real(np.asarray(out)) + np.zeros_like(t)
+
+    @property
+    def n_ops(self) -> int:
+        return self.fn.n_ops
+
+
+@dataclass(frozen=True)
+class CompiledFrequencyResponse:
+    """Compiled symbolic frequency response ``H(jω; symbols)``.
+
+    Call with symbol values and an angular-frequency grid; evaluates the
+    pole/residue form through complex arithmetic, vectorized over ω.
+    """
+
+    fn: CompiledFunction
+    circuit_space: SymbolSpace
+    omega_name: str
+
+    def __call__(self, values, omegas) -> np.ndarray:
+        omegas = np.asarray(omegas, dtype=float)
+        vec = self.circuit_space.values_vector(values)
+        (out,) = self.fn.eval_raw(*vec, 1j * omegas)
+        return np.asarray(out) + np.zeros_like(omegas, dtype=complex)
+
+    @property
+    def n_ops(self) -> int:
+        return self.fn.n_ops
+
+
+def _frequency_response_fn(space: SymbolSpace, eb: ExprBuilder,
+                           pole_exprs, residue_exprs) -> CompiledFrequencyResponse:
+    s_sym = _time_symbol(space)  # reuse the collision-free naming helper
+    ext = space.union(SymbolSpace([s_sym]))
+    s = eb.sym(s_sym)
+    terms = [eb.div(r, eb.sub(s, p))
+             for p, r in zip(pole_exprs, residue_exprs)]
+    fn = compile_exprs(ext, [eb.add(*terms)], output_names=["H"])
+    return CompiledFrequencyResponse(fn=fn, circuit_space=space,
+                                     omega_name=s_sym.name)
+
+
+@dataclass(frozen=True)
+class SymbolicFirstOrder:
+    """Order-1 symbolic AWE model: a single symbolic pole and residue."""
+
+    space: SymbolSpace
+    dc_gain: Rational
+    pole: Rational
+    residue: Rational
+
+    @classmethod
+    def from_moments(cls, sm: SymbolicMoments, cancel: bool = True,
+                     ) -> "SymbolicFirstOrder":
+        """Build from symbolic moments (needs m0, m1).
+
+        Raises:
+            ApproximationError: fewer than two moments available.
+        """
+        if sm.order < 1:
+            raise ApproximationError("first-order form needs moments m0, m1")
+        m0, m1 = sm.rationals()[:2]
+        pole = m0 / m1
+        residue = -1.0 * (m0 * m0) / m1
+        if cancel:
+            m0, pole, residue = m0.cancel(), pole.cancel(), residue.cancel()
+        return cls(space=sm.space, dc_gain=m0, pole=pole, residue=residue)
+
+    def compile(self) -> CompiledFunction:
+        """Compiled evaluator returning ``(pole, residue, dc_gain)``."""
+        from ..symbolic import compile_rationals
+        return compile_rationals(self.space,
+                                 [self.pole, self.residue, self.dc_gain],
+                                 output_names=["pole", "residue", "dc_gain"])
+
+    def evaluate(self, values: Mapping | Sequence[float]) -> ReducedOrderModel:
+        """Numeric reduced-order model at given symbol values."""
+        return ReducedOrderModel(poles=[self.pole.evaluate(values)],
+                                 residues=[self.residue.evaluate(values)],
+                                 order_requested=1)
+
+    def step_response_compiled(self) -> CompiledStepResponse:
+        """Symbolic unit-step response ``H(0) + (r/p) e^{p t}``, compiled."""
+        eb = ExprBuilder()
+        t_sym = _time_symbol(self.space)
+        ext = self.space.union(SymbolSpace([t_sym]))
+        p = eb.from_rational(self.pole)
+        coeff = eb.from_rational(self.residue / self.pole)
+        y = eb.add(eb.from_rational(self.dc_gain),
+                   eb.mul(coeff, eb.exp(eb.mul(p, eb.sym(t_sym)))))
+        fn = compile_exprs(ext, [y], output_names=["step"])
+        return CompiledStepResponse(fn=fn, circuit_space=self.space,
+                                    time_name=t_sym.name)
+
+    def frequency_response_compiled(self) -> CompiledFrequencyResponse:
+        """Compiled symbolic ``H(jω)`` of the one-pole model."""
+        eb = ExprBuilder()
+        return _frequency_response_fn(
+            self.space, eb,
+            [eb.from_rational(self.pole)], [eb.from_rational(self.residue)])
+
+    def is_multilinear(self) -> bool:
+        """Paper: first-order forms are multilinear in the symbols."""
+        return all(r.num.is_multilinear() and r.den.is_multilinear()
+                   for r in (self.dc_gain, self.pole, self.residue))
+
+
+@dataclass(frozen=True)
+class SymbolicSecondOrder:
+    """Order-2 symbolic AWE model with closed-form (sqrt) pole expressions."""
+
+    space: SymbolSpace
+    builder: ExprBuilder
+    b1: Rational
+    b2: Rational
+    dc_gain: Rational
+    pole_exprs: tuple[Expr, Expr]
+    residue_exprs: tuple[Expr, Expr]
+
+    @classmethod
+    def from_moments(cls, sm: SymbolicMoments) -> "SymbolicSecondOrder":
+        """Build from symbolic moments (needs m0..m3).
+
+        Raises:
+            ApproximationError: fewer than four moments available.
+        """
+        if sm.order < 3:
+            raise ApproximationError("second-order form needs moments m0..m3")
+        m0, m1, m2, m3 = sm.rationals()[:4]
+        # Hankel system [m1 m0; m2 m1] [b1; b2] = [-m2; -m3] via Cramer
+        disc = m1 * m1 - m0 * m2
+        if disc.is_zero():
+            raise ApproximationError("singular symbolic Hankel system")
+        b1 = (m0 * m3 - m1 * m2) / disc
+        b2 = (m2 * m2 - m1 * m3) / disc
+
+        eb = ExprBuilder()
+        e_b1 = eb.from_rational(b1)
+        e_b2 = eb.from_rational(b2)
+        e_m0 = eb.from_rational(m0)
+        e_m1 = eb.from_rational(m1)
+        root = eb.sqrt(eb.sub(eb.mul(e_b1, e_b1),
+                              eb.mul(eb.const(4.0), e_b2)))
+        two_b2 = eb.mul(eb.const(2.0), e_b2)
+        p1 = eb.div(eb.add(eb.neg(e_b1), root), two_b2)
+        p2 = eb.div(eb.sub(eb.neg(e_b1), root), two_b2)
+        # residues from m0, m1 with u_i = 1/p_i:
+        #   r1 = u2 (m1 - m0 u2) / (u1 u2 (u2 - u1)),  r2 symmetric
+        u1 = eb.div(eb.const(1.0), p1)
+        u2 = eb.div(eb.const(1.0), p2)
+        det = eb.mul(u1, u2, eb.sub(u2, u1))
+        r1 = eb.div(eb.mul(u2, eb.sub(e_m1, eb.mul(e_m0, u2))), det)
+        r2 = eb.div(eb.mul(u1, eb.sub(eb.mul(e_m0, u1), e_m1)), det)
+        return cls(space=sm.space, builder=eb, b1=b1, b2=b2, dc_gain=m0,
+                   pole_exprs=(p1, p2), residue_exprs=(r1, r2))
+
+    def compile(self) -> CompiledFunction:
+        """Compiled evaluator returning ``(p1, p2, r1, r2, dc_gain)``."""
+        dc = self.builder.from_rational(self.dc_gain)
+        return compile_exprs(self.space,
+                             [*self.pole_exprs, *self.residue_exprs, dc],
+                             output_names=["p1", "p2", "r1", "r2", "dc_gain"])
+
+    def evaluate(self, values: Mapping | Sequence[float]) -> ReducedOrderModel:
+        """Numeric reduced-order model at given symbol values."""
+        vec = self.space.values_vector(values)
+        env = dict(zip(self.space.names, vec))
+        poles = [e.evaluate(env) for e in self.pole_exprs]
+        residues = [e.evaluate(env) for e in self.residue_exprs]
+        return ReducedOrderModel(poles=poles, residues=residues,
+                                 order_requested=2)
+
+    def step_response_compiled(self) -> CompiledStepResponse:
+        """Symbolic unit-step response, compiled over (symbols, t).
+
+        ``y(t) = H(0) + Σᵢ (rᵢ/pᵢ) e^{pᵢ t}``: the closed-form transient
+        the paper's §3.2 plots in Figures 9/10.  Complex-conjugate pole
+        pairs evaluate through complex exponentials; the caller receives
+        the real part.
+        """
+        eb = self.builder
+        t_sym = _time_symbol(self.space)
+        ext = self.space.union(SymbolSpace([t_sym]))
+        t = eb.sym(t_sym)
+        terms = [eb.from_rational(self.dc_gain)]
+        for p, r in zip(self.pole_exprs, self.residue_exprs):
+            terms.append(eb.mul(eb.div(r, p), eb.exp(eb.mul(p, t))))
+        fn = compile_exprs(ext, [eb.add(*terms)], output_names=["step"])
+        return CompiledStepResponse(fn=fn, circuit_space=self.space,
+                                    time_name=t_sym.name)
+
+    def frequency_response_compiled(self) -> CompiledFrequencyResponse:
+        """Compiled symbolic ``H(jω)`` of the two-pole model."""
+        return _frequency_response_fn(self.space, self.builder,
+                                      list(self.pole_exprs),
+                                      list(self.residue_exprs))

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the AWEsymbolic reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CircuitError(ReproError):
+    """Malformed circuit: bad topology, duplicate names, unknown nodes."""
+
+
+class NetlistError(CircuitError):
+    """A netlist file or string could not be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None,
+                 line: str | None = None) -> None:
+        self.line_no = line_no
+        self.line = line
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        if line is not None:
+            message = f"{message}\n  >> {line.strip()}"
+        super().__init__(message)
+
+
+class SingularCircuitError(ReproError):
+    """The MNA matrix is singular (floating node, source loop, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solve (Newton DC, transient step) failed to converge."""
+
+
+class SymbolicError(ReproError):
+    """Errors from the symbolic engine (mismatched spaces, inexact division)."""
+
+
+class ApproximationError(ReproError):
+    """AWE/Padé failure: singular Hankel system, no stable poles, etc."""
+
+
+class PartitionError(ReproError):
+    """Moment-level partitioning failed (symbol block not separable, ...)."""

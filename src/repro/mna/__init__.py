@@ -1,0 +1,13 @@
+"""Modified nodal analysis: sparse stamp assembly and linear solves."""
+
+from .assemble import MNASystem, assemble
+from .solve import MNAFactorization, ac_solve, dc_solve, factorize
+
+__all__ = [
+    "MNASystem",
+    "assemble",
+    "MNAFactorization",
+    "factorize",
+    "dc_solve",
+    "ac_solve",
+]

@@ -1,0 +1,113 @@
+"""MNA system assembly: circuit -> sparse ``(G + sC) x = b``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import CircuitError
+from ..circuits.circuit import GROUND, Circuit
+from ..circuits.elements import Element
+from .stamps import StampContext, stamp_element
+
+
+@dataclass
+class MNASystem:
+    """Assembled MNA matrices for one circuit.
+
+    Attributes:
+        G: sparse s⁰ matrix (conductances, incidences), CSC.
+        C: sparse s¹ matrix (capacitances, -inductances), CSC.
+        b_dc: RHS from DC source values.
+        b_ac: RHS from AC source magnitudes (the AWE impulse vector).
+        node_index: node name -> unknown index.
+        branch_index: element name -> branch-current unknown index.
+        circuit: the source circuit (read-only reference).
+    """
+
+    G: sp.csc_matrix
+    C: sp.csc_matrix
+    b_dc: np.ndarray
+    b_ac: np.ndarray
+    node_index: dict[str, int]
+    branch_index: dict[str, int]
+    circuit: Circuit
+
+    @property
+    def size(self) -> int:
+        return self.G.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_index)
+
+    def unknown_names(self) -> list[str]:
+        """Human-readable unknown labels: ``v(<node>)`` then ``i(<element>)``."""
+        names = [""] * self.size
+        for node, i in self.node_index.items():
+            names[i] = f"v({node})"
+        for elem, i in self.branch_index.items():
+            names[i] = f"i({elem})"
+        return names
+
+    def index_of(self, output: str | tuple[str, str]) -> int:
+        """Resolve an output spec: a node name, or ``("branch", element_name)``.
+
+        Raises:
+            CircuitError: unknown node / element.
+        """
+        if isinstance(output, tuple):
+            kind, name = output
+            if kind != "branch":
+                raise CircuitError(f"unknown output kind {kind!r}")
+            if name not in self.branch_index:
+                raise CircuitError(f"element {name!r} has no branch current")
+            return self.branch_index[name]
+        if output == GROUND:
+            raise CircuitError("ground voltage is identically zero")
+        if output not in self.node_index:
+            raise CircuitError(f"unknown output node {output!r}")
+        return self.node_index[output]
+
+
+def assemble(circuit: Circuit, check: bool = True) -> MNASystem:
+    """Assemble the MNA system for ``circuit``.
+
+    Branch-current unknowns follow node unknowns, in element order, so the
+    layout is deterministic.
+
+    Raises:
+        CircuitError: on structural problems when ``check`` is true.
+    """
+    if check:
+        circuit.check()
+    node_index = circuit.node_index()
+    n_nodes = len(node_index)
+    branch_index: dict[str, int] = {}
+    for element in circuit:
+        if element.needs_branch:
+            branch_index[element.name] = n_nodes + len(branch_index)
+    size = n_nodes + len(branch_index)
+
+    ctx = StampContext(node_index, branch_index)
+    for element in circuit:
+        stamp_element(ctx, element)
+
+    def build(entries: list[tuple[int, int, float]]) -> sp.csc_matrix:
+        if entries:
+            rows, cols, vals = zip(*entries)
+        else:
+            rows, cols, vals = (), (), ()
+        return sp.coo_matrix((vals, (rows, cols)), shape=(size, size)).tocsc()
+
+    b_dc = np.zeros(size)
+    b_ac = np.zeros(size)
+    for i, v in ctx.b_dc.items():
+        b_dc[i] = v
+    for i, v in ctx.b_ac.items():
+        b_ac[i] = v
+    return MNASystem(G=build(ctx.g_entries), C=build(ctx.c_entries),
+                     b_dc=b_dc, b_ac=b_ac, node_index=node_index,
+                     branch_index=branch_index, circuit=circuit)

@@ -1,0 +1,79 @@
+"""Linear solves on assembled MNA systems.
+
+A single sparse LU factorization of ``G`` is reused across the AWE moment
+recursion, DC solves, and the numeric-partition port-parameter expansion —
+this is where "the time needed to compute the moments far outweighs the
+time used to form the Padé approximation" comes from, so the factorization
+object is front and center in the API.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import SingularCircuitError
+from .assemble import MNASystem
+
+
+class MNAFactorization:
+    """Cached sparse LU of the resistive MNA matrix ``G``."""
+
+    def __init__(self, system: MNASystem) -> None:
+        self.system = system
+        matrix = system.G.tocsc()
+        if matrix.shape[0] == 0:
+            raise SingularCircuitError("empty MNA system")
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                self._lu = spla.splu(matrix)
+        except (RuntimeError, Warning) as exc:
+            raise SingularCircuitError(
+                f"G matrix is singular or near-singular: {exc}") from exc
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        out = self._lu.solve(np.asarray(rhs, dtype=float))
+        if not np.all(np.isfinite(out)):
+            raise SingularCircuitError("non-finite solution; singular G matrix")
+        return out
+
+    def solve_transpose(self, rhs: np.ndarray) -> np.ndarray:
+        """Adjoint solve ``Gᵀ y = rhs`` (used by sensitivity analysis)."""
+        out = self._lu.solve(np.asarray(rhs, dtype=float), trans="T")
+        if not np.all(np.isfinite(out)):
+            raise SingularCircuitError("non-finite adjoint solution")
+        return out
+
+
+def factorize(system: MNASystem) -> MNAFactorization:
+    return MNAFactorization(system)
+
+
+def dc_solve(system: MNASystem) -> np.ndarray:
+    """DC operating point of a linear circuit: ``G x = b_dc``."""
+    return factorize(system).solve(system.b_dc)
+
+
+def ac_solve(system: MNASystem, omegas: np.ndarray) -> np.ndarray:
+    """Exact AC sweep: solve ``(G + jωC) x = b_ac`` for each ω.
+
+    Returns an array of shape ``(len(omegas), size)`` of complex phasors.
+    This is the reference ("traditional simulator") frequency response AWE
+    is benchmarked against.
+    """
+    omegas = np.asarray(omegas, dtype=float)
+    G = system.G.tocsc()
+    C = system.C.tocsc()
+    out = np.empty((omegas.size, system.size), dtype=complex)
+    for k, w in enumerate(omegas):
+        matrix = (G + 1j * w * C).tocsc()
+        try:
+            out[k] = spla.splu(matrix).solve(system.b_ac.astype(complex))
+        except RuntimeError as exc:
+            raise SingularCircuitError(
+                f"AC solve singular at omega={w:g}: {exc}") from exc
+    return out

@@ -1,0 +1,189 @@
+"""MNA stamps for every linear element.
+
+Conventions (standard SPICE):
+
+* KCL rows state "sum of currents leaving the node = 0"; independent
+  current-source contributions move to the right-hand side.
+* A branch current for a voltage-defined element (V source, inductor, VCVS,
+  CCVS) flows from the ``+`` terminal *through the element* to the ``-``
+  terminal.
+* ``G`` holds the s⁰ (resistive) part, ``C`` the s¹ (reactive) part, so the
+  frequency-domain system is ``(G + sC) x = b``.  Inductors use the
+  impedance stencil: branch row ``v+ - v- - sL i = 0`` puts ``-L`` in
+  ``C[br, br]`` — this is the finite ``Y = G + s(C + L)`` expansion the
+  paper leans on (eq. 10).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import CircuitError
+from ..circuits.circuit import GROUND
+from ..circuits.elements import (CCCS, CCVS, VCCS, VCVS, Capacitor,
+                                 Conductance, CurrentSource, Element,
+                                 Inductor, Resistor, VoltageSource)
+
+
+class StampContext:
+    """Mutable assembly target handed to stamp functions.
+
+    ``add_g``/``add_c`` accumulate into the s⁰ / s¹ matrices; row/col -1
+    (ground) entries are discarded.  ``row_of`` resolves node names;
+    ``branch_of`` resolves auxiliary branch rows by element name.
+    """
+
+    def __init__(self, node_index: dict[str, int], branch_index: dict[str, int]) -> None:
+        self.node_index = node_index
+        self.branch_index = branch_index
+        self.g_entries: list[tuple[int, int, float]] = []
+        self.c_entries: list[tuple[int, int, float]] = []
+        self.b_dc: dict[int, float] = {}
+        self.b_ac: dict[int, float] = {}
+
+    def row_of(self, node: str) -> int:
+        if node == GROUND:
+            return -1
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise CircuitError(f"unknown node {node!r}") from None
+
+    def branch_of(self, element_name: str) -> int:
+        try:
+            return self.branch_index[element_name]
+        except KeyError:
+            raise CircuitError(
+                f"element {element_name!r} has no branch current") from None
+
+    def add_g(self, i: int, j: int, value: float) -> None:
+        if i >= 0 and j >= 0 and value != 0.0:
+            self.g_entries.append((i, j, value))
+
+    def add_c(self, i: int, j: int, value: float) -> None:
+        if i >= 0 and j >= 0 and value != 0.0:
+            self.c_entries.append((i, j, value))
+
+    def add_rhs(self, i: int, dc: float, ac: float) -> None:
+        if i >= 0:
+            if dc:
+                self.b_dc[i] = self.b_dc.get(i, 0.0) + dc
+            if ac:
+                self.b_ac[i] = self.b_ac.get(i, 0.0) + ac
+
+
+def _stamp_conductance(ctx: StampContext, a: int, b: int, g: float,
+                       into: str = "G") -> None:
+    add = ctx.add_g if into == "G" else ctx.add_c
+    add(a, a, g)
+    add(b, b, g)
+    add(a, b, -g)
+    add(b, a, -g)
+
+
+def stamp_resistor(ctx: StampContext, e: Resistor) -> None:
+    _stamp_conductance(ctx, ctx.row_of(e.n1), ctx.row_of(e.n2), e.conductance)
+
+
+def stamp_conductance(ctx: StampContext, e: Conductance) -> None:
+    _stamp_conductance(ctx, ctx.row_of(e.n1), ctx.row_of(e.n2), e.conductance)
+
+
+def stamp_capacitor(ctx: StampContext, e: Capacitor) -> None:
+    _stamp_conductance(ctx, ctx.row_of(e.n1), ctx.row_of(e.n2),
+                       e.capacitance, into="C")
+
+
+def stamp_inductor(ctx: StampContext, e: Inductor) -> None:
+    a, b = ctx.row_of(e.n1), ctx.row_of(e.n2)
+    br = ctx.branch_of(e.name)
+    ctx.add_g(a, br, 1.0)
+    ctx.add_g(b, br, -1.0)
+    ctx.add_g(br, a, 1.0)
+    ctx.add_g(br, b, -1.0)
+    ctx.add_c(br, br, -e.inductance)
+
+
+def stamp_vccs(ctx: StampContext, e: VCCS) -> None:
+    a, b = ctx.row_of(e.n1), ctx.row_of(e.n2)
+    c, d = ctx.row_of(e.nc1), ctx.row_of(e.nc2)
+    gm = e.gm
+    ctx.add_g(a, c, gm)
+    ctx.add_g(a, d, -gm)
+    ctx.add_g(b, c, -gm)
+    ctx.add_g(b, d, gm)
+
+
+def stamp_vcvs(ctx: StampContext, e: VCVS) -> None:
+    a, b = ctx.row_of(e.n1), ctx.row_of(e.n2)
+    c, d = ctx.row_of(e.nc1), ctx.row_of(e.nc2)
+    br = ctx.branch_of(e.name)
+    ctx.add_g(a, br, 1.0)
+    ctx.add_g(b, br, -1.0)
+    ctx.add_g(br, a, 1.0)
+    ctx.add_g(br, b, -1.0)
+    ctx.add_g(br, c, -e.gain)
+    ctx.add_g(br, d, e.gain)
+
+
+def stamp_cccs(ctx: StampContext, e: CCCS) -> None:
+    a, b = ctx.row_of(e.n1), ctx.row_of(e.n2)
+    ctrl = ctx.branch_of(e.ctrl)
+    ctx.add_g(a, ctrl, e.gain)
+    ctx.add_g(b, ctrl, -e.gain)
+
+
+def stamp_ccvs(ctx: StampContext, e: CCVS) -> None:
+    a, b = ctx.row_of(e.n1), ctx.row_of(e.n2)
+    br = ctx.branch_of(e.name)
+    ctrl = ctx.branch_of(e.ctrl)
+    ctx.add_g(a, br, 1.0)
+    ctx.add_g(b, br, -1.0)
+    ctx.add_g(br, a, 1.0)
+    ctx.add_g(br, b, -1.0)
+    ctx.add_g(br, ctrl, -e.r)
+
+
+def stamp_voltage_source(ctx: StampContext, e: VoltageSource) -> None:
+    a, b = ctx.row_of(e.n1), ctx.row_of(e.n2)
+    br = ctx.branch_of(e.name)
+    ctx.add_g(a, br, 1.0)
+    ctx.add_g(b, br, -1.0)
+    ctx.add_g(br, a, 1.0)
+    ctx.add_g(br, b, -1.0)
+    ctx.add_rhs(br, e.dc, e.ac)
+
+
+def stamp_current_source(ctx: StampContext, e: CurrentSource) -> None:
+    a, b = ctx.row_of(e.n1), ctx.row_of(e.n2)
+    # positive current flows n1 -> n2 through the source: leaves n1, enters n2
+    ctx.add_rhs(a, -e.dc, -e.ac)
+    ctx.add_rhs(b, e.dc, e.ac)
+
+
+_STAMPS: dict[type, Callable[[StampContext, Element], None]] = {
+    Resistor: stamp_resistor,
+    Conductance: stamp_conductance,
+    Capacitor: stamp_capacitor,
+    Inductor: stamp_inductor,
+    VCCS: stamp_vccs,
+    VCVS: stamp_vcvs,
+    CCCS: stamp_cccs,
+    CCVS: stamp_ccvs,
+    VoltageSource: stamp_voltage_source,
+    CurrentSource: stamp_current_source,
+}
+
+
+def stamp_element(ctx: StampContext, element: Element) -> None:
+    """Dispatch ``element`` to its stamp.
+
+    Raises:
+        CircuitError: for element types with no registered stamp.
+    """
+    try:
+        fn = _STAMPS[type(element)]
+    except KeyError:
+        raise CircuitError(
+            f"no MNA stamp for element type {type(element).__name__}") from None
+    fn(ctx, element)

@@ -1,0 +1,24 @@
+"""Moment-level circuit partitioning (paper §2.4, reference [1]).
+
+The circuit splits into *numeric blocks* (condensed to multiport admittance
+Maclaurin expansions, computed with fast sparse numeric solves) and
+*symbolic blocks* (one per symbolic element, whose expansion is finite:
+``Y = G + s(C + L)``).  Port parameters stencil into a small global
+symbolic admittance matrix, and composite moments follow from a recursive
+symbolic solve of the resistive ``Yglobal0`` system.
+"""
+
+from .blocks import CircuitPartition, SymbolicElement, partition
+from .ports import NumericBlockExpansion, port_admittance_moments
+from .composite import SymbolicMoments, symbolic_moments, symbolic_moments_multi
+
+__all__ = [
+    "partition",
+    "CircuitPartition",
+    "SymbolicElement",
+    "port_admittance_moments",
+    "NumericBlockExpansion",
+    "symbolic_moments",
+    "symbolic_moments_multi",
+    "SymbolicMoments",
+]

@@ -1,0 +1,471 @@
+"""Composite symbolic moment computation (paper eqs. 11-13).
+
+The global system collects every numeric block's port admittance expansion,
+every symbolic element's (finite) stamp, and the independent sources:
+
+    (Yg0 + Yg1 s + Yg2 s² + ...)(V0 + V1 s + ...) = I0        (impulse input)
+
+Matching powers of ``s``:
+
+    Yg0 · V0 = I0
+    Yg0 · Vk = - Σ_{j>=1} Ygj · V_{k-j}
+
+``Yg0`` has polynomial entries in the symbols, so the recursion runs on the
+division-free :class:`~repro.symbolic.matrix.SymbolicLinearSolver`: every
+``Vk`` is a polynomial numerator vector over the shared denominator
+``det(Yg0)^(k+1)``.  The output row of each ``Vk`` is the symbolic moment
+``m_k`` — a rational function of the symbols that evaluates *identically*
+to the numeric AWE moment at any symbol values (the paper's headline
+exactness claim, enforced in our integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import GROUND
+from ..circuits.elements import (VCCS, Capacitor, Conductance, CurrentSource,
+                                 Inductor, Resistor, VoltageSource)
+from ..errors import PartitionError
+from ..symbolic import (CompiledFunction, Poly, PolyMatrix, Rational,
+                        SymbolicLinearSolver, SymbolSpace, compile_rationals)
+from .blocks import CircuitPartition
+from .ports import NumericBlockExpansion, port_admittance_moments
+
+
+@dataclass(frozen=True)
+class SymbolicMoments:
+    """Symbolic transfer-function moments ``m_0..m_order``.
+
+    Every moment is ``numerators[k] / det**(k+1)`` — polynomials over the
+    partition's symbol space.  ``evaluate`` and ``compile`` implement the
+    paper's "compiled set of operations" evaluation path.
+    """
+
+    space: SymbolSpace
+    output: str
+    numerators: tuple[Poly, ...]
+    det: Poly
+    partition: CircuitPartition
+
+    @property
+    def order(self) -> int:
+        return len(self.numerators) - 1
+
+    def rationals(self, cancel: bool = False) -> list[Rational]:
+        """Moments as explicit rational functions (optionally reduced)."""
+        out = []
+        den = Poly.one(self.space)
+        for num in self.numerators:
+            den = den * self.det
+            r = Rational(num, den)
+            out.append(r.cancel() if cancel else r)
+        return out
+
+    def evaluate(self, values: Mapping | Sequence[float]) -> np.ndarray:
+        """Numeric moments at given *symbol* values (see
+        :meth:`CircuitPartition.symbol_values` for element-value mapping)."""
+        det = self.det.evaluate(values)
+        if det == 0.0:
+            raise PartitionError("global symbolic system singular at this point")
+        out = np.empty(len(self.numerators))
+        scale = 1.0
+        for k, num in enumerate(self.numerators):
+            scale *= det
+            out[k] = num.evaluate(values) / scale
+        return out
+
+    def compile(self) -> "CompiledMoments":
+        """Compile numerators + determinant into one flat function."""
+        fn = compile_rationals(
+            self.space, list(self.numerators) + [self.det],
+            output_names=[f"n{k}" for k in range(len(self.numerators))] + ["det"])
+        return CompiledMoments(fn=fn, order=self.order)
+
+    def to_sympy(self):
+        """Moments as a list of sympy expressions (requires sympy).
+
+        Handy for pretty-printing, further manipulation, or cross-checking
+        against an independent CAS — the role Mathematica played for the
+        paper's authors.
+        """
+        from ..symbolic.interop import rational_to_sympy
+
+        return [rational_to_sympy(r) for r in self.rationals()]
+
+    def derivative_rationals(self, symbol) -> list[Rational]:
+        """``∂m_k/∂symbol`` as explicit rational functions.
+
+        With ``m_k = n_k / det^(k+1)``, the quotient rule gives
+        ``(n_k' det - (k+1) n_k det') / det^(k+2)`` — one of the roles the
+        paper's introduction lists for symbolic forms ("sensitivity
+        calculation"), here exact and closed-form.
+        """
+        ddet = self.det.derivative(symbol)
+        out: list[Rational] = []
+        den = self.det * self.det
+        for k, num in enumerate(self.numerators):
+            dnum = num.derivative(symbol)
+            top = dnum * self.det - (float(k + 1)) * num * ddet
+            out.append(Rational(top, den))
+            den = den * self.det
+        return out
+
+    def compile_sensitivities(self, symbols=None) -> "CompiledSensitivities":
+        """Compile moments *and* their derivatives w.r.t. the given symbols
+        (default: all) into one straight-line function."""
+        names = list(self.space.names) if symbols is None else [
+            s if isinstance(s, str) else s.name for s in symbols]
+        items: list[Poly] = list(self.numerators) + [self.det]
+        labels = [f"n{k}" for k in range(len(self.numerators))] + ["det"]
+        ddet = {name: self.det.derivative(name) for name in names}
+        for name in names:
+            for k, num in enumerate(self.numerators):
+                items.append(num.derivative(name))
+                labels.append(f"dn{k}_d{name}")
+            items.append(ddet[name])
+            labels.append(f"ddet_d{name}")
+        fn = compile_rationals(self.space, items, output_names=labels)
+        return CompiledSensitivities(fn=fn, order=self.order,
+                                     symbol_names=tuple(names))
+
+
+@dataclass(frozen=True)
+class CompiledMoments:
+    """Straight-line evaluator for symbolic moments.
+
+    Calling it with symbol values returns the numeric moment vector; the
+    whole computation is ``n_ops`` arithmetic operations — no circuit
+    solve.
+    """
+
+    fn: CompiledFunction
+    order: int
+
+    @property
+    def n_ops(self) -> int:
+        return self.fn.n_ops
+
+    def scalars(self, values: Mapping | Sequence[float]) -> list[float]:
+        """Fast scalar path: moments as plain Python floats (no numpy).
+
+        This is the per-iteration hot loop of Table 1: a straight-line
+        program plus ``order + 1`` divisions.
+        """
+        raw = self.fn(values)
+        det = raw[-1]
+        if det == 0.0:
+            raise PartitionError("global symbolic system singular at this point")
+        out = []
+        scale = 1.0
+        for v in raw[:-1]:
+            scale *= det
+            out.append(v / scale)
+        return out
+
+    def __call__(self, values: Mapping | Sequence[float]) -> np.ndarray:
+        raw = [np.asarray(v, dtype=float) for v in self.fn(values)]
+        # outputs independent of some symbols come back as scalars even on
+        # vectorized sweeps; broadcast everything to the common grid shape
+        shape = np.broadcast_shapes(*(v.shape for v in raw))
+        det = np.broadcast_to(raw[-1], shape)
+        nums = np.stack([np.broadcast_to(v, shape) for v in raw[:-1]])
+        exps = np.arange(1, self.order + 2,
+                         dtype=float).reshape((-1,) + (1,) * len(shape))
+        return nums / det ** exps
+
+
+@dataclass(frozen=True)
+class CompiledSensitivities:
+    """Straight-line evaluator for moments plus their symbol derivatives.
+
+    Layout of the underlying function's outputs:
+    ``n0..nK, det, then per symbol: dn0..dnK, ddet``.
+    """
+
+    fn: CompiledFunction
+    order: int
+    symbol_names: tuple[str, ...]
+
+    def __call__(self, values: Mapping | Sequence[float],
+                 ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Return ``(moments, {symbol: d moments/d symbol})`` at ``values``."""
+        raw = self.fn(values)
+        k1 = self.order + 1
+        nums = np.asarray(raw[:k1], dtype=float)
+        det = float(raw[k1])
+        if det == 0.0:
+            raise PartitionError("global symbolic system singular at this point")
+        powers = det ** np.arange(1, k1 + 1, dtype=float)
+        moments = nums / powers
+        sens: dict[str, np.ndarray] = {}
+        base = k1 + 1
+        for i, name in enumerate(self.symbol_names):
+            dnums = np.asarray(raw[base + i * (k1 + 1):
+                                   base + i * (k1 + 1) + k1], dtype=float)
+            ddet = float(raw[base + i * (k1 + 1) + k1])
+            ks = np.arange(1, k1 + 1, dtype=float)
+            # d(n/det^k)/dv = (dn det - k n ddet) / det^(k+1)
+            sens[name] = (dnums * det - ks * nums * ddet) / (powers * det)
+        return moments, sens
+
+
+@dataclass(frozen=True)
+class GlobalSystem:
+    """Assembled composite system ``(Σ matrices[k] s^k) V = rhs`` (impulse)."""
+
+    space: SymbolSpace
+    matrices: tuple[PolyMatrix, ...]
+    rhs: tuple[Poly, ...]
+    rows: dict[str, int]
+    aux: dict[str, int]
+
+    @property
+    def size(self) -> int:
+        return len(self.rhs)
+
+
+def _nominal_prune(poly: Poly, weights: tuple[float, ...], rtol: float) -> Poly:
+    """Drop float-dust terms by their magnitude *at nominal symbol values*.
+
+    Raw-coefficient pruning is wrong here: symbols span wildly different
+    scales (a conductance ~1e-5 S next to a capacitance ~1e-11 F), so a
+    huge coefficient can belong to a negligible term and vice versa.
+    Weighting each term by ``Π |nominal_i|^e_i`` compares like with like.
+    """
+    if rtol <= 0.0 or not poly.terms:
+        return poly
+    mags = {}
+    for exps, coeff in poly.terms.items():
+        mag = abs(coeff)
+        for w, e in zip(weights, exps):
+            if e == 1:
+                mag *= w
+            elif e:
+                mag *= w ** e
+        mags[exps] = mag
+    cutoff = max(mags.values()) * rtol
+    return Poly(poly.space,
+                {e: c for e, c in poly.terms.items() if mags[e] > cutoff},
+                _clean=True)
+
+
+def _poly_stamp(matrix: PolyMatrix, rows: dict[str, int], a: str, b: str,
+                value: Poly) -> PolyMatrix:
+    """Two-terminal admittance stamp with ground dropping."""
+    ia = rows.get(a, -1) if a != GROUND else -1
+    ib = rows.get(b, -1) if b != GROUND else -1
+    if ia >= 0:
+        matrix = matrix.add_to_entry(ia, ia, value)
+    if ib >= 0:
+        matrix = matrix.add_to_entry(ib, ib, value)
+    if ia >= 0 and ib >= 0:
+        matrix = matrix.add_to_entry(ia, ib, -1.0 * value)
+        matrix = matrix.add_to_entry(ib, ia, -1.0 * value)
+    return matrix
+
+
+def assemble_global(part: CircuitPartition, order: int,
+                    expansions: Sequence[NumericBlockExpansion] | None = None,
+                    equilibrate: bool = True) -> GlobalSystem:
+    """Assemble the composite symbolic admittance expansion (paper eqs. 11/12).
+
+    Row equilibration (on by default) rescales every equation by the
+    magnitude of its ``Yg0`` row at nominal symbol values so ``det(Yg0)``
+    stays O(1); the moment denominators ``det^(k+1)`` would otherwise
+    overflow or underflow at evaluation time.
+    """
+    space = part.space
+
+    # ---- global unknown layout: nodes then aux branches ------------------
+    rows: dict[str, int] = {n: i for i, n in enumerate(part.global_nodes)}
+    aux: dict[str, int] = {}
+    for src in part.sources:
+        if isinstance(src, VoltageSource):
+            aux[src.name] = len(rows) + len(aux)
+    for se in part.symbolic:
+        if isinstance(se.element, Inductor):
+            aux[se.name] = len(rows) + len(aux)
+    size = len(rows) + len(aux)
+
+    # ---- numeric block expansions ----------------------------------------
+    if expansions is None:
+        expansions = [port_admittance_moments(blk.circuit, blk.ports, order)
+                      for blk in part.numeric_blocks]
+    if len(expansions) != len(part.numeric_blocks):
+        raise PartitionError("expansion count does not match numeric blocks")
+
+    # ---- assemble Yg_k ----------------------------------------------------
+    matrices: list[PolyMatrix] = [PolyMatrix.zeros(space, size, size)
+                                  for _ in range(order + 1)]
+    for blk, exp in zip(part.numeric_blocks, expansions):
+        if tuple(exp.ports) != tuple(blk.ports):
+            raise PartitionError("expansion ports do not match block ports")
+        port_rows = [rows[p] for p in blk.ports]
+        for k in range(min(order, exp.order) + 1):
+            Yk = exp.Y[k]
+            m = matrices[k]
+            for i, ri in enumerate(port_rows):
+                for j, rj in enumerate(port_rows):
+                    v = Yk[i, j]
+                    if v != 0.0:
+                        m = m.add_to_entry(ri, rj, Poly.constant(space, v))
+            matrices[k] = m
+
+    for se in part.symbolic:
+        sym = Poly.symbol(space, se.symbol)
+        e = se.element
+        if isinstance(e, (Resistor, Conductance)):
+            matrices[0] = _poly_stamp(matrices[0], rows, e.n1, e.n2, sym)
+        elif isinstance(e, Capacitor):
+            if order >= 1:
+                matrices[1] = _poly_stamp(matrices[1], rows, e.n1, e.n2, sym)
+        elif isinstance(e, Inductor):
+            br = aux[se.name]
+            one = Poly.one(space)
+            for node, sign in ((e.n1, 1.0), (e.n2, -1.0)):
+                if node != GROUND:
+                    r = rows[node]
+                    matrices[0] = matrices[0].add_to_entry(r, br, one * sign)
+                    matrices[0] = matrices[0].add_to_entry(br, r, one * sign)
+            if order >= 1:
+                matrices[1] = matrices[1].add_to_entry(br, br, -1.0 * sym)
+        elif isinstance(e, VCCS):
+            m0 = matrices[0]
+            for out_node, s_out in ((e.n1, 1.0), (e.n2, -1.0)):
+                if out_node == GROUND:
+                    continue
+                ro = rows[out_node]
+                for ctl_node, s_ctl in ((e.nc1, 1.0), (e.nc2, -1.0)):
+                    if ctl_node == GROUND:
+                        continue
+                    m0 = m0.add_to_entry(ro, rows[ctl_node], sym * (s_out * s_ctl))
+            matrices[0] = m0
+        else:  # pragma: no cover - blocked earlier by symbol_for
+            raise PartitionError(f"unsupported symbolic element {e.name!r}")
+
+    rhs = [Poly.zero(space) for _ in range(size)]
+    for src in part.sources:
+        if isinstance(src, VoltageSource):
+            br = aux[src.name]
+            one = Poly.one(space)
+            for node, sign in ((src.n1, 1.0), (src.n2, -1.0)):
+                if node != GROUND:
+                    r = rows[node]
+                    matrices[0] = matrices[0].add_to_entry(r, br, one * sign)
+                    matrices[0] = matrices[0].add_to_entry(br, r, one * sign)
+            rhs[br] = rhs[br] + src.ac
+        elif isinstance(src, CurrentSource):
+            if src.n1 != GROUND:
+                rhs[rows[src.n1]] = rhs[rows[src.n1]] - src.ac
+            if src.n2 != GROUND:
+                rhs[rows[src.n2]] = rhs[rows[src.n2]] + src.ac
+
+    # ---- row equilibration -------------------------------------------------
+    if equilibrate:
+        nominal = space.values_vector({})
+        m0_num = matrices[0].evaluate(nominal)
+        scale = np.max(np.abs(m0_num), axis=1)
+        scale[scale == 0.0] = 1.0
+        inv = 1.0 / scale
+        for k in range(order + 1):
+            matrices[k] = PolyMatrix(space, [
+                [entry * inv[i] for entry in matrices[k].rows[i]]
+                for i in range(size)])
+        rhs = [rhs[i] * inv[i] for i in range(size)]
+
+    return GlobalSystem(space=space, matrices=tuple(matrices), rhs=tuple(rhs),
+                        rows=rows, aux=aux)
+
+
+def symbolic_moments_multi(part: CircuitPartition, outputs: Sequence[str],
+                           order: int,
+                           expansions: Sequence[NumericBlockExpansion] | None = None,
+                           prune_rtol: float = 0.0,
+                           ) -> dict[str, SymbolicMoments]:
+    """Symbolic moments for several outputs from *one* composite solve.
+
+    The moment recursion computes the full global vectors ``Vk`` anyway,
+    so every preserved node's moments come for free — the natural way to
+    model all victims of a bus simultaneously.
+
+    Args/Raises: see :func:`symbolic_moments`; every entry of ``outputs``
+    must be a preserved global node.
+    """
+    for output in outputs:
+        if output not in part.global_nodes:
+            raise PartitionError(
+                f"output {output!r} is not a global node of the partition "
+                f"(available: {list(part.global_nodes)})")
+    if not outputs:
+        raise PartitionError("at least one output is required")
+    space = part.space
+    system = assemble_global(part, order, expansions=expansions)
+    matrices = system.matrices
+    size = system.size
+
+    try:
+        solver = SymbolicLinearSolver(matrices[0])
+    except Exception as exc:
+        raise PartitionError(f"global resistive system singular: {exc}") from exc
+    det = solver.det
+
+    weights = tuple(max(abs(v), 1e-300) for v in space.values_vector({}))
+    det_pows = [Poly.one(space), det]
+    vectors: list[list[Poly]] = []
+    n0, _ = solver.solve_poly(list(system.rhs))
+    n0 = [_nominal_prune(p, weights, prune_rtol) for p in n0]
+    vectors.append(n0)
+    for k in range(1, order + 1):
+        while len(det_pows) <= k:
+            det_pows.append(det_pows[-1] * det)
+        acc = [Poly.zero(space) for _ in range(size)]
+        for j in range(1, k + 1):
+            prod = matrices[j].matvec(vectors[k - j])
+            factor = det_pows[j - 1]
+            for i in range(size):
+                if not prod[i].is_zero():
+                    acc[i] = acc[i] + prod[i] * factor * -1.0
+        nk, _ = solver.solve_poly(acc)
+        nk = [_nominal_prune(p, weights, prune_rtol) for p in nk]
+        vectors.append(nk)
+
+    out: dict[str, SymbolicMoments] = {}
+    for output in outputs:
+        row = system.rows[output]
+        out[output] = SymbolicMoments(
+            space=space, output=output,
+            numerators=tuple(v[row] for v in vectors), det=det,
+            partition=part)
+    return out
+
+
+def symbolic_moments(part: CircuitPartition, output: str, order: int,
+                     expansions: Sequence[NumericBlockExpansion] | None = None,
+                     prune_rtol: float = 0.0) -> SymbolicMoments:
+    """Run the composite symbolic moment recursion for one output.
+
+    Args:
+        part: a :func:`~repro.partition.blocks.partition` result.
+        output: observed node (must be one of the partition's global nodes).
+        order: highest moment index to compute.
+        expansions: pre-computed numeric block expansions (recomputed when
+            omitted; pass them to amortize across calls).
+        prune_rtol: relative threshold for dropping small terms from the
+            polynomial numerators after each recursion step, weighted by
+            the nominal symbol values.  Default 0 (keep everything): term
+            counts stay small for few-symbol models, and pruning silently
+            degrades accuracy far from nominal (a term negligible at
+            nominal can dominate at 100x nominal).  Use a nonzero value
+            only for many-symbol models whose term counts explode.
+
+    Raises:
+        PartitionError: output is not a preserved global node, or the
+        global resistive system is symbolically singular.
+    """
+    return symbolic_moments_multi(part, [output], order,
+                                  expansions=expansions,
+                                  prune_rtol=prune_rtol)[output]

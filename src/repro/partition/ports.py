@@ -1,0 +1,97 @@
+"""Multiport admittance moment expansion of numeric blocks.
+
+For a numeric block with ports ``p1..pn`` (all voltages referenced to
+ground), the port admittance matrix ``Y(s)`` satisfies ``I = Y(s) V`` with
+``I`` flowing *into* the block.  Its Maclaurin coefficients ``Y_k`` come
+from the same moment recursion as AWE itself: clamp every port with a
+voltage source, excite one port at unit voltage, and read the source
+branch currents order by order.  One sparse LU of the block's ``G``
+serves all ports and all orders — this is the numeric 99% of an
+AWEsymbolic run, fully decoupled from the symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..errors import PartitionError, SingularCircuitError
+from ..mna import assemble, factorize
+
+_PORT_PREFIX = "__port_"
+
+
+@dataclass(frozen=True)
+class NumericBlockExpansion:
+    """Port admittance Maclaurin coefficients of one numeric block.
+
+    Attributes:
+        ports: ordered port node names.
+        Y: array of shape ``(order + 1, n_ports, n_ports)``; ``Y[k]`` is the
+            coefficient of ``s^k``.
+    """
+
+    ports: tuple[str, ...]
+    Y: np.ndarray
+
+    @property
+    def order(self) -> int:
+        return self.Y.shape[0] - 1
+
+    @property
+    def n_ports(self) -> int:
+        return len(self.ports)
+
+    def admittance_at(self, s: complex) -> np.ndarray:
+        """Truncated-series evaluation ``Σ Y_k s^k`` (diagnostics only)."""
+        out = np.zeros_like(self.Y[0], dtype=complex)
+        for k in range(self.Y.shape[0] - 1, -1, -1):
+            out = out * s + self.Y[k]
+        return out
+
+
+def port_admittance_moments(block: Circuit, ports: tuple[str, ...],
+                            order: int) -> NumericBlockExpansion:
+    """Compute ``Y_0..Y_order`` for ``block`` seen from ``ports``.
+
+    Raises:
+        PartitionError: empty port list or port nodes missing from the block.
+        SingularCircuitError: block has internal nodes with no DC path to
+            any port (the same restriction numeric AWE has).
+    """
+    if not ports:
+        raise PartitionError("numeric block needs at least one port")
+    block_nodes = set(block.node_names())
+    missing = [p for p in ports if p not in block_nodes]
+    if missing:
+        raise PartitionError(f"ports {missing} not present in numeric block")
+
+    clamped = block.copy(title=f"{block.title}:clamped")
+    for j, port in enumerate(ports):
+        clamped.V(f"{_PORT_PREFIX}{j}", port, "0", dc=0.0, ac=0.0)
+    system = assemble(clamped, check=False)
+    try:
+        lu = factorize(system)
+    except SingularCircuitError as exc:
+        raise SingularCircuitError(
+            f"numeric block {block.title!r} is singular even with all ports "
+            f"clamped (floating internal DC node?): {exc}") from exc
+
+    n = len(ports)
+    branch_rows = [system.branch_index[f"{_PORT_PREFIX}{j}"] for j in range(n)]
+    Y = np.empty((order + 1, n, n))
+    C = system.C
+    for j in range(n):
+        rhs = np.zeros(system.size)
+        rhs[branch_rows[j]] = 1.0  # v(port j) = 1, all other ports at 0
+        x = lu.solve(rhs)
+        for k in range(order + 1):
+            # branch current flows out of the block into the clamp source;
+            # current INTO the block is its negative
+            for i in range(n):
+                Y[k, i, j] = -x[branch_rows[i]]
+            if k < order:
+                x = lu.solve(-(C @ x))
+    return NumericBlockExpansion(ports=tuple(ports), Y=Y)

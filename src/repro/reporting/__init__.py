@@ -1,0 +1,13 @@
+"""Reporting: ASCII tables, CSV export, and one-command regeneration of
+every paper figure's data (``python -m repro.reporting.figures``)."""
+
+from .tables import Table, format_engineering
+from .surfaces import SurfaceData, sweep_surface, family_curves
+
+__all__ = [
+    "Table",
+    "format_engineering",
+    "SurfaceData",
+    "sweep_surface",
+    "family_curves",
+]

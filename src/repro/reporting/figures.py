@@ -1,0 +1,119 @@
+"""One-command regeneration of every paper figure's data.
+
+``python -m repro.reporting.figures [outdir]`` writes, per artifact, a CSV
+with the numbers behind the corresponding plot in the paper, plus an
+ASCII rendition to stdout.  Scale knobs come from environment variables
+(``REPRO_SEGMENTS`` for the coupled-line size) so CI can run a quick pass.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .. import awesymbolic
+from ..circuits.library import paper_coupled_lines, small_signal_741
+from ..circuits.library.coupled_lines import victim_output
+from ..core.metrics import dominant_pole_hz, phase_margin, unity_gain_frequency
+from .surfaces import family_curves, sweep_surface
+from .tables import Table
+
+GRID_N = 10
+
+
+def generate_741_figures(outdir: Path) -> list[Path]:
+    """Figures 4-7: surfaces over (go_Q14, Ccomp) from the compiled model."""
+    ss = small_signal_741()
+    res = awesymbolic(ss.circuit, "out", symbols=["go_Q14", "Ccomp"], order=2)
+    go_nom = res.partition.symbolic[0].symbol.nominal
+    go = np.linspace(0.5, 4.0, GRID_N) * go_nom
+    cc = np.linspace(10e-12, 60e-12, GRID_N)
+
+    specs = [
+        ("fig4_dominant_pole_hz", dominant_pole_hz, 1),
+        ("fig5_dc_gain", lambda m: m.dc_gain(), 1),
+        ("fig6_unity_gain_rad_s", unity_gain_frequency, 2),
+        ("fig7_phase_margin_deg", phase_margin, 2),
+    ]
+    written = []
+    for name, metric, order in specs:
+        surface = sweep_surface(res.model, "go_Q14", go, "Ccomp", cc,
+                                metric, metric_name=name, order=order)
+        path = outdir / f"{name}.csv"
+        path.write_text(surface.to_csv())
+        written.append(path)
+        print(surface.to_table().to_ascii())
+    return written
+
+
+def generate_crosstalk_figures(outdir: Path) -> list[Path]:
+    """Figures 9-10: victim crosstalk families over Rdrv / Cload."""
+    n = int(os.environ.get("REPRO_SEGMENTS", "1000"))
+    ckt = paper_coupled_lines(n_segments=n)
+    out = victim_output(n)
+    res = awesymbolic(ckt, out, symbols=["Rdrv1", "Cload2"], order=2)
+    t = np.linspace(0.0, 5e-9, 200)
+
+    fam9 = family_curves(res.model, "Rdrv1",
+                         [10.0, 50.0, 150.0, 400.0], t)
+    fam10 = family_curves(res.model, "Cload2",
+                          [10e-15, 50e-15, 200e-15, 1000e-15], t)
+    written = []
+    for name, fam in (("fig9_crosstalk_vs_rdrv", fam9),
+                      ("fig10_crosstalk_vs_cload", fam10)):
+        path = outdir / f"{name}.csv"
+        path.write_text(fam.to_csv())
+        written.append(path)
+        table = Table([fam.param, "peak time (ns)", "peak value (mV)"],
+                      title=name)
+        for value, (t_pk, v_pk) in zip(fam.values, fam.peaks()):
+            table.add_row(f"{value:g}", t_pk * 1e9, v_pk * 1e3)
+        print(table.to_ascii())
+    return written
+
+
+def generate_table1(outdir: Path) -> Path:
+    """Table 1: datapoints vs total runtime, both methods."""
+    import timeit
+
+    ss = small_signal_741()
+    t0 = time.perf_counter()
+    res = awesymbolic(ss.circuit, "out", symbols=["go_Q14", "Ccomp"], order=2)
+    t_setup = time.perf_counter() - t0
+    t_eval = timeit.timeit(lambda: res.rom({"Ccomp": 33e-12}),
+                           number=300) / 300
+    from ..awe import awe
+    t_awe = timeit.timeit(lambda: awe(ss.circuit, "out", order=2),
+                          number=10) / 10
+
+    table = Table(["datapoints", "AWE (s)", "AWEsymbolic (s)"],
+                  title="Table 1: total runtime vs datapoints")
+    for n in (10, 100, 1000):
+        table.add_row(n, n * t_awe, t_setup + n * t_eval)
+    table.add_row("incremental (ms)", t_awe * 1e3, t_eval * 1e3)
+    path = outdir / "table1_runtimes.csv"
+    path.write_text(table.to_csv())
+    print(table.to_ascii())
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    outdir = Path(args[0]) if args else Path("paper_figures")
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = []
+    written += generate_741_figures(outdir)
+    written += generate_crosstalk_figures(outdir)
+    written.append(generate_table1(outdir))
+    print("wrote:")
+    for path in written:
+        print(f"  {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

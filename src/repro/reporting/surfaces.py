@@ -1,0 +1,99 @@
+"""Figure-surface helpers: metric grids and transient curve families as
+portable data objects (the paper's 3-D plots and response families,
+mineable as CSV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..awe.model import ReducedOrderModel
+from ..core.compiled_model import CompiledAWEModel
+from .tables import Table
+
+
+@dataclass(frozen=True)
+class SurfaceData:
+    """A metric sampled over the cartesian product of two element grids."""
+
+    x_name: str
+    y_name: str
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+    metric: str
+
+    def to_table(self) -> Table:
+        table = Table([f"{self.x_name}\\{self.y_name}"]
+                      + [f"{v:.4g}" for v in self.y],
+                      title=self.metric)
+        for i, xv in enumerate(self.x):
+            table.add_row(f"{xv:.4g}", *[float(z) for z in self.z[i]])
+        return table
+
+    def to_csv(self) -> str:
+        lines = [f"{self.x_name},{self.y_name},{self.metric}"]
+        for i, xv in enumerate(self.x):
+            for j, yv in enumerate(self.y):
+                lines.append(f"{xv!r},{yv!r},{self.z[i, j]!r}")
+        return "\n".join(lines) + "\n"
+
+
+def sweep_surface(model: CompiledAWEModel, x_name: str, x: np.ndarray,
+                  y_name: str, y: np.ndarray,
+                  metric: Callable[[ReducedOrderModel], float],
+                  metric_name: str = "metric",
+                  order: int | None = None) -> SurfaceData:
+    """Sample ``metric`` over an ``x × y`` element-value grid."""
+    z = model.sweep({x_name: x, y_name: y}, metric, order=order)
+    return SurfaceData(x_name=x_name, y_name=y_name,
+                       x=np.asarray(x, dtype=float),
+                       y=np.asarray(y, dtype=float), z=z,
+                       metric=metric_name)
+
+
+@dataclass(frozen=True)
+class CurveFamily:
+    """Step-response curves as one element value varies (Figures 9/10)."""
+
+    param: str
+    values: np.ndarray
+    t: np.ndarray
+    curves: np.ndarray  # (len(values), len(t))
+
+    def to_csv(self) -> str:
+        header = "t," + ",".join(f"{self.param}={v:g}" for v in self.values)
+        lines = [header]
+        for j, tj in enumerate(self.t):
+            lines.append(",".join([repr(float(tj))]
+                                  + [repr(float(self.curves[i, j]))
+                                     for i in range(len(self.values))]))
+        return "\n".join(lines) + "\n"
+
+    def peaks(self) -> list[tuple[float, float]]:
+        """(time, value) of the |peak| of each curve."""
+        out = []
+        for row in self.curves:
+            i = int(np.argmax(np.abs(row)))
+            out.append((float(self.t[i]), float(row[i])))
+        return out
+
+
+def family_curves(model: CompiledAWEModel, param: str,
+                  values: Sequence[float], t: np.ndarray,
+                  response: str = "step") -> CurveFamily:
+    """Transient response family as ``param`` sweeps over ``values``."""
+    curves = []
+    for v in values:
+        rom = model.rom({param: float(v)})
+        if response == "step":
+            curves.append(rom.step_response(t))
+        elif response == "impulse":
+            curves.append(rom.impulse_response(t))
+        else:
+            raise ValueError(f"unknown response kind {response!r}")
+    return CurveFamily(param=param, values=np.asarray(values, dtype=float),
+                       t=np.asarray(t, dtype=float),
+                       curves=np.stack(curves))

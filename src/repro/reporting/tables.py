@@ -1,0 +1,71 @@
+"""Minimal table formatting for experiment reports.
+
+No external dependencies; produces aligned ASCII and CSV.  Used by the
+figure-regeneration driver and the examples.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Iterable, Sequence
+
+from ..units import format_value
+
+
+def format_engineering(value: float, unit: str = "") -> str:
+    """Engineering-notation cell text (``1.23u``, ``4.7k``)."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "n/a"
+    return format_value(float(value), unit=unit)
+
+
+class Table:
+    """Column-aligned ASCII/CSV table builder."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append([self._cell(c) for c in cells])
+
+    @staticmethod
+    def _cell(value) -> str:
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "n/a"
+            return f"{value:.6g}"
+        return str(value)
+
+    def to_ascii(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        header = "  ".join(c.rjust(w) for c, w in zip(self.columns, widths))
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in self.rows:
+            out.write("  ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        def escape(cell: str) -> str:
+            if "," in cell or '"' in cell:
+                return '"' + cell.replace('"', '""') + '"'
+            return cell
+
+        lines = [",".join(escape(c) for c in self.columns)]
+        lines += [",".join(escape(c) for c in row) for row in self.rows]
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.to_ascii()

@@ -1,0 +1,40 @@
+"""Symbolic engine: sparse multivariate polynomials, rational functions,
+division-free linear algebra, expression DAGs and compilation to fast
+Python callables.
+
+This is the substrate the paper delegated to Mathematica.  The public
+surface is:
+
+* :class:`~repro.symbolic.symbols.Symbol` / :class:`~repro.symbolic.symbols.SymbolSpace`
+* :class:`~repro.symbolic.poly.Poly` — sparse multivariate polynomial
+* :class:`~repro.symbolic.rational.Rational` — quotient of two polynomials
+* :class:`~repro.symbolic.expr.Expr` — hash-consed expression DAG (adds
+  ``sqrt`` / division on top of the polynomial ring, used for closed-form
+  second-order poles)
+* :func:`~repro.symbolic.compile.compile_exprs` /
+  :func:`~repro.symbolic.compile.compile_rationals` — code generation with
+  common-subexpression elimination
+* :class:`~repro.symbolic.matrix.PolyMatrix` — small dense symbolic
+  matrices with division-free determinant / adjugate / Cramer solve
+"""
+
+from .symbols import Symbol, SymbolSpace
+from .poly import Poly
+from .rational import Rational
+from .expr import Expr, ExprBuilder
+from .matrix import PolyMatrix, SymbolicLinearSolver
+from .compile import CompiledFunction, compile_exprs, compile_rationals
+
+__all__ = [
+    "Symbol",
+    "SymbolSpace",
+    "Poly",
+    "Rational",
+    "Expr",
+    "ExprBuilder",
+    "PolyMatrix",
+    "SymbolicLinearSolver",
+    "CompiledFunction",
+    "compile_exprs",
+    "compile_rationals",
+]

@@ -1,0 +1,236 @@
+"""Compile expression DAGs to flat Python functions.
+
+This is the paper's punchline: once the symbolic moments / poles / metrics
+are known, evaluating the model at new symbol values should cost a *reduced
+set of operations* — a straight-line program — rather than a fresh circuit
+analysis.  :func:`compile_exprs` emits one Python assignment per shared DAG
+node (hash-consing already did the CSE) and ``exec``-compiles the result.
+
+Generated functions accept positional symbol values aligned with the
+:class:`~repro.symbolic.symbols.SymbolSpace` and are numpy-vectorized: pass
+arrays to sweep a whole grid in one call.  ``sqrt``/``log`` switch to complex
+arithmetic when their argument goes negative, so second-order pole formulas
+remain valid across over/under-damped regions of the sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SymbolicError
+from .cse import topological, use_counts
+from .expr import Expr, ExprBuilder
+from .poly import Poly
+from .rational import Rational
+from .symbols import SymbolSpace
+
+
+def _safe_sqrt(x):
+    """Complex-safe square root for scalars and arrays."""
+    arr = np.asarray(x)
+    if np.iscomplexobj(arr) or np.all(arr >= 0):
+        return np.sqrt(arr)
+    return np.sqrt(arr.astype(complex))
+
+
+def _safe_log(x):
+    arr = np.asarray(x)
+    if np.iscomplexobj(arr) or np.all(arr > 0):
+        return np.log(arr)
+    return np.log(arr.astype(complex))
+
+
+_RUNTIME = {
+    "_sqrt": _safe_sqrt,
+    "_log": _safe_log,
+    "_exp": np.exp,
+    "_abs": np.abs,
+    "__builtins__": {},
+}
+
+
+class CompiledFunction:
+    """A compiled straight-line evaluator for one or more expressions.
+
+    Attributes:
+        space: symbol space defining the positional argument order.
+        source: the generated Python source (useful for inspection/tests).
+        n_ops: arithmetic operation count of the straight-line program.
+        output_names: labels for the outputs, parallel to the return tuple.
+    """
+
+    def __init__(self, space: SymbolSpace, source: str, fn, n_ops: int,
+                 output_names: tuple[str, ...]) -> None:
+        self.space = space
+        self.source = source
+        self._fn = fn
+        self.n_ops = n_ops
+        self.output_names = output_names
+
+    def __call__(self, values: Mapping | Sequence[float]) -> tuple:
+        """Evaluate at ``values`` (mapping by symbol/name, or aligned sequence).
+
+        Values may be numpy arrays for vectorized sweeps; outputs broadcast.
+        """
+        if isinstance(values, Mapping):
+            vec = []
+            by_name = {}
+            for key, val in values.items():
+                name = key if isinstance(key, str) else key.name
+                by_name[name] = val
+            for sym in self.space.symbols:
+                if sym.name in by_name:
+                    vec.append(by_name[sym.name])
+                elif sym.nominal is not None:
+                    vec.append(sym.nominal)
+                else:
+                    raise SymbolicError(f"no value for symbol {sym.name!r}")
+        else:
+            vec = list(values)
+            if len(vec) != len(self.space):
+                raise SymbolicError(
+                    f"expected {len(self.space)} values, got {len(vec)}")
+        return self._fn(*vec)
+
+    def eval_raw(self, *args):
+        """Positional fast path with no argument normalization."""
+        return self._fn(*args)
+
+    def __repr__(self) -> str:
+        return (f"CompiledFunction({len(self.output_names)} outputs, "
+                f"{self.n_ops} ops, space={list(self.space.names)})")
+
+
+def _sanitize(name: str) -> str:
+    out = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not out or not (out[0].isalpha() or out[0] == "_"):
+        out = "v_" + out
+    return out
+
+
+def generate_source(space: SymbolSpace, roots: Sequence[Expr],
+                    fn_name: str = "_compiled") -> tuple[str, int]:
+    """Emit Python source for a function evaluating ``roots``.
+
+    Returns ``(source, n_ops)``.
+    """
+    arg_names = [_sanitize(s.name) for s in space.symbols]
+    if len(set(arg_names)) != len(arg_names):
+        arg_names = [f"x{i}" for i in range(len(space))]
+    sym_to_arg = {s.name: a for s, a in zip(space.symbols, arg_names)}
+
+    counts = use_counts(roots)
+    order = topological(roots)
+    code: dict[int, str] = {}
+    lines: list[str] = []
+    temp_idx = 0
+    n_ops = 0
+
+    def ref(node: Expr) -> str:
+        return code[id(node)]
+
+    for node in order:
+        kind = node.kind
+        if kind == "const":
+            value = node.payload
+            code[id(node)] = repr(value)
+            continue
+        if kind == "sym":
+            try:
+                code[id(node)] = sym_to_arg[node.payload]
+            except KeyError:
+                raise SymbolicError(
+                    f"expression references symbol {node.payload!r} "
+                    f"outside the space {space.names}") from None
+            continue
+        if kind == "add":
+            text = " + ".join(ref(c) for c in node.children)
+            n_ops += len(node.children) - 1
+        elif kind == "mul":
+            text = "*".join(f"({ref(c)})" if c.kind == "add" else ref(c)
+                            for c in node.children)
+            n_ops += len(node.children) - 1
+        elif kind == "div":
+            a, b = node.children
+            # the denominator needs parens for any compound expression:
+            # "x / y / z" would re-associate an inline div operand
+            text = (f"({ref(a)})" if a.kind in ("add", "mul") else ref(a)) + \
+                " / " + (f"({ref(b)})" if b.kind in ("add", "mul", "div", "pow")
+                         else ref(b))
+            n_ops += 1
+        elif kind == "pow":
+            base = node.children[0]
+            # ** is right-associative: a pow base must be parenthesized too
+            text = (f"({ref(base)})"
+                    if base.kind in ("add", "mul", "div", "pow")
+                    else ref(base)) + f"**{node.payload}"
+            n_ops += 1
+        elif kind in ("sqrt", "exp", "log", "abs"):
+            text = f"_{kind}({ref(node.children[0])})"
+            n_ops += 1
+        else:  # pragma: no cover - builder only produces known kinds
+            raise SymbolicError(f"cannot compile node kind {kind!r}")
+
+        if counts.get(id(node), 0) > 1:
+            name = f"t{temp_idx}"
+            temp_idx += 1
+            lines.append(f"    {name} = {text}")
+            code[id(node)] = name
+        else:
+            code[id(node)] = f"({text})" if kind == "add" else text
+
+    returns = ", ".join(ref(r) for r in roots)
+    body = "\n".join(lines) if lines else "    pass"
+    source = (f"def {fn_name}({', '.join(arg_names)}):\n"
+              f"{body}\n"
+              f"    return ({returns},)\n")
+    return source, n_ops
+
+
+def compile_exprs(space: SymbolSpace, roots: Sequence[Expr],
+                  output_names: Sequence[str] | None = None) -> CompiledFunction:
+    """Compile expression DAG roots into one fast callable returning a tuple."""
+    roots = list(roots)
+    if not roots:
+        raise SymbolicError("nothing to compile")
+    source, n_ops = generate_source(space, roots)
+    namespace = dict(_RUNTIME)
+    exec(compile(source, "<awesymbolic-compiled>", "exec"), namespace)
+    fn = namespace["_compiled"]
+    names = tuple(output_names) if output_names is not None else tuple(
+        f"out{i}" for i in range(len(roots)))
+    if len(names) != len(roots):
+        raise SymbolicError("output_names length does not match roots")
+    return CompiledFunction(space, source, fn, n_ops, names)
+
+
+def compile_rationals(space: SymbolSpace, rationals: Sequence[Rational | Poly],
+                      output_names: Sequence[str] | None = None,
+                      strategy: str = "expanded") -> CompiledFunction:
+    """Compile polynomials / rational functions sharing one builder (full CSE).
+
+    ``strategy`` selects the polynomial lowering: ``"expanded"`` (sum of
+    monomials, maximal term sharing across outputs) or ``"horner"``
+    (nested multiplication, fewer operations per polynomial).
+    """
+    if strategy not in ("expanded", "horner"):
+        raise SymbolicError(f"unknown compile strategy {strategy!r}")
+    builder = ExprBuilder()
+    lower = (builder.from_poly if strategy == "expanded"
+             else builder.from_poly_horner)
+    roots = []
+    for item in rationals:
+        if isinstance(item, Poly):
+            roots.append(lower(item))
+        else:
+            num = lower(item.num)
+            if item.is_polynomial():
+                den_val = item.den.constant_value()
+                roots.append(num if den_val == 1.0
+                             else builder.mul(builder.const(1.0 / den_val), num))
+            else:
+                roots.append(builder.div(num, lower(item.den)))
+    return compile_exprs(space, roots, output_names)

@@ -1,0 +1,296 @@
+"""Hash-consed expression DAGs.
+
+Polynomials and rationals cover the ring operations, but closed-form pole
+expressions (quadratic formula for second-order models) need ``sqrt`` and
+general division.  :class:`Expr` is a tiny immutable DAG with structural
+interning: building the same subexpression twice yields the *same object*,
+so common-subexpression elimination in the compiler is just "emit one
+assignment per multiply-referenced node".
+
+Expressions are built through an :class:`ExprBuilder`, which owns the
+interning table (one table per model keeps memory bounded).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import SymbolicError
+from .poly import Poly
+from .rational import Rational
+from .symbols import Symbol, SymbolSpace
+
+#: Node kinds.  ``add`` and ``mul`` are n-ary with sorted children for
+#: canonical form; ``pow`` has an integer payload; unary functions carry
+#: their name as the kind.
+_KINDS = frozenset({"const", "sym", "add", "mul", "div", "pow",
+                    "sqrt", "exp", "log", "abs", "neg"})
+_UNARY = frozenset({"sqrt", "exp", "log", "abs", "neg"})
+
+
+class Expr:
+    """One interned DAG node.  Do not construct directly: use :class:`ExprBuilder`."""
+
+    __slots__ = ("kind", "payload", "children", "_key", "_hash")
+
+    def __init__(self, kind: str, payload, children: tuple["Expr", ...]) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.children = children
+        self._key = (kind, payload, tuple(id(c) for c in children))
+        self._hash = hash(self._key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Identity semantics: interning guarantees structurally-equal nodes are
+    # the same object within one builder.
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def is_const(self, value: float | None = None) -> bool:
+        if self.kind != "const":
+            return False
+        return value is None or self.payload == value
+
+    def evaluate(self, values: Mapping[str, float]) -> complex | float:
+        """Direct (uncompiled) evaluation; handy for tests.  Complex-safe sqrt/log."""
+        k = self.kind
+        if k == "const":
+            return self.payload
+        if k == "sym":
+            return values[self.payload]
+        child_vals = [c.evaluate(values) for c in self.children]
+        if k == "add":
+            return sum(child_vals)
+        if k == "mul":
+            out = 1.0
+            for v in child_vals:
+                out *= v
+            return out
+        if k == "div":
+            return child_vals[0] / child_vals[1]
+        if k == "pow":
+            return child_vals[0] ** self.payload
+        if k == "neg":
+            return -child_vals[0]
+        if k == "sqrt":
+            v = child_vals[0]
+            if isinstance(v, complex) or v < 0:
+                return complex(v) ** 0.5
+            return math.sqrt(v)
+        if k == "exp":
+            v = child_vals[0]
+            return (math.exp(v) if not isinstance(v, complex)
+                    else complex(math.e) ** v)
+        if k == "log":
+            v = child_vals[0]
+            if isinstance(v, complex) or v <= 0:
+                import cmath
+                return cmath.log(v)
+            return math.log(v)
+        if k == "abs":
+            return abs(child_vals[0])
+        raise SymbolicError(f"unknown node kind {k!r}")
+
+    def free_symbol_names(self) -> set[str]:
+        names: set[str] = set()
+        stack = [self]
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if node.kind == "sym":
+                names.add(node.payload)
+            stack.extend(node.children)
+        return names
+
+    def count_ops(self) -> int:
+        """Number of arithmetic operations in the DAG (shared nodes counted once)."""
+        ops = 0
+        seen: set[int] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if node.kind in ("add", "mul"):
+                ops += len(node.children) - 1
+            elif node.kind in ("div", "pow") or node.kind in _UNARY:
+                ops += 1
+            stack.extend(node.children)
+        return ops
+
+    def __repr__(self) -> str:
+        if self.kind == "const":
+            return f"{self.payload:g}"
+        if self.kind == "sym":
+            return self.payload
+        if self.kind == "pow":
+            return f"({self.children[0]!r})**{self.payload}"
+        if self.kind in _UNARY:
+            return f"{self.kind}({self.children[0]!r})"
+        sep = {"add": " + ", "mul": "*", "div": " / "}[self.kind]
+        return "(" + sep.join(repr(c) for c in self.children) + ")"
+
+
+class ExprBuilder:
+    """Factory for interned :class:`Expr` nodes with light algebraic folding."""
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, Expr] = {}
+
+    def _intern(self, kind: str, payload, children: tuple[Expr, ...]) -> Expr:
+        key = (kind, payload, tuple(id(c) for c in children))
+        node = self._table.get(key)
+        if node is None:
+            node = Expr(kind, payload, children)
+            self._table[key] = node
+        return node
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # -- leaves ---------------------------------------------------------
+    def const(self, value: float) -> Expr:
+        return self._intern("const", float(value), ())
+
+    def sym(self, symbol: Symbol | str) -> Expr:
+        name = symbol.name if isinstance(symbol, Symbol) else symbol
+        return self._intern("sym", name, ())
+
+    # -- n-ary ops with folding ------------------------------------------
+    def add(self, *args: Expr) -> Expr:
+        # Note: child ``add`` nodes are *not* spliced in — flattening would
+        # destroy structural sharing and with it the compiler's CSE.
+        flat: list[Expr] = []
+        const_sum = 0.0
+        for a in args:
+            if a.kind == "const":
+                const_sum += a.payload
+            else:
+                flat.append(a)
+        if const_sum != 0.0 or not flat:
+            flat.append(self.const(const_sum))
+        flat.sort(key=lambda n: n._hash)
+        if len(flat) == 1:
+            return flat[0]
+        return self._intern("add", None, tuple(flat))
+
+    def mul(self, *args: Expr) -> Expr:
+        # Child ``mul`` nodes are kept intact (see ``add``).
+        flat: list[Expr] = []
+        const_prod = 1.0
+        for a in args:
+            if a.kind == "const":
+                const_prod *= a.payload
+            else:
+                flat.append(a)
+        if const_prod == 0.0:
+            return self.const(0.0)
+        if const_prod != 1.0 or not flat:
+            flat.append(self.const(const_prod))
+        flat.sort(key=lambda n: n._hash)
+        if len(flat) == 1:
+            return flat[0]
+        return self._intern("mul", None, tuple(flat))
+
+    def neg(self, a: Expr) -> Expr:
+        return self.mul(self.const(-1.0), a)
+
+    def sub(self, a: Expr, b: Expr) -> Expr:
+        return self.add(a, self.neg(b))
+
+    def div(self, a: Expr, b: Expr) -> Expr:
+        if b.is_const():
+            if b.payload == 0.0:
+                raise SymbolicError("expression division by constant zero")
+            return self.mul(self.const(1.0 / b.payload), a)
+        if a.is_const(0.0):
+            return a
+        return self._intern("div", None, (a, b))
+
+    def pow(self, base: Expr, exponent: int) -> Expr:
+        if exponent == 0:
+            return self.const(1.0)
+        if exponent == 1:
+            return base
+        if base.is_const():
+            return self.const(base.payload ** exponent)
+        return self._intern("pow", int(exponent), (base,))
+
+    def _unary(self, kind: str, a: Expr) -> Expr:
+        return self._intern(kind, None, (a,))
+
+    def sqrt(self, a: Expr) -> Expr:
+        if a.is_const() and a.payload >= 0:
+            return self.const(math.sqrt(a.payload))
+        return self._unary("sqrt", a)
+
+    def exp(self, a: Expr) -> Expr:
+        return self._unary("exp", a)
+
+    def log(self, a: Expr) -> Expr:
+        return self._unary("log", a)
+
+    def abs(self, a: Expr) -> Expr:
+        return self._unary("abs", a)
+
+    # -- conversions ------------------------------------------------------
+    def from_poly(self, poly: Poly) -> Expr:
+        """Convert a polynomial to a sum-of-monomials DAG (shared monomials)."""
+        if poly.is_zero():
+            return self.const(0.0)
+        names = poly.space.names
+        terms = []
+        for exps, coeff in poly.sorted_terms():
+            factors = [self.const(coeff)] if coeff != 1.0 or not any(exps) else []
+            for i, e in enumerate(exps):
+                if e == 1:
+                    factors.append(self.sym(names[i]))
+                elif e:
+                    factors.append(self.pow(self.sym(names[i]), e))
+            terms.append(self.mul(*factors) if factors else self.const(coeff))
+        return self.add(*terms)
+
+    def from_poly_horner(self, poly: Poly) -> Expr:
+        """Convert a polynomial to nested Horner form.
+
+        Recursively factors on the polynomial's first used symbol:
+        ``p = c0(rest) + x (c1(rest) + x (c2(rest) + ...))``.  Usually
+        fewer multiplications than the expanded sum-of-monomials form (no
+        repeated powers), at the cost of deeper nesting.
+        """
+        free = poly.free_symbols()
+        if not free:
+            return self.const(poly.constant_value() if poly.terms else 0.0)
+        pivot = free[0]
+        coeffs = poly.as_univariate(pivot)
+        if set(coeffs) == {0}:
+            return self.from_poly_horner(coeffs[0])
+        x = self.sym(pivot)
+        degree = max(coeffs)
+        acc: Expr | None = None
+        for k in range(degree, -1, -1):
+            term = coeffs.get(k)
+            term_expr = (self.from_poly_horner(term)
+                         if term is not None else None)
+            if acc is None:
+                acc = term_expr if term_expr is not None else self.const(0.0)
+            else:
+                acc = self.mul(x, acc)
+                if term_expr is not None:
+                    acc = self.add(term_expr, acc)
+        assert acc is not None
+        return acc
+
+    def from_rational(self, rat: Rational) -> Expr:
+        num = self.from_poly(rat.num)
+        if rat.is_polynomial():
+            den_val = rat.den.constant_value()
+            return num if den_val == 1.0 else self.mul(self.const(1.0 / den_val), num)
+        return self.div(num, self.from_poly(rat.den))

@@ -1,0 +1,60 @@
+"""Optional sympy interoperability.
+
+The engine in this package is self-contained; sympy is used only for
+cross-validation (tests compare our polynomial arithmetic and symbolic
+transfer functions against sympy's) and for users who want to pretty-print
+or further manipulate results.  Everything here degrades gracefully when
+sympy is absent.
+"""
+
+from __future__ import annotations
+
+from ..errors import SymbolicError
+from .poly import Poly
+from .rational import Rational
+
+try:  # pragma: no cover - exercised implicitly
+    import sympy as _sympy
+except ImportError:  # pragma: no cover
+    _sympy = None
+
+
+def sympy_available() -> bool:
+    return _sympy is not None
+
+
+def _require_sympy():
+    if _sympy is None:
+        raise SymbolicError("sympy is not installed; install repro[interop]")
+    return _sympy
+
+
+def poly_to_sympy(poly: Poly):
+    """Convert a :class:`Poly` to a sympy expression."""
+    sp = _require_sympy()
+    syms = [sp.Symbol(name) for name in poly.space.names]
+    expr = sp.Integer(0)
+    for exps, coeff in poly.terms.items():
+        term = sp.Float(coeff)
+        for sym, e in zip(syms, exps):
+            if e:
+                term *= sym ** e
+        expr += term
+    return expr
+
+
+def rational_to_sympy(rat: Rational):
+    """Convert a :class:`Rational` to a sympy expression."""
+    sp = _require_sympy()
+    return poly_to_sympy(rat.num) / poly_to_sympy(rat.den)
+
+
+def poly_from_sympy(expr, space) -> Poly:
+    """Convert a sympy polynomial expression into a :class:`Poly` over ``space``."""
+    sp = _require_sympy()
+    syms = [sp.Symbol(name) for name in space.names]
+    spoly = sp.Poly(sp.expand(expr), *syms)
+    terms = {}
+    for exps, coeff in spoly.terms():
+        terms[tuple(int(e) for e in exps)] = float(coeff)
+    return Poly(space, terms)

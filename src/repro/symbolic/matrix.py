@@ -1,0 +1,290 @@
+"""Small dense symbolic matrices with division-free linear algebra.
+
+The global partitioned MNA system ``Yglobal0 · Vk = rhs`` (paper eq. 13) is
+small — its size scales with the number of ports/symbolic elements, not with
+circuit size — but its entries are polynomials in the symbols.  We solve it
+by Cramer's rule using the adjugate, computed with a subset-sum dynamic
+program over rows (Leibniz expansion shared across cofactors).  No division
+ever happens: solutions are returned as ``(numerator Poly, determinant Poly)``
+pairs, and moment denominators stack up as powers of the determinant.
+
+Complexity is O(n² · 2ⁿ) polynomial multiply-adds — trivial for the n ≤ 12
+systems AWEsymbolic produces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import SymbolicError
+from .poly import Poly
+from .rational import Rational
+from .symbols import SymbolSpace
+
+#: Beyond this size the subset DP (2^n states) stops being sensible.  The
+#: paper's whole point is that the symbolic system stays tiny; hitting this
+#: limit means partitioning went wrong.
+MAX_DET_SIZE = 18
+
+
+class PolyMatrix:
+    """Immutable dense matrix of :class:`~repro.symbolic.poly.Poly` entries."""
+
+    __slots__ = ("space", "rows")
+
+    def __init__(self, space: SymbolSpace, rows: Sequence[Sequence[Poly]]) -> None:
+        self.space = space
+        n_cols = len(rows[0]) if rows else 0
+        cleaned: list[tuple[Poly, ...]] = []
+        for row in rows:
+            if len(row) != n_cols:
+                raise SymbolicError("ragged rows in PolyMatrix")
+            for entry in row:
+                if entry.space != space:
+                    raise SymbolicError("matrix entry space mismatch")
+            cleaned.append(tuple(row))
+        self.rows = tuple(cleaned)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, space: SymbolSpace, n_rows: int, n_cols: int) -> "PolyMatrix":
+        zero = Poly.zero(space)
+        return cls(space, [[zero] * n_cols for _ in range(n_rows)])
+
+    @classmethod
+    def identity(cls, space: SymbolSpace, n: int) -> "PolyMatrix":
+        zero, one = Poly.zero(space), Poly.one(space)
+        return cls(space, [[one if i == j else zero for j in range(n)]
+                           for i in range(n)])
+
+    @classmethod
+    def from_numeric(cls, space: SymbolSpace, array) -> "PolyMatrix":
+        arr = np.asarray(array, dtype=float)
+        if arr.ndim != 2:
+            raise SymbolicError("from_numeric expects a 2-D array")
+        return cls(space, [[Poly.constant(space, v) for v in row] for row in arr])
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        if not self.rows:
+            return (0, 0)
+        return (len(self.rows), len(self.rows[0]))
+
+    def __getitem__(self, key: tuple[int, int]) -> Poly:
+        i, j = key
+        return self.rows[i][j]
+
+    def with_entry(self, i: int, j: int, value: Poly) -> "PolyMatrix":
+        rows = [list(r) for r in self.rows]
+        rows[i][j] = value
+        return PolyMatrix(self.space, rows)
+
+    def add_to_entry(self, i: int, j: int, value: Poly) -> "PolyMatrix":
+        return self.with_entry(i, j, self.rows[i][j] + value)
+
+    def transpose(self) -> "PolyMatrix":
+        n, m = self.shape
+        return PolyMatrix(self.space,
+                          [[self.rows[i][j] for i in range(n)] for j in range(m)])
+
+    def map(self, fn: Callable[[Poly], Poly]) -> "PolyMatrix":
+        return PolyMatrix(self.space, [[fn(e) for e in row] for row in self.rows])
+
+    def __add__(self, other: "PolyMatrix") -> "PolyMatrix":
+        if self.shape != other.shape:
+            raise SymbolicError("matrix shape mismatch in add")
+        return PolyMatrix(self.space,
+                          [[a + b for a, b in zip(ra, rb)]
+                           for ra, rb in zip(self.rows, other.rows)])
+
+    def __mul__(self, scalar: Poly | float | int) -> "PolyMatrix":
+        return self.map(lambda e: e * scalar)
+
+    __rmul__ = __mul__
+
+    def matvec(self, vec: Sequence[Poly]) -> list[Poly]:
+        n, m = self.shape
+        if len(vec) != m:
+            raise SymbolicError("matvec length mismatch")
+        out = []
+        for i in range(n):
+            acc = Poly.zero(self.space)
+            for j in range(m):
+                entry = self.rows[i][j]
+                if not entry.is_zero() and not vec[j].is_zero():
+                    acc = acc + entry * vec[j]
+            out.append(acc)
+        return out
+
+    def matmul(self, other: "PolyMatrix") -> "PolyMatrix":
+        n, k = self.shape
+        k2, m = other.shape
+        if k != k2:
+            raise SymbolicError("matmul shape mismatch")
+        cols = other.transpose().rows
+        return PolyMatrix(self.space,
+                          [[sum((self.rows[i][t] * cols[j][t]
+                                 for t in range(k)
+                                 if not self.rows[i][t].is_zero()
+                                 and not cols[j][t].is_zero()),
+                                Poly.zero(self.space))
+                            for j in range(m)] for i in range(n)])
+
+    def evaluate(self, values) -> np.ndarray:
+        """Numeric matrix at a point."""
+        n, m = self.shape
+        out = np.empty((n, m), dtype=float)
+        for i in range(n):
+            for j in range(m):
+                out[i, j] = self.rows[i][j].evaluate(values)
+        return out
+
+    def __repr__(self) -> str:
+        n, m = self.shape
+        return f"PolyMatrix({n}x{m} over {list(self.space.names)})"
+
+    # ------------------------------------------------------------------
+    # determinants via subset DP
+    # ------------------------------------------------------------------
+    def _det_dp(self, columns: Sequence[int]) -> dict[int, Poly]:
+        """Leibniz subset DP over ``columns`` (in the given order).
+
+        Returns ``D`` where ``D[mask]`` is the determinant of the submatrix
+        using rows in ``mask`` (ascending order) and the first
+        ``popcount(mask)`` of ``columns``.  Includes all masks up to size
+        ``len(columns)``.
+        """
+        n = self.shape[0]
+        zero = Poly.zero(self.space)
+        dp: dict[int, Poly] = {0: Poly.one(self.space)}
+        frontier = [0]
+        for col in columns:
+            new_dp: dict[int, Poly] = {}
+            for mask in frontier:
+                base = dp[mask]
+                if base.is_zero():
+                    continue
+                for r in range(n):
+                    bit = 1 << r
+                    if mask & bit:
+                        continue
+                    entry = self.rows[r][col]
+                    if entry.is_zero():
+                        continue
+                    new_mask = mask | bit
+                    # parity: inversions added = used rows with index above r
+                    sign = -1.0 if bin(mask >> (r + 1)).count("1") % 2 else 1.0
+                    contrib = base * entry if sign > 0 else base * entry * -1.0
+                    acc = new_dp.get(new_mask)
+                    new_dp[new_mask] = contrib if acc is None else acc + contrib
+            dp.update(new_dp)
+            frontier = list(new_dp.keys())
+        return dp
+
+    def det(self) -> Poly:
+        """Determinant (division-free).
+
+        Raises:
+            SymbolicError: non-square or larger than :data:`MAX_DET_SIZE`.
+        """
+        n, m = self.shape
+        if n != m:
+            raise SymbolicError(f"determinant of non-square {n}x{m} matrix")
+        if n == 0:
+            return Poly.one(self.space)
+        if n > MAX_DET_SIZE:
+            raise SymbolicError(
+                f"symbolic determinant of size {n} exceeds limit {MAX_DET_SIZE}; "
+                "partition the circuit further")
+        dp = self._det_dp(list(range(n)))
+        return dp.get((1 << n) - 1, Poly.zero(self.space))
+
+    def adjugate_and_det(self) -> tuple["PolyMatrix", Poly]:
+        """The adjugate matrix and determinant, so ``A @ adj = det * I``.
+
+        One subset-DP pass per excluded column yields all cofactors of that
+        column simultaneously (masks of size n-1 are exactly the row-deleted
+        minors).
+        """
+        n, m = self.shape
+        if n != m:
+            raise SymbolicError("adjugate of non-square matrix")
+        if n > MAX_DET_SIZE:
+            raise SymbolicError(
+                f"symbolic adjugate of size {n} exceeds limit {MAX_DET_SIZE}")
+        if n == 0:
+            return PolyMatrix(self.space, []), Poly.one(self.space)
+        zero = Poly.zero(self.space)
+        adj_rows = [[zero] * n for _ in range(n)]
+        if n == 1:
+            return (PolyMatrix(self.space, [[Poly.one(self.space)]]),
+                    self.rows[0][0])
+        for j in range(n):
+            columns = [c for c in range(n) if c != j]
+            dp = self._det_dp(columns)
+            full = (1 << n) - 1
+            for i in range(n):
+                minor = dp.get(full ^ (1 << i), zero)
+                if minor.is_zero():
+                    continue
+                # cofactor C_ij = (-1)^(i+j) * minor;  adj = C^T
+                adj_rows[j][i] = minor if (i + j) % 2 == 0 else minor * -1.0
+        det = self._det_dp(list(range(n))).get((1 << n) - 1, zero)
+        return PolyMatrix(self.space, adj_rows), det
+
+
+class SymbolicLinearSolver:
+    """Repeated-RHS solver for one symbolic matrix via cached adjugate.
+
+    Solutions are reported division-free: ``solve_poly`` returns numerators
+    and the shared determinant denominator; the AWE moment recursion keeps
+    stacking determinant powers, which :mod:`repro.partition.composite`
+    tracks explicitly.
+    """
+
+    def __init__(self, matrix: PolyMatrix) -> None:
+        n, m = matrix.shape
+        if n != m:
+            raise SymbolicError("solver requires a square matrix")
+        self.matrix = matrix
+        self._adjugate, self._det = matrix.adjugate_and_det()
+        if self._det.is_zero():
+            raise SymbolicError("symbolic matrix is singular")
+
+    @property
+    def det(self) -> Poly:
+        return self._det
+
+    @property
+    def adjugate(self) -> PolyMatrix:
+        return self._adjugate
+
+    def solve_poly(self, rhs: Sequence[Poly]) -> tuple[list[Poly], Poly]:
+        """Solve ``A x = rhs`` with polynomial rhs: ``x = nums / det``."""
+        nums = self._adjugate.matvec(list(rhs))
+        return nums, self._det
+
+    def solve_rational(self, rhs: Sequence[Rational]) -> list[Rational]:
+        """Solve with rational rhs entries; result entries are fully formed."""
+        space = self.matrix.space
+        # common denominator of the rhs
+        common_den = Poly.one(space)
+        for r in rhs:
+            if not r.den.is_constant() or r.den.constant_value() != 1.0:
+                common_den = common_den * r.den
+        nums = []
+        for r in rhs:
+            scale = common_den.try_divide(r.den)
+            if scale is None:
+                # fall back to direct product form
+                scale = Poly.one(space)
+                for other in rhs:
+                    if other is not r:
+                        scale = scale * other.den
+            nums.append(r.num * scale)
+        x_nums, det = self.solve_poly(nums)
+        den = det * common_den
+        return [Rational(n, den) for n in x_nums]

@@ -1,0 +1,451 @@
+"""Sparse multivariate polynomials with float coefficients.
+
+A :class:`Poly` stores ``{exponent_tuple: coefficient}`` over a fixed
+:class:`~repro.symbolic.symbols.SymbolSpace`.  This is the canonical form for
+all symbolic circuit quantities: MNA entries, determinants, moments.  The
+paper's observation that transfer-function coefficients are *multilinear* in
+the symbolic elements shows up here as every exponent being 0 or 1 (see
+:meth:`Poly.is_multilinear`).
+
+Design notes
+------------
+* Coefficients are plain floats — the analysis is mixed numeric-symbolic, so
+  exact rational arithmetic buys nothing and costs a lot.
+* Division is only needed to *cancel known common factors* (e.g. a
+  determinant power in a moment).  :meth:`Poly.try_divide` performs
+  multivariate division and reports failure instead of raising, so callers
+  can fall back to keeping the factor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Mapping, Sequence, Union
+
+from ..errors import SymbolicError
+from .symbols import Symbol, SymbolSpace
+
+Number = Union[int, float]
+
+
+def _grlex_key(item: tuple[tuple[int, ...], float]) -> tuple[int, tuple[int, ...]]:
+    exps, _ = item
+    return (sum(exps), exps)
+
+
+class Poly:
+    """Immutable sparse multivariate polynomial over a symbol space."""
+
+    __slots__ = ("space", "terms")
+
+    def __init__(self, space: SymbolSpace, terms: Mapping[tuple[int, ...], float],
+                 *, _clean: bool = False) -> None:
+        self.space = space
+        if _clean:
+            self.terms: dict[tuple[int, ...], float] = dict(terms)
+        else:
+            clean: dict[tuple[int, ...], float] = {}
+            width = len(space)
+            for exps, coeff in terms.items():
+                if len(exps) != width:
+                    raise SymbolicError(
+                        f"exponent tuple {exps} does not match space of width {width}")
+                coeff = float(coeff)
+                if coeff != 0.0:
+                    clean[tuple(int(e) for e in exps)] = coeff
+            self.terms = clean
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, space: SymbolSpace) -> "Poly":
+        return cls(space, {}, _clean=True)
+
+    @classmethod
+    def constant(cls, space: SymbolSpace, value: Number) -> "Poly":
+        value = float(value)
+        if value == 0.0:
+            return cls.zero(space)
+        return cls(space, {space.zero_exponents(): value}, _clean=True)
+
+    @classmethod
+    def one(cls, space: SymbolSpace) -> "Poly":
+        return cls.constant(space, 1.0)
+
+    @classmethod
+    def symbol(cls, space: SymbolSpace, symbol: Symbol | str, coeff: Number = 1.0) -> "Poly":
+        coeff = float(coeff)
+        if coeff == 0.0:
+            return cls.zero(space)
+        return cls(space, {space.unit_exponents(symbol): coeff}, _clean=True)
+
+    @classmethod
+    def monomial(cls, space: SymbolSpace, exps: Sequence[int], coeff: Number = 1.0) -> "Poly":
+        return cls(space, {tuple(exps): float(coeff)})
+
+    # ------------------------------------------------------------------
+    # basic predicates
+    # ------------------------------------------------------------------
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def is_constant(self) -> bool:
+        return not self.terms or (len(self.terms) == 1
+                                  and self.space.zero_exponents() in self.terms)
+
+    def constant_value(self) -> float:
+        """The value of a constant polynomial.
+
+        Raises:
+            SymbolicError: if the polynomial actually involves symbols.
+        """
+        if not self.is_constant():
+            raise SymbolicError(f"polynomial is not constant: {self}")
+        return self.terms.get(self.space.zero_exponents(), 0.0)
+
+    def is_multilinear(self) -> bool:
+        """True when every symbol appears with exponent 0 or 1 in every term."""
+        return all(all(e <= 1 for e in exps) for exps in self.terms)
+
+    def total_degree(self) -> int:
+        """Highest total degree among terms (-1 for the zero polynomial)."""
+        if not self.terms:
+            return -1
+        return max(sum(exps) for exps in self.terms)
+
+    def degree(self, symbol: Symbol | str) -> int:
+        """Highest exponent of ``symbol`` (-1 for the zero polynomial)."""
+        if not self.terms:
+            return -1
+        i = self.space.index(symbol)
+        return max(exps[i] for exps in self.terms)
+
+    def free_symbols(self) -> tuple[Symbol, ...]:
+        """Symbols that actually appear with nonzero exponent."""
+        used = [False] * len(self.space)
+        for exps in self.terms:
+            for i, e in enumerate(exps):
+                if e:
+                    used[i] = True
+        return tuple(s for s, u in zip(self.space.symbols, used) if u)
+
+    def max_abs_coeff(self) -> float:
+        return max((abs(c) for c in self.terms.values()), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: "Poly | Number") -> "Poly":
+        if isinstance(other, Poly):
+            if other.space != self.space:
+                raise SymbolicError(
+                    f"space mismatch: {self.space.names} vs {other.space.names}")
+            return other
+        if isinstance(other, (int, float)):
+            return Poly.constant(self.space, other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: "Poly | Number") -> "Poly":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        if not self.terms:
+            return other
+        if not other.terms:
+            return self
+        out = dict(self.terms)
+        for exps, coeff in other.terms.items():
+            new = out.get(exps, 0.0) + coeff
+            if new == 0.0:
+                out.pop(exps, None)
+            else:
+                out[exps] = new
+        return Poly(self.space, out, _clean=True)
+
+    def __radd__(self, other: Number) -> "Poly":
+        return self.__add__(other)
+
+    def __sub__(self, other: "Poly | Number") -> "Poly":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self.__add__(-other)
+
+    def __rsub__(self, other: Number) -> "Poly":
+        return (-self).__add__(other)
+
+    def __neg__(self) -> "Poly":
+        return Poly(self.space, {e: -c for e, c in self.terms.items()}, _clean=True)
+
+    def __mul__(self, other: "Poly | Number") -> "Poly":
+        if isinstance(other, (int, float)):
+            other = float(other)
+            if other == 0.0:
+                return Poly.zero(self.space)
+            if other == 1.0:
+                return self
+            return Poly(self.space,
+                        {e: c * other for e, c in self.terms.items()}, _clean=True)
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        if not self.terms or not other.terms:
+            return Poly.zero(self.space)
+        # multiply the smaller term set into the larger one
+        a, b = self.terms, other.terms
+        if len(a) > len(b):
+            a, b = b, a
+        out: dict[tuple[int, ...], float] = {}
+        for ea, ca in a.items():
+            for eb, cb in b.items():
+                key = tuple(x + y for x, y in zip(ea, eb))
+                new = out.get(key, 0.0) + ca * cb
+                if new == 0.0:
+                    out.pop(key, None)
+                else:
+                    out[key] = new
+        return Poly(self.space, out, _clean=True)
+
+    def __rmul__(self, other: Number) -> "Poly":
+        return self.__mul__(other)
+
+    def __pow__(self, exponent: int) -> "Poly":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise SymbolicError(f"polynomial power must be a non-negative int, got {exponent!r}")
+        result = Poly.one(self.space)
+        base = self
+        n = exponent
+        while n:
+            if n & 1:
+                result = result * base
+            n >>= 1
+            if n:
+                base = base * base
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float)):
+            return self.is_constant() and self.constant_value() == float(other)
+        if not isinstance(other, Poly):
+            return NotImplemented
+        return self.space == other.space and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash((self.space, frozenset(self.terms.items())))
+
+    def allclose(self, other: "Poly", rtol: float = 1e-9, atol: float = 0.0) -> bool:
+        """Coefficient-wise closeness, scaled by the larger polynomial's norm."""
+        other = self._coerce(other)
+        scale = max(self.max_abs_coeff(), other.max_abs_coeff(), atol)
+        if scale == 0.0:
+            return True
+        keys = set(self.terms) | set(other.terms)
+        return all(
+            abs(self.terms.get(k, 0.0) - other.terms.get(k, 0.0)) <= rtol * scale + atol
+            for k in keys)
+
+    # ------------------------------------------------------------------
+    # evaluation and substitution
+    # ------------------------------------------------------------------
+    def evaluate(self, values: Mapping | Sequence[float]) -> float:
+        """Evaluate at a point; ``values`` as mapping (name/Symbol) or aligned sequence."""
+        vec = self.space.values_vector(values)
+        total = 0.0
+        for exps, coeff in self.terms.items():
+            term = coeff
+            for value, e in zip(vec, exps):
+                if e == 1:
+                    term *= value
+                elif e:
+                    term *= value ** e
+            total += term
+        return total
+
+    def substitute(self, symbol: Symbol | str, replacement: "Poly | Number") -> "Poly":
+        """Replace ``symbol`` by a value or polynomial (over the same space)."""
+        i = self.space.index(symbol)
+        if isinstance(replacement, (int, float)):
+            out: dict[tuple[int, ...], float] = {}
+            for exps, coeff in self.terms.items():
+                scaled = coeff * (float(replacement) ** exps[i]) if exps[i] else coeff
+                key = exps[:i] + (0,) + exps[i + 1:]
+                new = out.get(key, 0.0) + scaled
+                if new == 0.0:
+                    out.pop(key, None)
+                else:
+                    out[key] = new
+            return Poly(self.space, out, _clean=True)
+        replacement = self._coerce(replacement)
+        result = Poly.zero(self.space)
+        for exps, coeff in self.terms.items():
+            base = Poly.monomial(self.space, exps[:i] + (0,) + exps[i + 1:], coeff)
+            result = result + base * (replacement ** exps[i])
+        return result
+
+    def derivative(self, symbol: Symbol | str) -> "Poly":
+        """Partial derivative with respect to ``symbol``."""
+        i = self.space.index(symbol)
+        out: dict[tuple[int, ...], float] = {}
+        for exps, coeff in self.terms.items():
+            e = exps[i]
+            if e:
+                key = exps[:i] + (e - 1,) + exps[i + 1:]
+                out[key] = out.get(key, 0.0) + coeff * e
+        return Poly(self.space, out, _clean=True)
+
+    def coeff_of(self, symbol: Symbol | str, power: int) -> "Poly":
+        """Coefficient of ``symbol**power`` as a polynomial with that symbol removed
+        (exponent zeroed, same space)."""
+        i = self.space.index(symbol)
+        out: dict[tuple[int, ...], float] = {}
+        for exps, coeff in self.terms.items():
+            if exps[i] == power:
+                key = exps[:i] + (0,) + exps[i + 1:]
+                out[key] = out.get(key, 0.0) + coeff
+        return Poly(self.space, out, _clean=True)
+
+    def as_univariate(self, symbol: Symbol | str) -> dict[int, "Poly"]:
+        """View as a polynomial in ``symbol``: ``{power: coefficient Poly}``."""
+        return {k: self.coeff_of(symbol, k)
+                for k in range(self.degree(symbol) + 1)
+                if not self.coeff_of(symbol, k).is_zero()}
+
+    def lift(self, space: SymbolSpace) -> "Poly":
+        """Embed into a superspace containing all of this polynomial's symbols."""
+        if space == self.space:
+            return self
+        mapping = [space.index(s) for s in self.space.symbols]
+        width = len(space)
+        out: dict[tuple[int, ...], float] = {}
+        for exps, coeff in self.terms.items():
+            key = [0] * width
+            for src, dst in enumerate(mapping):
+                key[dst] = exps[src]
+            tup = tuple(key)
+            out[tup] = out.get(tup, 0.0) + coeff
+        return Poly(space, out, _clean=True)
+
+    def map_coeffs(self, fn: Callable[[float], float]) -> "Poly":
+        """Apply ``fn`` to every coefficient (zeros produced by ``fn`` are dropped)."""
+        return Poly(self.space, {e: fn(c) for e, c in self.terms.items()})
+
+    def prune(self, rtol: float = 1e-14) -> "Poly":
+        """Drop coefficients smaller than ``rtol`` times the largest coefficient."""
+        scale = self.max_abs_coeff()
+        if scale == 0.0:
+            return self
+        cutoff = rtol * scale
+        return Poly(self.space,
+                    {e: c for e, c in self.terms.items() if abs(c) > cutoff}, _clean=True)
+
+    # ------------------------------------------------------------------
+    # division
+    # ------------------------------------------------------------------
+    def monomial_content(self) -> tuple[int, ...]:
+        """Per-symbol minimum exponent over all terms (the monomial GCD).
+
+        Returns the all-zero tuple for the zero polynomial.
+        """
+        if not self.terms:
+            return self.space.zero_exponents()
+        mins = [min(exps[i] for exps in self.terms)
+                for i in range(len(self.space))]
+        return tuple(mins)
+
+    def divide_by_monomial(self, exps: Sequence[int]) -> "Poly":
+        """Exact division by a monomial (every term must be divisible).
+
+        Raises:
+            SymbolicError: if some term has a smaller exponent.
+        """
+        exps = tuple(exps)
+        out: dict[tuple[int, ...], float] = {}
+        for term_exps, coeff in self.terms.items():
+            new = tuple(t - d for t, d in zip(term_exps, exps))
+            if any(e < 0 for e in new):
+                raise SymbolicError(
+                    f"term {term_exps} not divisible by monomial {exps}")
+            out[new] = coeff
+        return Poly(self.space, out, _clean=True)
+
+    def leading_term(self) -> tuple[tuple[int, ...], float]:
+        """Leading (exponents, coeff) under graded-lex order.
+
+        Raises:
+            SymbolicError: for the zero polynomial.
+        """
+        if not self.terms:
+            raise SymbolicError("zero polynomial has no leading term")
+        return max(self.terms.items(), key=_grlex_key)
+
+    def try_divide(self, divisor: "Poly", rtol: float = 1e-8) -> "Poly | None":
+        """Exact multivariate division: return ``q`` with ``self == q * divisor``.
+
+        Returns ``None`` when the division is not exact (leading-term
+        cancellation gets stuck, or the final residual exceeds ``rtol``
+        relative to this polynomial's coefficient norm).
+        """
+        divisor = self._coerce(divisor)
+        if divisor.is_zero():
+            raise SymbolicError("division by zero polynomial")
+        if self.is_zero():
+            return Poly.zero(self.space)
+        if divisor.is_constant():
+            return self * (1.0 / divisor.constant_value())
+        lt_d_exps, lt_d_coeff = divisor.leading_term()
+        remainder = self
+        quotient: dict[tuple[int, ...], float] = {}
+        scale = max(self.max_abs_coeff(), 1e-300)
+        drop_tol = 1e-13 * scale
+        max_steps = 4 * (len(self.terms) + 1) * (len(divisor.terms) + 1) + 64
+        for _ in range(max_steps):
+            # drop float dust relative to the dividend's scale, not the
+            # remainder's own (cancellation can leave a pure-dust remainder)
+            remainder = Poly(self.space,
+                             {e: c for e, c in remainder.terms.items()
+                              if abs(c) > drop_tol}, _clean=True)
+            if remainder.is_zero():
+                break
+            lt_r_exps, lt_r_coeff = remainder.leading_term()
+            diff = tuple(r - d for r, d in zip(lt_r_exps, lt_d_exps))
+            if any(d < 0 for d in diff):
+                break  # stuck; the residual check below decides
+            coeff = lt_r_coeff / lt_d_coeff
+            quotient[diff] = quotient.get(diff, 0.0) + coeff
+            remainder = remainder - divisor * Poly.monomial(self.space, diff, coeff)
+        if remainder.max_abs_coeff() > rtol * scale:
+            return None
+        return Poly(self.space, quotient)
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def sorted_terms(self) -> list[tuple[tuple[int, ...], float]]:
+        """Terms sorted by descending graded-lex order."""
+        return sorted(self.terms.items(), key=_grlex_key, reverse=True)
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        names = self.space.names
+        chunks: list[str] = []
+        for exps, coeff in self.sorted_terms():
+            factors = [f"{names[i]}" if e == 1 else f"{names[i]}**{e}"
+                       for i, e in enumerate(exps) if e]
+            if not factors:
+                chunks.append(f"{coeff:g}")
+            elif coeff == 1.0:
+                chunks.append("*".join(factors))
+            elif coeff == -1.0:
+                chunks.append("-" + "*".join(factors))
+            else:
+                chunks.append(f"{coeff:g}*" + "*".join(factors))
+        text = " + ".join(chunks)
+        return text.replace("+ -", "- ")
+
+    def __repr__(self) -> str:
+        return f"Poly({self})"

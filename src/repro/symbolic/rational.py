@@ -1,0 +1,266 @@
+"""Rational functions: quotients of two :class:`~repro.symbolic.poly.Poly`.
+
+Symbolic circuit solutions are rational in the symbolic element values (and
+in the Laplace variable ``s`` when it is included in the space).  We avoid
+multivariate GCD entirely: the library only ever *creates* denominators that
+are powers of a known determinant, so :meth:`Rational.cancel` just attempts
+division by the denominator (and constant-content cleanup) and keeps the
+fraction unreduced when that fails.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+from ..errors import SymbolicError
+from .poly import Poly
+from .symbols import Symbol, SymbolSpace
+
+Number = Union[int, float]
+
+
+class Rational:
+    """Immutable quotient ``num / den`` of two polynomials over one space."""
+
+    __slots__ = ("num", "den")
+
+    def __init__(self, num: Poly, den: Poly | None = None) -> None:
+        if den is None:
+            den = Poly.one(num.space)
+        if num.space != den.space:
+            raise SymbolicError("numerator and denominator spaces differ")
+        if den.is_zero():
+            raise SymbolicError("zero denominator")
+        if num.is_zero():
+            den = Poly.one(num.space)
+        else:
+            # normalize scale: make the denominator's leading coefficient 1
+            _, lead = den.leading_term()
+            if lead != 1.0:
+                inv = 1.0 / lead
+                num = num * inv
+                den = den * inv
+        self.num = num
+        self.den = den
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_const(cls, space: SymbolSpace, value: Number) -> "Rational":
+        return cls(Poly.constant(space, value))
+
+    @classmethod
+    def from_symbol(cls, space: SymbolSpace, symbol: Symbol | str) -> "Rational":
+        return cls(Poly.symbol(space, symbol))
+
+    @classmethod
+    def zero(cls, space: SymbolSpace) -> "Rational":
+        return cls(Poly.zero(space))
+
+    @classmethod
+    def one(cls, space: SymbolSpace) -> "Rational":
+        return cls(Poly.one(space))
+
+    @property
+    def space(self) -> SymbolSpace:
+        return self.num.space
+
+    def is_zero(self) -> bool:
+        return self.num.is_zero()
+
+    def is_polynomial(self) -> bool:
+        return self.den.is_constant()
+
+    def as_poly(self) -> Poly:
+        """The underlying polynomial when the denominator is constant.
+
+        Raises:
+            SymbolicError: if the denominator is not constant.
+        """
+        if not self.den.is_constant():
+            raise SymbolicError(f"not a polynomial: denominator {self.den}")
+        return self.num * (1.0 / self.den.constant_value())
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: "Rational | Poly | Number") -> "Rational":
+        if isinstance(other, Rational):
+            if other.space != self.space:
+                raise SymbolicError("space mismatch between rationals")
+            return other
+        if isinstance(other, Poly):
+            return Rational(other)
+        if isinstance(other, (int, float)):
+            return Rational.from_const(self.space, other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: "Rational | Poly | Number") -> "Rational":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        if self.den == other.den:
+            return Rational(self.num + other.num, self.den)
+        return Rational(self.num * other.den + other.num * self.den,
+                        self.den * other.den)
+
+    def __radd__(self, other: Number) -> "Rational":
+        return self.__add__(other)
+
+    def __sub__(self, other: "Rational | Poly | Number") -> "Rational":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self.__add__(-other)
+
+    def __rsub__(self, other: Number) -> "Rational":
+        return (-self).__add__(other)
+
+    def __neg__(self) -> "Rational":
+        return Rational(-self.num, self.den)
+
+    def __mul__(self, other: "Rational | Poly | Number") -> "Rational":
+        if isinstance(other, (int, float)):
+            return Rational(self.num * other, self.den)
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return Rational(self.num * other.num, self.den * other.den)
+
+    def __rmul__(self, other: Number) -> "Rational":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: "Rational | Poly | Number") -> "Rational":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        if other.num.is_zero():
+            raise SymbolicError("division by zero rational")
+        return Rational(self.num * other.den, self.den * other.num)
+
+    def __rtruediv__(self, other: Number) -> "Rational":
+        return Rational.from_const(self.space, other).__truediv__(self)
+
+    def __pow__(self, exponent: int) -> "Rational":
+        if not isinstance(exponent, int):
+            raise SymbolicError(f"rational power must be an int, got {exponent!r}")
+        if exponent < 0:
+            if self.num.is_zero():
+                raise SymbolicError("cannot invert zero rational")
+            return Rational(self.den ** (-exponent), self.num ** (-exponent))
+        return Rational(self.num ** exponent, self.den ** exponent)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float, Poly)):
+            other = self._coerce(other)
+        if not isinstance(other, Rational):
+            return NotImplemented
+        # cross-multiplied exact comparison
+        return (self.num * other.den) == (other.num * self.den)
+
+    def __hash__(self) -> int:
+        return hash((self.num, self.den))
+
+    def allclose(self, other: "Rational | Poly | Number",
+                 rtol: float = 1e-9) -> bool:
+        """Cross-multiplied coefficient-wise closeness."""
+        other = self._coerce(other)
+        return (self.num * other.den).allclose(other.num * self.den, rtol=rtol)
+
+    # ------------------------------------------------------------------
+    # calculus / evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, values: Mapping | Sequence[float]) -> float:
+        den = self.den.evaluate(values)
+        if den == 0.0:
+            raise SymbolicError("rational function pole at evaluation point")
+        return self.num.evaluate(values) / den
+
+    def derivative(self, symbol: Symbol | str) -> "Rational":
+        """Quotient-rule partial derivative with respect to ``symbol``."""
+        dn = self.num.derivative(symbol)
+        dd = self.den.derivative(symbol)
+        if dd.is_zero():
+            return Rational(dn, self.den)
+        return Rational(dn * self.den - self.num * dd, self.den * self.den)
+
+    def substitute(self, symbol: Symbol | str, replacement: Poly | Number) -> "Rational":
+        return Rational(self.num.substitute(symbol, replacement),
+                        self.den.substitute(symbol, replacement))
+
+    def cancel(self, rtol: float = 1e-8) -> "Rational":
+        """Best-effort reduction without multivariate GCD.
+
+        Tries, in order: constant denominator absorption, exact division of
+        numerator by denominator, exact division of denominator by numerator.
+        Returns ``self`` unchanged when nothing cancels.
+        """
+        if self.num.is_zero() or self.den.is_constant():
+            return Rational(self.num * (1.0 / self.den.constant_value())) \
+                if self.den.is_constant() else self
+        # strip the common monomial factor first (cheap and exact)
+        num, den = self.num, self.den
+        common = tuple(min(a, b) for a, b in zip(num.monomial_content(),
+                                                 den.monomial_content()))
+        if any(common):
+            return Rational(num.divide_by_monomial(common),
+                            den.divide_by_monomial(common)).cancel(rtol=rtol)
+        quotient = self.num.try_divide(self.den, rtol=rtol)
+        if quotient is not None:
+            return Rational(quotient)
+        inverse = self.den.try_divide(self.num, rtol=rtol)
+        if inverse is not None and inverse.is_constant():
+            return Rational(Poly.constant(self.space, 1.0 / inverse.constant_value()))
+        return self
+
+    # ------------------------------------------------------------------
+    # series expansion
+    # ------------------------------------------------------------------
+    def maclaurin(self, symbol: Symbol | str, order: int,
+                  cancel: bool = False) -> list["Rational"]:
+        """First ``order + 1`` Maclaurin coefficients in ``symbol``.
+
+        With ``symbol = s`` this yields exactly the AWE moments of a transfer
+        function: ``H = m0 + m1 s + ...``.  The computation is division-free;
+        coefficient ``k`` is returned with denominator ``b0**(k+1)`` where
+        ``b0`` is the denominator's constant term in ``symbol`` (times this
+        rational's own denominator structure, which must not vanish at 0).
+
+        Raises:
+            SymbolicError: when the function has a pole at ``symbol = 0``.
+        """
+        a = {k: self.num.coeff_of(symbol, k) for k in range(self.num.degree(symbol) + 1)}
+        b = {k: self.den.coeff_of(symbol, k) for k in range(self.den.degree(symbol) + 1)}
+        b0 = b.get(0, Poly.zero(self.space))
+        if b0.is_zero():
+            raise SymbolicError(f"pole at {symbol} = 0; Maclaurin series does not exist")
+        zero = Poly.zero(self.space)
+        # m_k = n_k / b0**(k+1) with
+        # n_k = a_k * b0**k - sum_{j=1..k} b_j * n_{k-j} * b0**(j-1)
+        b0_pows = [Poly.one(self.space)]
+        for _ in range(order + 1):
+            b0_pows.append(b0_pows[-1] * b0)
+        n: list[Poly] = []
+        for k in range(order + 1):
+            nk = a.get(k, zero) * b0_pows[k]
+            for j in range(1, k + 1):
+                bj = b.get(j)
+                if bj is not None and not bj.is_zero():
+                    nk = nk - bj * n[k - j] * b0_pows[j - 1]
+            n.append(nk)
+        out = [Rational(n[k], b0_pows[k + 1]) for k in range(order + 1)]
+        if cancel:
+            out = [r.cancel() for r in out]
+        return out
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if self.den.is_constant() and self.den.constant_value() == 1.0:
+            return str(self.num)
+        return f"({self.num}) / ({self.den})"
+
+    def __repr__(self) -> str:
+        return f"Rational({self})"

@@ -1,0 +1,78 @@
+"""Engineering-notation parsing and formatting (SPICE conventions).
+
+SPICE value suffixes are case-insensitive and attach directly to the
+number: ``1k`` = 1e3, ``2.2u`` = 2.2e-6, ``10meg`` = 1e7, ``3mil`` is *not*
+supported (we only implement the electrical set).  Trailing unit letters
+after a valid suffix are ignored, as in SPICE (``10pF`` parses as ``10p``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import NetlistError
+
+#: SPICE scale suffixes, longest first so ``meg`` wins over ``m``.
+_SUFFIXES: tuple[tuple[str, float], ...] = (
+    ("meg", 1e6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+)
+
+_NUMBER_RE = re.compile(
+    r"""^\s*
+    (?P<num>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+    (?P<rest>[a-zA-Z]*)\s*$""",
+    re.VERBOSE,
+)
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE-style value such as ``"10k"``, ``"2.2uF"`` or ``4.7e-9``.
+
+    Numbers pass through unchanged; strings may carry an engineering suffix
+    and an optional unit tail (``"10pF"`` -> 1e-11).
+
+    Raises:
+        NetlistError: if ``text`` is not a valid SPICE number.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _NUMBER_RE.match(text)
+    if match is None:
+        raise NetlistError(f"cannot parse value {text!r}")
+    value = float(match.group("num"))
+    rest = match.group("rest").lower()
+    for suffix, scale in _SUFFIXES:
+        if rest.startswith(suffix):
+            return value * scale
+    return value
+
+
+def format_value(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` with an engineering suffix: ``format_value(2.2e-6)`` -> ``"2.2u"``.
+
+    Values outside the suffix table (or zero, nan, inf) fall back to plain
+    scientific formatting.
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    if not math.isfinite(value):
+        return f"{value}{unit}"
+    magnitude = abs(value)
+    for suffix, scale in sorted(_SUFFIXES, key=lambda kv: kv[1], reverse=True):
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g}{suffix}{unit}"
+    return f"{value:.{digits}g}{unit}"
+
+
+def db20(magnitude: float) -> float:
+    """Voltage-ratio decibels: ``20*log10(|magnitude|)``."""
+    return 20.0 * math.log10(abs(magnitude))

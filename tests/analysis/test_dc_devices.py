@@ -1,0 +1,163 @@
+import math
+
+import numpy as np
+import pytest
+from scipy.optimize import brentq
+
+from repro.circuits import Circuit
+from repro.circuits.devices import BJT, Diode, NonlinearCircuit, VT
+from repro.analysis import operating_point
+from repro.errors import CircuitError, ConvergenceError
+
+
+class TestDeviceModels:
+    def test_diode_current_formula(self):
+        d = Diode("D1", "a", "k", i_s=1e-14)
+        i, g = d.current(0.6)
+        assert i == pytest.approx(1e-14 * (math.exp(0.6 / VT) - 1), rel=1e-12)
+        assert g == pytest.approx(i / VT + 1e-14 / VT, rel=1e-6)
+
+    def test_diode_reverse(self):
+        d = Diode("D1", "a", "k")
+        i, g = d.current(-5.0)
+        assert i == pytest.approx(-d.i_s)
+        assert g > 0.0
+
+    def test_exp_limiting_keeps_finite(self):
+        d = Diode("D1", "a", "k")
+        i, g = d.current(50.0)  # would overflow without limiting
+        assert np.isfinite(i) and np.isfinite(g)
+
+    def test_bjt_forward_active(self):
+        q = BJT("Q1", "c", "b", "e", beta_f=100.0)
+        ic, ib, _ = q.terminal_currents(vbe=0.65, vbc=-5.0)
+        assert ic > 0
+        # effective beta is BF * (1 + |vbc|/VAF) with the Early factor
+        assert ic / ib == pytest.approx(100.0 * 1.05, rel=1e-3)
+
+    def test_bjt_polarity_validation(self):
+        with pytest.raises(CircuitError):
+            BJT("Q1", "c", "b", "e", polarity=2)
+
+    def test_small_signal_params(self):
+        q = BJT("Q1", "c", "b", "e", beta_f=100.0, vaf=50.0,
+                c_je=1e-12, c_jc=0.5e-12, tf=1e-9)
+        ss = q.small_signal(1e-3)
+        assert ss["gm"] == pytest.approx(1e-3 / VT)
+        assert ss["gpi"] == pytest.approx(ss["gm"] / 100.0)
+        assert ss["go"] == pytest.approx(1e-3 / 50.0)
+        assert ss["cpi"] == pytest.approx(1e-12 + 1e-9 * ss["gm"])
+        assert ss["cmu"] == pytest.approx(0.5e-12)
+
+    def test_small_signal_off_device_raises(self):
+        with pytest.raises(CircuitError):
+            BJT("Q1", "c", "b", "e").small_signal(0.0)
+
+
+class TestDiodeCircuits:
+    def test_diode_resistor_against_scalar_solve(self):
+        vdd, r, isat = 5.0, 1000.0, 1e-14
+        nc = NonlinearCircuit(Circuit("dr"))
+        nc.linear.V("Vdd", "vdd", "0", dc=vdd)
+        nc.linear.R("R1", "vdd", "d", r)
+        nc.diode("D1", "d", "0", i_s=isat)
+        op = operating_point(nc)
+        # scalar reference: (vdd - v)/r = isat (exp(v/vt) - 1)
+        v_ref = brentq(lambda v: (vdd - v) / r - isat * (math.exp(v / VT) - 1),
+                       0.0, 1.0)
+        assert op.v("d") == pytest.approx(v_ref, abs=1e-7)
+
+    def test_reverse_biased_diode(self):
+        nc = NonlinearCircuit(Circuit("rev"))
+        nc.linear.V("Vdd", "vdd", "0", dc=-5.0)
+        nc.linear.R("R1", "vdd", "d", 1000.0)
+        nc.diode("D1", "d", "0")
+        op = operating_point(nc)
+        assert op.v("d") == pytest.approx(-5.0, abs=1e-4)
+
+    def test_series_diodes(self):
+        nc = NonlinearCircuit(Circuit("two"))
+        nc.linear.V("Vdd", "vdd", "0", dc=5.0)
+        nc.linear.R("R1", "vdd", "a", 1000.0)
+        nc.diode("D1", "a", "mid")
+        nc.diode("D2", "mid", "0")
+        op = operating_point(nc)
+        # symmetric diodes share the drop equally
+        assert op.v("a") - op.v("mid") == pytest.approx(op.v("mid"), rel=1e-6)
+
+
+class TestBJTCircuits:
+    def common_emitter(self, vin=0.65):
+        nc = NonlinearCircuit(Circuit("ce"))
+        nc.linear.V("Vcc", "vcc", "0", dc=10.0)
+        nc.linear.V("Vin", "b", "0", dc=vin, ac=1.0)
+        nc.linear.R("Rc", "vcc", "c", 5000.0)
+        nc.bjt("Q1", "c", "b", "0", beta_f=100.0, vaf=75.0)
+        return nc
+
+    def test_common_emitter_bias(self):
+        op = operating_point(self.common_emitter())
+        q = op.device_state["Q1"]
+        assert q["ic"] > 1e-5  # actively conducting
+        assert op.v("c") < 10.0  # collector pulled down
+        assert op.v("c") > 0.1  # not saturated
+
+    def test_kcl_at_collector(self):
+        op = operating_point(self.common_emitter())
+        q = op.device_state["Q1"]
+        i_rc = (10.0 - op.v("c")) / 5000.0
+        # gmin leakage is below 1e-11 A here
+        assert i_rc == pytest.approx(q["ic"], rel=1e-4)
+
+    def test_pnp_mirror_of_npn(self):
+        # same circuit mirrored to negative rail with a PNP
+        nc = NonlinearCircuit(Circuit("ce_pnp"))
+        nc.linear.V("Vee", "vee", "0", dc=-10.0)
+        nc.linear.V("Vin", "b", "0", dc=-0.65)
+        nc.linear.R("Rc", "vee", "c", 5000.0)
+        nc.bjt("Q1", "c", "b", "0", polarity=-1, beta_f=100.0, vaf=75.0)
+        op = operating_point(nc)
+        npn_op = operating_point(self.common_emitter())
+        assert op.v("c") == pytest.approx(-npn_op.v("c"), rel=1e-6)
+        assert op.device_state["Q1"]["ic"] == pytest.approx(
+            npn_op.device_state["Q1"]["ic"], rel=1e-6)
+
+    def test_current_mirror(self):
+        nc = NonlinearCircuit(Circuit("mirror"))
+        nc.linear.V("Vcc", "vcc", "0", dc=10.0)
+        nc.linear.R("Rref", "vcc", "ref", 9300.0)
+        nc.bjt("Q1", "ref", "ref", "0", beta_f=200.0, vaf=1e6)  # diode-connected
+        nc.bjt("Q2", "out", "ref", "0", beta_f=200.0, vaf=1e6)
+        nc.linear.R("Rload", "vcc", "out", 1000.0)
+        op = operating_point(nc)
+        i_ref = (10.0 - op.v("ref")) / 9300.0
+        i_out = op.device_state["Q2"]["ic"]
+        assert i_out == pytest.approx(i_ref, rel=0.02)
+
+    def test_differential_pair_balanced(self):
+        nc = NonlinearCircuit(Circuit("diffpair"))
+        nc.linear.V("Vcc", "vcc", "0", dc=10.0)
+        nc.linear.V("Vee", "vee", "0", dc=-10.0)
+        nc.linear.V("Vip", "bp", "0", dc=0.0)
+        nc.linear.V("Vim", "bm", "0", dc=0.0)
+        nc.linear.R("Rc1", "vcc", "c1", 10_000.0)
+        nc.linear.R("Rc2", "vcc", "c2", 10_000.0)
+        nc.linear.R("Ree", "tail", "vee", 9300.0)
+        nc.bjt("Q1", "c1", "bp", "tail")
+        nc.bjt("Q2", "c2", "bm", "tail")
+        op = operating_point(nc)
+        assert op.v("c1") == pytest.approx(op.v("c2"), abs=1e-6)
+        assert op.device_state["Q1"]["ic"] == pytest.approx(
+            op.device_state["Q2"]["ic"], rel=1e-6)
+
+    def test_cold_start_from_zero_converges(self):
+        op = operating_point(self.common_emitter(), initial=None)
+        assert op.iterations < 500
+
+    def test_impossible_circuit_raises(self):
+        # two stiff voltage sources fighting through nothing: singular
+        nc = NonlinearCircuit(Circuit("bad"))
+        nc.linear.V("V1", "a", "0", dc=1.0)
+        nc.linear.V("V2", "a", "0", dc=2.0)
+        with pytest.raises(Exception):
+            operating_point(nc)

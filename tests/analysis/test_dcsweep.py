@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.analysis import dc_sweep, operating_point
+from repro.awe import transfer_moments
+from repro.circuits import Circuit
+from repro.circuits.devices import NonlinearCircuit
+from repro.circuits.linearize import small_signal_circuit
+from repro.errors import CircuitError
+
+
+def common_emitter():
+    nc = NonlinearCircuit(Circuit("ce"))
+    nc.linear.V("Vcc", "vcc", "0", dc=10.0)
+    nc.linear.V("Vin", "b", "0", dc=0.65, ac=1.0)
+    nc.linear.R("Rc", "vcc", "c", 5000.0)
+    nc.bjt("Q1", "c", "b", "0", beta_f=100.0, vaf=75.0)
+    return nc
+
+
+class TestDCSweep:
+    def test_transfer_curve_shape(self):
+        nc = common_emitter()
+        res = dc_sweep(nc, "Vin", np.linspace(0.4, 0.75, 30))
+        vc = res.curve("c")
+        # off at low Vin (collector at rail), driven down as Vin rises
+        assert vc[0] == pytest.approx(10.0, abs=0.01)
+        assert vc[-1] < 2.0
+        assert np.all(np.diff(vc) <= 1e-9)  # monotone decreasing
+
+    def test_slope_matches_linearized_gain(self):
+        """The sweep slope at bias equals the small-signal DC gain — the
+        linearization's ground truth."""
+        nc = common_emitter()
+        values = np.linspace(0.645, 0.655, 11)
+        res = dc_sweep(nc, "Vin", values)
+        mid = len(values) // 2
+        slope = res.slope("c")[mid]
+        op = operating_point(nc)
+        ss = small_signal_circuit(nc, op)
+        gain = transfer_moments(ss, "c", 0)[0]
+        assert slope == pytest.approx(gain, rel=5e-3)
+
+    def test_source_not_mutated(self):
+        nc = common_emitter()
+        dc_sweep(nc, "Vin", [0.5, 0.6])
+        assert nc.linear["Vin"].dc == 0.65
+
+    def test_current_source_sweep(self):
+        nc = NonlinearCircuit(Circuit("dio"))
+        nc.linear.I("Ib", "0", "d", dc=1e-6)
+        nc.diode("D1", "d", "0")
+        res = dc_sweep(nc, "Ib", np.logspace(-6, -3, 8))
+        vd = res.curve("d")
+        # diode law: ~60 mV per decade (at VT ln 10 ~ 59.5 mV)
+        decades = np.diff(vd) / 1.0  # one decade per step? log-spaced by 3/7
+        step = 3.0 / 7.0
+        per_decade = np.diff(vd) / step
+        assert np.all((per_decade > 0.05) & (per_decade < 0.08))
+
+    def test_errors(self):
+        nc = common_emitter()
+        with pytest.raises(CircuitError, match="no source"):
+            dc_sweep(nc, "nope", [0.0])
+        with pytest.raises(CircuitError, match="not an independent source"):
+            dc_sweep(nc, "Rc", [0.0])

@@ -1,0 +1,135 @@
+import numpy as np
+import pytest
+
+from repro.analysis import operating_point, transient_step_response
+from repro.awe import awe
+from repro.circuits import Circuit, builders
+from repro.circuits.devices import NonlinearCircuit, VT
+from repro.circuits.linearize import small_signal_circuit
+from repro.mna import assemble, dc_solve
+
+
+def common_emitter(vin=0.65):
+    nc = NonlinearCircuit(Circuit("ce"))
+    nc.linear.V("Vcc", "vcc", "0", dc=10.0)
+    nc.linear.V("Vin", "b", "0", dc=vin, ac=1.0)
+    nc.linear.R("Rc", "vcc", "c", 5000.0)
+    nc.bjt("Q1", "c", "b", "0", beta_f=100.0, vaf=75.0,
+           c_je=2e-12, c_jc=1e-12, tf=0.5e-9)
+    return nc
+
+
+class TestLinearize:
+    def test_hybrid_pi_elements_created(self):
+        nc = common_emitter()
+        op = operating_point(nc)
+        ss = small_signal_circuit(nc, op)
+        for name in ["gpi_Q1", "gm_Q1", "go_Q1", "cpi_Q1", "cmu_Q1"]:
+            assert name in ss, name
+        # DC sources became shorts (dc=0), AC stimulus survives
+        assert ss["Vin"].dc == 0.0 and ss["Vin"].ac == 1.0
+        assert ss["Vcc"].dc == 0.0
+
+    def test_small_signal_gain_matches_finite_difference(self):
+        """The decisive linearization test: the linearized DC gain must equal
+        the derivative of the nonlinear transfer curve."""
+        from repro.awe import transfer_moments
+        nc = common_emitter()
+        op = operating_point(nc)
+        ss = small_signal_circuit(nc, op)
+        gain_lin = transfer_moments(ss, "c", 0)[0]  # small-signal DC transfer
+        dv = 1e-5
+        op_hi = operating_point(common_emitter(0.65 + dv))
+        op_lo = operating_point(common_emitter(0.65 - dv))
+        gain_fd = (op_hi.v("c") - op_lo.v("c")) / (2 * dv)
+        assert gain_lin == pytest.approx(gain_fd, rel=1e-3)
+
+    def test_gain_formula(self):
+        # CE gain = -gm (Rc || ro)
+        nc = common_emitter()
+        op = operating_point(nc)
+        ic = op.device_state["Q1"]["ic"]
+        gm = ic / VT
+        ro = 75.0 / ic
+        expected = -gm * (5000.0 * ro / (5000.0 + ro))
+        from repro.awe import transfer_moments
+        ss = small_signal_circuit(nc, op)
+        gain = transfer_moments(ss, "c", 0)[0]
+        assert gain == pytest.approx(expected, rel=0.02)
+
+    def test_off_device_contributes_leakage_only(self):
+        nc = common_emitter(vin=0.0)  # transistor off
+        op = operating_point(nc)
+        ss = small_signal_circuit(nc, op)
+        assert "gm_Q1" not in ss  # no transconductance for an off device
+        assert ss["gpi_Q1"].value <= 1e-9
+
+    def test_linearized_circuit_supports_awe(self):
+        nc = common_emitter()
+        op = operating_point(nc)
+        ss = small_signal_circuit(nc, op)
+        result = awe(ss, "c", order=2)
+        assert result.model.stable
+        assert result.model.dc_gain() < 0  # inverting stage
+
+
+class TestTransient:
+    def test_rc_step_matches_analytic(self):
+        r, c = 1000.0, 1e-9
+        ckt = Circuit()
+        ckt.V("Vin", "in", "0", dc=0.0, ac=1.0)
+        ckt.R("R1", "in", "out", r)
+        ckt.C("C1", "out", "0", c)
+        sys = assemble(ckt)
+        res = transient_step_response(sys, t_stop=5 * r * c, n_steps=2000)
+        expected = 1.0 - np.exp(-res.t / (r * c))
+        np.testing.assert_allclose(res.output(sys, "out"), expected, atol=2e-5)
+
+    def test_initial_condition_from_dc(self):
+        # with a DC prebias the transient starts at the DC solution
+        ckt = Circuit()
+        ckt.V("Vin", "in", "0", dc=2.0, ac=1.0)
+        ckt.R("R1", "in", "out", 1000.0)
+        ckt.C("C1", "out", "0", 1e-9)
+        sys = assemble(ckt)
+        res = transient_step_response(sys, 20e-6, 2000)  # 20 tau: fully settled
+        assert res.output(sys, "out")[0] == pytest.approx(2.0)
+        assert res.output(sys, "out")[-1] == pytest.approx(3.0, rel=1e-6)
+
+    def test_rlc_ringing_matches_rom(self):
+        ckt = Circuit()
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "mid", 20.0)
+        ckt.L("L1", "mid", "out", 1e-6)
+        ckt.C("C1", "out", "0", 1e-9)
+        sys = assemble(ckt)
+        rom = awe(ckt, "out", order=2).model
+        t_stop = rom.settle_time_hint()
+        res = transient_step_response(sys, t_stop, 4000)
+        np.testing.assert_allclose(res.output(sys, "out"),
+                                   rom.step_response(res.t), atol=5e-3)
+
+    def test_custom_input_waveform(self):
+        # saturated ramp input compared against the ROM's ramp response
+        ckt = Circuit()
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "out", 1000.0)
+        ckt.C("C1", "out", "0", 1e-9)
+        sys = assemble(ckt)
+        rom = awe(ckt, "out", order=1).model
+        rise = 2e-6
+        ramp = lambda t: min(t / rise, 1.0)  # noqa: E731
+        res = transient_step_response(sys, 10e-6, 4000, input_scale=ramp)
+        np.testing.assert_allclose(res.output(sys, "out"),
+                                   rom.ramp_response(res.t, rise), atol=1e-3)
+
+    def test_awe_matches_spice_baseline_on_ladder(self):
+        """Integration: AWE order-4 step response tracks the trapezoidal
+        reference on a 50-section line within a percent."""
+        ckt = builders.rc_ladder(50, r=100.0, c=1e-12)
+        sys = assemble(ckt)
+        rom = awe(ckt, "n50", order=4).model
+        t_stop = rom.settle_time_hint()
+        res = transient_step_response(sys, t_stop, 3000)
+        err = np.max(np.abs(res.output(sys, "n50") - rom.step_response(res.t)))
+        assert err < 0.01

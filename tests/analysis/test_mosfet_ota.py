@@ -1,0 +1,171 @@
+import numpy as np
+import pytest
+
+from repro.analysis import operating_point
+from repro.awe import awe
+from repro.circuits import Circuit
+from repro.circuits.devices import MOSFET, NonlinearCircuit
+from repro.circuits.library import bias_ota, build_ota, small_signal_ota
+from repro.circuits.linearize import small_signal_circuit
+from repro.core.metrics import phase_margin, unity_gain_frequency
+from repro.errors import CircuitError
+
+
+class TestMOSFETModel:
+    def test_saturation_square_law(self):
+        m = MOSFET("M", "d", "g", "s", kp=200e-6, vto=0.6, lam=0.0)
+        i, gm, gds = m.drain_current(1.6, 2.0)  # vov = 1.0, saturated
+        assert i == pytest.approx(0.5 * 200e-6, rel=1e-3)
+        assert gm == pytest.approx(200e-6, rel=1e-3)
+        assert gds == pytest.approx(0.0, abs=1e-12)
+
+    def test_triode_region(self):
+        m = MOSFET("M", "d", "g", "s", kp=200e-6, vto=0.6, lam=0.0)
+        vov, vds = 1.0, 0.2
+        i, _, gds = m.drain_current(1.6, vds)
+        assert i == pytest.approx(200e-6 * (vov * vds - vds ** 2 / 2), rel=1e-3)
+        assert gds == pytest.approx(200e-6 * (vov - vds), rel=1e-3)
+
+    def test_subthreshold_smoothing(self):
+        # below vto a small but positive current with positive gm remains
+        m = MOSFET("M", "d", "g", "s", kp=200e-6, vto=0.6)
+        i, gm, _ = m.drain_current(0.3, 1.0)
+        assert 0.0 < i < 1e-7
+        assert gm > 0.0
+
+    def test_channel_length_modulation(self):
+        m = MOSFET("M", "d", "g", "s", kp=200e-6, vto=0.6, lam=0.1)
+        i1 = m.drain_current(1.6, 2.0)[0]
+        i2 = m.drain_current(1.6, 3.0)[0]
+        assert i2 / i1 == pytest.approx(1.3 / 1.2, rel=1e-6)
+
+    def test_vds_symmetry(self):
+        m = MOSFET("M", "d", "g", "s", kp=200e-6, vto=0.6, lam=0.05)
+        # the reversed device (gate-to-new-source voltage = vgs - vds,
+        # vds negated) carries the negated current
+        i_fwd = m.drain_current(1.6, 0.5)[0]
+        i_rev = m.drain_current(1.6 - 0.5, -0.5)[0]
+        assert i_rev == pytest.approx(-i_fwd, rel=1e-9)
+
+    @pytest.mark.parametrize("vgs,vds", [(1.6, 2.0), (1.6, 0.2), (0.3, 1.0),
+                                         (1.2, -0.8), (0.61, 0.01)])
+    def test_derivatives_match_finite_difference(self, vgs, vds):
+        m = MOSFET("M", "d", "g", "s", kp=400e-6, vto=0.6, lam=0.05)
+        _, gm, gds = m.drain_current(vgs, vds)
+        h = 1e-7
+        fd_gm = (m.drain_current(vgs + h, vds)[0]
+                 - m.drain_current(vgs - h, vds)[0]) / (2 * h)
+        fd_gds = (m.drain_current(vgs, vds + h)[0]
+                  - m.drain_current(vgs, vds - h)[0]) / (2 * h)
+        assert gm == pytest.approx(fd_gm, rel=1e-5, abs=1e-12)
+        assert gds == pytest.approx(fd_gds, rel=1e-5, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            MOSFET("M", "d", "g", "s", polarity=0)
+        with pytest.raises(CircuitError):
+            MOSFET("M", "d", "g", "s", kp=0.0)
+
+    def test_small_signal_cutoff_raises(self):
+        m = MOSFET("M", "d", "g", "s", vto=0.6)
+        with pytest.raises(CircuitError):
+            m.small_signal(-3.0, 1.0)
+
+
+class TestMOSFETCircuits:
+    def test_common_source_bias(self):
+        nc = NonlinearCircuit(Circuit("cs"))
+        nc.linear.V("Vdd", "vdd", "0", dc=3.3)
+        nc.linear.V("Vg", "g", "0", dc=1.0, ac=1.0)
+        nc.linear.R("Rd", "vdd", "d", 10_000.0)
+        nc.mosfet("M1", "d", "g", "0", kp=200e-6, vto=0.6, lam=0.02)
+        op = operating_point(nc)
+        # square law: id ~ 0.5*200u*0.16 = 16 uA (plus lam correction)
+        assert op.device_state["M1"]["id"] == pytest.approx(16e-6, rel=0.1)
+        assert op.v("d") == pytest.approx(3.3 - 1e4 * op.device_state["M1"]["id"],
+                                          rel=1e-6)
+
+    def test_pmos_mirror_of_nmos(self):
+        def build(pol, vdd):
+            nc = NonlinearCircuit(Circuit("m"))
+            nc.linear.V("Vdd", "vdd", "0", dc=vdd)
+            nc.linear.V("Vg", "g", "0", dc=vdd - pol * 2.3)  # |vgs|=2.3 to rail
+            nc.linear.R("Rd", "vdd", "d", 10_000.0)
+            nc.mosfet("M1", "d", "g", "vdd", polarity=pol, kp=100e-6, vto=0.6)
+            return operating_point(nc)
+
+        nmos = build(1, -3.3)   # NMOS source at -3.3, gate 2.3 above
+        pmos = build(-1, 3.3)   # PMOS source at +3.3, gate 2.3 below
+        assert pmos.device_state["M1"]["id"] == pytest.approx(
+            nmos.device_state["M1"]["id"], rel=1e-6)
+
+    def test_linearized_cs_gain_matches_finite_difference(self):
+        def make(vg):
+            nc = NonlinearCircuit(Circuit("cs"))
+            nc.linear.V("Vdd", "vdd", "0", dc=3.3)
+            nc.linear.V("Vg", "g", "0", dc=vg, ac=1.0)
+            nc.linear.R("Rd", "vdd", "d", 10_000.0)
+            nc.mosfet("M1", "d", "g", "0", kp=200e-6, vto=0.6, lam=0.02)
+            return nc
+
+        from repro.awe import transfer_moments
+        nc = make(1.0)
+        op = operating_point(nc)
+        ss = small_signal_circuit(nc, op)
+        gain = transfer_moments(ss, "d", 0)[0]
+        dv = 1e-5
+        hi = operating_point(make(1.0 + dv)).v("d")
+        lo = operating_point(make(1.0 - dv)).v("d")
+        assert gain == pytest.approx((hi - lo) / (2 * dv), rel=1e-3)
+
+
+class TestCMOSOTA:
+    @pytest.fixture(scope="class")
+    def ss(self):
+        return small_signal_ota()
+
+    def test_bias_sane(self):
+        op = bias_ota()
+        assert abs(op.v("out") - 1.65) < 0.1
+        # tail current splits nearly evenly (lambda mismatch at n1/n2
+        # introduces a percent-level systematic offset)
+        assert op.device_state["M1"]["id"] == pytest.approx(
+            op.device_state["M2"]["id"], rel=0.05)
+        # output stage carries mirrored bias
+        assert 20e-6 < op.device_state["M7"]["id"] < 300e-6
+
+    def test_open_loop_metrics(self, ss):
+        model = awe(ss.circuit, "out", order=2).model
+        gain_db = 20 * np.log10(abs(model.dc_gain()))
+        assert 40.0 < gain_db < 90.0       # two-stage OTA regime
+        assert model.dc_gain() > 0         # non-inverting from inp
+        fu = unity_gain_frequency(model) / (2 * np.pi)
+        assert 1e6 < fu < 30e6
+        pm = phase_margin(model)
+        assert 20.0 < pm < 100.0
+
+    def test_awesymbolic_on_ota(self, ss):
+        """The paper's flow on a MOS circuit: Cc and gds_M6 symbolic."""
+        from repro import awesymbolic
+        res = awesymbolic(ss.circuit, "out", symbols=["Cc", "gds_M6"],
+                          order=2)
+        for values in [{}, {"Cc": 2e-12}, {"Cc": 10e-12}]:
+            rom = res.rom(values)
+            check = ss.circuit.copy()
+            for k, v in values.items():
+                check.replace_value(k, v)
+            ref = awe(check, "out", order=2).model
+            assert rom.dc_gain() == pytest.approx(ref.dc_gain(), rel=1e-8)
+            assert rom.dominant_pole().real == pytest.approx(
+                ref.dominant_pole().real, rel=1e-6)
+
+    def test_miller_tradeoff(self, ss):
+        from repro import awesymbolic
+        res = awesymbolic(ss.circuit, "out", symbols=["Cc"], order=2)
+        pm = res.model.sweep({"Cc": np.array([2e-12, 5e-12, 10e-12])},
+                             phase_margin)
+        assert pm[0] < pm[1] < pm[2]  # more compensation -> more margin
+
+    def test_element_naming(self, ss):
+        for name in ["gm_M1", "gds_M6", "cgs_M1", "cgd_M6", "cdb_M7", "Cc"]:
+            assert name in ss.circuit, name

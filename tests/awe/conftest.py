@@ -1,0 +1,43 @@
+"""Shared fixtures for AWE tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.circuits import Circuit
+from repro.mna import assemble
+
+
+def exact_poles(system) -> np.ndarray:
+    """Exact finite poles of an MNA system from the (G, C) pencil.
+
+    det(G + sC) = 0  <=>  generalized eigenvalues of (G, -C); infinite
+    eigenvalues (C's null space) are filtered out.
+    """
+    vals = scipy.linalg.eigvals(system.G.toarray(), -system.C.toarray())
+    finite = vals[np.isfinite(vals)]
+    return finite[np.abs(finite) < 1e18]
+
+
+@pytest.fixture
+def rc_lowpass():
+    """Single-pole RC: H(s) = 1 / (1 + sRC), R=1k, C=1n, pole at -1e6."""
+    ckt = Circuit("rc_lowpass")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "out", 1000.0)
+    ckt.C("C1", "out", "0", 1e-9)
+    return ckt
+
+
+@pytest.fixture
+def rc_two_pole():
+    """Two-section RC ladder: exactly second order."""
+    ckt = Circuit("rc2")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "n1", 1000.0)
+    ckt.C("C1", "n1", "0", 1e-9)
+    ckt.R("R2", "n1", "out", 2000.0)
+    ckt.C("C2", "out", "0", 0.5e-9)
+    return ckt

@@ -1,0 +1,130 @@
+"""Direct tests: fast pure-Python Padé path, adjoint identity, scaling
+round trips, extra metrics, and equilibration invariance."""
+
+import numpy as np
+import pytest
+
+from repro.awe import ReducedOrderModel
+from repro.awe.pade import fast_poles_residues
+from repro.awe.scaling import unscale_poles, unscale_residues
+from repro.errors import ApproximationError
+
+from .test_pade import synthetic_moments
+
+
+class TestFastPade:
+    def test_order1_exact(self):
+        m = synthetic_moments([-3.0], [2.0], 2)
+        poles, residues = fast_poles_residues(m, 1)
+        assert poles[0] == pytest.approx(-3.0)
+        assert residues[0] == pytest.approx(2.0)
+
+    def test_order2_exact_real(self):
+        m = synthetic_moments([-1.0, -50.0], [1.0, 2.0], 4)
+        poles, residues = fast_poles_residues(m, 2)
+        assert sorted(p.real if isinstance(p, complex) else p
+                      for p in poles) == pytest.approx([-50.0, -1.0], rel=1e-9)
+
+    def test_order2_complex_pair(self):
+        p = [-2.0 + 5.0j, -2.0 - 5.0j]
+        r = [1.0 - 0.3j, 1.0 + 0.3j]
+        m = synthetic_moments(p, r, 4)
+        poles, _ = fast_poles_residues(m, 2)
+        assert isinstance(poles[0], complex)
+        flat = sorted([pp.real for pp in poles] + [abs(pp.imag) for pp in poles])
+        np.testing.assert_allclose(flat, [-2.0, -2.0, 5.0, 5.0], rtol=1e-9)
+
+    def test_far_pole_stable_formula(self):
+        # 6 orders of magnitude pole spread: the naive quadratic formula
+        # would cancel catastrophically
+        m = synthetic_moments([-1.0, -1e6], [1.0, 1e3], 4)
+        poles, _ = fast_poles_residues(m, 2)
+        vals = sorted(p.real if isinstance(p, complex) else p for p in poles)
+        assert vals[0] == pytest.approx(-1e6, rel=1e-6)
+        assert vals[1] == pytest.approx(-1.0, rel=1e-9)
+
+    def test_moment_matching_invariant(self):
+        m = synthetic_moments([-1.5, -9.0], [0.7, -0.2], 4)
+        poles, residues = fast_poles_residues(m, 2)
+        for k in range(4):
+            implied = -sum(r / p ** (k + 1) for p, r in zip(poles, residues))
+            implied = implied.real if isinstance(implied, complex) else implied
+            assert implied == pytest.approx(m[k], rel=1e-8)
+
+    def test_errors(self):
+        with pytest.raises(ApproximationError):
+            fast_poles_residues([1.0, 0.0], 1)  # m1 = 0
+        with pytest.raises(ApproximationError):
+            fast_poles_residues([1.0, 1.0, 1.0, 1.0], 3)  # unsupported order
+        with pytest.raises(ApproximationError):
+            fast_poles_residues([0.0, 0.0, 0.0, 0.0], 2)  # singular
+
+
+class TestAdjointIdentity:
+    def test_adjoint_vectors_reproduce_moments(self):
+        """``m_j = y_jᵀ b``: the adjoint sequence contracted with the input
+        vector equals the output moments (the identity behind the adjoint
+        sensitivity formula)."""
+        from repro.awe import output_moments
+        from repro.awe.sensitivity import adjoint_moments
+        from repro.circuits import builders
+        from repro.mna import assemble
+
+        ckt = builders.rc_ladder(12, r=100.0, c=1e-12)
+        sys = assemble(ckt)
+        m = output_moments(sys, "n12", 4)
+        ys = adjoint_moments(sys, "n12", 4)
+        via_adjoint = ys @ sys.b_ac
+        np.testing.assert_allclose(via_adjoint, m, rtol=1e-10)
+
+
+class TestScalingRoundTrip:
+    def test_unscale_helpers(self):
+        poles = np.array([-1.0, -2.0])
+        residues = np.array([0.5, 1.5])
+        a = 1e9
+        np.testing.assert_allclose(unscale_poles(poles, a), poles * a)
+        np.testing.assert_allclose(unscale_residues(residues, a), residues * a)
+
+
+class TestExtraMetrics:
+    def test_gain_crossing_and_gbw(self):
+        from repro.core.metrics import (gain_bandwidth_product,
+                                        gain_crossing_frequency)
+        rom = ReducedOrderModel(poles=[-100.0], residues=[1e4])  # dc gain 100
+        w10 = gain_crossing_frequency(rom, 10.0)
+        # |H| = 100/sqrt(1+(w/100)^2) = 10 at w = 100*sqrt(99)
+        assert w10 == pytest.approx(100.0 * np.sqrt(99.0), rel=1e-6)
+        gbw = gain_bandwidth_product(rom)
+        assert gbw == pytest.approx(100.0 * 100.0, rel=1e-6)
+
+
+class TestEquilibrationInvariance:
+    def test_moments_independent_of_row_scaling(self):
+        from repro.circuits import Circuit
+        from repro.partition import partition
+        from repro.partition.composite import assemble_global
+        import numpy.linalg as la
+
+        ckt = Circuit("rc2")
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "n1", 1000.0)
+        ckt.C("C1", "n1", "0", 1e-9)
+        ckt.R("R2", "n1", "out", 2000.0)
+        ckt.C("C2", "out", "0", 0.5e-9)
+        part = partition(ckt, ["C2"], output="out")
+        vals = part.symbol_values({})
+
+        def moments_from(gs):
+            M = [m.evaluate(vals) for m in gs.matrices]
+            rhs = np.array([p.evaluate(vals) for p in gs.rhs])
+            V = [la.solve(M[0], rhs)]
+            for k in range(1, 4):
+                acc = -sum(M[j] @ V[k - j] for j in range(1, k + 1))
+                V.append(la.solve(M[0], acc))
+            row = gs.rows["out"]
+            return np.array([v[row] for v in V])
+
+        a = moments_from(assemble_global(part, 3, equilibrate=True))
+        b = moments_from(assemble_global(part, 3, equilibrate=False))
+        np.testing.assert_allclose(a, b, rtol=1e-10)

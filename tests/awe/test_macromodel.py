@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.awe import port_macromodel
+from repro.circuits import Circuit, builders
+from repro.mna import assemble
+
+
+def exact_two_port_y(block, ports, s):
+    """Dense exact Y(s) via clamped solves (reference)."""
+    clamped = block.copy()
+    for j, p in enumerate(ports):
+        clamped.V(f"__p{j}", p, "0")
+    sys = assemble(clamped, check=False)
+    n = len(ports)
+    rows = [sys.branch_index[f"__p{j}"] for j in range(n)]
+    M = sys.G.toarray() + s * sys.C.toarray()
+    out = np.empty((n, n), dtype=complex)
+    for j in range(n):
+        rhs = np.zeros(sys.size, dtype=complex)
+        rhs[rows[j]] = 1.0
+        x = np.linalg.solve(M, rhs)
+        out[:, j] = [-x[r] for r in rows]
+    return out
+
+
+class TestPortMacromodel:
+    def test_rc_line_two_port(self):
+        block = Circuit("line")
+        for i in range(1, 11):
+            block.R(f"R{i}", f"p0" if i == 1 else f"m{i-1}", f"m{i}", 10.0)
+            block.C(f"C{i}", f"m{i}", "0", 1e-12)
+        block.R("Rout", "m10", "p1", 10.0)
+        ports = ("p0", "p1")
+        macro = port_macromodel(block, ports, order=3)
+        assert macro.n_ports == 2
+        # in-band accuracy against the exact two-port
+        for w in (1e6, 1e8, 1e9):
+            got = macro.admittance(1j * w)
+            want = exact_two_port_y(block, ports, 1j * w)
+            np.testing.assert_allclose(got, want, rtol=2e-2, atol=1e-9)
+
+    def test_dc_exact(self):
+        block = Circuit("pi")
+        block.G("G1", "p0", "0", 1e-3)
+        block.G("G12", "p0", "p1", 2e-3)
+        block.G("G2", "p1", "0", 3e-3)
+        block.C("C1", "p0", "0", 1e-12)
+        macro = port_macromodel(block, ("p0", "p1"), order=1)
+        np.testing.assert_allclose(macro.admittance(0.0),
+                                   [[3e-3, -2e-3], [-2e-3, 5e-3]], rtol=1e-12)
+
+    def test_static_entries_skipped(self):
+        # R + port-grounded C: Y(s) = Y0 + s Y1 exactly, no poles needed
+        block = Circuit("static")
+        block.R("R1", "p0", "p1", 100.0)
+        block.C("C1", "p0", "0", 1e-12)
+        macro = port_macromodel(block, ("p0", "p1"), order=1)
+        assert all(m is None for row in macro.entries for m in row)
+        assert macro.max_model_order() == 0
+        s = 1j * 1e9
+        got = macro.admittance(s)
+        np.testing.assert_allclose(
+            got, exact_two_port_y(block, ("p0", "p1"), s), rtol=1e-12)
+
+    def test_vectorized_evaluation(self):
+        block = builders.rc_ladder(8, input_kind="current").without(["Iin"])
+        ports = ("n1", "n8")
+        macro = port_macromodel(block, ports, order=2)
+        s = 1j * np.logspace(6, 9, 5)
+        out = macro.admittance(s)
+        assert out.shape == (5, 2, 2)
+        single = macro.admittance(s[2])
+        np.testing.assert_allclose(out[2], single)
+
+    def test_reciprocal_block_symmetric_model(self):
+        block = Circuit("sym")
+        block.R("R1", "p0", "m", 50.0)
+        block.C("Cm", "m", "0", 2e-12)
+        block.R("R2", "m", "p1", 50.0)
+        macro = port_macromodel(block, ("p0", "p1"), order=2)
+        s = 1j * 1e8
+        y = macro.admittance(s)
+        assert y[0, 1] == pytest.approx(y[1, 0], rel=1e-9)
+
+    def test_max_model_order(self):
+        block = Circuit("line")
+        block.R("R1", "p0", "m", 10.0)
+        block.C("Cm", "m", "0", 1e-12)
+        block.R("R2", "m", "p1", 10.0)
+        macro = port_macromodel(block, ("p0", "p1"), order=2)
+        assert 1 <= macro.max_model_order() <= 2
+
+
+class TestMacromodelInHost:
+    def test_host_response_matches_full_circuit(self):
+        """Macromodel the interior of a line; drive it from a host with a
+        source and load; the composed AC response must match the monolithic
+        circuit through the band."""
+        from repro.awe import ac_solve_with_macromodel
+        from repro.mna import ac_solve
+
+        # interior block: 12-section RC line between p0 and p1
+        block = Circuit("interior")
+        prev = "p0"
+        for i in range(1, 13):
+            node = "p1" if i == 12 else f"m{i}"
+            block.R(f"R{i}", prev, node, 20.0)
+            block.C(f"C{i}", node, "0", 0.5e-12)
+            prev = node
+
+        # host: driver + load around the (to-be-macromodeled) interior
+        host = Circuit("host")
+        host.V("Vin", "in", "0", ac=1.0)
+        host.R("Rdrv", "in", "p0", 30.0)
+        host.C("CL", "p1", "0", 0.2e-12)
+        host.R("RL", "p1", "0", 10_000.0)
+
+        macro = port_macromodel(block, ("p0", "p1"), order=3)
+        omegas = np.logspace(7, 9.7, 15)
+        via_macro = ac_solve_with_macromodel(host, macro, omegas, "p1")
+
+        # monolithic reference
+        full = host.copy()
+        for e in block:
+            full.add(e)
+        sys = assemble(full)
+        exact = ac_solve(sys, omegas)[:, sys.index_of("p1")]
+        np.testing.assert_allclose(np.abs(via_macro), np.abs(exact),
+                                   rtol=3e-2)
+        np.testing.assert_allclose(np.angle(via_macro), np.angle(exact),
+                                   atol=0.08)

@@ -1,0 +1,124 @@
+import numpy as np
+import pytest
+
+from repro.awe import ReducedOrderModel
+from repro.errors import ApproximationError
+
+
+@pytest.fixture
+def one_pole():
+    # H = 1/(1 + s) -> pole -1, residue 1 via H = r/(s-p): r = 1? H = 1/(s+1)
+    return ReducedOrderModel(poles=[-1.0], residues=[1.0])
+
+
+@pytest.fixture
+def two_pole():
+    return ReducedOrderModel(poles=[-1.0, -10.0], residues=[1.0, -0.5])
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ApproximationError):
+            ReducedOrderModel(poles=[-1.0, -2.0], residues=[1.0])
+
+    def test_order_and_stability(self, two_pole):
+        assert two_pole.order == 2
+        assert two_pole.stable
+        assert not ReducedOrderModel(poles=[1.0], residues=[1.0]).stable
+
+    def test_dominant_pole(self, two_pole):
+        assert two_pole.dominant_pole() == pytest.approx(-1.0)
+
+    def test_dc_gain(self, one_pole):
+        assert one_pole.dc_gain() == pytest.approx(1.0)
+
+    def test_stable_part(self):
+        m = ReducedOrderModel(poles=[-1.0, 2.0], residues=[1.0, 0.1])
+        sp = m.stable_part()
+        assert sp.order == 1 and sp.stable
+        with pytest.raises(ApproximationError):
+            ReducedOrderModel(poles=[3.0], residues=[1.0]).stable_part()
+
+
+class TestFrequencyDomain:
+    def test_transfer_against_formula(self, one_pole):
+        s = np.array([0.0, 1j, 2 + 3j])
+        np.testing.assert_allclose(one_pole.transfer(s), 1.0 / (s + 1.0), rtol=1e-12)
+
+    def test_corner_frequency(self, one_pole):
+        h = one_pole.frequency_response(np.array([1.0]))
+        assert abs(h[0]) == pytest.approx(1 / np.sqrt(2))
+
+    def test_bode_phase_unwrapped(self, two_pole):
+        w = np.logspace(-2, 3, 200)
+        mag, phase = two_pole.bode(w)
+        assert mag[0] == pytest.approx(20 * np.log10(two_pole.dc_gain()), abs=0.1)
+        # residues sum to 0.5 != 0, so the model decays like 1/s: -90 deg
+        assert phase[-1] == pytest.approx(-90.0, abs=5.0)
+
+    def test_bode_all_pole_reaches_minus_180(self):
+        # H = 1/((s+1)(s+10)): residues 1/9, -1/9 sum to zero -> 1/s^2 tail
+        m = ReducedOrderModel(poles=[-1.0, -10.0], residues=[1 / 9, -1 / 9])
+        _, phase = m.bode(np.logspace(-2, 4, 300))
+        assert phase[-1] == pytest.approx(-180.0, abs=2.0)
+
+
+class TestTimeDomain:
+    def test_impulse_response_one_pole(self, one_pole):
+        t = np.linspace(0, 5, 50)
+        np.testing.assert_allclose(one_pole.impulse_response(t), np.exp(-t),
+                                   rtol=1e-12)
+
+    def test_step_response_one_pole(self, one_pole):
+        t = np.linspace(0, 5, 50)
+        np.testing.assert_allclose(one_pole.step_response(t), 1 - np.exp(-t),
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_step_settles_to_dc_gain(self, two_pole):
+        y_end = two_pole.step_response(np.array([100.0]))[0]
+        assert y_end == pytest.approx(two_pole.dc_gain(), rel=1e-9)
+
+    def test_step_starts_at_zero(self, two_pole):
+        assert two_pole.step_response(np.array([0.0]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_ramp_response_limits(self, one_pole):
+        t = np.linspace(0, 10, 200)
+        # very fast ramp ~ step
+        fast = one_pole.ramp_response(t, rise_time=1e-9)
+        np.testing.assert_allclose(fast, one_pole.step_response(t), atol=1e-5)
+        # ramp slower than the system: output tracks input minus tau lag
+        slow = one_pole.ramp_response(np.array([5.0]), rise_time=10.0)
+        assert slow[0] == pytest.approx((5.0 - 1.0 + np.exp(-5.0)) / 10.0, rel=1e-6)
+
+    def test_ramp_zero_rise_is_step(self, one_pole):
+        t = np.linspace(0, 3, 10)
+        np.testing.assert_allclose(one_pole.ramp_response(t, 0.0),
+                                   one_pole.step_response(t))
+
+
+class TestMetrics:
+    def test_delay50_one_pole(self, one_pole):
+        # 1 - e^-t = 0.5 at t = ln 2
+        assert one_pole.delay_50() == pytest.approx(np.log(2), rel=1e-3)
+
+    def test_threshold_crossing_90(self, one_pole):
+        assert one_pole.threshold_crossing(0.9) == pytest.approx(np.log(10), rel=1e-3)
+
+    def test_threshold_never_crossed(self):
+        # decaying non-monotonic crosstalk pulse never reaches its "dc gain"
+        m = ReducedOrderModel(poles=[-1.0, -2.0], residues=[1.0, -1.0])
+        assert m.dc_gain() == pytest.approx(0.5)
+        assert np.isnan(m.threshold_crossing(2.0))
+
+    def test_peak_response_crosstalk_pulse(self):
+        # H = s/( (s+1)(s+2) ): zero DC gain, peak in between
+        # partial fractions: 1/(s+1) * -1 ... H = -1/(s+1) + 2/(s+2)
+        m = ReducedOrderModel(poles=[-1.0, -2.0], residues=[-1.0, 2.0])
+        assert m.dc_gain() == pytest.approx(0.0)
+        t_pk, v_pk = m.peak_response(horizon=10.0)
+        # y_step(t) = e^{-t} - e^{-2t}, max at t = ln 2, value 1/4
+        assert t_pk == pytest.approx(np.log(2), abs=0.01)
+        assert v_pk == pytest.approx(0.25, rel=1e-3)
+
+    def test_settle_time_hint(self, two_pole):
+        assert two_pole.settle_time_hint() == pytest.approx(5.0)

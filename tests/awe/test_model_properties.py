@@ -1,0 +1,114 @@
+"""Property-based tests of the reduced-order model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.awe import ReducedOrderModel
+from repro.awe.pade import moments_from_poles
+
+
+@st.composite
+def stable_models(draw):
+    """Random stable models: real poles plus optional conjugate pairs.
+
+    Kept at order <= 4: beyond that, moment round-trips through a Hankel
+    solve are not reliable in double precision (the very reason the
+    library frequency-scales moments), which would test the arithmetic
+    rather than the model.
+    """
+    n_real = draw(st.integers(min_value=0, max_value=2))
+    n_pairs = draw(st.integers(min_value=0, max_value=1))
+    if n_real + n_pairs == 0:
+        n_real = 1
+    poles = []
+    residues = []
+    for _ in range(n_real):
+        poles.append(complex(-draw(_mag()), 0.0))
+        residues.append(complex(draw(_coeff()), 0.0))
+    for _ in range(n_pairs):
+        p = complex(-draw(_mag()), draw(_mag()))
+        r = complex(draw(_coeff()), draw(_coeff()))
+        poles += [p, np.conj(p)]
+        residues += [r, np.conj(r)]
+    return ReducedOrderModel(poles=np.array(poles),
+                             residues=np.array(residues))
+
+
+def _mag():
+    return st.floats(min_value=0.1, max_value=10.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+def _coeff():
+    return st.floats(min_value=-5.0, max_value=5.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestModelInvariants:
+    @given(stable_models())
+    @settings(max_examples=40, deadline=None)
+    def test_step_settles_to_dc_gain(self, model):
+        t_end = 20.0 / abs(model.poles.real).min()
+        y = model.step_response(np.array([t_end]))[0]
+        assert y == pytest.approx(model.dc_gain(), rel=1e-5, abs=1e-7)
+
+    @given(stable_models())
+    @settings(max_examples=40, deadline=None)
+    def test_step_starts_at_zero(self, model):
+        assert model.step_response(np.array([0.0]))[0] == pytest.approx(
+            0.0, abs=1e-9)
+
+    @given(stable_models())
+    @settings(max_examples=40, deadline=None)
+    def test_transfer_at_zero_is_dc_gain(self, model):
+        h0 = model.transfer(np.array([0.0 + 0.0j]))[0]
+        assert h0.real == pytest.approx(model.dc_gain(), rel=1e-9, abs=1e-12)
+        assert abs(h0.imag) < 1e-9 * (abs(h0.real) + 1.0)
+
+    @given(stable_models())
+    @settings(max_examples=40, deadline=None)
+    def test_impulse_is_step_derivative(self, model):
+        t = np.linspace(0.1, 3.0, 7)
+        h = 1e-6
+        dstep = (model.step_response(t + h) - model.step_response(t - h)) / (2 * h)
+        imp = model.impulse_response(t)
+        np.testing.assert_allclose(imp, dstep, rtol=1e-4, atol=1e-7)
+
+    @given(stable_models())
+    @settings(max_examples=40, deadline=None)
+    def test_moments_round_trip_through_pade(self, model):
+        """Moments implied by the model reproduce the model via Padé."""
+        from repro.awe import stable_reduction
+        from repro.errors import ApproximationError
+        q = model.order
+        # a (near-)zero residue makes its pole unobservable: the true order
+        # is lower and the round trip legitimately finds different poles
+        if np.min(np.abs(model.residues)) < 1e-3:
+            return
+        # nearly coincident poles also deflate the effective order
+        diffs = np.abs(model.poles[:, None] - model.poles[None, :])
+        np.fill_diagonal(diffs, np.inf)
+        if diffs.min() < 1e-2:
+            return
+        m = moments_from_poles(model.poles, model.residues, 2 * q)
+        if not np.all(np.isfinite(m)) or np.max(np.abs(m)) < 1e-12:
+            return
+        try:
+            back = stable_reduction(np.real(m), q, require_stable=False)
+        except ApproximationError:
+            return  # nearly-degenerate random models may defeat the Hankel
+        if back.order != q:
+            return
+        np.testing.assert_allclose(np.sort(back.poles.real),
+                                   np.sort(model.poles.real),
+                                   rtol=1e-4, atol=1e-6)
+
+    @given(stable_models())
+    @settings(max_examples=30, deadline=None)
+    def test_frequency_response_conjugate_symmetry(self, model):
+        w = np.array([0.3, 1.7, 4.0])
+        h_pos = model.frequency_response(w)
+        h_neg = model.frequency_response(-w)
+        np.testing.assert_allclose(h_neg, np.conj(h_pos), rtol=1e-10)

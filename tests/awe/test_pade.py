@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.awe import pade_coefficients, poles_and_residues
+from repro.awe.pade import moments_from_poles, residues_from_poles
+from repro.errors import ApproximationError
+
+
+def synthetic_moments(poles, residues, count):
+    poles = np.asarray(poles, dtype=complex)
+    residues = np.asarray(residues, dtype=complex)
+    return np.array([float(np.real(np.sum(-residues / poles ** (k + 1))))
+                     for k in range(count)])
+
+
+class TestPadeExactRecovery:
+    def test_single_pole(self):
+        m = synthetic_moments([-2.0], [3.0], 4)
+        poles, residues = poles_and_residues(m, 1)
+        assert poles[0] == pytest.approx(-2.0)
+        assert residues[0] == pytest.approx(3.0)
+
+    def test_two_real_poles(self):
+        m = synthetic_moments([-1.0, -5.0], [2.0, -0.5], 6)
+        poles, residues = poles_and_residues(m, 2)
+        order = np.argsort(poles.real)[::-1]
+        np.testing.assert_allclose(sorted(poles.real, reverse=True), [-1.0, -5.0],
+                                   rtol=1e-9)
+        np.testing.assert_allclose(np.sort_complex(residues),
+                                   np.sort_complex(np.array([2.0, -0.5])), rtol=1e-8)
+
+    def test_complex_pair(self):
+        p = np.array([-1.0 + 3.0j, -1.0 - 3.0j])
+        r = np.array([0.5 - 0.2j, 0.5 + 0.2j])
+        m = synthetic_moments(p, r, 6)
+        poles, residues = poles_and_residues(m, 2)
+        np.testing.assert_allclose(np.sort_complex(poles), np.sort_complex(p),
+                                   rtol=1e-9)
+
+    def test_three_poles(self):
+        p = [-1.0, -10.0, -100.0]
+        r = [1.0, 2.0, 3.0]
+        m = synthetic_moments(p, r, 8)
+        poles, _ = poles_and_residues(m, 3)
+        np.testing.assert_allclose(np.sort(poles.real), np.sort(p), rtol=1e-6)
+
+    def test_moment_round_trip(self):
+        p = [-2.0, -7.0]
+        r = [1.5, -0.3]
+        m = synthetic_moments(p, r, 8)
+        poles, residues = poles_and_residues(m, 2)
+        back = moments_from_poles(poles, residues, 8)
+        np.testing.assert_allclose(back, m, rtol=1e-8)
+
+
+class TestPadeCoefficients:
+    def test_denominator_is_characteristic_polynomial(self):
+        # single pole -a: den = 1 + s/a
+        m = synthetic_moments([-4.0], [1.0], 2)
+        num, den = pade_coefficients(m, 1)
+        assert den[1] == pytest.approx(0.25)
+        assert num[0] == pytest.approx(m[0])
+
+    def test_matches_moments_by_construction(self):
+        # expand num/den back into a series and compare with inputs
+        m = synthetic_moments([-1.0, -3.0], [1.0, 1.0], 4)
+        num, den = pade_coefficients(m, 2)
+        series = np.zeros(4)
+        # recursive series of num/den: c_k = (a_k - sum b_j c_{k-j}) / b_0
+        for k in range(4):
+            a_k = num[k] if k < len(num) else 0.0
+            acc = a_k - sum(den[j] * series[k - j]
+                            for j in range(1, min(k, len(den) - 1) + 1))
+            series[k] = acc / den[0]
+        np.testing.assert_allclose(series, m, rtol=1e-9)
+
+
+class TestPadeErrors:
+    def test_too_few_moments(self):
+        with pytest.raises(ApproximationError, match="needs"):
+            pade_coefficients(np.array([1.0, 2.0]), 2)
+
+    def test_bad_order(self):
+        with pytest.raises(ApproximationError):
+            pade_coefficients(np.array([1.0, 2.0]), 0)
+
+    def test_singular_hankel(self):
+        # all-zero moments make the Hankel system singular
+        with pytest.raises(ApproximationError):
+            poles_and_residues(np.zeros(4), 2)
+
+    def test_residues_from_repeated_poles(self):
+        with pytest.raises(ApproximationError):
+            residues_from_poles(np.array([1.0, 2.0]),
+                                np.array([-1.0, -1.0]))

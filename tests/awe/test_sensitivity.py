@@ -1,0 +1,152 @@
+import numpy as np
+import pytest
+
+from repro.awe import (awe, element_stamp_derivatives, moment_sensitivities,
+                       output_moments, pole_sensitivities,
+                       pole_zero_sensitivities)
+from repro.circuits import Circuit, builders
+from repro.mna import assemble, factorize
+
+
+def fd_moment_sensitivity(circuit, output, order, name, rel=1e-6):
+    """Central finite-difference reference for ∂m/∂value."""
+    value = circuit[name].value
+    h = rel * abs(value)
+    hi = circuit.copy()
+    hi.replace_value(name, value + h)
+    lo = circuit.copy()
+    lo.replace_value(name, value - h)
+    m_hi = output_moments(assemble(hi), output, order)
+    m_lo = output_moments(assemble(lo), output, order)
+    return (m_hi - m_lo) / (2 * h)
+
+
+@pytest.fixture
+def mesh():
+    return builders.random_rc_mesh(10, extra_edges=3, seed=11)
+
+
+class TestStampDerivatives:
+    def test_resistor_chain_rule(self, rc_lowpass):
+        sys = assemble(rc_lowpass)
+        dG, dC = element_stamp_derivatives(sys, "R1")
+        # dg/dR = -1/R^2 = -1e-6 on the 2x2 pattern
+        i, j = sys.node_index["in"], sys.node_index["out"]
+        assert dG[i, i] == pytest.approx(-1e-6)
+        assert dG[i, j] == pytest.approx(1e-6)
+        assert dC.nnz == 0
+
+    def test_capacitor(self, rc_lowpass):
+        sys = assemble(rc_lowpass)
+        dG, dC = element_stamp_derivatives(sys, "C1")
+        j = sys.node_index["out"]
+        assert dC[j, j] == pytest.approx(1.0)
+        assert dG.nnz == 0
+
+    def test_inductor(self):
+        ckt = Circuit()
+        ckt.V("V1", "a", "0", ac=1.0)
+        ckt.L("L1", "a", "0", 1e-6)
+        sys = assemble(ckt)
+        dG, dC = element_stamp_derivatives(sys, "L1")
+        br = sys.branch_index["L1"]
+        assert dC[br, br] == pytest.approx(-1.0)
+        assert dG.nnz == 0
+
+    def test_vccs(self):
+        ckt = Circuit()
+        ckt.I("I1", "0", "a", ac=1.0)
+        ckt.R("Ra", "a", "0", 1.0)
+        ckt.vccs("Gm", "b", "0", "a", "0", 1e-3)
+        ckt.R("Rb", "b", "0", 1.0)
+        sys = assemble(ckt)
+        dG, _ = element_stamp_derivatives(sys, "Gm")
+        # current gm*v(a) leaves node b: +gm on the (b, a) entry
+        assert dG[sys.node_index["b"], sys.node_index["a"]] == pytest.approx(1.0)
+
+    def test_sources_have_zero_derivative(self, rc_lowpass):
+        sys = assemble(rc_lowpass)
+        dG, dC = element_stamp_derivatives(sys, "Vin")
+        assert dG.nnz == 0 and dC.nnz == 0
+
+
+class TestMomentSensitivities:
+    @pytest.mark.parametrize("name", ["R1", "C1"])
+    def test_rc_against_finite_difference(self, rc_lowpass, name):
+        sys = assemble(rc_lowpass)
+        adjoint = moment_sensitivities(sys, "out", 4, [name])[name]
+        fd = fd_moment_sensitivity(rc_lowpass, "out", 4, name)
+        np.testing.assert_allclose(adjoint, fd, rtol=1e-5, atol=1e-30)
+
+    def test_mesh_many_elements(self, mesh):
+        sys = assemble(mesh)
+        names = ["Rt3", "C5", "Rg"]
+        m_ref = output_moments(sys, "n5", 3)
+        adjoint = moment_sensitivities(sys, "n5", 3, names)
+        for name in names:
+            fd = fd_moment_sensitivity(mesh, "n5", 3, name)
+            value = mesh[name].value
+            for k in range(4):
+                # FD cancellation noise floor scales with |m_k|/h, so compare
+                # against a per-order absolute tolerance
+                noise = 1e-7 * abs(m_ref[k]) / value + 1e-30
+                np.testing.assert_allclose(adjoint[name][k], fd[k],
+                                           rtol=2e-4, atol=noise)
+
+    def test_analytic_rc_case(self, rc_lowpass):
+        # m1 = -RC: dm1/dR = -C, dm1/dC = -R
+        sys = assemble(rc_lowpass)
+        sens = moment_sensitivities(sys, "out", 1, ["R1", "C1"])
+        assert sens["R1"][1] == pytest.approx(-1e-9, rel=1e-12)
+        assert sens["C1"][1] == pytest.approx(-1000.0, rel=1e-12)
+
+
+class TestPoleSensitivities:
+    def test_single_pole_analytic(self, rc_lowpass):
+        # p = -1/(RC): dp/dR = 1/(R^2 C) = 1e6 / 1000
+        sys = assemble(rc_lowpass)
+        m = output_moments(sys, "out", 1)
+        dm = moment_sensitivities(sys, "out", 1, ["R1"])["R1"]
+        poles, d_poles, _, _ = pole_sensitivities(m, dm, 1)
+        assert poles[0].real == pytest.approx(-1e6, rel=1e-9)
+        assert d_poles[0].real == pytest.approx(1e6 / 1000.0, rel=1e-6)
+
+    def test_against_finite_difference(self, rc_two_pole):
+        sys = assemble(rc_two_pole)
+        m = output_moments(sys, "out", 3)
+        dm = moment_sensitivities(sys, "out", 3, ["C2"])["C2"]
+        poles, d_poles, _, _ = pole_sensitivities(m, dm, 2)
+        # finite difference on the AWE poles
+        val = rc_two_pole["C2"].value
+        h = 1e-6 * val
+        def poles_at(v):
+            c = rc_two_pole.copy()
+            c.replace_value("C2", v)
+            return np.sort_complex(awe(c, "out", order=2).model.poles)
+        fd = (poles_at(val + h) - poles_at(val - h)) / (2 * h)
+        np.testing.assert_allclose(np.sort_complex(poles), poles_at(val), rtol=1e-6)
+        d_sorted = d_poles[np.argsort(poles.real)]
+        fd_sorted = fd[np.argsort(poles_at(val).real)]
+        np.testing.assert_allclose(d_sorted.real, fd_sorted.real, rtol=1e-3)
+
+
+class TestPoleZeroRanking:
+    def test_identifies_dominant_elements(self):
+        # dominant pole set by R1*C1; Rsmall barely matters
+        ckt = Circuit()
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("Rbig", "in", "out", 10_000.0)
+        ckt.C("Cbig", "out", "0", 1e-9)
+        ckt.R("Rsmall", "out", "mid", 1.0)
+        ckt.C("Csmall", "mid", "0", 1e-15)
+        sys = assemble(ckt)
+        ranking = pole_zero_sensitivities(sys, "out", 1)
+        assert ranking["Rbig"].score() > 100 * ranking["Rsmall"].score()
+        assert ranking["Cbig"].score() > 100 * ranking["Csmall"].score()
+
+    def test_normalized_is_dimensionless(self, rc_lowpass):
+        sys = assemble(rc_lowpass)
+        ranking = pole_zero_sensitivities(sys, "out", 1)
+        # p = -1/(RC): (R/p) dp/dR = -1 exactly
+        assert ranking["R1"].normalized[0] == pytest.approx(1.0, rel=1e-6)
+        assert ranking["C1"].normalized[0] == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.awe import awe, stable_reduction
+from repro.awe.driver import awe_from_system
+from repro.awe.scaling import moment_scale, scale_moments
+from repro.circuits import builders
+from repro.errors import ApproximationError
+from repro.mna import assemble
+
+from .conftest import exact_poles
+from .test_pade import synthetic_moments
+
+
+class TestScaling:
+    def test_scale_estimates_dominant_pole(self):
+        m = synthetic_moments([-1e6], [1.0], 6)
+        assert moment_scale(m) == pytest.approx(1e6, rel=1e-9)
+
+    def test_scaled_moments_order_one(self):
+        m = synthetic_moments([-1e9, -5e9], [1.0, 2.0], 8)
+        scaled = scale_moments(m, moment_scale(m))
+        mags = np.abs(scaled[scaled != 0])
+        assert mags.max() / mags.min() < 1e3
+
+    def test_degenerate_sequences(self):
+        assert moment_scale(np.zeros(4)) == 1.0
+        assert moment_scale(np.array([1.0])) == 1.0
+
+
+class TestStableReduction:
+    def test_exact_stable_system(self):
+        m = synthetic_moments([-1.0, -50.0], [1.0, 1.0], 6)
+        model = stable_reduction(m, 2)
+        assert model.stable
+        np.testing.assert_allclose(np.sort(model.poles.real), [-50.0, -1.0],
+                                   rtol=1e-7)
+        assert model.dropped_unstable == 0
+
+    def test_drops_to_lower_order(self):
+        # dominant stable pole plus a weak unstable one: the exact order-2
+        # model is unstable, order-1 keeps the dominant stable behaviour
+        m = synthetic_moments([-1.0, 20.0], [1.0, 1e-5], 6)
+        model = stable_reduction(m, 2)
+        assert model.stable
+        assert model.order == 1
+        assert model.dropped_unstable >= 1
+        assert model.poles[0].real == pytest.approx(-1.0, rel=1e-3)
+
+    def test_require_stable_false_returns_exact(self):
+        m = synthetic_moments([-1.0, 20.0], [1.0, 1e-5], 6)
+        model = stable_reduction(m, 2, require_stable=False)
+        assert model.order == 2
+        assert not model.stable
+
+    def test_hopeless_moments_raise(self):
+        with pytest.raises(ApproximationError):
+            stable_reduction(np.zeros(6), 2)
+
+
+class TestDriver:
+    def test_single_pole_circuit(self, rc_lowpass):
+        result = awe(rc_lowpass, "out", order=1)
+        assert result.model.poles[0] == pytest.approx(-1e6, rel=1e-9)
+        assert result.model.dc_gain() == pytest.approx(1.0)
+
+    def test_two_pole_exact_recovery(self, rc_two_pole):
+        sys = assemble(rc_two_pole)
+        result = awe(rc_two_pole, "out", order=2)
+        expected = np.sort(exact_poles(sys).real)
+        np.testing.assert_allclose(np.sort(result.model.poles.real), expected,
+                                   rtol=1e-6)
+
+    def test_large_rc_line_dominant_pole(self):
+        # AWE order 4 captures the dominant pole of a 100-section line
+        ckt = builders.rc_ladder(100, r=10.0, c=1e-12)
+        sys = assemble(ckt)
+        result = awe(ckt, "n100", order=4)
+        dom_exact = exact_poles(sys).real
+        dom_exact = dom_exact[np.argmin(np.abs(dom_exact))]
+        assert result.model.dominant_pole().real == pytest.approx(dom_exact, rel=1e-6)
+        assert result.model.stable
+
+    def test_step_response_matches_high_order_truth(self):
+        # order-4 AWE of a 30-section ladder vs an order-12 reference model
+        ckt = builders.rc_ladder(30, r=100.0, c=1e-12)
+        low = awe(ckt, "n30", order=3).model
+        high = awe(ckt, "n30", order=8, require_stable=False).model
+        t = np.linspace(0, low.settle_time_hint(), 200)
+        err = np.max(np.abs(low.step_response(t) - high.step_response(t)))
+        assert err < 0.02  # within 2% of swing
+
+    def test_awe_from_system_matches(self, rc_two_pole):
+        sys = assemble(rc_two_pole)
+        a = awe(rc_two_pole, "out", order=2).model
+        b = awe_from_system(sys, "out", order=2).model
+        np.testing.assert_allclose(np.sort_complex(a.poles), np.sort_complex(b.poles))
+
+    def test_result_metadata(self, rc_two_pole):
+        result = awe(rc_two_pole, "out", order=2)
+        assert result.order == 2
+        assert len(result.moments) == 4
+        assert result.output == "out"

@@ -1,0 +1,105 @@
+"""Tests for model zeros and shifted (multipoint) moment expansions."""
+
+import numpy as np
+import pytest
+
+from repro.awe import ReducedOrderModel, awe, shifted_output_moments
+from repro.circuits import Circuit, builders
+from repro.errors import ApproximationError
+from repro.mna import assemble
+
+
+class TestZeros:
+    def test_known_zero(self):
+        # H = (s + 3) / ((s+1)(s+2)) -> residues r1 = 2, r2 = -1
+        m = ReducedOrderModel(poles=[-1.0, -2.0], residues=[2.0, -1.0])
+        zeros = m.zeros()
+        assert len(zeros) == 1
+        assert zeros[0] == pytest.approx(-3.0)
+
+    def test_all_pole_model_has_no_zeros(self):
+        # H = 1/((s+1)(s+2)): residues 1, -1
+        m = ReducedOrderModel(poles=[-1.0, -2.0], residues=[1.0, -1.0])
+        assert len(m.zeros()) == 0
+
+    def test_single_pole_no_zeros(self):
+        m = ReducedOrderModel(poles=[-5.0], residues=[2.0])
+        assert len(m.zeros()) == 0
+
+    def test_numerator_matches_transfer(self):
+        m = ReducedOrderModel(poles=[-1.0, -4.0, -9.0],
+                              residues=[1.0, 2.0, -0.5])
+        coeffs = m.numerator_coefficients()
+        s = 2.0 + 1.0j
+        num = sum(c * s ** k for k, c in enumerate(coeffs))
+        den = np.prod(s - m.poles)
+        assert num / den == pytest.approx(m.transfer(np.array([s]))[0])
+
+    def test_circuit_with_transmission_zero(self):
+        # C1+R2 bypassing R1 creates a zero where the combined series
+        # admittance vanishes: s_z = -1 / (C1 (R1 + R2))
+        ckt = Circuit("zero")
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "out", 1000.0)
+        ckt.R("R2", "mid", "out", 500.0)
+        ckt.C("C1", "in", "mid", 1e-9)
+        ckt.R("RL", "out", "0", 2000.0)
+        ckt.C("CL", "out", "0", 1e-10)
+        model = awe(ckt, "out", order=2).model
+        zeros = model.zeros()
+        assert len(zeros) == 1
+        assert zeros[0].real == pytest.approx(-1.0 / (1e-9 * 1500.0), rel=1e-3)
+
+
+class TestShiftedExpansion:
+    def test_shifted_moments_of_single_pole(self):
+        # H = 1/(1 + s tau): about s0, m'_k = (-tau)^k / (1 + s0 tau)^(k+1)
+        tau = 1e-6
+        ckt = Circuit()
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "out", 1000.0)
+        ckt.C("C1", "out", "0", 1e-9)
+        sys = assemble(ckt)
+        s0 = -2e5
+        m = shifted_output_moments(sys, "out", 3, s0)
+        base = 1.0 + s0 * tau
+        want = [(-tau) ** k / base ** (k + 1) for k in range(4)]
+        np.testing.assert_allclose(m, want, rtol=1e-12)
+
+    def test_shifted_model_recovers_exact_poles(self, rc_two_pole):
+        ref = awe(rc_two_pole, "out", order=2).model
+        shifted = awe(rc_two_pole, "out", order=2,
+                      expansion_point=-1e5).model
+        np.testing.assert_allclose(np.sort(shifted.poles.real),
+                                   np.sort(ref.poles.real), rtol=1e-9)
+        assert shifted.dc_gain() == pytest.approx(ref.dc_gain(), rel=1e-9)
+
+    def test_shift_sharpens_far_pole(self):
+        """Order-2 fit of a 40-section line: expanding near the second pole
+        cluster estimates it better than the Maclaurin expansion."""
+        from tests.awe.conftest import exact_poles
+        ckt = builders.rc_ladder(40, r=100.0, c=1e-12)
+        sys = assemble(ckt)
+        exact = np.sort(exact_poles(sys).real)[::-1]  # descending magnitude
+        p2_exact = exact[1]  # second-slowest pole
+        plain = awe(ckt, "n40", order=2).model
+        shifted = awe(ckt, "n40", order=2, expansion_point=p2_exact).model
+        def err(model):
+            p = np.sort(model.poles.real)[::-1]
+            return abs(p[1] - p2_exact) / abs(p2_exact)
+        assert err(shifted) < err(plain)
+
+    def test_positive_shift_rejected(self, rc_two_pole):
+        with pytest.raises(ApproximationError):
+            awe(rc_two_pole, "out", order=2, expansion_point=1e4)
+
+    def test_stability_judged_on_true_poles(self):
+        # shift magnitude larger than the dominant pole: the shifted-domain
+        # pole looks unstable but the true model is stable and must pass
+        ckt = Circuit()
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "out", 1000.0)
+        ckt.C("C1", "out", "0", 1e-9)  # pole at -1e6
+        model = awe(ckt, "out", order=1, expansion_point=-5e6).model
+        assert model.stable
+        assert model.poles[0].real == pytest.approx(-1e6, rel=1e-9)

@@ -1,0 +1,87 @@
+import pytest
+
+from repro.circuits import builders
+from repro.errors import CircuitError
+
+
+class TestRcLadder:
+    def test_voltage_driven(self):
+        ckt = builders.rc_ladder(5, r=100.0, c=1e-12)
+        ckt.check()
+        s = ckt.stats()
+        assert s["storage"] == 5
+        assert "in" in ckt.node_names()
+
+    def test_with_source_resistance(self):
+        ckt = builders.rc_ladder(3, r_source=50.0)
+        assert ckt["Rsrc"].value == 50.0
+        ckt.check()
+
+    def test_current_driven(self):
+        ckt = builders.rc_ladder(4, input_kind="current")
+        ckt.check()
+        assert "in" not in ckt.node_names()
+
+    def test_invalid_args(self):
+        with pytest.raises(CircuitError):
+            builders.rc_ladder(0)
+        with pytest.raises(CircuitError):
+            builders.rc_ladder(2, input_kind="banana")
+
+
+class TestRcTree:
+    def test_leaf_count(self):
+        ckt = builders.rc_tree(depth=3, fanout=2)
+        ckt.check()
+        leaves = [n for n in ckt.node_names() if n.startswith("leaf")]
+        assert len(leaves) == 2 ** 3
+
+    def test_skew_scales_values(self):
+        ckt = builders.rc_tree(depth=2, r=100.0, skew=2.0)
+        assert ckt["R1"].value == 200.0  # right child scaled
+        assert ckt["R0"].value == 100.0
+
+    def test_depth_validation(self):
+        with pytest.raises(CircuitError):
+            builders.rc_tree(0)
+
+
+class TestCoupledLines:
+    def test_structure(self):
+        n = 20
+        ckt = builders.coupled_rc_lines(n_segments=n)
+        ckt.check()
+        s = ckt.stats()
+        # per segment: 2 ground caps + 1 coupling cap; plus 2 loads
+        assert s["storage"] == 3 * n + 2
+        assert f"a{n}" in ckt.node_names()
+        assert f"b{n}" in ckt.node_names()
+
+    def test_total_values_distributed(self):
+        ckt = builders.coupled_rc_lines(n_segments=10, r_total=1000.0)
+        assert ckt["Ra1"].value == pytest.approx(100.0)
+
+    def test_only_driven_line_has_stimulus(self):
+        ckt = builders.coupled_rc_lines(n_segments=2, drive_line=1)
+        assert ckt["Vs1"].ac == 1.0
+        assert ckt["Vs2"].ac == 0.0
+        ckt2 = builders.coupled_rc_lines(n_segments=2, drive_line=2)
+        assert ckt2["Vs2"].ac == 1.0
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            builders.coupled_rc_lines(n_segments=0)
+        with pytest.raises(CircuitError):
+            builders.coupled_rc_lines(n_segments=2, drive_line=3)
+
+
+class TestRandomMesh:
+    def test_connected_and_grounded(self):
+        for seed in range(5):
+            ckt = builders.random_rc_mesh(12, extra_edges=4, seed=seed)
+            ckt.check()
+
+    def test_deterministic_per_seed(self):
+        a = builders.random_rc_mesh(8, seed=3)
+        b = builders.random_rc_mesh(8, seed=3)
+        assert [e.value for e in a] == [e.value for e in b]

@@ -1,0 +1,115 @@
+import pytest
+
+from repro.circuits import Circuit, Resistor
+from repro.errors import CircuitError
+
+
+@pytest.fixture
+def divider():
+    ckt = Circuit("divider")
+    ckt.V("Vin", "in", "0", dc=1.0)
+    ckt.R("R1", "in", "out", 1000.0)
+    ckt.R("R2", "out", "0", 1000.0)
+    return ckt
+
+
+class TestAdd:
+    def test_duplicate_name_rejected(self, divider):
+        with pytest.raises(CircuitError):
+            divider.R("R1", "a", "b", 1.0)
+
+    def test_ground_aliases_collapse(self):
+        ckt = Circuit()
+        ckt.R("R1", "a", "GND", 1.0)
+        ckt.R("R2", "b", "gnd", 1.0)
+        ckt.R("R3", "a", "0", 1.0)
+        assert ckt["R1"].n2 == "0"
+        assert ckt["R2"].n2 == "0"
+        assert ckt.node_names() == ["a", "b"]
+
+    def test_cc_source_requires_existing_branch(self):
+        ckt = Circuit()
+        ckt.R("R1", "a", "0", 1.0)
+        with pytest.raises(CircuitError):
+            ckt.cccs("F1", "a", "0", "Vmissing", 2.0)
+        with pytest.raises(CircuitError):
+            ckt.cccs("F1", "a", "0", "R1", 2.0)  # R has no branch current
+
+    def test_cc_source_through_voltage_source(self):
+        ckt = Circuit()
+        ckt.V("V1", "a", "0", 1.0)
+        ckt.cccs("F1", "b", "0", "V1", 2.0)
+        ckt.R("Rb", "b", "0", 1.0)
+        assert "F1" in ckt
+
+    def test_replace_value(self, divider):
+        divider.replace_value("R2", 500.0)
+        assert divider["R2"].value == 500.0
+
+    def test_remove_protects_control_branch(self):
+        ckt = Circuit()
+        ckt.V("V1", "a", "0", 1.0)
+        ckt.cccs("F1", "b", "0", "V1", 2.0)
+        with pytest.raises(CircuitError):
+            ckt.remove("V1")
+        ckt.remove("F1")
+        ckt.remove("V1")
+        assert len(ckt) == 0
+
+
+class TestAccess:
+    def test_getitem_unknown(self, divider):
+        with pytest.raises(CircuitError):
+            divider["nope"]
+
+    def test_iteration_order_stable(self, divider):
+        assert [e.name for e in divider] == ["Vin", "R1", "R2"]
+
+    def test_elements_of(self, divider):
+        assert [e.name for e in divider.elements_of(Resistor)] == ["R1", "R2"]
+
+    def test_stats(self, divider):
+        s = divider.stats()
+        assert s == {"elements": 3, "nodes": 2, "storage": 0, "sources": 1}
+
+
+class TestTopology:
+    def test_check_passes_for_good_circuit(self, divider):
+        divider.check()
+
+    def test_no_ground(self):
+        ckt = Circuit()
+        ckt.R("R1", "a", "b", 1.0)
+        with pytest.raises(CircuitError, match="ground"):
+            ckt.check()
+
+    def test_floating_node(self):
+        ckt = Circuit()
+        ckt.R("R1", "a", "0", 1.0)
+        ckt.R("R2", "x", "y", 1.0)
+        with pytest.raises(CircuitError, match="not connected"):
+            ckt.check()
+
+    def test_empty_circuit(self):
+        with pytest.raises(CircuitError):
+            Circuit().check()
+
+
+class TestDerivation:
+    def test_subcircuit(self, divider):
+        sub = divider.subcircuit(["R1", "R2"])
+        assert len(sub) == 2
+        with pytest.raises(CircuitError):
+            divider.subcircuit(["R1", "nope"])
+
+    def test_without(self, divider):
+        rest = divider.without(["Vin"])
+        assert [e.name for e in rest] == ["R1", "R2"]
+
+    def test_copy_is_independent(self, divider):
+        dup = divider.copy()
+        dup.replace_value("R1", 1.0)
+        assert divider["R1"].value == 1000.0
+
+    def test_node_index_stable(self, divider):
+        assert divider.node_index() == {"in": 0, "out": 1}

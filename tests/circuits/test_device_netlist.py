@@ -1,0 +1,82 @@
+import pytest
+
+from repro.analysis import operating_point
+from repro.circuits.device_netlist import parse_device_netlist
+from repro.circuits.devices import BJT, MOSFET, Diode
+from repro.errors import NetlistError
+
+AMP = """* bjt common emitter
+Vcc vcc 0 10
+Vin b 0 DC 0.65 AC 1
+Rc vcc c 5k
+Q1 c b 0 IS=1e-15 BF=100 VAF=75
+.end
+"""
+
+
+class TestParseDevices:
+    def test_bjt_card(self):
+        nc = parse_device_netlist(AMP)
+        assert len(nc.devices) == 1
+        q = nc.devices["Q1"]
+        assert isinstance(q, BJT)
+        assert q.beta_f == 100.0
+        assert q.is_npn
+        assert len(nc.linear) == 3
+
+    def test_pnp_flag(self):
+        nc = parse_device_netlist("Q2 c b e PNP BF=50\nRl c 0 1k\n")
+        assert nc.devices["Q2"].polarity == -1
+
+    def test_diode_card_with_engineering_params(self):
+        nc = parse_device_netlist("D1 a 0 IS=2e-14 CJ=3p\nRa a 0 1k\n")
+        d = nc.devices["D1"]
+        assert isinstance(d, Diode)
+        assert d.c_junction == pytest.approx(3e-12)
+
+    def test_mosfet_card(self):
+        nc = parse_device_netlist(
+            "M1 d g 0 KP=200u VTO=0.7 LAMBDA=0.02 CGS=20f\nRd d 0 1k\n")
+        m = nc.devices["M1"]
+        assert isinstance(m, MOSFET)
+        assert m.kp == pytest.approx(200e-6)
+        assert m.vto == 0.7
+        assert m.c_gs == pytest.approx(20e-15)
+
+    def test_pmos_flag(self):
+        nc = parse_device_netlist("M1 d g s PMOS KP=100u\nRd d 0 1k\nRs s 0 1\n")
+        assert nc.devices["M1"].polarity == -1
+
+    def test_continuation_parameters(self):
+        nc = parse_device_netlist("Q1 c b 0 IS=1e-15\n+ BF=150\nRc c 0 1k\n")
+        assert nc.devices["Q1"].beta_f == 150.0
+
+    def test_parsed_circuit_solves(self):
+        nc = parse_device_netlist(AMP)
+        op = operating_point(nc)
+        assert op.device_state["Q1"]["ic"] > 1e-5
+        assert 0.1 < op.v("c") < 10.0
+
+
+class TestParseErrors:
+    def test_unknown_parameter(self):
+        with pytest.raises(NetlistError, match="unknown device parameter"):
+            parse_device_netlist("Q1 c b 0 WAT=3\n")
+
+    def test_unknown_bjt_type(self):
+        with pytest.raises(NetlistError, match="unknown BJT type"):
+            parse_device_netlist("Q1 c b 0 XNP\n")
+
+    def test_wrong_node_count(self):
+        with pytest.raises(NetlistError):
+            parse_device_netlist("D1 a\n")
+        with pytest.raises(NetlistError):
+            parse_device_netlist("M1 d g\n")
+
+    def test_positional_after_params(self):
+        with pytest.raises(NetlistError, match="positional token"):
+            parse_device_netlist("Q1 c b IS=1e-15 0\n")
+
+    def test_bad_value(self):
+        with pytest.raises(NetlistError):
+            parse_device_netlist("D1 a 0 IS=oops\n")

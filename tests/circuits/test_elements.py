@@ -1,0 +1,68 @@
+import pytest
+
+from repro.circuits import (CCCS, CCVS, VCCS, VCVS, Capacitor, Conductance,
+                            CurrentSource, Inductor, Resistor, VoltageSource)
+from repro.errors import CircuitError
+
+
+class TestValidation:
+    def test_resistor_positive(self):
+        Resistor("R1", "a", "b", 10.0).validate()
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", 0.0).validate()
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", -5.0).validate()
+
+    def test_two_terminal_distinct_nodes(self):
+        with pytest.raises(CircuitError):
+            Capacitor("C1", "a", "a", 1e-12).validate()
+
+    def test_capacitor_nonnegative(self):
+        Capacitor("C1", "a", "0", 0.0).validate()
+        with pytest.raises(CircuitError):
+            Capacitor("C1", "a", "0", -1e-12).validate()
+
+    def test_inductor_positive(self):
+        with pytest.raises(CircuitError):
+            Inductor("L1", "a", "b", 0.0).validate()
+
+    def test_vccs_output_not_shorted(self):
+        with pytest.raises(CircuitError):
+            VCCS("G1", n1="a", n2="a", nc1="c", nc2="d", gm=1e-3).validate()
+
+    def test_empty_name(self):
+        with pytest.raises(CircuitError):
+            Resistor("", "a", "b", 1.0).validate()
+
+
+class TestMetadata:
+    def test_needs_branch(self):
+        assert VoltageSource("V1", "a", "0", 1.0).needs_branch
+        assert Inductor("L1", "a", "b", 1e-9).needs_branch
+        assert VCVS("E1", n1="a", n2="0", nc1="c", nc2="0", gain=2.0).needs_branch
+        assert CCVS("H1", n1="a", n2="0", ctrl="V1", r=5.0).needs_branch
+        assert not Resistor("R1", "a", "b", 1.0).needs_branch
+        assert not CCCS("F1", n1="a", n2="0", ctrl="V1", gain=1.0).needs_branch
+
+    def test_moment_kind(self):
+        assert Resistor("R1", "a", "b", 1.0).moment_kind == "G"
+        assert Capacitor("C1", "a", "b", 1.0).moment_kind == "C"
+        assert Inductor("L1", "a", "b", 1.0).moment_kind == "C"
+        assert VCCS("G1", n1="a", n2="b", nc1="c", nc2="d", gm=1.0).moment_kind == "G"
+
+    def test_value_and_with_value(self):
+        r = Resistor("R1", "a", "b", 10.0)
+        assert r.value == 10.0
+        assert r.with_value(20.0).resistance == 20.0
+        c = Capacitor("C1", "a", "b", 1e-12)
+        assert c.with_value(2e-12).value == 2e-12
+        g = VCCS("G1", n1="a", n2="b", nc1="c", nc2="d", gm=1e-3)
+        assert g.with_value(2e-3).gm == 2e-3
+
+    def test_conductance_of_resistor(self):
+        assert Resistor("R1", "a", "b", 4.0).conductance == 0.25
+
+    def test_elements_are_frozen(self):
+        r = Resistor("R1", "a", "b", 10.0)
+        with pytest.raises(AttributeError):
+            r.resistance = 5.0  # type: ignore[misc]

@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.awe import transfer_moments
+from repro.circuits import Circuit
+from repro.errors import CircuitError
+
+
+def rc_cell():
+    cell = Circuit("cell")
+    cell.R("R", "a", "b", 100.0)
+    cell.C("C", "b", "0", 1e-12)
+    return cell
+
+
+class TestEmbed:
+    def test_nodes_prefixed_and_mapped(self):
+        host = Circuit("host")
+        host.V("Vin", "in", "0", ac=1.0)
+        host.embed(rc_cell(), "u1_", node_map={"a": "in", "b": "mid"})
+        host.embed(rc_cell(), "u2_", node_map={"a": "mid"})
+        assert "u1_R" in host and "u2_C" in host
+        assert host["u1_R"].n1 == "in" and host["u1_R"].n2 == "mid"
+        assert host["u2_R"].n2 == "u2_b"  # unmapped node got prefixed
+        host.check()
+
+    def test_ground_not_prefixed(self):
+        host = Circuit("host")
+        host.V("Vin", "a", "0", ac=1.0)
+        host.embed(rc_cell(), "x_", node_map={"a": "a", "b": "out"})
+        assert host["x_C"].n2 == "0"
+
+    def test_chain_matches_handbuilt_ladder(self):
+        from repro.circuits import builders
+        host = Circuit("chained")
+        host.V("Vin", "in", "0", ac=1.0)
+        prev = "in"
+        for i in range(1, 4):
+            node = f"n{i}"
+            host.embed(rc_cell(), f"s{i}_", node_map={"a": prev, "b": node})
+            prev = node
+        ladder = builders.rc_ladder(3, r=100.0, c=1e-12)
+        np.testing.assert_allclose(transfer_moments(host, "n3", 3),
+                                   transfer_moments(ladder, "n3", 3),
+                                   rtol=1e-12)
+
+    def test_controlled_source_ctrl_prefixed(self):
+        cell = Circuit("cs")
+        cell.V("Vs", "p", "0", dc=1.0)
+        cell.cccs("F", "q", "0", "Vs", 2.0)
+        cell.R("Rq", "q", "0", 1.0)
+        host = Circuit("host")
+        host.embed(cell, "m_", node_map={"p": "top"})
+        assert host["m_F"].ctrl == "m_Vs"
+
+    def test_name_collision_rejected(self):
+        host = Circuit("host")
+        host.embed(rc_cell(), "u_")
+        with pytest.raises(CircuitError, match="duplicate"):
+            host.embed(rc_cell(), "u_")

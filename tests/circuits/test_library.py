@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.awe import awe
+from repro.circuits.library import (build_741, bias_741, fig1_circuit,
+                                    paper_coupled_lines, small_signal_741)
+from repro.circuits.library.coupled_lines import victim_output
+from repro.core import exact_transfer_function
+from repro.core.metrics import (dominant_pole_hz, phase_margin,
+                                unity_gain_frequency)
+
+
+class TestFig1:
+    def test_matches_equation_5_structure(self):
+        ckt = fig1_circuit()
+        h = exact_transfer_function(ckt, "out", symbols="all")
+        # evaluate eq. (5) at the defaults: G1=5, G2=2, C1=1, C2=2
+        got = h.evaluate({"s": 1.0, "G1": 5.0, "G2": 2.0, "C1": 1.0, "C2": 2.0})
+        expected = (5 * 2) / (1 * 2 + (2 * 1 + 2 * 2 + 5 * 2) * 1 + 5 * 2)
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_unity_dc_gain(self):
+        result = awe(fig1_circuit(), "out", order=2)
+        assert result.model.dc_gain() == pytest.approx(1.0)
+
+
+class Test741DC:
+    @pytest.fixture(scope="class")
+    def op(self):
+        return bias_741()
+
+    def test_converges(self, op):
+        assert op.iterations < 2000
+
+    def test_output_near_zero(self, op):
+        assert abs(op.v("out")) < 0.05  # unity feedback holds out at offset
+
+    def test_widlar_current(self, op):
+        # classic 741: ~19 uA from the Widlar source
+        assert op.device_state["Q10"]["ic"] == pytest.approx(19e-6, rel=0.25)
+
+    def test_input_pair_balanced(self, op):
+        ic1 = op.device_state["Q1"]["ic"]
+        ic2 = op.device_state["Q2"]["ic"]
+        assert ic1 == pytest.approx(ic2, rel=0.05)
+        assert 3e-6 < ic1 < 20e-6  # micropower input stage
+
+    def test_output_stage_class_ab(self, op):
+        # both output devices conduct a quiescent current well below 5 mA
+        for q in ("Q14", "Q20"):
+            assert 1e-5 < op.device_state[q]["ic"] < 5e-3, q
+
+    def test_second_stage_current(self, op):
+        assert op.device_state["Q17"]["ic"] == pytest.approx(0.7e-3, rel=0.5)
+
+
+class Test741SmallSignal:
+    @pytest.fixture(scope="class")
+    def ss(self):
+        return small_signal_741()
+
+    def test_element_counts_near_paper(self, ss):
+        stats = ss.stats()
+        # paper: 170 linear elements, 62 storage.  We omit the protection
+        # circuitry, landing slightly below but in the same regime.
+        assert 100 <= stats["elements"] <= 200
+        assert 40 <= stats["storage"] <= 80
+
+    def test_symbolic_elements_exist(self, ss):
+        assert "go_Q14" in ss.circuit
+        assert "Ccomp" in ss.circuit
+        assert ss.circuit["Ccomp"].value == pytest.approx(30e-12)
+
+    def test_open_loop_metrics_in_741_regime(self, ss):
+        model = awe(ss.circuit, "out", order=2).model
+        gain_db = 20 * np.log10(abs(model.dc_gain()))
+        assert 85.0 < gain_db < 115.0          # datasheet ~106 dB
+        assert 1.0 < dominant_pole_hz(model) < 50.0   # ~5 Hz
+        fu = unity_gain_frequency(model) / (2 * np.pi)
+        assert 0.3e6 < fu < 3e6                # ~1 MHz
+        assert 40.0 < phase_margin(model) < 110.0
+
+    def test_miller_pole_tracks_ccomp(self, ss):
+        # doubling Ccomp should halve the dominant pole (Miller relation)
+        base = awe(ss.circuit, "out", order=1).model.dominant_pole().real
+        doubled = ss.circuit.copy()
+        doubled.replace_value("Ccomp", 60e-12)
+        halved = awe(doubled, "out", order=1).model.dominant_pole().real
+        assert halved == pytest.approx(base / 2, rel=0.05)
+
+    def test_cache_returns_same_object(self):
+        a = small_signal_741()
+        b = small_signal_741()
+        assert a is b
+        c = small_signal_741(use_cache=False)
+        assert c is not a
+
+
+class TestCoupledLinesLibrary:
+    def test_small_instance_has_crosstalk_pulse(self):
+        ckt = paper_coupled_lines(n_segments=40)
+        model = awe(ckt, victim_output(40), order=2).model
+        assert model.dc_gain() == pytest.approx(0.0, abs=1e-9)
+        t_pk, v_pk = model.peak_response()
+        assert v_pk > 0.01  # visible coupling pulse
+        assert t_pk > 0.0
+
+    def test_victim_quiet_when_drive_swapped(self):
+        from repro.circuits.builders import coupled_rc_lines
+        ckt = coupled_rc_lines(n_segments=10, drive_line=2)
+        model = awe(ckt, "a10", order=2).model
+        assert model.dc_gain() == pytest.approx(0.0, abs=1e-9)

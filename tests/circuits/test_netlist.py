@@ -1,0 +1,99 @@
+import pytest
+
+from repro.circuits import Circuit, parse_netlist
+from repro.circuits.netlist import write_netlist
+from repro.errors import NetlistError
+
+FIG1 = """* figure 1 RC circuit
+Vin in 0 DC 0 AC 1
+G1 in 1 5
+C1 1 0 1u
+G2 1 out 2
+C2 out 0 2u
+.end
+"""
+
+
+class TestParse:
+    def test_fig1_parses(self):
+        ckt = parse_netlist(FIG1)
+        assert ckt.title == "figure 1 RC circuit"
+        assert len(ckt) == 5
+        assert ckt["C1"].value == pytest.approx(1e-6)
+        assert ckt["G1"].value == 5.0
+
+    def test_engineering_suffixes(self):
+        ckt = parse_netlist("R1 a 0 10k\nC1 a 0 2.2p\nL1 a b 10n\nR2 b 0 1meg\n")
+        assert ckt["R1"].value == 10e3
+        assert ckt["C1"].value == pytest.approx(2.2e-12)
+        assert ckt["L1"].value == pytest.approx(10e-9)
+        assert ckt["R2"].value == 1e6
+
+    def test_vccs_five_token_form(self):
+        ckt = parse_netlist("Gm1 out 0 inp inn 2m\nR1 out 0 1k\nR2 inp inn 1k\n")
+        gm = ckt["Gm1"]
+        assert gm.nc1 == "inp" and gm.gm == pytest.approx(2e-3)
+
+    def test_controlled_sources(self):
+        text = ("V1 a 0 1\n"
+                "E1 b 0 a 0 2\n"
+                "F1 c 0 V1 3\n"
+                "H1 d 0 V1 4\n"
+                "Rb b 0 1\nRc c 0 1\nRd d 0 1\n")
+        ckt = parse_netlist(text)
+        assert ckt["E1"].gain == 2.0
+        assert ckt["F1"].ctrl == "V1"
+        assert ckt["H1"].r == 4.0
+
+    def test_source_dc_ac_forms(self):
+        ckt = parse_netlist("V1 a 0 5\nV2 b 0 DC 3 AC 1\nI1 0 a AC 2\nRa a 0 1\nRb b 0 1\n")
+        assert ckt["V1"].dc == 5.0
+        assert (ckt["V2"].dc, ckt["V2"].ac) == (3.0, 1.0)
+        assert ckt["I1"].ac == 2.0
+
+    def test_continuation_lines(self):
+        ckt = parse_netlist("R1 a\n+ 0\n+ 42\n")
+        assert ckt["R1"].value == 42.0
+
+    def test_comments_and_blank_lines(self):
+        ckt = parse_netlist("\n; pure comment\nR1 a 0 1 ; trailing\n// slashes\n")
+        assert len(ckt) == 1
+
+    def test_end_card_stops_parsing(self):
+        ckt = parse_netlist("R1 a 0 1\n.end\nR2 b 0 1\n")
+        assert "R2" not in ckt
+
+
+class TestParseErrors:
+    def test_bad_value(self):
+        with pytest.raises(NetlistError, match="line 1"):
+            parse_netlist("R1 a 0 abc\n")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 a 0\n")
+
+    def test_unknown_element(self):
+        with pytest.raises(NetlistError, match="unknown element"):
+            parse_netlist("Q1 a b c model\n")
+
+    def test_unsupported_control_card(self):
+        with pytest.raises(NetlistError, match="unsupported"):
+            parse_netlist(".tran 1n 1u\n")
+
+    def test_orphan_continuation(self):
+        with pytest.raises(NetlistError, match="continuation"):
+            parse_netlist("+ 42\n")
+
+    def test_dc_keyword_without_value(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 a 0 DC\n")
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self):
+        ckt = parse_netlist(FIG1)
+        again = parse_netlist(write_netlist(ckt))
+        assert [e.name for e in again] == [e.name for e in ckt]
+        for e in ckt:
+            assert again[e.name].value == pytest.approx(e.value)

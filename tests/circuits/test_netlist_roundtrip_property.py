@@ -1,0 +1,82 @@
+"""Property-based netlist writer/parser round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, parse_netlist
+from repro.circuits.netlist import write_netlist
+
+values = st.floats(min_value=1e-15, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+node_ids = st.integers(min_value=0, max_value=6)
+
+
+@st.composite
+def random_circuits(draw):
+    """Random linear circuits over a small node pool (topology-agnostic:
+    round-tripping does not require a solvable circuit)."""
+    ckt = Circuit("random")
+    n_elements = draw(st.integers(min_value=1, max_value=12))
+    branch_names = []
+    for i in range(n_elements):
+        kind = draw(st.sampled_from("RCLGVIE"))
+        a = f"n{draw(node_ids)}"
+        b = f"n{draw(node_ids)}"
+        if a == b:
+            b = "0" if a != "0" else "n7"
+        name = f"{kind}{i}"
+        value = draw(values)
+        if kind == "R":
+            ckt.R(name, a, b, value)
+        elif kind == "C":
+            ckt.C(name, a, b, value)
+        elif kind == "L":
+            ckt.L(name, a, b, value)
+            branch_names.append(name)
+        elif kind == "G":
+            c = f"n{draw(node_ids)}"
+            d = f"n{draw(node_ids)}"
+            ckt.vccs(name, a, b, c, d, value)
+        elif kind == "V":
+            ckt.V(name, a, b, dc=draw(values), ac=draw(values))
+            branch_names.append(name)
+        elif kind == "I":
+            ckt.I(name, a, b, dc=draw(values), ac=draw(values))
+        elif kind == "E":
+            c = f"n{draw(node_ids)}"
+            d = f"n{draw(node_ids)}"
+            ckt.vcvs(name, a, b, c, d, value)
+    return ckt
+
+
+class TestRoundTripProperty:
+    @given(random_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_write_parse_identity(self, ckt):
+        again = parse_netlist(write_netlist(ckt))
+        assert [e.name for e in again] == [e.name for e in ckt]
+        for e in ckt:
+            other = again[e.name]
+            assert type(other) is type(e)
+            assert other.nodes == e.nodes
+            assert other.value == pytest.approx(e.value, rel=1e-9)
+
+    @given(random_circuits())
+    @settings(max_examples=20, deadline=None)
+    def test_double_round_trip_stable(self, ckt):
+        once = write_netlist(parse_netlist(write_netlist(ckt)))
+        twice = write_netlist(parse_netlist(once))
+        assert once == twice
+
+    def test_cc_sources_round_trip(self):
+        ckt = Circuit("cc")
+        ckt.V("V1", "a", "0", dc=1.0, ac=0.5)
+        ckt.cccs("F1", "b", "0", "V1", 2.0)
+        ckt.ccvs("H1", "c", "0", "V1", 3.0)
+        ckt.R("Rb", "b", "0", 1.0)
+        ckt.R("Rc", "c", "0", 1.0)
+        again = parse_netlist(write_netlist(ckt))
+        assert again["F1"].ctrl == "V1" and again["F1"].gain == 2.0
+        assert again["H1"].ctrl == "V1" and again["H1"].r == 3.0
+        assert again["V1"].ac == 0.5

@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.awe import awe
+from repro.circuits import builders
+from repro.errors import CircuitError
+
+
+class TestRLCLine:
+    def test_structure(self):
+        ckt = builders.rlc_line(10)
+        ckt.check()
+        stats = ckt.stats()
+        assert stats["storage"] == 20  # 10 L + 10 C
+
+    def test_values_distributed(self):
+        ckt = builders.rlc_line(5, r_total=50.0, l_total=5e-9, c_total=2e-12)
+        assert ckt["R1"].value == pytest.approx(10.0)
+        assert ckt["L1"].value == pytest.approx(1e-9)
+        assert ckt["C1"].value == pytest.approx(0.4e-12)
+
+    def test_unterminated_line_rings(self):
+        # mismatched (open) end: the step response overshoots
+        ckt = builders.rlc_line(20, r_total=5.0, r_source=5.0)
+        model = awe(ckt, "n20", order=4).model
+        t = np.linspace(0.0, model.settle_time_hint(), 400)
+        y = model.step_response(t)
+        assert y.max() > 1.05  # ringing overshoot
+        assert y[-1] == pytest.approx(1.0, rel=1e-2)
+
+    def test_matched_load_damps_ringing(self):
+        def overshoot(r_load):
+            ckt = builders.rlc_line(20, r_total=5.0, r_source=5.0,
+                                    r_load=r_load)
+            model = awe(ckt, "n20", order=4).model
+            t = np.linspace(0.0, model.settle_time_hint(), 400)
+            y = model.step_response(t)
+            return (y.max() - y[-1]) / y[-1]
+
+        z0 = np.sqrt(5e-9 / 2e-12)  # ~50 ohm characteristic impedance
+        open_end = builders.rlc_line(20, r_total=5.0, r_source=5.0)
+        model_open = awe(open_end, "n20", order=4).model
+        t = np.linspace(0.0, model_open.settle_time_hint(), 400)
+        y_open = model_open.step_response(t)
+        os_open = (y_open.max() - y_open[-1]) / y_open[-1]
+        assert overshoot(z0) < os_open / 2  # termination damps the ringing
+
+    def test_complex_poles_present(self):
+        ckt = builders.rlc_line(10, r_total=2.0)
+        model = awe(ckt, "n10", order=4).model
+        assert np.any(np.abs(model.poles.imag) > 0)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            builders.rlc_line(0)
+
+
+class TestCoupledBus:
+    def test_structure(self):
+        ckt = builders.coupled_bus(4, n_segments=10)
+        ckt.check()
+        # 4 lines x 10 caps + 3 neighbour couplings x 10 + 4 loads
+        assert ckt.stats()["storage"] == 40 + 30 + 4
+
+    def test_only_driven_line_has_stimulus(self):
+        ckt = builders.coupled_bus(3, n_segments=5, drive_line=1)
+        assert ckt["Vs1"].ac == 1.0
+        assert ckt["Vs0"].ac == 0.0 and ckt["Vs2"].ac == 0.0
+
+    def test_crosstalk_decays_with_distance(self):
+        """Victim ``k`` couples through ``k`` capacitor hops, so its first
+        nonzero transfer moment is m_k and each hop attenuates by the
+        coupling ratio — both visible directly in the moments."""
+        from repro.awe import transfer_moments
+        ckt = builders.coupled_bus(4, n_segments=20, drive_line=0)
+        moments = {v: transfer_moments(ckt, f"l{v}n20", 4) for v in (1, 2, 3)}
+        for victim, m in moments.items():
+            nonzero = np.nonzero(np.abs(m) > 1e-30)[0]
+            assert nonzero[0] == victim  # first coupling moment index
+        assert abs(moments[1][3]) > abs(moments[2][3]) > abs(moments[3][3])
+
+    def test_symmetry_of_flanking_victims(self):
+        ckt = builders.coupled_bus(3, n_segments=15, drive_line=1)
+        up = awe(ckt, "l0n15", order=2).model
+        down = awe(ckt, "l2n15", order=2).model
+        t = np.linspace(0, 5e-9, 50)
+        np.testing.assert_allclose(up.step_response(t), down.step_response(t),
+                                   rtol=1e-8, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            builders.coupled_bus(1)
+        with pytest.raises(CircuitError):
+            builders.coupled_bus(3, drive_line=5)
+        with pytest.raises(CircuitError):
+            builders.coupled_bus(2, n_segments=0)
+
+    def test_awesymbolic_on_bus(self):
+        """Worst-victim timing model on a 4-line bus."""
+        from repro import awesymbolic
+        ckt = builders.coupled_bus(4, n_segments=15, drive_line=0)
+        res = awesymbolic(ckt, "l1n15", symbols=["Rdrv0", "Cload1"], order=2)
+        got = res.rom({"Rdrv0": 200.0})
+        check = ckt.copy()
+        check.replace_value("Rdrv0", 200.0)
+        ref = awe(check, "l1n15", order=2).model
+        t = np.linspace(0, 5e-9, 60)
+        np.testing.assert_allclose(got.step_response(t), ref.step_response(t),
+                                   atol=1e-6)

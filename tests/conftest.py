@@ -1,0 +1,16 @@
+"""Suite-wide configuration.
+
+Hypothesis runs derandomized so the suite is reproducible run to run
+(fp-tolerance assertions on random algebra would otherwise flake at the
+ULP level once in a few thousand examples).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,124 @@
+"""Exact symbolic transfer functions — includes the paper's eqs. (5)/(6)."""
+
+import numpy as np
+import pytest
+
+from repro.awe import transfer_moments
+from repro.circuits import Circuit
+from repro.core import exact_transfer_function, transfer_polynomials
+from repro.errors import PartitionError
+from repro.symbolic import Poly
+
+
+def fig1_circuit():
+    """The paper's Figure 1: Vin - G1 - node1(C1) - G2 - out(C2)."""
+    ckt = Circuit("fig1")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.G("G1", "in", "1", 5.0)
+    ckt.C("C1", "1", "0", 1e-6)
+    ckt.G("G2", "1", "out", 2.0)
+    ckt.C("C2", "out", "0", 2e-6)
+    return ckt
+
+
+class TestFigure1:
+    def test_equation_5_full_symbolic(self):
+        """H = G1 G2 / (C1 C2 s^2 + (G2 C1 + G2 C2 + G1 C2) s + G1 G2)."""
+        h = exact_transfer_function(fig1_circuit(), "out", symbols="all")
+        num_by_s, den_by_s = transfer_polynomials(h)
+        space = h.space
+        G1 = Poly.symbol(space, "G1")
+        G2 = Poly.symbol(space, "G2")
+        C1 = Poly.symbol(space, "C1")
+        C2 = Poly.symbol(space, "C2")
+        # the solver returns num/den up to a common (symbolic) factor; check
+        # the ratio at random points instead of term-by-term
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            g1, g2, c1, c2, s = rng.uniform(0.5, 3.0, size=5)
+            expected = (g1 * g2) / (c1 * c2 * s ** 2
+                                    + (g2 * c1 + g2 * c2 + g1 * c2) * s + g1 * g2)
+            got = h.evaluate({"s": s, "G1": g1, "G2": g2, "C1": c1, "C2": c2})
+            assert got == pytest.approx(expected, rel=1e-9)
+        # structure: denominator quadratic in s, numerator constant in s
+        assert max(den_by_s) == 2
+        assert max(num_by_s) == 0
+        # multilinearity of each s-coefficient (paper §2.1)
+        for coeff in list(num_by_s.values()) + list(den_by_s.values()):
+            assert coeff.is_multilinear()
+
+    def test_equation_6_mixed_numeric_symbolic(self):
+        """With G1 numeric (=5): H = 5 G2 / (C1C2 s^2 + (G2C1+G2C2+5C2)s + 5G2)."""
+        h = exact_transfer_function(fig1_circuit(), "out",
+                                    symbols=["G2", "C1", "C2"])
+        for seed in range(3):
+            rng = np.random.default_rng(100 + seed)
+            g2, c1, c2, s = rng.uniform(0.5, 3.0, size=4)
+            expected = (5.0 * g2) / (c1 * c2 * s ** 2
+                                     + (g2 * c1 + g2 * c2 + 5 * c2) * s + 5 * g2)
+            got = h.evaluate({"s": s, "G2": g2, "C1": c1, "C2": c2})
+            assert got == pytest.approx(expected, rel=1e-9)
+
+
+class TestAgainstMoments:
+    def test_maclaurin_of_exact_equals_awe_moments(self):
+        ckt = fig1_circuit()
+        h = exact_transfer_function(ckt, "out", symbols=["C2"])
+        series = h.maclaurin("s", 4)
+        nominal = {"s": 0.0, "C2": 2e-6}
+        got = np.array([m.evaluate(nominal) for m in series])
+        want = transfer_moments(ckt, "out", 4)
+        np.testing.assert_allclose(got, want, rtol=1e-9)
+
+    def test_resistor_symbolized_as_conductance(self):
+        ckt = Circuit()
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "out", 100.0)
+        ckt.C("C1", "out", "0", 1e-9)
+        h = exact_transfer_function(ckt, "out", symbols=["R1"])
+        assert "g_R1" in h.space.names
+        # H = g/(g + sC): at g = 1/100
+        got = h.evaluate({"s": 1e7, "g_R1": 0.01})
+        expected = 0.01 / (0.01 + 1e7 * 1e-9)
+        assert got == pytest.approx(expected, rel=1e-12)
+
+
+class TestElementCoverage:
+    def test_controlled_sources_all_types(self):
+        ckt = Circuit()
+        ckt.V("V1", "a", "0", dc=1.0, ac=1.0)  # same amplitude for DC and AC
+        ckt.R("Ra", "a", "0", 1000.0)
+        ckt.vcvs("E1", "b", "0", "a", "0", 2.0)
+        ckt.R("Rb", "b", "0", 50.0)
+        ckt.cccs("F1", "0", "c", "V1", 3.0)
+        ckt.R("Rc", "c", "0", 10.0)
+        ckt.ccvs("H1", "d", "0", "V1", 25.0)
+        ckt.R("Rd", "d", "0", 1.0)
+        ckt.vccs("G1", "e", "0", "b", "0", 0.1)
+        ckt.R("Re", "e", "0", 4.0)
+        from repro.mna import assemble, dc_solve
+        sys = assemble(ckt)
+        x = dc_solve(sys)
+        for node in ["b", "c", "d", "e"]:
+            h = exact_transfer_function(ckt, node, symbols=["Ra"])
+            got = h.evaluate({"s": 0.0, "g_Ra": 1e-3})
+            assert got == pytest.approx(x[sys.index_of(node)], rel=1e-9), node
+
+    def test_inductor_symbol(self):
+        ckt = Circuit()
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "out", 10.0)
+        ckt.L("L1", "out", "0", 1e-6)
+        h = exact_transfer_function(ckt, "out", symbols=["L1"])
+        # H = sL/(R + sL)
+        got = h.evaluate({"s": 1e7, "L1": 1e-6})
+        assert got == pytest.approx(10.0 / (10.0 + 10.0), rel=1e-9)
+
+    def test_source_cannot_be_symbol(self):
+        ckt = fig1_circuit()
+        with pytest.raises(PartitionError):
+            exact_transfer_function(ckt, "out", symbols=["Vin"])
+
+    def test_unknown_output(self):
+        with pytest.raises(PartitionError):
+            exact_transfer_function(fig1_circuit(), "zzz")

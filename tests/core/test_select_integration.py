@@ -1,0 +1,149 @@
+"""Sensitivity-driven symbol selection and paper-scale integration tests."""
+
+import numpy as np
+import pytest
+
+from repro import awesymbolic
+from repro.awe import awe
+from repro.circuits import Circuit, builders
+from repro.circuits.library import small_signal_741
+from repro.core import rank_elements, select_symbols
+from repro.core.metrics import phase_margin, unity_gain_frequency
+from repro.errors import PartitionError
+
+
+class TestRanking:
+    def test_dominant_elements_rank_first(self):
+        ckt = Circuit("rank")
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("Rbig", "in", "out", 100_000.0)
+        ckt.C("Cbig", "out", "0", 1e-9)
+        ckt.R("Rtiny", "out", "x", 1.0)
+        ckt.C("Ctiny", "x", "0", 1e-16)
+        ranks = rank_elements(ckt, "out", order=1)
+        top2 = {r.name for r in ranks[:2]}
+        assert top2 == {"Rbig", "Cbig"}
+
+    def test_select_symbols_returns_k(self):
+        ckt = builders.rc_ladder(6)
+        names = select_symbols(ckt, "n6", k=3)
+        assert len(names) == 3
+        assert all(name in ckt for name in names)
+
+    def test_no_candidates_raises(self):
+        ckt = Circuit("src_only")
+        ckt.V("V1", "a", "0", ac=1.0)
+        ckt.V("V2", "b", "a", ac=0.0)
+        with pytest.raises(Exception):
+            rank_elements(ckt, "a")
+
+    def test_explicit_candidates_honored(self):
+        ckt = builders.rc_ladder(4)
+        ranks = rank_elements(ckt, "n4", candidates=["R1", "C4"])
+        assert {r.name for r in ranks} == {"R1", "C4"}
+
+
+class Test741Selection:
+    def test_compensation_cap_ranks_top(self):
+        """Paper §3.1: AWEsensitivity identifies the compensation cap as a
+        most-significant element for the open-loop response."""
+        ss = small_signal_741()
+        ranks = rank_elements(ss.circuit, "out", order=2)
+        top3 = [r.name for r in ranks[:3]]
+        assert "Ccomp" in top3
+
+
+class Test741AWESymbolic:
+    """The paper's §3.1 experiment: 741 with (go_Q14, Ccomp) symbolic."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        ss = small_signal_741()
+        return ss, awesymbolic(ss.circuit, "out",
+                               symbols=["go_Q14", "Ccomp"], order=2)
+
+    def test_partition_shape(self, result):
+        ss, res = result
+        assert len(res.partition.numeric_blocks) == 1
+        # ports stay proportional to symbols+sources, not circuit size
+        assert len(res.partition.global_nodes) <= 10
+
+    def test_identity_with_numeric_awe_across_sweep(self, result):
+        ss, res = result
+        for vals in [{}, {"Ccomp": 10e-12}, {"Ccomp": 60e-12},
+                     {"go_Q14": 1e-4, "Ccomp": 45e-12}]:
+            rom = res.rom(vals)
+            numeric = ss.circuit.copy()
+            for k, v in vals.items():
+                numeric.replace_value(k, v)
+            ref = awe(numeric, "out", order=2).model
+            assert rom.dc_gain() == pytest.approx(ref.dc_gain(), rel=1e-8)
+            assert rom.dominant_pole().real == pytest.approx(
+                ref.dominant_pole().real, rel=1e-6)
+
+    def test_first_order_form_exists_and_matches(self, result):
+        ss, res = result
+        assert res.first_order is not None
+        rom1 = res.model.rom_closed_form({}, order=1)
+        ref1 = awe(ss.circuit, "out", order=1).model
+        assert rom1.poles[0].real == pytest.approx(ref1.poles[0].real, rel=1e-6)
+
+    def test_metrics_surface_shapes(self, result):
+        """Figures 4-7 behaviour: pole scales as 1/Ccomp; fu nearly flat in
+        Ccomp... actually fu ~ gm/Ccomp falls with Ccomp; PM rises."""
+        ss, res = result
+        ccomps = np.array([15e-12, 30e-12, 60e-12])
+        poles = res.model.sweep({"Ccomp": ccomps},
+                                lambda m: abs(m.dominant_pole().real))
+        # dominant pole inversely proportional to Ccomp (Miller)
+        np.testing.assert_allclose(poles * ccomps, poles[1] * 30e-12, rtol=0.05)
+        fu = res.model.sweep({"Ccomp": ccomps}, unity_gain_frequency)
+        assert fu[0] > fu[1] > fu[2]  # more compensation -> lower fu
+        pm = res.model.sweep({"Ccomp": ccomps}, phase_margin)
+        assert pm[0] < pm[1] < pm[2]  # ...and more phase margin
+
+    def test_dc_gain_independent_of_ccomp(self, result):
+        ss, res = result
+        g1 = res.rom({"Ccomp": 10e-12}).dc_gain()
+        g2 = res.rom({"Ccomp": 60e-12}).dc_gain()
+        assert g1 == pytest.approx(g2, rel=1e-9)
+
+
+class TestCoupledLinesAWESymbolic:
+    """The paper's §3.2 experiment at reduced scale (full scale in benches)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.circuits.library import paper_coupled_lines
+        from repro.circuits.library.coupled_lines import victim_output
+        n = 60
+        ckt = paper_coupled_lines(n_segments=n)
+        out = victim_output(n)
+        return ckt, out, awesymbolic(ckt, out, symbols=["Rdrv1", "Cload2"],
+                                     order=2)
+
+    def test_crosstalk_has_no_dc_component(self, result):
+        _, _, res = result
+        assert res.rom({}).dc_gain() == pytest.approx(0.0, abs=1e-9)
+
+    def test_identity_with_numeric_awe(self, result):
+        ckt, out, res = result
+        for vals in [{}, {"Rdrv1": 200.0}, {"Cload2": 200e-15}]:
+            rom = res.rom(vals)
+            numeric = ckt.copy()
+            for k, v in vals.items():
+                numeric.replace_value(k, v)
+            ref = awe(numeric, out, order=2).model
+            t = np.linspace(0.0, ref.settle_time_hint(), 120)
+            np.testing.assert_allclose(rom.step_response(t),
+                                       ref.step_response(t), atol=1e-6)
+
+    def test_crosstalk_peak_grows_with_driver_resistance(self, result):
+        """Figure 9 behaviour: slower aggressor edge -> different coupling;
+        peak crosstalk shifts with R_driver."""
+        _, _, res = result
+        peaks = res.model.sweep(
+            {"Rdrv1": np.array([10.0, 100.0, 400.0])},
+            lambda m: abs(m.peak_response()[1]))
+        assert np.all(np.isfinite(peaks))
+        assert len(set(np.round(peaks, 9))) == 3  # genuinely parameter-dependent

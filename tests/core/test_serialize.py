@@ -1,0 +1,74 @@
+"""Round-trip tests for saved compiled models."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import awesymbolic
+from repro.circuits import Circuit
+from repro.core.serialize import (model_from_dict, model_from_json,
+                                  model_to_dict, model_to_json)
+from repro.errors import ApproximationError, SymbolicError
+
+
+@pytest.fixture(scope="module")
+def result():
+    ckt = Circuit("rc2")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "n1", 1000.0)
+    ckt.C("C1", "n1", "0", 1e-9)
+    ckt.R("R2", "n1", "out", 2000.0)
+    ckt.C("C2", "out", "0", 0.5e-9)
+    return awesymbolic(ckt, "out", symbols=["R2", "C2"], order=2)
+
+
+class TestRoundTrip:
+    def test_json_is_valid_and_versioned(self, result):
+        text = model_to_json(result, indent=2)
+        data = json.loads(text)
+        assert data["format"] == 1
+        assert data["output"] == "out"
+        assert {e["element"] for e in data["elements"]} == {"R2", "C2"}
+
+    def test_loaded_model_evaluates_identically(self, result):
+        loaded = model_from_json(model_to_json(result))
+        for values in [{}, {"R2": 500.0}, {"R2": 8000.0, "C2": 2e-9}]:
+            np.testing.assert_allclose(loaded.moments_at(values),
+                                       result.model.moments_at(values),
+                                       rtol=1e-12)
+            a = loaded.rom(values)
+            b = result.rom(values)
+            np.testing.assert_allclose(np.sort_complex(a.poles),
+                                       np.sort_complex(b.poles), rtol=1e-9)
+
+    def test_resistor_transform_survives(self, result):
+        loaded = model_from_dict(model_to_dict(result))
+        # halving R2 must double its conductance symbol internally
+        m_half = loaded.moments_at({"R2": 1000.0})
+        m_full = loaded.moments_at({})
+        assert m_half[1] != pytest.approx(m_full[1])
+
+    def test_unknown_element_rejected(self, result):
+        loaded = model_from_dict(model_to_dict(result))
+        with pytest.raises(ApproximationError):
+            loaded.rom({"R1": 100.0})  # R1 was not symbolic
+
+    def test_order_limit_enforced(self, result):
+        loaded = model_from_dict(model_to_dict(result))
+        with pytest.raises(ApproximationError):
+            loaded.rom(order=10)
+
+
+class TestFormatErrors:
+    def test_wrong_version(self, result):
+        data = model_to_dict(result)
+        data["format"] = 99
+        with pytest.raises(SymbolicError):
+            model_from_dict(data)
+
+    def test_unknown_transform(self, result):
+        data = model_to_dict(result)
+        data["elements"][0]["transform"] = "sqrt"
+        with pytest.raises(SymbolicError):
+            model_from_dict(data)

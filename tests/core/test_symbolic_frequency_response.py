@@ -1,0 +1,49 @@
+import numpy as np
+import pytest
+
+from repro import awesymbolic
+from repro.circuits import Circuit
+
+
+@pytest.fixture(scope="module")
+def rc2_res():
+    ckt = Circuit("rc2")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "n1", 1000.0)
+    ckt.C("C1", "n1", "0", 1e-9)
+    ckt.R("R2", "n1", "out", 2000.0)
+    ckt.C("C2", "out", "0", 0.5e-9)
+    return awesymbolic(ckt, "out", symbols=["R2", "C2"], order=2)
+
+
+class TestFrequencyResponse:
+    def test_first_order_matches_rom(self, rc2_res):
+        fn = rc2_res.first_order.frequency_response_compiled()
+        values = rc2_res.partition.symbol_values({"R2": 3000.0})
+        w = np.logspace(3, 8, 40)
+        rom = rc2_res.model.rom_closed_form({"R2": 3000.0}, order=1)
+        np.testing.assert_allclose(fn(values, w), rom.frequency_response(w),
+                                   rtol=1e-10)
+
+    def test_second_order_matches_rom(self, rc2_res):
+        fn = rc2_res.second_order.frequency_response_compiled()
+        for element_values in [{}, {"C2": 2e-9}]:
+            values = rc2_res.partition.symbol_values(element_values)
+            w = np.logspace(3, 8, 40)
+            rom = rc2_res.model.rom_closed_form(element_values, order=2)
+            np.testing.assert_allclose(fn(values, w),
+                                       rom.frequency_response(w), rtol=1e-8)
+
+    def test_dc_limit_is_gain(self, rc2_res):
+        fn = rc2_res.second_order.frequency_response_compiled()
+        values = rc2_res.partition.symbol_values({})
+        h0 = fn(values, np.array([1e-3]))[0]
+        assert h0.real == pytest.approx(1.0, rel=1e-6)
+        assert abs(h0.imag) < 1e-6
+
+    def test_output_is_complex_array(self, rc2_res):
+        fn = rc2_res.first_order.frequency_response_compiled()
+        values = rc2_res.partition.symbol_values({})
+        out = fn(values, np.array([1e5, 1e6]))
+        assert out.dtype.kind == "c"
+        assert out.shape == (2,)

@@ -1,0 +1,137 @@
+import numpy as np
+import pytest
+
+from repro.awe import awe
+from repro.circuits import Circuit
+from repro.core import SymbolicFirstOrder, SymbolicSecondOrder
+from repro.errors import ApproximationError
+from repro.partition import partition, symbolic_moments
+
+
+@pytest.fixture
+def rc1_parts():
+    ckt = Circuit("rc1")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "out", 1000.0)
+    ckt.C("C1", "out", "0", 1e-9)
+    part = partition(ckt, ["R1", "C1"], output="out")
+    return ckt, part, symbolic_moments(part, "out", 3)
+
+
+@pytest.fixture
+def rc2_parts():
+    ckt = Circuit("rc2")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "n1", 1000.0)
+    ckt.C("C1", "n1", "0", 1e-9)
+    ckt.R("R2", "n1", "out", 2000.0)
+    ckt.C("C2", "out", "0", 0.5e-9)
+    part = partition(ckt, ["R2", "C2"], output="out")
+    return ckt, part, symbolic_moments(part, "out", 3)
+
+
+class TestFirstOrder:
+    def test_single_rc_pole_is_exact(self, rc1_parts):
+        ckt, part, sm = rc1_parts
+        fo = SymbolicFirstOrder.from_moments(sm)
+        # p = -g/C: evaluate at g = 1/500, C = 2n
+        vals = part.symbol_values({"R1": 500.0, "C1": 2e-9})
+        assert fo.pole.evaluate(vals) == pytest.approx(-1.0 / (500 * 2e-9), rel=1e-9)
+        assert fo.dc_gain.evaluate(vals) == pytest.approx(1.0)
+
+    def test_symbolic_pole_formula_structure(self, rc1_parts):
+        _, _, sm = rc1_parts
+        fo = SymbolicFirstOrder.from_moments(sm)
+        # for the single RC the cancelled pole is exactly -g_R1/C1
+        p = fo.pole
+        assert p.evaluate({"g_R1": 3.0, "C1": 2.0}) == pytest.approx(-1.5)
+
+    def test_multilinearity(self, rc1_parts):
+        _, _, sm = rc1_parts
+        assert SymbolicFirstOrder.from_moments(sm).is_multilinear()
+
+    def test_evaluate_returns_model(self, rc1_parts):
+        _, part, sm = rc1_parts
+        fo = SymbolicFirstOrder.from_moments(sm)
+        rom = fo.evaluate(part.symbol_values({}))
+        assert rom.order == 1
+        assert rom.stable
+
+    def test_compiled_matches_rational(self, rc1_parts):
+        _, part, sm = rc1_parts
+        fo = SymbolicFirstOrder.from_moments(sm)
+        fn = fo.compile()
+        vals = part.symbol_values({"R1": 250.0})
+        pole, residue, dc = fn(vals)
+        assert pole == pytest.approx(fo.pole.evaluate(vals), rel=1e-12)
+        assert residue == pytest.approx(fo.residue.evaluate(vals), rel=1e-12)
+        assert dc == pytest.approx(1.0)
+
+    def test_needs_two_moments(self, rc1_parts):
+        _, part, _ = rc1_parts
+        sm0 = symbolic_moments(part, "out", 0)
+        with pytest.raises(ApproximationError):
+            SymbolicFirstOrder.from_moments(sm0)
+
+
+class TestSecondOrder:
+    def test_poles_match_numeric_awe(self, rc2_parts):
+        ckt, part, sm = rc2_parts
+        so = SymbolicSecondOrder.from_moments(sm)
+        for values in [{}, {"R2": 500.0, "C2": 2e-9}, {"R2": 10_000.0}]:
+            rom_sym = so.evaluate(part.symbol_values(values))
+            numeric = ckt.copy()
+            for k, v in values.items():
+                numeric.replace_value(k, v)
+            rom_num = awe(numeric, "out", order=2).model
+            np.testing.assert_allclose(
+                np.sort(rom_sym.poles.real), np.sort(rom_num.poles.real),
+                rtol=1e-6, err_msg=f"values={values}")
+
+    def test_complex_pole_region_handled(self):
+        # RLC circuit swept into the underdamped region: sqrt goes complex.
+        # L1 must be symbolic too: a numeric block whose inductor shorts two
+        # ports at DC has no admittance Maclaurin expansion.
+        ckt = Circuit("rlc")
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "mid", 100.0)
+        ckt.L("L1", "mid", "out", 1e-6)
+        ckt.C("C1", "out", "0", 1e-9)
+        part = partition(ckt, ["R1", "L1"], output="out")
+        sm = symbolic_moments(part, "out", 3)
+        so = SymbolicSecondOrder.from_moments(sm)
+        # R = 100 overdamped; R = 10 underdamped (2*sqrt(L/C) ~ 63)
+        over = so.evaluate(part.symbol_values({"R1": 100.0}))
+        assert np.all(np.abs(over.poles.imag) < 1e-6 * np.abs(over.poles.real))
+        under = so.evaluate(part.symbol_values({"R1": 10.0}))
+        assert np.all(np.abs(under.poles.imag) > 0)
+        # poles must be a conjugate pair
+        assert under.poles[0].conjugate() == pytest.approx(under.poles[1])
+
+    def test_compiled_matches_evaluate(self, rc2_parts):
+        _, part, sm = rc2_parts
+        so = SymbolicSecondOrder.from_moments(sm)
+        fn = so.compile()
+        vals = part.symbol_values({"R2": 4000.0, "C2": 1e-9})
+        p1, p2, r1, r2, dc = fn(vals)
+        rom = so.evaluate(vals)
+        np.testing.assert_allclose(np.sort_complex(np.array([p1, p2])),
+                                   np.sort_complex(rom.poles), rtol=1e-9)
+        assert dc == pytest.approx(rom.dc_gain(), rel=1e-9)
+
+    def test_moment_match_property(self, rc2_parts):
+        # the order-2 closed form must reproduce m0..m3 at any symbol values
+        _, part, sm = rc2_parts
+        so = SymbolicSecondOrder.from_moments(sm)
+        vals = part.symbol_values({"R2": 777.0, "C2": 3e-9})
+        rom = so.evaluate(vals)
+        from repro.awe.pade import moments_from_poles
+        back = moments_from_poles(rom.poles, rom.residues, 4)
+        want = sm.evaluate(vals)[:4]
+        np.testing.assert_allclose(back, want, rtol=1e-7)
+
+    def test_needs_four_moments(self, rc2_parts):
+        _, part, _ = rc2_parts
+        sm1 = symbolic_moments(part, "out", 1)
+        with pytest.raises(ApproximationError):
+            SymbolicSecondOrder.from_moments(sm1)

@@ -1,0 +1,101 @@
+"""Compiled symbolic transient responses (paper §3.2: 'the transient
+response of a circuit can be expressed symbolically as well')."""
+
+import numpy as np
+import pytest
+
+from repro import awesymbolic
+from repro.circuits import Circuit, builders
+
+
+@pytest.fixture(scope="module")
+def rc_first_order():
+    ckt = Circuit("rc")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "out", 1000.0)
+    ckt.C("C1", "out", "0", 1e-9)
+    return awesymbolic(ckt, "out", symbols=["R1", "C1"], order=1,
+                       extra_moments=3)
+
+
+@pytest.fixture(scope="module")
+def crosstalk_second_order():
+    ckt = builders.coupled_rc_lines(n_segments=30)
+    return awesymbolic(ckt, "b30", symbols=["Rdrv1", "Cload2"], order=2)
+
+
+class TestFirstOrderStep:
+    def test_matches_analytic(self, rc_first_order):
+        res = rc_first_order
+        fn = res.first_order.step_response_compiled()
+        t = np.linspace(0, 10e-6, 50)
+        values = res.partition.symbol_values({"R1": 2000.0})
+        y = fn(values, t)
+        tau = 2000.0 * 1e-9
+        np.testing.assert_allclose(y, 1.0 - np.exp(-t / tau), rtol=1e-9,
+                                   atol=1e-12)
+
+    def test_matches_rom_step(self, rc_first_order):
+        res = rc_first_order
+        fn = res.first_order.step_response_compiled()
+        values = res.partition.symbol_values({})
+        t = np.linspace(0, 5e-6, 20)
+        rom = res.model.rom_closed_form({}, order=1)
+        np.testing.assert_allclose(fn(values, t), rom.step_response(t),
+                                   rtol=1e-10)
+
+    def test_scalar_time(self, rc_first_order):
+        res = rc_first_order
+        fn = res.first_order.step_response_compiled()
+        values = res.partition.symbol_values({})
+        y = fn(values, 1e-6)
+        assert np.isscalar(y) or y.shape == ()
+
+
+class TestSecondOrderStep:
+    def test_matches_rom_across_symbol_values(self, crosstalk_second_order):
+        res = crosstalk_second_order
+        fn = res.second_order.step_response_compiled()
+        t = np.linspace(0, 5e-9, 60)
+        for element_values in [{}, {"Rdrv1": 200.0}, {"Cload2": 300e-15}]:
+            values = res.partition.symbol_values(element_values)
+            rom = res.model.rom_closed_form(element_values, order=2)
+            np.testing.assert_allclose(fn(values, t), rom.step_response(t),
+                                       rtol=1e-6, atol=1e-12)
+
+    def test_complex_pole_pair_gives_real_response(self):
+        # underdamped RLC: poles complex; compiled response must be real
+        ckt = Circuit("rlc")
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "mid", 10.0)
+        ckt.L("L1", "mid", "out", 1e-6)
+        ckt.C("C1", "out", "0", 1e-9)
+        res = awesymbolic(ckt, "out", symbols=["R1", "L1"], order=2)
+        fn = res.second_order.step_response_compiled()
+        values = res.partition.symbol_values({})
+        t = np.linspace(0, 1e-6, 100)
+        y = fn(values, t)
+        assert np.isrealobj(y)
+        # ringing overshoots 1.0
+        assert y.max() > 1.1
+        rom = res.model.rom_closed_form({}, order=2)
+        np.testing.assert_allclose(y, rom.step_response(t), rtol=1e-8,
+                                   atol=1e-10)
+
+    def test_time_symbol_avoids_collision(self):
+        # a circuit symbol literally named 't' must not clash
+        ckt = Circuit("tname")
+        ckt.I("Iin", "0", "a", ac=1.0)
+        ckt.G("t", "a", "0", 1e-3)
+        ckt.C("C1", "a", "0", 1e-12)
+        res = awesymbolic(ckt, "a", symbols=["t", "C1"], order=1,
+                          extra_moments=3)
+        fn = res.first_order.step_response_compiled()
+        assert fn.time_name != "t"
+        values = res.partition.symbol_values({})
+        y = fn(values, np.array([0.0, 1e-9]))
+        assert y[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_op_count_is_small(self, crosstalk_second_order):
+        fn = crosstalk_second_order.second_order.step_response_compiled()
+        assert fn.n_ops < 3000  # a compiled waveform, not a simulation

@@ -1,0 +1,51 @@
+"""Range validation of the symbolic element choice (paper §2.3)."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.core import select_symbols
+from repro.core.select import validate_selection
+
+
+def crossover_circuit(c2=1e-13):
+    """Dominant pole set by R1*C1 at nominal; cranking C2 makes the second
+    stage dominant instead (a selection that goes stale across the range)."""
+    ckt = Circuit("crossover")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "mid", 10_000.0)
+    ckt.C("C1", "mid", "0", 1e-9)
+    ckt.R("R2", "mid", "out", 100.0)
+    ckt.C("C2", "out", "0", c2)
+    return ckt
+
+
+class TestValidateSelection:
+    def test_clean_selection_has_no_warnings(self):
+        ckt = crossover_circuit()
+        chosen = select_symbols(ckt, "out", k=2, order=1)
+        assert set(chosen) == {"R1", "C1"}
+        warnings = validate_selection(
+            ckt, "out", chosen, order=1,
+            ranges={"R1": (5_000.0, 20_000.0), "C1": (0.5e-9, 2e-9)})
+        assert warnings == []
+
+    def test_stale_selection_warns_at_corner(self):
+        # sweeping R1 down to 1 ohm moves the dominant pole onto R2*C2, so
+        # the nominal {R1, C1} choice goes stale at that corner
+        ckt = crossover_circuit(c2=1e-9)
+        chosen = ["R1", "C1"]
+        warnings = validate_selection(
+            ckt, "out", chosen, order=1,
+            ranges={"R1": (1.0, 10_000.0)})
+        assert warnings, "expected a warning at the low-R1 corner"
+        flagged = {w.element for w in warnings}
+        assert flagged & {"R2", "C2"}
+        text = str(warnings[0])
+        assert "outranks" in text
+
+    def test_margin_controls_strictness(self):
+        ckt = crossover_circuit(c2=1e-9)
+        loose = validate_selection(ckt, "out", ["R1", "C1"], order=1,
+                                   ranges={"R1": (1.0, 10_000.0)},
+                                   margin=1e6)
+        assert loose == []

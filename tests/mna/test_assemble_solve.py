@@ -1,0 +1,167 @@
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, builders
+from repro.errors import CircuitError, SingularCircuitError
+from repro.mna import ac_solve, assemble, dc_solve, factorize
+
+
+def divider():
+    ckt = Circuit("divider")
+    ckt.V("Vin", "in", "0", dc=6.0)
+    ckt.R("R1", "in", "out", 2000.0)
+    ckt.R("R2", "out", "0", 1000.0)
+    return ckt
+
+
+class TestAssemble:
+    def test_sizes(self):
+        sys = assemble(divider())
+        assert sys.size == 3  # 2 nodes + 1 branch
+        assert sys.n_nodes == 2
+        assert sys.branch_index == {"Vin": 2}
+
+    def test_unknown_names(self):
+        sys = assemble(divider())
+        assert sys.unknown_names() == ["v(in)", "v(out)", "i(Vin)"]
+
+    def test_index_of(self):
+        sys = assemble(divider())
+        assert sys.index_of("out") == 1
+        assert sys.index_of(("branch", "Vin")) == 2
+        with pytest.raises(CircuitError):
+            sys.index_of("nope")
+        with pytest.raises(CircuitError):
+            sys.index_of("0")
+        with pytest.raises(CircuitError):
+            sys.index_of(("branch", "R1"))
+
+    def test_check_disabled(self):
+        ckt = Circuit()
+        ckt.R("R1", "a", "b", 1.0)  # no ground
+        with pytest.raises(CircuitError):
+            assemble(ckt)
+        assemble(ckt, check=False)  # structural check skipped
+
+
+class TestDCSolve:
+    def test_voltage_divider(self):
+        sys = assemble(divider())
+        x = dc_solve(sys)
+        assert x[sys.index_of("out")] == pytest.approx(2.0)
+        # branch current: 6V across 3k = 2 mA flowing through source
+        assert x[sys.index_of(("branch", "Vin"))] == pytest.approx(-2e-3)
+
+    def test_current_source_sign(self):
+        ckt = Circuit()
+        ckt.I("I1", "0", "a", dc=1e-3)  # injects into a
+        ckt.R("R1", "a", "0", 1000.0)
+        sys = assemble(ckt)
+        x = dc_solve(sys)
+        assert x[sys.index_of("a")] == pytest.approx(1.0)
+
+    def test_vccs(self):
+        # v(a)=1 via source; gm=5m into load 1k -> v(out) = -gm*v(a)*R = -5
+        ckt = Circuit()
+        ckt.V("V1", "a", "0", dc=1.0)
+        ckt.vccs("Gm", "out", "0", "a", "0", 5e-3)
+        ckt.R("RL", "out", "0", 1000.0)
+        sys = assemble(ckt)
+        x = dc_solve(sys)
+        assert x[sys.index_of("out")] == pytest.approx(-5.0)
+
+    def test_vcvs(self):
+        ckt = Circuit()
+        ckt.V("V1", "a", "0", dc=2.0)
+        ckt.vcvs("E1", "out", "0", "a", "0", 3.0)
+        ckt.R("RL", "out", "0", 1.0)
+        sys = assemble(ckt)
+        x = dc_solve(sys)
+        assert x[sys.index_of("out")] == pytest.approx(6.0)
+
+    def test_cccs(self):
+        # i through V1 is -1mA (1V across 1k); F gain 2 -> 2mA into 1k load
+        ckt = Circuit()
+        ckt.V("V1", "a", "0", dc=1.0)
+        ckt.R("R1", "a", "0", 1000.0)
+        ckt.cccs("F1", "0", "out", "V1", 2.0)
+        ckt.R("RL", "out", "0", 1000.0)
+        sys = assemble(ckt)
+        x = dc_solve(sys)
+        i_v1 = x[sys.index_of(("branch", "V1"))]
+        assert i_v1 == pytest.approx(-1e-3)
+        assert x[sys.index_of("out")] == pytest.approx(-2.0)
+
+    def test_ccvs(self):
+        ckt = Circuit()
+        ckt.V("V1", "a", "0", dc=1.0)
+        ckt.R("R1", "a", "0", 1000.0)
+        ckt.ccvs("H1", "out", "0", "V1", 4000.0)
+        ckt.R("RL", "out", "0", 1.0)
+        sys = assemble(ckt)
+        x = dc_solve(sys)
+        assert x[sys.index_of("out")] == pytest.approx(-4.0)
+
+    def test_singular_circuit_raises(self):
+        ckt = Circuit()
+        ckt.I("I1", "0", "a", dc=1.0)
+        ckt.C("C1", "a", "0", 1e-12)  # no DC path for the current
+        sys = assemble(ckt)
+        with pytest.raises(SingularCircuitError):
+            dc_solve(sys)
+
+
+class TestACSolve:
+    def test_rc_lowpass_pole(self):
+        r, c = 1000.0, 1e-9
+        ckt = Circuit()
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "out", r)
+        ckt.C("C1", "out", "0", c)
+        sys = assemble(ckt)
+        w = np.array([0.0, 1.0 / (r * c)])
+        x = ac_solve(sys, w)
+        out = x[:, sys.index_of("out")]
+        assert out[0] == pytest.approx(1.0)
+        assert abs(out[1]) == pytest.approx(1.0 / np.sqrt(2), rel=1e-9)
+        assert np.angle(out[1]) == pytest.approx(-np.pi / 4, rel=1e-9)
+
+    def test_lc_resonance(self):
+        # series RLC driven by voltage: current peaks at w0 = 1/sqrt(LC)
+        r, ell, c = 10.0, 1e-6, 1e-9
+        ckt = Circuit()
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "mid", r)
+        ckt.L("L1", "mid", "cap", ell)
+        ckt.C("C1", "cap", "0", c)
+        sys = assemble(ckt)
+        w0 = 1.0 / np.sqrt(ell * c)
+        x = ac_solve(sys, np.array([w0]))
+        i_branch = x[0, sys.index_of(("branch", "Vin"))]
+        # at resonance the reactances cancel: |i| = 1/R
+        assert abs(i_branch) == pytest.approx(1.0 / r, rel=1e-9)
+
+    def test_matches_dense_reference(self):
+        ckt = builders.random_rc_mesh(10, extra_edges=3, seed=7)
+        sys = assemble(ckt)
+        w = 2 * np.pi * 1e6
+        x = ac_solve(sys, np.array([w]))[0]
+        dense = (sys.G + 1j * w * sys.C).toarray()
+        ref = np.linalg.solve(dense, sys.b_ac.astype(complex))
+        np.testing.assert_allclose(x, ref, rtol=1e-9)
+
+
+class TestFactorization:
+    def test_transpose_solve(self):
+        sys = assemble(divider())
+        f = factorize(sys)
+        rhs = np.array([1.0, 2.0, 3.0])
+        y = f.solve_transpose(rhs)
+        np.testing.assert_allclose(sys.G.T @ y, rhs, atol=1e-12)
+
+    def test_reuse(self):
+        sys = assemble(divider())
+        f = factorize(sys)
+        a = f.solve(sys.b_dc)
+        b = f.solve(sys.b_dc * 2)
+        np.testing.assert_allclose(2 * a, b)

@@ -1,0 +1,105 @@
+import pytest
+
+from repro.circuits import Circuit, builders
+from repro.errors import PartitionError
+from repro.partition import partition
+from repro.partition.blocks import symbol_for
+
+
+@pytest.fixture
+def rc2():
+    ckt = Circuit("rc2")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "n1", 1000.0)
+    ckt.C("C1", "n1", "0", 1e-9)
+    ckt.R("R2", "n1", "out", 2000.0)
+    ckt.C("C2", "out", "0", 0.5e-9)
+    return ckt
+
+
+class TestSymbolFor:
+    def test_resistor_becomes_conductance_symbol(self, rc2):
+        se = symbol_for(rc2["R1"])
+        assert se.symbol.name == "g_R1"
+        assert se.symbol.nominal == pytest.approx(1e-3)
+        assert se.to_symbol_value(500.0) == pytest.approx(2e-3)
+
+    def test_capacitor_keeps_value(self, rc2):
+        se = symbol_for(rc2["C2"])
+        assert se.symbol.name == "C2"
+        assert se.symbol.nominal == pytest.approx(0.5e-9)
+        assert se.to_symbol_value(1e-9) == 1e-9
+
+    def test_source_not_symbolizable(self, rc2):
+        with pytest.raises(PartitionError):
+            symbol_for(rc2["Vin"])
+
+
+class TestPartition:
+    def test_basic_split(self, rc2):
+        part = partition(rc2, ["C2"], output="out")
+        assert [se.name for se in part.symbolic] == ["C2"]
+        assert len(part.numeric_blocks) == 1
+        blk = part.numeric_blocks[0]
+        assert set(e.name for e in blk.circuit) == {"R1", "C1", "R2"}
+        # ports: source node 'in', symbol/output node 'out'
+        assert set(blk.ports) == {"in", "out"}
+        assert [s.name for s in part.sources] == ["Vin"]
+        assert part.space.names == ("C2",)
+
+    def test_symbol_space_order_follows_user(self, rc2):
+        part = partition(rc2, ["C2", "R1"], output="out")
+        assert part.space.names == ("C2", "g_R1")
+
+    def test_output_forced_to_port(self, rc2):
+        part = partition(rc2, ["C1"], output="out")
+        assert "out" in part.global_nodes
+
+    def test_extra_ports(self, rc2):
+        part = partition(rc2, ["C2"], output="out", extra_ports=["n1"])
+        assert "n1" in part.global_nodes
+
+    def test_symbolic_element_splits_blocks(self, rc2):
+        # making R2 symbolic cuts the ladder into two numeric components
+        part = partition(rc2, ["R2"], output="out")
+        assert len(part.numeric_blocks) == 2
+
+    def test_all_numeric_elements_symbolic(self):
+        ckt = Circuit("tiny")
+        ckt.I("Iin", "0", "a", ac=1.0)
+        ckt.G("G1", "a", "0", 1e-3)
+        ckt.C("C1", "a", "0", 1e-12)
+        part = partition(ckt, ["G1", "C1"], output="a")
+        assert len(part.numeric_blocks) == 0
+        assert part.global_nodes == ("a",)
+
+    def test_errors(self, rc2):
+        with pytest.raises(PartitionError, match="duplicate"):
+            partition(rc2, ["C2", "C2"], output="out")
+        with pytest.raises(PartitionError, match="at least one"):
+            partition(rc2, [], output="out")
+        with pytest.raises(PartitionError, match="sources"):
+            partition(rc2, ["Vin"], output="out")
+        with pytest.raises(PartitionError, match="output"):
+            partition(rc2, ["C2"], output="nope")
+        with pytest.raises(PartitionError, match="extra port"):
+            partition(rc2, ["C2"], output="out", extra_ports=["nope"])
+
+    def test_symbol_values_mapping(self, rc2):
+        part = partition(rc2, ["R1", "C2"], output="out")
+        vals = part.symbol_values({"R1": 500.0})
+        assert vals["g_R1"] == pytest.approx(2e-3)
+        assert vals["C2"] == pytest.approx(0.5e-9)  # nominal fallback
+
+    def test_summary_mentions_blocks(self, rc2):
+        part = partition(rc2, ["C2"], output="out")
+        text = part.summary()
+        assert "symbolic blocks" in text and "numeric block 0" in text
+
+    def test_large_circuit_ports_scale_with_symbols(self):
+        ckt = builders.coupled_rc_lines(n_segments=40)
+        part = partition(ckt, ["Rdrv1", "Cload2"], output="b40")
+        # global nodes: src1, src2 (sources), a0 (Rdrv1), b40 (Cload2/output)
+        assert set(part.global_nodes) == {"src1", "src2", "a0", "b40"}
+        assert len(part.numeric_blocks) == 1
+        assert part.numeric_blocks[0].size == ckt.stats()["elements"] - 4

@@ -1,0 +1,166 @@
+"""The partitioning exactness contract: symbolic moments evaluated at any
+symbol values must equal numeric AWE moments of the same circuit with those
+element values substituted.  This is the paper's central claim ("the results
+are identical to those obtained by a numeric AWE analysis")."""
+
+import numpy as np
+import pytest
+
+from repro.awe import transfer_moments
+from repro.circuits import Circuit, builders
+from repro.errors import PartitionError
+from repro.partition import partition, symbolic_moments
+
+
+def assert_moments_match(circuit, symbolic_names, output, order=3,
+                         value_sets=None, rtol=1e-8):
+    """Evaluate symbolic moments at several element-value points and compare
+    against fresh numeric AWE moments of the re-valued circuit."""
+    part = partition(circuit, symbolic_names, output=output)
+    sm = symbolic_moments(part, output, order)
+    value_sets = value_sets or [{}]
+    for element_values in value_sets:
+        sym_vals = part.symbol_values(element_values)
+        got = sm.evaluate(sym_vals)
+        numeric_circuit = circuit.copy()
+        for name, value in element_values.items():
+            numeric_circuit.replace_value(name, value)
+        want = transfer_moments(numeric_circuit, output, order)
+        scale = np.max(np.abs(want)) + 1e-300
+        np.testing.assert_allclose(got, want, rtol=rtol, atol=rtol * scale,
+                                   err_msg=f"values={element_values}")
+    return sm
+
+
+@pytest.fixture
+def rc2():
+    ckt = Circuit("rc2")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "n1", 1000.0)
+    ckt.C("C1", "n1", "0", 1e-9)
+    ckt.R("R2", "n1", "out", 2000.0)
+    ckt.C("C2", "out", "0", 0.5e-9)
+    return ckt
+
+
+class TestExactness:
+    def test_single_capacitor_symbol(self, rc2):
+        assert_moments_match(rc2, ["C2"], "out", value_sets=[
+            {}, {"C2": 1e-9}, {"C2": 0.1e-9}, {"C2": 5e-9}])
+
+    def test_single_resistor_symbol(self, rc2):
+        assert_moments_match(rc2, ["R2"], "out", value_sets=[
+            {}, {"R2": 100.0}, {"R2": 50_000.0}])
+
+    def test_two_symbols_joint_sweep(self, rc2):
+        assert_moments_match(rc2, ["R1", "C2"], "out", value_sets=[
+            {"R1": 500.0, "C2": 2e-9},
+            {"R1": 10_000.0, "C2": 0.05e-9},
+        ])
+
+    def test_vccs_symbol(self):
+        ckt = Circuit("amp")
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("Rs", "in", "g", 100.0)
+        ckt.C("Cgs", "g", "0", 1e-12)
+        ckt.vccs("gm", "out", "0", "g", "0", 1e-3)
+        ckt.R("RL", "out", "0", 10_000.0)
+        ckt.C("CL", "out", "0", 2e-12)
+        assert_moments_match(ckt, ["gm", "CL"], "out", value_sets=[
+            {}, {"gm": 5e-3, "CL": 1e-12}])
+
+    def test_inductor_symbol(self):
+        ckt = Circuit("rlc")
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "mid", 10.0)
+        ckt.L("L1", "mid", "out", 1e-6)
+        ckt.C("C1", "out", "0", 1e-9)
+        assert_moments_match(ckt, ["L1"], "out", order=5, value_sets=[
+            {}, {"L1": 5e-6}])
+
+    def test_conductance_symbol(self):
+        ckt = Circuit("gsym")
+        ckt.I("Iin", "0", "a", ac=1.0)
+        ckt.G("G1", "a", "0", 1e-3)
+        ckt.C("C1", "a", "0", 1e-12)
+        sm = assert_moments_match(ckt, ["G1"], "a", value_sets=[
+            {}, {"G1": 2e-3}])
+        # H = 1/(G + sC): m_k = (-C)^k / G^(k+1) — check the symbolic form
+        m1 = sm.rationals()[1]
+        assert m1.evaluate({"G1": 4e-3}) == pytest.approx(-1e-12 / 16e-6, rel=1e-9)
+
+    def test_coupled_lines_crosstalk_moments(self):
+        ckt = builders.coupled_rc_lines(n_segments=25)
+        assert_moments_match(
+            ckt, ["Rdrv1", "Cload2"], "b25", order=3,
+            value_sets=[{}, {"Rdrv1": 10.0, "Cload2": 200e-15},
+                        {"Rdrv1": 500.0, "Cload2": 10e-15}])
+
+    def test_random_mesh(self):
+        ckt = builders.random_rc_mesh(15, extra_edges=5, seed=42)
+        assert_moments_match(ckt, ["Rt7", "C3"], "n9", order=3, value_sets=[
+            {}, {"Rt7": 123.0, "C3": 4e-13}])
+
+
+class TestSymbolicStructure:
+    def test_moments_are_rational_with_det_powers(self, rc2):
+        part = partition(rc2, ["R1", "C2"], output="out")
+        sm = symbolic_moments(part, "out", 2)
+        rats = sm.rationals()
+        assert len(rats) == 3
+        # denominator degrees grow with moment index
+        assert rats[0].den.total_degree() <= rats[2].den.total_degree()
+
+    def test_first_moment_multilinear_after_cancel(self):
+        # paper: "the coefficients ... are multi-linear in the symbolic
+        # elements"; for a one-node circuit the cancelled m0 shows it
+        ckt = Circuit("tiny")
+        ckt.I("Iin", "0", "a", ac=1.0)
+        ckt.G("G1", "a", "0", 1e-3)
+        ckt.C("C1", "a", "0", 1e-12)
+        part = partition(ckt, ["G1", "C1"], output="a")
+        sm = symbolic_moments(part, "a", 1)
+        m0 = sm.rationals(cancel=True)[0]
+        assert m0.num.is_multilinear()
+        assert m0.den.is_multilinear()
+
+    def test_evaluate_rejects_singular_point(self):
+        ckt = Circuit("tiny")
+        ckt.I("Iin", "0", "a", ac=1.0)
+        ckt.G("G1", "a", "0", 1e-3)
+        ckt.C("C1", "a", "0", 1e-12)
+        part = partition(ckt, ["G1"], output="a")
+        sm = symbolic_moments(part, "a", 1)
+        with pytest.raises(PartitionError):
+            sm.evaluate({"G1": 0.0})  # open circuit: singular
+
+    def test_output_must_be_global(self, rc2):
+        part = partition(rc2, ["C2"], output="out")
+        with pytest.raises(PartitionError, match="not a global node"):
+            symbolic_moments(part, "n1", 2)
+
+
+class TestCompiledMoments:
+    def test_compiled_matches_evaluate(self, rc2):
+        part = partition(rc2, ["R1", "C2"], output="out")
+        sm = symbolic_moments(part, "out", 3)
+        compiled = sm.compile()
+        for vals in [{}, {"R1": 500.0, "C2": 2e-9}]:
+            sym_vals = part.symbol_values(vals)
+            np.testing.assert_allclose(compiled(sym_vals), sm.evaluate(sym_vals),
+                                       rtol=1e-12)
+
+    def test_compiled_reports_op_count(self, rc2):
+        part = partition(rc2, ["C2"], output="out")
+        compiled = symbolic_moments(part, "out", 2).compile()
+        assert compiled.n_ops > 0
+
+    def test_compiled_is_vectorizable(self, rc2):
+        part = partition(rc2, ["C2"], output="out")
+        sm = symbolic_moments(part, "out", 1)
+        compiled = sm.compile()
+        grid = np.linspace(0.1e-9, 2e-9, 5)
+        m = compiled([grid])
+        assert m.shape == (2, 5)
+        for i, c2 in enumerate(grid):
+            np.testing.assert_allclose(m[:, i], sm.evaluate([c2]), rtol=1e-12)

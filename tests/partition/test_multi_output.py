@@ -1,0 +1,54 @@
+import numpy as np
+import pytest
+
+from repro.awe import transfer_moments
+from repro.circuits import builders
+from repro.errors import PartitionError
+from repro.partition import partition, symbolic_moments, symbolic_moments_multi
+
+
+@pytest.fixture(scope="module")
+def bus_case():
+    ckt = builders.coupled_bus(3, n_segments=12, drive_line=0)
+    outputs = ["l1n12", "l2n12"]
+    part = partition(ckt, ["Rdrv0", "Cload1"], output=outputs[0],
+                     extra_ports=outputs[1:])
+    return ckt, part, outputs
+
+
+class TestMultiOutput:
+    def test_matches_single_output_runs(self, bus_case):
+        ckt, part, outputs = bus_case
+        multi = symbolic_moments_multi(part, outputs, 3)
+        for out in outputs:
+            single = symbolic_moments(part, out, 3)
+            vals = part.symbol_values({})
+            np.testing.assert_allclose(multi[out].evaluate(vals),
+                                       single.evaluate(vals), rtol=1e-12)
+
+    def test_all_outputs_exact_vs_numeric(self, bus_case):
+        ckt, part, outputs = bus_case
+        multi = symbolic_moments_multi(part, outputs, 3)
+        values = {"Rdrv0": 120.0, "Cload1": 100e-15}
+        sym_vals = part.symbol_values(values)
+        check = ckt.copy()
+        for k, v in values.items():
+            check.replace_value(k, v)
+        for out in outputs:
+            want = transfer_moments(check, out, 3)
+            got = multi[out].evaluate(sym_vals)
+            scale = np.max(np.abs(want)) + 1e-300
+            np.testing.assert_allclose(got, want, rtol=1e-8,
+                                       atol=1e-8 * scale, err_msg=out)
+
+    def test_shared_determinant(self, bus_case):
+        _, part, outputs = bus_case
+        multi = symbolic_moments_multi(part, outputs, 2)
+        assert multi[outputs[0]].det == multi[outputs[1]].det
+
+    def test_errors(self, bus_case):
+        _, part, _ = bus_case
+        with pytest.raises(PartitionError, match="not a global node"):
+            symbolic_moments_multi(part, ["l0n3"], 2)
+        with pytest.raises(PartitionError, match="at least one"):
+            symbolic_moments_multi(part, [], 2)

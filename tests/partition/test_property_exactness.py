@@ -1,0 +1,60 @@
+"""Property-based test of the partitioning exactness contract: for random
+circuits, random symbol choices, and random evaluation points, symbolic
+moments equal numeric AWE moments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.awe import transfer_moments
+from repro.circuits import builders
+from repro.circuits.elements import Capacitor, Resistor
+from repro.partition import partition, symbolic_moments
+
+
+@st.composite
+def mesh_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n_nodes = draw(st.integers(min_value=4, max_value=12))
+    extra = draw(st.integers(min_value=0, max_value=4))
+    ckt = builders.random_rc_mesh(n_nodes, extra_edges=extra, seed=seed)
+    candidates = [e.name for e in ckt
+                  if isinstance(e, (Resistor, Capacitor))]
+    k = draw(st.integers(min_value=1, max_value=2))
+    picks = draw(st.lists(st.sampled_from(candidates), min_size=k, max_size=k,
+                          unique=True))
+    out_idx = draw(st.integers(min_value=1, max_value=n_nodes))
+    scales = draw(st.lists(st.floats(min_value=0.2, max_value=5.0),
+                           min_size=k, max_size=k))
+    return ckt, picks, f"n{out_idx}", scales
+
+
+class TestExactnessProperty:
+    @given(mesh_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_symbolic_equals_numeric(self, case):
+        ckt, picks, output, scales = case
+        part = partition(ckt, picks, output=output)
+        sm = symbolic_moments(part, output, 3)
+        element_values = {name: ckt[name].value * s
+                          for name, s in zip(picks, scales)}
+        got = sm.evaluate(part.symbol_values(element_values))
+        check = ckt.copy()
+        for name, value in element_values.items():
+            check.replace_value(name, value)
+        want = transfer_moments(check, output, 3)
+        scale = np.max(np.abs(want)) + 1e-300
+        np.testing.assert_allclose(got, want, rtol=1e-7, atol=1e-7 * scale)
+
+    @given(mesh_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_compiled_equals_direct(self, case):
+        ckt, picks, output, scales = case
+        part = partition(ckt, picks, output=output)
+        sm = symbolic_moments(part, output, 2)
+        compiled = sm.compile()
+        values = part.symbol_values(
+            {name: ckt[name].value * s for name, s in zip(picks, scales)})
+        np.testing.assert_allclose(compiled(values), sm.evaluate(values),
+                                   rtol=1e-10)

@@ -1,0 +1,126 @@
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro import awesymbolic
+from repro.circuits import Circuit
+from repro.reporting import Table, family_curves, format_engineering, sweep_surface
+from repro.reporting.surfaces import CurveFamily
+
+
+@pytest.fixture(scope="module")
+def model():
+    ckt = Circuit("rc2")
+    ckt.V("Vin", "in", "0", ac=1.0)
+    ckt.R("R1", "in", "n1", 1000.0)
+    ckt.C("C1", "n1", "0", 1e-9)
+    ckt.R("R2", "n1", "out", 2000.0)
+    ckt.C("C2", "out", "0", 0.5e-9)
+    return awesymbolic(ckt, "out", symbols=["R2", "C2"], order=2).model
+
+
+class TestTable:
+    def test_ascii_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row("alpha", 1.5)
+        t.add_row("b", 22.0)
+        text = t.to_ascii()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "alpha" in text and "22" in text
+        # all data lines equally wide
+        assert len(set(len(line) for line in lines[1:2] + lines[3:])) == 1
+
+    def test_csv_escaping(self):
+        t = Table(["a", "b"])
+        t.add_row('x,y', 'say "hi"')
+        out = t.to_csv()
+        rows = list(csv.reader(io.StringIO(out)))
+        assert rows[1] == ['x,y', 'say "hi"']
+
+    def test_wrong_cell_count(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+    def test_nan_rendering(self):
+        t = Table(["x"])
+        t.add_row(float("nan"))
+        assert "n/a" in t.to_ascii()
+
+    def test_format_engineering(self):
+        assert format_engineering(2.2e-6) == "2.2u"
+        assert format_engineering(float("nan")) == "n/a"
+
+
+class TestSurface:
+    def test_sweep_surface_shape_and_csv(self, model):
+        x = np.array([1000.0, 2000.0, 4000.0])
+        y = np.array([0.25e-9, 0.5e-9])
+        surf = sweep_surface(model, "R2", x, "C2", y,
+                             lambda m: m.dc_gain(), "dc_gain")
+        assert surf.z.shape == (3, 2)
+        rows = list(csv.reader(io.StringIO(surf.to_csv())))
+        assert rows[0] == ["R2", "C2", "dc_gain"]
+        assert len(rows) == 1 + 6
+
+    def test_surface_to_table(self, model):
+        surf = sweep_surface(model, "R2", np.array([1000.0]),
+                             "C2", np.array([0.5e-9]),
+                             lambda m: m.dc_gain(), "dc")
+        text = surf.to_table().to_ascii()
+        assert "R2\\C2" in text
+
+
+class TestCurveFamily:
+    def test_family_curves_step(self, model):
+        t = np.linspace(0.0, 2e-5, 50)
+        fam = family_curves(model, "C2", [0.25e-9, 1e-9], t)
+        assert fam.curves.shape == (2, 50)
+        # larger load -> slower rise at mid-time
+        mid = 10
+        assert fam.curves[0, mid] > fam.curves[1, mid]
+
+    def test_family_curves_impulse(self, model):
+        t = np.linspace(0.0, 2e-5, 20)
+        fam = family_curves(model, "C2", [0.5e-9], t, response="impulse")
+        assert fam.curves.shape == (1, 20)
+
+    def test_unknown_response_kind(self, model):
+        with pytest.raises(ValueError):
+            family_curves(model, "C2", [1e-9], np.array([0.0]), response="zap")
+
+    def test_peaks(self):
+        fam = CurveFamily(param="p", values=np.array([1.0]),
+                          t=np.array([0.0, 1.0, 2.0]),
+                          curves=np.array([[0.0, -3.0, 1.0]]))
+        assert fam.peaks() == [(1.0, -3.0)]
+
+    def test_csv_round_trip(self, model):
+        t = np.linspace(0.0, 1e-5, 5)
+        fam = family_curves(model, "R2", [1000.0, 3000.0], t)
+        rows = list(csv.reader(io.StringIO(fam.to_csv())))
+        assert rows[0] == ["t", "R2=1000", "R2=3000"]
+        assert len(rows) == 6
+        assert float(rows[1][0]) == 0.0
+
+
+class TestFiguresDriver:
+    def test_main_writes_csvs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SEGMENTS", "30")
+        import repro.reporting.figures as figures
+        # shrink the grids so the test is quick
+        monkeypatch.setattr(figures, "GRID_N", 3)
+        rc = figures.main([str(tmp_path)])
+        assert rc == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert {"fig4_dominant_pole_hz.csv", "fig5_dc_gain.csv",
+                "fig6_unity_gain_rad_s.csv", "fig7_phase_margin_deg.csv",
+                "fig9_crosstalk_vs_rdrv.csv", "fig10_crosstalk_vs_cload.csv",
+                "table1_runtimes.csv"} <= names
+        # figure 4 CSV parses and has GRID_N^2 data rows
+        rows = list(csv.reader((tmp_path / "fig4_dominant_pole_hz.csv")
+                               .open()))
+        assert len(rows) == 1 + 9

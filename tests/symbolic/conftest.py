@@ -1,0 +1,41 @@
+"""Shared strategies and fixtures for symbolic-engine tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.symbolic import Poly, Symbol, SymbolSpace
+
+
+@pytest.fixture
+def space3() -> SymbolSpace:
+    return SymbolSpace([Symbol("x"), Symbol("y"), Symbol("z")])
+
+
+def small_coeffs() -> st.SearchStrategy[float]:
+    """Well-scaled finite floats that keep products representable."""
+    return st.floats(min_value=-16.0, max_value=16.0,
+                     allow_nan=False, allow_infinity=False).map(
+        lambda v: round(v, 3))
+
+
+def polys(space: SymbolSpace, max_terms: int = 5,
+          max_degree: int = 3) -> st.SearchStrategy[Poly]:
+    """Random sparse polynomials over ``space``."""
+    exps = st.tuples(*[st.integers(min_value=0, max_value=max_degree)
+                       for _ in range(len(space))])
+    return st.dictionaries(exps, small_coeffs(), max_size=max_terms).map(
+        lambda terms: Poly(space, terms))
+
+
+@pytest.fixture
+def poly_strategy(space3):
+    return polys(space3)
+
+
+def points(space: SymbolSpace) -> st.SearchStrategy[tuple[float, ...]]:
+    """Random evaluation points, kept small so polynomial values stay tame."""
+    return st.tuples(*[st.floats(min_value=-3.0, max_value=3.0,
+                                 allow_nan=False, allow_infinity=False)
+                       for _ in range(len(space))])

@@ -1,0 +1,95 @@
+import math
+
+import pytest
+
+from repro.symbolic import ExprBuilder, Poly, Rational, SymbolSpace
+
+SP = SymbolSpace(["x", "y"])
+
+
+@pytest.fixture
+def eb():
+    return ExprBuilder()
+
+
+class TestInterning:
+    def test_identical_subexpressions_are_same_object(self, eb):
+        a = eb.add(eb.sym("x"), eb.const(1.0))
+        b = eb.add(eb.sym("x"), eb.const(1.0))
+        assert a is b
+
+    def test_add_is_order_insensitive(self, eb):
+        assert eb.add(eb.sym("x"), eb.sym("y")) is eb.add(eb.sym("y"), eb.sym("x"))
+
+    def test_mul_is_order_insensitive(self, eb):
+        assert eb.mul(eb.sym("x"), eb.sym("y")) is eb.mul(eb.sym("y"), eb.sym("x"))
+
+
+class TestFolding:
+    def test_constant_folding(self, eb):
+        assert eb.add(eb.const(2.0), eb.const(3.0)).is_const(5.0)
+        assert eb.mul(eb.const(2.0), eb.const(3.0)).is_const(6.0)
+
+    def test_mul_by_zero(self, eb):
+        assert eb.mul(eb.const(0.0), eb.sym("x")).is_const(0.0)
+
+    def test_add_flattening(self, eb):
+        e = eb.add(eb.add(eb.sym("x"), eb.const(1.0)), eb.const(2.0))
+        assert e.evaluate({"x": 1.0}) == 4.0
+
+    def test_pow_special_cases(self, eb):
+        x = eb.sym("x")
+        assert eb.pow(x, 1) is x
+        assert eb.pow(x, 0).is_const(1.0)
+        assert eb.pow(eb.const(2.0), 3).is_const(8.0)
+
+    def test_div_by_const_becomes_mul(self, eb):
+        e = eb.div(eb.sym("x"), eb.const(4.0))
+        assert e.kind == "mul"
+        assert e.evaluate({"x": 8.0}) == 2.0
+
+    def test_sqrt_const_folds(self, eb):
+        assert eb.sqrt(eb.const(9.0)).is_const(3.0)
+
+
+class TestEvaluate:
+    def test_arith(self, eb):
+        x, y = eb.sym("x"), eb.sym("y")
+        e = eb.div(eb.add(x, y), eb.sub(x, y))
+        assert e.evaluate({"x": 3.0, "y": 1.0}) == pytest.approx(2.0)
+
+    def test_complex_safe_sqrt(self, eb):
+        e = eb.sqrt(eb.sym("x"))
+        assert e.evaluate({"x": -4.0}) == pytest.approx(2j)
+
+    def test_exp_log_abs(self, eb):
+        x = eb.sym("x")
+        assert eb.exp(x).evaluate({"x": 0.0}) == pytest.approx(1.0)
+        assert eb.log(x).evaluate({"x": math.e}) == pytest.approx(1.0)
+        assert eb.abs(x).evaluate({"x": -2.0}) == 2.0
+
+    def test_neg(self, eb):
+        assert eb.neg(eb.sym("x")).evaluate({"x": 5.0}) == -5.0
+
+
+class TestConversions:
+    def test_from_poly(self, eb):
+        p = Poly(SP, {(2, 0): 3.0, (0, 1): -1.0, (0, 0): 2.0})
+        e = eb.from_poly(p)
+        for pt in [{"x": 0.5, "y": 2.0}, {"x": -1.0, "y": 0.0}]:
+            assert e.evaluate(pt) == pytest.approx(p.evaluate(pt))
+
+    def test_from_rational(self, eb):
+        r = Rational(Poly.symbol(SP, "x"), Poly.symbol(SP, "y") + 1)
+        e = eb.from_rational(r)
+        assert e.evaluate({"x": 6.0, "y": 1.0}) == pytest.approx(3.0)
+
+    def test_free_symbol_names(self, eb):
+        e = eb.add(eb.sym("x"), eb.sqrt(eb.sym("y")))
+        assert e.free_symbol_names() == {"x", "y"}
+
+    def test_count_ops_shared_once(self, eb):
+        shared = eb.mul(eb.sym("x"), eb.sym("y"))
+        e = eb.add(shared, eb.sqrt(shared))
+        # shared mul counted once, plus add and sqrt
+        assert e.count_ops() == 3

@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SymbolicError
+from repro.symbolic import ExprBuilder, Poly, Rational, SymbolSpace, compile_rationals
+
+from .conftest import points, polys
+
+SP = SymbolSpace(["x", "y", "z"])
+X = Poly.symbol(SP, "x")
+Y = Poly.symbol(SP, "y")
+
+
+class TestHornerForm:
+    def test_univariate(self):
+        eb = ExprBuilder()
+        p = 2 * X ** 3 - X + 5
+        e = eb.from_poly_horner(p)
+        for x in (0.0, 1.0, -2.5):
+            assert e.evaluate({"x": x, "y": 0, "z": 0}) == pytest.approx(
+                p.evaluate({"x": x, "y": 0, "z": 0}))
+
+    def test_horner_uses_fewer_ops_on_dense_poly(self):
+        eb = ExprBuilder()
+        # dense degree-8 univariate: expanded needs powers, Horner doesn't
+        p = Poly(SP, {(k, 0, 0): float(k + 1) for k in range(9)})
+        expanded = eb.from_poly(p)
+        eb2 = ExprBuilder()
+        horner = eb2.from_poly_horner(p)
+        assert horner.count_ops() <= expanded.count_ops()
+
+    def test_constant_and_zero(self):
+        eb = ExprBuilder()
+        assert eb.from_poly_horner(Poly.constant(SP, 4.0)).is_const(4.0)
+        assert eb.from_poly_horner(Poly.zero(SP)).is_const(0.0)
+
+    @given(polys(SP), points(SP))
+    @settings(max_examples=50)
+    def test_matches_expanded_everywhere(self, p, pt):
+        eb = ExprBuilder()
+        a = eb.from_poly(p).evaluate(dict(zip(SP.names, pt)))
+        b = eb.from_poly_horner(p).evaluate(dict(zip(SP.names, pt)))
+        assert b == pytest.approx(a, rel=1e-9, abs=1e-9)
+
+
+class TestCompileStrategies:
+    def test_strategies_agree(self):
+        r = Rational((X + 1) * (Y + 2) * (X + Y), Y ** 2 + 1)
+        fn_e = compile_rationals(SP, [r], strategy="expanded")
+        fn_h = compile_rationals(SP, [r], strategy="horner")
+        for pt in [(0.5, 1.5, 0.0), (-1.0, 2.0, 0.0)]:
+            assert fn_h(list(pt))[0] == pytest.approx(fn_e(list(pt))[0],
+                                                      rel=1e-12)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(SymbolicError):
+            compile_rationals(SP, [X], strategy="banana")
+
+    def test_horner_on_real_moments(self):
+        """Both strategies must evaluate the 741 moments identically."""
+        from repro import awesymbolic
+        from repro.circuits import Circuit
+        ckt = Circuit("rc2")
+        ckt.V("Vin", "in", "0", ac=1.0)
+        ckt.R("R1", "in", "n1", 1000.0)
+        ckt.C("C1", "n1", "0", 1e-9)
+        ckt.R("R2", "n1", "out", 2000.0)
+        ckt.C("C2", "out", "0", 0.5e-9)
+        res = awesymbolic(ckt, "out", symbols=["R2", "C2"], order=2)
+        sm = res.moments
+        items = list(sm.numerators) + [sm.det]
+        fn_e = compile_rationals(sm.space, items, strategy="expanded")
+        fn_h = compile_rationals(sm.space, items, strategy="horner")
+        vals = res.partition.symbol_values({"R2": 3333.0, "C2": 2e-9})
+        np.testing.assert_allclose(fn_h(vals), fn_e(vals), rtol=1e-12)

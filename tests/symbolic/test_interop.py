@@ -1,0 +1,43 @@
+import pytest
+
+from repro.symbolic import Poly, Rational, SymbolSpace
+from repro.symbolic.interop import (poly_from_sympy, poly_to_sympy,
+                                    rational_to_sympy, sympy_available)
+
+sympy = pytest.importorskip("sympy")
+
+SP = SymbolSpace(["x", "y"])
+X = Poly.symbol(SP, "x")
+Y = Poly.symbol(SP, "y")
+
+
+def test_sympy_available():
+    assert sympy_available()
+
+
+def test_poly_round_trip():
+    p = 2 * X * X - Y + 3
+    back = poly_from_sympy(poly_to_sympy(p), SP)
+    assert back.allclose(p)
+
+
+def test_arithmetic_agrees_with_sympy():
+    p = (X + Y) ** 3
+    sx, sy = sympy.symbols("x y")
+    expected = sympy.expand((sx + sy) ** 3)
+    assert sympy.simplify(poly_to_sympy(p) - expected) == 0
+
+
+def test_rational_to_sympy_evaluates():
+    r = Rational(X, Y + 1)
+    expr = rational_to_sympy(r)
+    val = expr.subs({"x": 4.0, "y": 1.0})
+    assert float(val) == pytest.approx(2.0)
+
+
+def test_division_agrees_with_sympy_cancel():
+    num = (X + Y) * (X - Y)
+    q = num.try_divide(X + Y)
+    sx, sy = sympy.symbols("x y")
+    expected = sympy.cancel(((sx + sy) * (sx - sy)) / (sx + sy))
+    assert sympy.simplify(poly_to_sympy(q) - expected) == 0

@@ -1,0 +1,152 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SymbolicError
+from repro.symbolic import Poly, PolyMatrix, Rational, SymbolicLinearSolver, SymbolSpace
+
+SP = SymbolSpace(["a", "b"])
+A = Poly.symbol(SP, "a")
+B = Poly.symbol(SP, "b")
+ONE = Poly.one(SP)
+
+
+def random_numeric_matrix(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-2, 2, size=(n, n)) + n * np.eye(n)
+
+
+class TestPolyMatrixBasics:
+    def test_shape_and_indexing(self):
+        m = PolyMatrix(SP, [[A, B], [ONE, A * B]])
+        assert m.shape == (2, 2)
+        assert m[1, 1] == A * B
+
+    def test_ragged_raises(self):
+        with pytest.raises(SymbolicError):
+            PolyMatrix(SP, [[A], [A, B]])
+
+    def test_identity_and_zeros(self):
+        eye = PolyMatrix.identity(SP, 3)
+        assert eye[0, 0] == 1.0 and eye[0, 1].is_zero()
+        assert PolyMatrix.zeros(SP, 2, 3).shape == (2, 3)
+
+    def test_matvec(self):
+        m = PolyMatrix(SP, [[A, ONE], [Poly.zero(SP), B]])
+        out = m.matvec([ONE, A])
+        assert out[0] == A + A  # a*1 + 1*a
+        assert out[1] == B * A
+
+    def test_matmul_against_numpy(self):
+        x = random_numeric_matrix(3, 1)
+        y = random_numeric_matrix(3, 2)
+        mx = PolyMatrix.from_numeric(SP, x)
+        my = PolyMatrix.from_numeric(SP, y)
+        prod = mx.matmul(my).evaluate({"a": 0, "b": 0})
+        np.testing.assert_allclose(prod, x @ y, rtol=1e-12)
+
+    def test_evaluate(self):
+        m = PolyMatrix(SP, [[A, B]])
+        np.testing.assert_allclose(m.evaluate({"a": 2.0, "b": 3.0}), [[2.0, 3.0]])
+
+    def test_add_and_scale(self):
+        m = PolyMatrix(SP, [[A]])
+        assert (m + m)[0, 0] == 2 * A
+        assert (m * 3.0)[0, 0] == 3 * A
+
+
+class TestDeterminant:
+    def test_2x2_symbolic(self):
+        m = PolyMatrix(SP, [[A, ONE], [ONE, B]])
+        assert m.det() == A * B - 1
+
+    def test_known_3x3(self):
+        m = PolyMatrix(SP, [[A, Poly.zero(SP), ONE],
+                            [Poly.zero(SP), B, Poly.zero(SP)],
+                            [ONE, Poly.zero(SP), A]])
+        # block: det = b * (a^2 - 1)
+        assert m.det().allclose(B * (A * A - 1))
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_numpy_on_numeric(self, n, seed):
+        x = random_numeric_matrix(n, seed)
+        m = PolyMatrix.from_numeric(SP, x)
+        assert m.det().constant_value() == pytest.approx(np.linalg.det(x), rel=1e-8)
+
+    def test_nonsquare_raises(self):
+        with pytest.raises(SymbolicError):
+            PolyMatrix.zeros(SP, 2, 3).det()
+
+    def test_size_limit(self):
+        with pytest.raises(SymbolicError):
+            PolyMatrix.identity(SP, 19).det()
+
+
+class TestAdjugate:
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_fundamental_identity_numeric(self, n, seed):
+        x = random_numeric_matrix(n, seed)
+        m = PolyMatrix.from_numeric(SP, x)
+        adj, det = m.adjugate_and_det()
+        prod = m.matmul(adj).evaluate({"a": 0, "b": 0})
+        np.testing.assert_allclose(prod, det.constant_value() * np.eye(n),
+                                   rtol=1e-8, atol=1e-8 * abs(det.constant_value()))
+
+    def test_fundamental_identity_symbolic(self):
+        m = PolyMatrix(SP, [[A, ONE], [ONE, B]])
+        adj, det = m.adjugate_and_det()
+        prod = m.matmul(adj)
+        assert prod[0, 0].allclose(det)
+        assert prod[1, 1].allclose(det)
+        assert prod[0, 1].is_zero()
+        assert prod[1, 0].is_zero()
+
+    def test_1x1(self):
+        adj, det = PolyMatrix(SP, [[A]]).adjugate_and_det()
+        assert adj[0, 0] == 1.0
+        assert det == A
+
+
+class TestSolver:
+    def test_symbolic_cramer_2x2(self):
+        # [[a, 1], [1, b]] x = [1, 0]  ->  x = [b, -1] / (ab - 1)
+        m = PolyMatrix(SP, [[A, ONE], [ONE, B]])
+        solver = SymbolicLinearSolver(m)
+        nums, det = solver.solve_poly([ONE, Poly.zero(SP)])
+        assert det == A * B - 1
+        assert nums[0] == B
+        assert nums[1] == -1.0 * ONE
+
+    def test_solution_validates_numerically(self):
+        m = PolyMatrix(SP, [[A + 1, B], [B, A + 2]])
+        solver = SymbolicLinearSolver(m)
+        nums, det = solver.solve_poly([ONE, ONE])
+        pt = {"a": 0.7, "b": -0.3}
+        mat = m.evaluate(pt)
+        x_expected = np.linalg.solve(mat, [1.0, 1.0])
+        x_sym = np.array([p.evaluate(pt) for p in nums]) / det.evaluate(pt)
+        np.testing.assert_allclose(x_sym, x_expected, rtol=1e-10)
+
+    def test_singular_raises(self):
+        m = PolyMatrix(SP, [[A, A], [A, A]])
+        with pytest.raises(SymbolicError):
+            SymbolicLinearSolver(m)
+
+    def test_solve_rational_rhs(self):
+        m = PolyMatrix(SP, [[A + 2, Poly.zero(SP)], [Poly.zero(SP), ONE]])
+        solver = SymbolicLinearSolver(m)
+        rhs = [Rational(ONE, B + 1), Rational(ONE)]
+        xs = solver.solve_rational(rhs)
+        pt = {"a": 1.0, "b": 1.0}
+        assert xs[0].evaluate(pt) == pytest.approx(1.0 / (2.0 * 3.0))
+        assert xs[1].evaluate(pt) == pytest.approx(1.0)
+
+    def test_repeated_rhs_reuses_adjugate(self):
+        m = PolyMatrix(SP, [[A + 1, Poly.zero(SP)], [Poly.zero(SP), B + 1]])
+        solver = SymbolicLinearSolver(m)
+        first = solver.adjugate
+        solver.solve_poly([ONE, ONE])
+        assert solver.adjugate is first

@@ -1,0 +1,82 @@
+"""Property-based tests of the division-free symbolic linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Poly, PolyMatrix, SymbolicLinearSolver, SymbolSpace
+
+SP = SymbolSpace(["a", "b"])
+
+
+@st.composite
+def symbolic_matrices(draw):
+    """Small well-conditioned matrices with affine-in-symbol entries."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    coeff = st.floats(min_value=-2.0, max_value=2.0,
+                      allow_nan=False, allow_infinity=False)
+    rows = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            c0 = draw(coeff) + (3.0 if i == j else 0.0)  # diagonal dominance
+            ca = draw(coeff) * draw(st.sampled_from([0.0, 1.0]))
+            cb = draw(coeff) * draw(st.sampled_from([0.0, 1.0]))
+            row.append(Poly(SP, {(0, 0): c0, (1, 0): ca, (0, 1): cb}))
+        rows.append(row)
+    return PolyMatrix(SP, rows)
+
+
+POINTS = [(0.3, -0.4), (1.0, 1.0), (-0.7, 0.2)]
+
+
+class TestSymbolicLinearAlgebraProperties:
+    @given(symbolic_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_det_matches_numpy_pointwise(self, m):
+        for pt in POINTS:
+            want = np.linalg.det(m.evaluate(pt))
+            assert m.det().evaluate(pt) == pytest.approx(want, rel=1e-8,
+                                                         abs=1e-10)
+
+    @given(symbolic_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_adjugate_identity_pointwise(self, m):
+        adj, det = m.adjugate_and_det()
+        prod = m.matmul(adj)
+        n = m.shape[0]
+        for pt in POINTS:
+            got = prod.evaluate(pt)
+            want = det.evaluate(pt) * np.eye(n)
+            np.testing.assert_allclose(got, want, rtol=1e-8,
+                                       atol=1e-10 * (abs(det.evaluate(pt)) + 1))
+
+    @given(symbolic_matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_cramer_solution_pointwise(self, m):
+        n = m.shape[0]
+        rhs = [Poly.one(SP)] + [Poly.symbol(SP, "a")] * (n - 1)
+        try:
+            solver = SymbolicLinearSolver(m)
+        except Exception:
+            return  # symbolically singular random draw
+        nums, det = solver.solve_poly(rhs)
+        for pt in POINTS:
+            det_val = det.evaluate(pt)
+            if abs(det_val) < 1e-6:
+                continue
+            mat = m.evaluate(pt)
+            rhs_val = np.array([r.evaluate(pt) for r in rhs])
+            want = np.linalg.solve(mat, rhs_val)
+            got = np.array([p.evaluate(pt) for p in nums]) / det_val
+            np.testing.assert_allclose(got, want, rtol=1e-7, atol=1e-9)
+
+    @given(symbolic_matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_det_multilinear_for_affine_entries(self, m):
+        # entries affine in each symbol, each symbol confined to... not
+        # confined: products of affine entries can square a symbol, but the
+        # determinant degree stays bounded by the matrix size
+        n = m.shape[0]
+        assert m.det().total_degree() <= 2 * n

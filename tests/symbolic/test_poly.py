@@ -1,0 +1,186 @@
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SymbolicError
+from repro.symbolic import Poly, Symbol, SymbolSpace
+
+from .conftest import points, polys
+
+SP = SymbolSpace(["x", "y", "z"])
+X = Poly.symbol(SP, "x")
+Y = Poly.symbol(SP, "y")
+Z = Poly.symbol(SP, "z")
+
+
+class TestConstruction:
+    def test_zero_and_one(self):
+        assert Poly.zero(SP).is_zero()
+        assert Poly.one(SP).constant_value() == 1.0
+        assert Poly.constant(SP, 0.0).is_zero()
+
+    def test_zero_coefficients_dropped(self):
+        p = Poly(SP, {(1, 0, 0): 0.0, (0, 1, 0): 2.0})
+        assert len(p) == 1
+
+    def test_bad_exponent_width_raises(self):
+        with pytest.raises(SymbolicError):
+            Poly(SP, {(1, 0): 1.0})
+
+    def test_constant_value_raises_on_nonconstant(self):
+        with pytest.raises(SymbolicError):
+            X.constant_value()
+
+
+class TestArithmetic:
+    def test_known_product(self):
+        # (x + y)(x - y) = x^2 - y^2
+        p = (X + Y) * (X - Y)
+        assert p == X * X - Y * Y
+
+    def test_scalar_mixing(self):
+        p = 2 * X + 1 - Y / 1.0 if False else 2 * X + 1 - Y
+        assert p.evaluate({"x": 1.0, "y": 1.0, "z": 0.0}) == 2.0
+
+    def test_pow(self):
+        p = (X + 1) ** 3
+        assert p.evaluate({"x": 2.0, "y": 0.0, "z": 0.0}) == 27.0
+        assert (X ** 0) == 1.0
+
+    def test_pow_negative_raises(self):
+        with pytest.raises(SymbolicError):
+            X ** -1
+
+    def test_space_mismatch_raises(self):
+        other = Poly.symbol(SymbolSpace(["a"]), "a")
+        with pytest.raises(SymbolicError):
+            X + other
+
+    def test_cancellation_removes_terms(self):
+        assert (X - X).is_zero()
+        assert len((X + Y) - X) == 1
+
+
+class TestPropertyBased:
+    @given(polys(SP), polys(SP), polys(SP))
+    @settings(max_examples=60)
+    def test_ring_axioms(self, a, b, c):
+        assert (a + b) == (b + a)  # addition commutes exactly (same fp ops)
+        assert (a * b).allclose(b * a)
+        # associativity/distributivity hold to fp accuracy, not bitwise
+        assert ((a + b) + c).allclose(a + (b + c), rtol=1e-12)
+        assert (a * (b + c)).allclose(a * b + a * c, rtol=1e-9)
+
+    @given(polys(SP), polys(SP), points(SP))
+    @settings(max_examples=60)
+    def test_evaluation_homomorphism(self, a, b, pt):
+        va, vb = a.evaluate(pt), b.evaluate(pt)
+        scale = max(abs(va), abs(vb), 1.0)
+        assert (a + b).evaluate(pt) == pytest.approx(va + vb, rel=1e-9, abs=1e-9 * scale)
+        assert (a * b).evaluate(pt) == pytest.approx(va * vb, rel=1e-9, abs=1e-9 * scale ** 2)
+
+    @given(polys(SP), polys(SP))
+    @settings(max_examples=40)
+    def test_product_division_roundtrip(self, a, b):
+        prod = a * b
+        if b.is_zero():
+            return
+        q = prod.try_divide(b)
+        assert q is not None
+        assert q.allclose(a, rtol=1e-6)
+
+    @given(polys(SP))
+    @settings(max_examples=40)
+    def test_derivative_of_square(self, a):
+        # d(a^2)/dx = 2 a a'
+        lhs = (a * a).derivative("x")
+        rhs = 2.0 * a * a.derivative("x")
+        assert lhs.allclose(rhs)
+
+
+class TestCalculus:
+    def test_derivative_known(self):
+        p = X * X * Y + 3 * Y
+        assert p.derivative("x") == 2 * X * Y
+        assert p.derivative("y") == X * X + 3
+        assert p.derivative("z").is_zero()
+
+    def test_substitute_value(self):
+        p = X * Y + X + 1
+        q = p.substitute("x", 2.0)
+        assert q == 2 * Y + 3
+
+    def test_substitute_poly(self):
+        p = X * X
+        q = p.substitute("x", Y + 1)
+        assert q == Y * Y + 2 * Y + 1
+
+    def test_coeff_of_and_univariate(self):
+        p = X * X * Y + 2 * X + 5
+        assert p.coeff_of("x", 2) == Y
+        assert p.coeff_of("x", 1) == Poly.constant(SP, 2.0)
+        assert p.coeff_of("x", 0) == Poly.constant(SP, 5.0)
+        uni = p.as_univariate("x")
+        assert set(uni) == {0, 1, 2}
+
+
+class TestStructure:
+    def test_degrees(self):
+        p = X ** 3 * Y + Z
+        assert p.total_degree() == 4
+        assert p.degree("x") == 3
+        assert p.degree("z") == 1
+        assert Poly.zero(SP).total_degree() == -1
+
+    def test_free_symbols(self):
+        p = X * Z + 1
+        assert tuple(s.name for s in p.free_symbols()) == ("x", "z")
+
+    def test_is_multilinear(self):
+        assert (X * Y + Z).is_multilinear()
+        assert not (X * X).is_multilinear()
+
+    def test_lift(self):
+        small = SymbolSpace(["x"])
+        p = Poly.symbol(small, "x") + 2
+        lifted = p.lift(SP)
+        assert lifted == X + 2
+
+    def test_prune(self):
+        p = X + Poly.constant(SP, 1e-20)
+        assert p.prune() == X
+
+    def test_leading_term_grlex(self):
+        p = X * X + X * Y * Z
+        exps, _ = p.leading_term()
+        assert exps == (1, 1, 1)
+
+
+class TestDivision:
+    def test_exact_division(self):
+        num = (X + Y) * (X - Z) * (Y + 2)
+        q = num.try_divide(X + Y)
+        assert q is not None
+        assert q.allclose((X - Z) * (Y + 2))
+
+    def test_inexact_division_returns_none(self):
+        assert (X * X + 1).try_divide(X + Y) is None
+
+    def test_division_by_constant(self):
+        assert (2 * X).try_divide(Poly.constant(SP, 2.0)) == X
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SymbolicError):
+            X.try_divide(Poly.zero(SP))
+
+
+class TestPresentation:
+    def test_str_round_trip_evaluable(self):
+        p = 2 * X * Y - Z ** 2 + 1
+        text = str(p)
+        val = eval(text, {"x": 1.0, "y": 2.0, "z": 3.0})
+        assert val == pytest.approx(p.evaluate({"x": 1.0, "y": 2.0, "z": 3.0}))
+
+    def test_str_zero(self):
+        assert str(Poly.zero(SP)) == "0"

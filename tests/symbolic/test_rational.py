@@ -1,0 +1,140 @@
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SymbolicError
+from repro.symbolic import Poly, Rational, Symbol, SymbolSpace
+
+from .conftest import points, polys
+
+SP = SymbolSpace(["s", "a", "b"])
+S = Poly.symbol(SP, "s")
+A = Poly.symbol(SP, "a")
+B = Poly.symbol(SP, "b")
+
+
+def R(num, den=None):
+    return Rational(num, den)
+
+
+class TestConstruction:
+    def test_zero_denominator_raises(self):
+        with pytest.raises(SymbolicError):
+            Rational(A, Poly.zero(SP))
+
+    def test_zero_numerator_normalizes(self):
+        r = Rational(Poly.zero(SP), A + 1)
+        assert r.is_zero()
+        assert r.den == 1.0
+
+    def test_denominator_normalized_monic(self):
+        r = Rational(A, 2.0 * B)
+        _, lead = r.den.leading_term()
+        assert lead == pytest.approx(1.0)
+        assert r.evaluate({"s": 0, "a": 3.0, "b": 1.0}) == pytest.approx(1.5)
+
+    def test_as_poly(self):
+        assert Rational(2 * A, Poly.constant(SP, 2.0)).as_poly() == A
+        with pytest.raises(SymbolicError):
+            Rational(A, B).as_poly()
+
+
+class TestArithmetic:
+    def test_add_same_denominator_fast_path(self):
+        r = Rational(A, B) + Rational(S, B)
+        assert r.allclose(Rational(A + S, B))
+
+    def test_field_identity(self):
+        # a/b + b/a = (a^2 + b^2) / (a b)
+        r = Rational(A, B) + Rational(B, A)
+        assert r.allclose(Rational(A * A + B * B, A * B))
+
+    def test_mul_div_inverse(self):
+        r = Rational(A + 1, B + 2)
+        assert (r / r).allclose(Rational.one(SP))
+
+    def test_pow_negative(self):
+        r = Rational(A, B) ** -2
+        assert r.allclose(Rational(B * B, A * A))
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(SymbolicError):
+            Rational(A, B) / Rational.zero(SP)
+
+    @given(polys(SP, max_terms=3, max_degree=2),
+           polys(SP, max_terms=3, max_degree=2), points(SP))
+    @settings(max_examples=40)
+    def test_evaluation_matches_float_arithmetic(self, n, d, pt):
+        if d.is_zero() or abs(d.evaluate(pt)) < 1e-6:
+            return
+        r = Rational(n, d)
+        expected = n.evaluate(pt) / d.evaluate(pt)
+        assert r.evaluate(pt) == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+
+class TestCalculus:
+    def test_quotient_rule(self):
+        r = Rational(A * A, B)
+        dr = r.derivative("a")
+        assert dr.allclose(Rational(2 * A, B))
+        dr_b = r.derivative("b")
+        assert dr_b.allclose(Rational(-A * A, B * B))
+
+    def test_substitute(self):
+        r = Rational(A, B + 1)
+        assert r.substitute("b", 1.0).allclose(Rational(A, Poly.constant(SP, 2.0)))
+
+
+class TestCancel:
+    def test_cancels_common_factor(self):
+        common = A + B
+        r = Rational((S + 1) * common, common)
+        reduced = r.cancel()
+        assert reduced.is_polynomial()
+        assert reduced.num.allclose(S + 1)
+
+    def test_noncancellable_unchanged(self):
+        r = Rational(A, B)
+        assert r.cancel() is r
+
+
+class TestMaclaurin:
+    def test_single_pole(self):
+        # 1 / (1 + s) = 1 - s + s^2 - ...
+        r = Rational(Poly.one(SP), S + 1)
+        coeffs = [c.evaluate({"s": 0, "a": 0, "b": 0}) for c in r.maclaurin("s", 4)]
+        assert coeffs == pytest.approx([1, -1, 1, -1, 1])
+
+    def test_symbolic_rc_moments(self):
+        # H = 1/(1 + s a b): moments m_k = (-ab)^k
+        r = Rational(Poly.one(SP), S * A * B + 1)
+        moments = r.maclaurin("s", 3)
+        pt = {"s": 0.0, "a": 2.0, "b": 3.0}
+        vals = [m.evaluate(pt) for m in moments]
+        assert vals == pytest.approx([1.0, -6.0, 36.0, -216.0])
+
+    def test_geometric_with_numerator(self):
+        # (1 + 2s) / (1 - s) = 1 + 3s + 3s^2 + 3s^3 ...
+        r = Rational(2 * S + 1, 1 - S)
+        vals = [m.evaluate({"s": 0, "a": 0, "b": 0}) for m in r.maclaurin("s", 3)]
+        assert vals == pytest.approx([1, 3, 3, 3])
+
+    def test_pole_at_zero_raises(self):
+        with pytest.raises(SymbolicError):
+            Rational(Poly.one(SP), S).maclaurin("s", 2)
+
+    @given(polys(SP, max_terms=3, max_degree=2), points(SP))
+    @settings(max_examples=30)
+    def test_series_reconstructs_function(self, den_extra, pt):
+        # Build H = 1 / (1 + s*q(a,b)) for random q and check partial sums
+        q = den_extra.substitute("s", 0.0)
+        den = Poly.one(SP) + S * q
+        r = Rational(Poly.one(SP), den)
+        s0 = 0.01
+        qval = q.evaluate(pt)
+        if abs(s0 * qval) > 0.4:
+            return  # series converges like (s0*q)^k: keep the tail < 1e-8
+        full = {"s": s0, "a": pt[1], "b": pt[2]}
+        target = r.evaluate(full)
+        series = sum(m.evaluate(full) * s0 ** k
+                     for k, m in enumerate(r.maclaurin("s", 20)))
+        assert series == pytest.approx(target, rel=1e-6, abs=1e-9)

@@ -1,0 +1,75 @@
+import pytest
+
+from repro.errors import SymbolicError
+from repro.symbolic import Symbol, SymbolSpace
+
+
+class TestSymbol:
+    def test_equality_is_by_name(self):
+        assert Symbol("g") == Symbol("g", nominal=1.0)
+        assert Symbol("g") != Symbol("c")
+        assert hash(Symbol("g")) == hash(Symbol("g", nominal=2.0))
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(SymbolicError):
+            Symbol("")
+        with pytest.raises(SymbolicError):
+            Symbol("1abc")
+
+    def test_with_nominal_preserves_range(self):
+        s = Symbol("g", lo=1.0, hi=2.0)
+        s2 = s.with_nominal(1.5)
+        assert s2.nominal == 1.5
+        assert (s2.lo, s2.hi) == (1.0, 2.0)
+
+    def test_str(self):
+        assert str(Symbol("gout")) == "gout"
+
+
+class TestSymbolSpace:
+    def test_index_and_contains(self):
+        sp = SymbolSpace(["a", "b", "c"])
+        assert sp.index("b") == 1
+        assert sp.index(Symbol("c")) == 2
+        assert "a" in sp
+        assert Symbol("b") in sp
+        assert "zz" not in sp
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(SymbolicError):
+            SymbolSpace(["a", "a"])
+
+    def test_unknown_symbol_raises(self):
+        sp = SymbolSpace(["a"])
+        with pytest.raises(SymbolicError):
+            sp.index("b")
+
+    def test_equality_order_sensitive(self):
+        assert SymbolSpace(["a", "b"]) == SymbolSpace(["a", "b"])
+        assert SymbolSpace(["a", "b"]) != SymbolSpace(["b", "a"])
+
+    def test_union_preserves_order_and_dedups(self):
+        u = SymbolSpace(["a", "b"]).union(SymbolSpace(["b", "c"]))
+        assert u.names == ("a", "b", "c")
+
+    def test_without(self):
+        sp = SymbolSpace(["a", "b", "c"]).without("b")
+        assert sp.names == ("a", "c")
+
+    def test_exponent_helpers(self):
+        sp = SymbolSpace(["a", "b", "c"])
+        assert sp.zero_exponents() == (0, 0, 0)
+        assert sp.unit_exponents("b") == (0, 1, 0)
+
+    def test_values_vector_from_mapping_and_sequence(self):
+        sp = SymbolSpace([Symbol("a"), Symbol("b", nominal=7.0)])
+        assert sp.values_vector({"a": 1.0, "b": 2.0}) == (1.0, 2.0)
+        assert sp.values_vector({Symbol("a"): 3.0}) == (3.0, 7.0)  # nominal fallback
+        assert sp.values_vector([4.0, 5.0]) == (4.0, 5.0)
+
+    def test_values_vector_missing_raises(self):
+        sp = SymbolSpace(["a", "b"])
+        with pytest.raises(SymbolicError):
+            sp.values_vector({"a": 1.0})
+        with pytest.raises(SymbolicError):
+            sp.values_vector([1.0])

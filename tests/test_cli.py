@@ -1,0 +1,127 @@
+import pytest
+
+from repro.cli import main
+
+LINEAR = """* demo lowpass
+Vin in 0 AC 1
+R1 in out 1k
+C1 out 0 1n
+.end
+"""
+
+DEVICE = """* one-transistor amplifier
+Vcc vcc 0 10
+Vin b 0 DC 0.65 AC 1
+Rc vcc c 5k
+Q1 c b 0 IS=1e-15 BF=100 VAF=75 CJE=2p CJC=1p TF=0.5n
+.end
+"""
+
+
+@pytest.fixture
+def linear_netlist(tmp_path):
+    path = tmp_path / "lowpass.sp"
+    path.write_text(LINEAR)
+    return path
+
+
+@pytest.fixture
+def device_netlist(tmp_path):
+    path = tmp_path / "amp.sp"
+    path.write_text(DEVICE)
+    return path
+
+
+class TestAnalyze:
+    def test_plain_awe(self, linear_netlist, capsys):
+        rc = main(["analyze", str(linear_netlist), "-o", "out", "--order", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dc gain     1" in out
+        assert "pole -1e+06" in out
+
+    def test_explicit_symbols(self, linear_netlist, capsys):
+        rc = main(["analyze", str(linear_netlist), "-o", "out",
+                   "--symbols", "C1", "--order", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "symbolic blocks: C1" in out
+        assert "symbolic first-order pole" in out
+
+    def test_auto_symbols(self, linear_netlist, capsys):
+        rc = main(["analyze", str(linear_netlist), "-o", "out",
+                   "--auto-symbols", "2", "--order", "1"])
+        assert rc == 0
+        assert "symbolic blocks" in capsys.readouterr().out
+
+    def test_at_overrides(self, linear_netlist, capsys):
+        rc = main(["analyze", str(linear_netlist), "-o", "out",
+                   "--symbols", "C1", "--order", "1", "--at", "C1=2n"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "at C1=2n" in out
+        assert "-500000" in out  # pole halves when C doubles
+
+    def test_devices_flow(self, device_netlist, capsys):
+        rc = main(["analyze", str(device_netlist), "-o", "c", "--devices",
+                   "--order", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DC operating point" in out
+        assert "Q1" in out
+        assert "dc gain" in out
+
+    def test_bad_at_spec(self, linear_netlist, capsys):
+        rc = main(["analyze", str(linear_netlist), "-o", "out",
+                   "--symbols", "C1", "--at", "C1"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_output_reports_error(self, linear_netlist, capsys):
+        rc = main(["analyze", str(linear_netlist), "-o", "nope"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSaveEvaluate:
+    def test_save_then_evaluate(self, linear_netlist, tmp_path, capsys):
+        saved = tmp_path / "model.json"
+        rc = main(["analyze", str(linear_netlist), "-o", "out",
+                   "--symbols", "C1", "--order", "1",
+                   "--save", str(saved)])
+        assert rc == 0
+        assert saved.exists()
+        capsys.readouterr()
+        rc = main(["evaluate", str(saved), "--at", "C1=2n"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "saved model" in out
+        assert "-500000" in out  # pole at doubled C
+
+    def test_evaluate_bad_override(self, linear_netlist, tmp_path, capsys):
+        saved = tmp_path / "model.json"
+        main(["analyze", str(linear_netlist), "-o", "out",
+              "--symbols", "C1", "--order", "1", "--save", str(saved)])
+        capsys.readouterr()
+        rc = main(["evaluate", str(saved), "--at", "R1=5"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMisc:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_figures_command(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SEGMENTS", "25")
+        import repro.reporting.figures as figures
+        monkeypatch.setattr(figures, "GRID_N", 2)
+        rc = main(["figures", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "table1_runtimes.csv").exists()

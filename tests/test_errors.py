@@ -1,0 +1,30 @@
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    for cls in (errors.CircuitError, errors.SingularCircuitError,
+                errors.ConvergenceError, errors.SymbolicError,
+                errors.ApproximationError, errors.PartitionError,
+                errors.NetlistError):
+        assert issubclass(cls, errors.ReproError)
+    assert issubclass(errors.NetlistError, errors.CircuitError)
+
+
+def test_netlist_error_formats_line_context():
+    err = errors.NetlistError("bad value", line_no=3, line="R1 a b zz\n")
+    text = str(err)
+    assert "line 3" in text
+    assert "R1 a b zz" in text
+
+
+def test_netlist_error_without_context():
+    err = errors.NetlistError("plain")
+    assert str(err) == "plain"
+    assert err.line_no is None
+
+
+def test_single_catch_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.ApproximationError("boom")

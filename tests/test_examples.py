@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run end-to-end.
+
+The examples double as integration tests of the public API; scale knobs
+are shrunk through environment variables where available so the whole
+suite stays fast.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SEGMENTS", "40")
+    path = EXAMPLES / name
+    assert path.exists(), path
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example("quickstart.py", monkeypatch, capsys)
+    assert "paper eq. 5" in out
+    assert "[ok]" in out
+
+
+def test_interconnect_tree(monkeypatch, capsys):
+    out = run_example("interconnect_tree.py", monkeypatch, capsys)
+    assert "selected symbols" in out
+    assert "[ok]" in out
+
+
+def test_coupled_lines(monkeypatch, capsys):
+    out = run_example("coupled_lines.py", monkeypatch, capsys)
+    assert "Figure 9" in out and "Figure 10" in out
+    assert "[ok]" in out
+
+
+def test_cmos_ota(monkeypatch, capsys):
+    out = run_example("cmos_ota.py", monkeypatch, capsys)
+    assert "compensation design sweep" in out
+    assert "[ok]" in out
+
+
+@pytest.mark.slow
+def test_opamp_741(monkeypatch, capsys):
+    out = run_example("opamp_741.py", monkeypatch, capsys)
+    assert "Figure 4" in out and "Table-1" in out

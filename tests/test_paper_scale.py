@@ -1,0 +1,72 @@
+"""Paper-scale integration: both §3 experiments at their published sizes.
+
+These run the complete pipeline at the exact scale the paper reports
+(1000-segment coupled lines; the full linearized 741) rather than the
+reduced sizes most tests use.
+"""
+
+import numpy as np
+import pytest
+
+from repro import awesymbolic
+from repro.awe import awe
+from repro.circuits.library import paper_coupled_lines, small_signal_741
+from repro.circuits.library.coupled_lines import PAPER_SEGMENTS, victim_output
+
+
+class TestCoupledLinesAtPaperScale:
+    @pytest.fixture(scope="class")
+    def model(self):
+        ckt = paper_coupled_lines()  # 1000 segments, 5006 elements
+        out = victim_output()
+        return ckt, out, awesymbolic(ckt, out, symbols=["Rdrv1", "Cload2"],
+                                     order=2)
+
+    def test_circuit_size_matches_paper(self, model):
+        ckt, _, _ = model
+        stats = ckt.stats()
+        assert stats["nodes"] == 2 * PAPER_SEGMENTS + 4
+        assert stats["storage"] == 3 * PAPER_SEGMENTS + 2
+
+    def test_symbolic_equals_numeric_at_scale(self, model):
+        ckt, out, res = model
+        check = ckt.copy()
+        check.replace_value("Rdrv1", 200.0)
+        ref = awe(check, out, order=2).model
+        got = res.rom({"Rdrv1": 200.0})
+        t = np.linspace(0.0, 5e-9, 50)
+        np.testing.assert_allclose(got.step_response(t),
+                                   ref.step_response(t), atol=1e-6)
+
+    def test_crosstalk_pulse_shape(self, model):
+        _, _, res = model
+        rom = res.rom({})
+        assert rom.dc_gain() == pytest.approx(0.0, abs=1e-9)
+        t_pk, v_pk = rom.peak_response()
+        assert 0.1e-9 < t_pk < 3e-9
+        assert 0.05 < v_pk < 0.5  # a real but sub-rail coupling pulse
+
+    def test_compiled_iteration_is_microseconds(self, model):
+        import timeit
+        _, _, res = model
+        t = timeit.timeit(lambda: res.rom({"Rdrv1": 99.0}), number=200) / 200
+        assert t < 2e-3  # orders below the ~30 ms full AWE at this scale
+
+
+class Test741AtPaperScale:
+    def test_full_pipeline_metrics(self):
+        from repro.core.metrics import phase_margin, unity_gain_frequency
+        ss = small_signal_741()
+        res = awesymbolic(ss.circuit, "out", symbols=["go_Q14", "Ccomp"],
+                          order=2)
+        rom = res.rom({})
+        assert 3e4 < abs(rom.dc_gain()) < 1e6
+        fu = unity_gain_frequency(rom) / (2 * np.pi)
+        assert 0.3e6 < fu < 3e6
+        assert 40.0 < phase_margin(rom) < 110.0
+        # identical to numeric AWE at an off-nominal point
+        check = ss.circuit.copy()
+        check.replace_value("Ccomp", 45e-12)
+        ref = awe(check, "out", order=2).model
+        assert res.rom({"Ccomp": 45e-12}).dominant_pole().real == \
+            pytest.approx(ref.dominant_pole().real, rel=1e-6)

@@ -1,0 +1,42 @@
+"""The netlists shipped under examples/netlists/ must analyze cleanly."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+NETLISTS = Path(__file__).resolve().parent.parent / "examples" / "netlists"
+
+
+def test_fig1(capsys):
+    rc = main(["analyze", str(NETLISTS / "fig1.sp"), "-o", "out",
+               "--symbols", "G2,C1,C2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "3 symbolic blocks" in out
+    assert "dc gain     1" in out
+
+
+def test_interconnect_auto_symbols(capsys):
+    rc = main(["analyze", str(NETLISTS / "interconnect.sp"), "-o", "n5",
+               "--auto-symbols", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "symbolic blocks" in out
+    assert "50% delay" in out
+
+
+def test_ce_amp_devices(capsys):
+    rc = main(["analyze", str(NETLISTS / "ce_amp.sp"), "-o", "c",
+               "--devices", "--order", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "DC operating point" in out
+    assert "dc gain" in out
+
+
+def test_every_shipped_netlist_is_referenced():
+    for path in NETLISTS.glob("*.sp"):
+        text = path.read_text()
+        assert "analyze with:" in text, path  # self-documenting decks

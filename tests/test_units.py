@@ -1,0 +1,71 @@
+import math
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.units import db20, format_value, parse_value
+
+
+class TestParseValue:
+    @pytest.mark.parametrize("text,expected", [
+        ("10", 10.0),
+        ("10k", 10e3),
+        ("4.7K", 4.7e3),
+        ("2.2u", 2.2e-6),
+        ("100n", 100e-9),
+        ("3p", 3e-12),
+        ("5f", 5e-15),
+        ("1meg", 1e6),
+        ("1MEG", 1e6),
+        ("2m", 2e-3),
+        ("1g", 1e9),
+        ("1t", 1e12),
+        ("-3.3", -3.3),
+        ("1e-9", 1e-9),
+        ("1.5E6", 1.5e6),
+        (".5", 0.5),
+    ])
+    def test_values(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    def test_unit_tail_ignored(self):
+        assert parse_value("10pF") == pytest.approx(10e-12)
+        assert parse_value("1kOhm") == pytest.approx(1e3)
+        assert parse_value("2.2uF") == pytest.approx(2.2e-6)
+
+    def test_meg_beats_m(self):
+        assert parse_value("1meg") == 1e6
+        assert parse_value("1m") == 1e-3
+
+    def test_numbers_pass_through(self):
+        assert parse_value(5) == 5.0
+        assert parse_value(2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", ["", "abc", "k10", "--3", "1.2.3"])
+    def test_invalid_raises(self, bad):
+        with pytest.raises(NetlistError):
+            parse_value(bad)
+
+
+class TestFormatValue:
+    def test_round_trip(self):
+        for value in [10e3, 2.2e-6, 100e-9, 3e-12, 1e6, 0.5]:
+            assert parse_value(format_value(value)) == pytest.approx(value)
+
+    def test_suffix_selection(self):
+        assert format_value(10e3) == "10k"
+        assert format_value(2.2e-6) == "2.2u"
+        assert format_value(1e6) == "1meg"
+
+    def test_zero_and_nonfinite(self):
+        assert format_value(0.0) == "0"
+        assert format_value(float("inf")) == "inf"
+
+    def test_unit_appended(self):
+        assert format_value(1e-9, unit="F") == "1nF"
+
+
+def test_db20():
+    assert db20(10.0) == pytest.approx(20.0)
+    assert db20(-10.0) == pytest.approx(20.0)
+    assert db20(1.0) == 0.0
