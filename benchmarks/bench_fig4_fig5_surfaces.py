@@ -7,10 +7,13 @@ model; companion checks assert the physical shape (p1 ~ 1/Ccomp via the
 Miller effect, DC gain independent of Ccomp and weakly falling in go).
 """
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.core.metrics import dominant_pole_hz
+from repro.core.metrics import dc_gain, dominant_pole_hz
+from repro.runtime import RuntimeStats
 
 GRID_N = 12
 
@@ -37,8 +40,7 @@ def test_fig4_dominant_pole_surface(benchmark, model741, grids):
 
 @pytest.mark.benchmark(group="fig4-fig5")
 def test_fig5_dc_gain_surface(benchmark, model741, grids):
-    surface = benchmark(model741.model.sweep, grids,
-                        lambda m: m.dc_gain(), 1)
+    surface = benchmark(model741.model.sweep, grids, dc_gain, 1)
     assert np.all(surface > 1e4)  # 741-class open-loop gain everywhere
     # DC gain is independent of the compensation capacitor
     np.testing.assert_allclose(
@@ -69,6 +71,48 @@ def test_fig4_fig5_vectorized_first_order(benchmark, model741, grids):
         {"go_Q14": float(grids["go_Q14"][3]), "Ccomp": float(grids["Ccomp"][5])},
         order=1)
     assert pole[3, 5] == pytest.approx(rom.poles[0].real, rel=1e-9)
+
+
+def test_batched_speedup_64x64(model741):
+    """Acceptance: the batched runtime beats the per-point loop by >= 5x on
+    a 64 x 64 grid while producing tolerance-identical surfaces, and its
+    stats separate one-time compile cost from per-sweep evaluation."""
+    go_nom = model741.partition.symbolic[0].symbol.nominal
+    grids = {"go_Q14": np.linspace(0.5, 4.0, 64) * go_nom,
+             "Ccomp": np.linspace(10e-12, 60e-12, 64)}
+    model = model741.model
+
+    t0 = time.perf_counter()
+    legacy = model.sweep_per_point(grids, dominant_pole_hz)
+    t_legacy = time.perf_counter() - t0
+
+    stats = RuntimeStats()
+    t0 = time.perf_counter()
+    batched = model.sweep(grids, dominant_pole_hz, stats=stats)
+    t_batched = time.perf_counter() - t0
+
+    np.testing.assert_allclose(batched, legacy, rtol=1e-9)
+    assert stats.points == 64 * 64
+    assert stats.vectorized_points + stats.fallback_points == 64 * 64
+    # compile (one-time) and evaluate (per-sweep) are reported separately
+    assert stats.compile_seconds > 0.0
+    assert stats.evaluate_seconds > 0.0
+    speedup = t_legacy / t_batched
+    print(f"\n64x64 dominant-pole surface: per-point {t_legacy * 1e3:.1f} ms,"
+          f" batched {t_batched * 1e3:.1f} ms -> {speedup:.0f}x")
+    assert speedup >= 5.0, f"batched speedup only {speedup:.1f}x"
+
+
+@pytest.mark.benchmark(group="fig4-fig5")
+def test_batched_sweep_64x64_sharded(benchmark, model741):
+    """The same 64 x 64 surface through 4 shards on a thread pool."""
+    go_nom = model741.partition.symbolic[0].symbol.nominal
+    grids = {"go_Q14": np.linspace(0.5, 4.0, 64) * go_nom,
+             "Ccomp": np.linspace(10e-12, 60e-12, 64)}
+    surface = benchmark(model741.model.sweep, grids, dc_gain, 1,
+                        shards=4, max_workers=4)
+    assert surface.shape == (64, 64)
+    assert np.all(np.isfinite(surface))
 
 
 def test_multilinearity_structure(model741):

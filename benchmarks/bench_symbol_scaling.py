@@ -60,6 +60,28 @@ def test_compiled_eval_vs_symbol_count(benchmark, n_symbols):
     benchmark.extra_info["n_ops"] = compiled.n_ops
 
 
+@pytest.mark.benchmark(group="symbol-scaling-eval")
+@pytest.mark.parametrize("n_symbols", [1, 2, 4])
+def test_batched_grid_eval_vs_symbol_count(benchmark, n_symbols):
+    """256-point grid through the batched runtime at each symbol count —
+    the array analogue of the scalar per-iteration bench above."""
+    from repro.core.compiled_model import CompiledAWEModel
+    from repro.core.metrics import dc_gain
+    from repro.runtime import RuntimeStats
+
+    ckt, picks = ladder_and_symbols(n_symbols)
+    out = f"n{N_SECTIONS}"
+    part = partition(ckt, picks, output=out)
+    model = CompiledAWEModel(part, symbolic_moments(part, out, ORDER),
+                             order=2)
+    grids = {picks[0]: np.linspace(50.0, 200.0, 256)}
+    stats = RuntimeStats()
+    values = benchmark(model.sweep, grids, dc_gain, 2, True, stats=stats)
+    assert values.shape == (256,)
+    assert np.all(np.isfinite(values))
+    benchmark.extra_info["n_ops"] = model.n_ops
+
+
 def test_multilinearity_of_determinant_any_symbol_count():
     """The composite determinant stays multilinear however many symbols."""
     for n_symbols in (1, 2, 3, 4):

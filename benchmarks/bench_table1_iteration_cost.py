@@ -87,6 +87,24 @@ def test_sweep_100_points_awesymbolic(benchmark, model741, rng):
 
 
 @pytest.mark.benchmark(group="table1-sweep")
+def test_sweep_100_points_batched_runtime(benchmark, model741, rng):
+    """The same 100 datapoints through the batched runtime: one compiled
+    array evaluation instead of 100 scalar rom() calls."""
+    from repro.core.metrics import dc_gain
+
+    ccomps = np.sort(rng.uniform(10e-12, 60e-12, size=100))
+
+    def sweep():
+        return model741.model.sweep({"Ccomp": ccomps}, dc_gain)
+
+    gains = benchmark(sweep)
+    assert gains.shape == (100,)
+    reference = [model741.model.rom({"Ccomp": float(c)}).dc_gain()
+                 for c in ccomps]
+    np.testing.assert_allclose(gains, reference, rtol=1e-9)
+
+
+@pytest.mark.benchmark(group="table1-sweep")
 def test_sweep_100_points_numeric_awe(benchmark, ss741, rng):
     """100 datapoints via repeated numeric AWE (Table 1, middle row)."""
     ccomps = rng.uniform(10e-12, 60e-12, size=100)

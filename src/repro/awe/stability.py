@@ -13,7 +13,7 @@ import numpy as np
 
 from ..errors import ApproximationError
 from .model import ReducedOrderModel
-from .pade import poles_and_residues
+from .pade import fast_poles_residues, poles_and_residues
 from .scaling import moment_scale, scale_moments, unscale_poles, unscale_residues
 
 
@@ -55,3 +55,29 @@ def stable_reduction(moments: np.ndarray, order: int,
         dropped += 1
     raise ApproximationError(
         "no stable Padé reduction found:\n  " + "\n  ".join(failures))
+
+
+def rom_from_moments(moments, order: int,
+                     require_stable: bool = True) -> ReducedOrderModel:
+    """Reduced-order model from already-computed numeric moments.
+
+    The shared per-point evaluation tail of every compiled-model path
+    (:meth:`CompiledAWEModel.rom`, :meth:`LoadedModel.rom`, and the
+    batched runtime's fallback): orders 1-2 take the closed-form
+    pure-Python Padé, anything degenerate/unstable or higher-order goes
+    through the general scaled Hankel solve with stable order fallback.
+
+    Raises:
+        ApproximationError: no (stable) model at any order down to 1.
+    """
+    q = int(order)
+    if q <= 2:
+        try:
+            poles, residues = fast_poles_residues(moments, q)
+            model = ReducedOrderModel(poles, residues, order_requested=q)
+            if model.stable or not require_stable:
+                return model
+        except ApproximationError:
+            pass  # fall through to the general path
+    return stable_reduction(np.asarray(moments, dtype=float), q,
+                            require_stable=require_stable)

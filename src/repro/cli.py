@@ -49,6 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "off-nominal element value (repeatable)")
     analyze.add_argument("--save", type=Path, default=None, metavar="FILE",
                          help="save the compiled symbolic model as JSON")
+    analyze.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                         help="cache derived symbolic programs here; "
+                              "repeat runs skip the symbolic solve")
 
     evaluate = sub.add_parser("evaluate",
                               help="evaluate a saved compiled model "
@@ -57,6 +60,21 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--at", action="append", default=[],
                           metavar="NAME=VALUE",
                           help="element value override (repeatable)")
+    evaluate.add_argument("--sweep", action="append", default=[],
+                          metavar="NAME=START:STOP:N",
+                          help="sweep an element over a linear grid "
+                              "(repeatable; grids combine cartesian)")
+    evaluate.add_argument("--metric", default="dominant_pole_hz",
+                          help="metric for --sweep (a repro.core.metrics "
+                               "function name; default dominant_pole_hz)")
+    evaluate.add_argument("--shards", type=int, default=None,
+                          help="split the sweep grid into N chunks")
+    evaluate.add_argument("--workers", type=int, default=None,
+                          help="thread-pool width for sweep shards")
+    evaluate.add_argument("--stats", action="store_true",
+                          help="print runtime statistics for the sweep")
+    evaluate.add_argument("--csv", type=Path, default=None, metavar="FILE",
+                          help="write sweep results as CSV")
 
     figures = sub.add_parser("figures",
                              help="regenerate the paper's figure data (CSV)")
@@ -102,10 +120,20 @@ def cmd_analyze(args) -> int:
         _print_model(result.model)
         return 0
 
-    from . import awesymbolic
+    if args.cache_dir is not None:
+        from .runtime import ProgramCache
 
-    res = awesymbolic(circuit, args.output, symbols=symbols,
-                      n_symbols=max(args.auto_symbols, 1), order=args.order)
+        cache = ProgramCache(disk_dir=args.cache_dir)
+        res = cache.get_or_build(circuit, args.output, symbols=symbols,
+                                 n_symbols=max(args.auto_symbols, 1),
+                                 order=args.order)
+        print(cache.stats.summary())
+    else:
+        from . import awesymbolic
+
+        res = awesymbolic(circuit, args.output, symbols=symbols,
+                          n_symbols=max(args.auto_symbols, 1),
+                          order=args.order)
     print(res.partition.summary())
     print(f"compiled model: {res.model.n_ops} ops per evaluation")
     if res.first_order is not None:
@@ -130,12 +158,69 @@ def _parse_at(spec: str) -> dict:
     return {name.strip(): parse_value(value)}
 
 
+def _parse_sweep(spec: str):
+    from .units import parse_value
+
+    name, _, rng = spec.partition("=")
+    parts = rng.split(":")
+    if len(parts) != 3:
+        raise ReproError(f"--sweep needs NAME=START:STOP:N, got {spec!r}")
+    try:
+        n = int(parts[2])
+    except ValueError:
+        raise ReproError(f"--sweep point count must be an integer, "
+                         f"got {parts[2]!r}") from None
+    return name.strip(), np.linspace(parse_value(parts[0]),
+                                     parse_value(parts[1]), n)
+
+
+def _run_sweep(loaded, args) -> int:
+    from .core import metrics as metrics_mod
+    from .runtime import RuntimeStats
+
+    metric = getattr(metrics_mod, args.metric, None)
+    if not callable(metric):
+        raise ReproError(f"unknown metric {args.metric!r} "
+                         f"(see repro.core.metrics)")
+    grids = dict(_parse_sweep(s) for s in args.sweep)
+    stats = RuntimeStats()
+    z = loaded.sweep(grids, metric, shards=args.shards,
+                     max_workers=args.workers, stats=stats)
+    names = list(grids)
+    axes = " x ".join(f"{n}[{len(grids[n])}]" for n in names)
+    finite = np.isfinite(z.real if np.iscomplexobj(z) else z)
+    print(f"sweep {args.metric} over {axes}: {z.size} points, "
+          f"{int((~finite).sum())} NaN")
+    if finite.any():
+        vals = z[finite]
+        if np.iscomplexobj(vals):
+            print(f"  |min| {np.abs(vals).min():.6g}   "
+                  f"|max| {np.abs(vals).max():.6g}")
+        else:
+            print(f"  min {vals.min():.6g}   max {vals.max():.6g}")
+    if args.csv is not None:
+        mesh = np.meshgrid(*[grids[n] for n in names], indexing="ij")
+        flat = [m.reshape(-1) for m in mesh]
+        lines = [",".join(names + [args.metric])]
+        cast = complex if np.iscomplexobj(z) else float
+        for i, v in enumerate(z.reshape(-1)):
+            lines.append(",".join([repr(float(c[i])) for c in flat]
+                                  + [repr(cast(v))]))
+        args.csv.write_text("\n".join(lines) + "\n")
+        print(f"wrote {args.csv}")
+    if args.stats:
+        print(stats.summary())
+    return 0
+
+
 def cmd_evaluate(args) -> int:
     from .core.serialize import model_from_json
 
     loaded = model_from_json(args.model.read_text())
     print(f"saved model: {loaded.title!r}, output {loaded.output!r}, "
           f"symbols {list(loaded.element_slots)}")
+    if args.sweep:
+        return _run_sweep(loaded, args)
     _print_model(loaded.rom({}), label="nominal model")
     for spec in args.at:
         _print_model(loaded.rom(_parse_at(spec)), label=f"at {spec}")

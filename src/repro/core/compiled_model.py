@@ -14,14 +14,14 @@ values (enforced by tests), only orders of magnitude cheaper per iteration.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..awe.model import ReducedOrderModel
-from ..awe.pade import fast_poles_residues
-from ..awe.stability import stable_reduction
+from ..awe.stability import rom_from_moments
 from ..errors import ApproximationError
 from ..partition.blocks import CircuitPartition
 from ..partition.composite import CompiledMoments, SymbolicMoments
@@ -55,7 +55,11 @@ class CompiledAWEModel:
         self.partition = partition
         self.moments = moments
         self.order = order
+        t0 = time.perf_counter()
         self.compiled_moments: CompiledMoments = moments.compile()
+        #: one-time program compilation cost, reported separately from
+        #: per-sweep evaluation by RuntimeStats (the Table 1 split)
+        self.compile_seconds: float = time.perf_counter() - t0
         self.first_order = first_order
         self.second_order = second_order
         self._compiled_first = first_order.compile() if first_order else None
@@ -77,6 +81,12 @@ class CompiledAWEModel:
         """Arithmetic operations per moment evaluation (the paper's
         "reduced set of operations")."""
         return self.compiled_moments.n_ops
+
+    @property
+    def element_slots(self) -> Mapping[str, tuple]:
+        """``element name -> (symbol position, value transform)`` — the
+        lookup table the batched runtime uses to build argument columns."""
+        return self._slot
 
     def symbol_values(self, element_values: Mapping[str, float] | None = None,
                       ) -> dict[str, float]:
@@ -124,16 +134,7 @@ class CompiledAWEModel:
                 f"model compiled with {len(self.moments.numerators)} moments; "
                 f"order {q} needs {2 * q}")
         moments = self.compiled_moments.scalars(vec)
-        if q <= 2:
-            try:
-                poles, residues = fast_poles_residues(moments, q)
-                model = ReducedOrderModel(poles, residues, order_requested=q)
-                if model.stable or not require_stable:
-                    return model
-            except ApproximationError:
-                pass  # fall through to the general path
-        return stable_reduction(np.asarray(moments), q,
-                                require_stable=require_stable)
+        return rom_from_moments(moments, q, require_stable=require_stable)
 
     def rom_closed_form(self, element_values: Mapping[str, float] | None = None,
                         order: int = 2) -> ReducedOrderModel:
@@ -197,24 +198,76 @@ class CompiledAWEModel:
     def sweep(self, grids: Mapping[str, np.ndarray],
               metric: Callable[[ReducedOrderModel], float],
               order: int | None = None,
-              require_stable: bool = True) -> np.ndarray:
+              require_stable: bool = True, *,
+              vectorized: bool = True,
+              shards: int | None = None,
+              max_workers: int | None = None,
+              stats=None) -> np.ndarray:
         """Evaluate ``metric`` over the cartesian product of element-value grids.
+
+        Runs through the batched runtime (:func:`repro.runtime.batched_sweep`)
+        by default: the compiled moment program evaluates the whole grid in
+        one array call, with closed-form order-1/2 Padé vectorized and a
+        per-point fallback only at degenerate/unstable points.  Pass
+        ``vectorized=False`` to force the legacy per-point loop
+        (:meth:`sweep_per_point`) — differential tests hold the two paths
+        tolerance-identical, NaN placement included.
 
         Args:
             grids: ``{element_name: 1-D value array}``; the output array has
                 one axis per grid, in the given order.
             metric: function of a :class:`ReducedOrderModel` (e.g.
                 :func:`repro.core.metrics.phase_margin`).
+            order: Padé order (default: the model's compiled order).
+            require_stable: demand stable poles, retrying lower orders.
+            vectorized: use the batched runtime (default) or the per-point
+                oracle.
+            shards: split the flattened grid into this many chunks
+                (batched path only; default one per worker).
+            max_workers: thread-pool width for shard execution (default
+                serial).
+            stats: optional :class:`repro.runtime.RuntimeStats` filled
+                with per-stage timers and point counters.
 
         Points where the Padé degenerates yield NaN rather than aborting
-        the sweep.
+        the sweep.  The output is float unless the metric produces complex
+        values, in which case the complex values are preserved.
         """
+        if not vectorized:
+            return self.sweep_per_point(grids, metric, order=order,
+                                        require_stable=require_stable)
+        from ..runtime.batched import batched_sweep  # lazy: avoids cycle
+
+        return batched_sweep(self, grids, metric, order=order,
+                             require_stable=require_stable, shards=shards,
+                             max_workers=max_workers, stats=stats)
+
+    def sweep_per_point(self, grids: Mapping[str, np.ndarray],
+                        metric: Callable[[ReducedOrderModel], float],
+                        order: int | None = None,
+                        require_stable: bool = True) -> np.ndarray:
+        """Reference per-point sweep (the batched runtime's correctness oracle).
+
+        Walks the cartesian grid one :meth:`rom` call at a time.  Kept
+        deliberately simple; ``tests/runtime/test_differential.py`` pins
+        :meth:`sweep` to this path bit-for-bit on NaN placement and to
+        tight tolerance on values.
+        """
+        q = self.order if order is None else int(order)
+        if 2 * q > len(self.moments.numerators):
+            raise ApproximationError(
+                f"model compiled with {len(self.moments.numerators)} moments; "
+                f"order {q} needs {2 * q}")
         names = list(grids)
+        for name in names:
+            if name not in self._slot:
+                raise ApproximationError(
+                    f"{name!r} is not a symbolic element of this model "
+                    f"(symbols: {list(self._slot)})")
         axes = [np.asarray(grids[n], dtype=float) for n in names]
         shape = tuple(len(a) for a in axes)
-        out = np.empty(shape)
-        it = np.ndindex(*shape)
-        for idx in it:
+        out = np.full(shape, np.nan, dtype=complex)
+        for idx in np.ndindex(*shape):
             values = {n: float(a[i]) for n, a, i in zip(names, axes, idx)}
             try:
                 model = self.rom(values, order=order,
@@ -222,6 +275,8 @@ class CompiledAWEModel:
                 out[idx] = metric(model)
             except ApproximationError:
                 out[idx] = np.nan
+        if np.all((out.imag == 0.0) | np.isnan(out.imag)):
+            return out.real.copy()  # 0-d safe, unlike ascontiguousarray
         return out
 
     def __repr__(self) -> str:

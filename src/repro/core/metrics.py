@@ -15,6 +15,17 @@ from ..awe.model import ReducedOrderModel
 from ..errors import ApproximationError
 
 
+def dc_gain(model: ReducedOrderModel) -> float:
+    """``H(0)`` as a free function (Fig. 5's quantity).
+
+    Identical to :meth:`ReducedOrderModel.dc_gain`; exposed as a module
+    function so batched sweeps can recognize it and evaluate whole grids
+    through the vectorized runtime (see
+    :data:`repro.runtime.batched.VECTOR_METRICS`).
+    """
+    return model.dc_gain()
+
+
 def _frequency_bracket(model: ReducedOrderModel) -> tuple[float, float]:
     mags = np.abs(model.poles)
     return float(mags.min()) * 1e-4, float(mags.max()) * 1e4

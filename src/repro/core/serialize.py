@@ -12,16 +12,18 @@ touching the circuit again.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
-from typing import Mapping
+from functools import cached_property
+from typing import Callable, Mapping
 
 import numpy as np
 
 from ..awe.model import ReducedOrderModel
-from ..awe.pade import fast_poles_residues
-from ..awe.stability import stable_reduction
+from ..awe.stability import rom_from_moments
 from ..errors import ApproximationError, SymbolicError
-from ..symbolic import Poly, Symbol, SymbolSpace
+from ..partition.composite import CompiledMoments
+from ..symbolic import Poly, Symbol, SymbolSpace, compile_rationals
 from .awesymbolic import AWESymbolicResult
 
 #: registry of element-value -> symbol-value transforms by name
@@ -108,22 +110,58 @@ class LoadedModel:
         return np.array(out)
 
     def rom(self, element_values: Mapping[str, float] | None = None,
-            order: int | None = None) -> ReducedOrderModel:
+            order: int | None = None,
+            require_stable: bool = True) -> ReducedOrderModel:
         q = self.order if order is None else order
         moments = self.moments_at(element_values)
         if len(moments) < 2 * q:
             raise ApproximationError(
                 f"saved model has {len(moments)} moments; order {q} "
                 f"needs {2 * q}")
-        if q <= 2:
-            try:
-                poles, residues = fast_poles_residues(list(moments), q)
-                model = ReducedOrderModel(poles, residues, order_requested=q)
-                if model.stable:
-                    return model
-            except ApproximationError:
-                pass
-        return stable_reduction(moments, q)
+        return rom_from_moments(list(moments), q,
+                                require_stable=require_stable)
+
+    # ------------------------------------------------------------------
+    # batched evaluation (repro.runtime)
+    # ------------------------------------------------------------------
+    @cached_property
+    def _compiled(self) -> tuple[CompiledMoments, float]:
+        """Compile the saved polynomials back into a straight-line program
+        (once, on first batched use), recording the compile time."""
+        t0 = time.perf_counter()
+        fn = compile_rationals(
+            self.space, list(self.numerators) + [self.det],
+            output_names=[f"n{k}" for k in range(len(self.numerators))]
+            + ["det"])
+        cm = CompiledMoments(fn=fn, order=len(self.numerators) - 1)
+        return cm, time.perf_counter() - t0
+
+    @property
+    def compiled_moments(self) -> CompiledMoments:
+        return self._compiled[0]
+
+    @property
+    def compile_seconds(self) -> float:
+        return self._compiled[1]
+
+    def sweep(self, grids: Mapping[str, np.ndarray],
+              metric: Callable[[ReducedOrderModel], float],
+              order: int | None = None,
+              require_stable: bool = True, *,
+              shards: int | None = None,
+              max_workers: int | None = None,
+              stats=None) -> np.ndarray:
+        """Batched metric sweep over element-value grids.
+
+        Same semantics as :meth:`CompiledAWEModel.sweep` — a loaded model
+        is a full citizen of the batched runtime, so saved programs can
+        drive design-space exploration without re-deriving anything.
+        """
+        from ..runtime.batched import batched_sweep  # lazy: avoids cycle
+
+        return batched_sweep(self, grids, metric, order=order,
+                             require_stable=require_stable, shards=shards,
+                             max_workers=max_workers, stats=stats)
 
 
 def model_from_dict(data: dict) -> LoadedModel:

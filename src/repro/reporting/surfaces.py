@@ -45,9 +45,18 @@ def sweep_surface(model: CompiledAWEModel, x_name: str, x: np.ndarray,
                   y_name: str, y: np.ndarray,
                   metric: Callable[[ReducedOrderModel], float],
                   metric_name: str = "metric",
-                  order: int | None = None) -> SurfaceData:
-    """Sample ``metric`` over an ``x × y`` element-value grid."""
-    z = model.sweep({x_name: x, y_name: y}, metric, order=order)
+                  order: int | None = None,
+                  shards: int | None = None,
+                  max_workers: int | None = None,
+                  stats=None) -> SurfaceData:
+    """Sample ``metric`` over an ``x × y`` element-value grid.
+
+    Runs through the batched runtime; pass a
+    :class:`repro.runtime.RuntimeStats` as ``stats`` to collect per-stage
+    cost, and ``shards``/``max_workers`` to parallelize large grids.
+    """
+    z = model.sweep({x_name: x, y_name: y}, metric, order=order,
+                    shards=shards, max_workers=max_workers, stats=stats)
     return SurfaceData(x_name=x_name, y_name=y_name,
                        x=np.asarray(x, dtype=float),
                        y=np.asarray(y, dtype=float), z=z,

@@ -1,0 +1,36 @@
+"""Batched sweep runtime: vectorized, sharded evaluation of compiled models.
+
+The compiled straight-line moment programs are numpy-vectorized, so a
+whole parameter grid can flow through them in one call.  This package
+provides:
+
+* :func:`batched_sweep` — array-in/array-out grid sweeps with vectorized
+  closed-form order-1/2 Padé and an exact per-point fallback;
+* :class:`RuntimeStats` — per-stage timers and point counters separating
+  one-time compile cost from per-sweep evaluate cost (Table 1's split);
+* :class:`ProgramCache` / :func:`cached_awesymbolic` — keyed LRU +
+  on-disk caching of derived symbolic programs.
+
+``repro.core`` imports lazily from here (never the reverse at module
+scope) to keep the dependency direction acyclic.
+"""
+
+from .batched import (VECTOR_METRICS, batched_sweep, grid_columns,
+                      vector_metric, vector_poles_residues)
+from .cache import (CacheStats, ProgramCache, cached_awesymbolic,
+                    circuit_fingerprint, default_cache)
+from .stats import RuntimeStats
+
+__all__ = [
+    "VECTOR_METRICS",
+    "CacheStats",
+    "ProgramCache",
+    "RuntimeStats",
+    "batched_sweep",
+    "cached_awesymbolic",
+    "circuit_fingerprint",
+    "default_cache",
+    "grid_columns",
+    "vector_metric",
+    "vector_poles_residues",
+]

@@ -1,0 +1,302 @@
+"""Keyed cache of compiled AWEsymbolic programs.
+
+Deriving a symbolic model is the expensive part of the paper's pipeline
+(partitioning, numeric block condensation, the symbolic moment recursion);
+evaluating it is microseconds.  The :class:`ProgramCache` memoizes the
+derivation so repeated ``analyze`` / ``evaluate`` / benchmark invocations
+skip straight to evaluation:
+
+* **in-memory LRU** keyed on ``(circuit fingerprint, symbol set, output,
+  order, extra options)`` — hits return the live
+  :class:`~repro.core.awesymbolic.AWESymbolicResult`;
+* **optional on-disk layer** storing the serialized evaluatable core via
+  :func:`~repro.core.serialize.model_to_dict`.  A disk hit rebuilds the
+  compiled model from the saved polynomials (re-partitioning the circuit,
+  which is cheap, but skipping the symbolic solve).  Entries record the
+  key they were saved under; any mismatch — a stale file, a changed
+  partition, a tampered entry — is rejected and the model is rebuilt.
+
+Keys are content hashes: the circuit fingerprint covers every element's
+type, name, terminals and value, so *any* circuit edit invalidates the
+cached program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+from ..core.awesymbolic import AWESymbolicResult, awesymbolic
+from ..core.compiled_model import CompiledAWEModel
+from ..core.serialize import (FORMAT_VERSION, LoadedModel, model_from_dict,
+                              model_to_dict)
+from ..errors import SymbolicError
+
+__all__ = [
+    "CacheStats",
+    "ProgramCache",
+    "cached_awesymbolic",
+    "circuit_fingerprint",
+    "default_cache",
+]
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Content hash of a circuit: every element's type, name, terminals and
+    values, independent of insertion order.  Any edit changes the hash."""
+    h = hashlib.sha256()
+    h.update(b"repro-circuit-v1\n")
+    for element in sorted(circuit, key=lambda e: e.name):
+        desc = [type(element).__name__]
+        for f in dataclasses.fields(element):
+            desc.append(f"{f.name}={getattr(element, f.name)!r}")
+        h.update(("|".join(desc) + "\n").encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ProgramCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    stale_rejects: int = 0
+    build_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (f"program cache: {self.hits} hits / {self.misses} misses "
+                f"({self.evictions} evicted), disk {self.disk_hits} hits / "
+                f"{self.disk_misses} misses ({self.stale_rejects} stale), "
+                f"{self.build_seconds * 1e3:.1f} ms building")
+
+
+class ProgramCache:
+    """LRU cache of compiled AWEsymbolic results, with an optional disk layer.
+
+    Args:
+        maxsize: in-memory entry budget; least-recently-used entries are
+            evicted beyond it.
+        disk_dir: directory for serialized models (created on demand);
+            ``None`` disables the disk layer.
+    """
+
+    def __init__(self, maxsize: int = 16, disk_dir: Path | str | None = None,
+                 ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._entries: OrderedDict[str, AWESymbolicResult] = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    def key_for(self, circuit: Circuit, output: str,
+                symbols: Sequence[str] | None, order: int,
+                **options) -> str:
+        """Cache key for one ``awesymbolic`` invocation.
+
+        ``symbols=None`` (automatic selection) keys on the selection
+        parameters instead of the element list; the circuit fingerprint
+        makes the selection deterministic per key.
+        """
+        sym_part = ("symbols=" + ",".join(symbols) if symbols is not None
+                    else f"auto={options.get('n_symbols', 2)}")
+        parts = [
+            f"format={FORMAT_VERSION}",
+            f"circuit={circuit_fingerprint(circuit)}",
+            f"output={output}",
+            sym_part,
+            f"order={order}",
+            "options=" + repr(sorted(options.items())),
+        ]
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # in-memory layer
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> AWESymbolicResult | None:
+        """Look up ``key``, refreshing its LRU position."""
+        result = self._entries.get(key)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: AWESymbolicResult) -> None:
+        """Insert ``key``, evicting the least-recently-used beyond maxsize."""
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop ``key`` from memory and disk; True if anything was removed."""
+        removed = self._entries.pop(key, None) is not None
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            path.unlink()
+            removed = True
+        return removed
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    # disk layer
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"awesym-{key[:32]}.json"
+
+    def save_disk(self, key: str, result: AWESymbolicResult) -> Path | None:
+        """Serialize ``result``'s evaluatable core under ``key``."""
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"cache_key": key, "saved_at": time.time(),
+                   "model": model_to_dict(result)}
+        path.write_text(json.dumps(payload))
+        return path
+
+    def load_disk(self, key: str) -> dict | None:
+        """Validated raw disk payload for ``key`` (None on miss/stale)."""
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            if path is not None:
+                self.stats.disk_misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.stats.stale_rejects += 1
+            return None
+        if payload.get("cache_key") != key:
+            # stale or foreign entry (e.g. the partition changed but the
+            # file was copied over): never trust it
+            self.stats.stale_rejects += 1
+            return None
+        self.stats.disk_hits += 1
+        return payload
+
+    def load_model(self, key: str) -> LoadedModel | None:
+        """Circuit-free evaluatable model from the disk layer (None on miss)."""
+        payload = self.load_disk(key)
+        if payload is None:
+            return None
+        try:
+            return model_from_dict(payload["model"])
+        except (KeyError, SymbolicError):
+            self.stats.stale_rejects += 1
+            self.stats.disk_hits -= 1
+            return None
+
+    def _rebuild_from_disk(self, circuit: Circuit, output: str, order: int,
+                           payload: dict) -> AWESymbolicResult | None:
+        """Reassemble a live result from a disk payload.
+
+        Re-partitions the circuit (cheap) and reloads the symbolic moment
+        polynomials (skipping the expensive symbolic solve).  The
+        closed-form order-1/2 models are not persisted, so a rebuilt
+        result carries ``first_order = second_order = None``.
+        """
+        from ..partition import partition as make_partition
+        from ..partition.composite import SymbolicMoments
+        from ..core.serialize import _poly_from_jsonable
+
+        model_dict = payload.get("model", {})
+        if model_dict.get("format") != FORMAT_VERSION:
+            return None
+        element_names = [e["element"] for e in model_dict.get("elements", [])]
+        if not element_names or int(model_dict.get("order", -1)) != order:
+            return None
+        part = make_partition(circuit, element_names, output=output)
+        saved_names = [s["name"] for s in model_dict["symbols"]]
+        if list(part.space.names) != saved_names:
+            return None
+        sm = SymbolicMoments(
+            space=part.space, output=output,
+            numerators=tuple(_poly_from_jsonable(part.space, n)
+                             for n in model_dict["numerators"]),
+            det=_poly_from_jsonable(part.space, model_dict["det"]),
+            partition=part)
+        model = CompiledAWEModel(part, sm, order)
+        return AWESymbolicResult(partition=part, moments=sm, model=model,
+                                 first_order=None, second_order=None,
+                                 selected_automatically=False)
+
+    # ------------------------------------------------------------------
+    # the main entry point
+    # ------------------------------------------------------------------
+    def get_or_build(self, circuit: Circuit, output: str,
+                     symbols: Sequence[str] | None = None, order: int = 2,
+                     **kwargs) -> AWESymbolicResult:
+        """Cached :func:`~repro.core.awesymbolic.awesymbolic`.
+
+        Memory hit: the stored result.  Disk hit: the compiled model
+        rebuilt from the saved polynomials.  Otherwise a fresh build,
+        stored in both layers.
+        """
+        key = self.key_for(circuit, output, symbols, order, **kwargs)
+        result = self.get(key)
+        if result is not None:
+            return result
+        payload = self.load_disk(key)
+        if payload is not None:
+            rebuilt = self._rebuild_from_disk(circuit, output, order, payload)
+            if rebuilt is not None:
+                self.put(key, rebuilt)
+                return rebuilt
+            self.stats.stale_rejects += 1
+        t0 = time.perf_counter()
+        result = awesymbolic(circuit, output, symbols=list(symbols)
+                             if symbols is not None else None,
+                             order=order, **kwargs)
+        self.stats.build_seconds += time.perf_counter() - t0
+        self.put(key, result)
+        if self.disk_dir is not None:
+            self.save_disk(key, result)
+        return result
+
+
+_DEFAULT_CACHE: ProgramCache | None = None
+
+
+def default_cache() -> ProgramCache:
+    """The process-wide cache used by :func:`cached_awesymbolic`."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = ProgramCache()
+    return _DEFAULT_CACHE
+
+
+def cached_awesymbolic(circuit: Circuit, output: str,
+                       symbols: Sequence[str] | None = None, order: int = 2,
+                       cache: ProgramCache | None = None,
+                       **kwargs) -> AWESymbolicResult:
+    """Drop-in cached variant of :func:`repro.core.awesymbolic.awesymbolic`."""
+    cache = cache if cache is not None else default_cache()
+    return cache.get_or_build(circuit, output, symbols=symbols, order=order,
+                              **kwargs)

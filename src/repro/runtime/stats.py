@@ -1,0 +1,102 @@
+"""Lightweight instrumentation for the batched sweep runtime.
+
+The paper's evaluation (Table 1) hinges on separating the *setup* cost
+(symbolic derivation + compilation, paid once) from the *per-iteration*
+cost (the compiled straight-line program).  :class:`RuntimeStats` keeps
+that accounting honest for batched sweeps: per-stage wall times, point
+counters splitting the vectorized fast path from the per-point fallback,
+and the op count of the compiled program, so benchmarks can report
+compile-vs-evaluate cost instead of one opaque total.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class RuntimeStats:
+    """Counters and per-stage timers for one batched sweep.
+
+    Attributes:
+        points: total grid points evaluated.
+        vectorized_points: points fully served by the vectorized
+            closed-form path (moments + order-1/2 Padé as array ops).
+        fallback_points: points routed through the per-point numeric
+            Padé / stability fallback (degenerate or unstable fast Padé,
+            or order > 2).
+        nan_points: points that ended up NaN (degenerate Padé).
+        shards: number of grid shards the sweep was split into.
+        workers: worker threads used (1 = serial).
+        n_ops: arithmetic op count of the compiled moment program.
+        compile_seconds: time spent compiling the symbolic model
+            (amortized setup, not per-sweep; copied from the model).
+        evaluate_seconds: evaluating the compiled moment program over the
+            grid (the paper's "reduced set of operations").
+        pade_seconds: vectorized pole/residue extraction.
+        metric_seconds: metric evaluation plus per-point fallback work.
+        total_seconds: wall-clock for the whole sweep call.  Stage times
+            are summed across shards, so with parallel workers their sum
+            can exceed ``total_seconds``.
+    """
+
+    points: int = 0
+    vectorized_points: int = 0
+    fallback_points: int = 0
+    nan_points: int = 0
+    shards: int = 0
+    workers: int = 1
+    n_ops: int = 0
+    compile_seconds: float = 0.0
+    evaluate_seconds: float = 0.0
+    pade_seconds: float = 0.0
+    metric_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @contextmanager
+    def stage(self, name: str):
+        """Accumulate wall time of the enclosed block into ``<name>_seconds``."""
+        attr = f"{name}_seconds"
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            setattr(self, attr, getattr(self, attr) + time.perf_counter() - t0)
+
+    def merge(self, other: "RuntimeStats") -> "RuntimeStats":
+        """Fold a shard's partial stats into this one (counters and stage
+        times add; ``workers``/``n_ops``/``total_seconds`` are whole-sweep
+        quantities and keep the maximum)."""
+        for f in fields(self):
+            if f.name in ("workers", "n_ops", "total_seconds"):
+                setattr(self, f.name, max(getattr(self, f.name),
+                                          getattr(other, f.name)))
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @property
+    def points_per_second(self) -> float:
+        """Throughput over the whole sweep (0 when nothing was timed)."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.points / self.total_seconds
+
+    def summary(self) -> str:
+        """One-paragraph human-readable accounting."""
+        lines = [
+            f"runtime stats: {self.points} points "
+            f"({self.vectorized_points} vectorized, "
+            f"{self.fallback_points} fallback, {self.nan_points} NaN) "
+            f"in {self.shards} shard(s) / {self.workers} worker(s)",
+            f"  compile  {self.compile_seconds * 1e3:9.3f} ms "
+            f"(one-time, {self.n_ops} ops/point program)",
+            f"  evaluate {self.evaluate_seconds * 1e3:9.3f} ms   "
+            f"pade {self.pade_seconds * 1e3:9.3f} ms   "
+            f"metric {self.metric_seconds * 1e3:9.3f} ms",
+            f"  total    {self.total_seconds * 1e3:9.3f} ms "
+            f"({self.points_per_second:,.0f} points/s)",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Shared models for the runtime test suite.
+
+Module-scoped so the (comparatively expensive) symbolic derivations are
+paid once per file; the tests themselves only evaluate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import awesymbolic
+from repro.circuits.builders import rlc_line
+from repro.circuits.library import (fig1_circuit, paper_coupled_lines,
+                                    small_signal_ota)
+from repro.circuits.library.coupled_lines import victim_output
+
+LINE_SEGMENTS = 6
+
+
+@pytest.fixture(scope="package")
+def fig1_model():
+    """Paper Fig. 1 RC stage with both capacitors symbolic."""
+    return awesymbolic(fig1_circuit(), "out", symbols=["C1", "C2"], order=2)
+
+
+@pytest.fixture(scope="package")
+def ota_model():
+    """Two-stage CMOS OTA, compensation cap + output conductance symbolic."""
+    ss = small_signal_ota()
+    return awesymbolic(ss.circuit, "out", symbols=["Cc", "gds_M6"], order=2)
+
+
+@pytest.fixture(scope="package")
+def lines_model():
+    """Figure-8 coupled lines (small scale), driver R + load C symbolic."""
+    ckt = paper_coupled_lines(n_segments=LINE_SEGMENTS)
+    return awesymbolic(ckt, victim_output(LINE_SEGMENTS),
+                       symbols=["Rdrv1", "Cload2"], order=2)
+
+
+@pytest.fixture(scope="package")
+def rlc_model():
+    """Underdamped RLC line — the complex-pole case."""
+    return awesymbolic(rlc_line(3), "n3", symbols=["C1", "Rsrc"], order=2)

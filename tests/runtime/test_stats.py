@@ -1,0 +1,100 @@
+"""RuntimeStats accounting: stage timers, shard merge, reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import metrics
+from repro.runtime import RuntimeStats
+
+
+class TestStages:
+    def test_stage_accumulates(self):
+        stats = RuntimeStats()
+        with stats.stage("evaluate"):
+            pass
+        first = stats.evaluate_seconds
+        assert first >= 0.0
+        with stats.stage("evaluate"):
+            sum(range(1000))
+        assert stats.evaluate_seconds > first
+
+    def test_stage_records_on_exception(self):
+        stats = RuntimeStats()
+        with pytest.raises(RuntimeError):
+            with stats.stage("pade"):
+                raise RuntimeError("boom")
+        assert stats.pade_seconds > 0.0
+
+
+class TestMerge:
+    def test_counters_add_and_maxima_kept(self):
+        total = RuntimeStats(points=10, vectorized_points=8,
+                             fallback_points=2, workers=4, n_ops=100,
+                             evaluate_seconds=1.0, total_seconds=5.0)
+        shard = RuntimeStats(points=6, vectorized_points=6, workers=1,
+                             n_ops=100, evaluate_seconds=0.5,
+                             total_seconds=2.0)
+        total.merge(shard)
+        assert total.points == 16
+        assert total.vectorized_points == 14
+        assert total.fallback_points == 2
+        assert total.evaluate_seconds == pytest.approx(1.5)
+        # whole-sweep quantities keep the maximum, they don't add
+        assert total.workers == 4
+        assert total.n_ops == 100
+        assert total.total_seconds == 5.0
+
+    def test_merge_returns_self(self):
+        stats = RuntimeStats()
+        assert stats.merge(RuntimeStats()) is stats
+
+
+class TestReporting:
+    def test_points_per_second(self):
+        assert RuntimeStats().points_per_second == 0.0
+        stats = RuntimeStats(points=500, total_seconds=2.0)
+        assert stats.points_per_second == pytest.approx(250.0)
+
+    def test_summary_mentions_key_numbers(self):
+        stats = RuntimeStats(points=42, vectorized_points=40,
+                             fallback_points=2, nan_points=1, shards=3,
+                             workers=2, n_ops=99, compile_seconds=0.25,
+                             total_seconds=1.0)
+        text = stats.summary()
+        for token in ("42 points", "40 vectorized", "2 fallback", "1 NaN",
+                      "3 shard", "2 worker", "99 ops", "compile"):
+            assert token in text, token
+
+
+class TestFilledBySweep:
+    def test_compile_and_evaluate_reported_separately(self, fig1_model):
+        stats = RuntimeStats()
+        grids = {"C1": np.linspace(0.5e-12, 5e-12, 9),
+                 "C2": np.linspace(0.1e-12, 3e-12, 7)}
+        fig1_model.model.sweep(grids, metrics.dominant_pole_hz, stats=stats)
+        assert stats.points == 63
+        assert stats.vectorized_points + stats.fallback_points == 63
+        assert stats.compile_seconds > 0.0
+        assert stats.evaluate_seconds > 0.0
+        assert stats.total_seconds > 0.0
+        assert stats.compile_seconds == fig1_model.model.compile_seconds
+        assert stats.n_ops == fig1_model.model.n_ops
+        assert stats.points_per_second > 0.0
+
+    def test_shard_accounting(self, fig1_model):
+        stats = RuntimeStats()
+        grids = {"C1": np.linspace(0.5e-12, 5e-12, 10)}
+        fig1_model.model.sweep(grids, metrics.dc_gain, shards=4,
+                               max_workers=2, stats=stats)
+        assert stats.shards == 4
+        assert stats.workers == 2
+        assert stats.points == 10
+
+    def test_nan_points_counted(self, fig1_model):
+        stats = RuntimeStats()
+        grids = {"C1": np.linspace(0.5e-12, 5e-12, 6)}
+        fig1_model.model.sweep(grids, metrics.unity_gain_frequency,
+                               stats=stats)
+        assert stats.nan_points == 6  # passive stage: |H| never reaches 1
