@@ -16,6 +16,21 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ApproximationError
+from ..testing import faults as _faults
+
+
+def _safe_cond(matrix) -> float | None:
+    """2-norm condition number, or None when even that computation fails.
+
+    Attached to :class:`ApproximationError` context — a cond estimate on
+    the matrix that just failed to solve is diagnostic, not critical, so
+    it must never turn one failure into another.
+    """
+    try:
+        cond = float(np.linalg.cond(np.asarray(matrix, dtype=complex)))
+    except Exception:  # pragma: no cover - cond on tiny systems is robust
+        return None
+    return cond
 
 
 def pade_coefficients(moments: np.ndarray, order: int) -> tuple[np.ndarray, np.ndarray]:
@@ -47,12 +62,17 @@ def pade_coefficients(moments: np.ndarray, order: int) -> tuple[np.ndarray, np.n
             A[r, j - 1] = m[q + r - j]
     rhs = -m[q:2 * q]
     try:
+        if _faults.ACTIVE is not None:
+            _faults.fault_point("pade.hankel", order=q)
         b = np.linalg.solve(A, rhs)
     except np.linalg.LinAlgError as exc:
         raise ApproximationError(
-            f"singular Hankel system at order {q}: {exc}") from exc
+            f"singular Hankel system at order {q}: {exc}",
+            condition_number=_safe_cond(A), order=q) from exc
     if not np.all(np.isfinite(b)):
-        raise ApproximationError(f"non-finite Padé denominator at order {q}")
+        raise ApproximationError(
+            f"non-finite Padé denominator at order {q}",
+            condition_number=_safe_cond(A), order=q)
     den = np.concatenate(([1.0], b))
     # numerator from the first q matching conditions: a_k = sum_{j<=k} b_j m_{k-j}
     num = np.array([sum(den[j] * m[k - j] for j in range(0, k + 1)) for k in range(q)])
@@ -72,9 +92,11 @@ def poles_and_residues(moments: np.ndarray, order: int,
     poles = np.roots(den[::-1])
     if len(poles) != order:
         raise ApproximationError(
-            f"denominator degenerated: expected {order} poles, got {len(poles)}")
+            f"denominator degenerated: expected {order} poles, got {len(poles)}",
+            order=order)
     if np.any(np.abs(poles) < 1e-300):
-        raise ApproximationError("Padé produced a pole at the origin")
+        raise ApproximationError("Padé produced a pole at the origin",
+                                 order=order)
     residues = residues_from_poles(np.asarray(moments, dtype=float), poles)
     return poles, residues
 
@@ -92,7 +114,8 @@ def residues_from_poles(moments: np.ndarray, poles: np.ndarray) -> np.ndarray:
         residues = np.linalg.solve(V, np.asarray(moments[:q], dtype=complex))
     except np.linalg.LinAlgError as exc:
         raise ApproximationError(
-            f"repeated poles; cannot compute residues: {exc}") from exc
+            f"repeated poles; cannot compute residues: {exc}",
+            condition_number=_safe_cond(V), order=q) from exc
     return residues
 
 
@@ -106,11 +129,13 @@ def fast_poles_residues(moments, order: int):
     Raises:
         ApproximationError: degenerate moments or unsupported order.
     """
+    if _faults.ACTIVE is not None:
+        _faults.fault_point("pade.fast", order=order)
     m0 = float(moments[0])
     m1 = float(moments[1])
     if order == 1:
         if m1 == 0.0:
-            raise ApproximationError("m1 = 0: no first-order Padé")
+            raise ApproximationError("m1 = 0: no first-order Padé", order=1)
         p = m0 / m1
         return [p], [-m0 * m0 / m1]
     if order != 2:
@@ -122,11 +147,15 @@ def fast_poles_residues(moments, order: int):
     s0, s1, s2, s3 = m0, m1 * a, m2 * a * a, m3 * a * a * a
     det = s1 * s1 - s0 * s2
     if det == 0.0:
-        raise ApproximationError("singular 2x2 Hankel system")
+        raise ApproximationError(
+            "singular 2x2 Hankel system",
+            condition_number=_safe_cond([[s1, s0], [s2, s1]]),
+            moment_scale=a, order=2)
     b1 = (s0 * s3 - s1 * s2) / det
     b2 = (s2 * s2 - s1 * s3) / det
     if b2 == 0.0:
-        raise ApproximationError("degenerate second-order denominator")
+        raise ApproximationError("degenerate second-order denominator",
+                                 moment_scale=a, order=2)
     disc = b1 * b1 - 4.0 * b2
     root = disc ** 0.5 if disc >= 0.0 else complex(0.0, (-disc) ** 0.5)
     # numerically stable quadratic roots of b2 s^2 + b1 s + 1:
@@ -137,11 +166,13 @@ def fast_poles_residues(moments, order: int):
     else:
         q = -(b1 + (root if b1 >= 0.0 else -root)) / 2.0
         if q == 0.0:
-            raise ApproximationError("degenerate quadratic in fast Padé")
+            raise ApproximationError("degenerate quadratic in fast Padé",
+                                     moment_scale=a, order=2)
         p1 = q / b2
         p2 = 1.0 / q
     if p1 == p2:
-        raise ApproximationError("repeated poles in fast Padé")
+        raise ApproximationError("repeated poles in fast Padé",
+                                 moment_scale=a, order=2)
     u1, u2 = 1.0 / p1, 1.0 / p2
     vden = u1 * u2 * (u2 - u1)
     r1 = u2 * (s1 - s0 * u2) / vden

@@ -54,7 +54,8 @@ def stable_reduction(moments: np.ndarray, order: int,
         failures.append(f"order {q}: unstable poles {poles[poles.real >= 0]}")
         dropped += 1
     raise ApproximationError(
-        "no stable Padé reduction found:\n  " + "\n  ".join(failures))
+        "no stable Padé reduction found:\n  " + "\n  ".join(failures),
+        moment_scale=a, order=order)
 
 
 def rom_from_moments(moments, order: int,

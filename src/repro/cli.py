@@ -4,6 +4,11 @@ Commands:
 
 * ``analyze`` — run AWE / AWEsymbolic on a netlist file and print the
   reduced-order model, metrics, and (with symbols) the symbolic forms.
+* ``evaluate`` — evaluate or sweep a saved compiled model; ``--strict``
+  fails on the first degenerate grid point, the default (``--lenient``)
+  quarantines it to NaN and reports it.
+* ``doctor`` — health-check a sweep (quarantine list, conditioning
+  summaries) and/or a program-cache directory.
 * ``figures`` — regenerate the paper's figure/table data as CSV
   (delegates to :mod:`repro.reporting.figures`).
 """
@@ -75,6 +80,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print runtime statistics for the sweep")
     evaluate.add_argument("--csv", type=Path, default=None, metavar="FILE",
                           help="write sweep results as CSV")
+    mode = evaluate.add_mutually_exclusive_group()
+    mode.add_argument("--strict", action="store_true",
+                      help="fail on the first degenerate sweep point")
+    mode.add_argument("--lenient", action="store_false", dest="strict",
+                      help="quarantine degenerate points to NaN and keep "
+                           "going (default)")
+    evaluate.add_argument("--diagnostics", type=Path, default=None,
+                          metavar="FILE",
+                          help="write the sweep diagnostics report as JSON")
+
+    doctor = sub.add_parser("doctor",
+                            help="health-check a sweep and/or a program "
+                                 "cache directory")
+    doctor.add_argument("model", type=Path, nargs="?", default=None,
+                        help="saved model JSON to sweep-check")
+    doctor.add_argument("--sweep", action="append", default=[],
+                        metavar="NAME=START:STOP:N",
+                        help="grid to exercise the model over (repeatable)")
+    doctor.add_argument("--metric", default="dominant_pole_hz",
+                        help="metric for the check sweep")
+    doctor.add_argument("--shards", type=int, default=None,
+                        help="split the check sweep into N chunks")
+    doctor.add_argument("--workers", type=int, default=None,
+                        help="thread-pool width for the check sweep")
+    doctor.add_argument("--json", type=Path, default=None, metavar="FILE",
+                        help="write the diagnostics report as JSON")
+    doctor.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                        help="scan this program-cache directory for "
+                             "corrupt/stale entries and orphaned temp files")
+    doctor.add_argument("--fix", action="store_true",
+                        help="move unhealthy cache entries to quarantine/ "
+                             "and delete orphaned temp files")
 
     figures = sub.add_parser("figures",
                              help="regenerate the paper's figure data (CSV)")
@@ -185,12 +222,21 @@ def _run_sweep(loaded, args) -> int:
     grids = dict(_parse_sweep(s) for s in args.sweep)
     stats = RuntimeStats()
     z = loaded.sweep(grids, metric, shards=args.shards,
-                     max_workers=args.workers, stats=stats)
+                     max_workers=args.workers, stats=stats,
+                     strict=getattr(args, "strict", False))
     names = list(grids)
     axes = " x ".join(f"{n}[{len(grids[n])}]" for n in names)
     finite = np.isfinite(z.real if np.iscomplexobj(z) else z)
     print(f"sweep {args.metric} over {axes}: {z.size} points, "
           f"{int((~finite).sum())} NaN")
+    diag = getattr(z, "diagnostics", None)
+    if diag is not None and not diag.ok:
+        print(f"  {len(diag.quarantined)} point(s) quarantined, "
+              f"{len(diag.shard_failures)} shard incident(s) "
+              f"(run `repro doctor` for the full report)")
+    if getattr(args, "diagnostics", None) is not None and diag is not None:
+        args.diagnostics.write_text(diag.to_json(indent=2) + "\n")
+        print(f"wrote {args.diagnostics}")
     if finite.any():
         vals = z[finite]
         if np.iscomplexobj(vals):
@@ -245,6 +291,60 @@ def _print_model(model, label: str = "reduced-order model") -> None:
     print(f"  50% delay   {model.delay_50():.6g} s")
 
 
+def cmd_doctor(args) -> int:
+    """Health-check backend: lenient sweep diagnostics + cache scan.
+
+    Exit status 0 when everything checked out, 1 when anything was
+    quarantined, unhealthy, or left over from a crash.
+    """
+    healthy = True
+    checked = False
+    if args.model is not None:
+        if not args.sweep:
+            raise ReproError("doctor needs at least one --sweep range to "
+                             "exercise the model")
+        from .core import metrics as metrics_mod
+        from .core.serialize import model_from_json
+
+        metric = getattr(metrics_mod, args.metric, None)
+        if not callable(metric):
+            raise ReproError(f"unknown metric {args.metric!r} "
+                             f"(see repro.core.metrics)")
+        loaded = model_from_json(args.model.read_text())
+        grids = dict(_parse_sweep(s) for s in args.sweep)
+        z = loaded.sweep(grids, metric, shards=args.shards,
+                         max_workers=args.workers)
+        diag = z.diagnostics
+        print(diag.summary())
+        if args.json is not None:
+            args.json.write_text(diag.to_json(indent=2) + "\n")
+            print(f"wrote {args.json}")
+        healthy = healthy and diag.ok
+        checked = True
+    if args.cache_dir is not None:
+        from .runtime import ProgramCache
+
+        cache = ProgramCache(disk_dir=args.cache_dir)
+        report = cache.scan_disk(fix=args.fix)
+        bad = [r for r in report if r["status"] != "ok"]
+        print(f"cache {args.cache_dir}: {len(report)} entries, "
+              f"{len(bad)} unhealthy")
+        for r in bad:
+            line = f"  {r['file']}: {r['status']}"
+            if r["detail"]:
+                line += f" ({r['detail']})"
+            if args.fix:
+                line += " -> quarantined" if r["status"] != "orphan-tmp" \
+                    else " -> removed"
+            print(line)
+        healthy = healthy and not bad
+        checked = True
+    if not checked:
+        raise ReproError("doctor needs a saved model (with --sweep) "
+                         "and/or --cache-dir")
+    return 0 if healthy else 1
+
+
 def cmd_figures(args) -> int:
     from .reporting.figures import main as figures_main
 
@@ -259,6 +359,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_analyze(args)
         if args.command == "evaluate":
             return cmd_evaluate(args)
+        if args.command == "doctor":
+            return cmd_doctor(args)
         if args.command == "figures":
             return cmd_figures(args)
     except ReproError as exc:

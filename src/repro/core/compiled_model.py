@@ -22,7 +22,8 @@ import numpy as np
 
 from ..awe.model import ReducedOrderModel
 from ..awe.stability import rom_from_moments
-from ..errors import ApproximationError
+from ..diagnostics import SweepDiagnostics, SweepResult
+from ..errors import ApproximationError, PartitionError
 from ..partition.blocks import CircuitPartition
 from ..partition.composite import CompiledMoments, SymbolicMoments
 from .symbolic_pade import SymbolicFirstOrder, SymbolicSecondOrder
@@ -202,7 +203,9 @@ class CompiledAWEModel:
               vectorized: bool = True,
               shards: int | None = None,
               max_workers: int | None = None,
-              stats=None) -> np.ndarray:
+              stats=None,
+              strict: bool = False,
+              resilience=None) -> np.ndarray:
         """Evaluate ``metric`` over the cartesian product of element-value grids.
 
         Runs through the batched runtime (:func:`repro.runtime.batched_sweep`)
@@ -228,30 +231,46 @@ class CompiledAWEModel:
                 serial).
             stats: optional :class:`repro.runtime.RuntimeStats` filled
                 with per-stage timers and point counters.
+            strict: raise on the first degenerate point instead of
+                degrading it to NaN (lenient, the default, quarantines
+                the point and reports it in ``result.diagnostics``).
+            resilience: shard retry/timeout policy
+                (:class:`repro.runtime.ResilienceConfig`; batched path
+                only).
 
         Points where the Padé degenerates yield NaN rather than aborting
-        the sweep.  The output is float unless the metric produces complex
-        values, in which case the complex values are preserved.
+        the sweep (lenient mode), with a structured record in the
+        returned array's ``diagnostics`` attribute.  The output is float
+        unless the metric produces complex values, in which case the
+        complex values are preserved.
         """
         if not vectorized:
             return self.sweep_per_point(grids, metric, order=order,
-                                        require_stable=require_stable)
+                                        require_stable=require_stable,
+                                        strict=strict)
         from ..runtime.batched import batched_sweep  # lazy: avoids cycle
 
         return batched_sweep(self, grids, metric, order=order,
                              require_stable=require_stable, shards=shards,
-                             max_workers=max_workers, stats=stats)
+                             max_workers=max_workers, stats=stats,
+                             strict=strict, resilience=resilience)
 
     def sweep_per_point(self, grids: Mapping[str, np.ndarray],
                         metric: Callable[[ReducedOrderModel], float],
                         order: int | None = None,
-                        require_stable: bool = True) -> np.ndarray:
+                        require_stable: bool = True,
+                        strict: bool = False) -> np.ndarray:
         """Reference per-point sweep (the batched runtime's correctness oracle).
 
         Walks the cartesian grid one :meth:`rom` call at a time.  Kept
         deliberately simple; ``tests/runtime/test_differential.py`` pins
         :meth:`sweep` to this path bit-for-bit on NaN placement and to
         tight tolerance on values.
+
+        Failure semantics mirror the batched path so the two stay
+        differentially identical: a point whose reduction or metric
+        raises a library error is quarantined to NaN (recorded in the
+        result's ``diagnostics``), or re-raised with ``strict=True``.
         """
         q = self.order if order is None else int(order)
         if 2 * q > len(self.moments.numerators):
@@ -266,18 +285,42 @@ class CompiledAWEModel:
                     f"(symbols: {list(self._slot)})")
         axes = [np.asarray(grids[n], dtype=float) for n in names]
         shape = tuple(len(a) for a in axes)
+        diagnostics = SweepDiagnostics(strict=strict)
         out = np.full(shape, np.nan, dtype=complex)
-        for idx in np.ndindex(*shape):
+        for flat, idx in enumerate(np.ndindex(*shape)):
             values = {n: float(a[i]) for n, a, i in zip(names, axes, idx)}
             try:
                 model = self.rom(values, order=order,
                                  require_stable=require_stable)
+            except PartitionError as exc:
+                diagnostics.quarantine_error(flat, "moments", exc)
+                self._locate_quarantined(diagnostics, idx, values)
+                continue
+            except ApproximationError as exc:
+                diagnostics.quarantine_error(flat, "pade", exc)
+                self._locate_quarantined(diagnostics, idx, values)
+                continue
+            diagnostics.record_drop(model.dropped_unstable)
+            try:
                 out[idx] = metric(model)
-            except ApproximationError:
-                out[idx] = np.nan
+            except ApproximationError as exc:
+                diagnostics.quarantine_error(flat, "metric", exc)
+                self._locate_quarantined(diagnostics, idx, values)
+        diagnostics.points = int(out.size)
+        diagnostics.nan_points = int(np.isnan(out.real).sum())
         if np.all((out.imag == 0.0) | np.isnan(out.imag)):
-            return out.real.copy()  # 0-d safe, unlike ascontiguousarray
-        return out
+            # .real.copy() is 0-d safe, unlike ascontiguousarray
+            return SweepResult(out.real.copy(), diagnostics)
+        return SweepResult(out, diagnostics)
+
+    @staticmethod
+    def _locate_quarantined(diagnostics: SweepDiagnostics,
+                            idx: tuple[int, ...],
+                            values: Mapping[str, float]) -> None:
+        """Attach grid coordinates to the record just quarantined."""
+        point = diagnostics.quarantined[-1]
+        point.grid_index = tuple(int(i) for i in idx)
+        point.values = dict(values)
 
     def __repr__(self) -> str:
         return (f"CompiledAWEModel(order={self.order}, "

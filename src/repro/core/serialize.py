@@ -150,7 +150,9 @@ class LoadedModel:
               require_stable: bool = True, *,
               shards: int | None = None,
               max_workers: int | None = None,
-              stats=None) -> np.ndarray:
+              stats=None,
+              strict: bool = False,
+              resilience=None) -> np.ndarray:
         """Batched metric sweep over element-value grids.
 
         Same semantics as :meth:`CompiledAWEModel.sweep` — a loaded model
@@ -161,7 +163,8 @@ class LoadedModel:
 
         return batched_sweep(self, grids, metric, order=order,
                              require_stable=require_stable, shards=shards,
-                             max_workers=max_workers, stats=stats)
+                             max_workers=max_workers, stats=stats,
+                             strict=strict, resilience=resilience)
 
 
 def model_from_dict(data: dict) -> LoadedModel:

@@ -1,0 +1,26 @@
+"""Structured health reporting for sweep evaluation.
+
+AWE's numerics degrade before they die: Hankel systems grow
+ill-conditioned, moment decay flattens, orders get dropped for stability
+— and at genuinely degenerate symbol values the reduction fails outright.
+This package turns those events into data instead of stack traces: a
+:class:`SweepDiagnostics` report attached to every sweep result
+(:class:`SweepResult`), carrying the quarantine list
+(:class:`QuarantinedPoint`), shard-level failures
+(:class:`ShardFailure`), condition-number and moment-decay summaries
+(:class:`HealthSummary`), and dropped-order counts.
+
+Depends only on :mod:`numpy` and :mod:`repro.errors` so every layer
+(runtime, core, cli) can import it without cycles.
+"""
+
+from .report import (HealthSummary, QuarantinedPoint, ShardFailure,
+                     SweepDiagnostics, SweepResult)
+
+__all__ = [
+    "HealthSummary",
+    "QuarantinedPoint",
+    "ShardFailure",
+    "SweepDiagnostics",
+    "SweepResult",
+]

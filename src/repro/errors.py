@@ -43,7 +43,36 @@ class SymbolicError(ReproError):
 
 
 class ApproximationError(ReproError):
-    """AWE/Padé failure: singular Hankel system, no stable poles, etc."""
+    """AWE/Padé failure: singular Hankel system, no stable poles, etc.
+
+    Carries optional numeric context from the failing layer so quarantine
+    reports are actionable without re-running the point: the Hankel
+    condition number, the estimated moment scale (dominant-pole
+    magnitude), and the Padé order being attempted.  Context that is
+    present is appended to the message in a fixed format, e.g.::
+
+        singular Hankel system at order 4: ... [cond=1.2e+16, scale=3.4e+08, order=4]
+    """
+
+    def __init__(self, message: str, *,
+                 condition_number: float | None = None,
+                 moment_scale: float | None = None,
+                 order: int | None = None) -> None:
+        self.condition_number = (None if condition_number is None
+                                 else float(condition_number))
+        self.moment_scale = (None if moment_scale is None
+                             else float(moment_scale))
+        self.order = None if order is None else int(order)
+        context = []
+        if self.condition_number is not None:
+            context.append(f"cond={self.condition_number:.3g}")
+        if self.moment_scale is not None:
+            context.append(f"scale={self.moment_scale:.3g}")
+        if self.order is not None:
+            context.append(f"order={self.order}")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
 
 
 class PartitionError(ReproError):

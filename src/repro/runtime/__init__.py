@@ -9,7 +9,10 @@ provides:
 * :class:`RuntimeStats` — per-stage timers and point counters separating
   one-time compile cost from per-sweep evaluate cost (Table 1's split);
 * :class:`ProgramCache` / :func:`cached_awesymbolic` — keyed LRU +
-  on-disk caching of derived symbolic programs.
+  crash-safe on-disk caching of derived symbolic programs;
+* :class:`ResilienceConfig` / :func:`run_shards` — the fault-tolerance
+  layer: point quarantine policy, shard retry/timeout/backoff, serial
+  fallback (see ``docs/robustness.md``).
 
 ``repro.core`` imports lazily from here (never the reverse at module
 scope) to keep the dependency direction acyclic.
@@ -17,20 +20,25 @@ scope) to keep the dependency direction acyclic.
 
 from .batched import (VECTOR_METRICS, batched_sweep, grid_columns,
                       vector_metric, vector_poles_residues)
-from .cache import (CacheStats, ProgramCache, cached_awesymbolic,
-                    circuit_fingerprint, default_cache)
+from .cache import (CACHE_SCHEMA, CacheStats, ProgramCache,
+                    cached_awesymbolic, circuit_fingerprint, default_cache)
+from .resilience import DEFAULT_RESILIENCE, ResilienceConfig, run_shards
 from .stats import RuntimeStats
 
 __all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_RESILIENCE",
     "VECTOR_METRICS",
     "CacheStats",
     "ProgramCache",
+    "ResilienceConfig",
     "RuntimeStats",
     "batched_sweep",
     "cached_awesymbolic",
     "circuit_fingerprint",
     "default_cache",
     "grid_columns",
+    "run_shards",
     "vector_metric",
     "vector_poles_residues",
 ]

@@ -23,12 +23,18 @@ gap.  A batched sweep:
 Shards split the flattened grid into contiguous chunks evaluated
 independently (optionally on a thread pool), and a
 :class:`~repro.runtime.stats.RuntimeStats` records per-stage cost.
+
+Failure handling is quarantine-based (see :mod:`repro.runtime.resilience`
+and ``docs/robustness.md``): degenerate points degrade to NaN with a
+structured record in the returned
+:class:`~repro.diagnostics.SweepDiagnostics` instead of aborting the
+sweep, unless strict mode is requested; crashed or hung shards are
+retried and spliced back in order.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -36,7 +42,10 @@ import numpy as np
 from ..awe.model import ReducedOrderModel
 from ..awe.stability import rom_from_moments
 from ..core import metrics as _metrics
+from ..diagnostics import QuarantinedPoint, SweepDiagnostics, SweepResult
 from ..errors import ApproximationError, PartitionError
+from ..testing import faults as _faults
+from .resilience import DEFAULT_RESILIENCE, ResilienceConfig, run_shards
 from .stats import RuntimeStats
 
 __all__ = [
@@ -208,44 +217,108 @@ def vector_poles_residues(moments: np.ndarray, order: int,
 # ----------------------------------------------------------------------
 # sweep core
 # ----------------------------------------------------------------------
+_SINGULAR_MSG = "global symbolic system singular at this point"
+
+
 def _chunk_moments(model, columns: Sequence, n_points: int,
-                   stats: RuntimeStats) -> np.ndarray:
-    """Run the compiled moment program once over a flattened chunk."""
+                   stats: RuntimeStats, diag: SweepDiagnostics,
+                   offset: int) -> tuple[np.ndarray, np.ndarray]:
+    """Run the compiled moment program once over a flattened chunk.
+
+    Returns ``(moments, singular)`` where ``singular`` marks points whose
+    symbolic system determinant is exactly zero.  In strict mode any such
+    point raises :class:`PartitionError` (the pre-quarantine behavior);
+    in lenient mode those points are quarantined with stage ``"moments"``
+    and their moment columns are NaN.  Non-singular columns are computed
+    with exactly the same elementwise operations as before, so surviving
+    points are bit-identical to a sweep without degenerate neighbors.
+    """
     cm = model.compiled_moments
     with stats.stage("evaluate"):
         with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
             raw = [np.broadcast_to(np.asarray(v, dtype=float), (n_points,))
                    for v in cm.fn.eval_raw(*columns)]
             det = raw[-1]
-            if np.any(det == 0.0):
-                raise PartitionError(
-                    "global symbolic system singular at this point")
+            singular = det == 0.0
+            if singular.any():
+                if diag.strict:
+                    raise PartitionError(_SINGULAR_MSG)
+                for i in np.flatnonzero(singular):
+                    diag.quarantine(QuarantinedPoint(
+                        index=offset + int(i), stage="moments",
+                        error="PartitionError", message=_SINGULAR_MSG))
+            safe_det = np.where(singular, np.nan, det)
             moments = np.empty((len(raw) - 1, n_points))
-            scale = det.copy()
+            scale = safe_det.copy()
             for k in range(len(raw) - 1):
                 moments[k] = raw[k] / scale
                 if k < len(raw) - 2:
-                    scale = scale * det
-    return moments
+                    scale = scale * safe_det
+    diag.y0_det_abs.add(np.abs(det))
+    if _faults.ACTIVE is not None:
+        _faults.fault_point("sweep.moments", moments=moments, offset=offset)
+    return moments, singular
+
+
+def _hankel_cond2(moments: np.ndarray) -> np.ndarray:
+    """Per-point condition number of the scaled 2x2 Hankel system.
+
+    Closed form for a 2x2 matrix ``[[s1, s0], [s2, s1]]`` from its
+    Frobenius norm and determinant (``σ1 σ2 = |det|``,
+    ``σ1² + σ2² = ‖A‖_F²``) — the early-warning signal the diagnostics
+    report summarizes across the grid.
+    """
+    m0, m1, m2 = moments[0], moments[1], moments[2]
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        safe = (m0 != 0.0) & (m1 != 0.0)
+        a = np.where(safe, np.abs(m0 / np.where(m1 != 0.0, m1, 1.0)), 1.0)
+        s0, s1, s2 = m0, m1 * a, m2 * a * a
+        frob = s0 * s0 + 2.0 * s1 * s1 + s2 * s2
+        absdet = np.abs(s1 * s1 - s0 * s2)
+        root = np.sqrt(np.maximum(frob * frob - 4.0 * absdet * absdet, 0.0))
+        sigma2_sq = (frob - root) / 2.0
+        cond = np.sqrt((frob + root) / np.where(sigma2_sq > 0.0,
+                                                sigma2_sq, np.nan))
+        return np.where(sigma2_sq > 0.0, cond, np.inf)
+
+
+def _chunk_health(moments: np.ndarray, order: int,
+                  diag: SweepDiagnostics) -> None:
+    """Record moment-decay and Hankel-condition summaries for a chunk."""
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        diag.moment_decay.add(np.abs(moments[0] / moments[1]))
+    if order == 2 and moments.shape[0] >= 3:
+        diag.hankel_condition.add(_hankel_cond2(moments))
 
 
 def _sweep_chunk(model, columns: Sequence, n_points: int,
                  metric: Callable[[ReducedOrderModel], float], order: int,
-                 require_stable: bool) -> tuple[np.ndarray, RuntimeStats]:
-    """Evaluate one flattened chunk; returns ``(values, partial stats)``."""
+                 require_stable: bool, offset: int = 0,
+                 diag: SweepDiagnostics | None = None,
+                 ) -> tuple[np.ndarray, RuntimeStats, SweepDiagnostics]:
+    """Evaluate one flattened chunk.
+
+    Returns ``(values, partial stats, partial diagnostics)``; quarantine
+    indices inside the diagnostics are global (``offset`` + local).
+    """
     stats = RuntimeStats()
+    diag = diag if diag is not None else SweepDiagnostics()
     out = np.full(n_points, np.nan, dtype=complex)
     if n_points == 0:
-        return out, stats
-    moments = _chunk_moments(model, columns, n_points, stats)
+        return out, stats, diag
+    moments, singular = _chunk_moments(model, columns, n_points, stats,
+                                       diag, offset)
+    _chunk_health(moments, order, diag)
+    alive = ~singular
 
     if order <= 2:
         with stats.stage("pade"):
             poles, residues, ok = vector_poles_residues(moments, order)
             if require_stable:
                 ok &= np.all(poles.real < 0.0, axis=0)
+            ok &= alive
         good = np.flatnonzero(ok)
-        fallback = np.flatnonzero(~ok)
+        fallback = np.flatnonzero(~ok & alive)
         with stats.stage("metric"):
             vectorized = VECTOR_METRICS.get(metric)
             if vectorized is not None and len(good):
@@ -255,24 +328,30 @@ def _sweep_chunk(model, columns: Sequence, n_points: int,
                     rom = ReducedOrderModel(poles[:, i], residues[:, i],
                                             order_requested=order)
                     try:
-                        out[i] = metric(rom)
-                    except ApproximationError:
-                        pass  # stays NaN, matching the legacy sweep
+                        out[i] = metric(rom)  # NaN stays, like the legacy sweep
+                    except ApproximationError as exc:
+                        diag.quarantine_error(offset + int(i), "metric", exc)
         stats.vectorized_points += len(good)
     else:
-        fallback = np.arange(n_points)
+        fallback = np.flatnonzero(alive)
 
     with stats.stage("metric"):
         for i in fallback:
             try:
                 rom = rom_from_moments(moments[:, i], order,
                                        require_stable=require_stable)
+            except ApproximationError as exc:
+                diag.quarantine_error(offset + int(i), "pade", exc)
+                continue
+            diag.record_drop(rom.dropped_unstable)
+            try:
                 out[i] = metric(rom)
-            except ApproximationError:
-                pass  # NaN placeholder, same as the per-point sweep
+            except ApproximationError as exc:
+                diag.quarantine_error(offset + int(i), "metric", exc)
     stats.fallback_points += len(fallback)
     stats.points += n_points
-    return out, stats
+    diag.points += n_points
+    return out, stats, diag
 
 
 def _collapse_dtype(out: np.ndarray) -> np.ndarray:
@@ -303,13 +382,24 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
                   require_stable: bool = True,
                   shards: int | None = None,
                   max_workers: int | None = None,
-                  stats: RuntimeStats | None = None) -> np.ndarray:
+                  stats: RuntimeStats | None = None,
+                  strict: bool = False,
+                  resilience: ResilienceConfig | None = None) -> SweepResult:
     """Evaluate ``metric`` over the cartesian product of element-value grids.
 
     Drop-in vectorized replacement for the per-point
     :meth:`CompiledAWEModel.sweep` loop: same arguments, same output
     (including NaN placement at degenerate Padé points), orders of
     magnitude faster on large grids.
+
+    Failure semantics (see ``docs/robustness.md``): in lenient mode (the
+    default) a point whose moment evaluation, Padé reduction, or metric
+    raises a library error yields NaN and a structured quarantine record
+    in the returned diagnostics; the sweep always completes.  In strict
+    mode the first such failure raises.  Shards that crash or hang are
+    retried with backoff and fall back to in-process serial execution,
+    preserving the order-preserving splice (sharded == serial on all
+    surviving points).
 
     Args:
         model: a :class:`~repro.core.compiled_model.CompiledAWEModel` or
@@ -325,17 +415,28 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         max_workers: thread-pool width for shard execution (default 1,
             i.e. serial).
         stats: optional :class:`RuntimeStats` to fill with per-stage cost.
+        strict: raise on the first quarantined point instead of degrading
+            to NaN.
+        resilience: shard retry/timeout/backoff policy (default
+            :data:`~repro.runtime.resilience.DEFAULT_RESILIENCE`).
 
     Returns:
-        Metric values with one axis per grid; ``float`` dtype, or
-        ``complex`` when the metric returns complex values.
+        A :class:`~repro.diagnostics.SweepResult` — a plain ndarray with
+        one axis per grid (``float`` dtype, or ``complex`` when the
+        metric returns complex values) plus a ``diagnostics`` attribute
+        carrying the :class:`~repro.diagnostics.SweepDiagnostics` report.
 
     Raises:
-        ApproximationError: unknown grid name, or order exceeding the
-            compiled moment count.
-        PartitionError: the symbolic system is singular at a grid point.
+        ApproximationError: unknown grid name, order exceeding the
+            compiled moment count, or (strict mode) a failing point.
+        PartitionError: (strict mode) the symbolic system is singular at
+            a grid point.
     """
     stats = stats if stats is not None else RuntimeStats()
+    config = resilience if resilience is not None else DEFAULT_RESILIENCE
+    if strict:
+        config = config.with_strict(True)
+    diagnostics = SweepDiagnostics(strict=config.strict)
     with stats.stage("total"):
         q = model.order if order is None else int(order)
         n_moments = model.compiled_moments.order + 1
@@ -353,26 +454,52 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         stats.workers = workers
         bounds = np.linspace(0, n_points, n_shards + 1, dtype=int)
 
-        def run_shard(lo: int, hi: int) -> tuple[np.ndarray, RuntimeStats]:
+        def run_shard(lo: int, hi: int, shard: int = 0, attempt: int = 0,
+                      ) -> tuple[np.ndarray, RuntimeStats, SweepDiagnostics]:
+            if _faults.ACTIVE is not None:
+                _faults.fault_point("sweep.shard", shard=shard,
+                                    attempt=attempt, lo=int(lo), hi=int(hi))
             cols = [c[lo:hi] if isinstance(c, np.ndarray) else c
                     for c in columns]
             return _sweep_chunk(model, cols, hi - lo, metric, q,
-                                require_stable)
+                                require_stable, offset=int(lo),
+                                diag=SweepDiagnostics(strict=config.strict))
 
-        if workers > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(lambda b: run_shard(*b),
-                                        zip(bounds[:-1], bounds[1:])))
-        else:
-            results = [run_shard(lo, hi)
-                       for lo, hi in zip(bounds[:-1], bounds[1:])]
+        results = run_shards(run_shard, bounds, workers=workers,
+                             config=config, diagnostics=diagnostics)
 
-        out = np.concatenate([r[0] for r in results]) if results else \
-            np.empty(0, dtype=complex)
-        for _, partial in results:
+        parts = []
+        for (lo, hi), result in zip(zip(bounds[:-1], bounds[1:]), results):
+            if result is None:  # abandoned shard: NaN slice, recorded above
+                parts.append(np.full(int(hi - lo), np.nan, dtype=complex))
+                continue
+            values, partial, chunk_diag = result
+            parts.append(values)
             stats.merge(partial)
+            diagnostics.merge(chunk_diag)
+        out = np.concatenate(parts) if parts else np.empty(0, dtype=complex)
+
         stats.shards = n_shards
         stats.workers = workers
         stats.nan_points = int(np.isnan(out.real).sum())
+        stats.quarantined_points = len(diagnostics.quarantined)
+        _finalize_diagnostics(diagnostics, grids, names, shape, out)
         out = _collapse_dtype(out.reshape(shape))
-    return out
+    return SweepResult(out, diagnostics)
+
+
+def _finalize_diagnostics(diagnostics: SweepDiagnostics,
+                          grids: Mapping[str, np.ndarray],
+                          names: Sequence[str], shape: tuple[int, ...],
+                          flat_out: np.ndarray) -> None:
+    """Fill grid coordinates and totals once all shards are spliced."""
+    diagnostics.points = int(flat_out.size)
+    diagnostics.nan_points = int(np.isnan(flat_out.real).sum())
+    axes = [np.asarray(grids[n], dtype=float) for n in names]
+    for point in diagnostics.quarantined:
+        if shape:
+            point.grid_index = tuple(
+                int(i) for i in np.unravel_index(point.index, shape))
+            point.values = {n: float(a[i]) for n, a, i
+                            in zip(names, axes, point.grid_index)}
+    diagnostics.quarantined.sort(key=lambda p: p.index)

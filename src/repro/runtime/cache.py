@@ -16,6 +16,13 @@ skip straight to evaluation:
   key they were saved under; any mismatch — a stale file, a changed
   partition, a tampered entry — is rejected and the model is rebuilt.
 
+The disk layer is crash-safe: entries are written to a temp file and
+published with ``os.replace`` (a reader never observes a half-written
+entry, even if the writer dies mid-write), carry a schema version
+(:data:`CACHE_SCHEMA`), and any entry that fails validation — truncated
+JSON, wrong key, old schema — is moved into a ``quarantine/`` sidecar
+directory for post-mortem instead of being silently trusted or deleted.
+
 Keys are content hashes: the circuit fingerprint covers every element's
 type, name, terminals and value, so *any* circuit edit invalidates the
 cached program.
@@ -26,6 +33,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -38,14 +46,46 @@ from ..core.compiled_model import CompiledAWEModel
 from ..core.serialize import (FORMAT_VERSION, LoadedModel, model_from_dict,
                               model_to_dict)
 from ..errors import SymbolicError
+from ..testing import faults as _faults
 
 __all__ = [
+    "CACHE_SCHEMA",
     "CacheStats",
     "ProgramCache",
     "cached_awesymbolic",
     "circuit_fingerprint",
     "default_cache",
 ]
+
+#: on-disk payload schema; bumped whenever the payload envelope changes.
+#: Entries with any other value (including pre-versioning files that have
+#: none) are quarantined and rebuilt.
+CACHE_SCHEMA = 2
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader either sees the previous entry or the complete new one,
+    never a torn write.  The temp file lives in the same directory so the
+    replace stays on one filesystem; it is removed if the write dies.
+    The ``cache.write`` fault site sits between two half-writes so tests
+    can kill the writer with the temp file truncated on disk.
+    """
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        half = len(text) // 2
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text[:half])
+            fh.flush()
+            _faults.fault_point("cache.write", path=path, tmp=tmp)
+            fh.write(text[half:])
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def circuit_fingerprint(circuit: Circuit) -> str:
@@ -63,7 +103,13 @@ def circuit_fingerprint(circuit: Circuit) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one :class:`ProgramCache`."""
+    """Hit/miss accounting for one :class:`ProgramCache`.
+
+    ``stale_rejects`` counts every disk entry that failed validation;
+    ``quarantined`` counts the subset whose file was moved into the
+    quarantine sidecar (rejects can also come from payloads that parse
+    but no longer match the live circuit, which leave no file to move).
+    """
 
     hits: int = 0
     misses: int = 0
@@ -71,12 +117,14 @@ class CacheStats:
     disk_hits: int = 0
     disk_misses: int = 0
     stale_rejects: int = 0
+    quarantined: int = 0
     build_seconds: float = 0.0
 
     def summary(self) -> str:
         return (f"program cache: {self.hits} hits / {self.misses} misses "
                 f"({self.evictions} evicted), disk {self.disk_hits} hits / "
-                f"{self.disk_misses} misses ({self.stale_rejects} stale), "
+                f"{self.disk_misses} misses ({self.stale_rejects} stale, "
+                f"{self.quarantined} quarantined), "
                 f"{self.build_seconds * 1e3:.1f} ms building")
 
 
@@ -170,19 +218,52 @@ class ProgramCache:
             return None
         return self.disk_dir / f"awesym-{key[:32]}.json"
 
+    def _quarantine_file(self, path: Path, reason: str) -> Path | None:
+        """Move a failed-validation entry into the quarantine sidecar.
+
+        The file is preserved for post-mortem (suffixed with the reason),
+        and its absence lets the next build publish a clean replacement.
+        Returns the quarantine path, or None if the move itself failed
+        (e.g. the file vanished; the cache must keep working regardless).
+        """
+        if self.disk_dir is None:
+            return None
+        qdir = self.disk_dir / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            dest = qdir / f"{path.name}.{reason}"
+            n = 0
+            while dest.exists():
+                n += 1
+                dest = qdir / f"{path.name}.{reason}.{n}"
+            os.replace(path, dest)
+        except OSError:
+            return None
+        self.stats.quarantined += 1
+        return dest
+
     def save_disk(self, key: str, result: AWESymbolicResult) -> Path | None:
-        """Serialize ``result``'s evaluatable core under ``key``."""
+        """Serialize ``result``'s evaluatable core under ``key``.
+
+        The entry is published atomically — a crash mid-save leaves at
+        worst an orphaned ``*.tmp.<pid>`` file, never a torn entry under
+        the real name.
+        """
         path = self._disk_path(key)
         if path is None:
             return None
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"cache_key": key, "saved_at": time.time(),
-                   "model": model_to_dict(result)}
-        path.write_text(json.dumps(payload))
+        payload = {"schema": CACHE_SCHEMA, "cache_key": key,
+                   "saved_at": time.time(), "model": model_to_dict(result)}
+        _atomic_write_text(path, json.dumps(payload))
         return path
 
     def load_disk(self, key: str) -> dict | None:
-        """Validated raw disk payload for ``key`` (None on miss/stale)."""
+        """Validated raw disk payload for ``key`` (None on miss/stale).
+
+        Entries that fail validation — unreadable JSON, unknown schema,
+        mismatched key — are rejected *and* moved to the quarantine
+        sidecar, so a poisoned file cannot shadow the rebuilt entry."""
         path = self._disk_path(key)
         if path is None or not path.exists():
             if path is not None:
@@ -192,14 +273,58 @@ class ProgramCache:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             self.stats.stale_rejects += 1
+            self._quarantine_file(path, "corrupt")
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            # written by a different (usually older) code version; the
+            # envelope may not mean what we think it means
+            self.stats.stale_rejects += 1
+            self._quarantine_file(path, "schema")
             return None
         if payload.get("cache_key") != key:
             # stale or foreign entry (e.g. the partition changed but the
             # file was copied over): never trust it
             self.stats.stale_rejects += 1
+            self._quarantine_file(path, "stale")
             return None
         self.stats.disk_hits += 1
         return payload
+
+    def scan_disk(self, fix: bool = False) -> list[dict]:
+        """Health-check every entry in the disk layer (``doctor`` backend).
+
+        Returns one record per ``awesym-*.json`` file plus any orphaned
+        temp files from crashed writers: ``{"file", "status", "detail"}``
+        with status ``ok`` / ``corrupt`` / ``schema`` / ``orphan-tmp``.
+        With ``fix=True``, bad entries are moved to the quarantine
+        sidecar and orphaned temp files are deleted.
+        """
+        report: list[dict] = []
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return report
+        for path in sorted(self.disk_dir.glob("awesym-*.json.tmp.*")):
+            report.append({"file": path.name, "status": "orphan-tmp",
+                           "detail": "temp file from an interrupted write"})
+            if fix:
+                path.unlink(missing_ok=True)
+        for path in sorted(self.disk_dir.glob("awesym-*.json")):
+            status, detail = "ok", ""
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                status, detail = "corrupt", str(exc)
+            else:
+                if payload.get("schema") != CACHE_SCHEMA:
+                    status = "schema"
+                    detail = (f"schema {payload.get('schema')!r}, "
+                              f"expected {CACHE_SCHEMA}")
+                elif not isinstance(payload.get("model"), dict):
+                    status, detail = "corrupt", "missing model payload"
+            report.append({"file": path.name, "status": status,
+                           "detail": detail})
+            if fix and status != "ok":
+                self._quarantine_file(path, status)
+        return report
 
     def load_model(self, key: str) -> LoadedModel | None:
         """Circuit-free evaluatable model from the disk layer (None on miss)."""

@@ -1,0 +1,210 @@
+"""Fault-tolerant shard execution for the batched sweep runtime.
+
+The batched sweep splits a flattened grid into contiguous shards and
+splices the per-shard results back in order.  This module keeps that
+splice guarantee when shards misbehave:
+
+* **bounded retry** — a shard whose attempt dies with an infrastructure
+  error (anything that is *not* a :class:`~repro.errors.ReproError`) is
+  re-submitted up to :attr:`ResilienceConfig.shard_retries` times, with
+  exponential backoff and deterministic jitter between attempts;
+* **per-attempt timeout** — under pooled execution, an attempt that does
+  not finish within :attr:`ResilienceConfig.shard_timeout` seconds is
+  abandoned (the thread cannot be killed; it is left to finish in the
+  background) and the shard is retried on a fresh worker;
+* **serial in-process fallback** — when pooled retries are exhausted the
+  shard runs once more directly on the calling thread (attempt index
+  ``-1``), isolating the work from the pool entirely;
+* **order-preserving splice** — results come back in shard order no
+  matter which attempt produced them, so sharded output equals serial
+  output on all surviving points.  A shard that fails every attempt
+  resolves to ``None`` (lenient mode): the caller NaN-fills its slice and
+  the incident is recorded as an ``"abandoned"``
+  :class:`~repro.diagnostics.ShardFailure`.
+
+Library errors (:class:`~repro.errors.ReproError`) are deterministic —
+the same moments produce the same singular Hankel system on every retry —
+so they propagate immediately instead of burning retries; point-level
+degradation for those lives in the quarantine path of
+:mod:`repro.runtime.batched`, not here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..diagnostics import ShardFailure, SweepDiagnostics
+from ..errors import ReproError
+
+__all__ = [
+    "DEFAULT_RESILIENCE",
+    "ResilienceConfig",
+    "run_shards",
+]
+
+#: attempt index passed to the shard function for the serial fallback
+SERIAL_ATTEMPT = -1
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Degradation policy for one sweep.
+
+    Attributes:
+        strict: raise on the first quarantined point / abandoned shard
+            instead of degrading to NaN (lenient, the default).
+        shard_retries: pooled re-attempts after the first try.
+        shard_timeout: seconds before a pooled attempt is abandoned and
+            retried (``None`` disables; timeouts need pooled execution —
+            a serial sweep cannot preempt itself).  The budget covers
+            queueing, so size it for ``shards / workers`` waves.
+        backoff_seconds: base sleep before retry ``k`` (doubled each
+            retry).
+        backoff_jitter: fraction of the backoff added/subtracted
+            deterministically per (shard, attempt) — decorrelates retry
+            storms without a global RNG.
+        serial_fallback: run the shard in-process after pooled retries
+            are exhausted.
+    """
+
+    strict: bool = False
+    shard_retries: int = 2
+    shard_timeout: float | None = None
+    backoff_seconds: float = 0.02
+    backoff_jitter: float = 0.5
+    serial_fallback: bool = True
+
+    def with_strict(self, strict: bool) -> "ResilienceConfig":
+        if strict == self.strict:
+            return self
+        return dataclasses.replace(self, strict=strict)
+
+
+DEFAULT_RESILIENCE = ResilienceConfig()
+
+
+def backoff_delay(config: ResilienceConfig, shard: int, attempt: int) -> float:
+    """Backoff before re-running ``shard`` after failed ``attempt``.
+
+    Exponential in the attempt index with deterministic jitter derived
+    from ``(shard, attempt)`` — reproducible runs, decorrelated shards.
+    """
+    base = config.backoff_seconds * (2.0 ** attempt)
+    # CPython hashes small ints to themselves and tuples deterministically
+    u = (hash((shard, attempt)) % 1009) / 1008.0
+    return max(0.0, base * (1.0 + config.backoff_jitter * (2.0 * u - 1.0)))
+
+
+def _record(diagnostics: SweepDiagnostics | None, failure: ShardFailure,
+            ) -> None:
+    if diagnostics is not None:
+        diagnostics.shard_failures.append(failure)
+
+
+def run_shards(run_shard: Callable, bounds: Sequence[int], *,
+               workers: int = 1,
+               config: ResilienceConfig | None = None,
+               diagnostics: SweepDiagnostics | None = None) -> list:
+    """Execute every shard ``[bounds[i], bounds[i+1])`` fault-tolerantly.
+
+    Args:
+        run_shard: ``run_shard(lo, hi, shard, attempt)`` returning the
+            shard's result; ``attempt`` counts pooled attempts from 0,
+            with :data:`SERIAL_ATTEMPT` marking the in-process fallback.
+        bounds: ``len(shards) + 1`` monotone flat-index boundaries.
+        workers: thread-pool width; 1 runs shards serially in-process
+            (retry still applies, timeout cannot).
+        config: degradation policy (default :data:`DEFAULT_RESILIENCE`).
+        diagnostics: report to record shard incidents into.
+
+    Returns:
+        One entry per shard, in shard order: the ``run_shard`` result, or
+        ``None`` for a shard abandoned in lenient mode.
+
+    Raises:
+        ReproError: immediately, from any attempt (deterministic library
+            failure — strict-mode point errors travel this way).
+        Exception: the last infrastructure error, when retries and the
+            serial fallback are exhausted and ``config.strict`` is set.
+    """
+    config = config if config is not None else DEFAULT_RESILIENCE
+    jobs = list(zip(bounds[:-1], bounds[1:]))
+    if not jobs:
+        return []
+    use_pool = workers > 1
+    pool = ThreadPoolExecutor(max_workers=workers) if use_pool else None
+    try:
+        futures = {}
+        if pool is not None:
+            for i, (lo, hi) in enumerate(jobs):
+                futures[i] = pool.submit(run_shard, lo, hi, i, 0)
+        return [_run_one(run_shard, i, lo, hi, futures.get(i), pool,
+                         config, diagnostics)
+                for i, (lo, hi) in enumerate(jobs)]
+    finally:
+        if pool is not None:
+            # don't block on abandoned (hung) attempts; completed shards
+            # have already delivered their results through their futures
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_one(run_shard: Callable, shard: int, lo: int, hi: int,
+             future, pool, config: ResilienceConfig,
+             diagnostics: SweepDiagnostics | None):
+    """Drive one shard through attempts / retries / fallback."""
+    attempts = 0
+    last_exc: BaseException | None = None
+    for attempt in range(config.shard_retries + 1):
+        if attempt > 0:
+            time.sleep(backoff_delay(config, shard, attempt - 1))
+        attempts += 1
+        try:
+            if pool is not None:
+                fut = future if (attempt == 0 and future is not None) \
+                    else pool.submit(run_shard, lo, hi, shard, attempt)
+                result = fut.result(timeout=config.shard_timeout)
+            else:
+                result = run_shard(lo, hi, shard, attempt)
+        except ReproError:
+            raise  # deterministic model failure: retrying cannot help
+        except FutureTimeoutError:
+            last_exc = TimeoutError(
+                f"shard attempt exceeded {config.shard_timeout}s")
+            continue
+        except Exception as exc:
+            last_exc = exc
+            continue
+        if attempts > 1:
+            _record(diagnostics, ShardFailure(
+                shard=shard, lo=lo, hi=hi, attempts=attempts,
+                error=type(last_exc).__name__, message=str(last_exc),
+                resolution="retried"))
+        return result
+
+    if config.serial_fallback:
+        attempts += 1
+        try:
+            result = run_shard(lo, hi, shard, SERIAL_ATTEMPT)
+        except ReproError:
+            raise
+        except Exception as exc:
+            last_exc = exc
+        else:
+            _record(diagnostics, ShardFailure(
+                shard=shard, lo=lo, hi=hi, attempts=attempts,
+                error=type(last_exc).__name__, message=str(last_exc),
+                resolution="serial"))
+            return result
+
+    if config.strict:
+        raise last_exc
+    _record(diagnostics, ShardFailure(
+        shard=shard, lo=lo, hi=hi, attempts=attempts,
+        error=type(last_exc).__name__, message=str(last_exc),
+        resolution="abandoned"))
+    return None

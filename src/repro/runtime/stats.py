@@ -28,6 +28,8 @@ class RuntimeStats:
             Padé / stability fallback (degenerate or unstable fast Padé,
             or order > 2).
         nan_points: points that ended up NaN (degenerate Padé).
+        quarantined_points: points removed by the resilience layer (see
+            the sweep's ``diagnostics`` report for the per-point records).
         shards: number of grid shards the sweep was split into.
         workers: worker threads used (1 = serial).
         n_ops: arithmetic op count of the compiled moment program.
@@ -46,6 +48,7 @@ class RuntimeStats:
     vectorized_points: int = 0
     fallback_points: int = 0
     nan_points: int = 0
+    quarantined_points: int = 0
     shards: int = 0
     workers: int = 1
     n_ops: int = 0
@@ -89,7 +92,8 @@ class RuntimeStats:
         lines = [
             f"runtime stats: {self.points} points "
             f"({self.vectorized_points} vectorized, "
-            f"{self.fallback_points} fallback, {self.nan_points} NaN) "
+            f"{self.fallback_points} fallback, {self.nan_points} NaN, "
+            f"{self.quarantined_points} quarantined) "
             f"in {self.shards} shard(s) / {self.workers} worker(s)",
             f"  compile  {self.compile_seconds * 1e3:9.3f} ms "
             f"(one-time, {self.n_ops} ops/point program)",

@@ -1,0 +1,18 @@
+"""Test support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+behind ``tests/robustness/``: production code exposes named fault sites
+that are free no-ops in normal operation, and chaos tests arm them with
+reproducible failures (singular solves, NaN moments, crashed or hung
+shards, truncated cache writes).
+"""
+
+from .faults import (FaultInjector, InjectedFault, fault_point,
+                     no_active_injector)
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "fault_point",
+    "no_active_injector",
+]

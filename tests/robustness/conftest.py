@@ -1,0 +1,42 @@
+"""Shared fixtures for the chaos / robustness suite.
+
+The degenerate sweep of choice is the paper's Figure-1 circuit with
+``G2`` swept *through zero*: at ``G2 = 0`` the output node floats at DC,
+``det(Y0) = 0`` exactly, and every point on that grid row must be
+quarantined (stage ``"moments"``) rather than abort the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import awesymbolic
+from repro.circuits.library import fig1_circuit
+from repro.testing import no_active_injector
+
+
+@pytest.fixture(scope="package")
+def fig1_model():
+    """Fig. 1 with the symbols that expose the DC singularity."""
+    return awesymbolic(fig1_circuit(), "out", symbols=["G2", "C2"], order=2)
+
+
+def degenerate_grids(n: int = 64) -> dict[str, np.ndarray]:
+    """``n x n`` grid whose first ``G2`` row is exactly singular."""
+    return {"G2": np.linspace(0.0, 4.0, n),
+            "C2": np.linspace(0.5, 3.0, n)}
+
+
+def clean_grids(n: int = 12, m: int = 10) -> dict[str, np.ndarray]:
+    """A well-conditioned grid (no singular points anywhere)."""
+    return {"G2": np.linspace(0.5, 4.0, n),
+            "C2": np.linspace(0.5, 3.0, m)}
+
+
+@pytest.fixture(autouse=True)
+def _no_injector_leaks():
+    """Every chaos test must disarm its injector (sites are process-global)."""
+    assert no_active_injector()
+    yield
+    assert no_active_injector()

@@ -1,0 +1,143 @@
+"""Crash-safe disk cache: torn writes, corruption, schema drift.
+
+The regression of record: kill the writer midway through
+``ProgramCache.save_disk`` (via the ``cache.write`` fault site) and prove
+no torn entry is ever visible under the real name — before this layer the
+cache wrote with a plain ``write_text`` and a crash left half a JSON file
+that poisoned every later run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuits.library import fig1_circuit
+from repro.runtime import CACHE_SCHEMA, ProgramCache
+from repro.testing import FaultInjector, InjectedFault
+
+
+def build(cache: ProgramCache):
+    return cache.get_or_build(fig1_circuit(), "out",
+                              symbols=["C1", "C2"], order=2)
+
+
+def key_of(cache: ProgramCache) -> str:
+    return cache.key_for(fig1_circuit(), "out", ["C1", "C2"], 2)
+
+
+class TestAtomicWrite:
+    def test_killed_mid_write_leaves_no_entry(self, tmp_path):
+        cache = ProgramCache(disk_dir=tmp_path)
+        result = build(cache)
+        path = cache._disk_path(key_of(cache))
+        path.unlink()  # drop the entry get_or_build already published
+
+        injector = FaultInjector().raises("cache.write")
+        with injector.armed(), pytest.raises(InjectedFault):
+            cache.save_disk(key_of(cache), result)
+        assert injector.fired("cache.write") == 1
+        assert not path.exists()                      # no torn entry
+        assert not list(tmp_path.glob("*.tmp.*"))     # no litter either
+
+        # a fresh process simply rebuilds
+        reader = ProgramCache(disk_dir=tmp_path)
+        build(reader)
+        assert reader.stats.disk_misses == 1
+        assert reader.stats.stale_rejects == 0
+
+    def test_killed_overwrite_keeps_previous_entry(self, tmp_path):
+        cache = ProgramCache(disk_dir=tmp_path)
+        result = build(cache)
+        path = cache._disk_path(key_of(cache))
+        before = path.read_text()
+
+        injector = FaultInjector().raises("cache.write")
+        with injector.armed(), pytest.raises(InjectedFault):
+            cache.save_disk(key_of(cache), result)
+        assert path.read_text() == before  # old entry untouched and valid
+        reader = ProgramCache(disk_dir=tmp_path)
+        build(reader)
+        assert reader.stats.disk_hits == 1
+
+    def test_entries_carry_schema_version(self, tmp_path):
+        cache = ProgramCache(disk_dir=tmp_path)
+        build(cache)
+        payload = json.loads(cache._disk_path(key_of(cache)).read_text())
+        assert payload["schema"] == CACHE_SCHEMA
+
+
+class TestQuarantineSidecar:
+    def test_corrupt_entry_is_moved_aside(self, tmp_path):
+        cache = ProgramCache(disk_dir=tmp_path)
+        build(cache)
+        path = cache._disk_path(key_of(cache))
+        path.write_text('{"schema": 2, "cache_key"')  # truncated write
+
+        reader = ProgramCache(disk_dir=tmp_path)
+        build(reader)
+        assert reader.stats.stale_rejects == 1
+        assert reader.stats.quarantined == 1
+        moved = list((tmp_path / "quarantine").glob("*.corrupt*"))
+        assert len(moved) == 1
+        # the bad file no longer shadows the rebuilt entry
+        assert json.loads(path.read_text())["schema"] == CACHE_SCHEMA
+        assert "1 quarantined" in reader.stats.summary()
+
+    def test_old_schema_is_quarantined(self, tmp_path):
+        cache = ProgramCache(disk_dir=tmp_path)
+        build(cache)
+        path = cache._disk_path(key_of(cache))
+        payload = json.loads(path.read_text())
+        payload["schema"] = CACHE_SCHEMA - 1
+        path.write_text(json.dumps(payload))
+
+        reader = ProgramCache(disk_dir=tmp_path)
+        build(reader)
+        assert reader.stats.stale_rejects == 1
+        assert list((tmp_path / "quarantine").glob("*.schema*"))
+
+    def test_foreign_key_is_quarantined(self, tmp_path):
+        cache = ProgramCache(disk_dir=tmp_path)
+        build(cache)
+        path = cache._disk_path(key_of(cache))
+        payload = json.loads(path.read_text())
+        payload["cache_key"] = "0" * 64
+        path.write_text(json.dumps(payload))
+
+        reader = ProgramCache(disk_dir=tmp_path)
+        build(reader)
+        assert reader.stats.stale_rejects == 1
+        assert list((tmp_path / "quarantine").glob("*.stale*"))
+
+    def test_repeated_quarantine_does_not_collide(self, tmp_path):
+        cache = ProgramCache(disk_dir=tmp_path)
+        for _ in range(3):
+            build(cache)
+            path = cache._disk_path(key_of(cache))
+            path.write_text("{broken")
+            reader = ProgramCache(disk_dir=tmp_path)
+            build(reader)
+        assert len(list((tmp_path / "quarantine").glob("*"))) == 3
+
+
+class TestScan:
+    def test_scan_reports_and_fixes(self, tmp_path):
+        cache = ProgramCache(disk_dir=tmp_path)
+        build(cache)
+        (tmp_path / "awesym-deadbeef.json").write_text("{broken")
+        (tmp_path / "awesym-cafe.json.tmp.123").write_text('{"half')
+
+        report = cache.scan_disk()
+        by_status = {r["status"] for r in report}
+        assert by_status == {"ok", "corrupt", "orphan-tmp"}
+        # read-only scan: nothing moved yet
+        assert (tmp_path / "awesym-deadbeef.json").exists()
+
+        report = cache.scan_disk(fix=True)
+        assert not (tmp_path / "awesym-deadbeef.json").exists()
+        assert not (tmp_path / "awesym-cafe.json.tmp.123").exists()
+        assert list((tmp_path / "quarantine").glob("*.corrupt*"))
+        # the healthy entry is untouched
+        assert [r for r in cache.scan_disk() if r["status"] != "ok"] == []

@@ -1,0 +1,91 @@
+"""ApproximationError carries numeric context in a fixed message format.
+
+A quarantine report is only actionable if the error says *how* singular
+the point was — condition number, moment scale, attempted order — in the
+``[cond=..., scale=..., order=...]`` suffix and as attributes.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.awe.pade import fast_poles_residues, pade_coefficients
+from repro.awe.stability import rom_from_moments
+from repro.errors import ApproximationError
+
+# cond can legitimately be `inf` for an exactly singular system
+CONTEXT_RE = re.compile(r"\[(cond=[-+0-9.einf]+(, )?)?"
+                        r"(scale=[-+0-9.einf]+(, )?)?"
+                        r"(order=\d+)\]$")
+
+
+class TestMessageFormat:
+    def test_full_context_suffix(self):
+        exc = ApproximationError("singular Hankel system",
+                                 condition_number=1.23e16,
+                                 moment_scale=3.4e8, order=4)
+        assert str(exc) == ("singular Hankel system "
+                            "[cond=1.23e+16, scale=3.4e+08, order=4]")
+        assert exc.condition_number == 1.23e16
+        assert exc.moment_scale == 3.4e8
+        assert exc.order == 4
+
+    def test_partial_context(self):
+        exc = ApproximationError("no stable poles", order=2)
+        assert str(exc) == "no stable poles [order=2]"
+        assert exc.condition_number is None
+        assert exc.moment_scale is None
+
+    def test_no_context_leaves_message_untouched(self):
+        exc = ApproximationError("plain failure")
+        assert str(exc) == "plain failure"
+        assert exc.order is None
+
+
+class TestRealFailuresCarryContext:
+    def test_fast_pade_singular_hankel(self):
+        # geometric moments = a single-pole response: the 2x2 Hankel
+        # system is exactly singular at order 2
+        with pytest.raises(ApproximationError) as info:
+            fast_poles_residues([1.0, -1.0, 1.0, -1.0], 2)
+        exc = info.value
+        assert exc.order == 2
+        assert exc.moment_scale == 1.0
+        assert exc.condition_number is not None
+        assert CONTEXT_RE.search(str(exc)), str(exc)
+
+    def test_general_pade_singular_hankel(self):
+        moments = np.array([1.0, -1.0, 1.0, -1.0, 1.0, -1.0])
+        with pytest.raises(ApproximationError) as info:
+            pade_coefficients(moments, 3)
+        exc = info.value
+        assert exc.order == 3
+        assert "order=3" in str(exc)
+
+    def test_stability_fallback_exhausted(self):
+        # moments of a hard right-half-plane response: every reduced
+        # order is unstable, so the stable-order fallback runs dry
+        with pytest.raises(ApproximationError) as info:
+            rom_from_moments([1.0, 1.0, 1.0, 2.0], 2)
+        exc = info.value
+        assert exc.order is not None
+        assert exc.moment_scale is not None
+        assert "order=" in str(exc)
+
+    def test_quarantine_record_receives_context(self, fig1_model):
+        """The numeric context survives into the diagnostics report."""
+        from repro.core import metrics
+        from repro.testing import FaultInjector
+
+        injector = FaultInjector().nan_moments([3])
+        grids = {"G2": np.linspace(0.5, 4.0, 4),
+                 "C2": np.linspace(0.5, 3.0, 4)}
+        with injector.armed():
+            z = fig1_model.model.sweep(grids, metrics.dominant_pole_hz)
+        (rec,) = z.diagnostics.quarantined
+        assert rec.index == 3
+        assert rec.error == "ApproximationError"
+        assert rec.message  # the formatted message, context and all

@@ -1,0 +1,75 @@
+"""Property fuzz of the netlist parser: malformed input never escapes as
+anything but :class:`NetlistError` (with line-number context), and valid
+input keeps round-tripping.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import example, given, settings, strategies as st
+
+from repro.circuits import parse_netlist
+from repro.circuits.netlist import write_netlist
+from repro.errors import NetlistError
+
+# alphabet chosen to hit every parser path: element letters, digits,
+# unit suffixes, card punctuation, comments, continuations, whitespace
+NETLIST_CHARS = st.sampled_from(list("RCLGEFHVIrclgefhvi.+*;/= \t0123456789"
+                                     "abknpuMmGxXyz_-"))
+NETLIST_LINES = st.lists(st.text(NETLIST_CHARS, max_size=24), max_size=12)
+
+
+@settings(max_examples=300, deadline=None)
+@given(NETLIST_LINES)
+@example(["R1 a"])                       # too few fields
+@example(["R1 a b xx"])                  # unparseable value
+@example(["R1 a b 0"])                   # R must be > 0 (CircuitError path)
+@example(["+R1 a b 1k"])                 # continuation with no card
+@example(["X1 a b 1k"])                  # unknown element letter
+@example([".probe out"])                 # unsupported control card
+@example(["V1 a"])                       # V card missing a node
+@example(["V1 a b DC"])                  # DC keyword with no value
+@example(["R1 a b 1k", "R1 a b 1k"])     # duplicate element name
+def test_parser_raises_only_netlist_error(lines):
+    text = "\n".join(lines)
+    try:
+        parse_netlist(text)
+    except NetlistError as exc:
+        # structured context, never a bare traceback from deep inside
+        assert exc.line_no is None or exc.line_no >= 1
+        if exc.line_no is not None:
+            assert f"line {exc.line_no}:" in str(exc)
+    # IndexError / ValueError / KeyError escaping would fail the test
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(
+    st.sampled_from("RCL"),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=5),
+    st.floats(min_value=1e-12, max_value=1e6,
+              allow_nan=False, allow_infinity=False)),
+    min_size=1, max_size=8))
+def test_wellformed_cards_parse_and_roundtrip(cards):
+    lines = [f"{kind}{i} n{a} n{b} {value!r}"
+             for i, (kind, a, b, value) in enumerate(cards)
+             if a != b]
+    circuit = parse_netlist("\n".join(lines))
+    reparsed = parse_netlist(write_netlist(circuit))
+    assert [e.name for e in circuit] == [e.name for e in reparsed]
+
+
+class TestLineNumbers:
+    def test_error_points_at_the_bad_line(self):
+        text = "* title\nR1 a b 1k\nC1 a b\n.end\n"
+        with pytest.raises(NetlistError) as info:
+            parse_netlist(text)
+        assert info.value.line_no == 3
+        assert "line 3:" in str(info.value)
+        assert "C1 a b" in str(info.value)
+
+    def test_continuation_errors_point_at_the_first_line(self):
+        text = "R1 a b\n+ 1k 2k\n"
+        with pytest.raises(NetlistError) as info:
+            parse_netlist(text)
+        assert info.value.line_no == 1

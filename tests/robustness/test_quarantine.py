@@ -1,0 +1,145 @@
+"""Point quarantine: lenient sweeps complete, strict sweeps fail fast.
+
+The acceptance sweep from the issue: a 64 x 64 grid over a degenerate
+range completes in lenient mode with the singular points quarantined to
+NaN and a machine-readable diagnostics report, raises in strict mode,
+and stays differentially identical between the batched and per-point
+paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import metrics
+from repro.diagnostics import SweepDiagnostics, SweepResult
+from repro.errors import PartitionError
+
+from .conftest import clean_grids, degenerate_grids
+
+
+class TestLenient:
+    @pytest.fixture(scope="class")
+    def swept(self, fig1_model):
+        return fig1_model.model.sweep(degenerate_grids(),
+                                      metrics.dominant_pole_hz)
+
+    def test_completes_with_nan_row(self, swept):
+        assert swept.shape == (64, 64)
+        assert np.isnan(swept[0]).all()          # G2 == 0: singular row
+        assert np.isfinite(swept[1:]).all()      # everything else survives
+
+    def test_result_is_plain_ndarray_plus_diagnostics(self, swept):
+        assert isinstance(swept, np.ndarray)
+        assert isinstance(swept, SweepResult)
+        assert isinstance(swept.diagnostics, SweepDiagnostics)
+        assert swept.dtype == np.float64
+
+    def test_quarantine_records(self, swept):
+        diag = swept.diagnostics
+        assert len(diag.quarantined) == 64
+        assert not diag.ok
+        assert diag.points == 64 * 64
+        assert diag.nan_points == 64
+        for point in diag.quarantined:
+            assert point.stage == "moments"
+            assert point.error == "PartitionError"
+            assert point.grid_index[0] == 0      # all on the G2 == 0 row
+            assert point.values["G2"] == 0.0
+        # records come back sorted by flat index
+        indices = [p.index for p in diag.quarantined]
+        assert indices == sorted(indices) == list(range(64))
+
+    def test_health_summaries(self, swept):
+        diag = swept.diagnostics
+        assert diag.y0_det_abs.count == 64 * 64
+        assert diag.y0_det_abs.vmin == 0.0       # the singular row
+        assert diag.moment_decay.count == 64 * 63  # finite points only
+        assert diag.hankel_condition.count == 64 * 63
+        assert diag.hankel_condition.vmin > 1.0
+
+    def test_machine_readable_report(self, swept):
+        payload = json.loads(swept.diagnostics.to_json())
+        assert payload["points"] == 4096
+        assert payload["strict"] is False
+        assert len(payload["quarantined"]) == 64
+        rec = payload["quarantined"][0]
+        assert rec["stage"] == "moments"
+        assert rec["grid_index"] == [0, 0]
+        assert rec["values"]["G2"] == 0.0
+        assert payload["y0_det_abs"]["min"] == 0.0
+
+    def test_summary_renders(self, swept):
+        text = swept.diagnostics.summary(max_listed=3)
+        assert "64 quarantined" in text
+        assert "... 61 more quarantined point(s)" in text
+
+    def test_stats_count_quarantined(self, fig1_model):
+        from repro.runtime import RuntimeStats
+
+        stats = RuntimeStats()
+        fig1_model.model.sweep(degenerate_grids(8),
+                               metrics.dominant_pole_hz, stats=stats)
+        assert stats.quarantined_points == 8
+        assert "8 quarantined" in stats.summary()
+
+
+class TestStrict:
+    def test_batched_raises(self, fig1_model):
+        with pytest.raises(PartitionError, match="singular"):
+            fig1_model.model.sweep(degenerate_grids(),
+                                   metrics.dominant_pole_hz, strict=True)
+
+    def test_per_point_raises(self, fig1_model):
+        with pytest.raises(PartitionError, match="singular"):
+            fig1_model.model.sweep_per_point(degenerate_grids(8),
+                                             metrics.dominant_pole_hz,
+                                             strict=True)
+
+    def test_clean_grid_is_strict_safe(self, fig1_model):
+        strict = fig1_model.model.sweep(clean_grids(),
+                                        metrics.dominant_pole_hz, strict=True)
+        lenient = fig1_model.model.sweep(clean_grids(),
+                                         metrics.dominant_pole_hz)
+        assert lenient.diagnostics.ok
+        np.testing.assert_array_equal(np.asarray(strict), np.asarray(lenient))
+
+
+class TestDifferentialIdentity:
+    """Per-point and batched stay identical through the quarantine path."""
+
+    def test_nan_masks_and_values_match(self, fig1_model):
+        grids = degenerate_grids(16)
+        batched = fig1_model.model.sweep(grids, metrics.dominant_pole_hz)
+        per_point = fig1_model.model.sweep_per_point(
+            grids, metrics.dominant_pole_hz)
+        np.testing.assert_array_equal(np.isnan(np.asarray(batched)),
+                                      np.isnan(np.asarray(per_point)))
+        np.testing.assert_allclose(np.asarray(batched),
+                                   np.asarray(per_point),
+                                   rtol=1e-9, equal_nan=True)
+
+    def test_quarantine_records_match(self, fig1_model):
+        grids = degenerate_grids(16)
+        batched = fig1_model.model.sweep(grids, metrics.dominant_pole_hz)
+        per_point = fig1_model.model.sweep_per_point(
+            grids, metrics.dominant_pole_hz)
+        b = [(p.index, p.stage, p.error)
+             for p in batched.diagnostics.quarantined]
+        p = [(p.index, p.stage, p.error)
+             for p in per_point.diagnostics.quarantined]
+        assert b == p
+
+    def test_sharded_equals_serial(self, fig1_model):
+        """Order-preserving splice: sharding never changes the surface."""
+        grids = degenerate_grids(16)
+        serial = fig1_model.model.sweep(grids, metrics.dominant_pole_hz)
+        sharded = fig1_model.model.sweep(grids, metrics.dominant_pole_hz,
+                                         shards=5, max_workers=3)
+        np.testing.assert_array_equal(np.asarray(serial),
+                                      np.asarray(sharded))
+        assert len(sharded.diagnostics.quarantined) == \
+            len(serial.diagnostics.quarantined)

@@ -1,0 +1,167 @@
+"""Shard-level chaos: crashed, hung, and repeatedly failing workers.
+
+Every test drives the real sweep through the ``sweep.shard`` /
+``sweep.moments`` fault sites and checks two invariants: the surviving
+points are *identical* to a clean run (order-preserving splice), and the
+incident is recorded in the diagnostics with the right resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import metrics
+from repro.runtime import ResilienceConfig
+from repro.runtime.resilience import SERIAL_ATTEMPT, backoff_delay
+from repro.testing import FaultInjector, InjectedFault
+
+from .conftest import clean_grids
+
+FAST = ResilienceConfig(backoff_seconds=1e-4)
+
+
+@pytest.fixture(scope="module")
+def clean_surface(fig1_model):
+    z = fig1_model.model.sweep(clean_grids(), metrics.dominant_pole_hz)
+    assert z.diagnostics.ok
+    return np.asarray(z)
+
+
+def chaos_sweep(fig1_model, injector, *, shards=4, workers=2,
+                config=FAST, strict=False):
+    with injector.armed():
+        z = fig1_model.model.sweep(clean_grids(), metrics.dominant_pole_hz,
+                                   shards=shards, max_workers=workers,
+                                   strict=strict, resilience=config)
+    return z
+
+
+class TestRetry:
+    def test_crashed_shard_is_retried(self, fig1_model, clean_surface):
+        injector = FaultInjector().raises(
+            "sweep.shard",
+            when=lambda p: p["shard"] == 1 and p["attempt"] == 0)
+        z = chaos_sweep(fig1_model, injector)
+        np.testing.assert_array_equal(np.asarray(z), clean_surface)
+        assert injector.fired("sweep.shard") == 1
+        (incident,) = z.diagnostics.shard_failures
+        assert incident.shard == 1
+        assert incident.resolution == "retried"
+        assert incident.error == "InjectedFault"
+
+    def test_serial_sweep_also_retries(self, fig1_model, clean_surface):
+        injector = FaultInjector().raises(
+            "sweep.shard",
+            when=lambda p: p["shard"] == 0 and p["attempt"] == 0)
+        z = chaos_sweep(fig1_model, injector, shards=1, workers=1)
+        np.testing.assert_array_equal(np.asarray(z), clean_surface)
+        (incident,) = z.diagnostics.shard_failures
+        assert incident.resolution == "retried"
+
+    def test_backoff_is_deterministic(self):
+        d1 = backoff_delay(FAST, shard=3, attempt=1)
+        d2 = backoff_delay(FAST, shard=3, attempt=1)
+        assert d1 == d2
+        assert 0.0 <= d1 <= FAST.backoff_seconds * 2 * (1 + FAST.backoff_jitter)
+
+
+class TestSerialFallback:
+    def test_pool_poisoned_shard_recovers_in_process(self, fig1_model,
+                                                     clean_surface):
+        # every pooled attempt dies; the in-process fallback (attempt -1)
+        # is exempt and saves the shard
+        injector = FaultInjector().raises(
+            "sweep.shard", times=None,
+            when=lambda p: p["shard"] == 2 and p["attempt"] >= 0)
+        z = chaos_sweep(fig1_model, injector)
+        np.testing.assert_array_equal(np.asarray(z), clean_surface)
+        (incident,) = z.diagnostics.shard_failures
+        assert incident.shard == 2
+        assert incident.resolution == "serial"
+        # first attempt + retries all fired, then the serial rescue ran
+        assert injector.fired("sweep.shard") == FAST.shard_retries + 1
+
+    def test_serial_attempt_index_is_marked(self, fig1_model):
+        seen = []
+        injector = FaultInjector()
+        injector.on("sweep.shard", lambda p: seen.append(p["attempt"]),
+                    times=None,
+                    when=lambda p: p["shard"] == 0)
+        injector.raises("sweep.shard", times=None,
+                        when=lambda p: p["shard"] == 0 and p["attempt"] >= 0)
+        chaos_sweep(fig1_model, injector)
+        assert seen == list(range(FAST.shard_retries + 1)) + [SERIAL_ATTEMPT]
+
+
+class TestAbandoned:
+    def test_lenient_abandons_to_nan_slice(self, fig1_model, clean_surface):
+        injector = FaultInjector().raises(
+            "sweep.shard", times=None, when=lambda p: p["shard"] == 1)
+        z = chaos_sweep(fig1_model, injector)
+        diag = z.diagnostics
+        (incident,) = diag.shard_failures
+        assert incident.resolution == "abandoned"
+        flat = np.asarray(z).reshape(-1)
+        clean_flat = clean_surface.reshape(-1)
+        assert np.isnan(flat[incident.lo:incident.hi]).all()
+        mask = np.ones(flat.size, dtype=bool)
+        mask[incident.lo:incident.hi] = False
+        np.testing.assert_array_equal(flat[mask], clean_flat[mask])
+
+    def test_strict_raises_the_infrastructure_error(self, fig1_model):
+        injector = FaultInjector().raises(
+            "sweep.shard", times=None, when=lambda p: p["shard"] == 1)
+        with pytest.raises(InjectedFault):
+            chaos_sweep(fig1_model, injector, strict=True)
+
+    def test_no_serial_fallback_config(self, fig1_model):
+        config = ResilienceConfig(backoff_seconds=1e-4, shard_retries=1,
+                                  serial_fallback=False)
+        injector = FaultInjector().raises(
+            "sweep.shard", times=None,
+            when=lambda p: p["shard"] == 0 and p["attempt"] >= 0)
+        z = chaos_sweep(fig1_model, injector, config=config)
+        (incident,) = z.diagnostics.shard_failures
+        assert incident.resolution == "abandoned"
+        assert incident.attempts == 2  # first try + one retry, no rescue
+
+
+class TestTimeout:
+    def test_hung_shard_is_abandoned_and_retried(self, fig1_model,
+                                                 clean_surface):
+        injector = FaultInjector().sleeps(
+            "sweep.shard", 0.5,
+            when=lambda p: p["shard"] == 0 and p["attempt"] == 0)
+        config = ResilienceConfig(backoff_seconds=1e-4, shard_timeout=0.05)
+        z = chaos_sweep(fig1_model, injector, config=config)
+        np.testing.assert_array_equal(np.asarray(z), clean_surface)
+        assert any(f.error == "TimeoutError" and f.resolution == "retried"
+                   for f in z.diagnostics.shard_failures)
+
+
+class TestNaNMoments:
+    def test_poisoned_moments_are_quarantined(self, fig1_model,
+                                              clean_surface):
+        targets = [5, 17, 63]
+        injector = FaultInjector().nan_moments(targets)
+        z = chaos_sweep(fig1_model, injector, shards=4, workers=1)
+        flat = np.asarray(z).reshape(-1)
+        clean_flat = clean_surface.reshape(-1)
+        assert np.isnan(flat[targets]).all()
+        mask = np.ones(flat.size, dtype=bool)
+        mask[targets] = False
+        np.testing.assert_array_equal(flat[mask], clean_flat[mask])
+        quarantined = {p.index: p for p in z.diagnostics.quarantined}
+        assert set(quarantined) == set(targets)
+        for rec in quarantined.values():
+            assert rec.stage == "pade"
+            assert rec.error == "ApproximationError"
+
+    def test_poisoned_moments_raise_in_strict(self, fig1_model):
+        from repro.errors import ApproximationError
+
+        injector = FaultInjector().nan_moments([7])
+        with pytest.raises(ApproximationError):
+            chaos_sweep(fig1_model, injector, shards=1, workers=1,
+                        strict=True)
