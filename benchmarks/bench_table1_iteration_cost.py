@@ -122,20 +122,31 @@ def test_sweep_100_points_numeric_awe(benchmark, ss741, rng):
 
 
 def test_table1_report(model741, ss741, capsys):
-    """Regenerate Table 1's rows (setup + N * increment vs N * per-analysis)."""
-    import timeit
+    """Regenerate Table 1's rows (setup + N * increment vs N * per-analysis).
 
-    t_eval = timeit.timeit(lambda: model741.model.rom({"Ccomp": 33e-12}),
-                           number=500) / 500
-    t_awe = timeit.timeit(
-        lambda: awe(ss741.circuit, "out", order=2), number=10) / 10
-    # symbolic setup cost: re-run the symbolic moment computation
-    import time
-
+    All timings come from one :class:`repro.obs.metrics.MetricsRegistry`:
+    each leg is a ``*_seconds`` histogram whose mean is ``sum / count``,
+    so the report and any exported ``metrics.prom`` agree by
+    construction (no hand-rolled ``perf_counter`` pairs to drift).
+    """
     from repro import awesymbolic
-    t0 = time.perf_counter()
-    awesymbolic(ss741.circuit, "out", symbols=["go_Q14", "Ccomp"], order=2)
-    t_setup = time.perf_counter() - t0
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    for _ in range(500):
+        with reg.time("bench_table1_symbolic_iteration_seconds"):
+            model741.model.rom({"Ccomp": 33e-12})
+    for _ in range(10):
+        with reg.time("bench_table1_numeric_awe_seconds"):
+            awe(ss741.circuit, "out", order=2)
+    # symbolic setup cost: re-run the symbolic moment computation
+    with reg.time("bench_table1_symbolic_setup_seconds"):
+        awesymbolic(ss741.circuit, "out", symbols=["go_Q14", "Ccomp"],
+                    order=2)
+
+    t_eval = reg.get("bench_table1_symbolic_iteration_seconds").mean
+    t_awe = reg.get("bench_table1_numeric_awe_seconds").mean
+    t_setup = reg.get("bench_table1_symbolic_setup_seconds").mean
 
     with capsys.disabled():
         print("\nTable 1 reproduction (seconds; paper values in parens):")

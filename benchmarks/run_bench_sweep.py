@@ -1,0 +1,119 @@
+"""CI benchmark: traced 741 sweep -> BENCH_sweep.json (+ Perfetto trace).
+
+Runs the paper's §3.1 workload end to end under the observability layer:
+
+1. compile the 741 small-signal circuit with the paper's symbols
+   (``go_Q14``, ``Ccomp``) through :func:`repro.awesymbolic`;
+2. sweep ``dominant_pole_hz`` over a ``(go_Q14, Ccomp)`` grid with the
+   batched sharded runtime, collecting :class:`RuntimeStats`;
+3. op-profile the compiled moment program over the same grid batch;
+4. write ``BENCH_sweep.json`` — points/sec, compile and evaluate
+   seconds, the top-3 hot ops with symbolic provenance, and the full
+   stats/metrics snapshots — and, with ``--trace``, a Chrome/Perfetto
+   trace of the whole run.
+
+Usage (what the CI bench-sweep job runs)::
+
+    python benchmarks/run_bench_sweep.py --trace trace_741.json \
+        --out BENCH_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import awesymbolic
+from repro.circuits.library import small_signal_741
+from repro.core.metrics import dominant_pole_hz
+from repro.obs import export as obs_export
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.profile import profile_program
+from repro.runtime import RuntimeStats
+from repro.runtime.batched import grid_columns
+
+GRID_N = 32
+SHARDS = 8
+
+
+def run(grid_n: int = GRID_N, shards: int = SHARDS) -> dict:
+    ss = small_signal_741()
+    res = awesymbolic(ss.circuit, "out", symbols=["go_Q14", "Ccomp"],
+                      order=2)
+    model = res.model
+
+    go_nom = res.partition.symbolic[0].symbol.nominal
+    grids = {
+        "go_Q14": np.linspace(0.5, 4.0, grid_n) * go_nom,
+        "Ccomp": np.linspace(10e-12, 60e-12, grid_n),
+    }
+
+    stats = RuntimeStats()
+    z = model.sweep(grids, dominant_pole_hz, shards=shards, stats=stats)
+    finite = int(np.isfinite(np.asarray(z)).sum())
+
+    _, _, cols = grid_columns(model, grids)
+    prof = profile_program(model.compiled_moments.fn, cols, repeats=5)
+
+    return {
+        "workload": "741 dominant_pole_hz sweep (paper section 3.1)",
+        "grid": {"go_Q14": grid_n, "Ccomp": grid_n},
+        "points": int(z.size),
+        "finite_points": finite,
+        "shards": shards,
+        "n_ops": model.n_ops,
+        "points_per_second": stats.points_per_second,
+        "compile_seconds": stats.compile_seconds,
+        "evaluate_seconds": stats.evaluate_seconds,
+        "total_seconds": stats.total_seconds,
+        "parallel_efficiency": stats.parallel_efficiency,
+        "top_ops": [
+            {"kind": e.kind, "expr": e.expr, "ops": e.ops,
+             "fraction": e.fraction, "seconds": e.seconds}
+            for e in prof.top(3)
+        ],
+        "profile_coverage": prof.coverage,
+        "stats": stats.to_dict(),
+        "metrics": obs_metrics.registry().snapshot(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path, default=Path("BENCH_sweep.json"))
+    ap.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                    help="write a Chrome/Perfetto trace of the run")
+    ap.add_argument("--grid", type=int, default=GRID_N,
+                    help=f"points per sweep axis (default {GRID_N})")
+    ap.add_argument("--shards", type=int, default=SHARDS)
+    args = ap.parse_args(argv)
+
+    tracer = obs_trace.start_tracing() if args.trace is not None else None
+    try:
+        payload = run(grid_n=args.grid, shards=args.shards)
+    finally:
+        if tracer is not None:
+            obs_trace.stop_tracing()
+            obs_export.write_chrome_trace(args.trace, tracer)
+            print(f"wrote {args.trace} ({len(tracer.snapshot())} spans)")
+
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print(f"  {payload['points']} points "
+          f"({payload['finite_points']} finite), "
+          f"{payload['points_per_second']:.0f} points/s, "
+          f"compile {payload['compile_seconds']:.3f} s, "
+          f"evaluate {payload['evaluate_seconds']:.3f} s")
+    for i, op in enumerate(payload["top_ops"], start=1):
+        print(f"  hot op {i}: {op['fraction'] * 100.0:5.1f}%  "
+              f"{op['kind']:<5} {op['expr']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ApproximationError
+from ..obs import metrics as _metrics
 from .model import ReducedOrderModel
 from .pade import fast_poles_residues, poles_and_residues
 from .scaling import moment_scale, scale_moments, unscale_poles, unscale_residues
@@ -50,6 +51,11 @@ def stable_reduction(moments: np.ndarray, order: int,
         model = ReducedOrderModel(poles, residues, order_requested=order,
                                   scale=a, dropped_unstable=dropped)
         if model.stable or not require_stable:
+            if dropped:
+                _metrics.registry().counter(
+                    "repro_pade_dropped_orders_total",
+                    "orders dropped by the stable-reduction fallback"
+                ).inc(dropped)
             return model
         failures.append(f"order {q}: unstable poles {poles[poles.real >= 0]}")
         dropped += 1

@@ -28,6 +28,7 @@ import io
 from typing import Iterable
 
 from ..errors import NetlistError
+from ..obs import trace as _trace
 from ..units import parse_value
 from .circuit import Circuit
 from .elements import (CCCS, CCVS, VCCS, VCVS, Capacitor, Conductance,
@@ -93,6 +94,13 @@ def parse_netlist(text: str, title: str = "") -> Circuit:
     Raises:
         NetlistError: on any malformed card, with line number context.
     """
+    with _trace.span("netlist.parse") as span:
+        circuit = _parse(text, title)
+        span.set(title=circuit.title, elements=sum(1 for _ in circuit))
+        return circuit
+
+
+def _parse(text: str, title: str) -> Circuit:
     circuit = Circuit(title)
     first = True
     for line_no, card in _logical_lines(text):

@@ -7,15 +7,28 @@ Commands:
 * ``evaluate`` — evaluate or sweep a saved compiled model; ``--strict``
   fails on the first degenerate grid point, the default (``--lenient``)
   quarantines it to NaN and reports it.
+* ``sweep`` — end-to-end netlist → compiled model → batched metric
+  sweep in one invocation (routed through the program cache).
+* ``trace`` — run the compile pipeline (and optionally a sweep) under
+  the tracer and write a Chrome/Perfetto trace JSON.
+* ``profile`` — op-level profile of a saved model's compiled moment
+  program: top-k hot ops with symbolic provenance.
 * ``doctor`` — health-check a sweep (quarantine list, conditioning
-  summaries) and/or a program-cache directory.
+  summaries) and/or a program-cache directory.  Exit status encodes
+  severity: 0 healthy, 1 warnings, 2 corrupt cache entries.
 * ``figures`` — regenerate the paper's figure/table data as CSV
   (delegates to :mod:`repro.reporting.figures`).
+
+Every command accepts ``--trace FILE`` (write a Chrome/Perfetto trace of
+the whole run) and ``--metrics-dir DIR`` (write ``metrics.prom`` +
+``events.jsonl`` on exit) — the observability layer of
+:mod:`repro.obs`, see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -25,6 +38,68 @@ from . import __version__
 from .errors import ReproError
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="write a Chrome/Perfetto trace of this run "
+                             "(load at https://ui.perfetto.dev)")
+    parent.add_argument("--metrics-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="write metrics.prom (Prometheus textfile) and "
+                             "events.jsonl here on exit")
+    return parent
+
+
+def _add_sweep_args(p: argparse.ArgumentParser) -> None:
+    """Grid/metric/sharding options shared by evaluate, sweep, trace."""
+    p.add_argument("--sweep", action="append", default=[],
+                   metavar="NAME=START:STOP:N",
+                   help="sweep an element over a linear grid "
+                        "(repeatable; grids combine cartesian)")
+    p.add_argument("--metric", default="dominant_pole_hz",
+                   help="metric for --sweep (a repro.core.metrics "
+                        "function name; default dominant_pole_hz)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="split the sweep grid into N chunks")
+    p.add_argument("--workers", type=int, default=None,
+                   help="thread-pool width for sweep shards")
+    p.add_argument("--stats", action="store_true",
+                   help="print runtime statistics for the sweep")
+    p.add_argument("--stats-json", type=Path, default=None, metavar="FILE",
+                   help="write the runtime statistics as JSON "
+                        "(schema-stable, see RuntimeStats.to_dict)")
+    p.add_argument("--csv", type=Path, default=None, metavar="FILE",
+                   help="write sweep results as CSV")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--strict", action="store_true",
+                      help="fail on the first degenerate sweep point")
+    mode.add_argument("--lenient", action="store_false", dest="strict",
+                      help="quarantine degenerate points to NaN and keep "
+                           "going (default)")
+    p.add_argument("--diagnostics", type=Path, default=None, metavar="FILE",
+                   help="write the sweep diagnostics report as JSON")
+
+
+def _add_model_build_args(p: argparse.ArgumentParser) -> None:
+    """Netlist → symbolic model options shared by sweep and trace."""
+    p.add_argument("netlist", type=Path, help="netlist file")
+    p.add_argument("--output", "-o", required=True,
+                   help="observed node name")
+    p.add_argument("--order", type=int, default=2,
+                   help="Padé order (default 2)")
+    p.add_argument("--symbols", "-s", default=None,
+                   help="comma-separated symbolic element names")
+    p.add_argument("--auto-symbols", type=int, default=0, metavar="K",
+                   help="pick the K most sensitive elements as symbols")
+    p.add_argument("--devices", action="store_true",
+                   help="netlist contains D/Q/M cards: solve the DC "
+                        "operating point and linearize first")
+    p.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                   help="cache derived symbolic programs here; "
+                        "repeat runs skip the symbolic solve")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -32,9 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "(Lee & Rohrer, DAC 1992)")
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
+    obs_parent = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    analyze = sub.add_parser("analyze",
+    analyze = sub.add_parser("analyze", parents=[obs_parent],
                              help="analyze a netlist with AWE / AWEsymbolic")
     analyze.add_argument("netlist", type=Path, help="netlist file")
     analyze.add_argument("--output", "-o", required=True,
@@ -58,39 +134,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cache derived symbolic programs here; "
                               "repeat runs skip the symbolic solve")
 
-    evaluate = sub.add_parser("evaluate",
+    evaluate = sub.add_parser("evaluate", parents=[obs_parent],
                               help="evaluate a saved compiled model "
                                    "(no circuit needed)")
     evaluate.add_argument("model", type=Path, help="saved model JSON")
     evaluate.add_argument("--at", action="append", default=[],
                           metavar="NAME=VALUE",
                           help="element value override (repeatable)")
-    evaluate.add_argument("--sweep", action="append", default=[],
-                          metavar="NAME=START:STOP:N",
-                          help="sweep an element over a linear grid "
-                              "(repeatable; grids combine cartesian)")
-    evaluate.add_argument("--metric", default="dominant_pole_hz",
-                          help="metric for --sweep (a repro.core.metrics "
-                               "function name; default dominant_pole_hz)")
-    evaluate.add_argument("--shards", type=int, default=None,
-                          help="split the sweep grid into N chunks")
-    evaluate.add_argument("--workers", type=int, default=None,
-                          help="thread-pool width for sweep shards")
-    evaluate.add_argument("--stats", action="store_true",
-                          help="print runtime statistics for the sweep")
-    evaluate.add_argument("--csv", type=Path, default=None, metavar="FILE",
-                          help="write sweep results as CSV")
-    mode = evaluate.add_mutually_exclusive_group()
-    mode.add_argument("--strict", action="store_true",
-                      help="fail on the first degenerate sweep point")
-    mode.add_argument("--lenient", action="store_false", dest="strict",
-                      help="quarantine degenerate points to NaN and keep "
-                           "going (default)")
-    evaluate.add_argument("--diagnostics", type=Path, default=None,
-                          metavar="FILE",
-                          help="write the sweep diagnostics report as JSON")
+    _add_sweep_args(evaluate)
 
-    doctor = sub.add_parser("doctor",
+    sweep = sub.add_parser("sweep", parents=[obs_parent],
+                           help="netlist -> compiled model -> batched "
+                                "metric sweep, in one run")
+    _add_model_build_args(sweep)
+    _add_sweep_args(sweep)
+
+    trace = sub.add_parser("trace", parents=[obs_parent],
+                           help="run the compile pipeline (and optionally "
+                                "a sweep) under the tracer")
+    _add_model_build_args(trace)
+    _add_sweep_args(trace)
+    trace.add_argument("--out", type=Path, default=Path("trace.json"),
+                       metavar="FILE",
+                       help="Chrome/Perfetto trace output "
+                            "(default: trace.json)")
+
+    profile = sub.add_parser("profile", parents=[obs_parent],
+                             help="op-level profile of a saved model's "
+                                  "compiled moment program")
+    profile.add_argument("model", type=Path, help="saved model JSON")
+    profile.add_argument("--sweep", action="append", default=[],
+                         metavar="NAME=START:STOP:N",
+                         help="grid batch to profile over (repeatable)")
+    profile.add_argument("--top", type=int, default=10,
+                         help="hot ops to list (default 10)")
+    profile.add_argument("--repeats", type=int, default=5,
+                         help="batches to sample (default 5)")
+    profile.add_argument("--json", type=Path, default=None, metavar="FILE",
+                         help="write the full profile as JSON")
+
+    doctor = sub.add_parser("doctor", parents=[obs_parent],
                             help="health-check a sweep and/or a program "
                                  "cache directory")
     doctor.add_argument("model", type=Path, nargs="?", default=None,
@@ -113,7 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="move unhealthy cache entries to quarantine/ "
                              "and delete orphaned temp files")
 
-    figures = sub.add_parser("figures",
+    figures = sub.add_parser("figures", parents=[obs_parent],
                              help="regenerate the paper's figure data (CSV)")
     figures.add_argument("outdir", nargs="?", default="paper_figures",
                          help="output directory (default: paper_figures)")
@@ -256,6 +339,75 @@ def _run_sweep(loaded, args) -> int:
         print(f"wrote {args.csv}")
     if args.stats:
         print(stats.summary())
+    if getattr(args, "stats_json", None) is not None:
+        args.stats_json.write_text(
+            json.dumps(stats.to_dict(), indent=2) + "\n")
+        print(f"wrote {args.stats_json}")
+    return 0
+
+
+def _build_cached_model(args):
+    """Netlist → AWESymbolicResult through the program cache.
+
+    Always routed through a :class:`~repro.runtime.ProgramCache` (purely
+    in-memory without ``--cache-dir``) so cache behaviour — and its
+    ``cache.lookup`` / ``cache.build`` spans — is uniform across runs.
+    """
+    from .runtime import ProgramCache
+
+    circuit = _load_circuit(args)
+    symbols = None
+    if args.symbols:
+        symbols = [s.strip() for s in args.symbols.split(",") if s.strip()]
+    if symbols is None and args.auto_symbols <= 0:
+        raise ReproError("need --symbols or --auto-symbols to pick the "
+                         "symbolic elements")
+    cache = ProgramCache(disk_dir=args.cache_dir)
+    res = cache.get_or_build(circuit, args.output, symbols=symbols,
+                             n_symbols=max(args.auto_symbols, 1),
+                             order=args.order)
+    if args.cache_dir is not None:
+        print(cache.stats.summary())
+    return res
+
+
+def cmd_sweep(args) -> int:
+    if not args.sweep:
+        raise ReproError("sweep needs at least one --sweep NAME=START:STOP:N")
+    res = _build_cached_model(args)
+    print(res.partition.summary())
+    print(f"compiled model: {res.model.n_ops} ops per evaluation")
+    return _run_sweep(res.model, args)
+
+
+def cmd_trace(args) -> int:
+    # the tracer itself is installed by main() (--out aliases --trace);
+    # this command just drives the pipeline under it
+    res = _build_cached_model(args)
+    print(f"compiled model: {res.model.n_ops} ops per evaluation")
+    if args.sweep:
+        return _run_sweep(res.model, args)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .core.serialize import model_from_json
+    from .obs.profile import profile_program
+    from .runtime.batched import grid_columns
+
+    if not args.sweep:
+        raise ReproError("profile needs at least one --sweep "
+                         "NAME=START:STOP:N to form the grid batch")
+    loaded = model_from_json(args.model.read_text())
+    grids = dict(_parse_sweep(s) for s in args.sweep)
+    _, shape, cols = grid_columns(loaded, grids)
+    prof = profile_program(loaded.compiled_moments.fn, cols,
+                           repeats=args.repeats)
+    print(prof.table(args.top))
+    if args.json is not None:
+        args.json.write_text(json.dumps(prof.to_dict(args.top), indent=2)
+                             + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -294,10 +446,15 @@ def _print_model(model, label: str = "reduced-order model") -> None:
 def cmd_doctor(args) -> int:
     """Health-check backend: lenient sweep diagnostics + cache scan.
 
-    Exit status 0 when everything checked out, 1 when anything was
-    quarantined, unhealthy, or left over from a crash.
+    Exit status encodes severity so CI can gate on it:
+
+    * ``0`` — everything checked out;
+    * ``1`` — warnings: quarantined sweep points, shard incidents, or
+      orphaned temp files from interrupted cache writes;
+    * ``2`` — corrupt or wrong-schema cache entries (data that cannot be
+      trusted, as opposed to merely untidy).
     """
-    healthy = True
+    worst = 0
     checked = False
     if args.model is not None:
         if not args.sweep:
@@ -319,7 +476,8 @@ def cmd_doctor(args) -> int:
         if args.json is not None:
             args.json.write_text(diag.to_json(indent=2) + "\n")
             print(f"wrote {args.json}")
-        healthy = healthy and diag.ok
+        if not diag.ok:
+            worst = max(worst, 1)
         checked = True
     if args.cache_dir is not None:
         from .runtime import ProgramCache
@@ -337,12 +495,15 @@ def cmd_doctor(args) -> int:
                 line += " -> quarantined" if r["status"] != "orphan-tmp" \
                     else " -> removed"
             print(line)
-        healthy = healthy and not bad
+        if any(r["status"] in ("corrupt", "schema") for r in bad):
+            worst = 2
+        elif bad:
+            worst = max(worst, 1)
         checked = True
     if not checked:
         raise ReproError("doctor needs a saved model (with --sweep) "
                          "and/or --cache-dir")
-    return 0 if healthy else 1
+    return worst
 
 
 def cmd_figures(args) -> int:
@@ -351,22 +512,59 @@ def cmd_figures(args) -> int:
     return figures_main([args.outdir])
 
 
+def _finalize_obs(tracer, trace_path: Path | None,
+                  metrics_dir: Path | None) -> None:
+    """Stop the tracer and write the requested exports."""
+    from .obs import export as obs_export
+    from .obs import metrics as obs_metrics
+    from .obs import trace as obs_trace
+
+    obs_trace.stop_tracing()
+    if trace_path is not None:
+        obs_export.write_chrome_trace(trace_path, tracer)
+        print(f"wrote {trace_path} "
+              f"({len(tracer.snapshot())} spans; load at "
+              f"https://ui.perfetto.dev)")
+    if metrics_dir is not None:
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+        obs_export.write_prometheus(metrics_dir / "metrics.prom",
+                                    obs_metrics.registry())
+        obs_export.write_jsonl(metrics_dir / "events.jsonl", tracer,
+                               obs_metrics.registry())
+        print(f"wrote {metrics_dir / 'metrics.prom'} and "
+              f"{metrics_dir / 'events.jsonl'}")
+
+
+_COMMANDS = {
+    "analyze": cmd_analyze,
+    "evaluate": cmd_evaluate,
+    "sweep": cmd_sweep,
+    "trace": cmd_trace,
+    "profile": cmd_profile,
+    "doctor": cmd_doctor,
+    "figures": cmd_figures,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if args.command == "trace" and trace_path is None:
+        trace_path = args.out
+    metrics_dir = getattr(args, "metrics_dir", None)
+    tracer = None
+    if trace_path is not None or metrics_dir is not None:
+        from .obs import trace as obs_trace
+        tracer = obs_trace.start_tracing()
     try:
-        if args.command == "analyze":
-            return cmd_analyze(args)
-        if args.command == "evaluate":
-            return cmd_evaluate(args)
-        if args.command == "doctor":
-            return cmd_doctor(args)
-        if args.command == "figures":
-            return cmd_figures(args)
+        return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    return 2  # pragma: no cover - argparse enforces known commands
+    finally:
+        if tracer is not None:
+            _finalize_obs(tracer, trace_path, metrics_dir)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..awe.model import ReducedOrderModel
 from ..errors import ApproximationError
+from ..obs import trace as _trace
 from ..symbolic import (CompiledFunction, Expr, ExprBuilder, Rational,
                         SymbolSpace, compile_exprs)
 from ..symbolic.symbols import Symbol
@@ -122,12 +123,13 @@ class SymbolicFirstOrder:
         """
         if sm.order < 1:
             raise ApproximationError("first-order form needs moments m0, m1")
-        m0, m1 = sm.rationals()[:2]
-        pole = m0 / m1
-        residue = -1.0 * (m0 * m0) / m1
-        if cancel:
-            m0, pole, residue = m0.cancel(), pole.cancel(), residue.cancel()
-        return cls(space=sm.space, dc_gain=m0, pole=pole, residue=residue)
+        with _trace.span("pade.closed_form", order=1, output=sm.output):
+            m0, m1 = sm.rationals()[:2]
+            pole = m0 / m1
+            residue = -1.0 * (m0 * m0) / m1
+            if cancel:
+                m0, pole, residue = m0.cancel(), pole.cancel(), residue.cancel()
+            return cls(space=sm.space, dc_gain=m0, pole=pole, residue=residue)
 
     def compile(self) -> CompiledFunction:
         """Compiled evaluator returning ``(pole, residue, dc_gain)``."""
@@ -189,6 +191,11 @@ class SymbolicSecondOrder:
         """
         if sm.order < 3:
             raise ApproximationError("second-order form needs moments m0..m3")
+        with _trace.span("pade.closed_form", order=2, output=sm.output):
+            return cls._from_moments(sm)
+
+    @classmethod
+    def _from_moments(cls, sm: SymbolicMoments) -> "SymbolicSecondOrder":
         m0, m1, m2, m3 = sm.rationals()[:4]
         # Hankel system [m1 m0; m2 m1] [b1; b2] = [-m2; -m3] via Cramer
         disc = m1 * m1 - m0 * m2

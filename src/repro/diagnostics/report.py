@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+
 __all__ = [
     "HealthSummary",
     "QuarantinedPoint",
@@ -225,6 +227,38 @@ class SweepDiagnostics:
         self.moment_decay.merge(other.moment_decay)
         self.y0_det_abs.merge(other.y0_det_abs)
         return self
+
+    def publish(self, registry=None) -> None:
+        """Emit this sweep's health counters into the metrics registry.
+
+        The diagnostics report stays the per-sweep record; the registry
+        aggregates across sweeps (quarantines by stage, shard incidents
+        by resolution, conditioning extremes) for scraping.
+        """
+        reg = registry if registry is not None else _metrics.registry()
+        for point in self.quarantined:
+            reg.counter(f"repro_quarantined_points_total_stage_{point.stage}",
+                        "points quarantined, by failing stage").inc()
+        if self.quarantined:
+            reg.counter("repro_quarantined_points_total",
+                        "points quarantined across all sweeps"
+                        ).inc(len(self.quarantined))
+        for failure in self.shard_failures:
+            reg.counter(
+                f"repro_shard_incidents_total_{failure.resolution}",
+                "shard incidents, by resolution").inc()
+        if self.hankel_condition.count:
+            reg.gauge("repro_sweep_hankel_condition_max",
+                      "worst Hankel condition seen in the last sweep"
+                      ).set(self.hankel_condition.vmax)
+        if self.moment_decay.count:
+            reg.gauge("repro_sweep_moment_decay_min",
+                      "smallest |m0/m1| seen in the last sweep"
+                      ).set(self.moment_decay.vmin)
+        if self.y0_det_abs.count:
+            reg.gauge("repro_sweep_y0_det_abs_min",
+                      "smallest |det Y0| seen in the last sweep"
+                      ).set(self.y0_det_abs.vmin)
 
     # ------------------------------------------------------------------
     # serialization / rendering

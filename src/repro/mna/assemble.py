@@ -8,6 +8,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..errors import CircuitError
+from ..obs import trace as _trace
 from ..circuits.circuit import GROUND, Circuit
 from ..circuits.elements import Element
 from .stamps import StampContext, stamp_element
@@ -81,33 +82,36 @@ def assemble(circuit: Circuit, check: bool = True) -> MNASystem:
     Raises:
         CircuitError: on structural problems when ``check`` is true.
     """
-    if check:
-        circuit.check()
-    node_index = circuit.node_index()
-    n_nodes = len(node_index)
-    branch_index: dict[str, int] = {}
-    for element in circuit:
-        if element.needs_branch:
-            branch_index[element.name] = n_nodes + len(branch_index)
-    size = n_nodes + len(branch_index)
+    with _trace.span("mna.assemble") as span:
+        if check:
+            circuit.check()
+        node_index = circuit.node_index()
+        n_nodes = len(node_index)
+        branch_index: dict[str, int] = {}
+        for element in circuit:
+            if element.needs_branch:
+                branch_index[element.name] = n_nodes + len(branch_index)
+        size = n_nodes + len(branch_index)
+        span.set(size=size, nodes=n_nodes, branches=len(branch_index))
 
-    ctx = StampContext(node_index, branch_index)
-    for element in circuit:
-        stamp_element(ctx, element)
+        ctx = StampContext(node_index, branch_index)
+        for element in circuit:
+            stamp_element(ctx, element)
 
-    def build(entries: list[tuple[int, int, float]]) -> sp.csc_matrix:
-        if entries:
-            rows, cols, vals = zip(*entries)
-        else:
-            rows, cols, vals = (), (), ()
-        return sp.coo_matrix((vals, (rows, cols)), shape=(size, size)).tocsc()
+        def build(entries: list[tuple[int, int, float]]) -> sp.csc_matrix:
+            if entries:
+                rows, cols, vals = zip(*entries)
+            else:
+                rows, cols, vals = (), (), ()
+            return sp.coo_matrix((vals, (rows, cols)),
+                                 shape=(size, size)).tocsc()
 
-    b_dc = np.zeros(size)
-    b_ac = np.zeros(size)
-    for i, v in ctx.b_dc.items():
-        b_dc[i] = v
-    for i, v in ctx.b_ac.items():
-        b_ac[i] = v
-    return MNASystem(G=build(ctx.g_entries), C=build(ctx.c_entries),
-                     b_dc=b_dc, b_ac=b_ac, node_index=node_index,
-                     branch_index=branch_index, circuit=circuit)
+        b_dc = np.zeros(size)
+        b_ac = np.zeros(size)
+        for i, v in ctx.b_dc.items():
+            b_dc[i] = v
+        for i, v in ctx.b_ac.items():
+            b_ac[i] = v
+        return MNASystem(G=build(ctx.g_entries), C=build(ctx.c_entries),
+                         b_dc=b_dc, b_ac=b_ac, node_index=node_index,
+                         branch_index=branch_index, circuit=circuit)

@@ -1,0 +1,57 @@
+"""Unified observability: tracing, metrics, and op-level profiling.
+
+The paper's headline claim (Table 1) is a *cost accounting* claim —
+symbolic setup paid once, per-iteration evaluation reduced to a short
+compiled op sequence.  This package makes that accounting first-class
+and machine-readable across the whole compile→sweep pipeline:
+
+* :mod:`repro.obs.trace` — span-based tracer with thread-local context,
+  nestable spans, and near-zero overhead when disabled.  Every pipeline
+  stage (netlist parse, MNA assembly, partitioning, moment recursion,
+  Padé, CSE/compile, cache, per-shard sweep evaluation) opens a span.
+* :mod:`repro.obs.metrics` — counters, gauges, and log-bucket histograms
+  in a process-wide registry.  :class:`~repro.runtime.stats.RuntimeStats`,
+  :class:`~repro.diagnostics.SweepDiagnostics`, and the program cache
+  publish into it instead of keeping parallel bespoke accounting.
+* :mod:`repro.obs.profile` — op-level profiler for compiled moment
+  programs: sampled per-op timing over grid batches, reported as a
+  top-k hot-op table with symbolic provenance.
+* :mod:`repro.obs.export` — JSONL event log, Chrome/Perfetto
+  ``trace_event`` JSON, and a Prometheus-style textfile.
+
+This package is dependency-free (stdlib only) and must never import from
+the rest of :mod:`repro` — every other layer may import it.  See
+``docs/observability.md`` for the span taxonomy and metric names.
+"""
+
+from .export import (chrome_trace_events, write_chrome_trace, write_jsonl,
+                     write_prometheus)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, registry,
+                      set_registry)
+from .profile import OpCost, OpProfile, profile_program
+from .trace import (Span, Tracer, current_tracer, enabled, span, start_tracing,
+                    stop_tracing, tracing)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OpCost",
+    "OpProfile",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "current_tracer",
+    "enabled",
+    "profile_program",
+    "registry",
+    "set_registry",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

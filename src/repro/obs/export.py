@@ -1,0 +1,137 @@
+"""Exporters: Chrome/Perfetto trace JSON, JSONL event log, Prometheus text.
+
+Three formats, one source of truth (the tracer's span buffer and the
+metrics registry):
+
+* **Chrome ``trace_event`` JSON** — load in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Spans are emitted
+  as ``B``/``E`` begin/end pairs per thread, which both viewers nest
+  into flame graphs; timestamps are microseconds from the tracer epoch.
+* **JSONL event log** — one JSON object per line: a header, every span
+  (with logical ``parent_id`` links, including cross-thread ones), and
+  a final metrics snapshot.  Grep-able, append-able, schema-stable.
+* **Prometheus textfile** — counters/gauges/histograms in node-exporter
+  textfile-collector syntax, for scraping sweep farms.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]
+
+
+def _json_safe(value):
+    """Best-effort conversion of span attrs to JSON-serializable values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+def chrome_trace_events(tracer: Tracer,
+                        process_name: str = "repro") -> list[dict]:
+    """Tracer spans as a Chrome ``trace_event`` list (``B``/``E`` pairs).
+
+    Within each thread, events are ordered by timestamp with begins
+    before ends at equal stamps and outer spans opening before inner
+    ones — the well-formedness Perfetto requires (every ``B`` has a
+    matching ``E``, per-thread timestamps monotone).
+    """
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    raw: list[tuple[float, int, int, dict]] = []
+    for span in tracer.snapshot():
+        ts = span["start_s"] * 1e6
+        dur = span["duration_s"] * 1e6
+        common = {"name": span["name"], "pid": 1, "tid": span["tid"],
+                  "cat": span["name"].split(".", 1)[0]}
+        begin = dict(common, ph="B", ts=ts,
+                     args=_json_safe(dict(span["attrs"],
+                                          span_id=span["span_id"],
+                                          parent_id=span["parent_id"])))
+        end = dict(common, ph="E", ts=ts + dur)
+        # sort key: time, then depth (outer B first / inner E first)
+        raw.append((ts, 0, span["depth"], begin))
+        raw.append((ts + dur, 1, -span["depth"], end))
+    raw.sort(key=lambda item: (item[3]["tid"], item[0], item[1], item[2]))
+    events.extend(item[3] for item in raw)
+    return events
+
+
+def write_chrome_trace(path: Path | str, tracer: Tracer,
+                       process_name: str = "repro") -> Path:
+    """Write a Perfetto-loadable trace JSON; returns the path."""
+    path = Path(path)
+    payload = {"traceEvents": chrome_trace_events(tracer, process_name),
+               "displayTimeUnit": "ms",
+               "otherData": {"epoch_unix_s": tracer.epoch_wall}}
+    path.write_text(json.dumps(payload) + "\n")
+    return path
+
+
+def write_jsonl(path: Path | str, tracer: Tracer | None = None,
+                registry: MetricsRegistry | None = None) -> Path:
+    """Write the JSONL event log: header, spans, metrics snapshot."""
+    path = Path(path)
+    lines = [json.dumps({"kind": "header", "format": "repro-obs-v1",
+                         "epoch_unix_s": tracer.epoch_wall if tracer
+                         else None})]
+    if tracer is not None:
+        for span in tracer.snapshot():
+            span["attrs"] = _json_safe(span["attrs"])
+            lines.append(json.dumps(span))
+    if registry is not None:
+        lines.append(json.dumps({"kind": "metrics",
+                                 "metrics": registry.snapshot()}))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_prometheus(path: Path | str, registry: MetricsRegistry,
+                     prefix: str = "") -> Path:
+    """Write the registry in Prometheus textfile-collector syntax."""
+    path = Path(path)
+    lines: list[str] = []
+    snapshot = registry.snapshot()
+    for name, data in snapshot.items():
+        full = prefix + name
+        kind = data["type"]
+        lines.append(f"# TYPE {full} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"{full} {_fmt(data['value'])}")
+            continue
+        # histogram: rebuild cumulative le-buckets from the sparse dict
+        hist = registry.get(name)
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.counts):
+            cumulative += count
+            lines.append(f'{full}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        cumulative += hist.counts[-1]
+        lines.append(f'{full}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{full}_sum {_fmt(data['sum'])}")
+        lines.append(f"{full}_count {data['count']}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

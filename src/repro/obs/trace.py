@@ -1,0 +1,250 @@
+"""Span-based tracer with thread-local context propagation.
+
+Design constraints (see ``docs/observability.md``):
+
+* **near-zero overhead when disabled** — :func:`span` checks one module
+  global and returns a shared no-op object; instrumented code never pays
+  for buffers, locks, or timestamps unless a tracer is installed;
+* **nestable** — spans form a per-thread stack, so a ``sweep.evaluate``
+  span inside a ``sweep.shard`` span records the shard as its parent;
+* **thread-local context propagation** — shard worker threads inherit
+  the submitting thread's active span via :meth:`Tracer.context` /
+  :meth:`Tracer.attach`, so cross-thread work stays attributed to the
+  sweep that spawned it (the ``parent_id`` link in the JSONL export;
+  Chrome/Perfetto nesting stays per-thread, as the format requires);
+* **instrumentation sites are hot-path-safe** — spans are opened per
+  pipeline stage or per grid *chunk*, never per grid point.
+
+Span names follow a ``component.stage`` taxonomy: ``netlist.parse``,
+``mna.assemble``, ``partition.build``, ``partition.condense``,
+``moments.assemble``, ``moments.recursion``, ``pade.closed_form``,
+``compile.codegen``, ``compile.moments``, ``cache.lookup``,
+``cache.build``, ``sweep.shard``, ``sweep.evaluate``, ``sweep.pade``,
+``sweep.metric``, ``sweep.total``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "enabled",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+]
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled.
+
+    Supports the full :class:`Span` surface (context manager + ``set``)
+    so instrumented code needs no enabled-check of its own.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class Span:
+    """One traced operation: a name, a time interval, and attributes."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "tid",
+                 "depth", "t0", "duration")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict,
+                 span_id: int, parent_id: int | None, tid: int,
+                 depth: int) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tid = tid
+        self.depth = depth
+        self.t0 = 0.0
+        self.duration = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or update) attributes; chainable inside ``with``."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.duration = time.perf_counter() - self.t0
+        self.tracer._pop(self)
+
+    def to_dict(self) -> dict:
+        """JSONL-ready record (times relative to the tracer epoch)."""
+        return {
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "tid": self.tid,
+            "depth": self.depth,
+            "start_s": self.t0 - self.tracer.epoch,
+            "duration_s": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects finished spans from every thread of the process.
+
+    Spans are buffered in memory (completed-order) and exported at the
+    end of the run; see :mod:`repro.obs.export`.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.epoch_wall = time.time()
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------------
+    # per-thread span stack
+    # ------------------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - misnested exit
+            stack.remove(span)
+        with self._lock:
+            self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        stack = self._stack()
+        if stack:
+            parent_id = stack[-1].span_id
+        else:
+            parent_id = getattr(self._tls, "inherited", None)
+        return Span(self, name, attrs, next(self._ids), parent_id,
+                    threading.get_ident(), len(stack))
+
+    # ------------------------------------------------------------------
+    # cross-thread context propagation
+    # ------------------------------------------------------------------
+    def context(self) -> int | None:
+        """Capture the calling thread's active span id (or ``None``).
+
+        Pass the result to :meth:`attach` on a worker thread so spans it
+        opens record the submitting thread's span as their logical
+        parent.
+        """
+        stack = self._stack()
+        return stack[-1].span_id if stack else getattr(
+            self._tls, "inherited", None)
+
+    @contextmanager
+    def attach(self, parent_id: int | None) -> Iterator[None]:
+        """Adopt ``parent_id`` as this thread's root span parent."""
+        previous = getattr(self._tls, "inherited", None)
+        self._tls.inherited = parent_id
+        try:
+            yield
+        finally:
+            self._tls.inherited = previous
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict]:
+        """Finished spans as plain dicts (completed-order)."""
+        with self._lock:
+            return [s.to_dict() for s in self.spans]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans)
+
+
+#: the installed tracer; ``None`` disables tracing everywhere.
+_TRACER: Tracer | None = None
+
+
+def enabled() -> bool:
+    """True when a tracer is installed."""
+    return _TRACER is not None
+
+
+def current_tracer() -> Tracer | None:
+    return _TRACER
+
+
+def span(name: str, **attrs: Any):
+    """Open a span (context manager) — the one call every site uses.
+
+    With no tracer installed this returns a shared no-op object: the
+    disabled cost is one global load and a dict literal, which is why
+    instrumentation can stay permanently in the hot paths (they open
+    spans per stage / per chunk, never per grid point).
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, **attrs)
+
+
+def start_tracing() -> Tracer:
+    """Install (and return) a fresh process-wide tracer."""
+    global _TRACER
+    _TRACER = Tracer()
+    return _TRACER
+
+
+def stop_tracing() -> Tracer | None:
+    """Uninstall the tracer and return it (with its collected spans)."""
+    global _TRACER
+    tracer, _TRACER = _TRACER, None
+    return tracer
+
+
+@contextmanager
+def tracing() -> Iterator[Tracer]:
+    """Trace the enclosed block, restoring the previous tracer after."""
+    global _TRACER
+    previous = _TRACER
+    tracer = Tracer()
+    _TRACER = tracer
+    try:
+        yield tracer
+    finally:
+        _TRACER = previous

@@ -26,6 +26,7 @@ from ..circuits.circuit import GROUND, Circuit
 from ..circuits.elements import (VCCS, Capacitor, Conductance, CurrentSource,
                                  Element, Inductor, Resistor, VoltageSource)
 from ..errors import PartitionError
+from ..obs import trace as _trace
 from ..symbolic import Symbol, SymbolSpace
 
 #: element types that may be designated symbolic, with the transform from
@@ -174,6 +175,16 @@ def partition(circuit: Circuit, symbolic_names: Sequence[str],
         PartitionError: unsupported symbolic element types, duplicate
             names, or an output node that does not exist.
     """
+    with _trace.span("partition.build") as span:
+        part = _partition(circuit, symbolic_names, output, extra_ports)
+        span.set(symbols=len(part.symbolic),
+                 blocks=len(part.numeric_blocks),
+                 ports=len(part.global_nodes))
+        return part
+
+
+def _partition(circuit: Circuit, symbolic_names: Sequence[str],
+               output: str, extra_ports: Iterable[str]) -> CircuitPartition:
     if len(set(symbolic_names)) != len(symbolic_names):
         raise PartitionError(f"duplicate symbolic elements in {list(symbolic_names)}")
     if not symbolic_names:

@@ -30,6 +30,7 @@ from ..circuits.circuit import GROUND
 from ..circuits.elements import (VCCS, Capacitor, Conductance, CurrentSource,
                                  Inductor, Resistor, VoltageSource)
 from ..errors import PartitionError
+from ..obs import trace as _trace
 from ..symbolic import (CompiledFunction, Poly, PolyMatrix, Rational,
                         SymbolicLinearSolver, SymbolSpace, compile_rationals)
 from .blocks import CircuitPartition
@@ -80,9 +81,12 @@ class SymbolicMoments:
 
     def compile(self) -> "CompiledMoments":
         """Compile numerators + determinant into one flat function."""
-        fn = compile_rationals(
-            self.space, list(self.numerators) + [self.det],
-            output_names=[f"n{k}" for k in range(len(self.numerators))] + ["det"])
+        with _trace.span("compile.moments", order=self.order,
+                         output=self.output):
+            fn = compile_rationals(
+                self.space, list(self.numerators) + [self.det],
+                output_names=[f"n{k}" for k in
+                              range(len(self.numerators))] + ["det"])
         return CompiledMoments(fn=fn, order=self.order)
 
     def to_sympy(self):
@@ -278,6 +282,14 @@ def assemble_global(part: CircuitPartition, order: int,
     stays O(1); the moment denominators ``det^(k+1)`` would otherwise
     overflow or underflow at evaluation time.
     """
+    with _trace.span("moments.assemble", order=order,
+                     blocks=len(part.numeric_blocks)):
+        return _assemble_global(part, order, expansions, equilibrate)
+
+
+def _assemble_global(part: CircuitPartition, order: int,
+                     expansions: Sequence[NumericBlockExpansion] | None,
+                     equilibrate: bool) -> GlobalSystem:
     space = part.space
 
     # ---- global unknown layout: nodes then aux branches ------------------
@@ -416,22 +428,23 @@ def symbolic_moments_multi(part: CircuitPartition, outputs: Sequence[str],
     weights = tuple(max(abs(v), 1e-300) for v in space.values_vector({}))
     det_pows = [Poly.one(space), det]
     vectors: list[list[Poly]] = []
-    n0, _ = solver.solve_poly(list(system.rhs))
-    n0 = [_nominal_prune(p, weights, prune_rtol) for p in n0]
-    vectors.append(n0)
-    for k in range(1, order + 1):
-        while len(det_pows) <= k:
-            det_pows.append(det_pows[-1] * det)
-        acc = [Poly.zero(space) for _ in range(size)]
-        for j in range(1, k + 1):
-            prod = matrices[j].matvec(vectors[k - j])
-            factor = det_pows[j - 1]
-            for i in range(size):
-                if not prod[i].is_zero():
-                    acc[i] = acc[i] + prod[i] * factor * -1.0
-        nk, _ = solver.solve_poly(acc)
-        nk = [_nominal_prune(p, weights, prune_rtol) for p in nk]
-        vectors.append(nk)
+    with _trace.span("moments.recursion", order=order, size=size):
+        n0, _ = solver.solve_poly(list(system.rhs))
+        n0 = [_nominal_prune(p, weights, prune_rtol) for p in n0]
+        vectors.append(n0)
+        for k in range(1, order + 1):
+            while len(det_pows) <= k:
+                det_pows.append(det_pows[-1] * det)
+            acc = [Poly.zero(space) for _ in range(size)]
+            for j in range(1, k + 1):
+                prod = matrices[j].matvec(vectors[k - j])
+                factor = det_pows[j - 1]
+                for i in range(size):
+                    if not prod[i].is_zero():
+                        acc[i] = acc[i] + prod[i] * factor * -1.0
+            nk, _ = solver.solve_poly(acc)
+            nk = [_nominal_prune(p, weights, prune_rtol) for p in nk]
+            vectors.append(nk)
 
     out: dict[str, SymbolicMoments] = {}
     for output in outputs:

@@ -19,6 +19,7 @@ import numpy as np
 from ..circuits.circuit import Circuit
 from ..errors import PartitionError, SingularCircuitError
 from ..mna import assemble, factorize
+from ..obs import trace as _trace
 
 _PORT_PREFIX = "__port_"
 
@@ -63,6 +64,13 @@ def port_admittance_moments(block: Circuit, ports: tuple[str, ...],
     """
     if not ports:
         raise PartitionError("numeric block needs at least one port")
+    with _trace.span("partition.condense", block=block.title,
+                     ports=len(ports), order=order):
+        return _condense(block, ports, order)
+
+
+def _condense(block: Circuit, ports: tuple[str, ...],
+              order: int) -> NumericBlockExpansion:
     block_nodes = set(block.node_names())
     missing = [p for p in ports if p not in block_nodes]
     if missing:

@@ -44,6 +44,7 @@ from ..awe.stability import rom_from_moments
 from ..core import metrics as _metrics
 from ..diagnostics import QuarantinedPoint, SweepDiagnostics, SweepResult
 from ..errors import ApproximationError, PartitionError
+from ..obs import trace as _trace
 from ..testing import faults as _faults
 from .resilience import DEFAULT_RESILIENCE, ResilienceConfig, run_shards
 from .stats import RuntimeStats
@@ -454,6 +455,11 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         stats.workers = workers
         bounds = np.linspace(0, n_points, n_shards + 1, dtype=int)
 
+        # worker threads have no span stack of their own; adopt the
+        # sweep.total span as logical parent so shards nest in the trace
+        tracer = _trace.current_tracer()
+        parent_ctx = tracer.context() if tracer is not None else None
+
         def run_shard(lo: int, hi: int, shard: int = 0, attempt: int = 0,
                       ) -> tuple[np.ndarray, RuntimeStats, SweepDiagnostics]:
             if _faults.ACTIVE is not None:
@@ -461,9 +467,16 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
                                     attempt=attempt, lo=int(lo), hi=int(hi))
             cols = [c[lo:hi] if isinstance(c, np.ndarray) else c
                     for c in columns]
-            return _sweep_chunk(model, cols, hi - lo, metric, q,
-                                require_stable, offset=int(lo),
-                                diag=SweepDiagnostics(strict=config.strict))
+            if tracer is None:
+                return _sweep_chunk(model, cols, hi - lo, metric, q,
+                                    require_stable, offset=int(lo),
+                                    diag=SweepDiagnostics(strict=config.strict))
+            with tracer.attach(parent_ctx), \
+                    tracer.span("sweep.shard", shard=shard, attempt=attempt,
+                                lo=int(lo), hi=int(hi)):
+                return _sweep_chunk(model, cols, hi - lo, metric, q,
+                                    require_stable, offset=int(lo),
+                                    diag=SweepDiagnostics(strict=config.strict))
 
         results = run_shards(run_shard, bounds, workers=workers,
                              config=config, diagnostics=diagnostics)
@@ -485,6 +498,8 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         stats.quarantined_points = len(diagnostics.quarantined)
         _finalize_diagnostics(diagnostics, grids, names, shape, out)
         out = _collapse_dtype(out.reshape(shape))
+    stats.publish()
+    diagnostics.publish()
     return SweepResult(out, diagnostics)
 
 

@@ -46,6 +46,8 @@ from ..core.compiled_model import CompiledAWEModel
 from ..core.serialize import (FORMAT_VERSION, LoadedModel, model_from_dict,
                               model_to_dict)
 from ..errors import SymbolicError
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..testing import faults as _faults
 
 __all__ = [
@@ -240,6 +242,9 @@ class ProgramCache:
         except OSError:
             return None
         self.stats.quarantined += 1
+        _metrics.registry().counter(
+            "repro_cache_quarantined_total",
+            "disk entries moved to the quarantine sidecar").inc()
         return dest
 
     def save_disk(self, key: str, result: AWESymbolicResult) -> Path | None:
@@ -384,22 +389,41 @@ class ProgramCache:
         rebuilt from the saved polynomials.  Otherwise a fresh build,
         stored in both layers.
         """
+        reg = _metrics.registry()
         key = self.key_for(circuit, output, symbols, order, **kwargs)
-        result = self.get(key)
-        if result is not None:
-            return result
-        payload = self.load_disk(key)
-        if payload is not None:
-            rebuilt = self._rebuild_from_disk(circuit, output, order, payload)
-            if rebuilt is not None:
-                self.put(key, rebuilt)
-                return rebuilt
-            self.stats.stale_rejects += 1
-        t0 = time.perf_counter()
-        result = awesymbolic(circuit, output, symbols=list(symbols)
-                             if symbols is not None else None,
-                             order=order, **kwargs)
-        self.stats.build_seconds += time.perf_counter() - t0
+        with _trace.span("cache.lookup", key=key[:16]) as lookup:
+            result = self.get(key)
+            if result is not None:
+                lookup.set(outcome="memory-hit")
+                reg.counter("repro_cache_hits_total",
+                            "program cache memory hits").inc()
+                return result
+            payload = self.load_disk(key)
+            if payload is not None:
+                rebuilt = self._rebuild_from_disk(circuit, output, order,
+                                                  payload)
+                if rebuilt is not None:
+                    lookup.set(outcome="disk-hit")
+                    reg.counter("repro_cache_disk_hits_total",
+                                "program cache disk hits").inc()
+                    self.put(key, rebuilt)
+                    return rebuilt
+                self.stats.stale_rejects += 1
+                reg.counter("repro_cache_stale_rejects_total",
+                            "disk entries rejected as stale/corrupt").inc()
+            lookup.set(outcome="miss")
+            reg.counter("repro_cache_misses_total",
+                        "program cache misses (full builds)").inc()
+        with _trace.span("cache.build", key=key[:16]) as build:
+            t0 = time.perf_counter()
+            result = awesymbolic(circuit, output, symbols=list(symbols)
+                                 if symbols is not None else None,
+                                 order=order, **kwargs)
+            self.stats.build_seconds += time.perf_counter() - t0
+            build.set(seconds=time.perf_counter() - t0)
+        reg.histogram("repro_cache_build_seconds",
+                      "full symbolic build wall time"
+                      ).observe(time.perf_counter() - t0)
         self.put(key, result)
         if self.disk_dir is not None:
             self.save_disk(key, result)

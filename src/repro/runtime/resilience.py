@@ -40,6 +40,7 @@ from typing import Callable, Sequence
 
 from ..diagnostics import ShardFailure, SweepDiagnostics
 from ..errors import ReproError
+from ..obs import metrics as _metrics
 
 __all__ = [
     "DEFAULT_RESILIENCE",
@@ -175,9 +176,15 @@ def _run_one(run_shard: Callable, shard: int, lo: int, hi: int,
         except FutureTimeoutError:
             last_exc = TimeoutError(
                 f"shard attempt exceeded {config.shard_timeout}s")
+            _metrics.registry().counter(
+                "repro_shard_retries_total",
+                "failed shard attempts that triggered a retry").inc()
             continue
         except Exception as exc:
             last_exc = exc
+            _metrics.registry().counter(
+                "repro_shard_retries_total",
+                "failed shard attempts that triggered a retry").inc()
             continue
         if attempts > 1:
             _record(diagnostics, ShardFailure(
@@ -188,6 +195,9 @@ def _run_one(run_shard: Callable, shard: int, lo: int, hi: int,
 
     if config.serial_fallback:
         attempts += 1
+        _metrics.registry().counter(
+            "repro_shard_serial_fallback_total",
+            "shards recovered via the in-process serial fallback").inc()
         try:
             result = run_shard(lo, hi, shard, SERIAL_ATTEMPT)
         except ReproError:
@@ -203,6 +213,9 @@ def _run_one(run_shard: Callable, shard: int, lo: int, hi: int,
 
     if config.strict:
         raise last_exc
+    _metrics.registry().counter(
+        "repro_shard_abandoned_total",
+        "shards NaN-filled after every attempt failed").inc()
     _record(diagnostics, ShardFailure(
         shard=shard, lo=lo, hi=hi, attempts=attempts,
         error=type(last_exc).__name__, message=str(last_exc),

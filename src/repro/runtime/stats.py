@@ -15,6 +15,9 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+
 
 @dataclass
 class RuntimeStats:
@@ -41,7 +44,8 @@ class RuntimeStats:
         metric_seconds: metric evaluation plus per-point fallback work.
         total_seconds: wall-clock for the whole sweep call.  Stage times
             are summed across shards, so with parallel workers their sum
-            can exceed ``total_seconds``.
+            can exceed ``total_seconds``; :attr:`parallel_efficiency`
+            normalizes that sum into a utilization figure.
     """
 
     points: int = 0
@@ -60,11 +64,18 @@ class RuntimeStats:
 
     @contextmanager
     def stage(self, name: str):
-        """Accumulate wall time of the enclosed block into ``<name>_seconds``."""
+        """Accumulate wall time of the enclosed block into ``<name>_seconds``.
+
+        Also opens an obs span ``sweep.<name>`` so traced runs see every
+        stage (including per-shard ``sweep.evaluate`` / ``sweep.pade`` /
+        ``sweep.metric`` on worker threads); when tracing is disabled the
+        span is a shared no-op.
+        """
         attr = f"{name}_seconds"
         t0 = time.perf_counter()
         try:
-            yield self
+            with _trace.span(f"sweep.{name}"):
+                yield self
         finally:
             setattr(self, attr, getattr(self, attr) + time.perf_counter() - t0)
 
@@ -87,6 +98,74 @@ class RuntimeStats:
             return 0.0
         return self.points / self.total_seconds
 
+    @property
+    def parallel_efficiency(self) -> float:
+        """Stage busy-time over available worker-time, in ``[0, 1]``.
+
+        Stage times (``evaluate + pade + metric``) are summed across
+        shards, so with parallel workers their sum can exceed
+        ``total_seconds``; dividing by ``workers * total_seconds``
+        normalizes that into a utilization figure (1.0 = every worker
+        busy in measured stages for the whole sweep; serial sweeps
+        report the fraction of the wall spent inside measured stages).
+        """
+        if self.total_seconds <= 0.0:
+            return 0.0
+        busy = self.evaluate_seconds + self.pade_seconds + self.metric_seconds
+        return min(1.0, busy / (max(1, self.workers) * self.total_seconds))
+
+    # ------------------------------------------------------------------
+    # serialization (the --stats JSON schema) and metrics emission
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Schema-stable JSON payload: every field plus derived rates.
+
+        Round-trips through :meth:`from_dict` (derived keys are
+        recomputed, not stored state).
+        """
+        # coerce to builtin types: counters accumulate numpy ints when the
+        # shard bounds come from np.linspace, and the schema is JSON
+        out = {f.name: (float(getattr(self, f.name)) if f.type == "float"
+                        else int(getattr(self, f.name)))
+               for f in fields(self)}
+        out["points_per_second"] = self.points_per_second
+        out["parallel_efficiency"] = self.parallel_efficiency
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RuntimeStats":
+        """Rebuild from :meth:`to_dict` output (ignores derived keys)."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def publish(self, registry=None) -> None:
+        """Emit this sweep's accounting into the metrics registry.
+
+        Called once per sweep by the batched runtime — RuntimeStats is
+        the per-sweep struct, the registry is the process-wide rollup.
+        """
+        reg = registry if registry is not None else _metrics.registry()
+        reg.counter("repro_sweep_runs_total", "batched sweeps executed").inc()
+        reg.counter("repro_sweep_points_total",
+                    "grid points evaluated").inc(self.points)
+        reg.counter("repro_sweep_vectorized_points_total",
+                    "points served by the vectorized closed form"
+                    ).inc(self.vectorized_points)
+        reg.counter("repro_sweep_fallback_points_total",
+                    "points routed through the per-point fallback"
+                    ).inc(self.fallback_points)
+        reg.counter("repro_sweep_nan_points_total",
+                    "NaN results").inc(self.nan_points)
+        for name in ("compile", "evaluate", "pade", "metric", "total"):
+            reg.histogram(f"repro_sweep_{name}_seconds",
+                          f"per-sweep {name} stage wall time"
+                          ).observe(getattr(self, f"{name}_seconds"))
+        reg.gauge("repro_sweep_program_ops",
+                  "ops/point of the last swept program").set(self.n_ops)
+        reg.gauge("repro_sweep_parallel_efficiency",
+                  "stage busy-time over worker-time of the last sweep"
+                  ).set(self.parallel_efficiency)
+
     def summary(self) -> str:
         """One-paragraph human-readable accounting."""
         lines = [
@@ -101,6 +180,7 @@ class RuntimeStats:
             f"pade {self.pade_seconds * 1e3:9.3f} ms   "
             f"metric {self.metric_seconds * 1e3:9.3f} ms",
             f"  total    {self.total_seconds * 1e3:9.3f} ms "
-            f"({self.points_per_second:,.0f} points/s)",
+            f"({self.points_per_second:,.0f} points/s, "
+            f"{self.parallel_efficiency * 100.0:.0f}% parallel efficiency)",
         ]
         return "\n".join(lines)

@@ -16,11 +16,14 @@ remain valid across over/under-damped regions of the sweep.
 from __future__ import annotations
 
 import math
+import time
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..errors import SymbolicError
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .cse import topological, use_counts
 from .expr import Expr, ExprBuilder
 from .poly import Poly
@@ -52,6 +55,59 @@ _RUNTIME = {
 }
 
 
+#: per-node arithmetic op cost (n-ary add/mul computed at the node)
+def _node_ops(node: Expr) -> int:
+    if node.kind in ("const", "sym"):
+        return 0
+    if node.kind in ("add", "mul"):
+        return len(node.children) - 1
+    return 1
+
+
+def tree_op_count(roots: Sequence[Expr]) -> int:
+    """Arithmetic op count of ``roots`` evaluated as *trees* (no sharing).
+
+    This is the pre-CSE cost: what the straight-line program would do if
+    every shared subexpression were recomputed at each use.  Compared
+    against :attr:`CompiledFunction.n_ops` it measures how much the
+    hash-consing CSE bought (reported by the observability layer).
+    """
+    memo: dict[int, int] = {}
+    for node in topological(roots):
+        memo[id(node)] = _node_ops(node) + sum(memo[id(c)]
+                                               for c in node.children)
+    return sum(memo[id(r)] for r in roots)
+
+
+def _render_expr(node: Expr, sym_names: Mapping[str, str],
+                 max_len: int = 60) -> str:
+    """Short human-readable rendering of a node (symbolic provenance)."""
+    def go(n: Expr, depth: int) -> str:
+        if n.kind == "const":
+            return f"{n.payload:.4g}" if isinstance(n.payload, float) \
+                else repr(n.payload)
+        if n.kind == "sym":
+            return sym_names.get(n.payload, n.payload)
+        if depth <= 0:
+            return "..."
+        if n.kind == "add":
+            return " + ".join(go(c, depth - 1) for c in n.children)
+        if n.kind == "mul":
+            return "*".join(f"({go(c, depth - 1)})" if c.kind == "add"
+                            else go(c, depth - 1) for c in n.children)
+        if n.kind == "div":
+            a, b = n.children
+            return f"({go(a, depth - 1)})/({go(b, depth - 1)})"
+        if n.kind == "pow":
+            return f"({go(n.children[0], depth - 1)})**{n.payload}"
+        return f"{n.kind}({go(n.children[0], depth - 1)})"
+
+    text = go(node, 3)
+    if len(text) > max_len:
+        text = text[:max_len - 3] + "..."
+    return text
+
+
 class CompiledFunction:
     """A compiled straight-line evaluator for one or more expressions.
 
@@ -60,15 +116,19 @@ class CompiledFunction:
         source: the generated Python source (useful for inspection/tests).
         n_ops: arithmetic operation count of the straight-line program.
         output_names: labels for the outputs, parallel to the return tuple.
+        roots: the expression DAG roots (kept for the op-level profiler).
     """
 
     def __init__(self, space: SymbolSpace, source: str, fn, n_ops: int,
-                 output_names: tuple[str, ...]) -> None:
+                 output_names: tuple[str, ...],
+                 roots: tuple[Expr, ...] = ()) -> None:
         self.space = space
         self.source = source
         self._fn = fn
         self.n_ops = n_ops
         self.output_names = output_names
+        self.roots = roots
+        self._instrumented = None
 
     def __call__(self, values: Mapping | Sequence[float]) -> tuple:
         """Evaluate at ``values`` (mapping by symbol/name, or aligned sequence).
@@ -98,6 +158,32 @@ class CompiledFunction:
     def eval_raw(self, *args):
         """Positional fast path with no argument normalization."""
         return self._fn(*args)
+
+    def instrumented(self):
+        """Exploded per-op variant for the profiler (built once, cached).
+
+        Returns ``(callable, labels)``: the callable computes the same
+        outputs as :meth:`eval_raw` but with every DAG op as its own
+        assignment, recording ``time.perf_counter()`` into the ``_rec``
+        keyword list after each one; ``labels[i]`` describes op ``i``
+        (``{"kind", "expr", "ops"}``).  Consumed by
+        :func:`repro.obs.profile.profile_program`.
+
+        Raises:
+            SymbolicError: the function was built without its DAG roots
+            (e.g. reconstructed from serialized source).
+        """
+        if self._instrumented is None:
+            if not self.roots:
+                raise SymbolicError(
+                    "cannot instrument a compiled function without its "
+                    "expression roots")
+            source, labels = generate_instrumented_source(self.space,
+                                                          self.roots)
+            namespace = dict(_RUNTIME, _t=time.perf_counter)
+            exec(compile(source, "<awesymbolic-profiled>", "exec"), namespace)
+            self._instrumented = (namespace["_profiled"], labels)
+        return self._instrumented
 
     def __repr__(self) -> str:
         return (f"CompiledFunction({len(self.output_names)} outputs, "
@@ -190,21 +276,101 @@ def generate_source(space: SymbolSpace, roots: Sequence[Expr],
     return source, n_ops
 
 
+def generate_instrumented_source(space: SymbolSpace, roots: Sequence[Expr],
+                                 fn_name: str = "_profiled",
+                                 ) -> tuple[str, list[dict]]:
+    """Emit the profiler's exploded source: one assignment per DAG op.
+
+    Every non-leaf node becomes its own statement followed by a
+    timestamp write, so adjacent-slot differences attribute wall time to
+    individual program ops.  Returns ``(source, labels)`` with one label
+    dict per op slot: ``{"kind", "expr", "ops"}`` where ``expr`` is the
+    op's symbolic provenance rendered over the symbol names.
+    """
+    import re
+    arg_names = [_sanitize(s.name) for s in space.symbols]
+    if len(set(arg_names)) != len(arg_names) or any(
+            a in ("_rec", "_t") or re.fullmatch(r"p\d+", a)
+            for a in arg_names):
+        arg_names = [f"x{i}" for i in range(len(space))]
+    sym_to_arg = {s.name: a for s, a in zip(space.symbols, arg_names)}
+    sym_display = {s.name: s.name for s in space.symbols}
+
+    code: dict[int, str] = {}
+    labels: list[dict] = []
+    lines: list[str] = ["    _rec[0] = _t()"]
+
+    def ref(node: Expr) -> str:
+        return code[id(node)]
+
+    for node in topological(roots):
+        kind = node.kind
+        if kind == "const":
+            code[id(node)] = repr(node.payload)
+            continue
+        if kind == "sym":
+            try:
+                code[id(node)] = sym_to_arg[node.payload]
+            except KeyError:
+                raise SymbolicError(
+                    f"expression references symbol {node.payload!r} "
+                    f"outside the space {space.names}") from None
+            continue
+        if kind == "add":
+            text = " + ".join(ref(c) for c in node.children)
+        elif kind == "mul":
+            text = "*".join(f"({ref(c)})" for c in node.children)
+        elif kind == "div":
+            a, b = node.children
+            text = f"({ref(a)}) / ({ref(b)})"
+        elif kind == "pow":
+            text = f"({ref(node.children[0])})**{node.payload}"
+        elif kind in ("sqrt", "exp", "log", "abs"):
+            text = f"_{kind}({ref(node.children[0])})"
+        else:  # pragma: no cover - builder only produces known kinds
+            raise SymbolicError(f"cannot compile node kind {kind!r}")
+        name = f"p{len(labels)}"
+        lines.append(f"    {name} = {text}")
+        labels.append({"kind": kind,
+                       "expr": _render_expr(node, sym_display),
+                       "ops": _node_ops(node)})
+        lines.append(f"    _rec[{len(labels)}] = _t()")
+        code[id(node)] = name
+
+    returns = ", ".join(ref(r) for r in roots)
+    source = (f"def {fn_name}({', '.join(arg_names)}, *, _rec):\n"
+              + "\n".join(lines) + "\n"
+              f"    return ({returns},)\n")
+    return source, labels
+
+
 def compile_exprs(space: SymbolSpace, roots: Sequence[Expr],
                   output_names: Sequence[str] | None = None) -> CompiledFunction:
     """Compile expression DAG roots into one fast callable returning a tuple."""
     roots = list(roots)
     if not roots:
         raise SymbolicError("nothing to compile")
-    source, n_ops = generate_source(space, roots)
-    namespace = dict(_RUNTIME)
-    exec(compile(source, "<awesymbolic-compiled>", "exec"), namespace)
-    fn = namespace["_compiled"]
+    with _trace.span("compile.codegen", n_roots=len(roots)) as sp:
+        source, n_ops = generate_source(space, roots)
+        namespace = dict(_RUNTIME)
+        exec(compile(source, "<awesymbolic-compiled>", "exec"), namespace)
+        fn = namespace["_compiled"]
+        ops_pre_cse = tree_op_count(roots)
+        sp.set(n_ops=n_ops, ops_pre_cse=ops_pre_cse)
+    reg = _metrics.registry()
+    reg.counter("repro_compile_programs_total",
+                "straight-line programs compiled").inc()
+    reg.gauge("repro_compile_ops_pre_cse",
+              "arithmetic ops of the last program before CSE sharing"
+              ).set(ops_pre_cse)
+    reg.gauge("repro_compile_ops_post_cse",
+              "arithmetic ops of the last compiled program").set(n_ops)
     names = tuple(output_names) if output_names is not None else tuple(
         f"out{i}" for i in range(len(roots)))
     if len(names) != len(roots):
         raise SymbolicError("output_names length does not match roots")
-    return CompiledFunction(space, source, fn, n_ops, names)
+    return CompiledFunction(space, source, fn, n_ops, names,
+                            roots=tuple(roots))
 
 
 def compile_rationals(space: SymbolSpace, rationals: Sequence[Rational | Poly],

@@ -1,0 +1,39 @@
+"""Shared fixtures for the observability suite.
+
+Every test leaves the process-wide tracer *uninstalled* and the default
+metrics registry swapped back, so obs tests cannot leak state into the
+rest of the suite (which asserts on sweep numerics, not on spans).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import awesymbolic
+from repro.circuits.library import fig1_circuit
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(scope="package")
+def fig1_model():
+    """Paper Fig. 1 RC stage with both capacitors symbolic."""
+    return awesymbolic(fig1_circuit(), "out", symbols=["C1", "C2"], order=2)
+
+
+@pytest.fixture()
+def fresh_registry():
+    """A private MetricsRegistry installed as the process default."""
+    reg = obs_metrics.MetricsRegistry()
+    previous = obs_metrics.set_registry(reg)
+    try:
+        yield reg
+    finally:
+        obs_metrics.set_registry(previous)
+
+
+@pytest.fixture(autouse=True)
+def _no_tracer_leak():
+    yield
+    assert obs_trace.current_tracer() is None, \
+        "a test left the process-wide tracer installed"

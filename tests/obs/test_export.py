@@ -1,0 +1,132 @@
+"""Exporter well-formedness: Chrome trace, JSONL, Prometheus text."""
+
+from __future__ import annotations
+
+import collections
+import json
+
+from repro.obs import trace as obs_trace
+from repro.obs.export import (chrome_trace_events, write_chrome_trace,
+                              write_jsonl, write_prometheus)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import tracing
+
+
+def _nested_tracer():
+    with tracing() as tracer:
+        with obs_trace.span("sweep.total", points=4):
+            with obs_trace.span("sweep.evaluate"):
+                pass
+            with obs_trace.span("sweep.pade"):
+                pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_every_begin_has_matching_end(self):
+        events = chrome_trace_events(_nested_tracer())
+        stacks = collections.defaultdict(list)
+        for e in events:
+            if e["ph"] == "B":
+                stacks[e["tid"]].append(e["name"])
+            elif e["ph"] == "E":
+                assert stacks[e["tid"]], "E without a matching B"
+                stacks[e["tid"]].pop()
+        assert all(not s for s in stacks.values()), "unclosed B events"
+
+    def test_timestamps_monotone_per_thread(self):
+        events = chrome_trace_events(_nested_tracer())
+        last = collections.defaultdict(lambda: -1.0)
+        for e in events:
+            if e["ph"] in ("B", "E"):
+                assert e["ts"] >= last[e["tid"]]
+                last[e["tid"]] = e["ts"]
+
+    def test_nesting_order_at_equal_timestamps(self):
+        events = [e for e in chrome_trace_events(_nested_tracer())
+                  if e["ph"] in ("B", "E")]
+        names = [(e["ph"], e["name"]) for e in events]
+        # outer B first; inner spans open and close inside it
+        assert names[0] == ("B", "sweep.total")
+        assert names[-1] == ("E", "sweep.total")
+
+    def test_metadata_and_attrs(self):
+        events = chrome_trace_events(_nested_tracer(), process_name="repro")
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "repro"
+        begin = next(e for e in events if e.get("ph") == "B"
+                     and e["name"] == "sweep.total")
+        assert begin["args"]["points"] == 4
+        assert begin["cat"] == "sweep"
+
+    def test_file_is_json_loadable(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", _nested_tracer())
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["epoch_unix_s"] > 0
+
+    def test_non_json_attrs_are_repred(self, tmp_path):
+        with tracing() as tracer:
+            with obs_trace.span("x", weird=object()):
+                pass
+        path = write_chrome_trace(tmp_path / "t.json", tracer)
+        json.loads(path.read_text())  # must not raise
+
+
+class TestJsonl:
+    def test_header_spans_metrics_lines(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("repro_cache_hits_total").inc(2)
+        tracer = _nested_tracer()
+        path = write_jsonl(tmp_path / "events.jsonl", tracer, reg)
+        lines = [json.loads(line) for line in
+                 path.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["format"] == "repro-obs-v1"
+        span_lines = [l for l in lines if l["kind"] == "span"]
+        assert {l["name"] for l in span_lines} == \
+            {"sweep.total", "sweep.evaluate", "sweep.pade"}
+        assert lines[-1]["kind"] == "metrics"
+        assert lines[-1]["metrics"]["repro_cache_hits_total"]["value"] == 2
+
+    def test_parent_links_preserved(self, tmp_path):
+        path = write_jsonl(tmp_path / "e.jsonl", _nested_tracer())
+        spans = {l["name"]: l for l in
+                 (json.loads(x) for x in path.read_text().splitlines())
+                 if l["kind"] == "span"}
+        assert spans["sweep.evaluate"]["parent_id"] == \
+            spans["sweep.total"]["span_id"]
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("repro_sweep_runs_total").inc(3)
+        reg.gauge("repro_sweep_program_ops").set(53)
+        text = write_prometheus(tmp_path / "m.prom", reg).read_text()
+        assert "# TYPE repro_sweep_runs_total counter" in text
+        assert "repro_sweep_runs_total 3" in text
+        assert "repro_sweep_program_ops 53" in text
+
+    def test_histogram_buckets_are_cumulative(self, tmp_path):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_sweep_total_seconds")
+        h.observe(1e-6)
+        h.observe(1e-6)
+        h.observe(1e6)  # beyond the largest bound -> only +Inf
+        text = write_prometheus(tmp_path / "m.prom", reg).read_text()
+        lines = [l for l in text.splitlines() if l.startswith(
+            "repro_sweep_total_seconds_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert lines[-1] == 'repro_sweep_total_seconds_bucket{le="+Inf"} 3'
+        assert "repro_sweep_total_seconds_count 3" in text
+        assert "repro_sweep_total_seconds_sum" in text
+
+    def test_prefix(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("runs_total").inc()
+        text = write_prometheus(tmp_path / "m.prom", reg,
+                                prefix="ci_").read_text()
+        assert "ci_runs_total 1" in text

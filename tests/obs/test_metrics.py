@@ -1,0 +1,117 @@
+"""Metrics registry semantics: counters, gauges, log-bucket histograms."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (LOG_BUCKETS, Counter, Gauge, Histogram,
+                               MetricsRegistry, registry, set_registry)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_to_dict(self):
+        c = Counter("c")
+        c.inc(4)
+        assert c.to_dict() == {"type": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        assert math.isnan(g.value)
+        g.set(1.0)
+        g.set(-2.0)
+        assert g.value == -2.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_le_semantics(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        h.observe(1.0)    # == bound: lands in le="1"
+        h.observe(5.0)    # le="10"
+        h.observe(100.0)  # +Inf
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(106.0)
+        assert h.vmin == 1.0 and h.vmax == 100.0
+
+    def test_default_buckets_cover_op_times_and_run_walls(self):
+        assert LOG_BUCKETS[0] == pytest.approx(1e-7)
+        assert LOG_BUCKETS[-1] > 1e4
+        assert len(LOG_BUCKETS) == 24
+
+    def test_mean(self):
+        h = Histogram("h")
+        assert math.isnan(h.mean)
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == pytest.approx(3.0)
+
+    def test_time_context_manager(self):
+        h = Histogram("h")
+        with h.time():
+            sum(range(100))
+        assert h.count == 1
+        assert h.sum > 0.0
+
+    def test_to_dict_sparse_buckets(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        d = h.to_dict()
+        assert d["count"] == 1
+        assert d["buckets"] == {"1.0": 1}
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "first help")
+        b = reg.counter("x", "ignored on re-registration")
+        assert a is b
+        assert a.help == "first help"
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_time_shorthand(self):
+        reg = MetricsRegistry()
+        with reg.time("op_seconds"):
+            pass
+        assert reg.get("op_seconds").count == 1
+
+    def test_snapshot_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(3)
+        snap = reg.snapshot()
+        assert snap["a"] == {"type": "counter", "value": 1.0}
+        assert snap["b"] == {"type": "gauge", "value": 3.0}
+        assert reg.names() == ["a", "b"]
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_set_registry_swaps_process_default(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert registry() is mine
+        finally:
+            restored = set_registry(previous)
+            assert restored is mine
+        assert registry() is previous

@@ -1,0 +1,80 @@
+"""Op-level profiler over the Fig. 1 compiled moment program."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.profile import OpProfile, profile_program
+from repro.runtime.batched import grid_columns
+
+
+@pytest.fixture(scope="module")
+def fig1_profile(fig1_model):
+    grids = {"C1": np.linspace(0.5, 4.0, 16),
+             "C2": np.linspace(0.5, 3.0, 16)}
+    _, shape, cols = grid_columns(fig1_model.model, grids)
+    assert shape == (16, 16)
+    fn = fig1_model.model.compiled_moments.fn
+    return profile_program(fn, cols, repeats=5)
+
+
+class TestProfileProgram:
+    def test_coverage_attributes_most_of_evaluate(self, fig1_profile):
+        # acceptance bar: >= 90% of the measured evaluate window lands
+        # on identified ops
+        assert fig1_profile.coverage >= 0.9
+
+    def test_entries_sorted_hottest_first(self, fig1_profile):
+        secs = [e.seconds for e in fig1_profile.entries]
+        assert secs == sorted(secs, reverse=True)
+
+    def test_fractions_partition_attributed_time(self, fig1_profile):
+        assert sum(e.fraction for e in fig1_profile.entries) == \
+            pytest.approx(1.0)
+
+    def test_provenance_labels_present(self, fig1_model, fig1_profile):
+        assert fig1_profile.entries, "program has ops"
+        for e in fig1_profile.top(5):
+            assert e.expr, "every hot op carries a symbolic expression"
+            assert e.kind
+            assert e.ops >= 1
+        exprs = " ".join(e.expr for e in fig1_profile.entries)
+        assert "C1" in exprs or "C2" in exprs, \
+            "provenance renders over the model's symbol names"
+
+    def test_batch_metadata(self, fig1_profile):
+        assert fig1_profile.n_points == 256
+        assert fig1_profile.repeats == 5
+        assert fig1_profile.measured_seconds > 0.0
+        assert fig1_profile.plain_seconds > 0.0
+
+    def test_top_k_limits(self, fig1_profile):
+        assert len(fig1_profile.top(3)) == min(3, len(fig1_profile.entries))
+
+    def test_rejects_bad_repeats(self, fig1_model):
+        fn = fig1_model.model.compiled_moments.fn
+        with pytest.raises(ValueError):
+            profile_program(fn, [1.0, 1.0], repeats=0)
+
+
+class TestReport:
+    def test_table_text(self, fig1_profile):
+        text = fig1_profile.table(5)
+        assert "op profile:" in text
+        assert "% attributed to ops" in text
+        assert "expression" in text
+
+    def test_to_dict_round_trips_through_json(self, fig1_profile):
+        import json
+
+        d = json.loads(json.dumps(fig1_profile.to_dict(3)))
+        assert d["n_entries"] == len(fig1_profile.entries)
+        assert len(d["entries"]) == min(3, d["n_entries"])
+        assert d["coverage"] == pytest.approx(fig1_profile.coverage)
+        assert d["entries"][0]["seconds"] >= d["entries"][-1]["seconds"]
+
+    def test_empty_profile_degenerates_gracefully(self):
+        prof = OpProfile()
+        assert prof.coverage == 0.0
+        assert prof.table(5)  # renders without dividing by zero

@@ -1,0 +1,144 @@
+"""Tracer semantics: nesting, disabled no-op, thread propagation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Tracer, tracing
+
+
+class TestDisabled:
+    def test_span_is_shared_noop_singleton(self):
+        assert obs_trace.current_tracer() is None
+        a = obs_trace.span("anything", k=1)
+        b = obs_trace.span("else")
+        assert a is b  # one shared object, no allocation per call
+
+    def test_noop_supports_full_span_surface(self):
+        with obs_trace.span("x") as sp:
+            assert sp.set(foo=1) is sp
+
+    def test_enabled_reflects_installation(self):
+        assert not obs_trace.enabled()
+        with tracing():
+            assert obs_trace.enabled()
+        assert not obs_trace.enabled()
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        with tracing() as tracer:
+            with obs_trace.span("outer"):
+                with obs_trace.span("inner"):
+                    pass
+        spans = {s["name"]: s for s in tracer.snapshot()}
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+        assert spans["outer"]["parent_id"] is None
+        assert spans["inner"]["depth"] == 1
+        assert spans["outer"]["depth"] == 0
+
+    def test_siblings_share_parent(self):
+        with tracing() as tracer:
+            with obs_trace.span("root"):
+                with obs_trace.span("a"):
+                    pass
+                with obs_trace.span("b"):
+                    pass
+        spans = {s["name"]: s for s in tracer.snapshot()}
+        assert spans["a"]["parent_id"] == spans["root"]["span_id"]
+        assert spans["b"]["parent_id"] == spans["root"]["span_id"]
+
+    def test_durations_nest(self):
+        with tracing() as tracer:
+            with obs_trace.span("outer"):
+                with obs_trace.span("inner"):
+                    sum(range(1000))
+        spans = {s["name"]: s for s in tracer.snapshot()}
+        assert spans["outer"]["duration_s"] >= spans["inner"]["duration_s"]
+        assert spans["inner"]["start_s"] >= spans["outer"]["start_s"]
+
+    def test_attrs_recorded_and_updatable(self):
+        with tracing() as tracer:
+            with obs_trace.span("op", order=2) as sp:
+                sp.set(n_ops=53)
+        (record,) = tracer.snapshot()
+        assert record["attrs"] == {"order": 2, "n_ops": 53}
+
+    def test_exception_still_records_span(self):
+        try:
+            with tracing() as tracer:
+                with obs_trace.span("doomed"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [s["name"] for s in tracer.snapshot()] == ["doomed"]
+
+
+class TestThreads:
+    def test_worker_threads_have_independent_stacks(self):
+        seen = {}
+
+        def worker(tag):
+            with obs_trace.span(f"w.{tag}"):
+                seen[tag] = True
+
+        with tracing() as tracer:
+            with obs_trace.span("main"):
+                threads = [threading.Thread(target=worker, args=(i,))
+                           for i in range(3)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        spans = {s["name"]: s for s in tracer.snapshot()}
+        # without attach(), worker spans are roots of their own thread
+        for i in range(3):
+            assert spans[f"w.{i}"]["parent_id"] is None
+            assert spans[f"w.{i}"]["tid"] != spans["main"]["tid"]
+
+    def test_attach_propagates_logical_parent(self):
+        with tracing() as tracer:
+            with obs_trace.span("sweep"):
+                ctx = tracer.context()
+
+                def worker():
+                    with tracer.attach(ctx):
+                        with obs_trace.span("shard"):
+                            pass
+
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        spans = {s["name"]: s for s in tracer.snapshot()}
+        assert spans["shard"]["parent_id"] == spans["sweep"]["span_id"]
+        assert spans["shard"]["tid"] != spans["sweep"]["tid"]
+
+    def test_attach_restores_previous_context(self):
+        tracer = Tracer()
+        with tracer.attach(42):
+            assert tracer.context() == 42
+            with tracer.attach(7):
+                assert tracer.context() == 7
+            assert tracer.context() == 42
+        assert tracer.context() is None
+
+
+class TestLifecycle:
+    def test_tracing_restores_previous_tracer(self):
+        outer = obs_trace.start_tracing()
+        try:
+            with tracing() as inner:
+                assert obs_trace.current_tracer() is inner
+            assert obs_trace.current_tracer() is outer
+        finally:
+            obs_trace.stop_tracing()
+
+    def test_start_stop_round_trip(self):
+        tracer = obs_trace.start_tracing()
+        with obs_trace.span("one"):
+            pass
+        stopped = obs_trace.stop_tracing()
+        assert stopped is tracer
+        assert len(stopped) == 1
+        assert obs_trace.stop_tracing() is None

@@ -81,16 +81,25 @@ class TestDoctor:
         (cache_dir / "awesym-feedface.json").write_text("{broken")
 
         rc = main(["doctor", "--cache-dir", str(cache_dir)])
-        assert rc == 1
+        assert rc == 2  # corrupt entries are severity 2, not a mere warning
         assert "1 unhealthy" in capsys.readouterr().out
 
         rc = main(["doctor", "--cache-dir", str(cache_dir), "--fix"])
-        assert rc == 1  # reported while fixing
+        assert rc == 2  # reported while fixing
         assert "quarantined" in capsys.readouterr().out
 
         rc = main(["doctor", "--cache-dir", str(cache_dir)])
         assert rc == 0  # now clean
         assert "0 unhealthy" in capsys.readouterr().out
+
+    def test_orphan_tmp_is_a_warning_not_corruption(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "awesym-feedface.json.tmp.123").write_text("partial")
+
+        rc = main(["doctor", "--cache-dir", str(cache_dir)])
+        assert rc == 1  # untidy (crashed writer), but no data is at risk
+        assert "orphan-tmp" in capsys.readouterr().out
 
     def test_doctor_needs_a_target(self, capsys):
         rc = main(["doctor"])

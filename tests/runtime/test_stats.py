@@ -68,6 +68,81 @@ class TestReporting:
             assert token in text, token
 
 
+class TestDerived:
+    def test_parallel_efficiency_zero_without_total(self):
+        assert RuntimeStats().parallel_efficiency == 0.0
+
+    def test_parallel_efficiency_serial(self):
+        stats = RuntimeStats(workers=1, total_seconds=2.0,
+                             evaluate_seconds=0.5, pade_seconds=0.3,
+                             metric_seconds=0.2)
+        assert stats.parallel_efficiency == pytest.approx(0.5)
+
+    def test_parallel_efficiency_normalizes_by_workers(self):
+        stats = RuntimeStats(workers=4, total_seconds=1.0,
+                             evaluate_seconds=2.0)
+        assert stats.parallel_efficiency == pytest.approx(0.5)
+
+    def test_parallel_efficiency_clamped_to_one(self):
+        stats = RuntimeStats(workers=1, total_seconds=1.0,
+                             evaluate_seconds=5.0)
+        assert stats.parallel_efficiency == 1.0
+
+    def test_summary_mentions_parallel_efficiency(self):
+        stats = RuntimeStats(points=10, workers=2, total_seconds=1.0,
+                             evaluate_seconds=1.0)
+        assert "parallel efficiency" in stats.summary()
+
+
+class TestSerialization:
+    def test_to_dict_has_every_field_plus_derived(self):
+        stats = RuntimeStats(points=7, total_seconds=2.0)
+        d = stats.to_dict()
+        from dataclasses import fields
+        for f in fields(RuntimeStats):
+            assert f.name in d
+        assert d["points_per_second"] == pytest.approx(3.5)
+        assert "parallel_efficiency" in d
+
+    def test_round_trip(self):
+        stats = RuntimeStats(points=256, vectorized_points=250,
+                             fallback_points=6, nan_points=1,
+                             quarantined_points=1, shards=4, workers=2,
+                             n_ops=53, compile_seconds=0.01,
+                             evaluate_seconds=0.02, pade_seconds=0.03,
+                             metric_seconds=0.04, total_seconds=0.1)
+        back = RuntimeStats.from_dict(stats.to_dict())
+        assert back == stats
+
+    def test_to_dict_is_json_native(self):
+        import json
+
+        stats = RuntimeStats()
+        stats.points += np.int64(5)  # shard bounds arrive as numpy ints
+        payload = json.dumps(stats.to_dict())
+        assert json.loads(payload)["points"] == 5
+        assert type(json.loads(payload)["points"]) is int
+
+    def test_from_dict_ignores_derived_and_unknown_keys(self):
+        back = RuntimeStats.from_dict({"points": 3, "points_per_second": 99,
+                                       "mystery": True})
+        assert back.points == 3
+
+    def test_publish_fills_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        stats = RuntimeStats(points=100, vectorized_points=90,
+                             fallback_points=10, workers=2,
+                             total_seconds=1.0, evaluate_seconds=0.5)
+        stats.publish(registry=reg)
+        assert reg.get("repro_sweep_points_total").value == 100
+        assert reg.get("repro_sweep_runs_total").value == 1
+        assert reg.get("repro_sweep_evaluate_seconds").count == 1
+        stats.publish(registry=reg)
+        assert reg.get("repro_sweep_points_total").value == 200
+
+
 class TestFilledBySweep:
     def test_compile_and_evaluate_reported_separately(self, fig1_model):
         stats = RuntimeStats()
