@@ -1,0 +1,90 @@
+"""Gate CI on sweep-throughput regressions.
+
+Compares a freshly measured ``run_bench_sweep.py`` payload against the
+committed ``BENCH_sweep.json`` baseline and exits non-zero when any
+tracked ``points_per_second`` figure — the overall sweep or any
+per-backend entry present in both files — drops by more than the
+tolerance (default 25 %).
+
+Only *regressions* fail: faster-than-baseline runs, and backends that
+exist on one side only (baselines recorded before a backend landed, or
+measured on a machine that skips one), are reported but never fatal.
+CI machines are slower than whatever produced the baseline more often
+than not, which is exactly why the gate is a wide ratio rather than an
+absolute floor.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_sweep.json --current BENCH_current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def iter_throughputs(payload: dict):
+    """Yield ``(label, points_per_second)`` for every tracked figure."""
+    pps = payload.get("points_per_second")
+    if pps:
+        yield "overall", float(pps)
+    for name, entry in (payload.get("backends") or {}).items():
+        pps = entry.get("points_per_second")
+        if pps:
+            yield f"backend:{name}", float(pps)
+
+
+def compare(baseline: dict, current: dict,
+            tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Return a list of regression messages (empty means the gate passes)."""
+    base = dict(iter_throughputs(baseline))
+    cur = dict(iter_throughputs(current))
+    failures = []
+    for label in sorted(base):
+        if label not in cur:
+            print(f"  {label:<18} missing from current run (skipped)")
+            continue
+        ratio = cur[label] / base[label]
+        status = "OK"
+        if ratio < 1.0 - tolerance:
+            status = "REGRESSION"
+            failures.append(
+                f"{label}: {cur[label]:.0f} points/s is "
+                f"{(1.0 - ratio) * 100.0:.1f}% below baseline "
+                f"{base[label]:.0f} (tolerance {tolerance * 100.0:.0f}%)")
+        print(f"  {label:<18} {base[label]:>12.0f} -> {cur[label]:>12.0f} "
+              f"points/s  ({ratio:5.2f}x)  {status}")
+    for label in sorted(set(cur) - set(base)):
+        print(f"  {label:<18} new (no baseline): "
+              f"{cur[label]:.0f} points/s")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", type=Path,
+                    default=Path("BENCH_sweep.json"))
+    ap.add_argument("--current", type=Path, required=True)
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help="fractional drop that fails the gate "
+                         f"(default {DEFAULT_TOLERANCE})")
+    args = ap.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    print(f"throughput gate: {args.current} vs {args.baseline} "
+          f"(tolerance {args.tolerance * 100.0:.0f}%)")
+    failures = compare(baseline, current, tolerance=args.tolerance)
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,11 +6,19 @@ Runs the paper's §3.1 workload end to end under the observability layer:
    (``go_Q14``, ``Ccomp``) through :func:`repro.awesymbolic`;
 2. sweep ``dominant_pole_hz`` over a ``(go_Q14, Ccomp)`` grid with the
    batched sharded runtime, collecting :class:`RuntimeStats`;
-3. op-profile the compiled moment program over the same grid batch;
-4. write ``BENCH_sweep.json`` — points/sec, compile and evaluate
-   seconds, the top-3 hot ops with symbolic provenance, and the full
-   stats/metrics snapshots — and, with ``--trace``, a Chrome/Perfetto
-   trace of the whole run.
+3. time the same sweep once per execution backend (serial / thread /
+   process), after an unmeasured warm-up pass so pool spawn and the
+   per-worker program cache are amortized the way a real sweep sees
+   them, and cross-check every backend against the serial values
+   bit-for-bit;
+4. op-profile the compiled moment program over the same grid batch;
+5. write ``BENCH_sweep.json`` — points/sec overall and per backend,
+   compile and evaluate seconds, the top-3 hot ops with symbolic
+   provenance, and the full stats/metrics snapshots — and, with
+   ``--trace``, a Chrome/Perfetto trace of the whole run.
+
+``benchmarks/check_bench_regression.py`` compares this payload against
+the committed baseline and fails CI on a >25 % throughput regression.
 
 Usage (what the CI bench-sweep job runs)::
 
@@ -22,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -39,6 +48,38 @@ from repro.runtime.batched import grid_columns
 
 GRID_N = 32
 SHARDS = 8
+BACKENDS = ("serial", "thread", "process")
+
+
+def bench_backends(model, grids, reference, shards: int,
+                   backends=BACKENDS) -> dict:
+    """Time one sweep per backend, warm-up pass excluded.
+
+    The warm-up run amortizes what a long sweep amortizes anyway —
+    thread/process pool spawn and the per-worker program cache — so the
+    measured pass reflects steady-state throughput.  Each backend's
+    values are also checked bit-identical against ``reference``.
+    """
+    out = {}
+    for backend in backends:
+        warm = RuntimeStats()
+        model.sweep(grids, dominant_pole_hz, shards=shards,
+                    backend=backend, stats=warm)
+        stats = RuntimeStats()
+        z = model.sweep(grids, dominant_pole_hz, shards=shards,
+                        backend=backend, stats=stats)
+        if not np.array_equal(np.asarray(z), np.asarray(reference),
+                              equal_nan=True):
+            raise AssertionError(
+                f"backend {backend!r} diverged from serial values")
+        out[backend] = {
+            "points_per_second": stats.points_per_second,
+            "evaluate_seconds": stats.evaluate_seconds,
+            "workers": stats.workers,
+            "parallel_efficiency": stats.parallel_efficiency,
+            "cold_spawn_seconds": warm.spawn_seconds,
+        }
+    return out
 
 
 def run(grid_n: int = GRID_N, shards: int = SHARDS) -> dict:
@@ -57,6 +98,8 @@ def run(grid_n: int = GRID_N, shards: int = SHARDS) -> dict:
     z = model.sweep(grids, dominant_pole_hz, shards=shards, stats=stats)
     finite = int(np.isfinite(np.asarray(z)).sum())
 
+    backends = bench_backends(model, grids, z, shards)
+
     _, _, cols = grid_columns(model, grids)
     prof = profile_program(model.compiled_moments.fn, cols, repeats=5)
 
@@ -66,6 +109,8 @@ def run(grid_n: int = GRID_N, shards: int = SHARDS) -> dict:
         "points": int(z.size),
         "finite_points": finite,
         "shards": shards,
+        "cpu_count": os.cpu_count(),
+        "backends": backends,
         "n_ops": model.n_ops,
         "points_per_second": stats.points_per_second,
         "compile_seconds": stats.compile_seconds,
@@ -109,6 +154,9 @@ def main(argv: list[str] | None = None) -> int:
           f"{payload['points_per_second']:.0f} points/s, "
           f"compile {payload['compile_seconds']:.3f} s, "
           f"evaluate {payload['evaluate_seconds']:.3f} s")
+    for name, b in payload["backends"].items():
+        print(f"  backend {name:<8} {b['points_per_second']:>12.0f} points/s"
+              f"  ({b['workers']} workers)")
     for i, op in enumerate(payload["top_ops"], start=1):
         print(f"  hot op {i}: {op['fraction'] * 100.0:5.1f}%  "
               f"{op['kind']:<5} {op['expr']}")

@@ -63,7 +63,13 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--shards", type=int, default=None,
                    help="split the sweep grid into N chunks")
     p.add_argument("--workers", type=int, default=None,
-                   help="thread-pool width for sweep shards")
+                   help="worker-pool width for sweep shards (default: "
+                        "min(shards, cpu count) when --shards > 1)")
+    p.add_argument("--backend", default=None,
+                   choices=["auto", "serial", "thread", "process"],
+                   help="shard execution backend (default auto: threads "
+                        "when more than one worker; process spawns "
+                        "workers and shares arrays via shared memory)")
     p.add_argument("--stats", action="store_true",
                    help="print runtime statistics for the sweep")
     p.add_argument("--stats-json", type=Path, default=None, metavar="FILE",
@@ -186,7 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("--shards", type=int, default=None,
                         help="split the check sweep into N chunks")
     doctor.add_argument("--workers", type=int, default=None,
-                        help="thread-pool width for the check sweep")
+                        help="worker-pool width for the check sweep")
+    doctor.add_argument("--backend", default=None,
+                        choices=["auto", "serial", "thread", "process"],
+                        help="shard execution backend for the check sweep")
     doctor.add_argument("--json", type=Path, default=None, metavar="FILE",
                         help="write the diagnostics report as JSON")
     doctor.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
@@ -306,7 +315,8 @@ def _run_sweep(loaded, args) -> int:
     stats = RuntimeStats()
     z = loaded.sweep(grids, metric, shards=args.shards,
                      max_workers=args.workers, stats=stats,
-                     strict=getattr(args, "strict", False))
+                     strict=getattr(args, "strict", False),
+                     backend=getattr(args, "backend", None))
     names = list(grids)
     axes = " x ".join(f"{n}[{len(grids[n])}]" for n in names)
     finite = np.isfinite(z.real if np.iscomplexobj(z) else z)
@@ -470,7 +480,8 @@ def cmd_doctor(args) -> int:
         loaded = model_from_json(args.model.read_text())
         grids = dict(_parse_sweep(s) for s in args.sweep)
         z = loaded.sweep(grids, metric, shards=args.shards,
-                         max_workers=args.workers)
+                         max_workers=args.workers,
+                         backend=getattr(args, "backend", None))
         diag = z.diagnostics
         print(diag.summary())
         if args.json is not None:

@@ -205,7 +205,8 @@ class CompiledAWEModel:
               max_workers: int | None = None,
               stats=None,
               strict: bool = False,
-              resilience=None) -> np.ndarray:
+              resilience=None,
+              backend: str | None = None) -> np.ndarray:
         """Evaluate ``metric`` over the cartesian product of element-value grids.
 
         Runs through the batched runtime (:func:`repro.runtime.batched_sweep`)
@@ -237,6 +238,9 @@ class CompiledAWEModel:
             resilience: shard retry/timeout policy
                 (:class:`repro.runtime.ResilienceConfig`; batched path
                 only).
+            backend: shard execution backend — ``"serial"``,
+                ``"thread"``, ``"process"``, or ``"auto"``/``None``
+                (batched path only; see :mod:`repro.runtime.backends`).
 
         Points where the Padé degenerates yield NaN rather than aborting
         the sweep (lenient mode), with a structured record in the
@@ -253,7 +257,8 @@ class CompiledAWEModel:
         return batched_sweep(self, grids, metric, order=order,
                              require_stable=require_stable, shards=shards,
                              max_workers=max_workers, stats=stats,
-                             strict=strict, resilience=resilience)
+                             strict=strict, resilience=resilience,
+                             backend=backend)
 
     def sweep_per_point(self, grids: Mapping[str, np.ndarray],
                         metric: Callable[[ReducedOrderModel], float],

@@ -152,7 +152,8 @@ class LoadedModel:
               max_workers: int | None = None,
               stats=None,
               strict: bool = False,
-              resilience=None) -> np.ndarray:
+              resilience=None,
+              backend: str | None = None) -> np.ndarray:
         """Batched metric sweep over element-value grids.
 
         Same semantics as :meth:`CompiledAWEModel.sweep` — a loaded model
@@ -164,7 +165,8 @@ class LoadedModel:
         return batched_sweep(self, grids, metric, order=order,
                              require_stable=require_stable, shards=shards,
                              max_workers=max_workers, stats=stats,
-                             strict=strict, resilience=resilience)
+                             strict=strict, resilience=resilience,
+                             backend=backend)
 
 
 def model_from_dict(data: dict) -> LoadedModel:

@@ -12,12 +12,17 @@ provides:
   crash-safe on-disk caching of derived symbolic programs;
 * :class:`ResilienceConfig` / :func:`run_shards` — the fault-tolerance
   layer: point quarantine policy, shard retry/timeout/backoff, serial
-  fallback (see ``docs/robustness.md``).
+  fallback (see ``docs/robustness.md``);
+* :data:`BACKENDS` / :func:`resolve_backend` — pluggable shard execution
+  (``serial`` / ``thread`` / ``process``); the process backend ships
+  compiled programs as source to spawned workers and moves bulk arrays
+  through shared memory (see ``docs/runtime.md``).
 
 ``repro.core`` imports lazily from here (never the reverse at module
 scope) to keep the dependency direction acyclic.
 """
 
+from .backends import BACKENDS, resolve_backend, shutdown_pools
 from .batched import (VECTOR_METRICS, batched_sweep, grid_columns,
                       vector_metric, vector_poles_residues)
 from .cache import (CACHE_SCHEMA, CacheStats, ProgramCache,
@@ -26,6 +31,7 @@ from .resilience import DEFAULT_RESILIENCE, ResilienceConfig, run_shards
 from .stats import RuntimeStats
 
 __all__ = [
+    "BACKENDS",
     "CACHE_SCHEMA",
     "DEFAULT_RESILIENCE",
     "VECTOR_METRICS",
@@ -34,6 +40,8 @@ __all__ = [
     "ResilienceConfig",
     "RuntimeStats",
     "batched_sweep",
+    "resolve_backend",
+    "shutdown_pools",
     "cached_awesymbolic",
     "circuit_fingerprint",
     "default_cache",

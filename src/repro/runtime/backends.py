@@ -1,0 +1,254 @@
+"""Pluggable execution backends for the batched sweep runtime.
+
+The sweep's shard loop is backend-agnostic (``repro.runtime.resilience``
+drives retries the same way everywhere); what varies is *where* a shard
+attempt runs:
+
+* ``serial`` — the calling thread, no pool;
+* ``thread`` — a ``ThreadPoolExecutor`` (numpy releases the GIL inside
+  array kernels, so this overlaps the heavy ufunc work);
+* ``process`` — a warm, process-wide ``ProcessPoolExecutor`` of spawned
+  workers, for when the Python-level part of the program dominates and
+  the GIL serializes threads.
+
+``auto`` picks ``thread`` when more than one worker is requested and
+``serial`` otherwise — exactly the pre-backend behavior; ``process`` is
+opt-in because it pays a one-time spawn cost.
+
+The process backend never pickles the compiled function or bulk arrays:
+the program travels as *source text* (rebuilt once per worker, cached by
+content hash — see :mod:`repro.runtime.procworker`), grid columns are
+stacked into a shared-memory input slab, and shard results are written
+in place into a shared output slab.  Pools are cached per worker count
+and reused across sweeps, so the spawn cost amortizes away; a sweep
+that reuses a warm pool reports ``spawn_seconds == 0``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import multiprocessing as mp
+import pickle
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ApproximationError
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..testing import faults as _faults
+from .procworker import ProgramSpec, ShardJob, run_worker_shard
+
+__all__ = [
+    "BACKENDS",
+    "ProcessShardRunner",
+    "process_pool",
+    "resolve_backend",
+    "shutdown_pools",
+]
+
+#: accepted values for the ``backend`` sweep argument / ``--backend`` flag
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
+def resolve_backend(backend: str | None, workers: int) -> str:
+    """Map a requested backend name to the one the sweep will run.
+
+    ``None``/``"auto"`` resolve to ``"thread"`` when more than one worker
+    is in play and ``"serial"`` otherwise; an explicit ``"thread"`` with
+    one worker also degrades to ``"serial"`` (a one-thread pool buys
+    nothing).  ``"process"`` is honored even for one worker — the work
+    still leaves the calling process.
+    """
+    name = (backend or "auto").lower()
+    if name not in BACKENDS:
+        raise ApproximationError(
+            f"unknown sweep backend {backend!r} "
+            f"(choose from {', '.join(BACKENDS)})")
+    if name in ("auto", "thread"):
+        return "thread" if workers > 1 else "serial"
+    return name
+
+
+# ----------------------------------------------------------------------
+# warm process pools
+# ----------------------------------------------------------------------
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _noop() -> None:
+    return None
+
+
+def process_pool(workers: int) -> tuple[ProcessPoolExecutor, float]:
+    """A warm spawned pool of ``workers`` processes, plus its spawn cost.
+
+    Pools are cached per worker count for the life of the process (torn
+    down atexit), so only the first sweep at a given width pays the
+    spawn; reuse returns ``spawn_seconds == 0``.  A pool broken by a
+    dead worker is replaced transparently.
+    """
+    pool = _POOLS.get(workers)
+    if pool is not None and not getattr(pool, "_broken", False):
+        return pool, 0.0
+    with _trace.span("backend.spawn", workers=workers):
+        t0 = time.perf_counter()
+        pool = ProcessPoolExecutor(max_workers=workers,
+                                   mp_context=mp.get_context("spawn"))
+        # force at least one worker through interpreter start + imports
+        # so spawn_seconds measures real cost, not lazy deferral
+        pool.submit(_noop).result()
+        spawn_seconds = time.perf_counter() - t0
+    _POOLS[workers] = pool
+    _metrics.registry().counter(
+        "repro_backend_pools_spawned_total",
+        "process pools stood up by the process sweep backend").inc()
+    return pool, spawn_seconds
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached process pool (registered atexit)."""
+    pools = list(_POOLS.values())
+    _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+# ----------------------------------------------------------------------
+# the process backend's per-sweep state
+# ----------------------------------------------------------------------
+class ProcessShardRunner:
+    """Per-sweep harness for the process backend.
+
+    Owns the shared-memory slabs and the picklable
+    :class:`~repro.runtime.procworker.ProgramSpec`; exposes
+    :meth:`submit` (plugged into
+    :func:`repro.runtime.resilience.run_shards`) and :meth:`normalize`
+    (turns a worker's shm marker back into the ordinary
+    ``(values, stats, diag)`` shard result).  Call :meth:`close` when
+    the sweep is done — the parent owns slab cleanup.
+    """
+
+    def __init__(self, model, columns: Sequence, n_points: int,
+                 metric: Callable, order: int, require_stable: bool,
+                 strict: bool, workers: int) -> None:
+        try:
+            pickle.dumps(metric)
+        except Exception as exc:
+            raise ApproximationError(
+                f"metric {getattr(metric, '__name__', metric)!r} is not "
+                "picklable, so the process backend cannot ship it to "
+                "worker processes; use backend='thread' for lambdas and "
+                "closures") from exc
+        self._metric = metric
+        self._order = int(order)
+        self._require_stable = bool(require_stable)
+        self._strict = bool(strict)
+        self._n_points = int(n_points)
+
+        cm = model.compiled_moments
+        fn = cm.fn
+        mask = tuple(isinstance(c, np.ndarray) for c in columns)
+        kernel_mask = kernel_source = None
+        if any(mask) and fn.roots:
+            kernel_source, _, _ = fn.kernel_source(mask)
+            kernel_mask = mask
+        digest = hashlib.sha256()
+        digest.update(fn.source.encode())
+        digest.update((kernel_source or "").encode())
+        digest.update(repr((fn.space.names, cm.order)).encode())
+        self._spec = ProgramSpec(
+            key=digest.hexdigest(),
+            source=fn.source,
+            n_ops=fn.n_ops,
+            output_names=tuple(fn.output_names),
+            symbols=tuple(
+                (s.name, None if s.nominal is None else float(s.nominal))
+                for s in fn.space.symbols),
+            order=cm.order,
+            kernel_mask=kernel_mask,
+            kernel_source=kernel_source)
+
+        # acquire the pool before creating any shm slab: a failed spawn
+        # must not leak segments (nothing would close/unlink them)
+        self.pool, self.spawn_seconds = process_pool(max(1, int(workers)))
+
+        self._array_positions = tuple(
+            i for i, c in enumerate(columns) if isinstance(c, np.ndarray))
+        self._scalars = tuple(
+            None if isinstance(c, np.ndarray) else float(c)
+            for c in columns)
+        self._shm_in = None
+        if self._array_positions and n_points:
+            self._shm_in = shared_memory.SharedMemory(
+                create=True,
+                size=len(self._array_positions) * n_points * 8)
+            slab = np.ndarray((len(self._array_positions), n_points),
+                              dtype=np.float64, buffer=self._shm_in.buf)
+            for row, pos in enumerate(self._array_positions):
+                slab[row] = columns[pos]
+            del slab
+        self._shm_out = shared_memory.SharedMemory(
+            create=True, size=max(1, n_points) * 16)
+        self._out = np.ndarray((n_points,), dtype=np.complex128,
+                               buffer=self._shm_out.buf)
+
+    def submit(self, lo: int, hi: int, shard: int, attempt: int) -> Future:
+        """Pooled-attempt hook for :func:`run_shards`.
+
+        Shard faults are injected *parent-side* (the injector's armed
+        state does not cross process boundaries); an injected error is
+        delivered through the returned future so retry semantics match
+        the thread backend exactly.
+        """
+        if _faults.ACTIVE is not None:
+            try:
+                _faults.fault_point("sweep.shard", shard=shard,
+                                    attempt=attempt, lo=int(lo), hi=int(hi))
+            except BaseException as exc:
+                failed: Future = Future()
+                failed.set_exception(exc)
+                return failed
+        job = ShardJob(
+            spec=self._spec,
+            shm_in=None if self._shm_in is None else self._shm_in.name,
+            shm_out=self._shm_out.name,
+            n_points=self._n_points,
+            array_positions=self._array_positions,
+            scalars=self._scalars,
+            lo=int(lo), hi=int(hi), shard=int(shard), attempt=int(attempt),
+            metric=self._metric, order=self._order,
+            require_stable=self._require_stable, strict=self._strict)
+        _metrics.registry().counter(
+            "repro_backend_worker_shards_total",
+            "shard attempts dispatched to worker processes").inc()
+        return self.pool.submit(run_worker_shard, job)
+
+    def normalize(self, result):
+        """Copy a worker's slab slice back into an ordinary shard result.
+
+        Serial-fallback results (already ``(values, stats, diag)``) and
+        abandoned shards (``None``) pass through untouched.
+        """
+        if (isinstance(result, tuple) and len(result) == 5
+                and result[0] == "shm"):
+            _, lo, hi, stats, diag = result
+            return np.array(self._out[lo:hi]), stats, diag
+        return result
+
+    def close(self) -> None:
+        """Release both slabs (idempotent).  The pool stays warm."""
+        self._out = None
+        for attr in ("_shm_in", "_shm_out"):
+            shm = getattr(self, attr)
+            if shm is not None:
+                setattr(self, attr, None)
+                shm.close()
+                shm.unlink()

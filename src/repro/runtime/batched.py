@@ -35,6 +35,9 @@ retried and spliced back in order.
 from __future__ import annotations
 
 import math
+import os
+import threading
+import time
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -46,6 +49,7 @@ from ..diagnostics import QuarantinedPoint, SweepDiagnostics, SweepResult
 from ..errors import ApproximationError, PartitionError
 from ..obs import trace as _trace
 from ..testing import faults as _faults
+from .backends import ProcessShardRunner, resolve_backend
 from .resilience import DEFAULT_RESILIENCE, ResilienceConfig, run_shards
 from .stats import RuntimeStats
 
@@ -238,7 +242,7 @@ def _chunk_moments(model, columns: Sequence, n_points: int,
     with stats.stage("evaluate"):
         with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
             raw = [np.broadcast_to(np.asarray(v, dtype=float), (n_points,))
-                   for v in cm.fn.eval_raw(*columns)]
+                   for v in cm.fn.eval_batch(columns, n_points)]
             det = raw[-1]
             singular = det == 0.0
             if singular.any():
@@ -368,7 +372,14 @@ def _collapse_dtype(out: np.ndarray) -> np.ndarray:
 
 def _resolve_sharding(n_points: int, shards: int | None,
                       max_workers: int | None) -> tuple[int, int]:
-    workers = max(1, int(max_workers)) if max_workers else 1
+    if max_workers:
+        workers = max(1, int(max_workers))
+    elif shards is not None and int(shards) > 1:
+        # a multi-shard sweep with no explicit worker count should
+        # actually run its shards in parallel, up to the machine's cores
+        workers = min(int(shards), os.cpu_count() or 1)
+    else:
+        workers = 1
     if shards is None:
         n_shards = workers
     else:
@@ -385,7 +396,8 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
                   max_workers: int | None = None,
                   stats: RuntimeStats | None = None,
                   strict: bool = False,
-                  resilience: ResilienceConfig | None = None) -> SweepResult:
+                  resilience: ResilienceConfig | None = None,
+                  backend: str | None = None) -> SweepResult:
     """Evaluate ``metric`` over the cartesian product of element-value grids.
 
     Drop-in vectorized replacement for the per-point
@@ -413,8 +425,15 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         require_stable: demand stable poles (unstable fast-Padé points
             re-run through the stable-order fallback, like the scalar path).
         shards: number of contiguous grid chunks (default: one per worker).
-        max_workers: thread-pool width for shard execution (default 1,
-            i.e. serial).
+        max_workers: worker-pool width for shard execution (default:
+            ``min(shards, os.cpu_count())`` when sharding was requested,
+            else 1).
+        backend: where shard attempts run — ``"serial"``, ``"thread"``,
+            ``"process"``, or ``"auto"``/``None`` (thread pool when more
+            than one worker, else serial).  The process backend ships
+            the compiled program to spawned workers and moves bulk
+            arrays through shared memory; results are bit-identical
+            across backends (see :mod:`repro.runtime.backends`).
         stats: optional :class:`RuntimeStats` to fill with per-stage cost.
         strict: raise on the first quarantined point instead of degrading
             to NaN.
@@ -451,6 +470,10 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         stats.compile_seconds = getattr(model, "compile_seconds", 0.0)
 
         n_shards, workers = _resolve_sharding(n_points, shards, max_workers)
+        backend_name = resolve_backend(backend, workers)
+        if backend_name == "serial":
+            workers = 1
+        stats.backend = backend_name
         stats.shards = n_shards
         stats.workers = workers
         bounds = np.linspace(0, n_points, n_shards + 1, dtype=int)
@@ -467,19 +490,43 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
                                     attempt=attempt, lo=int(lo), hi=int(hi))
             cols = [c[lo:hi] if isinstance(c, np.ndarray) else c
                     for c in columns]
+            t0 = time.perf_counter()
             if tracer is None:
-                return _sweep_chunk(model, cols, hi - lo, metric, q,
-                                    require_stable, offset=int(lo),
-                                    diag=SweepDiagnostics(strict=config.strict))
-            with tracer.attach(parent_ctx), \
-                    tracer.span("sweep.shard", shard=shard, attempt=attempt,
-                                lo=int(lo), hi=int(hi)):
-                return _sweep_chunk(model, cols, hi - lo, metric, q,
-                                    require_stable, offset=int(lo),
-                                    diag=SweepDiagnostics(strict=config.strict))
+                result = _sweep_chunk(model, cols, hi - lo, metric, q,
+                                      require_stable, offset=int(lo),
+                                      diag=SweepDiagnostics(strict=config.strict))
+            else:
+                with tracer.attach(parent_ctx), \
+                        tracer.span("sweep.shard", shard=shard,
+                                    attempt=attempt, lo=int(lo), hi=int(hi)):
+                    result = _sweep_chunk(model, cols, hi - lo, metric, q,
+                                          require_stable, offset=int(lo),
+                                          diag=SweepDiagnostics(strict=config.strict))
+            busy_key = ("main"
+                        if threading.current_thread() is threading.main_thread()
+                        else f"thread-{threading.get_ident()}")
+            partial = result[1]
+            partial.worker_busy[busy_key] = (
+                partial.worker_busy.get(busy_key, 0.0)
+                + time.perf_counter() - t0)
+            return result
 
-        results = run_shards(run_shard, bounds, workers=workers,
-                             config=config, diagnostics=diagnostics)
+        if backend_name == "process" and n_points:
+            runner = ProcessShardRunner(model, columns, n_points, metric,
+                                        q, require_stable, config.strict,
+                                        workers)
+            stats.spawn_seconds = runner.spawn_seconds
+            try:
+                results = run_shards(run_shard, bounds, workers=workers,
+                                     config=config, diagnostics=diagnostics,
+                                     executor=runner.pool,
+                                     submit=runner.submit)
+                results = [runner.normalize(r) for r in results]
+            finally:
+                runner.close()
+        else:
+            results = run_shards(run_shard, bounds, workers=workers,
+                                 config=config, diagnostics=diagnostics)
 
         parts = []
         for (lo, hi), result in zip(zip(bounds[:-1], bounds[1:]), results):

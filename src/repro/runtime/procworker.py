@@ -1,0 +1,179 @@
+"""Spawn-safe worker side of the process sweep backend.
+
+This module is what a spawned worker imports; it deliberately keeps its
+heavy imports (``repro.runtime.batched`` and friends) inside the job
+function so pool startup stays cheap.  The contract with
+:mod:`repro.runtime.backends`:
+
+* the parent ships a :class:`ProgramSpec` — the compiled moment program
+  as *source text* plus its symbol space, never a pickled function — and
+  the worker rebuilds it once per process into :data:`_PROGRAMS`, keyed
+  by the spec's content hash.  Repeat shards of the same sweep (and
+  later sweeps of the same model) hit the warm cache;
+* bulk arrays never travel through pickle.  Grid columns live in a
+  shared-memory input slab of shape ``(n_arrays, n_points)`` float64;
+  results go into a shared ``(n_points,)`` complex128 output slab that
+  each worker writes in place for its own ``[lo, hi)`` slice;
+* the worker returns a small ``("shm", lo, hi, stats, diag)`` marker —
+  the parent copies the slice out of the slab and splices it like any
+  other shard result.
+
+Both slabs are created, closed, and unlinked by the parent; workers
+attach by name, drop every numpy view before closing, and unregister
+the segments from their resource tracker (the parent owns cleanup).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ProgramSpec", "ShardJob", "run_worker_shard"]
+
+#: per-process cache of rebuilt programs, keyed by ``ProgramSpec.key``
+_PROGRAMS: dict[str, object] = {}
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Everything a worker needs to rebuild one compiled moment program.
+
+    Attributes:
+        key: content hash of the program (cache key across shards/sweeps).
+        source: generated straight-line source defining ``_compiled``.
+        n_ops: arithmetic op count of the program.
+        output_names: labels parallel to the return tuple.
+        symbols: ``((name, nominal), ...)`` reconstructing the
+            :class:`~repro.symbolic.symbols.SymbolSpace`.
+        order: the compiled moment order (``CompiledMoments.order``).
+        kernel_mask: array-argument mask the vector kernel was
+            specialized on, or ``None`` when no kernel is shipped.
+        kernel_source: generated in-place ufunc kernel source, shipped so
+            workers ``exec`` it instead of re-deriving it from DAG roots
+            (which never leave the parent).
+    """
+
+    key: str
+    source: str
+    n_ops: int
+    output_names: tuple
+    symbols: tuple
+    order: int
+    kernel_mask: tuple | None = None
+    kernel_source: str | None = None
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """One shard's work order (small and cheap to pickle)."""
+
+    spec: ProgramSpec
+    shm_in: str | None
+    shm_out: str
+    n_points: int
+    array_positions: tuple
+    scalars: tuple
+    lo: int
+    hi: int
+    shard: int
+    attempt: int
+    metric: object
+    order: int
+    require_stable: bool
+    strict: bool
+
+
+class _WorkerModel:
+    """Minimal stand-in for a compiled model inside a worker: the batched
+    chunk evaluator only touches ``model.compiled_moments``."""
+
+    __slots__ = ("compiled_moments",)
+
+    def __init__(self, compiled_moments) -> None:
+        self.compiled_moments = compiled_moments
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without adopting its cleanup.
+
+    ``SharedMemory(name=...)`` unconditionally registers the segment
+    with the resource tracker, which the parent and every worker share —
+    concurrent register/unregister pairs for the same name race inside
+    the tracker (cpython #82300).  Suppressing registration for the
+    duration of the attach keeps worker-side segments entirely off the
+    tracker's books; the parent owns close + unlink.
+    """
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _program(spec: ProgramSpec) -> _WorkerModel:
+    """Rebuild (or fetch) the compiled program for ``spec`` in this process."""
+    cached = _PROGRAMS.get(spec.key)
+    if cached is not None:
+        return cached
+    from ..partition.composite import CompiledMoments
+    from ..symbolic.compile import CompiledFunction, runtime_namespace
+    from ..symbolic.symbols import Symbol, SymbolSpace
+
+    space = SymbolSpace([Symbol(name, nominal=nominal)
+                         for name, nominal in spec.symbols])
+    namespace = runtime_namespace()
+    exec(compile(spec.source, "<awesymbolic-worker>", "exec"), namespace)
+    fn = CompiledFunction(space, spec.source, namespace["_compiled"],
+                          spec.n_ops, tuple(spec.output_names))
+    if spec.kernel_source is not None and spec.kernel_mask is not None:
+        fn.install_kernel(tuple(spec.kernel_mask), spec.kernel_source)
+    model = _WorkerModel(CompiledMoments(fn=fn, order=spec.order))
+    _PROGRAMS[spec.key] = model
+    return model
+
+
+def run_worker_shard(job: ShardJob) -> tuple:
+    """Evaluate one shard inside a worker process.
+
+    Returns ``("shm", lo, hi, stats, diag)``; the values for
+    ``[lo, hi)`` are already written into the shared output slab.
+    """
+    from ..diagnostics import SweepDiagnostics
+    from .batched import _sweep_chunk
+
+    t0 = time.perf_counter()
+    model = _program(job.spec)
+    shm_in = _attach(job.shm_in) if job.shm_in is not None else None
+    shm_out = _attach(job.shm_out)
+    try:
+        columns = list(job.scalars)
+        slab = None
+        if shm_in is not None:
+            slab = np.ndarray((len(job.array_positions), job.n_points),
+                              dtype=np.float64, buffer=shm_in.buf)
+            for row, pos in enumerate(job.array_positions):
+                columns[pos] = slab[row, job.lo:job.hi]
+        out = np.ndarray((job.n_points,), dtype=np.complex128,
+                         buffer=shm_out.buf)
+        try:
+            values, stats, diag = _sweep_chunk(
+                model, columns, job.hi - job.lo, job.metric, job.order,
+                job.require_stable, offset=job.lo,
+                diag=SweepDiagnostics(strict=job.strict))
+            out[job.lo:job.hi] = values
+        finally:
+            # every view of the shm buffers must be gone before close()
+            del out, columns
+            slab = None
+    finally:
+        if shm_in is not None:
+            shm_in.close()
+        shm_out.close()
+    stats.worker_busy[f"pid-{os.getpid()}"] = time.perf_counter() - t0
+    return ("shm", job.lo, job.hi, stats, diag)

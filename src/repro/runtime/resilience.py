@@ -110,7 +110,9 @@ def _record(diagnostics: SweepDiagnostics | None, failure: ShardFailure,
 def run_shards(run_shard: Callable, bounds: Sequence[int], *,
                workers: int = 1,
                config: ResilienceConfig | None = None,
-               diagnostics: SweepDiagnostics | None = None) -> list:
+               diagnostics: SweepDiagnostics | None = None,
+               executor=None,
+               submit: Callable | None = None) -> list:
     """Execute every shard ``[bounds[i], bounds[i+1])`` fault-tolerantly.
 
     Args:
@@ -122,10 +124,20 @@ def run_shards(run_shard: Callable, bounds: Sequence[int], *,
             (retry still applies, timeout cannot).
         config: degradation policy (default :data:`DEFAULT_RESILIENCE`).
         diagnostics: report to record shard incidents into.
+        executor: externally-owned pool (e.g. the process backend's
+            warm ``ProcessPoolExecutor``) used instead of creating a
+            thread pool; it is **not** shut down here.  Forces pooled
+            execution even with ``workers == 1``.
+        submit: ``submit(lo, hi, shard, attempt) -> Future`` replacing
+            ``pool.submit(run_shard, ...)`` for pooled attempts — how the
+            process backend routes attempts to out-of-process workers
+            while the serial fallback still calls ``run_shard``
+            in-process.
 
     Returns:
-        One entry per shard, in shard order: the ``run_shard`` result, or
-        ``None`` for a shard abandoned in lenient mode.
+        One entry per shard, in shard order: the ``run_shard`` result
+        (or whatever ``submit``'s futures resolve to), or ``None`` for a
+        shard abandoned in lenient mode.
 
     Raises:
         ReproError: immediately, from any attempt (deterministic library
@@ -137,25 +149,30 @@ def run_shards(run_shard: Callable, bounds: Sequence[int], *,
     jobs = list(zip(bounds[:-1], bounds[1:]))
     if not jobs:
         return []
-    use_pool = workers > 1
-    pool = ThreadPoolExecutor(max_workers=workers) if use_pool else None
+    owns_pool = executor is None and workers > 1
+    pool = executor if executor is not None else (
+        ThreadPoolExecutor(max_workers=workers) if owns_pool else None)
+    if pool is not None and submit is None:
+        def submit(lo, hi, shard, attempt):
+            return pool.submit(run_shard, lo, hi, shard, attempt)
     try:
         futures = {}
         if pool is not None:
             for i, (lo, hi) in enumerate(jobs):
-                futures[i] = pool.submit(run_shard, lo, hi, i, 0)
-        return [_run_one(run_shard, i, lo, hi, futures.get(i), pool,
+                futures[i] = submit(lo, hi, i, 0)
+        return [_run_one(run_shard, i, lo, hi, futures.get(i),
+                         submit if pool is not None else None,
                          config, diagnostics)
                 for i, (lo, hi) in enumerate(jobs)]
     finally:
-        if pool is not None:
+        if owns_pool:
             # don't block on abandoned (hung) attempts; completed shards
             # have already delivered their results through their futures
             pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _run_one(run_shard: Callable, shard: int, lo: int, hi: int,
-             future, pool, config: ResilienceConfig,
+             future, submit, config: ResilienceConfig,
              diagnostics: SweepDiagnostics | None):
     """Drive one shard through attempts / retries / fallback."""
     attempts = 0
@@ -165,9 +182,9 @@ def _run_one(run_shard: Callable, shard: int, lo: int, hi: int,
             time.sleep(backoff_delay(config, shard, attempt - 1))
         attempts += 1
         try:
-            if pool is not None:
+            if submit is not None:
                 fut = future if (attempt == 0 and future is not None) \
-                    else pool.submit(run_shard, lo, hi, shard, attempt)
+                    else submit(lo, hi, shard, attempt)
                 result = fut.result(timeout=config.shard_timeout)
             else:
                 result = run_shard(lo, hi, shard, attempt)

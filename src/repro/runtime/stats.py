@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
@@ -34,7 +34,16 @@ class RuntimeStats:
         quarantined_points: points removed by the resilience layer (see
             the sweep's ``diagnostics`` report for the per-point records).
         shards: number of grid shards the sweep was split into.
-        workers: worker threads used (1 = serial).
+        workers: worker threads/processes used (1 = serial).
+        backend: execution backend the sweep resolved to
+            (``"serial"``, ``"thread"``, or ``"process"``).
+        spawn_seconds: one-time cost of standing up the process pool
+            (0 for serial/thread backends and for warm pool reuse) —
+            the amortized overhead the process backend pays once.
+        worker_busy: wall seconds each worker spent inside shard
+            evaluation, keyed by worker identity (``"main"``,
+            ``"thread-<ident>"``, or ``"pid-<pid>"``) — the raw data
+            behind :attr:`parallel_efficiency` for multi-worker runs.
         n_ops: arithmetic op count of the compiled moment program.
         compile_seconds: time spent compiling the symbolic model
             (amortized setup, not per-sweep; copied from the model).
@@ -61,6 +70,9 @@ class RuntimeStats:
     pade_seconds: float = 0.0
     metric_seconds: float = 0.0
     total_seconds: float = 0.0
+    backend: str = "serial"
+    spawn_seconds: float = 0.0
+    worker_busy: dict = field(default_factory=dict)
 
     @contextmanager
     def stage(self, name: str):
@@ -82,11 +94,18 @@ class RuntimeStats:
     def merge(self, other: "RuntimeStats") -> "RuntimeStats":
         """Fold a shard's partial stats into this one (counters and stage
         times add; ``workers``/``n_ops``/``total_seconds`` are whole-sweep
-        quantities and keep the maximum)."""
+        quantities and keep the maximum; ``backend`` is whole-sweep and
+        keeps this sweep's value; ``worker_busy`` adds per worker)."""
         for f in fields(self):
             if f.name in ("workers", "n_ops", "total_seconds"):
                 setattr(self, f.name, max(getattr(self, f.name),
                                           getattr(other, f.name)))
+            elif f.name == "backend":
+                continue
+            elif f.name == "worker_busy":
+                for key, busy in other.worker_busy.items():
+                    self.worker_busy[key] = (
+                        self.worker_busy.get(key, 0.0) + busy)
             else:
                 setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
@@ -125,9 +144,17 @@ class RuntimeStats:
         """
         # coerce to builtin types: counters accumulate numpy ints when the
         # shard bounds come from np.linspace, and the schema is JSON
-        out = {f.name: (float(getattr(self, f.name)) if f.type == "float"
-                        else int(getattr(self, f.name)))
-               for f in fields(self)}
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.type == "float":
+                out[f.name] = float(value)
+            elif f.type == "int":
+                out[f.name] = int(value)
+            elif f.name == "worker_busy":
+                out[f.name] = {str(k): float(v) for k, v in value.items()}
+            else:
+                out[f.name] = str(value)
         out["points_per_second"] = self.points_per_second
         out["parallel_efficiency"] = self.parallel_efficiency
         return out
@@ -160,6 +187,10 @@ class RuntimeStats:
             reg.histogram(f"repro_sweep_{name}_seconds",
                           f"per-sweep {name} stage wall time"
                           ).observe(getattr(self, f"{name}_seconds"))
+        if self.spawn_seconds > 0.0:
+            reg.histogram("repro_sweep_spawn_seconds",
+                          "process-pool spawn cost paid by this sweep"
+                          ).observe(self.spawn_seconds)
         reg.gauge("repro_sweep_program_ops",
                   "ops/point of the last swept program").set(self.n_ops)
         reg.gauge("repro_sweep_parallel_efficiency",
@@ -173,7 +204,8 @@ class RuntimeStats:
             f"({self.vectorized_points} vectorized, "
             f"{self.fallback_points} fallback, {self.nan_points} NaN, "
             f"{self.quarantined_points} quarantined) "
-            f"in {self.shards} shard(s) / {self.workers} worker(s)",
+            f"in {self.shards} shard(s) / {self.workers} worker(s) "
+            f"[{self.backend}]",
             f"  compile  {self.compile_seconds * 1e3:9.3f} ms "
             f"(one-time, {self.n_ops} ops/point program)",
             f"  evaluate {self.evaluate_seconds * 1e3:9.3f} ms   "

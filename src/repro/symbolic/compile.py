@@ -15,6 +15,7 @@ remain valid across over/under-damped regions of the sweep.
 
 from __future__ import annotations
 
+import cmath
 import math
 import time
 from typing import Mapping, Sequence
@@ -32,20 +33,89 @@ from .symbols import SymbolSpace
 
 
 def _safe_sqrt(x):
-    """Complex-safe square root for scalars and arrays."""
+    """Complex-safe square root for scalars and arrays.
+
+    Python scalars take a numpy-free fast path (the per-point hot loop);
+    arrays decide the real/complex branch with a single ``min`` reduction
+    instead of materializing a boolean mask.
+    """
+    if type(x) is float or type(x) is int:
+        return math.sqrt(x) if x >= 0.0 else cmath.sqrt(complex(x))
     arr = np.asarray(x)
-    if np.iscomplexobj(arr) or np.all(arr >= 0):
+    if np.iscomplexobj(arr):
+        return np.sqrt(arr)
+    # np.min on the empty array would raise; np.all([] >= 0) was True, so
+    # the empty array keeps taking the real branch
+    if arr.size == 0 or np.min(arr) >= 0:
         return np.sqrt(arr)
     return np.sqrt(arr.astype(complex))
 
 
 def _safe_log(x):
+    if type(x) is float or type(x) is int:
+        if x > 0.0:
+            return math.log(x)
+        if x == 0.0:  # cmath.log(0) raises; np.log(0j) is -inf+0j
+            return complex(float("-inf"), 0.0)
+        return cmath.log(complex(x))
     arr = np.asarray(x)
-    if np.iscomplexobj(arr) or np.all(arr > 0):
+    if np.iscomplexobj(arr):
+        return np.log(arr)
+    if arr.size == 0 or np.min(arr) > 0:
         return np.log(arr)
     return np.log(arr.astype(complex))
 
 
+def _guarded_sqrt():
+    """Sticky per-program variant of :func:`_safe_sqrt`.
+
+    Once a program's sqrt has seen a negative array it stops re-scanning:
+    later array calls go straight to the complex branch.  Values are
+    unchanged (a real result merely arrives with a zero imaginary part);
+    only the dtype can widen, which every consumer of these programs
+    already accepts.  Scalar calls never consult or set the sticky flag.
+    """
+    sticky_complex = False
+
+    def _sqrt(x):
+        nonlocal sticky_complex
+        if type(x) is float or type(x) is int:
+            return math.sqrt(x) if x >= 0.0 else cmath.sqrt(complex(x))
+        arr = np.asarray(x)
+        if np.iscomplexobj(arr):
+            return np.sqrt(arr)
+        if not sticky_complex and (arr.size == 0 or np.min(arr) >= 0):
+            return np.sqrt(arr)
+        sticky_complex = True
+        return np.sqrt(arr.astype(complex))
+
+    return _sqrt
+
+
+def _guarded_log():
+    sticky_complex = False
+
+    def _log(x):
+        nonlocal sticky_complex
+        if type(x) is float or type(x) is int:
+            if x > 0.0:
+                return math.log(x)
+            if x == 0.0:
+                return complex(float("-inf"), 0.0)
+            return cmath.log(complex(x))
+        arr = np.asarray(x)
+        if np.iscomplexobj(arr):
+            return np.log(arr)
+        if not sticky_complex and (arr.size == 0 or np.min(arr) > 0):
+            return np.log(arr)
+        sticky_complex = True
+        return np.log(arr.astype(complex))
+
+    return _log
+
+
+#: shared default namespace (kept for compatibility; programs compiled via
+#: :func:`compile_exprs` get their own namespace from `runtime_namespace`)
 _RUNTIME = {
     "_sqrt": _safe_sqrt,
     "_log": _safe_log,
@@ -55,12 +125,53 @@ _RUNTIME = {
 }
 
 
+def runtime_namespace() -> dict:
+    """Fresh ``exec`` namespace for one compiled program.
+
+    Each program gets its own sqrt/log guards so the real/complex branch
+    decision is cached *per program* (sticky after the first negative
+    array) instead of re-scanned on every call.
+    """
+    return {
+        "_sqrt": _guarded_sqrt(),
+        "_log": _guarded_log(),
+        "_exp": np.exp,
+        "_abs": np.abs,
+        "__builtins__": {},
+    }
+
+
+def vector_namespace() -> dict:
+    """Namespace for the in-place ufunc kernels of `generate_vector_source`."""
+    ns = runtime_namespace()
+    ns.update({
+        "_empty": np.empty,
+        "_np_add": np.add,
+        "_np_mul": np.multiply,
+        "_np_div": np.divide,
+        "_np_pow": np.power,
+    })
+    return ns
+
+
+#: largest integer exponent lowered to a repeated-multiplication chain
+#: (``x**3`` becomes ``x*x*x``: multiplies are far cheaper than the libm
+#: ``pow`` numpy falls back to for exponents other than 2)
+_POW_UNROLL_MAX = 4
+
+
+def _pow_unrolls(exponent) -> bool:
+    return isinstance(exponent, int) and 2 <= exponent <= _POW_UNROLL_MAX
+
+
 #: per-node arithmetic op cost (n-ary add/mul computed at the node)
 def _node_ops(node: Expr) -> int:
     if node.kind in ("const", "sym"):
         return 0
     if node.kind in ("add", "mul"):
         return len(node.children) - 1
+    if node.kind == "pow" and _pow_unrolls(node.payload):
+        return node.payload - 1
     return 1
 
 
@@ -129,6 +240,9 @@ class CompiledFunction:
         self.output_names = output_names
         self.roots = roots
         self._instrumented = None
+        # vectorized in-place kernels, keyed by the array-argument mask
+        self._kernels: dict[tuple[bool, ...], object] = {}
+        self._kernel_sources: dict[tuple[bool, ...], tuple[str, int, int]] = {}
 
     def __call__(self, values: Mapping | Sequence[float]) -> tuple:
         """Evaluate at ``values`` (mapping by symbol/name, or aligned sequence).
@@ -159,6 +273,57 @@ class CompiledFunction:
         """Positional fast path with no argument normalization."""
         return self._fn(*args)
 
+    def eval_batch(self, args: Sequence, n_points: int):
+        """Evaluate a batch of ``n_points`` through the in-place kernel.
+
+        ``args`` is positional like :meth:`eval_raw`, where each entry is
+        either a scalar or a flat float64 column of length ``n_points``.
+        The first call per array-argument pattern generates and caches a
+        liveness-buffered ufunc kernel (:func:`generate_vector_source`);
+        anything the kernel cannot specialize on (complex columns, odd
+        shapes, a function built without DAG roots) falls back to
+        :meth:`eval_raw`, which is always value-identical.
+        """
+        mask = tuple(
+            isinstance(a, np.ndarray) and a.ndim == 1
+            and a.shape[0] == n_points and a.dtype == np.float64
+            for a in args)
+        if not any(mask) or any(isinstance(a, np.ndarray) and not m
+                                for a, m in zip(args, mask)):
+            return self._fn(*args)
+        kernel = self._kernels.get(mask)
+        if kernel is None:
+            # an installed kernel (e.g. shipped to a worker process) works
+            # without roots; generating a fresh one needs the DAG
+            if not self.roots:
+                return self._fn(*args)
+            source, _n_ops, _n_buffers = self.kernel_source(mask)
+            kernel = self.install_kernel(mask, source)
+        return kernel(*args, _n=n_points)
+
+    def kernel_source(self, mask: tuple[bool, ...]) -> tuple[str, int, int]:
+        """``(source, n_ops, n_buffers)`` for the kernel of ``mask``.
+
+        Cached per mask; this is the text the process backend ships to
+        workers so they exec instead of regenerate.
+        """
+        cached = self._kernel_sources.get(mask)
+        if cached is None:
+            if not self.roots:
+                raise SymbolicError(
+                    "cannot build a vector kernel without expression roots")
+            cached = generate_vector_source(self.space, self.roots, mask)
+            self._kernel_sources[mask] = cached
+        return cached
+
+    def install_kernel(self, mask: tuple[bool, ...], source: str):
+        """Exec ``source`` into a fresh vector namespace and cache it."""
+        namespace = vector_namespace()
+        exec(compile(source, "<awesymbolic-vector>", "exec"), namespace)
+        kernel = namespace["_vector"]
+        self._kernels[mask] = kernel
+        return kernel
+
     def instrumented(self):
         """Exploded per-op variant for the profiler (built once, cached).
 
@@ -180,7 +345,7 @@ class CompiledFunction:
                     "expression roots")
             source, labels = generate_instrumented_source(self.space,
                                                           self.roots)
-            namespace = dict(_RUNTIME, _t=time.perf_counter)
+            namespace = dict(runtime_namespace(), _t=time.perf_counter)
             exec(compile(source, "<awesymbolic-profiled>", "exec"), namespace)
             self._instrumented = (namespace["_profiled"], labels)
         return self._instrumented
@@ -249,11 +414,26 @@ def generate_source(space: SymbolSpace, roots: Sequence[Expr],
             n_ops += 1
         elif kind == "pow":
             base = node.children[0]
-            # ** is right-associative: a pow base must be parenthesized too
-            text = (f"({ref(base)})"
-                    if base.kind in ("add", "mul", "div", "pow")
-                    else ref(base)) + f"**{node.payload}"
-            n_ops += 1
+            if _pow_unrolls(node.payload):
+                btext = ref(base)
+                if not btext.isidentifier():
+                    # materialize a compound base once instead of
+                    # re-evaluating it per repetition
+                    btext = f"t{temp_idx}"
+                    temp_idx += 1
+                    lines.append(f"    {btext} = {ref(base)}")
+                    code[id(base)] = btext
+                # parenthesized so inlining into a consumer product keeps
+                # this chain's grouping (a*(b*b*b), not ((a*b)*b)*b)
+                text = "(" + "*".join([btext] * node.payload) + ")"
+                n_ops += node.payload - 1
+            else:
+                # ** is right-associative: a pow base must be
+                # parenthesized too
+                text = (f"({ref(base)})"
+                        if base.kind in ("add", "mul", "div", "pow")
+                        else ref(base)) + f"**{node.payload}"
+                n_ops += 1
         elif kind in ("sqrt", "exp", "log", "abs"):
             text = f"_{kind}({ref(node.children[0])})"
             n_ops += 1
@@ -324,7 +504,13 @@ def generate_instrumented_source(space: SymbolSpace, roots: Sequence[Expr],
             a, b = node.children
             text = f"({ref(a)}) / ({ref(b)})"
         elif kind == "pow":
-            text = f"({ref(node.children[0])})**{node.payload}"
+            btext = ref(node.children[0])
+            if _pow_unrolls(node.payload) and btext.isidentifier():
+                # same lowering as generate_source, kept as one op slot
+                # so profile labels still map 1:1 onto DAG nodes
+                text = "*".join([btext] * node.payload)
+            else:
+                text = f"({btext})**{node.payload}"
         elif kind in ("sqrt", "exp", "log", "abs"):
             text = f"_{kind}({ref(node.children[0])})"
         else:  # pragma: no cover - builder only produces known kinds
@@ -344,6 +530,221 @@ def generate_instrumented_source(space: SymbolSpace, roots: Sequence[Expr],
     return source, labels
 
 
+def generate_vector_source(space: SymbolSpace, roots: Sequence[Expr],
+                           array_args: Sequence[bool],
+                           fn_name: str = "_vector",
+                           ) -> tuple[str, int, int]:
+    """Emit an in-place ufunc kernel specialized on an array-argument mask.
+
+    ``array_args[i]`` flags whether positional argument ``i`` arrives as a
+    flat ``(n,)`` float64 column (True) or a scalar (False) — the shape
+    the batched sweep runtime feeds through ``eval_batch``.  Returns
+    ``(source, n_ops, n_buffers)``.
+
+    The kernel computes **bit-identically** to the plain source from
+    :func:`generate_source`: the same pairwise left-associative operation
+    order, expressed as explicit ufunc calls (``_np_add(a, b, out=b3)``)
+    writing into a small pool of liveness-recycled float64 buffers instead
+    of allocating a fresh temporary per op.  A buffer is released the
+    moment its last consumer has executed, so peak live temporaries drop
+    from ~``n_ops`` to the DAG's maximum antichain of live values.
+
+    Two node classes opt out of buffering:
+
+    * **scalar subtrees** (no array argument below them) stay ordinary
+      Python arithmetic, inlined exactly as :func:`generate_source` would;
+    * **complex-capable subtrees** (anything with ``sqrt``/``log`` below
+      it) are evaluated as plain allocating expressions — their dtype is
+      data-dependent, so a preallocated float64 buffer cannot hold them.
+      Moment programs are pure rational arithmetic and buffer fully.
+    """
+    import re
+    arg_names = [_sanitize(s.name) for s in space.symbols]
+    if len(set(arg_names)) != len(arg_names) or any(
+            a == "_n" or re.fullmatch(r"[btv]\d+", a) for a in arg_names):
+        arg_names = [f"x{i}" for i in range(len(space))]
+    sym_to_arg = {s.name: a for s, a in zip(space.symbols, arg_names)}
+    array_args = tuple(bool(b) for b in array_args)
+    if len(array_args) != len(arg_names):
+        raise SymbolicError(
+            f"array mask has {len(array_args)} entries for "
+            f"{len(arg_names)} symbols")
+    array_syms = {s.name for s, b in zip(space.symbols, array_args) if b}
+
+    order = topological(roots)
+    counts = use_counts(roots)
+
+    is_vec: dict[int, bool] = {}
+    tainted: dict[int, bool] = {}
+    for node in order:
+        is_vec[id(node)] = ((node.kind == "sym"
+                             and node.payload in array_syms)
+                            or any(is_vec[id(c)] for c in node.children))
+        tainted[id(node)] = (node.kind in ("sqrt", "log")
+                             or any(tainted[id(c)] for c in node.children))
+
+    # liveness: remaining consumer reads per node (+1 per root return,
+    # which never decrements, so output buffers are never recycled)
+    remaining: dict[int, int] = {}
+    for node in order:
+        for c in node.children:
+            remaining[id(c)] = remaining.get(id(c), 0) + 1
+    for r in roots:
+        remaining[id(r)] = remaining.get(id(r), 0) + 1
+
+    code: dict[int, str] = {}
+    buffer_of: dict[int, str] = {}
+    pool: list[str] = []
+    lines: list[str] = []
+    n_buffers = 0
+    temp_idx = 0
+    vtemp_idx = 0
+    n_ops = 0
+
+    def ref(node: Expr) -> str:
+        return code[id(node)]
+
+    def acquire() -> str:
+        nonlocal n_buffers
+        if pool:
+            return pool.pop()
+        name = f"b{n_buffers}"
+        n_buffers += 1
+        return name
+
+    def consume(node: Expr) -> None:
+        """This node's statement has run: release dead child buffers."""
+        for c in node.children:
+            remaining[id(c)] -= 1
+            if remaining[id(c)] == 0:
+                buf = buffer_of.pop(id(c), None)
+                if buf is not None:
+                    pool.append(buf)
+
+    def infix(node: Expr) -> tuple[str, int]:
+        """Plain-arithmetic rendering (scalar and complex-capable nodes),
+        mirroring generate_source's operator emission exactly."""
+        nonlocal temp_idx
+        kind = node.kind
+        if kind == "add":
+            return (" + ".join(ref(c) for c in node.children),
+                    len(node.children) - 1)
+        if kind == "mul":
+            return ("*".join(f"({ref(c)})" if c.kind == "add" else ref(c)
+                             for c in node.children),
+                    len(node.children) - 1)
+        if kind == "div":
+            a, b = node.children
+            return ((f"({ref(a)})" if a.kind in ("add", "mul") else ref(a))
+                    + " / "
+                    + (f"({ref(b)})"
+                       if b.kind in ("add", "mul", "div", "pow")
+                       else ref(b)), 1)
+        if kind == "pow":
+            base = node.children[0]
+            if _pow_unrolls(node.payload):
+                btext = ref(base)
+                if not btext.isidentifier():
+                    btext = f"t{temp_idx}"
+                    temp_idx += 1
+                    lines.append(f"    {btext} = {ref(base)}")
+                    code[id(base)] = btext
+                return ("(" + "*".join([btext] * node.payload) + ")",
+                        node.payload - 1)
+            return ((f"({ref(base)})"
+                     if base.kind in ("add", "mul", "div", "pow")
+                     else ref(base)) + f"**{node.payload}", 1)
+        if kind in ("sqrt", "exp", "log", "abs"):
+            return f"_{kind}({ref(node.children[0])})", 1
+        raise SymbolicError(f"cannot compile node kind {kind!r}")
+
+    for node in order:
+        kind = node.kind
+        if kind == "const":
+            code[id(node)] = repr(node.payload)
+            continue
+        if kind == "sym":
+            try:
+                code[id(node)] = sym_to_arg[node.payload]
+            except KeyError:
+                raise SymbolicError(
+                    f"expression references symbol {node.payload!r} "
+                    f"outside the space {space.names}") from None
+            continue
+
+        if not is_vec[id(node)]:
+            # scalar subtree: plain Python, inlined like generate_source
+            text, ops = infix(node)
+            n_ops += ops
+            if counts.get(id(node), 0) > 1:
+                name = f"t{temp_idx}"
+                temp_idx += 1
+                lines.append(f"    {name} = {text}")
+                code[id(node)] = name
+            else:
+                code[id(node)] = f"({text})" if kind == "add" else text
+            consume(node)
+            continue
+
+        if tainted[id(node)]:
+            # may switch to complex: allocating expression, own statement
+            # (reads of operand buffers must happen at this position for
+            # the liveness bookkeeping to hold)
+            text, ops = infix(node)
+            n_ops += ops
+            name = f"v{vtemp_idx}"
+            vtemp_idx += 1
+            lines.append(f"    {name} = {text}")
+            code[id(node)] = name
+            consume(node)
+            continue
+
+        # vector, dtype-stable: in-place ufuncs into a recycled buffer,
+        # acquired before the children are released so the output never
+        # aliases an operand that later instructions of this node re-read
+        buf = acquire()
+        if kind in ("add", "mul"):
+            uf = "_np_add" if kind == "add" else "_np_mul"
+            refs = [ref(c) for c in node.children]
+            lines.append(f"    {uf}({refs[0]}, {refs[1]}, out={buf})")
+            for r in refs[2:]:
+                lines.append(f"    {uf}({buf}, {r}, out={buf})")
+            n_ops += len(node.children) - 1
+        elif kind == "div":
+            a, b = node.children
+            lines.append(f"    _np_div({ref(a)}, {ref(b)}, out={buf})")
+            n_ops += 1
+        elif kind == "pow":
+            # the base of a vector pow is itself a vector node, so its
+            # ref is always a named statement result
+            btext = ref(node.children[0])
+            if _pow_unrolls(node.payload):
+                lines.append(f"    _np_mul({btext}, {btext}, out={buf})")
+                for _ in range(node.payload - 2):
+                    lines.append(f"    _np_mul({buf}, {btext}, out={buf})")
+                n_ops += node.payload - 1
+            else:
+                lines.append(
+                    f"    _np_pow({btext}, {node.payload}, out={buf})")
+                n_ops += 1
+        elif kind in ("exp", "abs"):
+            lines.append(f"    _{kind}({ref(node.children[0])}, out={buf})")
+            n_ops += 1
+        else:  # pragma: no cover - sqrt/log are always tainted
+            raise SymbolicError(f"cannot compile node kind {kind!r}")
+        buffer_of[id(node)] = buf
+        code[id(node)] = buf
+        consume(node)
+
+    returns = ", ".join(ref(r) for r in roots)
+    alloc = [f"    b{i} = _empty(_n)" for i in range(n_buffers)]
+    body = alloc + (lines if lines else ["    pass"])
+    source = (f"def {fn_name}({', '.join(arg_names)}, *, _n):\n"
+              + "\n".join(body) + "\n"
+              f"    return ({returns},)\n")
+    return source, n_ops, n_buffers
+
+
 def compile_exprs(space: SymbolSpace, roots: Sequence[Expr],
                   output_names: Sequence[str] | None = None) -> CompiledFunction:
     """Compile expression DAG roots into one fast callable returning a tuple."""
@@ -352,7 +753,7 @@ def compile_exprs(space: SymbolSpace, roots: Sequence[Expr],
         raise SymbolicError("nothing to compile")
     with _trace.span("compile.codegen", n_roots=len(roots)) as sp:
         source, n_ops = generate_source(space, roots)
-        namespace = dict(_RUNTIME)
+        namespace = runtime_namespace()
         exec(compile(source, "<awesymbolic-compiled>", "exec"), namespace)
         fn = namespace["_compiled"]
         ops_pre_cse = tree_op_count(roots)
