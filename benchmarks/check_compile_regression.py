@@ -1,0 +1,117 @@
+"""Gate CI on compile-path regressions.
+
+Compares a freshly measured ``run_bench_compile.py`` payload against the
+committed ``BENCH_compile.json`` baseline and exits non-zero when:
+
+* any circuit's **cold compile** slows down by more than the tolerance
+  (default 25 %) relative to baseline;
+* the measured **warm** or **incremental speedup** falls below its floor
+  on a circuit whose committed baseline clears that floor (defaults:
+  warm 8x, incremental 2.5x — deliberately below the 10x/3x the baseline
+  machine records on the 741 workload, because CI boxes are noisy and
+  the gate must catch real losses of the fast path, not scheduler
+  jitter; tiny circuits whose ratios are capped by fixed overheads never
+  bind);
+* any circuit reports ``identical: false`` (the regimes are required to
+  produce bit-identical compiled moments — a mismatch is a correctness
+  bug, not a perf problem, and always fails).
+
+Circuits present on only one side are reported but never fatal, mirroring
+``check_bench_regression.py``.
+
+Usage::
+
+    python benchmarks/check_compile_regression.py \
+        --baseline BENCH_compile.json --current BENCH_compile_current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_MIN_WARM = 8.0
+DEFAULT_MIN_INCREMENTAL = 2.5
+
+
+def compare(baseline: dict, current: dict, tolerance: float,
+            min_warm: float, min_incremental: float) -> list[str]:
+    """Return a list of failure messages (empty means the gate passes)."""
+    base = baseline.get("circuits") or {}
+    cur = current.get("circuits") or {}
+    failures: list[str] = []
+    for name in sorted(base):
+        if name not in cur:
+            print(f"  {name:<10} missing from current run (skipped)")
+            continue
+        b, c = base[name], cur[name]
+        ratio = c["cold_seconds"] / b["cold_seconds"]
+        status = "OK"
+        if ratio > 1.0 + tolerance:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: cold compile {c['cold_seconds'] * 1e3:.1f} ms is "
+                f"{(ratio - 1.0) * 100.0:.1f}% above baseline "
+                f"{b['cold_seconds'] * 1e3:.1f} ms "
+                f"(tolerance {tolerance * 100.0:.0f}%)")
+        print(f"  {name:<10} cold {b['cold_seconds'] * 1e3:8.1f} -> "
+              f"{c['cold_seconds'] * 1e3:8.1f} ms  ({ratio:5.2f}x)  "
+              f"{status}")
+        if not c.get("identical", False):
+            failures.append(f"{name}: regimes are not bit-identical")
+            print(f"  {name:<10} identical=false  FAIL")
+        # floors bind only where the baseline itself clears them: tiny
+        # circuits whose warm ratio is capped by fixed overheads must not
+        # fail spuriously, while losing the fast path on a workload that
+        # had it is always caught
+        warm = c.get("warm_speedup")
+        if warm is not None and warm < min_warm \
+                and b.get("warm_speedup", 0.0) >= min_warm:
+            failures.append(
+                f"{name}: warm speedup {warm:.1f}x below floor "
+                f"{min_warm:.1f}x")
+        inc = c.get("incremental_speedup")
+        if inc is not None and inc < min_incremental \
+                and b.get("incremental_speedup", 0.0) >= min_incremental:
+            failures.append(
+                f"{name}: incremental speedup {inc:.1f}x below floor "
+                f"{min_incremental:.1f}x")
+    for name in sorted(set(cur) - set(base)):
+        print(f"  {name:<10} new (no baseline): "
+              f"cold {cur[name]['cold_seconds'] * 1e3:.1f} ms")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", type=Path,
+                    default=Path("BENCH_compile.json"))
+    ap.add_argument("--current", type=Path, required=True)
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help="fractional cold-compile slowdown that fails "
+                         f"the gate (default {DEFAULT_TOLERANCE})")
+    ap.add_argument("--min-warm-speedup", type=float,
+                    default=DEFAULT_MIN_WARM)
+    ap.add_argument("--min-incremental-speedup", type=float,
+                    default=DEFAULT_MIN_INCREMENTAL)
+    args = ap.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    print(f"compile gate: {args.current} vs {args.baseline} "
+          f"(tolerance {args.tolerance * 100.0:.0f}%, floors "
+          f"warm {args.min_warm_speedup:.1f}x / "
+          f"incremental {args.min_incremental_speedup:.1f}x)")
+    failures = compare(baseline, current, tolerance=args.tolerance,
+                       min_warm=args.min_warm_speedup,
+                       min_incremental=args.min_incremental_speedup)
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""CI benchmark: compile-path timings -> BENCH_compile.json.
+
+Measures the three compile regimes this repo's fast compile path
+provides, per circuit, on the paper's workloads:
+
+* **cold** — a from-scratch :func:`repro.awesymbolic` call (partition,
+  condensation, adjugate, moment recursion, CSE/codegen), with the
+  process-wide program memo cleared first so nothing is reused;
+* **warm** — the same compile served by a :class:`ProgramCache` disk hit
+  (a fresh cache instance on a populated directory, i.e. the
+  cross-process restart case);
+* **incremental** — a Padé-order bump inside a live
+  :class:`~repro.core.awesymbolic.CompileSession`, which extends the
+  previous moment recursion instead of restarting (741 only: the
+  q=4 -> q=5 bump on the paper's ``go_Q14``/``Ccomp`` workload).
+
+Measurement hygiene matters here: the content-keyed program memo in
+:mod:`repro.symbolic.compile` is cleared before *every* timed compile —
+otherwise a cold run earlier in the process hands the incremental
+compile exactly the CSE program it would otherwise build, inflating the
+ratio.  Each regime reports the best of ``--repeats`` runs (the noise on
+a busy CI box is one-sided).
+
+Every workload is also checked **bit-identical** across regimes and
+against the reference (kernel-free) implementation via serialized-model
+equality; ``identical`` must be true in the payload or the regression
+gate fails.
+
+``benchmarks/check_compile_regression.py`` compares this payload against
+the committed baseline and fails CI on a >25 % cold-compile regression
+or a broken warm/incremental speedup floor.
+
+Usage (what the CI bench-compile job runs)::
+
+    python benchmarks/run_bench_compile.py --out BENCH_compile.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.circuits.library import (fig1_circuit, small_signal_741,
+                                    small_signal_ota)
+from repro.core.awesymbolic import CompileSession, awesymbolic
+from repro.core.serialize import model_to_dict
+from repro.runtime.cache import CondensationCache, ProgramCache
+from repro.symbolic import compile as symbolic_compile
+from repro.symbolic import polykernel
+
+REPEATS = 3
+
+#: (name, circuit factory, explicit symbols, target order, incremental-from)
+WORKLOADS = (
+    ("741", lambda: small_signal_741().circuit,
+     ["go_Q14", "Ccomp"], 5, 4),
+    ("rc_fig1", lambda: fig1_circuit(), None, 3, None),
+    ("cmos_ota", lambda: small_signal_ota().circuit, None, 3, None),
+)
+
+
+def _dump(result) -> str:
+    return json.dumps(model_to_dict(result), sort_keys=True)
+
+
+def _clear_process_memos() -> None:
+    """Drop process-wide compile state a cold compile must not reuse."""
+    symbolic_compile._PROGRAM_MEMO.clear()
+
+
+def bench_cold(circuit, symbols, order, repeats: int) -> tuple[float, str]:
+    best = float("inf")
+    digest = ""
+    for _ in range(repeats):
+        _clear_process_memos()
+        t0 = time.perf_counter()
+        res = awesymbolic(circuit, "out", symbols=symbols, order=order)
+        best = min(best, time.perf_counter() - t0)
+        digest = _dump(res)
+    return best, digest
+
+
+def bench_warm(circuit, symbols, order, repeats: int,
+               tmpdir: Path) -> tuple[float, str]:
+    """Disk-hit rebuild: fresh ProgramCache instances on a populated dir."""
+    seed = ProgramCache(disk_dir=tmpdir)
+    seed.get_or_build(circuit, "out", symbols=symbols, order=order)
+    best = float("inf")
+    digest = ""
+    for _ in range(repeats):
+        cache = ProgramCache(disk_dir=tmpdir)  # empty memory, warm disk
+        _clear_process_memos()  # the seed build must not subsidize CSE
+        t0 = time.perf_counter()
+        res = cache.get_or_build(circuit, "out", symbols=symbols,
+                                 order=order)
+        best = min(best, time.perf_counter() - t0)
+        if cache.stats.disk_hits != 1:
+            raise AssertionError("warm measurement was not a disk hit")
+        digest = _dump(res)
+    return best, digest
+
+
+def bench_incremental(circuit, symbols, order_from, order_to,
+                      repeats: int) -> tuple[float, str]:
+    """Best-of-N q-bump extension inside a live CompileSession."""
+    best = float("inf")
+    digest = ""
+    for _ in range(repeats):
+        session = CompileSession(circuit, "out", symbols=symbols)
+        session.compile(order_from)
+        _clear_process_memos()
+        t0 = time.perf_counter()
+        res = session.compile(order_to)
+        best = min(best, time.perf_counter() - t0)
+        digest = _dump(res)
+    return best, digest
+
+
+def bench_condensation(circuit, symbols, order, tmpdir: Path) -> dict:
+    """Cold vs cached numeric block condensation, for the record."""
+    cache = CondensationCache(disk_dir=tmpdir)
+    t0 = time.perf_counter()
+    awesymbolic(circuit, "out", symbols=symbols, order=order,
+                condense_cache=cache)
+    cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    awesymbolic(circuit, "out", symbols=symbols, order=order,
+                condense_cache=cache)
+    warm = time.perf_counter() - t0
+    return {"cold_seconds": cold, "warm_seconds": warm,
+            "hits": cache.stats.hits, "misses": cache.stats.misses}
+
+
+def run(repeats: int = REPEATS) -> dict:
+    circuits = {}
+    for name, factory, symbols, order, order_from in WORKLOADS:
+        circuit = factory()
+        # reference digest with the polynomial kernels disabled: every
+        # regime below must match it bit for bit
+        with polykernel.disabled():
+            reference = _dump(awesymbolic(circuit, "out", symbols=symbols,
+                                          order=order))
+        cold_s, cold_digest = bench_cold(circuit, symbols, order, repeats)
+        with tempfile.TemporaryDirectory() as td:
+            warm_s, warm_digest = bench_warm(circuit, symbols, order,
+                                             repeats, Path(td))
+        with tempfile.TemporaryDirectory() as td:
+            condense = bench_condensation(circuit, symbols, order, Path(td))
+
+        entry = {
+            "symbols": symbols,
+            "order": order,
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "warm_speedup": cold_s / warm_s,
+            "condensation": condense,
+            "identical": cold_digest == reference
+            and warm_digest == reference,
+        }
+        if order_from is not None and symbols is not None:
+            inc_s, inc_digest = bench_incremental(circuit, symbols,
+                                                  order_from, order,
+                                                  repeats)
+            entry["incremental_from_order"] = order_from
+            entry["incremental_seconds"] = inc_s
+            entry["incremental_speedup"] = cold_s / inc_s
+            entry["identical"] = entry["identical"] \
+                and inc_digest == reference
+        circuits[name] = entry
+    return {
+        "workload": "AWEsymbolic compile path: cold vs warm vs incremental",
+        "repeats": repeats,
+        "circuits": circuits,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path, default=Path("BENCH_compile.json"))
+    ap.add_argument("--repeats", type=int, default=REPEATS,
+                    help=f"timed runs per regime, best kept "
+                         f"(default {REPEATS})")
+    args = ap.parse_args(argv)
+
+    payload = run(repeats=args.repeats)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for name, c in payload["circuits"].items():
+        line = (f"  {name:<10} cold {c['cold_seconds'] * 1e3:7.1f} ms   "
+                f"warm {c['warm_seconds'] * 1e3:7.1f} ms "
+                f"({c['warm_speedup']:.1f}x)")
+        if "incremental_seconds" in c:
+            line += (f"   incremental {c['incremental_seconds'] * 1e3:7.1f}"
+                     f" ms ({c['incremental_speedup']:.1f}x)")
+        line += "   identical" if c["identical"] else "   MISMATCH"
+        print(line)
+    if not all(c["identical"] for c in payload["circuits"].values()):
+        print("FAIL: compiled moments diverged between regimes",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

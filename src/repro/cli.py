@@ -491,13 +491,22 @@ def cmd_doctor(args) -> int:
             worst = max(worst, 1)
         checked = True
     if args.cache_dir is not None:
-        from .runtime import ProgramCache
+        from .runtime import CondensationCache, ProgramCache
 
         cache = ProgramCache(disk_dir=args.cache_dir)
+        condensation = CondensationCache(disk_dir=args.cache_dir)
         report = cache.scan_disk(fix=args.fix)
-        bad = [r for r in report if r["status"] != "ok"]
-        print(f"cache {args.cache_dir}: {len(report)} entries, "
+        condense_report = condensation.scan_disk(fix=args.fix)
+        bad = [r for r in report + condense_report if r["status"] != "ok"]
+        print(f"cache {args.cache_dir}: {len(report)} program entries, "
+              f"{len(condense_report)} condensation entries, "
               f"{len(bad)} unhealthy")
+        health = condensation.health()
+        rate = health["hit_rate"]
+        print(f"  condensation cache: {health['disk_entries']} entries, "
+              f"{health['disk_bytes']} bytes, schema {health['schema']}, "
+              f"hit rate {'n/a' if rate is None else f'{rate:.0%}'} "
+              f"this process")
         for r in bad:
             line = f"  {r['file']}: {r['status']}"
             if r["detail"]:

@@ -14,13 +14,17 @@ One call runs the whole pipeline of the paper:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..errors import ApproximationError
-from ..partition import CircuitPartition, SymbolicMoments, partition, symbolic_moments
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..partition import (CircuitPartition, MomentRecursion, SymbolicMoments,
+                         condense_blocks, partition)
 from .compiled_model import CompiledAWEModel
 from .select import select_symbols
 from .symbolic_pade import SymbolicFirstOrder, SymbolicSecondOrder
@@ -58,13 +62,133 @@ class AWESymbolicResult:
         return self.model.rom(element_values, order=order)
 
 
+class CompileSession:
+    """Incremental compile state for one (circuit, output, symbol set).
+
+    The session partitions once and keeps the whole moment-recursion state
+    (factored ``Yg0`` adjugate, determinant powers, moment vectors) alive
+    between :meth:`compile` calls.  Recompiling at a *higher* Padé order
+    extends the recursion from the first missing moment instead of
+    restarting; a *lower* order truncates the vectors already computed.
+    Either way the result is bit-identical to a cold
+    :func:`awesymbolic` call at that order (enforced by tests).
+
+    Args:
+        circuit: linear(ized) circuit; AC-annotated sources are the input.
+        output: observed node.
+        symbols: element names to treat symbolically; ``None`` selects
+            automatically at the first :meth:`compile` (subsequent compiles
+            reuse that selection — incremental reuse requires a fixed
+            symbol set).
+        n_symbols: how many symbols to auto-select when ``symbols=None``.
+        extra_ports: additional nodes to preserve in the composite system.
+        condense_cache: optional
+            :class:`~repro.runtime.cache.CondensationCache` for numeric
+            block expansions (shared across sessions and processes).
+        condense_workers: condense independent blocks on a thread pool of
+            this width.
+    """
+
+    def __init__(self, circuit: Circuit, output: str,
+                 symbols: list[str] | None = None,
+                 n_symbols: int = 2,
+                 extra_ports: tuple[str, ...] = (),
+                 condense_cache=None,
+                 condense_workers: int | None = None) -> None:
+        self.circuit = circuit
+        self.output = output
+        self.n_symbols = n_symbols
+        self.extra_ports = extra_ports
+        self.condense_cache = condense_cache
+        self.condense_workers = condense_workers
+        self.selected_automatically = symbols is None
+        self.symbols: list[str] | None = (list(symbols)
+                                          if symbols is not None else None)
+        self.partition: CircuitPartition | None = None
+        self.recursion: MomentRecursion | None = None
+        self.compiles = 0
+        self.incremental_compiles = 0
+        # closed forms depend only on m0..m3, which never change once
+        # computed — build them once and reuse across recompiles
+        self._first: SymbolicFirstOrder | None = None
+        self._second: SymbolicSecondOrder | None = None
+        self._closed_forms_built = False
+
+    def _ensure_partition(self, order: int) -> CircuitPartition:
+        if self.partition is None:
+            if self.symbols is None:
+                self.symbols = select_symbols(self.circuit, self.output,
+                                              k=self.n_symbols,
+                                              order=max(order, 2))
+            self.partition = partition(self.circuit, self.symbols,
+                                       output=self.output,
+                                       extra_ports=self.extra_ports)
+            self.recursion = MomentRecursion(self.partition)
+        return self.partition
+
+    def compile(self, order: int = 2,
+                extra_moments: int = DEFAULT_EXTRA_MOMENTS,
+                build_closed_forms: bool = True) -> AWESymbolicResult:
+        """Compile (or incrementally recompile) at the given Padé order."""
+        reg = _metrics.registry()
+        t0 = time.perf_counter()
+        part = self._ensure_partition(order)
+        rec = self.recursion
+        n_moments = 2 * order - 1 + max(0, extra_moments)
+        incremental = 0 <= rec.order and n_moments > rec.order
+        with _trace.span("compile.session", order=order,
+                         n_moments=n_moments, resume_from=rec.order):
+            if n_moments > rec.order:
+                expansions = condense_blocks(part, n_moments,
+                                             cache=self.condense_cache,
+                                             workers=self.condense_workers)
+                rec.extend(n_moments, expansions=expansions)
+            sm = rec.moments(self.output, n_moments)
+
+        first = second = None
+        if build_closed_forms:
+            if not self._closed_forms_built or (self._second is None
+                                                and sm.order >= 3):
+                try:
+                    self._first = SymbolicFirstOrder.from_moments(sm)
+                except ApproximationError:
+                    self._first = None
+                if sm.order >= 3:
+                    try:
+                        self._second = SymbolicSecondOrder.from_moments(sm)
+                    except ApproximationError:
+                        self._second = None
+                self._closed_forms_built = True
+            first, second = self._first, self._second
+            if sm.order < 3:
+                second = None
+
+        model = CompiledAWEModel(part, sm, order,
+                                 first_order=first, second_order=second)
+        self.compiles += 1
+        reg.counter("repro_compile_total", "AWEsymbolic compiles").inc()
+        if incremental:
+            self.incremental_compiles += 1
+            reg.counter("repro_compile_incremental_total",
+                        "compiles that extended a previous recursion").inc()
+        reg.histogram("repro_compile_seconds",
+                      "wall time of one compile (cold or incremental)"
+                      ).observe(time.perf_counter() - t0)
+        return AWESymbolicResult(
+            partition=part, moments=sm, model=model,
+            first_order=first, second_order=second,
+            selected_automatically=self.selected_automatically)
+
+
 def awesymbolic(circuit: Circuit, output: str,
                 symbols: list[str] | None = None,
                 n_symbols: int = 2,
                 order: int = 2,
                 extra_moments: int = DEFAULT_EXTRA_MOMENTS,
                 extra_ports: tuple[str, ...] = (),
-                build_closed_forms: bool = True) -> AWESymbolicResult:
+                build_closed_forms: bool = True,
+                condense_cache=None,
+                condense_workers: int | None = None) -> AWESymbolicResult:
     """Run the full AWEsymbolic analysis.
 
     Args:
@@ -77,32 +201,20 @@ def awesymbolic(circuit: Circuit, output: str,
         extra_moments: headroom moments for stable order fallback.
         extra_ports: additional nodes to preserve in the composite system.
         build_closed_forms: also derive the order-1/2 symbolic pole forms.
+        condense_cache: optional persistent cache for numeric block
+            condensation (see :class:`~repro.runtime.cache.CondensationCache`).
+        condense_workers: thread-pool width for parallel block condensation.
 
     Returns:
         :class:`AWESymbolicResult`.
+
+    For repeated compiles of the same circuit at varying Padé order, hold a
+    :class:`CompileSession` instead — it reuses the factored system and all
+    previously computed moments.
     """
-    auto = symbols is None
-    if auto:
-        symbols = select_symbols(circuit, output, k=n_symbols,
-                                 order=max(order, 2))
-    part = partition(circuit, symbols, output=output, extra_ports=extra_ports)
-    n_moments = 2 * order - 1 + max(0, extra_moments)
-    sm = symbolic_moments(part, output, n_moments)
-
-    first = second = None
-    if build_closed_forms:
-        try:
-            first = SymbolicFirstOrder.from_moments(sm)
-        except ApproximationError:
-            first = None
-        if sm.order >= 3:
-            try:
-                second = SymbolicSecondOrder.from_moments(sm)
-            except ApproximationError:
-                second = None
-
-    model = CompiledAWEModel(part, sm, order,
-                             first_order=first, second_order=second)
-    return AWESymbolicResult(partition=part, moments=sm, model=model,
-                             first_order=first, second_order=second,
-                             selected_automatically=auto)
+    session = CompileSession(circuit, output, symbols=symbols,
+                             n_symbols=n_symbols, extra_ports=extra_ports,
+                             condense_cache=condense_cache,
+                             condense_workers=condense_workers)
+    return session.compile(order, extra_moments=extra_moments,
+                           build_closed_forms=build_closed_forms)

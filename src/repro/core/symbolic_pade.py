@@ -132,11 +132,19 @@ class SymbolicFirstOrder:
             return cls(space=sm.space, dc_gain=m0, pole=pole, residue=residue)
 
     def compile(self) -> CompiledFunction:
-        """Compiled evaluator returning ``(pole, residue, dc_gain)``."""
-        from ..symbolic import compile_rationals
-        return compile_rationals(self.space,
-                                 [self.pole, self.residue, self.dc_gain],
-                                 output_names=["pole", "residue", "dc_gain"])
+        """Compiled evaluator returning ``(pole, residue, dc_gain)``.
+
+        Memoized on the instance: incremental recompiles share the
+        closed-form objects across models, so codegen runs once.
+        """
+        fn = self.__dict__.get("_compiled")
+        if fn is None:
+            from ..symbolic import compile_rationals
+            fn = compile_rationals(self.space,
+                                   [self.pole, self.residue, self.dc_gain],
+                                   output_names=["pole", "residue", "dc_gain"])
+            object.__setattr__(self, "_compiled", fn)
+        return fn
 
     def evaluate(self, values: Mapping | Sequence[float]) -> ReducedOrderModel:
         """Numeric reduced-order model at given symbol values."""
@@ -225,11 +233,18 @@ class SymbolicSecondOrder:
                    pole_exprs=(p1, p2), residue_exprs=(r1, r2))
 
     def compile(self) -> CompiledFunction:
-        """Compiled evaluator returning ``(p1, p2, r1, r2, dc_gain)``."""
-        dc = self.builder.from_rational(self.dc_gain)
-        return compile_exprs(self.space,
-                             [*self.pole_exprs, *self.residue_exprs, dc],
-                             output_names=["p1", "p2", "r1", "r2", "dc_gain"])
+        """Compiled evaluator returning ``(p1, p2, r1, r2, dc_gain)``.
+
+        Memoized on the instance (see :meth:`SymbolicFirstOrder.compile`).
+        """
+        fn = self.__dict__.get("_compiled")
+        if fn is None:
+            dc = self.builder.from_rational(self.dc_gain)
+            fn = compile_exprs(self.space,
+                               [*self.pole_exprs, *self.residue_exprs, dc],
+                               output_names=["p1", "p2", "r1", "r2", "dc_gain"])
+            object.__setattr__(self, "_compiled", fn)
+        return fn
 
     def evaluate(self, values: Mapping | Sequence[float]) -> ReducedOrderModel:
         """Numeric reduced-order model at given symbol values."""

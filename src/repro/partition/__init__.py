@@ -10,7 +10,9 @@ symbolic solve of the resistive ``Yglobal0`` system.
 
 from .blocks import CircuitPartition, SymbolicElement, partition
 from .ports import NumericBlockExpansion, port_admittance_moments
-from .composite import SymbolicMoments, symbolic_moments, symbolic_moments_multi
+from .condense import condense_blocks
+from .composite import (MomentRecursion, SymbolicMoments, symbolic_moments,
+                        symbolic_moments_multi)
 
 __all__ = [
     "partition",
@@ -18,7 +20,9 @@ __all__ = [
     "SymbolicElement",
     "port_admittance_moments",
     "NumericBlockExpansion",
+    "condense_blocks",
     "symbolic_moments",
     "symbolic_moments_multi",
     "SymbolicMoments",
+    "MomentRecursion",
 ]

@@ -257,19 +257,18 @@ def _nominal_prune(poly: Poly, weights: tuple[float, ...], rtol: float) -> Poly:
                 _clean=True)
 
 
-def _poly_stamp(matrix: PolyMatrix, rows: dict[str, int], a: str, b: str,
-                value: Poly) -> PolyMatrix:
-    """Two-terminal admittance stamp with ground dropping."""
+def _poly_stamp(matrix: list[list[Poly]], rows: dict[str, int], a: str,
+                b: str, value: Poly) -> None:
+    """Two-terminal admittance stamp with ground dropping (in place)."""
     ia = rows.get(a, -1) if a != GROUND else -1
     ib = rows.get(b, -1) if b != GROUND else -1
     if ia >= 0:
-        matrix = matrix.add_to_entry(ia, ia, value)
+        matrix[ia][ia] = matrix[ia][ia] + value
     if ib >= 0:
-        matrix = matrix.add_to_entry(ib, ib, value)
+        matrix[ib][ib] = matrix[ib][ib] + value
     if ia >= 0 and ib >= 0:
-        matrix = matrix.add_to_entry(ia, ib, -1.0 * value)
-        matrix = matrix.add_to_entry(ib, ia, -1.0 * value)
-    return matrix
+        matrix[ia][ib] = matrix[ia][ib] + -1.0 * value
+        matrix[ib][ia] = matrix[ib][ia] + -1.0 * value
 
 
 def assemble_global(part: CircuitPartition, order: int,
@@ -310,43 +309,46 @@ def _assemble_global(part: CircuitPartition, order: int,
     if len(expansions) != len(part.numeric_blocks):
         raise PartitionError("expansion count does not match numeric blocks")
 
-    # ---- assemble Yg_k ----------------------------------------------------
-    matrices: list[PolyMatrix] = [PolyMatrix.zeros(space, size, size)
-                                  for _ in range(order + 1)]
+    # ---- assemble Yg_k (on mutable builders; wrapped into PolyMatrix once
+    # at the end — the copy-per-stamp of PolyMatrix.add_to_entry would
+    # dominate assembly time) ----------------------------------------------
+    zero = Poly.zero(space)
+    builders: list[list[list[Poly]]] = [
+        [[zero] * size for _ in range(size)] for _ in range(order + 1)]
     for blk, exp in zip(part.numeric_blocks, expansions):
         if tuple(exp.ports) != tuple(blk.ports):
             raise PartitionError("expansion ports do not match block ports")
         port_rows = [rows[p] for p in blk.ports]
         for k in range(min(order, exp.order) + 1):
             Yk = exp.Y[k]
-            m = matrices[k]
+            m = builders[k]
             for i, ri in enumerate(port_rows):
                 for j, rj in enumerate(port_rows):
                     v = Yk[i, j]
                     if v != 0.0:
-                        m = m.add_to_entry(ri, rj, Poly.constant(space, v))
-            matrices[k] = m
+                        m[ri][rj] = m[ri][rj] + Poly.constant(space, v)
 
     for se in part.symbolic:
         sym = Poly.symbol(space, se.symbol)
         e = se.element
         if isinstance(e, (Resistor, Conductance)):
-            matrices[0] = _poly_stamp(matrices[0], rows, e.n1, e.n2, sym)
+            _poly_stamp(builders[0], rows, e.n1, e.n2, sym)
         elif isinstance(e, Capacitor):
             if order >= 1:
-                matrices[1] = _poly_stamp(matrices[1], rows, e.n1, e.n2, sym)
+                _poly_stamp(builders[1], rows, e.n1, e.n2, sym)
         elif isinstance(e, Inductor):
             br = aux[se.name]
             one = Poly.one(space)
+            m0 = builders[0]
             for node, sign in ((e.n1, 1.0), (e.n2, -1.0)):
                 if node != GROUND:
                     r = rows[node]
-                    matrices[0] = matrices[0].add_to_entry(r, br, one * sign)
-                    matrices[0] = matrices[0].add_to_entry(br, r, one * sign)
+                    m0[r][br] = m0[r][br] + one * sign
+                    m0[br][r] = m0[br][r] + one * sign
             if order >= 1:
-                matrices[1] = matrices[1].add_to_entry(br, br, -1.0 * sym)
+                builders[1][br][br] = builders[1][br][br] + -1.0 * sym
         elif isinstance(e, VCCS):
-            m0 = matrices[0]
+            m0 = builders[0]
             for out_node, s_out in ((e.n1, 1.0), (e.n2, -1.0)):
                 if out_node == GROUND:
                     continue
@@ -354,8 +356,8 @@ def _assemble_global(part: CircuitPartition, order: int,
                 for ctl_node, s_ctl in ((e.nc1, 1.0), (e.nc2, -1.0)):
                     if ctl_node == GROUND:
                         continue
-                    m0 = m0.add_to_entry(ro, rows[ctl_node], sym * (s_out * s_ctl))
-            matrices[0] = m0
+                    rc = rows[ctl_node]
+                    m0[ro][rc] = m0[ro][rc] + sym * (s_out * s_ctl)
         else:  # pragma: no cover - blocked earlier by symbol_for
             raise PartitionError(f"unsupported symbolic element {e.name!r}")
 
@@ -364,11 +366,12 @@ def _assemble_global(part: CircuitPartition, order: int,
         if isinstance(src, VoltageSource):
             br = aux[src.name]
             one = Poly.one(space)
+            m0 = builders[0]
             for node, sign in ((src.n1, 1.0), (src.n2, -1.0)):
                 if node != GROUND:
                     r = rows[node]
-                    matrices[0] = matrices[0].add_to_entry(r, br, one * sign)
-                    matrices[0] = matrices[0].add_to_entry(br, r, one * sign)
+                    m0[r][br] = m0[r][br] + one * sign
+                    m0[br][r] = m0[br][r] + one * sign
             rhs[br] = rhs[br] + src.ac
         elif isinstance(src, CurrentSource):
             if src.n1 != GROUND:
@@ -379,18 +382,131 @@ def _assemble_global(part: CircuitPartition, order: int,
     # ---- row equilibration -------------------------------------------------
     if equilibrate:
         nominal = space.values_vector({})
-        m0_num = matrices[0].evaluate(nominal)
+        m0_num = PolyMatrix(space, builders[0]).evaluate(nominal)
         scale = np.max(np.abs(m0_num), axis=1)
         scale[scale == 0.0] = 1.0
         inv = 1.0 / scale
         for k in range(order + 1):
-            matrices[k] = PolyMatrix(space, [
-                [entry * inv[i] for entry in matrices[k].rows[i]]
-                for i in range(size)])
+            builders[k] = [[entry * inv[i] for entry in builders[k][i]]
+                           for i in range(size)]
         rhs = [rhs[i] * inv[i] for i in range(size)]
 
+    matrices = [PolyMatrix(space, b) for b in builders]
     return GlobalSystem(space=space, matrices=tuple(matrices), rhs=tuple(rhs),
                         rows=rows, aux=aux)
+
+
+class MomentRecursion:
+    """Resumable composite moment recursion (paper eq. 13).
+
+    Holds every intermediate of the k-recursion — the factored ``Yg0``
+    solver (adjugate + determinant), the determinant power ladder, and all
+    global moment vectors ``V0..Vk`` computed so far — so a Padé-order bump
+    extends the recursion from ``k = order + 1`` instead of restarting.
+    Each ``matrices[k]`` and block-expansion prefix re-assembles
+    bit-identically at any higher order, so the extended vectors equal a
+    cold run coefficient for coefficient (enforced by tests).
+    """
+
+    def __init__(self, part: CircuitPartition, prune_rtol: float = 0.0) -> None:
+        self.part = part
+        self.space = part.space
+        self.prune_rtol = prune_rtol
+        self.weights = tuple(max(abs(v), 1e-300)
+                             for v in part.space.values_vector({}))
+        self.order = -1
+        self.system: GlobalSystem | None = None
+        self.solver: SymbolicLinearSolver | None = None
+        self.det: Poly | None = None
+        self.det_pows: list[Poly] | None = None
+        self._neg_det_pows: list[Poly] | None = None
+        self.vectors: list[list[Poly]] = []
+
+    def extend(self, order: int,
+               expansions: Sequence[NumericBlockExpansion] | None = None,
+               ) -> "MomentRecursion":
+        """Compute moments up to ``order``, reusing everything already done.
+
+        Re-assembles the global system at the new order (the ``s^k``
+        matrices are independent per ``k``, so the prefix is unchanged) and
+        continues the recursion from the first missing moment.  A no-op
+        when ``order`` does not exceed what is already computed.
+        """
+        if order <= self.order and self.system is not None:
+            return self
+        space = self.space
+        system = assemble_global(self.part, order, expansions=expansions)
+        matrices = system.matrices
+        size = system.size
+
+        if self.solver is None:
+            try:
+                self.solver = SymbolicLinearSolver(matrices[0])
+            except Exception as exc:
+                raise PartitionError(
+                    f"global resistive system singular: {exc}") from exc
+            self.det = self.solver.det
+            self.det_pows = [Poly.one(space), self.det]
+            # IEEE negation is exact and distributes over products and
+            # sums, so folding the recursion's -1 into the determinant
+            # power once keeps every downstream coefficient bit-identical
+            # while dropping a scalar pass per (k, j, row).
+            self._neg_det_pows = [p * -1.0 for p in self.det_pows]
+        solver, det = self.solver, self.det
+        det_pows, vectors = self.det_pows, self.vectors
+        neg_pows = self._neg_det_pows
+        self.system = system
+
+        resume_from = len(vectors)
+        with _trace.span("moments.recursion", order=order, size=size,
+                         resume_from=resume_from):
+            if not vectors:
+                n0, _ = solver.solve_poly(list(system.rhs))
+                n0 = [_nominal_prune(p, self.weights, self.prune_rtol)
+                      for p in n0]
+                vectors.append(n0)
+            for k in range(len(vectors), order + 1):
+                while len(det_pows) <= k:
+                    det_pows.append(det_pows[-1] * det)
+                    neg_pows.append(det_pows[-1] * -1.0)
+                acc = [Poly.zero(space) for _ in range(size)]
+                for j in range(1, k + 1):
+                    prod = matrices[j].matvec(vectors[k - j])
+                    neg_factor = neg_pows[j - 1]
+                    for i in range(size):
+                        if not prod[i].is_zero():
+                            acc[i] = acc[i] + prod[i] * neg_factor
+                nk, _ = solver.solve_poly(acc)
+                nk = [_nominal_prune(p, self.weights, self.prune_rtol)
+                      for p in nk]
+                vectors.append(nk)
+        self.order = order
+        return self
+
+    def moments(self, output: str, order: int | None = None) -> SymbolicMoments:
+        """Moments of ``output`` up to ``order`` (default: all computed).
+
+        Raises:
+            PartitionError: nothing computed yet, ``order`` exceeds what has
+            been computed, or ``output`` is not a preserved global node.
+        """
+        if self.system is None:
+            raise PartitionError("call extend() before moments()")
+        if order is None:
+            order = self.order
+        if order > self.order:
+            raise PartitionError(
+                f"order {order} not computed yet (have {self.order}); "
+                "call extend() first")
+        if output not in self.system.rows:
+            raise PartitionError(
+                f"output {output!r} is not a global node of the partition "
+                f"(available: {list(self.part.global_nodes)})")
+        row = self.system.rows[output]
+        return SymbolicMoments(
+            space=self.space, output=output,
+            numerators=tuple(v[row] for v in self.vectors[:order + 1]),
+            det=self.det, partition=self.part)
 
 
 def symbolic_moments_multi(part: CircuitPartition, outputs: Sequence[str],
@@ -414,46 +530,9 @@ def symbolic_moments_multi(part: CircuitPartition, outputs: Sequence[str],
                 f"(available: {list(part.global_nodes)})")
     if not outputs:
         raise PartitionError("at least one output is required")
-    space = part.space
-    system = assemble_global(part, order, expansions=expansions)
-    matrices = system.matrices
-    size = system.size
-
-    try:
-        solver = SymbolicLinearSolver(matrices[0])
-    except Exception as exc:
-        raise PartitionError(f"global resistive system singular: {exc}") from exc
-    det = solver.det
-
-    weights = tuple(max(abs(v), 1e-300) for v in space.values_vector({}))
-    det_pows = [Poly.one(space), det]
-    vectors: list[list[Poly]] = []
-    with _trace.span("moments.recursion", order=order, size=size):
-        n0, _ = solver.solve_poly(list(system.rhs))
-        n0 = [_nominal_prune(p, weights, prune_rtol) for p in n0]
-        vectors.append(n0)
-        for k in range(1, order + 1):
-            while len(det_pows) <= k:
-                det_pows.append(det_pows[-1] * det)
-            acc = [Poly.zero(space) for _ in range(size)]
-            for j in range(1, k + 1):
-                prod = matrices[j].matvec(vectors[k - j])
-                factor = det_pows[j - 1]
-                for i in range(size):
-                    if not prod[i].is_zero():
-                        acc[i] = acc[i] + prod[i] * factor * -1.0
-            nk, _ = solver.solve_poly(acc)
-            nk = [_nominal_prune(p, weights, prune_rtol) for p in nk]
-            vectors.append(nk)
-
-    out: dict[str, SymbolicMoments] = {}
-    for output in outputs:
-        row = system.rows[output]
-        out[output] = SymbolicMoments(
-            space=space, output=output,
-            numerators=tuple(v[row] for v in vectors), det=det,
-            partition=part)
-    return out
+    rec = MomentRecursion(part, prune_rtol=prune_rtol)
+    rec.extend(order, expansions=expansions)
+    return {output: rec.moments(output) for output in outputs}
 
 
 def symbolic_moments(part: CircuitPartition, output: str, order: int,

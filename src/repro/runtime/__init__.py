@@ -25,8 +25,9 @@ scope) to keep the dependency direction acyclic.
 from .backends import BACKENDS, resolve_backend, shutdown_pools
 from .batched import (VECTOR_METRICS, batched_sweep, grid_columns,
                       vector_metric, vector_poles_residues)
-from .cache import (CACHE_SCHEMA, CacheStats, ProgramCache,
-                    cached_awesymbolic, circuit_fingerprint, default_cache)
+from .cache import (CACHE_SCHEMA, CacheStats, CondensationCache,
+                    ProgramCache, cached_awesymbolic, circuit_fingerprint,
+                    default_cache)
 from .resilience import DEFAULT_RESILIENCE, ResilienceConfig, run_shards
 from .stats import RuntimeStats
 
@@ -36,6 +37,7 @@ __all__ = [
     "DEFAULT_RESILIENCE",
     "VECTOR_METRICS",
     "CacheStats",
+    "CondensationCache",
     "ProgramCache",
     "ResilienceConfig",
     "RuntimeStats",

@@ -26,6 +26,18 @@ directory for post-mortem instead of being silently trusted or deleted.
 Keys are content hashes: the circuit fingerprint covers every element's
 type, name, terminals and value, so *any* circuit edit invalidates the
 cached program.
+
+Two further layers serve the fast compile path:
+
+* :class:`CondensationCache` persists the numeric block condensations
+  (the Maclaurin port-admittance arrays ``Y0..Yq``) under content hashes
+  of the block itself, so editing the symbol set or one block re-condenses
+  only what changed — across processes, since the layer is disk-backed
+  with the same atomic-write/quarantine machinery as the program cache.
+* :class:`ProgramCache` keeps a small LRU of live
+  :class:`~repro.core.awesymbolic.CompileSession` objects keyed on
+  everything *except* the Padé order, so an order-change miss extends the
+  previous moment recursion incrementally instead of recompiling cold.
 """
 
 from __future__ import annotations
@@ -40,9 +52,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from ..circuits.circuit import Circuit
-from ..core.awesymbolic import AWESymbolicResult, awesymbolic
+from ..core.awesymbolic import (AWESymbolicResult, CompileSession,
+                                awesymbolic)
 from ..core.compiled_model import CompiledAWEModel
+from ..partition.ports import NumericBlockExpansion
 from ..core.serialize import (FORMAT_VERSION, LoadedModel, model_from_dict,
                               model_to_dict)
 from ..errors import SymbolicError
@@ -53,6 +69,7 @@ from ..testing import faults as _faults
 __all__ = [
     "CACHE_SCHEMA",
     "CacheStats",
+    "CondensationCache",
     "ProgramCache",
     "cached_awesymbolic",
     "circuit_fingerprint",
@@ -88,6 +105,26 @@ def _atomic_write_text(path: Path, text: str) -> None:
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+
+
+def _quarantine_path(disk_dir: Path, path: Path, reason: str) -> Path | None:
+    """Move ``path`` into ``disk_dir/quarantine``, suffixed with ``reason``.
+
+    Returns the destination, or None if the move failed (e.g. the file
+    vanished under us; callers must keep working regardless).
+    """
+    qdir = disk_dir / "quarantine"
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        dest = qdir / f"{path.name}.{reason}"
+        n = 0
+        while dest.exists():
+            n += 1
+            dest = qdir / f"{path.name}.{reason}.{n}"
+        os.replace(path, dest)
+    except OSError:
+        return None
+    return dest
 
 
 def circuit_fingerprint(circuit: Circuit) -> str:
@@ -147,24 +184,46 @@ class ProgramCache:
         self.maxsize = maxsize
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self._entries: OrderedDict[str, AWESymbolicResult] = OrderedDict()
+        # live CompileSessions keyed on everything *except* the Padé
+        # order: an order-change miss extends the previous recursion
+        # incrementally instead of rebuilding cold (explicit symbol sets
+        # only — automatic selection can change with the order)
+        self._sessions: OrderedDict[str, CompileSession] = OrderedDict()
+        self.session_maxsize = 4
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
     # keys
     # ------------------------------------------------------------------
+    #: keyword options that change *how* a model is built but never *what*
+    #: it contains; excluded from cache keys so passing a live cache object
+    #: or a worker count does not fragment (or destabilize) the key space.
+    _NON_SEMANTIC_OPTIONS = frozenset({"condense_cache", "condense_workers"})
+
     def key_for(self, circuit: Circuit, output: str,
                 symbols: Sequence[str] | None, order: int,
                 **options) -> str:
         """Cache key for one ``awesymbolic`` invocation.
 
+        The key covers everything that changes the compiled program: the
+        serialization format, the on-disk :data:`CACHE_SCHEMA`, the
+        circuit content fingerprint, the output node, the symbol set and
+        the **Padé order** — bumping the order (or the schema, on
+        upgrade) is a guaranteed cache miss rather than a wrong-order
+        model reuse (regression-tested).  Performance-only options
+        (:data:`_NON_SEMANTIC_OPTIONS`) are ignored.
+
         ``symbols=None`` (automatic selection) keys on the selection
         parameters instead of the element list; the circuit fingerprint
         makes the selection deterministic per key.
         """
+        options = {k: v for k, v in options.items()
+                   if k not in self._NON_SEMANTIC_OPTIONS}
         sym_part = ("symbols=" + ",".join(symbols) if symbols is not None
                     else f"auto={options.get('n_symbols', 2)}")
         parts = [
             f"format={FORMAT_VERSION}",
+            f"schema={CACHE_SCHEMA}",
             f"circuit={circuit_fingerprint(circuit)}",
             f"output={output}",
             sym_part,
@@ -205,6 +264,7 @@ class ProgramCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._sessions.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -230,16 +290,8 @@ class ProgramCache:
         """
         if self.disk_dir is None:
             return None
-        qdir = self.disk_dir / "quarantine"
-        try:
-            qdir.mkdir(parents=True, exist_ok=True)
-            dest = qdir / f"{path.name}.{reason}"
-            n = 0
-            while dest.exists():
-                n += 1
-                dest = qdir / f"{path.name}.{reason}.{n}"
-            os.replace(path, dest)
-        except OSError:
+        dest = _quarantine_path(self.disk_dir, path, reason)
+        if dest is None:
             return None
         self.stats.quarantined += 1
         _metrics.registry().counter(
@@ -380,14 +432,42 @@ class ProgramCache:
     # ------------------------------------------------------------------
     # the main entry point
     # ------------------------------------------------------------------
+    def _session_for(self, circuit: Circuit, output: str,
+                     symbols: Sequence[str], **kwargs) -> CompileSession:
+        """Live compile session for this (circuit, output, symbol set).
+
+        Keyed like :meth:`key_for` but with the order pinned, so compiles
+        of the *same* problem at *different* Padé orders share one
+        session and its moment-recursion state.
+        """
+        skey = self.key_for(circuit, output, symbols, order=-1, **kwargs)
+        session = self._sessions.get(skey)
+        if session is None:
+            init_kw = {k: kwargs[k] for k in ("n_symbols", "extra_ports",
+                                              "condense_cache",
+                                              "condense_workers")
+                       if k in kwargs}
+            session = CompileSession(circuit, output, symbols=list(symbols),
+                                     **init_kw)
+            self._sessions[skey] = session
+        else:
+            _metrics.registry().counter(
+                "repro_cache_session_reuse_total",
+                "compiles that reused a live session's recursion").inc()
+        self._sessions.move_to_end(skey)
+        while len(self._sessions) > self.session_maxsize:
+            self._sessions.popitem(last=False)
+        return session
+
     def get_or_build(self, circuit: Circuit, output: str,
                      symbols: Sequence[str] | None = None, order: int = 2,
                      **kwargs) -> AWESymbolicResult:
         """Cached :func:`~repro.core.awesymbolic.awesymbolic`.
 
         Memory hit: the stored result.  Disk hit: the compiled model
-        rebuilt from the saved polynomials.  Otherwise a fresh build,
-        stored in both layers.
+        rebuilt from the saved polynomials.  Otherwise a fresh build —
+        incremental when a live session for the same problem at another
+        Padé order exists — stored in both layers.
         """
         reg = _metrics.registry()
         key = self.key_for(circuit, output, symbols, order, **kwargs)
@@ -416,9 +496,16 @@ class ProgramCache:
                         "program cache misses (full builds)").inc()
         with _trace.span("cache.build", key=key[:16]) as build:
             t0 = time.perf_counter()
-            result = awesymbolic(circuit, output, symbols=list(symbols)
-                                 if symbols is not None else None,
-                                 order=order, **kwargs)
+            if symbols is not None:
+                session = self._session_for(circuit, output, symbols,
+                                            **kwargs)
+                compile_kw = {k: kwargs[k]
+                              for k in ("extra_moments", "build_closed_forms")
+                              if k in kwargs}
+                result = session.compile(order, **compile_kw)
+            else:
+                result = awesymbolic(circuit, output, symbols=None,
+                                     order=order, **kwargs)
             self.stats.build_seconds += time.perf_counter() - t0
             build.set(seconds=time.perf_counter() - t0)
         reg.histogram("repro_cache_build_seconds",
@@ -428,6 +515,232 @@ class ProgramCache:
         if self.disk_dir is not None:
             self.save_disk(key, result)
         return result
+
+
+class CondensationCache:
+    """Content-addressed cache of numeric block condensations.
+
+    Condensing a numeric block (clamping its ports and reading the
+    Maclaurin port-admittance coefficients ``Y0..Yq`` off repeated sparse
+    LU solves) depends only on the block's elements, its port list and
+    the expansion order — so the result is cached under a content hash of
+    exactly those, in memory (LRU) and optionally on disk beside the
+    program cache's entries (``condense-<key>.json``), reusing the same
+    atomic-write, schema-version and quarantine machinery.
+
+    Entries store the *highest* order condensed so far; a request for a
+    lower order is served by truncating ``Y[:order + 1]`` (the Maclaurin
+    prefix is order-independent), a request for a higher order is a miss
+    and its :meth:`put` upgrades the entry.  Floats round-trip through
+    JSON exactly, so a disk hit reproduces bit-identical compiled moments
+    (enforced by tests).
+
+    Args:
+        maxsize: in-memory entry budget (LRU beyond it).
+        disk_dir: directory for persisted entries; ``None`` keeps the
+            cache memory-only.
+    """
+
+    def __init__(self, maxsize: int = 64,
+                 disk_dir: Path | str | None = None) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._entries: OrderedDict[str, NumericBlockExpansion] = OrderedDict()
+        self.stats = CacheStats()
+
+    def key_for(self, block: Circuit, ports: Sequence[str]) -> str:
+        """Content key of one condensation problem (block + port list).
+
+        The expansion order is deliberately *not* part of the key — one
+        entry per block holds the highest order computed so far and
+        serves every lower order by truncation.  :data:`CACHE_SCHEMA` is
+        keyed so a schema bump cold-starts cleanly.
+        """
+        parts = [
+            "condense-v1",
+            f"schema={CACHE_SCHEMA}",
+            f"block={circuit_fingerprint(block)}",
+            "ports=" + ",".join(ports),
+        ]
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def get(self, block: Circuit, ports: Sequence[str],
+            order: int) -> NumericBlockExpansion | None:
+        """Cached expansion of at least ``order``, truncated to it exactly.
+
+        Returns None when the block was never condensed, the stored entry
+        does not reach ``order``, or the disk entry failed validation
+        (corrupt / wrong schema / foreign key — quarantined, never
+        trusted)."""
+        key = self.key_for(block, ports)
+        exp = self._entries.get(key)
+        if exp is None:
+            exp = self._load_disk(key)
+            if exp is not None:
+                self._store_memory(key, exp)
+        else:
+            self._entries.move_to_end(key)
+        if exp is None or exp.order < order:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if exp.order == order:
+            return exp
+        return NumericBlockExpansion(ports=exp.ports,
+                                     Y=exp.Y[:order + 1].copy())
+
+    def put(self, block: Circuit, ports: Sequence[str],
+            expansion: NumericBlockExpansion) -> None:
+        """Store ``expansion`` unless a higher-order entry already exists."""
+        key = self.key_for(block, ports)
+        current = self._entries.get(key)
+        if current is not None and current.order >= expansion.order:
+            return
+        self._store_memory(key, expansion)
+        self._save_disk(key, expansion)
+
+    def _store_memory(self, key: str, exp: NumericBlockExpansion) -> None:
+        self._entries[key] = exp
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # disk layer
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"condense-{key[:32]}.json"
+
+    def _quarantine_file(self, path: Path, reason: str) -> None:
+        if self.disk_dir is None:
+            return
+        if _quarantine_path(self.disk_dir, path, reason) is not None:
+            self.stats.quarantined += 1
+            _metrics.registry().counter(
+                "repro_cache_quarantined_total",
+                "disk entries moved to the quarantine sidecar").inc()
+
+    def _save_disk(self, key: str, exp: NumericBlockExpansion) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "cache_key": key,
+            "saved_at": time.time(),
+            "ports": list(exp.ports),
+            "order": exp.order,
+            "y": np.asarray(exp.Y, dtype=float).tolist(),
+        }
+        _atomic_write_text(path, json.dumps(payload))
+
+    def _load_disk(self, key: str) -> NumericBlockExpansion | None:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            if path is not None:
+                self.stats.disk_misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.stats.stale_rejects += 1
+            self._quarantine_file(path, "corrupt")
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            self.stats.stale_rejects += 1
+            self._quarantine_file(path, "schema")
+            return None
+        if payload.get("cache_key") != key:
+            self.stats.stale_rejects += 1
+            self._quarantine_file(path, "stale")
+            return None
+        try:
+            ports = tuple(payload["ports"])
+            y = np.asarray(payload["y"], dtype=float)
+            n = len(ports)
+            if y.ndim != 3 or y.shape[1:] != (n, n) \
+                    or y.shape[0] != int(payload["order"]) + 1:
+                raise ValueError(f"shape {y.shape} inconsistent with "
+                                 f"{n} ports, order {payload.get('order')}")
+        except (KeyError, TypeError, ValueError):
+            self.stats.stale_rejects += 1
+            self._quarantine_file(path, "corrupt")
+            return None
+        self.stats.disk_hits += 1
+        return NumericBlockExpansion(ports=ports, Y=y)
+
+    # ------------------------------------------------------------------
+    # health (``repro doctor``)
+    # ------------------------------------------------------------------
+    def scan_disk(self, fix: bool = False) -> list[dict]:
+        """Health-check every persisted condensation (``doctor`` backend).
+
+        Same report shape as :meth:`ProgramCache.scan_disk`: one record
+        per ``condense-*.json`` plus orphaned temp files, with status
+        ``ok`` / ``corrupt`` / ``schema`` / ``orphan-tmp``.
+        """
+        report: list[dict] = []
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return report
+        for path in sorted(self.disk_dir.glob("condense-*.json.tmp.*")):
+            report.append({"file": path.name, "status": "orphan-tmp",
+                           "detail": "temp file from an interrupted write"})
+            if fix:
+                path.unlink(missing_ok=True)
+        for path in sorted(self.disk_dir.glob("condense-*.json")):
+            status, detail = "ok", ""
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                status, detail = "corrupt", str(exc)
+            else:
+                if payload.get("schema") != CACHE_SCHEMA:
+                    status = "schema"
+                    detail = (f"schema {payload.get('schema')!r}, "
+                              f"expected {CACHE_SCHEMA}")
+                elif not isinstance(payload.get("y"), list):
+                    status, detail = "corrupt", "missing Y payload"
+            report.append({"file": path.name, "status": status,
+                           "detail": detail})
+            if fix and status != "ok":
+                self._quarantine_file(path, status)
+        return report
+
+    def health(self) -> dict:
+        """Summary for ``repro doctor``: size, schema and hit rate."""
+        disk_entries = 0
+        disk_bytes = 0
+        if self.disk_dir is not None and self.disk_dir.exists():
+            for path in self.disk_dir.glob("condense-*.json"):
+                try:
+                    disk_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                disk_entries += 1
+        lookups = self.stats.hits + self.stats.misses
+        return {
+            "schema": CACHE_SCHEMA,
+            "memory_entries": len(self._entries),
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "hit_rate": (self.stats.hits / lookups) if lookups else None,
+            "stale_rejects": self.stats.stale_rejects,
+            "quarantined": self.stats.quarantined,
+        }
 
 
 _DEFAULT_CACHE: ProgramCache | None = None

@@ -18,6 +18,7 @@ from __future__ import annotations
 import cmath
 import math
 import time
+from collections import OrderedDict
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -373,8 +374,8 @@ def generate_source(space: SymbolSpace, roots: Sequence[Expr],
         arg_names = [f"x{i}" for i in range(len(space))]
     sym_to_arg = {s.name: a for s, a in zip(space.symbols, arg_names)}
 
-    counts = use_counts(roots)
     order = topological(roots)
+    counts = use_counts(roots, order)
     code: dict[int, str] = {}
     lines: list[str] = []
     temp_idx = 0
@@ -572,7 +573,7 @@ def generate_vector_source(space: SymbolSpace, roots: Sequence[Expr],
     array_syms = {s.name for s, b in zip(space.symbols, array_args) if b}
 
     order = topological(roots)
-    counts = use_counts(roots)
+    counts = use_counts(roots, order)
 
     is_vec: dict[int, bool] = {}
     tainted: dict[int, bool] = {}
@@ -774,6 +775,31 @@ def compile_exprs(space: SymbolSpace, roots: Sequence[Expr],
                             roots=tuple(roots))
 
 
+#: LRU memo of compiled rational programs keyed on exact content (symbol
+#: definitions, every coefficient, output names, strategy).  Recompiling an
+#: unchanged model — a truncated recompile, a cache rebuild, a repeated
+#: sweep setup — skips CSE + codegen entirely and returns the same
+#: (immutable) CompiledFunction.
+_PROGRAM_MEMO: "OrderedDict[tuple, CompiledFunction]" = OrderedDict()
+_PROGRAM_MEMO_SIZE = 32
+
+
+def _program_memo_key(space: SymbolSpace,
+                      rationals: Sequence[Rational | Poly],
+                      output_names: Sequence[str] | None,
+                      strategy: str) -> tuple:
+    syms = tuple((s.name, s.nominal, s.lo, s.hi) for s in space.symbols)
+    items = []
+    for item in rationals:
+        if isinstance(item, Poly):
+            items.append(("p", tuple(item.terms.items())))
+        else:
+            items.append(("r", tuple(item.num.terms.items()),
+                          tuple(item.den.terms.items())))
+    names = tuple(output_names) if output_names is not None else None
+    return (syms, tuple(items), names, strategy)
+
+
 def compile_rationals(space: SymbolSpace, rationals: Sequence[Rational | Poly],
                       output_names: Sequence[str] | None = None,
                       strategy: str = "expanded") -> CompiledFunction:
@@ -782,9 +808,20 @@ def compile_rationals(space: SymbolSpace, rationals: Sequence[Rational | Poly],
     ``strategy`` selects the polynomial lowering: ``"expanded"`` (sum of
     monomials, maximal term sharing across outputs) or ``"horner"``
     (nested multiplication, fewer operations per polynomial).
+
+    Programs are memoized on exact content (:data:`_PROGRAM_MEMO`), so
+    compiling the same polynomials twice returns the cached function.
     """
     if strategy not in ("expanded", "horner"):
         raise SymbolicError(f"unknown compile strategy {strategy!r}")
+    memo_key = _program_memo_key(space, rationals, output_names, strategy)
+    cached = _PROGRAM_MEMO.get(memo_key)
+    if cached is not None:
+        _PROGRAM_MEMO.move_to_end(memo_key)
+        _metrics.registry().counter(
+            "repro_compile_program_memo_hits_total",
+            "compiled programs served from the content memo").inc()
+        return cached
     builder = ExprBuilder()
     lower = (builder.from_poly if strategy == "expanded"
              else builder.from_poly_horner)
@@ -800,4 +837,8 @@ def compile_rationals(space: SymbolSpace, rationals: Sequence[Rational | Poly],
                              else builder.mul(builder.const(1.0 / den_val), num))
             else:
                 roots.append(builder.div(num, lower(item.den)))
-    return compile_exprs(space, roots, output_names)
+    fn = compile_exprs(space, roots, output_names)
+    _PROGRAM_MEMO[memo_key] = fn
+    while len(_PROGRAM_MEMO) > _PROGRAM_MEMO_SIZE:
+        _PROGRAM_MEMO.popitem(last=False)
+    return fn

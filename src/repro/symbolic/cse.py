@@ -41,10 +41,15 @@ def topological(roots: Sequence[Expr]) -> list[Expr]:
     return order
 
 
-def use_counts(roots: Sequence[Expr]) -> dict[int, int]:
-    """Number of parent references for each reachable node (roots count once)."""
+def use_counts(roots: Sequence[Expr],
+               order: Sequence[Expr] | None = None) -> dict[int, int]:
+    """Number of parent references for each reachable node (roots count once).
+
+    Pass a precomputed :func:`topological` order to skip re-walking the
+    DAG (the counts are identical either way).
+    """
     counts: dict[int, int] = {}
-    for node in topological(roots):
+    for node in (topological(roots) if order is None else order):
         counts.setdefault(id(node), 0)
         for child in node.children:
             counts[id(child)] = counts.get(id(child), 0) + 1

@@ -143,6 +143,11 @@ class ExprBuilder:
 
     def __init__(self) -> None:
         self._table: dict[tuple, Expr] = {}
+        # monomial factor tuples keyed on (names, exponents): the moment
+        # numerators share most monomials, so from_poly skips rebuilding
+        # the sym/pow factor list (the resulting Expr is identical — mul
+        # receives the same interned nodes either way)
+        self._mono: dict[tuple, tuple[Expr, ...]] = {}
 
     def _intern(self, kind: str, payload, children: tuple[Expr, ...]) -> Expr:
         key = (kind, payload, tuple(id(c) for c in children))
@@ -248,12 +253,19 @@ class ExprBuilder:
         names = poly.space.names
         terms = []
         for exps, coeff in poly.sorted_terms():
-            factors = [self.const(coeff)] if coeff != 1.0 or not any(exps) else []
-            for i, e in enumerate(exps):
-                if e == 1:
-                    factors.append(self.sym(names[i]))
-                elif e:
-                    factors.append(self.pow(self.sym(names[i]), e))
+            mono = self._mono.get((names, exps))
+            if mono is None:
+                factors = []
+                for i, e in enumerate(exps):
+                    if e == 1:
+                        factors.append(self.sym(names[i]))
+                    elif e:
+                        factors.append(self.pow(self.sym(names[i]), e))
+                mono = tuple(factors)
+                self._mono[(names, exps)] = mono
+            factors = ([self.const(coeff)]
+                       if coeff != 1.0 or not mono else [])
+            factors.extend(mono)
             terms.append(self.mul(*factors) if factors else self.const(coeff))
         return self.add(*terms)
 

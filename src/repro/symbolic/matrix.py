@@ -19,6 +19,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..errors import SymbolicError
+from . import polykernel as _pk
 from .poly import Poly
 from .rational import Rational
 from .symbols import SymbolSpace
@@ -32,7 +33,7 @@ MAX_DET_SIZE = 18
 class PolyMatrix:
     """Immutable dense matrix of :class:`~repro.symbolic.poly.Poly` entries."""
 
-    __slots__ = ("space", "rows")
+    __slots__ = ("space", "rows", "_ix_rows")
 
     def __init__(self, space: SymbolSpace, rows: Sequence[Sequence[Poly]]) -> None:
         self.space = space
@@ -46,6 +47,15 @@ class PolyMatrix:
                     raise SymbolicError("matrix entry space mismatch")
             cleaned.append(tuple(row))
         self.rows = tuple(cleaned)
+        self._ix_rows = None
+
+    def _indexed_rows(self, table) -> list[list[dict[int, float]]]:
+        """Entries as interned term dicts (built once, reused per solve)."""
+        ix = self._ix_rows
+        if ix is None:
+            ix = self._ix_rows = [[_pk.indexed(e.terms, table) for e in row]
+                                  for row in self.rows]
+        return ix
 
     # ------------------------------------------------------------------
     @classmethod
@@ -109,6 +119,33 @@ class PolyMatrix:
         n, m = self.shape
         if len(vec) != m:
             raise SymbolicError("matvec length mismatch")
+        if not _pk.enabled():
+            return self._matvec_reference(vec)
+        table = self.space.monomials()
+        rows_ix = self._indexed_rows(table)
+        vec_ix = [_pk.indexed(v.terms, table) for v in vec]
+        zero = Poly.zero(self.space)
+        out = []
+        for i in range(n):
+            row = rows_ix[i]
+            acc: dict[int, float] | None = None
+            for j in range(m):
+                entry = row[j]
+                v = vec_ix[j]
+                if not entry or not v:
+                    continue
+                prod = _pk.mul_ix(entry, v, table)
+                if acc:
+                    _pk.add_ix_into(acc, prod)
+                else:
+                    acc = prod
+            out.append(Poly(self.space, _pk.deindexed(acc, table),
+                            _clean=True) if acc else zero)
+        return out
+
+    def _matvec_reference(self, vec: Sequence[Poly]) -> list[Poly]:
+        """Pre-kernel matvec (the bit-identity reference for tests)."""
+        n, m = self.shape
         out = []
         for i in range(n):
             acc = Poly.zero(self.space)
@@ -149,16 +186,16 @@ class PolyMatrix:
     # ------------------------------------------------------------------
     # determinants via subset DP
     # ------------------------------------------------------------------
-    def _det_dp(self, columns: Sequence[int]) -> dict[int, Poly]:
+    def _det_dp_reference(self, columns: Sequence[int]) -> dict[int, Poly]:
         """Leibniz subset DP over ``columns`` (in the given order).
 
         Returns ``D`` where ``D[mask]`` is the determinant of the submatrix
         using rows in ``mask`` (ascending order) and the first
         ``popcount(mask)`` of ``columns``.  Includes all masks up to size
-        ``len(columns)``.
+        ``len(columns)``.  This is the pre-kernel reference path; the fast
+        path below runs the same recurrence on interned term dicts.
         """
         n = self.shape[0]
-        zero = Poly.zero(self.space)
         dp: dict[int, Poly] = {0: Poly.one(self.space)}
         frontier = [0]
         for col in columns:
@@ -184,6 +221,40 @@ class PolyMatrix:
             frontier = list(new_dp.keys())
         return dp
 
+    def _frontier_step(self, frontier: dict[int, dict[int, float]], col: int,
+                       rows_ix, table) -> dict[int, dict[int, float]]:
+        """One column step of the subset DP on interned term dicts.
+
+        ``frontier`` maps a row mask to the partial determinant using the
+        columns processed so far; the returned frontier covers masks one
+        row larger.  Input dicts are never mutated, so frontiers can be
+        shared between the determinant pass and every cofactor pass
+        (prefix reuse in :meth:`adjugate_and_det`).
+        """
+        n = self.shape[0]
+        mul_ix, add_ix_into = _pk.mul_ix, _pk.add_ix_into
+        new: dict[int, dict[int, float]] = {}
+        for mask, base in frontier.items():
+            if not base:
+                continue
+            for r in range(n):
+                bit = 1 << r
+                if mask & bit:
+                    continue
+                entry = rows_ix[r][col]
+                if not entry:
+                    continue
+                new_mask = mask | bit
+                # parity: inversions added = used rows with index above r
+                sign = -1.0 if bin(mask >> (r + 1)).count("1") % 2 else 1.0
+                contrib = mul_ix(base, entry, table, scale=sign)
+                acc = new.get(new_mask)
+                if acc is None:
+                    new[new_mask] = contrib
+                else:
+                    add_ix_into(acc, contrib)
+        return new
+
     def det(self) -> Poly:
         """Determinant (division-free).
 
@@ -199,15 +270,29 @@ class PolyMatrix:
             raise SymbolicError(
                 f"symbolic determinant of size {n} exceeds limit {MAX_DET_SIZE}; "
                 "partition the circuit further")
-        dp = self._det_dp(list(range(n)))
-        return dp.get((1 << n) - 1, Poly.zero(self.space))
+        if not _pk.enabled():
+            dp = self._det_dp_reference(list(range(n)))
+            return dp.get((1 << n) - 1, Poly.zero(self.space))
+        table = self.space.monomials()
+        rows_ix = self._indexed_rows(table)
+        frontier: dict[int, dict[int, float]] = {0: {0: 1.0}}
+        for col in range(n):
+            frontier = self._frontier_step(frontier, col, rows_ix, table)
+        det_ix = frontier.get((1 << n) - 1)
+        if not det_ix:
+            return Poly.zero(self.space)
+        return Poly(self.space, _pk.deindexed(det_ix, table), _clean=True)
 
     def adjugate_and_det(self) -> tuple["PolyMatrix", Poly]:
         """The adjugate matrix and determinant, so ``A @ adj = det * I``.
 
-        One subset-DP pass per excluded column yields all cofactors of that
-        column simultaneously (masks of size n-1 are exactly the row-deleted
-        minors).
+        One subset-DP pass per excluded column yields all cofactors of
+        that column simultaneously (masks of size n-1 are exactly the
+        row-deleted minors).  The passes share work: pass ``j`` (columns
+        ``0..j-1, j+1..n-1``) starts from the determinant pass's frontier
+        snapshot after its first ``j`` columns — the Leibniz sub-sums of
+        the common prefix are computed once and reused, roughly halving
+        the DP transitions versus independent passes.
         """
         n, m = self.shape
         if n != m:
@@ -217,14 +302,47 @@ class PolyMatrix:
                 f"symbolic adjugate of size {n} exceeds limit {MAX_DET_SIZE}")
         if n == 0:
             return PolyMatrix(self.space, []), Poly.one(self.space)
-        zero = Poly.zero(self.space)
-        adj_rows = [[zero] * n for _ in range(n)]
         if n == 1:
             return (PolyMatrix(self.space, [[Poly.one(self.space)]]),
                     self.rows[0][0])
+        if not _pk.enabled():
+            return self._adjugate_and_det_reference()
+        table = self.space.monomials()
+        rows_ix = self._indexed_rows(table)
+        zero = Poly.zero(self.space)
+        full = (1 << n) - 1
+        adj_rows = [[zero] * n for _ in range(n)]
+        # prefix sweep: snapshots[j] = frontier after processing columns
+        # 0..j-1 of the full determinant pass (masks of popcount j)
+        snapshots: list[dict[int, dict[int, float]]] = [{0: {0: 1.0}}]
+        for col in range(n):
+            snapshots.append(self._frontier_step(snapshots[-1], col,
+                                                 rows_ix, table))
+        for j in range(n):
+            frontier = snapshots[j]
+            for col in range(j + 1, n):
+                frontier = self._frontier_step(frontier, col, rows_ix, table)
+            for i in range(n):
+                minor_ix = frontier.get(full ^ (1 << i))
+                if not minor_ix:
+                    continue
+                minor = Poly(self.space, _pk.deindexed(minor_ix, table),
+                             _clean=True)
+                # cofactor C_ij = (-1)^(i+j) * minor;  adj = C^T
+                adj_rows[j][i] = minor if (i + j) % 2 == 0 else minor * -1.0
+        det_ix = snapshots[n].get(full)
+        det = (Poly(self.space, _pk.deindexed(det_ix, table), _clean=True)
+               if det_ix else zero)
+        return PolyMatrix(self.space, adj_rows), det
+
+    def _adjugate_and_det_reference(self) -> tuple["PolyMatrix", Poly]:
+        """Pre-kernel adjugate (independent DP passes; bit-identity oracle)."""
+        n = self.shape[0]
+        zero = Poly.zero(self.space)
+        adj_rows = [[zero] * n for _ in range(n)]
         for j in range(n):
             columns = [c for c in range(n) if c != j]
-            dp = self._det_dp(columns)
+            dp = self._det_dp_reference(columns)
             full = (1 << n) - 1
             for i in range(n):
                 minor = dp.get(full ^ (1 << i), zero)
@@ -232,7 +350,7 @@ class PolyMatrix:
                     continue
                 # cofactor C_ij = (-1)^(i+j) * minor;  adj = C^T
                 adj_rows[j][i] = minor if (i + j) % 2 == 0 else minor * -1.0
-        det = self._det_dp(list(range(n))).get((1 << n) - 1, zero)
+        det = self._det_dp_reference(list(range(n))).get((1 << n) - 1, zero)
         return PolyMatrix(self.space, adj_rows), det
 
 

@@ -23,6 +23,7 @@ import math
 from typing import Callable, Iterable, Mapping, Sequence, Union
 
 from ..errors import SymbolicError
+from . import polykernel as _pk
 from .symbols import Symbol, SymbolSpace
 
 Number = Union[int, float]
@@ -142,8 +143,18 @@ class Poly:
     def _coerce(self, other: "Poly | Number") -> "Poly":
         if isinstance(other, Poly):
             if other.space != self.space:
-                raise SymbolicError(
-                    f"space mismatch: {self.space.names} vs {other.space.names}")
+                ours = set(self.space.names)
+                theirs = set(other.space.names)
+                only_self = sorted(ours - theirs)
+                only_other = sorted(theirs - ours)
+                if only_self or only_other:
+                    detail = (f"symbols only on the left: {only_self}, "
+                              f"only on the right: {only_other}")
+                else:
+                    detail = (f"same symbols in different order: "
+                              f"{list(self.space.names)} vs "
+                              f"{list(other.space.names)}")
+                raise SymbolicError(f"space mismatch: {detail}")
             return other
         if isinstance(other, (int, float)):
             return Poly.constant(self.space, other)
@@ -199,6 +210,10 @@ class Poly:
         a, b = self.terms, other.terms
         if len(a) > len(b):
             a, b = b, a
+        if _pk.enabled() and len(a) * len(b) >= _pk.PACKED_MIN_WORK:
+            packed = _pk.mul_packed_terms(a, b, len(self.space))
+            if packed is not None:
+                return Poly(self.space, packed, _clean=True)
         out: dict[tuple[int, ...], float] = {}
         for ea, ca in a.items():
             for eb, cb in b.items():
@@ -214,8 +229,13 @@ class Poly:
         return self.__mul__(other)
 
     def __pow__(self, exponent: int) -> "Poly":
+        """Binary (square-and-multiply) exponentiation: O(log n) products."""
         if not isinstance(exponent, int) or exponent < 0:
             raise SymbolicError(f"polynomial power must be a non-negative int, got {exponent!r}")
+        if exponent == 0:
+            return Poly.one(self.space)
+        if exponent == 1:
+            return self
         result = Poly.one(self.space)
         base = self
         n = exponent
@@ -281,9 +301,16 @@ class Poly:
             return Poly(self.space, out, _clean=True)
         replacement = self._coerce(replacement)
         result = Poly.zero(self.space)
+        # one binary-exponentiation per *distinct* power of the replaced
+        # symbol, not one repeated-multiply chain per term
+        powers: dict[int, Poly] = {}
         for exps, coeff in self.terms.items():
+            e = exps[i]
+            power = powers.get(e)
+            if power is None:
+                power = powers[e] = replacement ** e
             base = Poly.monomial(self.space, exps[:i] + (0,) + exps[i + 1:], coeff)
-            result = result + base * (replacement ** exps[i])
+            result = result + base * power
         return result
 
     def derivative(self, symbol: Symbol | str) -> "Poly":

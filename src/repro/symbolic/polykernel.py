@@ -1,0 +1,222 @@
+"""Interned and packed polynomial kernels for the symbolic hot path.
+
+The compile pipeline (adjugate DP, moment recursion) spends nearly all of
+its time in sparse polynomial multiply-accumulate.  Two observations make
+that cheap:
+
+* the *same monomials* recur constantly — every product of two exponent
+  tuples inside one :class:`~repro.symbolic.symbols.SymbolSpace` is worth
+  computing once.  :class:`MonomialTable` interns exponent tuples to small
+  integers and memoizes pairwise monomial products, so the inner loop of a
+  polynomial product is integer dict arithmetic instead of tuple
+  allocation;
+* large products (many-symbol models) vectorize — :func:`mul_packed_terms`
+  packs both operands into numpy exponent/coefficient arrays, encodes
+  monomials into single int64 keys, and aggregates with ``bincount``.
+
+Both paths are **bit-identical** to the reference dict implementation in
+:meth:`repro.symbolic.poly.Poly.__mul__`: the pairwise accumulation order
+(outer loop over the smaller operand, inner over the larger, per-key sums
+in encounter order) is preserved exactly, so compiled models built through
+these kernels match the pre-kernel pipeline coefficient for coefficient.
+
+Set ``REPRO_POLYKERNEL=0`` (or use :func:`disabled`) to force every
+consumer back onto the reference implementations — the differential tests
+in ``tests/symbolic/test_polykernel.py`` compare the two.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+import numpy as np
+
+#: below this pairwise work (``len(a) * len(b)``) the plain dict loop wins;
+#: above it the packed numpy product takes over.
+PACKED_MIN_WORK = 2048
+
+_ENABLED = os.environ.get("REPRO_POLYKERNEL", "1") != "0"
+
+
+def enabled() -> bool:
+    """True when the fast kernels are active (default; see module docs)."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Switch the kernels on/off globally; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block on the reference (pre-kernel) implementations."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+class MonomialTable:
+    """Per-space interner of exponent tuples with memoized products.
+
+    Monomial ids are dense ints in creation order; id 0 is always the
+    constant monomial.  ``mul`` memoizes exponent-tuple sums under a
+    commutative integer key, so the adjugate DP's repeated pairwise
+    products (the same matrix entry against thousands of partial
+    determinants) reduce to one dict probe each.
+    """
+
+    __slots__ = ("width", "_by_exps", "_exps", "_mul")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        zero = (0,) * width
+        self._by_exps: dict[tuple[int, ...], int] = {zero: 0}
+        self._exps: list[tuple[int, ...]] = [zero]
+        self._mul: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._exps)
+
+    def intern(self, exps: tuple[int, ...]) -> int:
+        """Id of ``exps``, creating it on first sight."""
+        i = self._by_exps.get(exps)
+        if i is None:
+            i = len(self._exps)
+            self._by_exps[exps] = i
+            self._exps.append(exps)
+        return i
+
+    def exps(self, i: int) -> tuple[int, ...]:
+        """Exponent tuple of monomial id ``i``."""
+        return self._exps[i]
+
+    def mul(self, ia: int, ib: int) -> int:
+        """Id of the product monomial (memoized, commutative)."""
+        if ib < ia:
+            ia, ib = ib, ia
+        key = (ia << 32) | ib
+        r = self._mul.get(key)
+        if r is None:
+            ea, eb = self._exps[ia], self._exps[ib]
+            r = self.intern(tuple(x + y for x, y in zip(ea, eb)))
+            self._mul[key] = r
+        return r
+
+
+# ----------------------------------------------------------------------
+# indexed term dicts (monomial id -> coefficient)
+# ----------------------------------------------------------------------
+def indexed(terms: Mapping[tuple[int, ...], float],
+            table: MonomialTable) -> dict[int, float]:
+    """Exponent-keyed terms as an id-keyed dict (insertion order kept)."""
+    intern = table.intern
+    return {intern(exps): coeff for exps, coeff in terms.items()}
+
+
+def deindexed(ix: Mapping[int, float],
+              table: MonomialTable) -> dict[tuple[int, ...], float]:
+    """Id-keyed terms back to exponent-keyed form (insertion order kept)."""
+    exps = table._exps
+    return {exps[i]: coeff for i, coeff in ix.items()}
+
+
+def mul_ix(a: dict[int, float], b: dict[int, float], table: MonomialTable,
+           scale: float = 1.0) -> dict[int, float]:
+    """Product of two indexed polynomials, optionally scaled.
+
+    Mirrors ``Poly.__mul__`` exactly: the smaller operand drives the outer
+    loop, per-key sums accumulate in encounter order with transient exact
+    zeros dropped, and ``scale`` multiplies the *accumulated* sums (the way
+    the reference pipeline applies cofactor signs) — so results are
+    bit-identical to the reference path.
+    """
+    if not a or not b:
+        return {}
+    if len(a) > len(b):
+        a, b = b, a
+    mul = table.mul
+    out: dict[int, float] = {}
+    get = out.get
+    pop = out.pop
+    for ia, ca in a.items():
+        for ib, cb in b.items():
+            k = mul(ia, ib)
+            new = get(k, 0.0) + ca * cb
+            if new == 0.0:
+                pop(k, None)
+            else:
+                out[k] = new
+    if scale != 1.0:
+        for k in out:
+            out[k] *= scale
+    return out
+
+
+def add_ix_into(acc: dict[int, float], other: dict[int, float]) -> None:
+    """In-place ``acc += other`` with the reference zero-drop semantics."""
+    get = acc.get
+    pop = acc.pop
+    for k, coeff in other.items():
+        new = get(k, 0.0) + coeff
+        if new == 0.0:
+            pop(k, None)
+        else:
+            acc[k] = new
+
+
+# ----------------------------------------------------------------------
+# packed (numpy) product for large operands
+# ----------------------------------------------------------------------
+def mul_packed_terms(a: Mapping[tuple[int, ...], float],
+                     b: Mapping[tuple[int, ...], float],
+                     width: int) -> dict[tuple[int, ...], float] | None:
+    """Vectorized product of two large term dicts (``a`` no larger than
+    ``b``, as pre-swapped by the caller).
+
+    Monomials are packed into single int64 keys (per-symbol bit fields
+    sized from the operands' degree bounds); the pairwise coefficient
+    products aggregate with ``bincount``, which accumulates in flat input
+    order — the same a-major encounter order as the dict loop, keeping the
+    per-key float sums bit-identical.  Output keys appear in first-
+    encounter order, matching dict insertion.  Returns ``None`` when the
+    combined degrees cannot be packed into 62 bits (caller falls back to
+    the dict loop).
+    """
+    ea = np.array(list(a.keys()), dtype=np.int64).reshape(len(a), width)
+    eb = np.array(list(b.keys()), dtype=np.int64).reshape(len(b), width)
+    ca = np.fromiter(a.values(), dtype=np.float64, count=len(a))
+    cb = np.fromiter(b.values(), dtype=np.float64, count=len(b))
+    max_sum = ea.max(axis=0) + eb.max(axis=0)
+    bits = np.maximum(np.ceil(np.log2(max_sum + 2)).astype(np.int64), 1)
+    if int(bits.sum()) > 62:
+        return None
+    shifts = np.concatenate(([0], np.cumsum(bits[:-1])))
+    weights = np.int64(1) << shifts
+    keys_a = ea @ weights
+    keys_b = eb @ weights
+    pair_keys = (keys_a[:, None] + keys_b[None, :]).ravel()
+    pair_coeffs = (ca[:, None] * cb[None, :]).ravel()
+    uniq, inverse = np.unique(pair_keys, return_inverse=True)
+    sums = np.bincount(inverse, weights=pair_coeffs, minlength=len(uniq))
+    # restore first-encounter order (dict insertion order of the loop path)
+    first = np.full(len(uniq), len(pair_keys), dtype=np.int64)
+    np.minimum.at(first, inverse, np.arange(len(pair_keys), dtype=np.int64))
+    order = np.argsort(first, kind="stable")
+    masks = (np.int64(1) << bits) - 1
+    out: dict[tuple[int, ...], float] = {}
+    for idx in order:
+        coeff = sums[idx]
+        if coeff == 0.0:
+            continue
+        key = uniq[idx]
+        out[tuple(int((key >> s) & m) for s, m in zip(shifts, masks))] = \
+            float(coeff)
+    return out

@@ -61,20 +61,32 @@ class SymbolSpace:
     independently over equal spaces interoperate.
     """
 
-    __slots__ = ("symbols", "_index", "_hash")
+    __slots__ = ("symbols", "_index", "_hash", "_names", "_monomials")
 
     def __init__(self, symbols: Iterable[Symbol | str]) -> None:
         syms = tuple(Symbol(s) if isinstance(s, str) else s for s in symbols)
-        names = [s.name for s in syms]
+        names = tuple(s.name for s in syms)
         if len(set(names)) != len(names):
-            raise SymbolicError(f"duplicate symbols in space: {names}")
+            raise SymbolicError(f"duplicate symbols in space: {list(names)}")
         self.symbols = syms
         self._index = {s.name: i for i, s in enumerate(syms)}
-        self._hash = hash(tuple(names))
+        self._names = names
+        self._hash = hash(names)
+        self._monomials = None
 
     @property
     def names(self) -> tuple[str, ...]:
-        return tuple(s.name for s in self.symbols)
+        return self._names
+
+    def monomials(self):
+        """The per-space monomial interner (built lazily, shared by every
+        polynomial over this space — see :mod:`repro.symbolic.polykernel`)."""
+        table = self._monomials
+        if table is None:
+            from .polykernel import MonomialTable
+
+            table = self._monomials = MonomialTable(len(self.symbols))
+        return table
 
     def index(self, symbol: Symbol | str) -> int:
         """Position of ``symbol`` in this space.
@@ -102,7 +114,9 @@ class SymbolSpace:
         return self.symbols[i]
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, SymbolSpace) and self.names == other.names
+        if other is self:
+            return True
+        return isinstance(other, SymbolSpace) and self._names == other._names
 
     def __hash__(self) -> int:
         return self._hash

@@ -1,0 +1,120 @@
+"""Large PolyMatrix solves near MAX_DET_SIZE (S3).
+
+The adjugate DP is exponential in the matrix size, so the interesting
+regimes are "big but legal" (n = 12: the kernelized Leibniz sharing must
+still match plain numeric LU at any sampled symbol values) and "over the
+cap" (n > MAX_DET_SIZE raises :class:`SymbolicError` instead of hanging).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SymbolicError
+from repro.symbolic import (Poly, PolyMatrix, SymbolicLinearSolver,
+                            SymbolSpace, polykernel)
+from repro.symbolic.matrix import MAX_DET_SIZE
+
+N = 12
+SP = SymbolSpace(["u", "v"])
+
+
+def random_symbolic_matrix(n: int, seed: int) -> PolyMatrix:
+    """Diagonally dominant n x n matrix, a sprinkling of symbolic entries.
+
+    Dominance keeps the determinant well away from zero so the
+    relative-error comparison against LU is meaningful.
+    """
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(-1, 1, size=(n, n)) + n * np.eye(n)
+    rows = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            p = Poly.constant(SP, base[i, j])
+            if (i + j) % 5 == 0:
+                p = p + Poly.symbol(SP, "u", rng.uniform(-0.5, 0.5))
+            if (i * j) % 7 == 3:
+                p = p + Poly.symbol(SP, "v", rng.uniform(-0.5, 0.5))
+            row.append(p)
+        rows.append(row)
+    return PolyMatrix(SP, rows)
+
+
+def numeric_at(m: PolyMatrix, values) -> np.ndarray:
+    n, _ = m.shape
+    return np.array([[m[i, j].evaluate(values) for j in range(n)]
+                     for i in range(n)])
+
+
+SAMPLE_POINTS = [{"u": 0.0, "v": 0.0}, {"u": 1.3, "v": -0.7},
+                 {"u": -2.1, "v": 0.4}]
+
+
+class TestLargeSolveDifferential:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_det_matches_numeric_lu(self, seed):
+        m = random_symbolic_matrix(N, seed)
+        det = m.det()
+        for values in SAMPLE_POINTS:
+            expected = np.linalg.det(numeric_at(m, values))
+            assert det.evaluate(values) == pytest.approx(expected,
+                                                         rel=1e-8)
+
+    def test_solve_matches_numeric_lu(self):
+        m = random_symbolic_matrix(N, seed=2)
+        rng = np.random.default_rng(99)
+        rhs_values = rng.uniform(-1, 1, size=N)
+        rhs = [Poly.constant(SP, float(x)) for x in rhs_values]
+        solver = SymbolicLinearSolver(m)
+        numerators, det = solver.solve_poly(rhs)
+        for values in SAMPLE_POINTS:
+            expected = np.linalg.solve(numeric_at(m, values), rhs_values)
+            d = det.evaluate(values)
+            got = np.array([p.evaluate(values) for p in numerators]) / d
+            np.testing.assert_allclose(got, expected, rtol=1e-8)
+
+    def test_adjugate_identity_at_sampled_values(self):
+        m = random_symbolic_matrix(N, seed=3)
+        adj, det = m.adjugate_and_det()
+        values = SAMPLE_POINTS[1]
+        a = numeric_at(m, values)
+        adj_num = numeric_at(adj, values)
+        np.testing.assert_allclose(adj_num @ a,
+                                   det.evaluate(values) * np.eye(N),
+                                   rtol=1e-8, atol=1e-6 * abs(
+                                       det.evaluate(values)))
+
+    def test_kernel_and_reference_paths_bit_identical(self):
+        m = random_symbolic_matrix(N, seed=4)
+        adj, det = m.adjugate_and_det()
+        with polykernel.disabled():
+            adj_ref, det_ref = m.adjugate_and_det()
+        assert list(det.terms.items()) == list(det_ref.terms.items())
+        for i in range(N):
+            for j in range(N):
+                assert list(adj[i, j].terms.items()) == \
+                    list(adj_ref[i, j].terms.items())
+
+
+class TestSizeCap:
+    def _matrix(self, n: int) -> PolyMatrix:
+        rows = [[Poly.constant(SP, 1.0 if i == j else 0.0)
+                 for j in range(n)] for i in range(n)]
+        return PolyMatrix(SP, rows)
+
+    def test_det_over_cap_raises(self):
+        m = self._matrix(MAX_DET_SIZE + 1)
+        with pytest.raises(SymbolicError):
+            m.det()
+
+    def test_adjugate_over_cap_raises(self):
+        m = self._matrix(MAX_DET_SIZE + 1)
+        with pytest.raises(SymbolicError):
+            m.adjugate_and_det()
+
+    def test_at_cap_is_allowed(self):
+        # MAX_DET_SIZE itself must stay legal (identity: instant DP)
+        m = self._matrix(MAX_DET_SIZE)
+        assert m.det() == 1.0

@@ -1,0 +1,87 @@
+"""Poly fast paths (S2): binary exponentiation, substitution power cache,
+and actionable space-mismatch errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SymbolicError
+from repro.symbolic import Poly, SymbolSpace
+
+SP = SymbolSpace(["x", "y"])
+X = Poly.symbol(SP, "x")
+Y = Poly.symbol(SP, "y")
+
+
+class TestPow:
+    def test_pow_zero_and_one(self):
+        p = X + 2.0 * Y
+        assert p ** 0 == Poly.one(SP)
+        assert p ** 1 is p
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 13])
+    def test_pow_matches_repeated_multiply(self, n):
+        p = X + 2.0 * Y + 1.0
+        naive = Poly.one(SP)
+        for _ in range(n):
+            naive = naive * p
+        assert (p ** n).allclose(naive, rtol=1e-12)
+
+    def test_pow_negative_raises(self):
+        with pytest.raises(SymbolicError):
+            (X + 1.0) ** -1
+
+    def test_pow_non_int_raises(self):
+        with pytest.raises(SymbolicError):
+            (X + 1.0) ** 2.5  # type: ignore[operator]
+
+    def test_pow_large_exponent_evaluates_correctly(self):
+        p = X + 0.5
+        val = (p ** 20).evaluate({"x": 1.25, "y": 0.0})
+        assert val == pytest.approx(1.75 ** 20, rel=1e-12)
+
+
+class TestSubstitute:
+    def test_substitute_poly_shares_powers_across_terms(self):
+        # many terms with repeated exponents of the substituted symbol:
+        # the per-exponent power cache must not change the result
+        rng = np.random.default_rng(5)
+        terms = {}
+        for _ in range(25):
+            terms[(int(rng.integers(0, 4)), int(rng.integers(0, 4)))] = \
+                float(rng.uniform(-1, 1))
+        p = Poly(SP, terms)
+        repl = Y + 2.0
+        got = p.substitute("x", repl)
+        at = {"x": 0.0, "y": 1.7}
+        expected = p.evaluate({"x": repl.evaluate(at), "y": at["y"]})
+        assert got.evaluate(at) == pytest.approx(expected, rel=1e-10)
+
+    def test_substitute_numeric_value(self):
+        p = X * X + 3.0 * X * Y + 2.0
+        got = p.substitute("x", 2.0)
+        assert got.evaluate({"x": 0.0, "y": 1.5}) == pytest.approx(
+            4.0 + 9.0 + 2.0, rel=1e-12)
+
+
+class TestSpaceMismatchErrors:
+    def test_error_names_offending_symbols(self):
+        other = SymbolSpace(["x", "z"])
+        p = Poly.symbol(other, "z")
+        with pytest.raises(SymbolicError) as excinfo:
+            X + p
+        msg = str(excinfo.value)
+        assert "space mismatch" in msg
+        assert "'y'" in msg and "'z'" in msg  # both one-sided symbols named
+
+    def test_error_distinguishes_reordered_spaces(self):
+        reordered = SymbolSpace(["y", "x"])
+        with pytest.raises(SymbolicError) as excinfo:
+            X * Poly.symbol(reordered, "x")
+        assert "different order" in str(excinfo.value)
+
+    def test_same_space_content_is_compatible(self):
+        twin = SymbolSpace(["x", "y"])
+        assert (X + Poly.symbol(twin, "x")).evaluate({"x": 2.0, "y": 0.0}) \
+            == pytest.approx(4.0)
