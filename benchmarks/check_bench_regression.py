@@ -30,7 +30,14 @@ DEFAULT_TOLERANCE = 0.25
 
 
 def iter_throughputs(payload: dict):
-    """Yield ``(label, points_per_second)`` for every tracked figure."""
+    """Yield ``(label, points_per_second)`` for every tracked figure.
+
+    Three shapes are recognized: the top-level ``points_per_second``
+    figure, the per-backend entries of the sweep benchmark, and a
+    generic ``throughputs`` label->value mapping (used by
+    ``run_bench_scenarios.py``) so new benchmarks join the gate without
+    touching this file.
+    """
     pps = payload.get("points_per_second")
     if pps:
         yield "overall", float(pps)
@@ -38,6 +45,9 @@ def iter_throughputs(payload: dict):
         pps = entry.get("points_per_second")
         if pps:
             yield f"backend:{name}", float(pps)
+    for label, value in (payload.get("throughputs") or {}).items():
+        if value:
+            yield str(label), float(value)
 
 
 def compare(baseline: dict, current: dict,

@@ -1,0 +1,141 @@
+"""CI benchmark: 741 scenario engine -> BENCH_scenarios.json.
+
+Times the two compiled scenario paths on the paper's 741 workload:
+
+1. **Monte Carlo** — a paired-sample sweep of ``dominant_pole_hz`` over
+   (``Ccomp``, ``go_Q14``) process spread through the batched sharded
+   runtime, reported as samples/second (quarantined samples included in
+   the denominator: degenerate-sample handling is part of the cost);
+2. **compiled transient** — the analytic step/pulse convolution over a
+   dense time grid, reported as output points/second (no time-stepping:
+   the whole trajectory is one vectorized exponential evaluation).
+
+The payload carries a generic ``throughputs`` label->value mapping that
+``benchmarks/check_bench_regression.py`` folds into the same >25 %
+regression gate the sweep benchmark uses::
+
+    python benchmarks/run_bench_scenarios.py --out BENCH_scenarios.json
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_scenarios.json --current BENCH_scen_current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import awesymbolic
+from repro.circuits.library import small_signal_741
+from repro.core.metrics import dominant_pole_hz
+from repro.obs import metrics as obs_metrics
+from repro.scenarios import monte_carlo, normal, pulse, step, transient_response, uniform
+
+MC_SAMPLES = 20_000
+TRAN_POINTS = 4096
+TRAN_REPEATS = 64
+SHARDS = 8
+
+
+def bench_monte_carlo(res, n: int, shards: int) -> dict:
+    dists = {"Ccomp": normal(30e-12, rel_sigma=0.2),
+             "go_Q14": uniform(1e-5, 1e-4)}
+    # warm-up amortizes compile caches the way a real campaign does
+    monte_carlo(res, dists, dominant_pole_hz, n=min(n, 256), seed=1,
+                shards=shards, order=2)
+    mc = monte_carlo(res, dists, dominant_pole_hz, n=n, seed=42,
+                     shards=shards, order=2)
+    return {
+        "samples": mc.n_samples,
+        "quarantined": mc.n_quarantined,
+        "seconds": mc.seconds,
+        "samples_per_second": mc.samples_per_second,
+        "p50": mc.percentiles([50.0])[50.0],
+    }
+
+
+def bench_transient(res, n_points: int, repeats: int) -> dict:
+    rom = res.model.rom(order=2)
+    t_stop = rom.settle_time_hint()
+    t = np.linspace(0.0, t_stop, n_points)
+    waves = {"step": step(1.0),
+             "pulse": pulse(0.0, 1.0, delay=0.05 * t_stop,
+                            rise=0.02 * t_stop, width=0.3 * t_stop,
+                            fall=0.02 * t_stop)}
+    out = {}
+    total_points = 0
+    total_seconds = 0.0
+    for name, wave in waves.items():
+        transient_response(rom, wave, t)  # warm-up
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            y = transient_response(rom, wave, t)
+        dt = time.perf_counter() - t0
+        out[name] = {
+            "points": n_points * repeats,
+            "seconds": dt,
+            "points_per_second": n_points * repeats / dt,
+            "final_value": float(y[-1]),
+        }
+        total_points += n_points * repeats
+        total_seconds += dt
+    out["points_per_second"] = total_points / total_seconds
+    return out
+
+
+def run(n_samples: int = MC_SAMPLES, n_points: int = TRAN_POINTS,
+        repeats: int = TRAN_REPEATS, shards: int = SHARDS) -> dict:
+    ss = small_signal_741()
+    res = awesymbolic(ss.circuit, "out", symbols=["go_Q14", "Ccomp"],
+                      order=2)
+    mc = bench_monte_carlo(res, n_samples, shards)
+    tran = bench_transient(res, n_points, repeats)
+    return {
+        "workload": "741 scenario engine (compiled transient + Monte Carlo)",
+        "cpu_count": os.cpu_count(),
+        "shards": shards,
+        "throughputs": {
+            "mc_samples_per_second": mc["samples_per_second"],
+            "tran_points_per_second": tran["points_per_second"],
+        },
+        "monte_carlo": mc,
+        "transient": tran,
+        "metrics": {
+            name: snap for name, snap
+            in obs_metrics.registry().snapshot().items()
+            if name.startswith("repro_scenario_")
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path, default=Path("BENCH_scenarios.json"))
+    ap.add_argument("--samples", type=int, default=MC_SAMPLES)
+    ap.add_argument("--points", type=int, default=TRAN_POINTS)
+    ap.add_argument("--repeats", type=int, default=TRAN_REPEATS)
+    ap.add_argument("--shards", type=int, default=SHARDS)
+    args = ap.parse_args(argv)
+
+    payload = run(n_samples=args.samples, n_points=args.points,
+                  repeats=args.repeats, shards=args.shards)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    mc = payload["monte_carlo"]
+    print(f"  monte carlo: {mc['samples']} samples "
+          f"({mc['quarantined']} quarantined), "
+          f"{mc['samples_per_second']:.0f} samples/s")
+    tran = payload["transient"]
+    for name in ("step", "pulse"):
+        print(f"  transient {name:<6} "
+              f"{tran[name]['points_per_second']:>12.0f} points/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,12 @@ Commands:
 * ``doctor`` — health-check a sweep (quarantine list, conditioning
   summaries) and/or a program-cache directory.  Exit status encodes
   severity: 0 healthy, 1 warnings, 2 corrupt cache entries.
+* ``tran`` — closed-form transient (analytic convolution of the
+  compiled poles/residues; step/ramp/pulse/PWL inputs, ``--verify``
+  checks against the trapezoidal time-stepper).
+* ``mc`` — Monte Carlo a metric over sampled element values through the
+  batched sweep runtime (percentile/yield report, ``--verify`` replays
+  every sample through the per-point oracle).
 * ``figures`` — regenerate the paper's figure/table data as CSV
   (delegates to :mod:`repro.reporting.figures`).
 
@@ -204,6 +210,73 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("--fix", action="store_true",
                         help="move unhealthy cache entries to quarantine/ "
                              "and delete orphaned temp files")
+
+    tran = sub.add_parser("tran", parents=[obs_parent],
+                          help="closed-form transient of a compiled model "
+                               "(analytic convolution, no time-stepping)")
+    _add_model_build_args(tran)
+    tran.add_argument("--input", default="step", metavar="SPEC",
+                      help="input waveform: step[:AMP[,DELAY]] | "
+                           "ramp:RISE[,AMP] | pulse:V1,V2,TD,TR,PW,TF | "
+                           "pwl:T=V,T=V,... (default: unit step)")
+    tran.add_argument("--t-stop", default=None, metavar="TIME",
+                      help="simulation horizon (default: model settle-time "
+                           "hint plus the waveform's last breakpoint)")
+    tran.add_argument("--points", type=int, default=501,
+                      help="time points (default 501)")
+    tran.add_argument("--at", action="append", default=[],
+                      metavar="NAME=VALUE",
+                      help="off-nominal element value (repeatable)")
+    tran.add_argument("--csv", type=Path, default=None, metavar="FILE",
+                      help="write the waveform as t,y CSV")
+    tran.add_argument("--verify", action="store_true",
+                      help="differentially verify against the trapezoidal "
+                           "time-stepper (exit 1 on mismatch)")
+
+    mc = sub.add_parser("mc", parents=[obs_parent],
+                        help="Monte Carlo a metric over sampled element "
+                             "values (batched through the sweep runtime)")
+    _add_model_build_args(mc)
+    mc.add_argument("--param", action="append", default=[],
+                    metavar="NAME=DIST",
+                    help="sampled element: NAME=normal:MEAN,SIGMA | "
+                         "NAME=normal%%:MEAN,RELSIGMA | "
+                         "NAME=uniform:LO,HI (repeatable, required)")
+    mc.add_argument("--metric", default="dominant_pole_hz",
+                    help="metric to sample (a repro.core.metrics function "
+                         "name; default dominant_pole_hz)")
+    mc.add_argument("--samples", type=int, default=1000,
+                    help="sample count (default 1000)")
+    mc.add_argument("--seed", type=int, default=0,
+                    help="RNG seed (default 0; deterministic)")
+    mc.add_argument("--percentiles", default=None, metavar="Q,Q,...",
+                    help="percentiles to report (default 1,5,25,50,75,95,99)")
+    mc.add_argument("--spec-lo", type=float, default=None,
+                    help="lower spec limit for yield reporting")
+    mc.add_argument("--spec-hi", type=float, default=None,
+                    help="upper spec limit for yield reporting")
+    mc.add_argument("--shards", type=int, default=None,
+                    help="split the sample batch into N chunks")
+    mc.add_argument("--workers", type=int, default=None,
+                    help="worker-pool width for sample shards")
+    mc.add_argument("--backend", default=None,
+                    choices=["auto", "serial", "thread", "process"],
+                    help="shard execution backend")
+    mode = mc.add_mutually_exclusive_group()
+    mode.add_argument("--strict", action="store_true",
+                      help="fail on the first degenerate sample")
+    mode.add_argument("--lenient", action="store_false", dest="strict",
+                      help="quarantine degenerate samples to NaN (default)")
+    mc.add_argument("--stats", action="store_true",
+                    help="print runtime statistics")
+    mc.add_argument("--csv", type=Path, default=None, metavar="FILE",
+                    help="write per-sample parameter/metric CSV")
+    mc.add_argument("--json", type=Path, default=None, metavar="FILE",
+                    help="write the full report (percentiles, quarantine) "
+                         "as JSON")
+    mc.add_argument("--verify", action="store_true",
+                    help="replay every sample through the per-point oracle "
+                         "and compare (exit 1 on mismatch)")
 
     figures = sub.add_parser("figures", parents=[obs_parent],
                              help="regenerate the paper's figure data (CSV)")
@@ -526,6 +599,144 @@ def cmd_doctor(args) -> int:
     return worst
 
 
+def _parse_waveform(spec: str):
+    """``--input`` spec → :class:`~repro.scenarios.Waveform`."""
+    from .scenarios import waveforms as wf
+    from .units import parse_value
+
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip().lower()
+    if kind == "pwl":
+        points = []
+        for part in rest.split(","):
+            t, _, v = part.partition("=")
+            if not v:
+                raise ReproError(f"pwl point needs T=V, got {part!r}")
+            points.append((parse_value(t), parse_value(v)))
+        return wf.pwl(points)
+    nums = [parse_value(p) for p in rest.split(",") if p.strip()] \
+        if rest.strip() else []
+    if kind == "step":
+        if len(nums) > 2:
+            raise ReproError("step takes at most AMP,DELAY")
+        return wf.step(*(nums or [1.0]))
+    if kind == "ramp":
+        if not 1 <= len(nums) <= 2:
+            raise ReproError("ramp needs RISE[,AMP]")
+        return wf.ramp(nums[0], *nums[1:])
+    if kind == "pulse":
+        if len(nums) != 6:
+            raise ReproError("pulse needs V1,V2,TD,TR,PW,TF")
+        return wf.pulse(*nums)
+    raise ReproError(f"unknown input waveform kind {kind!r} "
+                     "(step | ramp | pulse | pwl)")
+
+
+def cmd_tran(args) -> int:
+    from .reporting.scenarios import transient_csv, transient_table
+    from .scenarios import compiled_transient
+    from .units import parse_value
+
+    res = _build_cached_model(args)
+    waveform = _parse_waveform(args.input)
+    overrides = {}
+    for spec in args.at:
+        overrides.update(_parse_at(spec))
+    t_stop = parse_value(args.t_stop) if args.t_stop is not None else None
+    scenario = compiled_transient(res.model, waveform=waveform,
+                                  t_stop=t_stop, n_points=args.points,
+                                  element_values=overrides,
+                                  order=args.order)
+    print(transient_table(scenario))
+    if args.csv is not None:
+        args.csv.write_text(transient_csv(scenario))
+        print(f"wrote {args.csv}")
+    if args.verify:
+        if overrides:
+            raise ReproError("--verify compares against the nominal "
+                             "netlist; drop --at or edit the netlist")
+        from .mna import assemble
+        from .testing.differential import compare_transient
+
+        system = assemble(_load_circuit(args))
+        cmp = compare_transient(res.model, system, args.output, waveform,
+                                t_stop=t_stop, n_points=args.points,
+                                order=args.order)
+        print(cmp.describe())
+        if not cmp.passed:
+            return 1
+    return 0
+
+
+def _parse_distribution(spec: str):
+    """``--param`` spec → (name, Distribution)."""
+    from .scenarios import montecarlo as mc_mod
+    from .units import parse_value
+
+    name, _, dist = spec.partition("=")
+    kind, _, rest = dist.partition(":")
+    nums = [parse_value(p) for p in rest.split(",") if p.strip()]
+    kind = kind.strip().lower()
+    if not name.strip() or len(nums) != 2:
+        raise ReproError(f"--param needs NAME=normal:MEAN,SIGMA | "
+                         f"NAME=normal%:MEAN,RELSIGMA | NAME=uniform:LO,HI, "
+                         f"got {spec!r}")
+    if kind == "normal":
+        return name.strip(), mc_mod.normal(nums[0], sigma=nums[1])
+    if kind == "normal%":
+        return name.strip(), mc_mod.normal(nums[0], rel_sigma=nums[1])
+    if kind == "uniform":
+        return name.strip(), mc_mod.uniform(nums[0], nums[1])
+    raise ReproError(f"unknown distribution {kind!r} "
+                     "(normal | normal% | uniform)")
+
+
+def cmd_mc(args) -> int:
+    from .core.metrics import resolve_metric
+    from .reporting.scenarios import mc_csv, mc_table
+    from .runtime import RuntimeStats
+    from .scenarios import monte_carlo
+
+    if not args.param:
+        raise ReproError("mc needs at least one --param NAME=DIST")
+    res = _build_cached_model(args)
+    distributions = dict(_parse_distribution(s) for s in args.param)
+    metric = resolve_metric(args.metric)
+    stats = RuntimeStats()
+    result = monte_carlo(res.model, distributions, metric,
+                         n=args.samples, seed=args.seed, order=args.order,
+                         shards=args.shards, max_workers=args.workers,
+                         backend=args.backend, strict=args.strict,
+                         stats=stats)
+    qs = None
+    if args.percentiles:
+        qs = [float(q) for q in args.percentiles.split(",") if q.strip()]
+    print(mc_table(result, qs=qs))
+    if result.n_quarantined:
+        print(f"{result.n_quarantined} sample(s) quarantined "
+              f"(run with --json for the full report)")
+    if args.spec_lo is not None or args.spec_hi is not None:
+        y = result.yield_fraction(args.spec_lo, args.spec_hi)
+        print(f"yield within spec: {y:.2%}")
+    if args.csv is not None:
+        args.csv.write_text(mc_csv(result))
+        print(f"wrote {args.csv}")
+    if args.json is not None:
+        payload = result.to_dict(qs) if qs else result.to_dict()
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if args.stats:
+        print(stats.summary())
+    if args.verify:
+        from .testing.differential import compare_monte_carlo
+
+        cmp = compare_monte_carlo(res.model, result, metric=metric)
+        print(cmp.describe())
+        if not cmp.passed:
+            return 1
+    return 0
+
+
 def cmd_figures(args) -> int:
     from .reporting.figures import main as figures_main
 
@@ -562,6 +773,8 @@ _COMMANDS = {
     "trace": cmd_trace,
     "profile": cmd_profile,
     "doctor": cmd_doctor,
+    "tran": cmd_tran,
+    "mc": cmd_mc,
     "figures": cmd_figures,
 }
 

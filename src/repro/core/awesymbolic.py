@@ -57,9 +57,22 @@ class AWESymbolicResult:
     def symbols(self) -> list[str]:
         return [se.name for se in self.partition.symbolic]
 
-    def rom(self, element_values=None, order=None):
+    def rom(self, element_values=None, order=None, require_stable=True):
         """Shortcut for :meth:`CompiledAWEModel.rom`."""
-        return self.model.rom(element_values, order=order)
+        return self.model.rom(element_values, order=order,
+                              require_stable=require_stable)
+
+    def transient(self, waveform=None, **kwargs):
+        """Closed-form transient of the compiled model — shortcut for
+        :func:`repro.scenarios.compiled_transient`."""
+        from ..scenarios.transient import compiled_transient
+        return compiled_transient(self.model, waveform=waveform, **kwargs)
+
+    def monte_carlo(self, distributions, metric, **kwargs):
+        """Monte Carlo over sampled element values — shortcut for
+        :func:`repro.scenarios.monte_carlo`."""
+        from ..scenarios.montecarlo import monte_carlo
+        return monte_carlo(self.model, distributions, metric, **kwargs)
 
 
 class CompileSession:

@@ -140,3 +140,23 @@ def group_delay(model: ReducedOrderModel, omega: float) -> float:
     if len(zeros):
         tau -= float(np.sum(-zeros.real / np.abs(s - zeros) ** 2))
     return tau
+
+
+def resolve_metric(metric):
+    """Resolve a metric given by name to the module function of that name.
+
+    Callables pass through unchanged; strings look up a public function
+    in this module (the CLI's ``--metric`` convention, shared by the
+    scenario engine and the differential harness).
+
+    Raises:
+        ApproximationError: unknown or non-callable name.
+    """
+    if callable(metric):
+        return metric
+    import sys
+    fn = getattr(sys.modules[__name__], str(metric), None)
+    if not callable(fn) or str(metric).startswith("_"):
+        raise ApproximationError(
+            f"unknown metric {metric!r} (see repro.core.metrics)")
+    return fn

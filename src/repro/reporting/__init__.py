@@ -3,6 +3,8 @@ every paper figure's data (``python -m repro.reporting.figures``)."""
 
 from .tables import Table, format_engineering
 from .surfaces import SurfaceData, sweep_surface, family_curves
+from .scenarios import (corner_table, mc_csv, mc_table, transient_csv,
+                        transient_table)
 
 __all__ = [
     "Table",
@@ -10,4 +12,9 @@ __all__ = [
     "SurfaceData",
     "sweep_surface",
     "family_curves",
+    "transient_csv",
+    "transient_table",
+    "mc_table",
+    "mc_csv",
+    "corner_table",
 ]

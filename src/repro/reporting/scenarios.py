@@ -1,0 +1,74 @@
+"""Report rendering for scenario runs (transient, Monte Carlo, corners).
+
+The scenario engine returns result objects; this module turns them into
+the ASCII tables and CSV files the CLI and the figure driver emit, using
+the same :class:`~repro.reporting.tables.Table` machinery as the paper
+figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tables import Table
+
+__all__ = ["transient_csv", "transient_table", "mc_table", "mc_csv",
+           "corner_table"]
+
+
+def transient_csv(scenario) -> str:
+    """``t,y`` CSV of a :class:`~repro.scenarios.TransientScenario`."""
+    lines = ["t,y"]
+    for t, y in zip(scenario.t, scenario.y):
+        lines.append(f"{float(t)!r},{float(y)!r}")
+    return "\n".join(lines) + "\n"
+
+
+def transient_table(scenario, n_rows: int = 20) -> str:
+    """Downsampled waveform table (quick-look CLI output)."""
+    table = Table(["t [s]", "y"], title=scenario.summary())
+    idx = np.unique(np.linspace(0, scenario.t.size - 1,
+                                min(n_rows, scenario.t.size)).astype(int))
+    for i in idx:
+        table.add_row(float(scenario.t[i]), float(scenario.y[i]))
+    return table.to_ascii()
+
+
+def mc_table(result, qs=None) -> str:
+    """Percentile table of a :class:`~repro.scenarios.MonteCarloResult`."""
+    from ..scenarios.montecarlo import DEFAULT_PERCENTILES
+
+    qs = tuple(qs) if qs is not None else DEFAULT_PERCENTILES
+    table = Table(["percentile", result.metric],
+                  title=f"{result.n_samples} samples "
+                        f"({result.n_quarantined} quarantined), "
+                        f"seed {result.seed}")
+    table.add_row("mean", result.mean())
+    table.add_row("std", result.std())
+    for q, v in result.percentiles(qs).items():
+        table.add_row(f"p{q:g}", v)
+    return table.to_ascii()
+
+
+def mc_csv(result) -> str:
+    """Per-sample CSV: one row per sample, parameters then metric value."""
+    names = list(result.samples)
+    lines = [",".join(names + [result.metric])]
+    vals = np.asarray(result.values).reshape(-1)
+    for i in range(vals.size):
+        row = [repr(float(result.samples[n][i])) for n in names]
+        v = vals[i]
+        row.append(repr(complex(v)) if np.iscomplexobj(vals)
+                   else repr(float(v)))
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def corner_table(result) -> str:
+    """One row per corner combination of a :class:`CornerResult`."""
+    table = Table([*result.names, result.metric],
+                  title=f"corner sweep [{result.metric}]")
+    flat = np.asarray(result.values).reshape(-1)
+    for labels, v in zip(result.labels, flat):
+        table.add_row(*labels, float(np.real(v)))
+    return table.to_ascii()

@@ -56,6 +56,7 @@ from .stats import RuntimeStats
 __all__ = [
     "batched_sweep",
     "grid_columns",
+    "sample_columns",
     "vector_poles_residues",
     "vector_metric",
     "VECTOR_METRICS",
@@ -143,6 +144,45 @@ def grid_columns(model, grids: Mapping[str, np.ndarray],
             pos, transform = slots[name]
             columns[pos] = _apply_transform(transform, grid.reshape(-1))
     return names, shape, columns
+
+
+def sample_columns(model, samples: Mapping[str, np.ndarray],
+                   ) -> tuple[list[str], tuple[int, ...], list]:
+    """Paired (joint) sample columns — the Monte Carlo flattening.
+
+    Unlike :func:`grid_columns`, the value arrays are *not* crossed:
+    sample ``i`` of every element belongs to one scenario, so ``n``
+    samples of ``k`` elements are ``n`` points, not ``n**k``.  Returns
+    the same ``(names, shape, columns)`` contract with ``shape == (n,)``,
+    which is why everything downstream of the flattening — sharding,
+    backends, quarantine, stats — serves Monte Carlo unchanged.
+
+    Raises:
+        ApproximationError: unknown element, no samples, or columns of
+            unequal length.
+    """
+    slots = _slot_table(model)
+    names = list(samples)
+    if not names:
+        raise ApproximationError("paired sweep needs at least one "
+                                 "sample column")
+    arrays = []
+    for name in names:
+        if name not in slots:
+            raise ApproximationError(
+                f"{name!r} is not a symbolic element of this model "
+                f"(symbols: {list(slots)})")
+        arrays.append(np.asarray(samples[name], dtype=float).reshape(-1))
+    n = arrays[0].size
+    if any(a.size != n for a in arrays):
+        raise ApproximationError(
+            "paired sample columns must share one length, got "
+            + str({name: a.size for name, a in zip(names, arrays)}))
+    columns: list = [float(s.nominal) for s in model.space.symbols]
+    for name, arr in zip(names, arrays):
+        pos, transform = slots[name]
+        columns[pos] = _apply_transform(transform, arr)
+    return names, (n,), columns
 
 
 # ----------------------------------------------------------------------
@@ -397,7 +437,8 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
                   stats: RuntimeStats | None = None,
                   strict: bool = False,
                   resilience: ResilienceConfig | None = None,
-                  backend: str | None = None) -> SweepResult:
+                  backend: str | None = None,
+                  paired: bool = False) -> SweepResult:
     """Evaluate ``metric`` over the cartesian product of element-value grids.
 
     Drop-in vectorized replacement for the per-point
@@ -439,6 +480,10 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
             to NaN.
         resilience: shard retry/timeout/backoff policy (default
             :data:`~repro.runtime.resilience.DEFAULT_RESILIENCE`).
+        paired: treat ``grids`` as equal-length *joint sample* columns
+            (Monte Carlo / corner scenarios) instead of cartesian axes;
+            the output is 1-D with one entry per sample
+            (see :func:`sample_columns`).
 
     Returns:
         A :class:`~repro.diagnostics.SweepResult` — a plain ndarray with
@@ -464,7 +509,10 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
             raise ApproximationError(
                 f"model compiled with {n_moments} moments; "
                 f"order {q} needs {2 * q}")
-        names, shape, columns = grid_columns(model, grids)
+        if paired:
+            names, shape, columns = sample_columns(model, grids)
+        else:
+            names, shape, columns = grid_columns(model, grids)
         n_points = int(math.prod(shape))
         stats.n_ops = model.compiled_moments.n_ops
         stats.compile_seconds = getattr(model, "compile_seconds", 0.0)
@@ -543,7 +591,8 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         stats.workers = workers
         stats.nan_points = int(np.isnan(out.real).sum())
         stats.quarantined_points = len(diagnostics.quarantined)
-        _finalize_diagnostics(diagnostics, grids, names, shape, out)
+        _finalize_diagnostics(diagnostics, grids, names, shape, out,
+                              paired=paired)
         out = _collapse_dtype(out.reshape(shape))
     stats.publish()
     diagnostics.publish()
@@ -553,13 +602,21 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
 def _finalize_diagnostics(diagnostics: SweepDiagnostics,
                           grids: Mapping[str, np.ndarray],
                           names: Sequence[str], shape: tuple[int, ...],
-                          flat_out: np.ndarray) -> None:
+                          flat_out: np.ndarray,
+                          paired: bool = False) -> None:
     """Fill grid coordinates and totals once all shards are spliced."""
     diagnostics.points = int(flat_out.size)
     diagnostics.nan_points = int(np.isnan(flat_out.real).sum())
-    axes = [np.asarray(grids[n], dtype=float) for n in names]
+    axes = [np.asarray(grids[n], dtype=float).reshape(-1) for n in names]
     for point in diagnostics.quarantined:
-        if shape:
+        if not shape:
+            continue
+        if paired:
+            # one flat sample index addresses every column
+            point.grid_index = (int(point.index),)
+            point.values = {n: float(a[point.index])
+                            for n, a in zip(names, axes)}
+        else:
             point.grid_index = tuple(
                 int(i) for i in np.unravel_index(point.index, shape))
             point.values = {n: float(a[i]) for n, a, i

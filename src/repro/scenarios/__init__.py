@@ -1,0 +1,22 @@
+"""Compiled scenario engine: transient, Monte Carlo, corners, temperature.
+
+Everything here rides on the same observation the batched sweep runtime
+exploits — once a circuit is compiled, re-evaluation is nearly free — so
+a transient is an analytic convolution over a time grid and a Monte
+Carlo run is just a paired 10k-point sweep.
+"""
+
+from .montecarlo import (CornerResult, Distribution, MonteCarloResult,
+                         TempcoModel, corner_sweep, corners, monte_carlo,
+                         normal, sample_parameters, temperature_sweep,
+                         uniform)
+from .transient import TransientScenario, compiled_transient, transient_response
+from .waveforms import Waveform, pulse, pwl, ramp, sampled, step
+
+__all__ = [
+    "Waveform", "step", "ramp", "pulse", "pwl", "sampled",
+    "TransientScenario", "transient_response", "compiled_transient",
+    "Distribution", "normal", "uniform", "corners", "sample_parameters",
+    "monte_carlo", "corner_sweep", "temperature_sweep",
+    "MonteCarloResult", "CornerResult", "TempcoModel",
+]

@@ -1,0 +1,199 @@
+"""Input waveforms for compiled transient analysis.
+
+Every supported excitation — step, saturated ramp, SPICE-style pulse,
+arbitrary piecewise-linear — canonicalizes to a :class:`Waveform`: a
+sorted breakpoint list with linear interpolation between points and
+hold-last semantics after the final one.  Duplicate time points encode
+ideal discontinuities (a zero-rise-time edge).
+
+The canonical form matters because the compiled transient engine
+(:mod:`repro.scenarios.transient`) never time-steps: it decomposes the
+waveform into *step* and *ramp-onset* events and convolves each event
+against the model's exponentials in closed form.  :meth:`Waveform.events`
+produces exactly that decomposition; :meth:`Waveform.__call__` evaluates
+the same waveform pointwise, which is what the trapezoidal reference in
+:mod:`repro.analysis.tran` consumes — both sides of every differential
+test see one object, so there is no input-mismatch failure mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["Waveform", "step", "ramp", "pulse", "pwl", "sampled"]
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """Piecewise-linear waveform ``u(t)`` for ``t >= 0``.
+
+    Attributes:
+        times: sorted breakpoint times (duplicates mark ideal jumps).
+        values: waveform value at each breakpoint; between breakpoints the
+            waveform interpolates linearly, after the last it holds, and
+            before the first it holds the first value.
+        label: human-readable description (CLI/report output).
+    """
+
+    times: tuple[float, ...]
+    values: tuple[float, ...]
+    label: str = "pwl"
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values) or not self.times:
+            raise ReproError("waveform needs matching, non-empty "
+                             "times/values")
+        ts = self.times
+        if any(t1 < t0 for t0, t1 in zip(ts, ts[1:])):
+            raise ReproError(f"waveform breakpoints must be sorted: {ts}")
+        if any(t < 0.0 for t in ts):
+            raise ReproError("waveform breakpoints must be at t >= 0")
+        if any(ts.count(t) > 2 for t in set(ts)):
+            raise ReproError("at most two breakpoints may share a time")
+
+    # ------------------------------------------------------------------
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate ``u(t)`` (scalar in, scalar out — the signature the
+        trapezoidal reference's ``input_scale`` hook expects)."""
+        scalar = np.isscalar(t)
+        tt = np.asarray(t, dtype=float)
+        # searchsorted(side="right") lands after a duplicated breakpoint,
+        # so an ideal jump takes its post-jump value at the jump instant
+        out = np.interp(tt, self.times, self.values)
+        jump_at = {t0 for t0, t1 in zip(self.times, self.times[1:])
+                   if t1 == t0}
+        if jump_at:
+            for tj in jump_at:
+                i = self.times.index(tj) + 1
+                out = np.where(tt == tj, self.values[i], out)
+        return float(out) if scalar else out
+
+    # ------------------------------------------------------------------
+    def events(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Decompose into step and ramp-onset events (zero-state form).
+
+        Returns ``(step_times, step_heights, ramp_times, ramp_slopes)``:
+        the waveform restricted to ``t >= 0`` equals
+
+            u(t) = Σ_k s_k · H(t - ts_k)  +  Σ_j a_j · (t - tr_j) · H(t - tr_j)
+
+        with ``H`` the unit step.  The value held before the first
+        breakpoint becomes a step at ``t = 0``; each slope change
+        contributes a ramp onset; each duplicated breakpoint contributes
+        a step of the jump height.
+        """
+        ts, vs = self.times, self.values
+        step_t: list[float] = []
+        step_h: list[float] = []
+        ramp_t: list[float] = []
+        ramp_a: list[float] = []
+        if vs[0] != 0.0:  # value held before the first breakpoint
+            step_t.append(0.0)
+            step_h.append(vs[0])
+        prev_slope = 0.0
+        for i in range(len(ts) - 1):
+            t0, t1 = ts[i], ts[i + 1]
+            v0, v1 = vs[i], vs[i + 1]
+            if t1 == t0:  # ideal jump
+                if v1 != v0:
+                    step_t.append(t0)
+                    step_h.append(v1 - v0)
+                continue
+            slope = (v1 - v0) / (t1 - t0)
+            if slope != prev_slope:
+                ramp_t.append(t0)
+                ramp_a.append(slope - prev_slope)
+            prev_slope = slope
+        if prev_slope != 0.0:  # hold-last: slope returns to zero
+            ramp_t.append(ts[-1])
+            ramp_a.append(-prev_slope)
+        return (np.asarray(step_t), np.asarray(step_h),
+                np.asarray(ramp_t), np.asarray(ramp_a))
+
+    # ------------------------------------------------------------------
+    def horizon_hint(self) -> float:
+        """Last breakpoint time (0 for a plain step) — the waveform's own
+        contribution to a sensible simulation horizon."""
+        return float(self.times[-1])
+
+    def describe(self) -> str:
+        return (f"{self.label}: {len(self.times)} breakpoint(s), "
+                f"final value {self.values[-1]:g}")
+
+
+# ----------------------------------------------------------------------
+# constructors
+# ----------------------------------------------------------------------
+def step(amplitude: float = 1.0, delay: float = 0.0) -> Waveform:
+    """Unit (or scaled) step at ``t = delay``."""
+    if delay > 0.0:
+        return Waveform((0.0, delay, delay), (0.0, 0.0, amplitude),
+                        label=f"step({amplitude:g} @ {delay:g}s)")
+    return Waveform((0.0,), (amplitude,), label=f"step({amplitude:g})")
+
+
+def ramp(rise_time: float, amplitude: float = 1.0) -> Waveform:
+    """Saturated ramp: 0 → ``amplitude`` over ``rise_time``, then hold."""
+    if rise_time <= 0.0:
+        return step(amplitude)
+    return Waveform((0.0, rise_time), (0.0, amplitude),
+                    label=f"ramp({rise_time:g}s)")
+
+
+def pulse(v1: float, v2: float, delay: float, rise: float, width: float,
+          fall: float) -> Waveform:
+    """SPICE-style ``PULSE(v1 v2 td tr pw tf)`` (single pulse, then hold
+    at ``v1``).  Zero rise/fall times become ideal jumps."""
+    ts: list[float] = [0.0]
+    vs: list[float] = [v1]
+    t = delay
+    for dt, v in ((rise, v2), (width, v2), (fall, v1)):
+        if dt <= 0.0:  # ideal jump: duplicated breakpoint, t unchanged
+            if v != vs[-1]:
+                ts.extend([t, t])
+                vs.extend([vs[-1], v])
+        else:
+            ts.append(t)
+            vs.append(vs[-1])
+            t += dt
+            ts.append(t)
+            vs.append(v)
+    # collapse consecutive identical points introduced by the builder
+    keep_t: list[float] = []
+    keep_v: list[float] = []
+    for tt, vv in zip(ts, vs):
+        if keep_t and keep_t[-1] == tt and keep_v[-1] == vv:
+            continue
+        keep_t.append(tt)
+        keep_v.append(vv)
+    return Waveform(tuple(keep_t), tuple(keep_v),
+                    label=f"pulse({v1:g}->{v2:g}, td={delay:g}, tr={rise:g}, "
+                          f"pw={width:g}, tf={fall:g})")
+
+
+def pwl(points: Sequence[tuple[float, float]]) -> Waveform:
+    """Arbitrary piecewise-linear waveform from ``(time, value)`` pairs."""
+    if not points:
+        raise ReproError("pwl needs at least one (time, value) point")
+    ts, vs = zip(*((float(t), float(v)) for t, v in points))
+    return Waveform(ts, vs, label="pwl")
+
+
+def sampled(fn: Callable[[float], float], t_stop: float,
+            n: int = 256) -> Waveform:
+    """Arbitrary waveform: sample ``fn`` onto ``n`` linear breakpoints.
+
+    The compiled engine is exact for the PWL interpolant; the sampling
+    density bounds how well that interpolant tracks ``fn`` (refine ``n``
+    for wigglier inputs).
+    """
+    if n < 2:
+        raise ReproError("sampled waveform needs n >= 2 breakpoints")
+    ts = np.linspace(0.0, float(t_stop), int(n))
+    return Waveform(tuple(ts), tuple(float(fn(float(t))) for t in ts),
+                    label=f"sampled({n} pts)")

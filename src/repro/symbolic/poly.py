@@ -215,14 +215,21 @@ class Poly:
             if packed is not None:
                 return Poly(self.space, packed, _clean=True)
         out: dict[tuple[int, ...], float] = {}
+        get = out.get
+        saw_zero = False
         for ea, ca in a.items():
             for eb, cb in b.items():
                 key = tuple(x + y for x, y in zip(ea, eb))
-                new = out.get(key, 0.0) + ca * cb
+                new = get(key, 0.0) + ca * cb
+                out[key] = new
                 if new == 0.0:
-                    out.pop(key, None)
-                else:
-                    out[key] = new
+                    saw_zero = True
+        # exact zeros are filtered once at the end (not popped mid-loop),
+        # so term order is first-encounter order — the same rule the
+        # packed kernel uses, keeping the two paths bit-identical even
+        # when a running sum transiently cancels to exactly 0.0
+        if saw_zero:
+            out = {k: v for k, v in out.items() if v != 0.0}
         return Poly(self.space, out, _clean=True)
 
     def __rmul__(self, other: Number) -> "Poly":

@@ -17,8 +17,12 @@ that cheap:
 Both paths are **bit-identical** to the reference dict implementation in
 :meth:`repro.symbolic.poly.Poly.__mul__`: the pairwise accumulation order
 (outer loop over the smaller operand, inner over the larger, per-key sums
-in encounter order) is preserved exactly, so compiled models built through
-these kernels match the pre-kernel pipeline coefficient for coefficient.
+in encounter order, exact zeros filtered once at the end so term order is
+first-encounter order) is preserved exactly, so compiled models built
+through these kernels match the reference pipeline coefficient for
+coefficient *and* term for term — the property tests in
+``tests/symbolic/test_polykernel_property.py`` enforce this on arbitrary
+polynomials, including running sums that transiently cancel to 0.0.
 
 Set ``REPRO_POLYKERNEL=0`` (or use :func:`disabled`) to force every
 consumer back onto the reference implementations — the differential tests
@@ -133,10 +137,11 @@ def mul_ix(a: dict[int, float], b: dict[int, float], table: MonomialTable,
     """Product of two indexed polynomials, optionally scaled.
 
     Mirrors ``Poly.__mul__`` exactly: the smaller operand drives the outer
-    loop, per-key sums accumulate in encounter order with transient exact
-    zeros dropped, and ``scale`` multiplies the *accumulated* sums (the way
-    the reference pipeline applies cofactor signs) — so results are
-    bit-identical to the reference path.
+    loop, per-key sums accumulate in encounter order, exact zeros are
+    filtered once at the end (first-encounter key order), and ``scale``
+    multiplies the *accumulated* sums (the way the reference pipeline
+    applies cofactor signs) — so results are bit-identical to the
+    reference path.
     """
     if not a or not b:
         return {}
@@ -145,15 +150,16 @@ def mul_ix(a: dict[int, float], b: dict[int, float], table: MonomialTable,
     mul = table.mul
     out: dict[int, float] = {}
     get = out.get
-    pop = out.pop
+    saw_zero = False
     for ia, ca in a.items():
         for ib, cb in b.items():
             k = mul(ia, ib)
             new = get(k, 0.0) + ca * cb
+            out[k] = new
             if new == 0.0:
-                pop(k, None)
-            else:
-                out[k] = new
+                saw_zero = True
+    if saw_zero:
+        out = {k: v for k, v in out.items() if v != 0.0}
     if scale != 1.0:
         for k in out:
             out[k] *= scale

@@ -1,0 +1,233 @@
+"""Differential verification: compiled scenarios vs independent oracles.
+
+The scenario engine's whole value proposition is "same answer, no
+time-stepping / no per-point solve" — so its tests are *differential*:
+run the compiled path and an independent reference implementation on the
+same inputs and demand agreement within a documented tolerance.
+
+Two comparisons live here:
+
+* :func:`compare_transient` — compiled analytic convolution
+  (:mod:`repro.scenarios.transient`) vs the trapezoidal time-stepper
+  (:mod:`repro.analysis.tran`) on the *same* :class:`Waveform` object.
+* :func:`compare_monte_carlo` — batched Monte Carlo values vs a
+  per-sample loop over ``model.rom(...)`` (the slow, obviously-correct
+  oracle), sample by sample.
+
+Tolerances come from a :class:`ToleranceLadder` keyed on the stability
+flags of :mod:`repro.awe.stability`:
+
+==========  =====================================  =================
+rung        condition                              meaning
+==========  =====================================  =================
+``exact``   caller asserts the Padé order covers   discretization /
+            the circuit's full dynamic order       roundoff only
+``nominal``  stable reduction, no orders dropped   model-order error
+``degraded``  stability fallback dropped orders    approximation is
+             (``rom.dropped_unstable > 0``)        intentionally loose
+==========  =====================================  =================
+
+The numeric rungs are calibrated in ``tests/scenarios/`` and documented
+in ``docs/scenarios.md``; chasing a tighter number than the rung allows
+is chasing the reference's own trapezoidal discretization error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.tran import transient_step_response
+from ..awe.model import ReducedOrderModel
+from ..errors import ReproError
+from ..scenarios.transient import _compiled, transient_response
+from ..scenarios.waveforms import Waveform
+
+__all__ = ["ToleranceLadder", "TransientComparison", "MonteCarloComparison",
+           "compare_transient", "compare_monte_carlo"]
+
+
+@dataclass(frozen=True)
+class ToleranceLadder:
+    """Relative-error bounds per model-quality rung.
+
+    Errors are normalized by the reference waveform's peak magnitude
+    (not pointwise — a pointwise relative error at a zero crossing is
+    meaningless), so one number bounds the whole trajectory.
+    """
+
+    exact: float = 5e-4       # reference discretization + roundoff
+    nominal: float = 0.10     # finite Padé order approximating higher-order
+                              # dynamics — an order-1 fit of a two-pole
+                              # circuit lands around 6% waveform error
+    degraded: float = 0.25    # stability fallback dropped orders
+
+    def rung(self, rom: ReducedOrderModel, exact: bool = False,
+             ) -> tuple[str, float]:
+        """Pick (name, rtol) for a reduced-order model.
+
+        Args:
+            rom: the model under test.
+            exact: caller asserts the reduction captures the circuit's
+                full dynamic order (e.g. a 2-cap RC at Padé order 2), so
+                only discretization error remains.
+        """
+        if rom.dropped_unstable > 0:
+            return "degraded", self.degraded
+        if exact:
+            return "exact", self.exact
+        return "nominal", self.nominal
+
+
+@dataclass(frozen=True)
+class TransientComparison:
+    """Result of one compiled-vs-trapezoidal transient comparison."""
+
+    t: np.ndarray
+    compiled: np.ndarray
+    reference: np.ndarray
+    max_rel_error: float
+    rung: str
+    rtol: float
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.max_rel_error <= self.rtol)
+
+    def describe(self) -> str:
+        verdict = "OK" if self.passed else "FAIL"
+        return (f"transient differential [{self.rung}]: max rel error "
+                f"{self.max_rel_error:.3e} vs rtol {self.rtol:g} "
+                f"({verdict}, {self.t.size} points)")
+
+    def assert_passed(self) -> None:
+        if not self.passed:
+            raise AssertionError(self.describe())
+
+
+@dataclass(frozen=True)
+class MonteCarloComparison:
+    """Result of one batched-vs-per-sample Monte Carlo comparison."""
+
+    batched: np.ndarray
+    oracle: np.ndarray
+    max_rel_error: float
+    n_compared: int
+    n_nan_agreed: int
+    nan_mismatch: int
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.nan_mismatch == 0 and
+                    (self.n_compared == 0 or self.max_rel_error <= 1e-9))
+
+    def describe(self) -> str:
+        verdict = "OK" if self.passed else "FAIL"
+        return (f"mc differential: {self.n_compared} samples compared, "
+                f"{self.n_nan_agreed} NaN agreed, "
+                f"{self.nan_mismatch} NaN mismatches, max rel error "
+                f"{self.max_rel_error:.3e} ({verdict})")
+
+    def assert_passed(self) -> None:
+        if not self.passed:
+            raise AssertionError(self.describe())
+
+
+def compare_transient(model, system, output, waveform: Waveform,
+                      t_stop: float | None = None, n_points: int = 401,
+                      ref_steps: int = 8000,
+                      element_values: dict | None = None,
+                      order: int | None = None,
+                      exact: bool = False,
+                      ladder: ToleranceLadder | None = None,
+                      ) -> TransientComparison:
+    """Compiled analytic transient vs trapezoidal time-stepping.
+
+    Both sides consume the *same* :class:`Waveform` object: the compiled
+    engine through its event decomposition, the reference through
+    ``input_scale`` (pointwise evaluation) — there is no input-mismatch
+    failure mode.  The reference's output is its DC operating value plus
+    the zero-state response, so the DC sample at ``t = 0`` is subtracted
+    before comparing (linearity makes the decomposition exact).
+
+    Args:
+        model: compiled model (or :class:`AWESymbolicResult`).
+        system: assembled :class:`~repro.mna.assemble.MNASystem` of the
+            *same* circuit at the *same* element values.
+        output: observed node/branch for the reference.
+        exact: assert the Padé order covers the circuit's dynamic order
+            (selects the tightest tolerance rung).
+
+    Returns:
+        :class:`TransientComparison`; call :meth:`assert_passed` in tests.
+    """
+    ladder = ladder if ladder is not None else ToleranceLadder()
+    rom = _compiled(model).rom(dict(element_values or {}), order=order)
+    if t_stop is None:
+        t_stop = rom.settle_time_hint() + waveform.horizon_hint()
+    t = np.linspace(0.0, float(t_stop), int(n_points))
+    y = transient_response(rom, waveform, t)
+
+    ref = transient_step_response(system, float(t_stop), int(ref_steps),
+                                  input_scale=waveform)
+    ref_out = ref.output(system, output)
+    ref_zero_state = ref_out - ref_out[0]
+    ref_on_grid = np.interp(t, ref.t, ref_zero_state)
+
+    scale = float(np.abs(ref_zero_state).max())
+    if scale == 0.0:
+        raise ReproError("reference response is identically zero — "
+                         "the comparison would be vacuous")
+    err = float(np.abs(y - ref_on_grid).max() / scale)
+    rung, rtol = ladder.rung(rom, exact=exact)
+    return TransientComparison(t=t, compiled=y, reference=ref_on_grid,
+                               max_rel_error=err, rung=rung, rtol=rtol)
+
+
+def compare_monte_carlo(model, mc_result, metric=None) -> MonteCarloComparison:
+    """Batched Monte Carlo values vs a per-sample ``rom()`` oracle.
+
+    Replays every sample of a :class:`MonteCarloResult` through the
+    slow path — one :meth:`rom` call and one metric evaluation per
+    sample, at the *same* Padé order the batch ran — and demands
+    bitwise-grade agreement (the batched runtime evaluates the same
+    compiled polynomials, so only float associativity separates the
+    two).  Quarantined (NaN) samples must be NaN in both.
+
+    The order must match because a near-singular Padé (e.g. asking a
+    2-cap circuit for order 3) amplifies last-bit float differences
+    into genuinely different spurious poles — at a well-posed order the
+    two paths agree to ~1e-9.
+    """
+    from ..core.metrics import resolve_metric
+
+    compiled = _compiled(model)
+    metric_fn = resolve_metric(metric if metric is not None
+                               else mc_result.metric)
+    order = getattr(mc_result, "order", None)
+    batched = np.asarray(mc_result.values, dtype=float)
+    names = list(mc_result.samples)
+    n = batched.size
+    oracle = np.empty(n)
+    for i in range(n):
+        values = {name: float(mc_result.samples[name][i]) for name in names}
+        try:
+            oracle[i] = metric_fn(compiled.rom(values, order=order))
+        except Exception:
+            oracle[i] = np.nan
+
+    nan_b = np.isnan(batched)
+    nan_o = np.isnan(oracle)
+    nan_mismatch = int(np.count_nonzero(nan_b != nan_o))
+    both = ~nan_b & ~nan_o
+    if both.any():
+        denom = np.maximum(np.abs(oracle[both]), 1e-300)
+        max_rel = float((np.abs(batched[both] - oracle[both]) / denom).max())
+    else:
+        max_rel = 0.0
+    return MonteCarloComparison(batched=batched, oracle=oracle,
+                                max_rel_error=max_rel,
+                                n_compared=int(both.sum()),
+                                n_nan_agreed=int((nan_b & nan_o).sum()),
+                                nan_mismatch=nan_mismatch)

@@ -1,0 +1,93 @@
+"""Differential tests: macromodeled AC solves vs the flat exact solve.
+
+:func:`ac_solve_with_macromodel` stamps a reduced N-port ``Y(jω)`` into
+a host circuit; the oracle solves the *flat* (host + full block) circuit
+directly at each frequency.  In-band agreement is the macromodel's
+correctness contract; exactness at DC is structural (moment 0 is the
+exact DC admittance).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.awe import port_macromodel
+from repro.awe.macromodel import ac_solve_with_macromodel
+from repro.circuits import Circuit
+from repro.mna import assemble
+
+
+def make_block(n=8, r=10.0, c=1e-12):
+    """An RC line block with ports p0/p1 (no sources, no grounds lost)."""
+    block = Circuit("block")
+    prev = "p0"
+    for i in range(1, n + 1):
+        nxt = "p1" if i == n else f"m{i}"
+        block.R(f"R{i}", prev, nxt, r)
+        block.C(f"C{i}", nxt, "0", c)
+        prev = nxt
+    return block
+
+
+def make_host():
+    """Driver + load the block plugs into between nodes p0 and p1."""
+    host = Circuit("host")
+    host.V("Vin", "in", "0", ac=1.0)
+    host.R("Rdrv", "in", "p0", 50.0)
+    host.R("Rload", "p1", "0", 1e3)
+    host.C("Cload", "p1", "0", 0.5e-12)
+    return host
+
+
+def flat_ac_solve(host, block, omegas, output):
+    """Oracle: merge block into host and solve the full system exactly."""
+    flat = host.copy()
+    for el in block:   # elements are frozen dataclasses, safe to share
+        flat.add(el)
+    sys = assemble(flat)
+    idx = sys.index_of(output)
+    out = np.empty(len(omegas), dtype=complex)
+    for k, w in enumerate(omegas):
+        matrix = (sys.G + 1j * w * sys.C).tocsc()
+        out[k] = spla.splu(matrix).solve(sys.b_ac.astype(complex))[idx]
+    return out
+
+
+class TestMacromodelAcDifferential:
+    @pytest.fixture(scope="class")
+    def parts(self):
+        block = make_block()
+        macro = port_macromodel(block, ("p0", "p1"), order=3)
+        return make_host(), block, macro
+
+    def test_dc_is_exact(self, parts):
+        host, block, macro = parts
+        got = ac_solve_with_macromodel(host, macro, [0.0], "p1")
+        want = flat_ac_solve(host, block, [0.0], "p1")
+        np.testing.assert_allclose(got, want, rtol=1e-9)
+
+    def test_in_band_sweep_matches_flat_solve(self, parts):
+        host, block, macro = parts
+        omegas = np.logspace(6, 9.5, 25)
+        got = ac_solve_with_macromodel(host, macro, omegas, "p1")
+        want = flat_ac_solve(host, block, omegas, "p1")
+        np.testing.assert_allclose(got, want, rtol=2e-2, atol=1e-12)
+
+    def test_magnitude_rolls_off(self, parts):
+        host, _, macro = parts
+        low, high = ac_solve_with_macromodel(host, macro, [1e5, 1e10], "p1")
+        assert abs(high) < abs(low)
+
+    def test_unknown_port_node_raises(self, parts):
+        _, block, macro = parts
+        bad_host = Circuit("bad")
+        bad_host.V("Vin", "in", "0", ac=1.0)
+        bad_host.R("R1", "in", "p0", 50.0)  # p1 missing from the host
+        with pytest.raises(KeyError):
+            ac_solve_with_macromodel(bad_host, macro, [1e6], "p0")
+
+    def test_output_can_be_any_host_node(self, parts):
+        host, block, macro = parts
+        got = ac_solve_with_macromodel(host, macro, [1e7], "p0")
+        want = flat_ac_solve(host, block, [1e7], "p0")
+        np.testing.assert_allclose(got, want, rtol=2e-2)

@@ -1,0 +1,63 @@
+"""Pinned known issues — tracked regressions with an expected-failure.
+
+These tests read the *committed* benchmark baselines, so they are
+deterministic: they pin the shape of a known problem rather than
+re-measuring it on whatever machine runs the suite.  When the
+underlying issue is fixed and a new baseline is committed, the xfail
+flips to XPASS (``strict=False`` keeps that green) and the test body
+should be promoted to a hard assertion.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_SWEEP = REPO_ROOT / "BENCH_sweep.json"
+
+
+@pytest.fixture(scope="module")
+def sweep_baseline():
+    if not BENCH_SWEEP.exists():
+        pytest.skip("no committed BENCH_sweep.json baseline")
+    return json.loads(BENCH_SWEEP.read_text())
+
+
+class TestProcessBackendThroughput:
+    """ROADMAP open item 5: process backend at 87k pts/s vs serial 270k.
+
+    Spawn/IPC overhead dominates the process pool on the 1024-point 741
+    sweep workload; the committed baseline shows ~0.32x serial
+    throughput where parity (modulo pool spawn) is the goal.
+    """
+
+    @pytest.mark.xfail(
+        reason="known regression: process-backend spawn/IPC overhead "
+               "(ROADMAP item 5, BENCH_sweep.json: process ~87k pts/s "
+               "vs serial ~270k)",
+        strict=False,
+    )
+    def test_process_backend_within_2x_of_serial(self, sweep_baseline):
+        backends = sweep_baseline["backends"]
+        serial = backends["serial"]["points_per_second"]
+        process = backends["process"]["points_per_second"]
+        assert process >= 0.5 * serial, (
+            f"process backend at {process:.0f} pts/s is "
+            f"{process / serial:.2f}x serial ({serial:.0f} pts/s)")
+
+    def test_baseline_records_all_three_backends(self, sweep_baseline):
+        """The regression stays *visible*: the committed baseline must
+        keep per-backend throughput so the xfail above has data."""
+        backends = sweep_baseline["backends"]
+        assert {"serial", "thread", "process"} <= set(backends)
+        for payload in backends.values():
+            assert payload["points_per_second"] > 0
+
+    def test_thread_backend_has_no_such_regression(self, sweep_baseline):
+        """Contrast pin: the thread backend shares memory, so it must
+        stay within the same ballpark as serial on this workload."""
+        backends = sweep_baseline["backends"]
+        serial = backends["serial"]["points_per_second"]
+        thread = backends["thread"]["points_per_second"]
+        assert thread >= 0.5 * serial

@@ -1,0 +1,69 @@
+"""Shared circuits for the scenario differential suite.
+
+Each fixture bundles the three things a differential comparison needs —
+the compiled model, the assembled MNA system of the *same* circuit, and
+the output spec — built once per package (the 741 bias solve is the
+expensive part; :func:`small_signal_741` caches it in-process).
+
+Models compile at order 3 so the tests can exercise every Padé order
+1..3 through ``rom(order=...)`` without recompiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import awesymbolic
+from repro.circuits.library import (fig1_circuit, small_signal_741,
+                                    small_signal_ota)
+from repro.mna import assemble
+
+COMPILE_ORDER = 3
+
+
+@dataclass(frozen=True)
+class Setup:
+    """One circuit prepared for differential testing."""
+
+    name: str
+    model: object          # AWESymbolicResult
+    system: object         # MNASystem (same circuit, same values)
+    output: str
+    symbols: tuple[str, ...]
+    exact_order: int | None  # Padé order capturing the full dynamics
+
+
+@pytest.fixture(scope="package")
+def fig1_setup():
+    """Paper Fig. 1 RC: two caps, so order 2 is the exact reduction."""
+    ckt = fig1_circuit()
+    model = awesymbolic(ckt, "out", symbols=["C1", "C2"],
+                        order=COMPILE_ORDER)
+    return Setup("fig1", model, assemble(ckt), "out", ("C1", "C2"), 2)
+
+
+@pytest.fixture(scope="package")
+def m741_setup():
+    """Transistor-level 741, linearized (paper §3.1 symbols)."""
+    ss = small_signal_741()
+    model = awesymbolic(ss.circuit, "out", symbols=["go_Q14", "Ccomp"],
+                        order=COMPILE_ORDER)
+    return Setup("741", model, assemble(ss.circuit), "out",
+                 ("go_Q14", "Ccomp"), None)
+
+
+@pytest.fixture(scope="package")
+def ota_setup():
+    """Two-stage CMOS OTA, linearized."""
+    ss = small_signal_ota()
+    model = awesymbolic(ss.circuit, "out", symbols=["Cc", "gds_M6"],
+                        order=COMPILE_ORDER)
+    return Setup("ota", model, assemble(ss.circuit), "out",
+                 ("Cc", "gds_M6"), None)
+
+
+@pytest.fixture(scope="package")
+def all_setups(fig1_setup, m741_setup, ota_setup):
+    return [fig1_setup, m741_setup, ota_setup]

@@ -1,0 +1,158 @@
+"""CLI coverage for the ``tran`` and ``mc`` verbs (netlist to report)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+LOWPASS = """* two-pole lowpass
+Vin in 0 AC 1
+R1 in out 1k
+C1 out 0 1n
+R2 out out2 1k
+C2 out2 0 1n
+.end
+"""
+
+
+@pytest.fixture
+def netlist(tmp_path):
+    path = tmp_path / "lowpass.sp"
+    path.write_text(LOWPASS)
+    return path
+
+
+class TestTran:
+    def test_step_summary(self, netlist, capsys):
+        rc = main(["tran", str(netlist), "-o", "out2",
+                   "--symbols", "C1,C2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "transient [step(1)]" in out
+        assert "t [s]" in out
+
+    def test_pulse_with_verify(self, netlist, capsys):
+        rc = main(["tran", str(netlist), "-o", "out2",
+                   "--symbols", "C1,C2",
+                   "--input", "pulse:0,1,1u,0.5u,5u,0.5u", "--verify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "transient differential" in out and "OK" in out
+
+    def test_csv_output(self, netlist, tmp_path, capsys):
+        csv = tmp_path / "tran.csv"
+        rc = main(["tran", str(netlist), "-o", "out2",
+                   "--symbols", "C1,C2", "--points", "33",
+                   "--csv", str(csv)])
+        assert rc == 0
+        lines = csv.read_text().strip().splitlines()
+        assert lines[0] == "t,y"
+        assert len(lines) == 34
+        t, y = zip(*(map(float, ln.split(",")) for ln in lines[1:]))
+        assert t[0] == 0.0 and y[0] == 0.0
+        assert y[-1] == pytest.approx(1.0, rel=0.05)  # unity DC gain
+
+    def test_pwl_and_t_stop(self, netlist, capsys):
+        rc = main(["tran", str(netlist), "-o", "out2",
+                   "--symbols", "C1,C2",
+                   "--input", "pwl:0=0,2u=1,4u=0.5", "--t-stop", "20u"])
+        assert rc == 0
+        assert "pwl" in capsys.readouterr().out
+
+    def test_at_override(self, netlist, capsys):
+        rc = main(["tran", str(netlist), "-o", "out2",
+                   "--symbols", "C1,C2", "--at", "C1=2n"])
+        assert rc == 0
+
+    def test_verify_rejects_at_overrides(self, netlist, capsys):
+        rc = main(["tran", str(netlist), "-o", "out2",
+                   "--symbols", "C1,C2", "--at", "C1=2n", "--verify"])
+        assert rc == 1
+        assert "nominal" in capsys.readouterr().err
+
+    def test_bad_waveform_spec(self, netlist, capsys):
+        rc = main(["tran", str(netlist), "-o", "out2",
+                   "--symbols", "C1,C2", "--input", "sine:1,2"])
+        assert rc == 1
+        assert "unknown input waveform" in capsys.readouterr().err
+
+    def test_bad_pulse_arity(self, netlist, capsys):
+        rc = main(["tran", str(netlist), "-o", "out2",
+                   "--symbols", "C1,C2", "--input", "pulse:0,1"])
+        assert rc == 1
+        assert "pulse needs" in capsys.readouterr().err
+
+
+class TestMc:
+    def test_report_with_yield_and_verify(self, netlist, capsys):
+        rc = main(["mc", str(netlist), "-o", "out2", "--symbols", "C1,C2",
+                   "--param", "C1=normal%:1n,0.05",
+                   "--param", "C2=uniform:0.8n,1.2n",
+                   "--samples", "400", "--metric", "bandwidth_3db",
+                   "--spec-lo", "100e3", "--verify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "400 samples" in out
+        assert "p50" in out
+        assert "yield within spec: 100.00%" in out
+        assert "mc differential" in out and "OK" in out
+
+    def test_json_report(self, netlist, tmp_path, capsys):
+        report = tmp_path / "mc.json"
+        rc = main(["mc", str(netlist), "-o", "out2", "--symbols", "C1,C2",
+                   "--param", "C1=normal:1n,0.05n",
+                   "--samples", "200", "--seed", "7",
+                   "--percentiles", "10,50,90", "--json", str(report)])
+        assert rc == 0
+        payload = json.loads(report.read_text())
+        assert payload["n_samples"] == 200
+        assert payload["seed"] == 7
+        assert set(payload["percentiles"]) == {"p10", "p50", "p90"}
+
+    def test_csv_per_sample(self, netlist, tmp_path, capsys):
+        csv = tmp_path / "mc.csv"
+        rc = main(["mc", str(netlist), "-o", "out2", "--symbols", "C1,C2",
+                   "--param", "C1=uniform:0.5n,2n",
+                   "--samples", "50", "--csv", str(csv)])
+        assert rc == 0
+        lines = csv.read_text().strip().splitlines()
+        assert lines[0] == "C1,dominant_pole_hz"
+        assert len(lines) == 51
+
+    def test_seed_reproducibility(self, netlist, tmp_path):
+        out = []
+        for _ in range(2):
+            csv = tmp_path / "mc_rep.csv"
+            assert main(["mc", str(netlist), "-o", "out2",
+                         "--symbols", "C1,C2",
+                         "--param", "C1=uniform:0.5n,2n",
+                         "--samples", "20", "--seed", "13",
+                         "--csv", str(csv)]) == 0
+            out.append(csv.read_text())
+        assert out[0] == out[1]
+
+    def test_backend_thread(self, netlist, capsys):
+        rc = main(["mc", str(netlist), "-o", "out2", "--symbols", "C1,C2",
+                   "--param", "C1=uniform:0.5n,2n",
+                   "--samples", "64", "--backend", "thread", "--stats"])
+        assert rc == 0
+
+    def test_requires_param(self, netlist, capsys):
+        rc = main(["mc", str(netlist), "-o", "out2", "--symbols", "C1,C2"])
+        assert rc == 1
+        assert "--param" in capsys.readouterr().err
+
+    def test_bad_distribution(self, netlist, capsys):
+        rc = main(["mc", str(netlist), "-o", "out2", "--symbols", "C1,C2",
+                   "--param", "C1=lognormal:1,2"])
+        assert rc == 1
+        assert "unknown distribution" in capsys.readouterr().err
+
+    def test_unknown_metric(self, netlist, capsys):
+        rc = main(["mc", str(netlist), "-o", "out2", "--symbols", "C1,C2",
+                   "--param", "C1=uniform:0.5n,2n",
+                   "--metric", "does_not_exist"])
+        assert rc == 1
+        assert "unknown metric" in capsys.readouterr().err

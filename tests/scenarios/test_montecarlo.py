@@ -1,0 +1,218 @@
+"""Monte Carlo / corner / temperature scenarios, verified per sample.
+
+The batched Monte Carlo path must agree with the per-sample ``rom()``
+oracle on *every* sample — they evaluate the same compiled polynomials,
+so the comparison is bitwise-grade — across all sweep backends, with
+degenerate samples quarantined on both sides.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import dc_gain, dominant_pole_hz, unity_gain_frequency
+from repro.errors import ReproError
+from repro.scenarios import (TempcoModel, corner_sweep, monte_carlo, normal,
+                             sample_parameters, temperature_sweep, uniform)
+from repro.testing.differential import compare_monte_carlo
+
+FIG1_DISTS = {"C1": normal(1.0, rel_sigma=0.1), "C2": uniform(0.3, 0.8)}
+
+
+class TestSampling:
+    def test_deterministic_for_a_seed(self):
+        a = sample_parameters(FIG1_DISTS, 100, seed=7)
+        b = sample_parameters(FIG1_DISTS, 100, seed=7)
+        for name in FIG1_DISTS:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_seeds_differ(self):
+        a = sample_parameters(FIG1_DISTS, 100, seed=7)
+        b = sample_parameters(FIG1_DISTS, 100, seed=8)
+        assert not np.array_equal(a["C1"], b["C1"])
+
+    def test_normal_moments(self):
+        s = sample_parameters({"x": normal(5.0, sigma=0.5)}, 20000,
+                              seed=0)["x"]
+        assert s.mean() == pytest.approx(5.0, abs=0.02)
+        assert s.std() == pytest.approx(0.5, abs=0.02)
+
+    def test_uniform_bounds(self):
+        s = sample_parameters({"x": uniform(2.0, 3.0)}, 5000, seed=0)["x"]
+        assert s.min() >= 2.0 and s.max() <= 3.0
+
+    def test_normal_needs_exactly_one_spread(self):
+        with pytest.raises(ReproError):
+            normal(1.0)
+        with pytest.raises(ReproError):
+            normal(1.0, sigma=0.1, rel_sigma=0.1)
+
+    def test_uniform_needs_ordered_bounds(self):
+        with pytest.raises(ReproError):
+            uniform(2.0, 1.0)
+
+    def test_positive_sample_count_required(self):
+        with pytest.raises(ReproError):
+            sample_parameters(FIG1_DISTS, 0)
+
+
+class TestDifferentialAcrossBackends:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_fig1_matches_oracle(self, fig1_setup, backend):
+        mc = monte_carlo(fig1_setup.model, FIG1_DISTS, dominant_pole_hz,
+                         n=1500, seed=3, backend=backend, order=2)
+        cmp = compare_monte_carlo(fig1_setup.model, mc)
+        cmp.assert_passed()
+        assert cmp.n_compared == 1500
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_ota_matches_oracle(self, ota_setup, backend):
+        dists = {"Cc": normal(5e-12, rel_sigma=0.1),
+                 "gds_M6": uniform(1e-6, 5e-6)}
+        mc = monte_carlo(ota_setup.model, dists, unity_gain_frequency,
+                         n=800, seed=11, backend=backend, order=2)
+        compare_monte_carlo(ota_setup.model, mc).assert_passed()
+
+    def test_same_seed_same_values(self, fig1_setup):
+        a = monte_carlo(fig1_setup.model, FIG1_DISTS, dc_gain,
+                        n=400, seed=5)
+        b = monte_carlo(fig1_setup.model, FIG1_DISTS, dc_gain,
+                        n=400, seed=5, backend="thread")
+        np.testing.assert_array_equal(np.asarray(a.values),
+                                      np.asarray(b.values))
+
+
+class Test741AtScale:
+    def test_10k_samples_with_quarantine_and_report(self, m741_setup):
+        """The acceptance scenario: 10k-sample Monte Carlo on the 741
+        through the batched runtime, with degenerate samples (negative
+        compensation caps) quarantined, and a percentile report."""
+        dists = {"Ccomp": normal(30e-12, sigma=15e-12),  # crosses zero
+                 "go_Q14": uniform(1e-5, 1e-4)}
+        mc = monte_carlo(m741_setup.model, dists, dominant_pole_hz,
+                         n=10_000, seed=42, shards=8, order=2)
+        assert mc.n_samples == 10_000
+        # the spread is wide enough that some samples must degenerate...
+        assert mc.n_quarantined > 0
+        # ...and every quarantined sample is NaN with a structured record
+        vals = np.asarray(mc.values)
+        assert int(np.isnan(vals).sum()) == mc.n_quarantined
+        rec = mc.diagnostics.quarantined[0]
+        assert set(rec.values) == {"Ccomp", "go_Q14"}
+        assert rec.grid_index == (rec.index,)  # paired: flat coordinates
+        # the percentile report covers the surviving population
+        pct = mc.percentiles()
+        assert all(np.isfinite(v) for v in pct.values())
+        qs = sorted(pct)
+        assert all(pct[a] <= pct[b] for a, b in zip(qs, qs[1:]))
+        # spot-check the quarantine bookkeeping against the oracle
+        sub = compare_monte_carlo(m741_setup.model, mc)
+        sub.assert_passed()
+        assert sub.n_nan_agreed == mc.n_quarantined
+
+    def test_strict_mode_raises_on_degenerate_sample(self, m741_setup):
+        dists = {"Ccomp": uniform(-40e-12, -10e-12)}  # all degenerate
+        with pytest.raises(Exception):
+            monte_carlo(m741_setup.model, dists, dominant_pole_hz,
+                        n=32, seed=0, strict=True)
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def mc(self, fig1_setup):
+        return monte_carlo(fig1_setup.model, FIG1_DISTS, dominant_pole_hz,
+                           n=2000, seed=9)
+
+    def test_yield_fraction_brackets(self, mc):
+        assert mc.yield_fraction(lo=-np.inf, hi=np.inf) == 1.0
+        assert mc.yield_fraction(lo=np.inf) == 0.0
+        p25, p75 = mc.percentiles([25.0, 75.0]).values()
+        assert mc.yield_fraction(lo=p25, hi=p75) == pytest.approx(0.5,
+                                                                  abs=0.02)
+
+    def test_yield_needs_a_spec(self, mc):
+        with pytest.raises(ReproError):
+            mc.yield_fraction()
+
+    def test_summary_mentions_distributions(self, mc):
+        s = mc.summary()
+        assert "C1" in s and "normal" in s and "uniform" in s
+        assert "2000 samples" in s
+
+    def test_to_dict_schema(self, mc):
+        import json
+
+        d = mc.to_dict()
+        json.dumps(d)  # JSON-clean
+        assert d["n_samples"] == 2000
+        assert d["metric"] == "dominant_pole_hz"
+        assert d["seed"] == 9
+        assert set(d["distributions"]) == {"C1", "C2"}
+        assert "p50" in d["percentiles"]
+
+    def test_mc_csv_roundtrip(self, mc):
+        from repro.reporting import mc_csv
+
+        lines = mc_csv(mc).strip().splitlines()
+        assert lines[0] == "C1,C2,dominant_pole_hz"
+        assert len(lines) == 2001
+        first = [float(x) for x in lines[1].split(",")]
+        assert first[0] == mc.samples["C1"][0]
+
+
+class TestCorners:
+    def test_corner_values_match_direct_rom(self, fig1_setup):
+        table = {"C1": {"slow": 1.3, "nom": 1.0, "fast": 0.7},
+                 "C2": {"slow": 0.65, "nom": 0.5, "fast": 0.35}}
+        cr = corner_sweep(fig1_setup.model, table, dominant_pole_hz,
+                          order=2)
+        assert len(cr.labels) == 9
+        for c1_label, c1 in table["C1"].items():
+            for c2_label, c2 in table["C2"].items():
+                expect = dominant_pole_hz(
+                    fig1_setup.model.rom({"C1": c1, "C2": c2}, order=2))
+                assert cr.value(c1_label, c2_label) == \
+                    pytest.approx(expect, rel=1e-12)
+
+    def test_worst_corner(self, fig1_setup):
+        cr = corner_sweep(fig1_setup.model,
+                          {"C1": {"slow": 1.3, "fast": 0.7}},
+                          dominant_pole_hz, order=2)
+        labels, value = cr.worst()
+        # dominant pole is fastest (largest magnitude) at the small cap
+        assert labels == ("fast",)
+        assert value == pytest.approx(cr.value("fast"))
+
+    def test_unknown_corner_rejected(self, fig1_setup):
+        cr = corner_sweep(fig1_setup.model,
+                          {"C1": {"slow": 1.3, "fast": 0.7}}, dc_gain,
+                          order=2)
+        with pytest.raises(ReproError):
+            cr.value("typical")
+
+    def test_summary_lists_every_corner(self, fig1_setup):
+        cr = corner_sweep(fig1_setup.model,
+                          {"C1": {"slow": 1.3, "fast": 0.7}}, dc_gain,
+                          order=2)
+        s = cr.summary()
+        assert "slow" in s and "fast" in s
+
+
+class TestTemperature:
+    def test_tempco_values(self):
+        tc = TempcoModel(100.0, tc1=1e-3, tnom=27.0)
+        np.testing.assert_allclose(tc.values(np.array([27.0, 127.0])),
+                                   [100.0, 110.0])
+
+    def test_sweep_matches_per_point(self, fig1_setup):
+        temps = np.linspace(-40.0, 125.0, 23)
+        tempcos = {"C1": TempcoModel(1.0, tc1=2e-3),
+                   "C2": TempcoModel(0.5, tc1=-1e-3, tc2=1e-6)}
+        z = temperature_sweep(fig1_setup.model, tempcos, dominant_pole_hz,
+                              temps, order=2)
+        assert np.asarray(z).shape == temps.shape
+        for i, temp in enumerate(temps):
+            values = {n: float(tc.values(np.array([temp]))[0])
+                      for n, tc in tempcos.items()}
+            expect = dominant_pole_hz(fig1_setup.model.rom(values,
+                                                             order=2))
+            assert z[i] == pytest.approx(expect, rel=1e-12)

@@ -1,0 +1,131 @@
+"""Unit tests for the waveform canonical form and event decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.scenarios import Waveform, pulse, pwl, ramp, sampled, step
+
+
+def reconstruct(waveform, t):
+    """Rebuild u(t) from the step/ramp event decomposition directly —
+    the identity the analytic convolution relies on."""
+    step_t, step_h, ramp_t, ramp_a = waveform.events()
+    t = np.asarray(t, dtype=float)
+    u = np.zeros_like(t)
+    for tk, h in zip(step_t, step_h):
+        u += h * (t >= tk)
+    for tk, a in zip(ramp_t, ramp_a):
+        tau = t - tk
+        u += a * tau * (tau >= 0)
+    return u
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            Waveform((), ())
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReproError):
+            Waveform((0.0, 1.0), (0.0,))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ReproError):
+            Waveform((1.0, 0.0), (0.0, 1.0))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ReproError):
+            Waveform((-1.0, 0.0), (0.0, 1.0))
+
+    def test_triplicated_time_rejected(self):
+        with pytest.raises(ReproError):
+            Waveform((0.0, 1.0, 1.0, 1.0), (0.0, 0.0, 1.0, 2.0))
+
+    def test_pwl_needs_points(self):
+        with pytest.raises(ReproError):
+            pwl([])
+
+    def test_sampled_needs_two_points(self):
+        with pytest.raises(ReproError):
+            sampled(lambda t: t, 1.0, n=1)
+
+
+class TestEvaluation:
+    def test_step_is_flat(self):
+        u = step(2.5)
+        assert u(0.0) == 2.5
+        assert u(100.0) == 2.5
+
+    def test_delayed_step_holds_then_jumps(self):
+        u = step(1.0, delay=2.0)
+        t = np.array([0.0, 1.9, 2.0, 2.1])
+        np.testing.assert_allclose(u(t), [0.0, 0.0, 1.0, 1.0])
+
+    def test_ramp_interpolates_then_holds(self):
+        u = ramp(4.0, amplitude=2.0)
+        np.testing.assert_allclose(u(np.array([0.0, 1.0, 4.0, 10.0])),
+                                   [0.0, 0.5, 2.0, 2.0])
+
+    def test_zero_rise_ramp_is_step(self):
+        assert ramp(0.0, amplitude=3.0).events()[1][0] == 3.0
+
+    def test_pulse_shape(self):
+        u = pulse(0.0, 1.0, delay=1.0, rise=1.0, width=2.0, fall=1.0)
+        t = np.array([0.0, 1.0, 1.5, 2.0, 3.5, 4.0, 4.5, 5.0, 9.0])
+        np.testing.assert_allclose(u(t),
+                                   [0, 0, 0.5, 1, 1, 1, 0.5, 0, 0])
+
+    def test_ideal_pulse_takes_post_jump_value(self):
+        u = pulse(0.0, 1.0, delay=1.0, rise=0.0, width=2.0, fall=0.0)
+        assert u(1.0) == 1.0   # at the jump instant: post-jump value
+        assert u(3.0) == 0.0
+        assert u(0.999) == 0.0
+
+    def test_nonzero_baseline_pulse(self):
+        u = pulse(0.2, 1.0, delay=0.0, rise=1.0, width=1.0, fall=1.0)
+        assert u(0.0) == 0.2
+        assert u(10.0) == 0.2
+
+
+class TestEvents:
+    @pytest.mark.parametrize("wf", [
+        step(),
+        step(2.0, delay=1.5),
+        ramp(3.0, amplitude=-1.0),
+        pulse(0.0, 1.0, 0.5, 1.0, 2.0, 1.0),
+        pulse(0.0, 1.0, 0.5, 0.0, 2.0, 0.0),
+        pulse(-0.5, 0.5, 0.0, 0.25, 1.0, 2.0),
+        pwl([(0, 0), (1, 0.7), (2.5, 0.2), (4, 1.0)]),
+        pwl([(0.0, 0.3)]),
+        sampled(lambda t: np.sin(t), 6.0, n=32),
+    ], ids=lambda w: w.label)
+    def test_decomposition_reconstructs_waveform(self, wf):
+        """The step+ramp event sum must equal the waveform pointwise
+        (off the jump instants, where the step convention differs)."""
+        t = np.linspace(0.0, wf.horizon_hint() + 2.0, 763)
+        jumps = {t0 for t0, t1 in zip(wf.times, wf.times[1:]) if t0 == t1}
+        keep = ~np.isin(t, list(jumps))
+        np.testing.assert_allclose(reconstruct(wf, t)[keep],
+                                   wf(t)[keep], atol=1e-12)
+
+    def test_step_events_are_single_step(self):
+        st, sh, rt, ra = step(3.0).events()
+        assert list(st) == [0.0] and list(sh) == [3.0]
+        assert len(rt) == 0
+
+    def test_delayed_step_has_no_zero_height_event(self):
+        st, sh, rt, ra = step(1.0, delay=2.0).events()
+        assert list(st) == [2.0] and list(sh) == [1.0]
+
+    def test_ramp_events_cancel_slope(self):
+        st, sh, rt, ra = ramp(2.0, amplitude=4.0).events()
+        assert len(st) == 0
+        np.testing.assert_allclose(rt, [0.0, 2.0])
+        np.testing.assert_allclose(ra, [2.0, -2.0])
+        assert ra.sum() == pytest.approx(0.0)  # slope returns to zero
+
+    def test_horizon_hint_is_last_breakpoint(self):
+        assert step().horizon_hint() == 0.0
+        assert pulse(0, 1, 1.0, 1.0, 2.0, 1.0).horizon_hint() == \
+            pytest.approx(5.0)

@@ -1,0 +1,154 @@
+"""Property tests: the polynomial kernels vs the reference path.
+
+Hypothesis generates arbitrary sparse polynomials (exponent tuples of
+varying width and degree, coefficients across the float range) and the
+properties demand the fast kernels stay *bit-identical* to the
+pure-Python reference implementations behind :func:`polykernel.disabled`
+— including term dict insertion order, which downstream CSE relies on
+for deterministic compiled programs.
+
+The suite-wide ``repro`` hypothesis profile (tests/conftest.py) runs
+derandomized, so these are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Poly, SymbolSpace, polykernel
+from repro.symbolic.polykernel import (MonomialTable, add_ix_into, deindexed,
+                                       indexed, mul_ix, mul_packed_terms)
+
+# coefficients span magnitudes; exact zeros excluded (Poly drops them on
+# construction, which would make the generated dict and the Poly diverge)
+coeffs = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e12, max_value=1e12).filter(lambda x: x != 0.0)
+
+
+def polys(width, max_terms=40, max_exp=6):
+    """Strategy for a term dict over ``width`` symbols."""
+    exps = st.tuples(*([st.integers(0, max_exp)] * width))
+    return st.dictionaries(exps, coeffs, min_size=0, max_size=max_terms)
+
+
+def space(width):
+    return SymbolSpace([f"x{i}" for i in range(width)])
+
+
+class TestOperatorsMatchReference:
+    """Poly's operators with kernels on vs off, bit for bit."""
+
+    @given(width=st.integers(1, 5), data=st.data())
+    def test_mul(self, width, data):
+        sp = space(width)
+        a = Poly(sp, data.draw(polys(width)))
+        b = Poly(sp, data.draw(polys(width)))
+        fast = a * b
+        with polykernel.disabled():
+            ref = a * b
+        assert list(fast.terms.items()) == list(ref.terms.items())
+
+    @given(width=st.integers(1, 5), data=st.data())
+    def test_add(self, width, data):
+        sp = space(width)
+        a = Poly(sp, data.draw(polys(width)))
+        b = Poly(sp, data.draw(polys(width)))
+        fast = a + b
+        with polykernel.disabled():
+            ref = a + b
+        assert list(fast.terms.items()) == list(ref.terms.items())
+
+    @given(width=st.integers(1, 4), k=st.integers(0, 4), data=st.data())
+    def test_pow(self, width, k, data):
+        sp = space(width)
+        a = Poly(sp, data.draw(polys(width, max_terms=12, max_exp=3)))
+        fast = a ** k
+        with polykernel.disabled():
+            ref = a ** k
+        assert list(fast.terms.items()) == list(ref.terms.items())
+
+    @settings(max_examples=25)
+    @given(width=st.integers(1, 3), data=st.data())
+    def test_large_mul_crosses_packed_threshold(self, width, data):
+        """Force the packed-int64 path (work >= PACKED_MIN_WORK) and
+        still demand bit-identity with the dict loop."""
+        sp = space(width)
+        a = Poly(sp, data.draw(polys(width, max_terms=80, max_exp=8)))
+        b = Poly(sp, data.draw(polys(width, max_terms=80, max_exp=8)))
+        fast = a * b
+        with polykernel.disabled():
+            ref = a * b
+        assert list(fast.terms.items()) == list(ref.terms.items())
+
+
+class TestPackedProduct:
+    """mul_packed_terms directly vs the indexed dict loop."""
+
+    @given(width=st.integers(1, 6), data=st.data())
+    def test_matches_dict_loop(self, width, data):
+        a = data.draw(polys(width, max_terms=30))
+        b = data.draw(polys(width, max_terms=30))
+        if not a or not b:
+            return  # packed path is only reached with nonempty operands
+        small, large = (a, b) if len(a) <= len(b) else (b, a)
+        packed = mul_packed_terms(small, large, width)
+        t = MonomialTable(width)
+        loop = deindexed(mul_ix(indexed(small, t), indexed(large, t), t), t)
+        if packed is None:
+            # refusal must only happen when the key genuinely overflows
+            maxs = [max(e[i] for e in a) + max(e[i] for e in b)
+                    for i in range(width)]
+            import math
+            bits = sum(max(math.ceil(math.log2(m + 2)), 1) for m in maxs)
+            assert bits > 62
+        else:
+            assert list(packed.items()) == list(loop.items())
+
+    @given(width=st.integers(1, 4), scale=coeffs, data=st.data())
+    def test_mul_ix_scale_distributes(self, width, scale, data):
+        """``mul_ix(..., scale)`` must equal scaling the accumulated
+        sums afterwards — the cofactor-sign application order."""
+        a = data.draw(polys(width, max_terms=15))
+        b = data.draw(polys(width, max_terms=15))
+        t = MonomialTable(width)
+        ia, ib = indexed(a, t), indexed(b, t)
+        scaled = mul_ix(ia, ib, t, scale=scale)
+        plain = mul_ix(ia, ib, t)
+        assert list(scaled) == list(plain)
+        for k in plain:
+            assert scaled[k] == plain[k] * scale
+
+    @given(width=st.integers(1, 4), data=st.data())
+    def test_unpackable_degrees_refused(self, width, data):
+        """Exponents near the 62-bit budget must trip the None fallback
+        rather than silently alias monomials."""
+        big = data.draw(st.integers(2 ** 16, 2 ** 20))
+        a = {tuple([big] * width): 1.0}
+        b = {tuple([big] * width): 1.0}
+        out = mul_packed_terms(a, b, width)
+        if width * 18 > 62:  # ~2^17..2^21 sums need 18-22 bits each
+            assert out is None
+        elif out is not None:
+            assert list(out) == [tuple([2 * big] * width)]
+
+
+class TestIndexedRoundtrip:
+    @given(width=st.integers(1, 5), data=st.data())
+    def test_roundtrip_preserves_terms_and_order(self, width, data):
+        terms = data.draw(polys(width))
+        t = MonomialTable(width)
+        assert list(deindexed(indexed(terms, t), t).items()) == \
+            list(terms.items())
+
+    @given(width=st.integers(1, 4), data=st.data())
+    def test_add_ix_into_matches_reference_add(self, width, data):
+        sp = space(width)
+        a = data.draw(polys(width))
+        b = data.draw(polys(width))
+        with polykernel.disabled():
+            expected = (Poly(sp, a) + Poly(sp, b)).terms
+        t = MonomialTable(width)
+        acc = indexed(a, t)
+        add_ix_into(acc, indexed(b, t))
+        assert list(deindexed(acc, t).items()) == list(expected.items())
