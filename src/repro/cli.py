@@ -24,6 +24,16 @@ Commands:
   every sample through the per-point oracle).
 * ``figures`` — regenerate the paper's figure/table data as CSV
   (delegates to :mod:`repro.reporting.figures`).
+* ``serve`` — run the resilient asyncio serving layer: warm compiled
+  models behind ``/v1/eval`` with request coalescing, deadlines,
+  admission control, circuit breakers, and graceful degradation
+  (see ``docs/serving.md``).
+
+``sweep``, ``mc``, and ``tran`` handle SIGINT/SIGTERM gracefully: the
+first signal cancels the run cooperatively (in-flight shards finish
+their current chunk, partial results and diagnostics are kept and
+reported) and the command exits with a distinct code — 130 for SIGINT,
+143 for SIGTERM; a second signal kills immediately.
 
 Every command accepts ``--trace FILE`` (write a Chrome/Perfetto trace of
 the whole run) and ``--metrics-dir DIR`` (write ``metrics.prom`` +
@@ -34,7 +44,10 @@ the whole run) and ``--metrics-dir DIR`` (write ``metrics.prom`` +
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
+import signal as _signal
 import sys
 from pathlib import Path
 
@@ -42,6 +55,58 @@ import numpy as np
 
 from . import __version__
 from .errors import ReproError
+
+#: distinct exit codes for signal-drained runs (128 + signal number,
+#: the shell convention)
+EXIT_SIGINT = 130
+EXIT_SIGTERM = 143
+
+
+@contextlib.contextmanager
+def _graceful_cancel():
+    """SIGINT/SIGTERM → cooperative sweep drain instead of a stack trace.
+
+    The first signal cancels the yielded
+    :class:`~repro.runtime.cancel.CancelToken`: in-flight shards finish
+    their current chunk, results computed so far are kept, diagnostics
+    flush, and the command exits with a distinct code (130 for SIGINT,
+    143 for SIGTERM).  A *second* signal restores the default handler
+    and re-raises it — the escape hatch when draining itself hangs.
+    """
+    from .runtime.cancel import CancelToken
+
+    token = CancelToken()
+    seen: set[int] = set()
+
+    def handler(signum, frame):
+        if signum in seen:
+            _signal.signal(signum, _signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        seen.add(signum)
+        name = _signal.Signals(signum).name
+        token.cancel(name)
+        print(f"\n{name}: draining (signal again to kill immediately)",
+              file=sys.stderr)
+
+    previous = {}
+    for sig in (_signal.SIGINT, _signal.SIGTERM):
+        try:
+            previous[sig] = _signal.signal(sig, handler)
+        except ValueError:  # not the main thread (embedded use)
+            pass
+    try:
+        yield token
+    finally:
+        for sig, old in previous.items():
+            _signal.signal(sig, old)
+
+
+def _drain_exit_code(token) -> int | None:
+    """Exit code for a signal-drained run, or None when no signal fired."""
+    if not token.cancelled:
+        return None
+    return EXIT_SIGTERM if token.reason == "SIGTERM" else EXIT_SIGINT
 
 
 def _obs_parent() -> argparse.ArgumentParser:
@@ -110,6 +175,10 @@ def _add_model_build_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                    help="cache derived symbolic programs here; "
                         "repeat runs skip the symbolic solve")
+    p.add_argument("--max-cache-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="LRU-evict the --cache-dir program layer beyond "
+                        "this byte budget (default: unbounded)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -282,6 +351,47 @@ def build_parser() -> argparse.ArgumentParser:
                              help="regenerate the paper's figure data (CSV)")
     figures.add_argument("outdir", nargs="?", default="paper_figures",
                          help="output directory (default: paper_figures)")
+
+    serve = sub.add_parser("serve", parents=[obs_parent],
+                           help="serve compiled models over HTTP "
+                                "(asyncio; /v1/eval, /healthz, /readyz, "
+                                "/metrics — see docs/serving.md)")
+    serve.add_argument("netlist", type=Path, nargs="?", default=None,
+                       help="netlist file to serve (optional when "
+                            "--library is given)")
+    serve.add_argument("--output", "-o", default=None,
+                       help="observed node name (required with a netlist)")
+    serve.add_argument("--order", type=int, default=2,
+                       help="Padé order (default 2)")
+    serve.add_argument("--symbols", "-s", default=None,
+                       help="comma-separated symbolic element names")
+    serve.add_argument("--devices", action="store_true",
+                       help="netlist contains D/Q/M cards: linearize first")
+    serve.add_argument("--name", default=None,
+                       help="model name to register (default: netlist stem)")
+    serve.add_argument("--library", action="append", default=[],
+                       choices=["fig1", "741"], metavar="NAME",
+                       help="also serve a built-in library circuit "
+                            "(fig1 | 741; repeatable)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8471,
+                       help="listen port (0 = ephemeral; default 8471)")
+    serve.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                       help="persist compiled programs here")
+    serve.add_argument("--max-cache-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="LRU-evict the cache dir beyond this budget")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="coalescer batch cap (default 64)")
+    serve.add_argument("--max-delay-ms", type=float, default=5.0,
+                       help="coalescer hold time in ms (default 5)")
+    serve.add_argument("--deadline-s", type=float, default=2.0,
+                       help="default per-request deadline (default 2s)")
+    serve.add_argument("--no-degrade", action="store_true",
+                       help="disable the order-1 degraded fallback "
+                            "(breaker-open requests get a typed 503)")
+    serve.add_argument("--warm", action="store_true",
+                       help="compile every registered model before binding")
     return parser
 
 
@@ -386,10 +496,12 @@ def _run_sweep(loaded, args) -> int:
                          f"(see repro.core.metrics)")
     grids = dict(_parse_sweep(s) for s in args.sweep)
     stats = RuntimeStats()
-    z = loaded.sweep(grids, metric, shards=args.shards,
-                     max_workers=args.workers, stats=stats,
-                     strict=getattr(args, "strict", False),
-                     backend=getattr(args, "backend", None))
+    with _graceful_cancel() as token:
+        z = loaded.sweep(grids, metric, shards=args.shards,
+                         max_workers=args.workers, stats=stats,
+                         strict=getattr(args, "strict", False),
+                         backend=getattr(args, "backend", None),
+                         cancel=token)
     names = list(grids)
     axes = " x ".join(f"{n}[{len(grids[n])}]" for n in names)
     finite = np.isfinite(z.real if np.iscomplexobj(z) else z)
@@ -426,6 +538,12 @@ def _run_sweep(loaded, args) -> int:
         args.stats_json.write_text(
             json.dumps(stats.to_dict(), indent=2) + "\n")
         print(f"wrote {args.stats_json}")
+    code = _drain_exit_code(token)
+    if code is not None:
+        done = int(finite.sum())
+        print(f"drained by {token.reason}: {done}/{z.size} points "
+              f"completed, partial results and diagnostics kept")
+        return code
     return 0
 
 
@@ -445,7 +563,9 @@ def _build_cached_model(args):
     if symbols is None and args.auto_symbols <= 0:
         raise ReproError("need --symbols or --auto-symbols to pick the "
                          "symbolic elements")
-    cache = ProgramCache(disk_dir=args.cache_dir)
+    cache = ProgramCache(disk_dir=args.cache_dir,
+                         max_disk_bytes=getattr(args, "max_cache_bytes",
+                                                None))
     res = cache.get_or_build(circuit, args.output, symbols=symbols,
                              n_symbols=max(args.auto_symbols, 1),
                              order=args.order)
@@ -574,12 +694,16 @@ def cmd_doctor(args) -> int:
         print(f"cache {args.cache_dir}: {len(report)} program entries, "
               f"{len(condense_report)} condensation entries, "
               f"{len(bad)} unhealthy")
-        health = condensation.health()
-        rate = health["hit_rate"]
-        print(f"  condensation cache: {health['disk_entries']} entries, "
-              f"{health['disk_bytes']} bytes, schema {health['schema']}, "
-              f"hit rate {'n/a' if rate is None else f'{rate:.0%}'} "
-              f"this process")
+        for label, layer in (("program cache", cache),
+                             ("condensation cache", condensation)):
+            health = layer.health()
+            rate = health["hit_rate"]
+            budget = health.get("max_disk_bytes")
+            budget_s = "unbounded" if budget is None else f"{budget} budget"
+            print(f"  {label}: {health['disk_entries']} entries, "
+                  f"{health['disk_bytes']} bytes ({budget_s}), "
+                  f"schema {health['schema']}, hit rate "
+                  f"{'n/a' if rate is None else f'{rate:.0%}'} this process")
         for r in bad:
             line = f"  {r['file']}: {r['status']}"
             if r["detail"]:
@@ -637,34 +761,44 @@ def cmd_tran(args) -> int:
     from .scenarios import compiled_transient
     from .units import parse_value
 
-    res = _build_cached_model(args)
-    waveform = _parse_waveform(args.input)
-    overrides = {}
-    for spec in args.at:
-        overrides.update(_parse_at(spec))
-    t_stop = parse_value(args.t_stop) if args.t_stop is not None else None
-    scenario = compiled_transient(res.model, waveform=waveform,
-                                  t_stop=t_stop, n_points=args.points,
-                                  element_values=overrides,
-                                  order=args.order)
-    print(transient_table(scenario))
-    if args.csv is not None:
-        args.csv.write_text(transient_csv(scenario))
-        print(f"wrote {args.csv}")
-    if args.verify:
-        if overrides:
-            raise ReproError("--verify compares against the nominal "
-                             "netlist; drop --at or edit the netlist")
-        from .mna import assemble
-        from .testing.differential import compare_transient
+    with _graceful_cancel() as token:
+        res = _build_cached_model(args)
+        waveform = _parse_waveform(args.input)
+        overrides = {}
+        for spec in args.at:
+            overrides.update(_parse_at(spec))
+        t_stop = parse_value(args.t_stop) if args.t_stop is not None else None
+        code = _drain_exit_code(token)
+        if code is not None:
+            print(f"drained by {token.reason} before the transient ran")
+            return code
+        scenario = compiled_transient(res.model, waveform=waveform,
+                                      t_stop=t_stop, n_points=args.points,
+                                      element_values=overrides,
+                                      order=args.order)
+        print(transient_table(scenario))
+        if args.csv is not None:
+            args.csv.write_text(transient_csv(scenario))
+            print(f"wrote {args.csv}")
+        code = _drain_exit_code(token)
+        if code is not None:
+            print(f"drained by {token.reason}: transient written, "
+                  f"verification skipped")
+            return code
+        if args.verify:
+            if overrides:
+                raise ReproError("--verify compares against the nominal "
+                                 "netlist; drop --at or edit the netlist")
+            from .mna import assemble
+            from .testing.differential import compare_transient
 
-        system = assemble(_load_circuit(args))
-        cmp = compare_transient(res.model, system, args.output, waveform,
-                                t_stop=t_stop, n_points=args.points,
-                                order=args.order)
-        print(cmp.describe())
-        if not cmp.passed:
-            return 1
+            system = assemble(_load_circuit(args))
+            cmp = compare_transient(res.model, system, args.output, waveform,
+                                    t_stop=t_stop, n_points=args.points,
+                                    order=args.order)
+            print(cmp.describe())
+            if not cmp.passed:
+                return 1
     return 0
 
 
@@ -703,11 +837,12 @@ def cmd_mc(args) -> int:
     distributions = dict(_parse_distribution(s) for s in args.param)
     metric = resolve_metric(args.metric)
     stats = RuntimeStats()
-    result = monte_carlo(res.model, distributions, metric,
-                         n=args.samples, seed=args.seed, order=args.order,
-                         shards=args.shards, max_workers=args.workers,
-                         backend=args.backend, strict=args.strict,
-                         stats=stats)
+    with _graceful_cancel() as token:
+        result = monte_carlo(res.model, distributions, metric,
+                             n=args.samples, seed=args.seed, order=args.order,
+                             shards=args.shards, max_workers=args.workers,
+                             backend=args.backend, strict=args.strict,
+                             stats=stats, cancel=token)
     qs = None
     if args.percentiles:
         qs = [float(q) for q in args.percentiles.split(",") if q.strip()]
@@ -727,6 +862,11 @@ def cmd_mc(args) -> int:
         print(f"wrote {args.json}")
     if args.stats:
         print(stats.summary())
+    code = _drain_exit_code(token)
+    if code is not None:
+        print(f"drained by {token.reason}: partial Monte Carlo report "
+              f"above covers completed samples only")
+        return code
     if args.verify:
         from .testing.differential import compare_monte_carlo
 
@@ -741,6 +881,70 @@ def cmd_figures(args) -> int:
     from .reporting.figures import main as figures_main
 
     return figures_main([args.outdir])
+
+
+def _serve_recipe(name: str):
+    """Built-in serving recipe: ``(circuit, output, symbols)``."""
+    from .circuits import library
+
+    if name == "fig1":
+        return library.fig1_circuit(), "out", ["G1", "C2"]
+    if name == "741":
+        return library.small_signal_741().circuit, "out", ["go_Q14", "Ccomp"]
+    raise ReproError(f"unknown library circuit {name!r}")
+
+
+def cmd_serve(args) -> int:
+    """Run the asyncio serving layer until SIGINT/SIGTERM drains it."""
+    import asyncio
+
+    from .runtime import ProgramCache
+    from .service import AWEService, ModelRegistry, ServiceConfig
+
+    cache = ProgramCache(disk_dir=args.cache_dir,
+                         max_disk_bytes=args.max_cache_bytes)
+    config = ServiceConfig(
+        host=args.host, port=args.port, max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1000.0,
+        default_deadline_s=args.deadline_s, degrade=not args.no_degrade,
+        metrics_path=(args.metrics_dir / "metrics.prom"
+                      if args.metrics_dir is not None else None))
+    registry = ModelRegistry(cache=cache)
+    service = AWEService(config, registry=registry)
+
+    if args.netlist is not None:
+        if args.output is None:
+            raise ReproError("serving a netlist needs --output")
+        if not args.symbols:
+            raise ReproError("serving a netlist needs --symbols")
+        circuit = _load_circuit(args)
+        name = args.name or args.netlist.stem
+        symbols = [s.strip() for s in args.symbols.split(",") if s.strip()]
+        registry.register(name, circuit, args.output, symbols=symbols,
+                          order=args.order)
+    for lib in args.library:
+        circuit, output, symbols = _serve_recipe(lib)
+        registry.register(lib, circuit, output, symbols=symbols,
+                          order=args.order)
+    if not registry.names:
+        raise ReproError("nothing to serve: give a netlist and/or --library")
+
+    async def run() -> None:
+        if args.warm:
+            for name in registry.names:
+                entry = await service.registry.ensure(
+                    name, executor=service.executor)
+                print(f"warm: {name} ({entry.key[:16]}, "
+                      f"order {entry.recipe.order})")
+        await service.start()
+        print(f"serving {registry.names} on "
+              f"http://{config.host}:{service.port} "
+              f"(SIGINT/SIGTERM to drain)")
+        await service.wait_drained()
+        print("drained, exiting")
+
+    asyncio.run(run())
+    return 0
 
 
 def _finalize_obs(tracer, trace_path: Path | None,
@@ -776,6 +980,7 @@ _COMMANDS = {
     "tran": cmd_tran,
     "mc": cmd_mc,
     "figures": cmd_figures,
+    "serve": cmd_serve,
 }
 
 

@@ -206,7 +206,9 @@ class CompiledAWEModel:
               stats=None,
               strict: bool = False,
               resilience=None,
-              backend: str | None = None) -> np.ndarray:
+              backend: str | None = None,
+              cancel=None,
+              chunk_points: int | None = None) -> np.ndarray:
         """Evaluate ``metric`` over the cartesian product of element-value grids.
 
         Runs through the batched runtime (:func:`repro.runtime.batched_sweep`)
@@ -241,6 +243,12 @@ class CompiledAWEModel:
             backend: shard execution backend — ``"serial"``,
                 ``"thread"``, ``"process"``, or ``"auto"``/``None``
                 (batched path only; see :mod:`repro.runtime.backends`).
+            cancel: cooperative cancellation token
+                (:class:`repro.runtime.CancelToken`); a fired token
+                drains the sweep with partial results and
+                ``diagnostics.cancelled`` set (batched path only).
+            chunk_points: cancellation granularity in grid points
+                (batched path only; see :func:`repro.runtime.batched_sweep`).
 
         Points where the Padé degenerates yield NaN rather than aborting
         the sweep (lenient mode), with a structured record in the
@@ -258,7 +266,8 @@ class CompiledAWEModel:
                              require_stable=require_stable, shards=shards,
                              max_workers=max_workers, stats=stats,
                              strict=strict, resilience=resilience,
-                             backend=backend)
+                             backend=backend, cancel=cancel,
+                             chunk_points=chunk_points)
 
     def sweep_per_point(self, grids: Mapping[str, np.ndarray],
                         metric: Callable[[ReducedOrderModel], float],

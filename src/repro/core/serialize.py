@@ -153,7 +153,9 @@ class LoadedModel:
               stats=None,
               strict: bool = False,
               resilience=None,
-              backend: str | None = None) -> np.ndarray:
+              backend: str | None = None,
+              cancel=None,
+              chunk_points: int | None = None) -> np.ndarray:
         """Batched metric sweep over element-value grids.
 
         Same semantics as :meth:`CompiledAWEModel.sweep` — a loaded model
@@ -166,7 +168,8 @@ class LoadedModel:
                              require_stable=require_stable, shards=shards,
                              max_workers=max_workers, stats=stats,
                              strict=strict, resilience=resilience,
-                             backend=backend)
+                             backend=backend, cancel=cancel,
+                             chunk_points=chunk_points)
 
 
 def model_from_dict(data: dict) -> LoadedModel:

@@ -164,6 +164,10 @@ class SweepDiagnostics:
         points: grid points evaluated.
         nan_points: NaN entries in the result (quarantined or degenerate).
         strict: whether the sweep ran in strict (fail-fast) mode.
+        cancelled: the sweep was drained by a cancellation token
+            (deadline, SIGINT, service shutdown) — shards with
+            resolution ``"cancelled"`` NaN-filled their slices and the
+            result is partial.
         quarantined: per-point failures (empty on a clean sweep).
         shard_failures: shard-level incidents and their resolutions.
         dropped_orders: ``{orders dropped: point count}`` from the
@@ -180,6 +184,7 @@ class SweepDiagnostics:
     points: int = 0
     nan_points: int = 0
     strict: bool = False
+    cancelled: bool = False
     quarantined: list[QuarantinedPoint] = field(default_factory=list)
     shard_failures: list[ShardFailure] = field(default_factory=list)
     dropped_orders: dict[int, int] = field(default_factory=dict)
@@ -218,6 +223,7 @@ class SweepDiagnostics:
         ``other`` must already be global)."""
         self.points += other.points
         self.nan_points += other.nan_points
+        self.cancelled = self.cancelled or other.cancelled
         self.quarantined.extend(other.quarantined)
         self.shard_failures.extend(other.shard_failures)
         for dropped, count in other.dropped_orders.items():
@@ -268,6 +274,7 @@ class SweepDiagnostics:
             "points": int(self.points),
             "nan_points": int(self.nan_points),
             "strict": bool(self.strict),
+            "cancelled": bool(self.cancelled),
             "quarantined": [q.to_dict() for q in self.quarantined],
             "shard_failures": [s.to_dict() for s in self.shard_failures],
             "dropped_orders": {str(k): int(v)
@@ -283,6 +290,8 @@ class SweepDiagnostics:
     def summary(self, max_listed: int = 10) -> str:
         """Human-readable report (the ``repro doctor`` output body)."""
         mode = "strict" if self.strict else "lenient"
+        if self.cancelled:
+            mode += ", cancelled"
         lines = [
             f"sweep diagnostics ({mode}): {self.points} points, "
             f"{self.nan_points} NaN, {len(self.quarantined)} quarantined, "

@@ -77,3 +77,20 @@ class ApproximationError(ReproError):
 
 class PartitionError(ReproError):
     """Moment-level partitioning failed (symbol block not separable, ...)."""
+
+
+class CancelledSweep(ReproError):
+    """A sweep was cooperatively cancelled (deadline, signal, shutdown).
+
+    Raised *inside* shard execution when a
+    :class:`~repro.runtime.cancel.CancelToken` fires between chunk
+    evaluations; the resilience layer converts it into a drained shard
+    (resolution ``"cancelled"``) rather than letting it propagate, so a
+    cancelled sweep completes with its finished shards intact and
+    ``diagnostics.cancelled`` set.
+    """
+
+    def __init__(self, message: str = "sweep cancelled", *,
+                 reason: str = "cancelled") -> None:
+        self.reason = reason
+        super().__init__(message)

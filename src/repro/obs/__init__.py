@@ -24,8 +24,8 @@ the rest of :mod:`repro` — every other layer may import it.  See
 ``docs/observability.md`` for the span taxonomy and metric names.
 """
 
-from .export import (chrome_trace_events, write_chrome_trace, write_jsonl,
-                     write_prometheus)
+from .export import (chrome_trace_events, prometheus_text, write_chrome_trace,
+                     write_jsonl, write_prometheus)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, registry,
                       set_registry)
 from .profile import OpCost, OpProfile, profile_program
@@ -45,6 +45,7 @@ __all__ = [
     "current_tracer",
     "enabled",
     "profile_program",
+    "prometheus_text",
     "registry",
     "set_registry",
     "span",

@@ -24,6 +24,7 @@ from .trace import Tracer
 
 __all__ = [
     "chrome_trace_events",
+    "prometheus_text",
     "write_chrome_trace",
     "write_jsonl",
     "write_prometheus",
@@ -102,10 +103,12 @@ def write_jsonl(path: Path | str, tracer: Tracer | None = None,
     return path
 
 
-def write_prometheus(path: Path | str, registry: MetricsRegistry,
-                     prefix: str = "") -> Path:
-    """Write the registry in Prometheus textfile-collector syntax."""
-    path = Path(path)
+def prometheus_text(registry: MetricsRegistry, prefix: str = "") -> str:
+    """The registry rendered in Prometheus text exposition syntax.
+
+    Shared by :func:`write_prometheus` (textfile collector) and the
+    serving layer's ``/metrics`` endpoint.
+    """
     lines: list[str] = []
     snapshot = registry.snapshot()
     for name, data in snapshot.items():
@@ -125,7 +128,14 @@ def write_prometheus(path: Path | str, registry: MetricsRegistry,
         lines.append(f'{full}_bucket{{le="+Inf"}} {cumulative}')
         lines.append(f"{full}_sum {_fmt(data['sum'])}")
         lines.append(f"{full}_count {data['count']}")
-    path.write_text("\n".join(lines) + "\n")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: Path | str, registry: MetricsRegistry,
+                     prefix: str = "") -> Path:
+    """Write the registry in Prometheus textfile-collector syntax."""
+    path = Path(path)
+    path.write_text(prometheus_text(registry, prefix))
     return path
 
 

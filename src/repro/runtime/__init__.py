@@ -23,21 +23,25 @@ scope) to keep the dependency direction acyclic.
 """
 
 from .backends import BACKENDS, resolve_backend, shutdown_pools
-from .batched import (VECTOR_METRICS, batched_sweep, grid_columns,
-                      vector_metric, vector_poles_residues)
+from .batched import (CANCEL_CHUNK_POINTS, VECTOR_METRICS, batched_sweep,
+                      grid_columns, vector_metric, vector_poles_residues)
 from .cache import (CACHE_SCHEMA, CacheStats, CondensationCache,
                     ProgramCache, cached_awesymbolic, circuit_fingerprint,
                     default_cache)
+from .cancel import CancelToken, Deadline
 from .resilience import DEFAULT_RESILIENCE, ResilienceConfig, run_shards
 from .stats import RuntimeStats
 
 __all__ = [
     "BACKENDS",
     "CACHE_SCHEMA",
+    "CANCEL_CHUNK_POINTS",
     "DEFAULT_RESILIENCE",
     "VECTOR_METRICS",
     "CacheStats",
+    "CancelToken",
     "CondensationCache",
+    "Deadline",
     "ProgramCache",
     "ResilienceConfig",
     "RuntimeStats",

@@ -45,15 +45,18 @@ import numpy as np
 from ..awe.model import ReducedOrderModel
 from ..awe.stability import rom_from_moments
 from ..core import metrics as _metrics
-from ..diagnostics import QuarantinedPoint, SweepDiagnostics, SweepResult
+from ..diagnostics import (QuarantinedPoint, ShardFailure, SweepDiagnostics,
+                           SweepResult)
 from ..errors import ApproximationError, PartitionError
 from ..obs import trace as _trace
 from ..testing import faults as _faults
 from .backends import ProcessShardRunner, resolve_backend
+from .cancel import CancelToken
 from .resilience import DEFAULT_RESILIENCE, ResilienceConfig, run_shards
 from .stats import RuntimeStats
 
 __all__ = [
+    "CANCEL_CHUNK_POINTS",
     "batched_sweep",
     "grid_columns",
     "sample_columns",
@@ -61,6 +64,13 @@ __all__ = [
     "vector_metric",
     "VECTOR_METRICS",
 ]
+
+#: default sub-chunk size (points) for cancellable shard execution: the
+#: granularity at which a shard observes its cancel token, i.e. the upper
+#: bound on wasted work after a deadline/timeout/interrupt fires.  Small
+#: enough to stop within milliseconds at kernel throughput, large enough
+#: that per-chunk dispatch overhead stays invisible.
+CANCEL_CHUNK_POINTS = 2048
 
 #: scalar metric -> vectorized implementation ``(poles, residues) -> values``
 #: where ``poles``/``residues`` are ``(order, n_points)`` complex arrays.
@@ -438,7 +448,9 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
                   strict: bool = False,
                   resilience: ResilienceConfig | None = None,
                   backend: str | None = None,
-                  paired: bool = False) -> SweepResult:
+                  paired: bool = False,
+                  cancel: CancelToken | None = None,
+                  chunk_points: int | None = None) -> SweepResult:
     """Evaluate ``metric`` over the cartesian product of element-value grids.
 
     Drop-in vectorized replacement for the per-point
@@ -484,6 +496,19 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
             (Monte Carlo / corner scenarios) instead of cartesian axes;
             the output is 1-D with one entry per sample
             (see :func:`sample_columns`).
+        cancel: cooperative cancellation token (deadline, SIGINT,
+            service shutdown).  A fired token *drains* the sweep: shards
+            already finished keep their results, everything else
+            NaN-fills with resolution ``"cancelled"`` and
+            ``diagnostics.cancelled`` is set — the sweep returns
+            normally rather than raising, so partial results and the
+            diagnostics report survive the interruption.
+        chunk_points: cancellation granularity — each shard evaluates
+            its range in sub-chunks of at most this many points and
+            checks its token between them (default
+            :data:`CANCEL_CHUNK_POINTS` when a token is in play, one
+            single chunk otherwise, which is bit-identical to the
+            pre-cancellation behavior).
 
     Returns:
         A :class:`~repro.diagnostics.SweepResult` — a plain ndarray with
@@ -530,26 +555,79 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         # sweep.total span as logical parent so shards nest in the trace
         tracer = _trace.current_tracer()
         parent_ctx = tracer.context() if tracer is not None else None
+        sweep_cancel = cancel
+
+        def eval_range(lo: int, hi: int,
+                       token: CancelToken | None, shard: int = 0,
+                       ) -> tuple[np.ndarray, RuntimeStats, SweepDiagnostics]:
+            """Evaluate ``[lo, hi)`` in cancellable sub-chunks.
+
+            With no token the whole range is one chunk — the exact
+            pre-cancellation code path.  With a token the range splits
+            at ``chunk_points`` boundaries and the token is observed
+            between chunks, bounding post-cancel work to one chunk.
+
+            Drain keeps *chunk* granularity: a token firing mid-range
+            keeps every chunk already evaluated, NaN-fills the tail,
+            and records the drained slice as a ``"cancelled"`` shard
+            incident.  Only a token that fired before the first chunk
+            raises (whole-shard drain, handled by the resilience
+            layer).
+            """
+            step = hi - lo
+            if token is not None:
+                step = max(1, int(chunk_points if chunk_points is not None
+                                  else CANCEL_CHUNK_POINTS))
+            values_parts: list[np.ndarray] = []
+            acc_stats: RuntimeStats | None = None
+            acc_diag: SweepDiagnostics | None = None
+            for a in range(lo, hi, step):
+                if token is not None and token.cancelled:
+                    if not values_parts:
+                        token.raise_if_cancelled("shard")
+                    # keep finished chunks, drain the rest of the range
+                    values_parts.append(
+                        np.full(hi - a, np.nan, dtype=complex))
+                    acc_diag.shard_failures.append(ShardFailure(
+                        shard=shard, lo=int(a), hi=int(hi), attempts=1,
+                        error="CancelledSweep", message=token.reason,
+                        resolution="cancelled"))
+                    break
+                b = min(a + step, hi)
+                cols = [c[a:b] if isinstance(c, np.ndarray) else c
+                        for c in columns]
+                values, part_stats, part_diag = _sweep_chunk(
+                    model, cols, b - a, metric, q, require_stable,
+                    offset=int(a),
+                    diag=SweepDiagnostics(strict=config.strict))
+                values_parts.append(values)
+                if acc_stats is None:
+                    acc_stats, acc_diag = part_stats, part_diag
+                else:
+                    acc_stats.merge(part_stats)
+                    acc_diag.merge(part_diag)
+            if acc_stats is None:  # empty range
+                return (np.empty(0, dtype=complex), RuntimeStats(),
+                        SweepDiagnostics(strict=config.strict))
+            values = (values_parts[0] if len(values_parts) == 1
+                      else np.concatenate(values_parts))
+            return values, acc_stats, acc_diag
 
         def run_shard(lo: int, hi: int, shard: int = 0, attempt: int = 0,
+                      cancel: CancelToken | None = None,
                       ) -> tuple[np.ndarray, RuntimeStats, SweepDiagnostics]:
             if _faults.ACTIVE is not None:
                 _faults.fault_point("sweep.shard", shard=shard,
                                     attempt=attempt, lo=int(lo), hi=int(hi))
-            cols = [c[lo:hi] if isinstance(c, np.ndarray) else c
-                    for c in columns]
+            token = cancel if cancel is not None else sweep_cancel
             t0 = time.perf_counter()
             if tracer is None:
-                result = _sweep_chunk(model, cols, hi - lo, metric, q,
-                                      require_stable, offset=int(lo),
-                                      diag=SweepDiagnostics(strict=config.strict))
+                result = eval_range(int(lo), int(hi), token, shard)
             else:
                 with tracer.attach(parent_ctx), \
                         tracer.span("sweep.shard", shard=shard,
                                     attempt=attempt, lo=int(lo), hi=int(hi)):
-                    result = _sweep_chunk(model, cols, hi - lo, metric, q,
-                                          require_stable, offset=int(lo),
-                                          diag=SweepDiagnostics(strict=config.strict))
+                    result = eval_range(int(lo), int(hi), token, shard)
             busy_key = ("main"
                         if threading.current_thread() is threading.main_thread()
                         else f"thread-{threading.get_ident()}")
@@ -568,13 +646,14 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
                 results = run_shards(run_shard, bounds, workers=workers,
                                      config=config, diagnostics=diagnostics,
                                      executor=runner.pool,
-                                     submit=runner.submit)
+                                     submit=runner.submit, cancel=cancel)
                 results = [runner.normalize(r) for r in results]
             finally:
                 runner.close()
         else:
             results = run_shards(run_shard, bounds, workers=workers,
-                                 config=config, diagnostics=diagnostics)
+                                 config=config, diagnostics=diagnostics,
+                                 cancel=cancel)
 
         parts = []
         for (lo, hi), result in zip(zip(bounds[:-1], bounds[1:]), results):
@@ -591,6 +670,10 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         stats.workers = workers
         stats.nan_points = int(np.isnan(out.real).sum())
         stats.quarantined_points = len(diagnostics.quarantined)
+        diagnostics.cancelled = bool(
+            (cancel is not None and cancel.cancelled)
+            or any(f.resolution == "cancelled"
+                   for f in diagnostics.shard_failures))
         _finalize_diagnostics(diagnostics, grids, names, shape, out,
                               paired=paired)
         out = _collapse_dtype(out.reshape(shape))

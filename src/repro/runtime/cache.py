@@ -107,6 +107,60 @@ def _atomic_write_text(path: Path, text: str) -> None:
         raise
 
 
+def _evict_disk_lru(disk_dir: Path, pattern: str, max_bytes: int,
+                    ) -> tuple[int, int]:
+    """Evict oldest entries matching ``pattern`` until the layer fits.
+
+    LRU by mtime — disk hits refresh their entry's mtime, so recency
+    survives across processes.  Only files matching the cache's own
+    ``pattern`` are candidates (the quarantine sidecar, the other
+    cache's entries, and foreign files are never touched), and each
+    eviction is a single ``unlink`` — atomic with respect to the
+    atomic-write publish protocol, so a concurrent reader sees either
+    the whole entry or a plain miss.
+
+    Returns ``(files_removed, bytes_removed)``.
+    """
+    entries = []
+    total = 0
+    for path in disk_dir.glob(pattern):
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        entries.append((st.st_mtime, st.st_size, path))
+        total += st.st_size
+    if total <= max_bytes:
+        return 0, 0
+    removed = freed = 0
+    for _, size, path in sorted(entries):
+        if total <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        freed += size
+        removed += 1
+    if removed:
+        reg = _metrics.registry()
+        reg.counter("repro_cache_evicted_files_total",
+                    "disk cache entries evicted by the max_bytes LRU"
+                    ).inc(removed)
+        reg.counter("repro_cache_evicted_bytes_total",
+                    "bytes reclaimed by the disk cache LRU").inc(freed)
+    return removed, freed
+
+
+def _touch(path: Path) -> None:
+    """Refresh a disk entry's mtime (its LRU recency) on a hit."""
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+
+
 def _quarantine_path(disk_dir: Path, path: Path, reason: str) -> Path | None:
     """Move ``path`` into ``disk_dir/quarantine``, suffixed with ``reason``.
 
@@ -175,13 +229,21 @@ class ProgramCache:
             evicted beyond it.
         disk_dir: directory for serialized models (created on demand);
             ``None`` disables the disk layer.
+        max_disk_bytes: disk-layer byte budget; after every save, the
+            oldest entries (LRU by mtime, refreshed on hit) are evicted
+            until the layer's own ``awesym-*.json`` files fit.  ``None``
+            (the default) leaves growth unbounded.
     """
 
     def __init__(self, maxsize: int = 16, disk_dir: Path | str | None = None,
-                 ) -> None:
+                 max_disk_bytes: int | None = None) -> None:
         if maxsize < 1:
             raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        if max_disk_bytes is not None and max_disk_bytes < 0:
+            raise ValueError(
+                f"max_disk_bytes must be >= 0, got {max_disk_bytes}")
         self.maxsize = maxsize
+        self.max_disk_bytes = max_disk_bytes
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self._entries: OrderedDict[str, AWESymbolicResult] = OrderedDict()
         # live CompileSessions keyed on everything *except* the Padé
@@ -313,6 +375,9 @@ class ProgramCache:
         payload = {"schema": CACHE_SCHEMA, "cache_key": key,
                    "saved_at": time.time(), "model": model_to_dict(result)}
         _atomic_write_text(path, json.dumps(payload))
+        if self.max_disk_bytes is not None:
+            _evict_disk_lru(self.disk_dir, "awesym-*.json",
+                            self.max_disk_bytes)
         return path
 
     def load_disk(self, key: str) -> dict | None:
@@ -345,7 +410,33 @@ class ProgramCache:
             self._quarantine_file(path, "stale")
             return None
         self.stats.disk_hits += 1
+        _touch(path)
         return payload
+
+    def health(self) -> dict:
+        """Summary for ``repro doctor``: size, budget, schema, hit rate."""
+        disk_entries = 0
+        disk_bytes = 0
+        if self.disk_dir is not None and self.disk_dir.exists():
+            for path in self.disk_dir.glob("awesym-*.json"):
+                try:
+                    disk_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                disk_entries += 1
+        lookups = self.stats.hits + self.stats.misses
+        return {
+            "schema": CACHE_SCHEMA,
+            "memory_entries": len(self._entries),
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+            "max_disk_bytes": self.max_disk_bytes,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "hit_rate": (self.stats.hits / lookups) if lookups else None,
+            "stale_rejects": self.stats.stale_rejects,
+            "quarantined": self.stats.quarantined,
+        }
 
     def scan_disk(self, fix: bool = False) -> list[dict]:
         """Health-check every entry in the disk layer (``doctor`` backend).
@@ -539,13 +630,21 @@ class CondensationCache:
         maxsize: in-memory entry budget (LRU beyond it).
         disk_dir: directory for persisted entries; ``None`` keeps the
             cache memory-only.
+        max_disk_bytes: byte budget for the ``condense-*.json`` layer —
+            LRU-evicted (by mtime, refreshed on hit) after every save;
+            ``None`` leaves growth unbounded.
     """
 
     def __init__(self, maxsize: int = 64,
-                 disk_dir: Path | str | None = None) -> None:
+                 disk_dir: Path | str | None = None,
+                 max_disk_bytes: int | None = None) -> None:
         if maxsize < 1:
             raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        if max_disk_bytes is not None and max_disk_bytes < 0:
+            raise ValueError(
+                f"max_disk_bytes must be >= 0, got {max_disk_bytes}")
         self.maxsize = maxsize
+        self.max_disk_bytes = max_disk_bytes
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self._entries: OrderedDict[str, NumericBlockExpansion] = OrderedDict()
         self.stats = CacheStats()
@@ -645,6 +744,9 @@ class CondensationCache:
             "y": np.asarray(exp.Y, dtype=float).tolist(),
         }
         _atomic_write_text(path, json.dumps(payload))
+        if self.max_disk_bytes is not None:
+            _evict_disk_lru(self.disk_dir, "condense-*.json",
+                            self.max_disk_bytes)
 
     def _load_disk(self, key: str) -> NumericBlockExpansion | None:
         path = self._disk_path(key)
@@ -679,6 +781,7 @@ class CondensationCache:
             self._quarantine_file(path, "corrupt")
             return None
         self.stats.disk_hits += 1
+        _touch(path)
         return NumericBlockExpansion(ports=ports, Y=y)
 
     # ------------------------------------------------------------------
@@ -735,6 +838,7 @@ class CondensationCache:
             "memory_entries": len(self._entries),
             "disk_entries": disk_entries,
             "disk_bytes": disk_bytes,
+            "max_disk_bytes": self.max_disk_bytes,
             "hits": self.stats.hits,
             "misses": self.stats.misses,
             "hit_rate": (self.stats.hits / lookups) if lookups else None,

@@ -8,10 +8,24 @@ splice guarantee when shards misbehave:
   error (anything that is *not* a :class:`~repro.errors.ReproError`) is
   re-submitted up to :attr:`ResilienceConfig.shard_retries` times, with
   exponential backoff and deterministic jitter between attempts;
-* **per-attempt timeout** — under pooled execution, an attempt that does
-  not finish within :attr:`ResilienceConfig.shard_timeout` seconds is
-  abandoned (the thread cannot be killed; it is left to finish in the
-  background) and the shard is retried on a fresh worker;
+* **per-attempt timeout with cooperative cancellation** — under pooled
+  execution, an attempt that does not finish within
+  :attr:`ResilienceConfig.shard_timeout` seconds is *cancelled*: every
+  pooled attempt gets a child :class:`~repro.runtime.cancel.CancelToken`,
+  and the batched shard loop checks it between chunk evaluations, so a
+  timed-out attempt stops computing within one chunk instead of leaking
+  a thread that runs to the end of its range.  The shard is then retried
+  on a fresh worker;
+* **caller cancellation** — a ``cancel`` token passed to
+  :func:`run_shards` drains the sweep: shards not yet finished resolve
+  to ``None`` with resolution ``"cancelled"`` (no retries, no fallback),
+  finished shards keep their results, and the splice completes.  This is
+  how service deadlines and the CLI's SIGINT/SIGTERM path stop a sweep;
+* **shared retry budget** — an optional
+  :attr:`ResilienceConfig.retry_budget` callable gates every re-attempt,
+  letting a serving layer cap *total* retries across concurrent sweeps
+  (a shard denied a retry skips straight to fallback/abandon) instead of
+  multiplying per-shard retries under load;
 * **serial in-process fallback** — when pooled retries are exhausted the
   shard runs once more directly on the calling thread (attempt index
   ``-1``), isolating the work from the pool entirely;
@@ -32,6 +46,7 @@ degradation for those lives in the quarantine path of
 from __future__ import annotations
 
 import dataclasses
+import inspect
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -39,8 +54,9 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..diagnostics import ShardFailure, SweepDiagnostics
-from ..errors import ReproError
+from ..errors import CancelledSweep, ReproError
 from ..obs import metrics as _metrics
+from .cancel import CancelToken
 
 __all__ = [
     "DEFAULT_RESILIENCE",
@@ -71,6 +87,11 @@ class ResilienceConfig:
             storms without a global RNG.
         serial_fallback: run the shard in-process after pooled retries
             are exhausted.
+        retry_budget: optional ``() -> bool`` consulted before every
+            re-attempt (pooled retry or serial fallback); returning
+            False denies the retry — the shard skips to the next
+            recovery stage and the denial is counted.  Shared across
+            sweeps by the serving layer to stop retry storms under load.
     """
 
     strict: bool = False
@@ -79,6 +100,7 @@ class ResilienceConfig:
     backoff_seconds: float = 0.02
     backoff_jitter: float = 0.5
     serial_fallback: bool = True
+    retry_budget: Callable[[], bool] | None = None
 
     def with_strict(self, strict: bool) -> "ResilienceConfig":
         if strict == self.strict:
@@ -107,12 +129,26 @@ def _record(diagnostics: SweepDiagnostics | None, failure: ShardFailure,
         diagnostics.shard_failures.append(failure)
 
 
+def _accepts_cancel(fn: Callable) -> bool:
+    """Whether ``fn`` takes a ``cancel`` keyword (tokens are opt-in so
+    pre-existing shard functions keep working unchanged)."""
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+    if "cancel" in params:
+        return True
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in params.values())
+
+
 def run_shards(run_shard: Callable, bounds: Sequence[int], *,
                workers: int = 1,
                config: ResilienceConfig | None = None,
                diagnostics: SweepDiagnostics | None = None,
                executor=None,
-               submit: Callable | None = None) -> list:
+               submit: Callable | None = None,
+               cancel: CancelToken | None = None) -> list:
     """Execute every shard ``[bounds[i], bounds[i+1])`` fault-tolerantly.
 
     Args:
@@ -133,11 +169,18 @@ def run_shards(run_shard: Callable, bounds: Sequence[int], *,
             process backend routes attempts to out-of-process workers
             while the serial fallback still calls ``run_shard``
             in-process.
+        cancel: cooperative cancellation token.  Once fired, unfinished
+            shards drain: no retries, no fallback, resolution
+            ``"cancelled"`` and a ``None`` result; shards that already
+            finished keep their results.  When ``run_shard`` (or
+            ``submit``) accepts a ``cancel`` keyword, every attempt also
+            receives a per-attempt child token that fires on timeout, so
+            a timed-out attempt stops computing instead of leaking.
 
     Returns:
         One entry per shard, in shard order: the ``run_shard`` result
         (or whatever ``submit``'s futures resolve to), or ``None`` for a
-        shard abandoned in lenient mode.
+        shard abandoned or cancelled in lenient mode.
 
     Raises:
         ReproError: immediately, from any attempt (deterministic library
@@ -152,45 +195,112 @@ def run_shards(run_shard: Callable, bounds: Sequence[int], *,
     owns_pool = executor is None and workers > 1
     pool = executor if executor is not None else (
         ThreadPoolExecutor(max_workers=workers) if owns_pool else None)
+    run_takes_cancel = _accepts_cancel(run_shard)
     if pool is not None and submit is None:
-        def submit(lo, hi, shard, attempt):
-            return pool.submit(run_shard, lo, hi, shard, attempt)
+        if run_takes_cancel:
+            def submit(lo, hi, shard, attempt, cancel=None):
+                return pool.submit(run_shard, lo, hi, shard, attempt,
+                                   cancel=cancel)
+        else:
+            def submit(lo, hi, shard, attempt):
+                return pool.submit(run_shard, lo, hi, shard, attempt)
+    submit_takes_cancel = submit is not None and _accepts_cancel(submit)
+
+    def submit_attempt(lo, hi, shard, attempt):
+        """Dispatch one pooled attempt with its own cancellable token."""
+        token = (CancelToken(parent=cancel) if submit_takes_cancel else None)
+        if token is not None:
+            return submit(lo, hi, shard, attempt, cancel=token), token
+        return submit(lo, hi, shard, attempt), None
+
     try:
-        futures = {}
+        first = {}
         if pool is not None:
             for i, (lo, hi) in enumerate(jobs):
-                futures[i] = submit(lo, hi, i, 0)
-        return [_run_one(run_shard, i, lo, hi, futures.get(i),
-                         submit if pool is not None else None,
-                         config, diagnostics)
+                first[i] = submit_attempt(lo, hi, i, 0)
+        return [_run_one(run_shard, i, lo, hi, first.get(i),
+                         submit_attempt if pool is not None else None,
+                         config, diagnostics, cancel,
+                         run_takes_cancel)
                 for i, (lo, hi) in enumerate(jobs)]
     finally:
         if owns_pool:
-            # don't block on abandoned (hung) attempts; completed shards
+            # don't block on cancelled/hung attempts; completed shards
             # have already delivered their results through their futures
             pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _drain(shard: int, lo: int, hi: int, attempts: int,
+           diagnostics: SweepDiagnostics | None,
+           cancel: CancelToken) -> None:
+    """Resolve a shard as cancelled (drain semantics: no retries)."""
+    _metrics.registry().counter(
+        "repro_shard_cancelled_total",
+        "shards drained by a cancellation token").inc()
+    _record(diagnostics, ShardFailure(
+        shard=shard, lo=lo, hi=hi, attempts=attempts,
+        error="CancelledSweep", message=cancel.reason,
+        resolution="cancelled"))
+    return None
+
+
+def _spend_retry(config: ResilienceConfig) -> bool:
+    """Consult the shared retry budget (missing budget = always allowed)."""
+    if config.retry_budget is None:
+        return True
+    if config.retry_budget():
+        return True
+    _metrics.registry().counter(
+        "repro_shard_retry_denied_total",
+        "shard retries denied by the shared retry budget").inc()
+    return False
+
+
 def _run_one(run_shard: Callable, shard: int, lo: int, hi: int,
-             future, submit, config: ResilienceConfig,
-             diagnostics: SweepDiagnostics | None):
-    """Drive one shard through attempts / retries / fallback."""
+             first, submit, config: ResilienceConfig,
+             diagnostics: SweepDiagnostics | None,
+             cancel: CancelToken | None, run_takes_cancel: bool):
+    """Drive one shard through attempts / retries / fallback / drain."""
     attempts = 0
     last_exc: BaseException | None = None
     for attempt in range(config.shard_retries + 1):
+        if cancel is not None and cancel.cancelled:
+            if attempt == 0 and first is not None:
+                fut, token = first
+                fut.cancel()
+                if token is not None:
+                    token.cancel(cancel.reason)
+            return _drain(shard, lo, hi, attempts, diagnostics, cancel)
         if attempt > 0:
+            if not _spend_retry(config):
+                break
             time.sleep(backoff_delay(config, shard, attempt - 1))
+            if cancel is not None and cancel.cancelled:
+                return _drain(shard, lo, hi, attempts, diagnostics, cancel)
         attempts += 1
+        token = None
         try:
             if submit is not None:
-                fut = future if (attempt == 0 and future is not None) \
-                    else submit(lo, hi, shard, attempt)
+                if attempt == 0 and first is not None:
+                    fut, token = first
+                else:
+                    fut, token = submit(lo, hi, shard, attempt)
                 result = fut.result(timeout=config.shard_timeout)
+            elif run_takes_cancel:
+                result = run_shard(lo, hi, shard, attempt, cancel=cancel)
             else:
                 result = run_shard(lo, hi, shard, attempt)
+        except CancelledSweep:
+            # the attempt observed the caller's token mid-chunk: drain
+            return _drain(shard, lo, hi, attempts, diagnostics,
+                          cancel if cancel is not None else CancelToken())
         except ReproError:
             raise  # deterministic model failure: retrying cannot help
         except FutureTimeoutError:
+            # stop the still-running attempt at its next chunk check
+            # (pre-token attempts leak until the end of their range)
+            if token is not None:
+                token.cancel("shard timeout")
             last_exc = TimeoutError(
                 f"shard attempt exceeded {config.shard_timeout}s")
             _metrics.registry().counter(
@@ -210,13 +320,22 @@ def _run_one(run_shard: Callable, shard: int, lo: int, hi: int,
                 resolution="retried"))
         return result
 
-    if config.serial_fallback:
+    if cancel is not None and cancel.cancelled:
+        return _drain(shard, lo, hi, attempts, diagnostics, cancel)
+    if config.serial_fallback and (last_exc is None or _spend_retry(config)):
         attempts += 1
         _metrics.registry().counter(
             "repro_shard_serial_fallback_total",
             "shards recovered via the in-process serial fallback").inc()
         try:
-            result = run_shard(lo, hi, shard, SERIAL_ATTEMPT)
+            if run_takes_cancel:
+                result = run_shard(lo, hi, shard, SERIAL_ATTEMPT,
+                                   cancel=cancel)
+            else:
+                result = run_shard(lo, hi, shard, SERIAL_ATTEMPT)
+        except CancelledSweep:
+            return _drain(shard, lo, hi, attempts, diagnostics,
+                          cancel if cancel is not None else CancelToken())
         except ReproError:
             raise
         except Exception as exc:

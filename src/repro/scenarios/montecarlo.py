@@ -284,7 +284,8 @@ def monte_carlo(model, distributions: Mapping[str, Distribution],
                 max_workers: int | None = None,
                 backend: str | None = None,
                 strict: bool = False,
-                stats: RuntimeStats | None = None) -> MonteCarloResult:
+                stats: RuntimeStats | None = None,
+                cancel=None) -> MonteCarloResult:
     """Monte Carlo a metric over sampled element values.
 
     Args:
@@ -296,9 +297,9 @@ def monte_carlo(model, distributions: Mapping[str, Distribution],
             entries).
         n: sample count.
         seed: RNG seed (``None`` = nondeterministic).
-        shards / max_workers / backend / strict: forwarded to the batched
-            runtime — an MC run shards, retries, and quarantines exactly
-            like a grid sweep.
+        shards / max_workers / backend / strict / cancel: forwarded to
+            the batched runtime — an MC run shards, retries, quarantines
+            and drains on cancellation exactly like a grid sweep.
 
     Returns:
         :class:`MonteCarloResult` with per-sample values (NaN at
@@ -315,7 +316,7 @@ def monte_carlo(model, distributions: Mapping[str, Distribution],
                                require_stable=require_stable,
                                shards=shards, max_workers=max_workers,
                                backend=backend, strict=strict,
-                               stats=stats, paired=True)
+                               stats=stats, paired=True, cancel=cancel)
     seconds = time.perf_counter() - t0
     reg = _metrics.registry()
     reg.counter("repro_scenario_mc_runs_total",

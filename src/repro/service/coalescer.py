@@ -1,0 +1,272 @@
+"""Request coalescing: many small evals → one vectorized batch.
+
+The compiled moment programs are numpy-vectorized — evaluating 64
+points costs barely more than evaluating one.  A serving layer that
+pushes each request through its own ``batched_sweep`` call wastes that;
+the coalescer holds requests for up to ``max_delay_s`` (or until
+``max_batch`` accumulate), groups them by ``(model key, metric, Padé
+order)``, and evaluates the whole group as **one paired-column sweep**:
+each request contributes one joint sample row (its element overrides,
+nominals elsewhere), exactly the Monte Carlo evaluation shape.
+
+Deadline propagation is end-to-end and cooperative:
+
+* requests already past their deadline when the batch fires are
+  rejected *before* evaluation (queue wait ate their budget — no CPU
+  spent);
+* the batch runs under a :class:`~repro.runtime.cancel.CancelToken`
+  armed to fire at the **latest** live member's deadline, threaded down
+  through ``run_shards`` into the chunked evaluation loop — once every
+  member's deadline has passed, compute stops within one shard-chunk;
+* members whose deadline passes while the batch is in flight get a
+  typed :class:`~repro.service.errors.DeadlineExceeded` even when the
+  batch itself completes (their answer is late, and late is wrong).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.metrics import resolve_metric
+from ..obs import metrics as _metrics
+from ..runtime.cancel import CancelToken, Deadline
+from .errors import DeadlineExceeded
+from .registry import ModelEntry
+
+__all__ = ["Coalescer", "EvalRequest", "element_nominal"]
+
+#: shard-chunk size for service batches — small enough that a fired
+#: deadline stops compute promptly, large enough to stay vectorized
+SERVICE_CHUNK_POINTS = 256
+
+
+def element_nominal(model, name: str) -> float:
+    """The nominal *element* value for a symbolic element.
+
+    Both registered element→symbol transforms (identity for most
+    elements, ``1/v`` for resistors) are involutions, so applying the
+    transform to the symbol nominal recovers the element nominal.
+    """
+    pos, transform = model.element_slots[name]
+    return float(transform(float(model.space.symbols[pos].nominal)))
+
+
+@dataclass
+class EvalRequest:
+    """One coalescable evaluation request."""
+
+    entry: ModelEntry
+    metric: str
+    order: int
+    values: dict  #: element name -> float override (nominal elsewhere)
+    deadline: float | None  #: absolute monotonic seconds, or None
+    tenant: str = "default"
+    future: asyncio.Future = field(default=None, repr=False)  # type: ignore
+    enqueued: float = 0.0
+
+    @property
+    def bucket(self) -> tuple:
+        return (self.entry.key, self.metric, self.order)
+
+
+@dataclass
+class EvalOutcome:
+    """What a resolved request's future carries."""
+
+    value: float
+    degraded: bool
+    rung: str
+    rtol: float
+    batch_size: int
+    queue_s: float
+    eval_s: float
+    diagnostics: object = None
+
+
+class Coalescer:
+    """Batches eval requests per (model, metric, order) bucket.
+
+    Args:
+        max_batch: flush a bucket as soon as it holds this many.
+        max_delay_s: flush a bucket this long after its first member
+            arrived (the latency cost of coalescing).
+        executor: thread pool for the numpy evaluation (None = loop
+            default).
+        resilience: optional :class:`~repro.runtime.resilience.
+            ResilienceConfig` threaded into ``batched_sweep`` (the
+            server wires its shared retry budget through this).
+        clock: injectable monotonic clock.
+    """
+
+    def __init__(self, max_batch: int = 64, max_delay_s: float = 0.005,
+                 executor=None, resilience=None,
+                 chunk_points: int = SERVICE_CHUNK_POINTS,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_batch < 1 or max_delay_s < 0:
+            raise ValueError("need max_batch >= 1 and max_delay_s >= 0")
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.executor = executor
+        self.resilience = resilience
+        self.chunk_points = chunk_points
+        self._clock = clock
+        self._buckets: dict[tuple, list[EvalRequest]] = {}
+        self._timers: dict[tuple, asyncio.TimerHandle] = {}
+        self._inflight: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def submit(self, request: EvalRequest) -> asyncio.Future:
+        """Enqueue; returns the future resolved with an
+        :class:`EvalOutcome` or a typed rejection."""
+        loop = asyncio.get_running_loop()
+        request.future = loop.create_future()
+        request.enqueued = self._clock()
+        key = request.bucket
+        bucket = self._buckets.setdefault(key, [])
+        bucket.append(request)
+        if len(bucket) >= self.max_batch:
+            self._flush(key)
+        elif key not in self._timers:
+            self._timers[key] = loop.call_later(
+                self.max_delay_s, self._flush, key)
+        return request.future
+
+    def _flush(self, key: tuple) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        requests = self._buckets.pop(key, [])
+        if not requests:
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(requests))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def drain(self) -> None:
+        """Flush every bucket and wait for all in-flight batches."""
+        for key in list(self._buckets):
+            self._flush(key)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight),
+                                 return_exceptions=True)
+
+    @property
+    def pending(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    async def _run_batch(self, requests: list[EvalRequest]) -> None:
+        reg = _metrics.registry()
+        now = self._clock()
+        live: list[EvalRequest] = []
+        for req in requests:
+            if req.deadline is not None and now >= req.deadline:
+                self._reject(req, DeadlineExceeded(
+                    f"deadline passed after {now - req.enqueued:.3f}s in "
+                    f"queue"))
+                reg.counter("repro_serve_deadline_preflight_total",
+                            "requests expired before evaluation").inc()
+            else:
+                live.append(req)
+        if not live:
+            return
+        reg.histogram("repro_serve_batch_size",
+                      "coalesced batch sizes").observe(len(live))
+
+        entry = live[0].entry
+        metric = resolve_metric(live[0].metric)
+        order = live[0].order
+        samples = self._sample_columns(entry.model, live)
+
+        # the batch may run until the *latest* member still wants it
+        deadlines = [r.deadline for r in live if r.deadline is not None]
+        deadline_at = max(deadlines) if len(deadlines) == len(live) else None
+        budget = (None if deadline_at is None
+                  else max(0.0, deadline_at - self._clock()))
+
+        loop = asyncio.get_running_loop()
+        t0 = self._clock()
+        try:
+            result = await loop.run_in_executor(
+                self.executor, self._eval_sync, entry, samples, metric,
+                order, budget)
+        except Exception as exc:  # library error: reject the whole batch
+            entry.breaker.record(False)
+            for req in live:
+                self._reject(req, exc)
+            return
+        eval_s = self._clock() - t0
+        values, diagnostics = result
+        entry.breaker.observe(diagnostics)
+        entry.served += len(live)
+
+        now = self._clock()
+        for i, req in enumerate(live):
+            if req.deadline is not None and now >= req.deadline:
+                self._reject(req, DeadlineExceeded(
+                    "deadline passed during evaluation"))
+                continue
+            if (diagnostics is not None
+                    and getattr(diagnostics, "cancelled", False)
+                    and not np.isfinite(values[i])):
+                self._reject(req, DeadlineExceeded(
+                    "batch drained before this sample evaluated"))
+                continue
+            self._resolve(req, EvalOutcome(
+                value=float(values[i]), degraded=False, rung="nominal",
+                rtol=0.0, batch_size=len(live),
+                queue_s=t0 - req.enqueued, eval_s=eval_s,
+                diagnostics=diagnostics))
+
+    def _eval_sync(self, entry: ModelEntry, samples, metric, order,
+                   budget_s: float | None):
+        """Synchronous paired-column sweep (runs in the executor)."""
+        cancel = CancelToken()
+        deadline = None
+        if budget_s is not None:
+            deadline = Deadline.after(budget_s)
+            cancel = CancelToken(parent=deadline.token)
+        from ..runtime.batched import batched_sweep  # lazy: import cycle
+        try:
+            result = batched_sweep(
+                entry.model, samples, metric, order=order,
+                resilience=self.resilience, paired=True, cancel=cancel,
+                chunk_points=self.chunk_points)
+            return np.asarray(result).reshape(-1), result.diagnostics
+        finally:
+            if deadline is not None:
+                deadline.close()
+
+    def _sample_columns(self, model, live: list[EvalRequest]) -> dict:
+        """Union of overridden elements → one joint sample per request."""
+        names = sorted({n for r in live for n in r.values})
+        if not names:
+            # nothing overridden anywhere: nominal point, one per request
+            names = [next(iter(model.element_slots))]
+        return {
+            name: np.array([
+                float(r.values.get(name, element_nominal(model, name)))
+                for r in live])
+            for name in names
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(req: EvalRequest, outcome: EvalOutcome) -> None:
+        if not req.future.done():
+            req.future.set_result(outcome)
+
+    @staticmethod
+    def _reject(req: EvalRequest, exc: Exception) -> None:
+        if not req.future.done():
+            req.future.set_exception(exc)

@@ -1,0 +1,101 @@
+"""Typed rejections for the serving layer.
+
+Under load or injected faults the service never crashes and never hangs
+a caller: every request resolves as a success, an explicit *degraded*
+success, or one of these typed rejections.  Each rejection carries a
+stable machine-readable ``code`` (mirrored in the JSON error body and a
+``repro_serve_rejected_total_<code>`` counter) and the HTTP status the
+gateway maps it to.
+
+All of them are :class:`~repro.errors.ReproError` subclasses, so the
+resilience layer treats them as deterministic — a shed or quota
+rejection is *policy*, not an infrastructure failure, and must never be
+retried by the shard machinery.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+__all__ = [
+    "BreakerOpen",
+    "BulkheadFull",
+    "DeadlineExceeded",
+    "Draining",
+    "QuotaExceeded",
+    "ServiceRejection",
+    "ShedError",
+    "UnknownModel",
+]
+
+
+class ServiceRejection(ReproError):
+    """Base for every typed request rejection.
+
+    Attributes:
+        code: stable machine-readable reason (``shed``, ``quota``, …).
+        http_status: status the HTTP front maps this rejection to.
+    """
+
+    code = "rejected"
+    http_status = 503
+
+    def to_dict(self) -> dict:
+        return {"error": self.code, "detail": str(self)}
+
+
+class ShedError(ServiceRejection):
+    """Admission control shed the request: queue and inflight budgets are
+    both full.  Retry later — the 503 is immediate, not a timeout."""
+
+    code = "shed"
+    http_status = 503
+
+
+class QuotaExceeded(ServiceRejection):
+    """The tenant's token bucket is empty (per-tenant rate quota)."""
+
+    code = "quota"
+    http_status = 429
+
+
+class BulkheadFull(ServiceRejection):
+    """The tenant's concurrency bulkhead is at capacity — one tenant's
+    slow requests must not occupy every worker slot."""
+
+    code = "bulkhead_full"
+    http_status = 429
+
+
+class DeadlineExceeded(ServiceRejection):
+    """The request's deadline passed before a result was produced.
+
+    Raised both before evaluation (queue wait ate the budget) and after
+    a batch drains mid-flight (cooperative cancel at shard-chunk
+    granularity)."""
+
+    code = "deadline"
+    http_status = 504
+
+
+class BreakerOpen(ServiceRejection):
+    """The model's circuit breaker is open and no degraded fallback is
+    available (or degradation is disabled)."""
+
+    code = "breaker_open"
+    http_status = 503
+
+
+class Draining(ServiceRejection):
+    """The service received SIGINT/SIGTERM and is draining: in-flight
+    work finishes, new work is refused."""
+
+    code = "draining"
+    http_status = 503
+
+
+class UnknownModel(ServiceRejection):
+    """The requested model name is not registered."""
+
+    code = "unknown_model"
+    http_status = 404

@@ -1,0 +1,139 @@
+"""Dependency-free HTTP/1.1 front for :class:`~repro.service.server.
+AWEService`.
+
+The container policy is stdlib-only (no aiohttp/uvicorn), and the API
+surface is tiny, so this is a deliberately small hand-rolled server on
+``asyncio.start_server``: request line + headers + ``Content-Length``
+body, JSON in / JSON out, connection-per-request (``Connection: close``).
+It is an *operational* front — health probes, metrics scrape, eval —
+not a general web server; anything malformed gets a 400 and the socket
+closed.
+
+Routes:
+
+====================  =================================================
+``GET /healthz``      liveness (always 200 while the loop turns)
+``GET /readyz``       readiness — 503 while draining or when the
+                      doctor-style cache checks fail
+``GET /metrics``      Prometheus text exposition of the process registry
+``GET /v1/models``    registered model inventory (warmth, breaker state)
+``POST /v1/eval``     evaluate one metric at one parameter point
+====================  =================================================
+
+Typed rejections (:mod:`repro.service.errors`) map to their
+``http_status`` with a JSON body ``{"error": <code>, "detail": …}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..errors import ReproError
+from ..obs import metrics as _metrics
+from ..obs.export import prometheus_text
+from .errors import ServiceRejection
+
+__all__ = ["serve_http"]
+
+_MAX_BODY = 1 << 20  # 1 MiB request cap: eval bodies are tiny
+
+
+async def serve_http(service, host: str, port: int) -> asyncio.AbstractServer:
+    """Bind the HTTP front for ``service``; returns the asyncio server."""
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body = await _handle_one(service, reader)
+        except Exception:
+            status, body = 500, {"error": "internal",
+                                 "detail": "unhandled server error"}
+        try:
+            _write_response(writer, status, body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host, port)
+
+
+async def _handle_one(service, reader: asyncio.StreamReader,
+                      ) -> tuple[int, object]:
+    try:
+        request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+    except asyncio.TimeoutError:
+        return 408, {"error": "timeout", "detail": "no request line"}
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        return 400, {"error": "bad_request", "detail": "malformed request"}
+    method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                return 400, {"error": "bad_request",
+                             "detail": "bad Content-Length"}
+    if content_length > _MAX_BODY:
+        return 413, {"error": "too_large",
+                     "detail": f"body over {_MAX_BODY} bytes"}
+    body = await reader.readexactly(content_length) if content_length else b""
+
+    return await _route(service, method, path, body)
+
+
+async def _route(service, method: str, path: str, body: bytes,
+                 ) -> tuple[int, object]:
+    if method == "GET" and path == "/healthz":
+        return 200, service.healthz()
+    if method == "GET" and path == "/readyz":
+        ready, report = service.readyz()
+        return (200 if ready else 503), report
+    if method == "GET" and path == "/metrics":
+        return 200, prometheus_text(_metrics.registry())
+    if method == "GET" and path == "/v1/models":
+        return 200, {"models": service.registry.describe()}
+    if method == "POST" and path == "/v1/eval":
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return 400, {"error": "bad_request", "detail": "invalid JSON"}
+        if not isinstance(payload, dict) or "model" not in payload:
+            return 400, {"error": "bad_request",
+                         "detail": 'body must be JSON with a "model" key'}
+        try:
+            return 200, await service.handle_eval(payload)
+        except ServiceRejection as exc:
+            return exc.http_status, exc.to_dict()
+        except ReproError as exc:
+            return 422, {"error": "evaluation_failed", "detail": str(exc)}
+    return 404, {"error": "not_found", "detail": f"{method} {path}"}
+
+
+def _write_response(writer: asyncio.StreamWriter, status: int,
+                    body: object) -> None:
+    if isinstance(body, str):  # /metrics: raw text exposition
+        payload = body.encode("utf-8")
+        ctype = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        payload = (json.dumps(body) + "\n").encode("utf-8")
+        ctype = "application/json"
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              408: "Request Timeout", 413: "Payload Too Large",
+              422: "Unprocessable Entity", 429: "Too Many Requests",
+              500: "Internal Server Error", 503: "Service Unavailable",
+              504: "Gateway Timeout"}.get(status, "Error")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n")
+    writer.write(head.encode("latin-1") + payload)

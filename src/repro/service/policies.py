@@ -1,0 +1,344 @@
+"""Robustness policies: quotas, admission control, bulkheads, breakers.
+
+Small, thread-safe, clock-injectable primitives.  None of them know
+about asyncio or HTTP — the server composes them into its admission
+pipeline, and the chaos tests drive them with a fake clock so every
+state transition is deterministic.
+
+The design follows the standard load-shedding playbook:
+
+* :class:`TokenBucket` — per-tenant rate quota (and, via
+  :class:`RetryBudget`, the *shared* retry budget handed to
+  :class:`~repro.runtime.resilience.ResilienceConfig`, so a fault storm
+  cannot multiply load through retries).
+* :class:`AdmissionController` — two bounded budgets (inflight and
+  queued); when both are full the request is shed immediately with a
+  typed 503 instead of queueing unboundedly.
+* :class:`Bulkhead` — per-tenant concurrency cap so one tenant's slow
+  requests cannot occupy every worker slot.
+* :class:`CircuitBreaker` — per-model closed → open → half-open machine
+  keyed on the *quarantine/failure rate* observed in
+  :class:`~repro.diagnostics.SweepDiagnostics`, not just on exceptions:
+  a model whose sweeps quarantine most of their points is sick even
+  though every call "succeeds".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from ..obs import metrics as _metrics
+
+__all__ = [
+    "AdmissionController",
+    "BreakerConfig",
+    "Bulkhead",
+    "CircuitBreaker",
+    "RetryBudget",
+    "TokenBucket",
+]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    ``try_acquire`` never blocks — quota decisions must be immediate so
+    a throttled tenant gets a fast 429, not a slow one.
+
+    Args:
+        rate: sustained tokens per second; ``0`` means never refills.
+        burst: bucket capacity (also the initial fill).
+        clock: monotonic-seconds source, injectable for tests.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate < 0 or burst <= 0:
+            raise ValueError(f"need rate >= 0 and burst > 0, got "
+                             f"rate={rate}, burst={burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False (untaken) otherwise."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class RetryBudget:
+    """Shared retry budget for the whole service.
+
+    Wraps a token bucket in the zero-argument ``spend() -> bool``
+    contract of :attr:`~repro.runtime.resilience.ResilienceConfig.
+    retry_budget`: every shard retry (and serial fallback) across every
+    model draws from *one* pool, so injected fault storms degrade into
+    quarantined points instead of a retry amplification spiral.
+    """
+
+    def __init__(self, rate: float = 2.0, burst: float = 10.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._bucket = TokenBucket(rate, burst, clock=clock)
+
+    def spend(self) -> bool:
+        ok = self._bucket.try_acquire()
+        if not ok:
+            _metrics.registry().counter(
+                "repro_serve_retry_budget_exhausted_total",
+                "retries denied by the shared service retry budget").inc()
+        return ok
+
+    @property
+    def available(self) -> float:
+        return self._bucket.available
+
+
+class AdmissionController:
+    """Bounded inflight + queue budgets with immediate load shedding.
+
+    A request first tries an *inflight* slot; failing that it may wait
+    in a bounded queue (accounted, not stored — the caller's coroutine
+    is its own queue entry); when both budgets are exhausted the
+    request is shed.  ``try_admit``/``release`` are O(1) and lock-cheap
+    so admission never becomes its own bottleneck.
+    """
+
+    def __init__(self, max_inflight: int = 32, max_queue: int = 64) -> None:
+        if max_inflight < 1 or max_queue < 0:
+            raise ValueError(f"need max_inflight >= 1 and max_queue >= 0, "
+                             f"got {max_inflight}, {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._inflight = 0
+        self._queued = 0
+        self._lock = threading.Lock()
+
+    def try_admit(self) -> bool:
+        """Claim a slot (inflight or queued); False = shed now."""
+        with self._lock:
+            if self._inflight + self._queued >= self.max_inflight + self.max_queue:
+                _metrics.registry().counter(
+                    "repro_serve_shed_total",
+                    "requests shed by admission control").inc()
+                return False
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+            else:
+                self._queued += 1
+            self._publish()
+            return True
+
+    def promote(self) -> None:
+        """Move one accounted entry from queued to inflight (called when
+        a queued request actually starts evaluating)."""
+        with self._lock:
+            if self._queued > 0:
+                self._queued -= 1
+                self._inflight += 1
+                self._publish()
+
+    def release(self) -> None:
+        """Return the slot claimed by :meth:`try_admit`."""
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+            elif self._queued > 0:
+                self._queued -= 1
+            self._publish()
+
+    def _publish(self) -> None:
+        reg = _metrics.registry()
+        reg.gauge("repro_serve_inflight",
+                  "requests currently admitted").set(
+                      self._inflight + self._queued)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight + self._queued
+
+
+class Bulkhead:
+    """Per-tenant concurrency cap (non-blocking semaphore semantics)."""
+
+    def __init__(self, limit: int = 8) -> None:
+        if limit < 1:
+            raise ValueError(f"bulkhead limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._active = 0
+        self._lock = threading.Lock()
+
+    def try_enter(self) -> bool:
+        with self._lock:
+            if self._active >= self.limit:
+                return False
+            self._active += 1
+            return True
+
+    def exit(self) -> None:
+        with self._lock:
+            if self._active > 0:
+                self._active -= 1
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+
+#: breaker states
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+@dataclass
+class BreakerConfig:
+    """Tunable thresholds for :class:`CircuitBreaker`."""
+
+    failure_threshold: float = 0.5   #: open when failure rate >= this …
+    window: int = 10                 #: … over the last `window` outcomes
+    min_samples: int = 4             #: don't judge before this many
+    cooldown_s: float = 5.0          #: open → half-open after cooldown
+    half_open_probes: int = 2        #: successes needed to close again
+    quarantine_threshold: float = 0.5  #: sweep outcome counts as failure
+                                       #: when quarantined+NaN fraction
+                                       #: reaches this
+
+
+class CircuitBreaker:
+    """Per-model closed → open → half-open breaker.
+
+    An *outcome* is one served batch.  It counts as a failure when the
+    evaluation raised, or when its :class:`~repro.diagnostics.
+    SweepDiagnostics` shows a quarantine/NaN fraction at or above
+    ``quarantine_threshold`` — sick models fail sideways (all-NaN
+    "successes"), and the breaker must see through that.
+
+    States:
+
+    * **closed** — all traffic flows; outcomes fill a sliding window;
+      the breaker opens when the window's failure rate reaches
+      ``failure_threshold`` (with at least ``min_samples`` outcomes).
+    * **open** — :meth:`allow` is False (callers degrade or reject)
+      until ``cooldown_s`` passes, then half-open.
+    * **half-open** — up to ``half_open_probes`` trial requests pass;
+      any failure re-opens, ``half_open_probes`` consecutive successes
+      close and clear the window.
+    """
+
+    def __init__(self, config: BreakerConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self._clock = clock
+        self._state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at = 0.0
+        self._probes_issued = 0
+        self._probe_successes = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request evaluate against this model right now?"""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probes_issued < self.config.half_open_probes:
+                    self._probes_issued += 1
+                    return True
+                return False
+            return False
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.config.cooldown_s):
+            self._state = HALF_OPEN
+            self._probes_issued = 0
+            self._probe_successes = 0
+            self._transition_metric(HALF_OPEN)
+
+    # ------------------------------------------------------------------
+    def record(self, ok: bool) -> None:
+        """Feed one outcome (True = healthy batch)."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                if not ok:
+                    self._open()
+                    return
+                self._probe_successes += 1
+                if self._probe_successes >= self.config.half_open_probes:
+                    self._state = CLOSED
+                    self._outcomes.clear()
+                    self._transition_metric(CLOSED)
+                return
+            self._outcomes.append(ok)
+            if self._state == CLOSED and self._trip():
+                self._open()
+
+    def observe(self, diagnostics) -> bool:
+        """Judge one sweep's diagnostics and :meth:`record` the outcome.
+
+        Healthy iff the NaN (quarantined + abandoned-shard) fraction is
+        below ``quarantine_threshold``.  Cancelled sweeps are *not*
+        recorded — a deadline drain says nothing about model health.
+        Returns the verdict (True = healthy); ``None`` diagnostics (a
+        path that produced no sweep) counts as healthy.
+        """
+        ok = True
+        if diagnostics is not None:
+            if getattr(diagnostics, "cancelled", False):
+                return True  # no verdict: the caller gave up, not the model
+            points = max(1, int(getattr(diagnostics, "points", 0) or 0))
+            bad = int(getattr(diagnostics, "nan_points", 0) or 0)
+            ok = bad / points < self.config.quarantine_threshold
+        self.record(ok)
+        return ok
+
+    def _trip(self) -> bool:
+        n = len(self._outcomes)
+        if n < self.config.min_samples:
+            return False
+        failures = sum(1 for ok in self._outcomes if not ok)
+        return failures / n >= self.config.failure_threshold
+
+    def _open(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._outcomes.clear()
+        self._transition_metric(OPEN)
+
+    @staticmethod
+    def _transition_metric(state: str) -> None:
+        _metrics.registry().counter(
+            f"repro_serve_breaker_{state}_total",
+            f"breaker transitions into the {state} state").inc()

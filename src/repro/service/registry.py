@@ -1,0 +1,229 @@
+"""Content-addressed model registry with single-flight compilation.
+
+The registry is the serving layer's warm-model pool.  Models are
+*registered* by name with a recipe (circuit + output + symbols + Padé
+order); they are *compiled* lazily on first use through the process-wide
+:class:`~repro.runtime.cache.ProgramCache`, so the cache key —
+``ProgramCache.key_for`` over the circuit content fingerprint, output,
+symbol set, order and schema — is the registry's identity too: two
+names registering byte-identical recipes share one compiled program.
+
+Compilation is **single-flight**: N concurrent requests for a cold
+model trigger exactly one compile (an :class:`asyncio.Future` per cache
+key; followers await it).  Compiles run in the server's thread-pool
+executor so the event loop stays responsive.
+
+Each entry carries its own :class:`~repro.service.policies.
+CircuitBreaker` and a pre-built **degraded fallback**: the same
+compiled program evaluated at Padé order 1.  Order 1 needs only the
+first two moments — always present — and is the cheapest, most
+numerically robust reduction, so it is the thing the service can still
+serve when the full-order path trips the breaker (flagged ``degraded``,
+accuracy bounded by the tolerance ladder's loosest rung).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..circuits import Circuit
+from ..obs import metrics as _metrics
+from ..runtime.cache import ProgramCache, default_cache
+from .errors import UnknownModel
+from .policies import BreakerConfig, CircuitBreaker
+
+__all__ = ["ModelEntry", "ModelRegistry", "RegisteredRecipe"]
+
+
+@dataclass(frozen=True)
+class RegisteredRecipe:
+    """Everything needed to (re)compile one served model."""
+
+    name: str
+    circuit: Circuit
+    output: str
+    symbols: tuple[str, ...] | None
+    order: int
+    options: dict = field(default_factory=dict)
+
+
+@dataclass
+class ModelEntry:
+    """One warm model: compiled program + health machinery."""
+
+    key: str
+    recipe: RegisteredRecipe
+    result: object  #: AWESymbolicResult (compiled, evaluatable)
+    breaker: CircuitBreaker
+    compiled_at: float = field(default_factory=time.monotonic)
+    last_used: float = field(default_factory=time.monotonic)
+    served: int = 0
+
+    @property
+    def model(self):
+        """The evaluatable model (drives ``batched_sweep``)."""
+        return self.result.model
+
+
+class ModelRegistry:
+    """Named models over a content-addressed compile cache.
+
+    Args:
+        cache: program cache supplying keys and compiled results
+            (defaults to the process-wide cache).
+        breaker_config: thresholds for each entry's circuit breaker.
+        max_warm: LRU budget for warm entries; eviction drops only the
+            registry's warm handle — the program cache keeps the
+            compiled artifact, so re-warming is a cache hit, not a
+            recompile.
+        clock: injectable monotonic clock (breaker cooldowns in tests).
+    """
+
+    def __init__(self, cache: ProgramCache | None = None,
+                 breaker_config: BreakerConfig | None = None,
+                 max_warm: int = 8,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_warm < 1:
+            raise ValueError(f"max_warm must be >= 1, got {max_warm}")
+        self.cache = cache if cache is not None else default_cache()
+        self.breaker_config = breaker_config
+        self.max_warm = max_warm
+        self._clock = clock
+        self._recipes: dict[str, RegisteredRecipe] = {}
+        self._entries: dict[str, ModelEntry] = {}   # cache key -> entry
+        self._compiling: dict[str, asyncio.Future] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, circuit: Circuit, output: str,
+                 symbols: Sequence[str] | None = None, order: int = 2,
+                 **options) -> str:
+        """Register a recipe under ``name``; returns its cache key."""
+        recipe = RegisteredRecipe(
+            name=name, circuit=circuit, output=output,
+            symbols=tuple(symbols) if symbols is not None else None,
+            order=order, options=dict(options))
+        self._recipes[name] = recipe
+        return self.key_of(recipe)
+
+    def key_of(self, recipe: RegisteredRecipe) -> str:
+        return self.cache.key_for(recipe.circuit, recipe.output,
+                                  recipe.symbols, recipe.order,
+                                  **recipe.options)
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._recipes)
+
+    def recipe(self, name: str) -> RegisteredRecipe:
+        try:
+            return self._recipes[name]
+        except KeyError:
+            raise UnknownModel(
+                f"model {name!r} is not registered "
+                f"(have: {self.names})") from None
+
+    def describe(self) -> list[dict]:
+        """Inventory for ``GET /v1/models``."""
+        out = []
+        for name in self.names:
+            recipe = self._recipes[name]
+            key = self.key_of(recipe)
+            entry = self._entries.get(key)
+            out.append({
+                "name": name,
+                "key": key[:16],
+                "output": recipe.output,
+                "order": recipe.order,
+                "warm": entry is not None,
+                "breaker": entry.breaker.state if entry else None,
+                "served": entry.served if entry else 0,
+            })
+        return out
+
+    # ------------------------------------------------------------------
+    # single-flight compile
+    # ------------------------------------------------------------------
+    async def ensure(self, name: str,
+                     executor=None) -> ModelEntry:
+        """The warm entry for ``name``, compiling at most once.
+
+        Concurrent callers for the same cold key all await one compile
+        future; the winner runs ``cache.get_or_build`` in ``executor``
+        (or the loop's default).  A failed compile rejects every waiter
+        and clears the single-flight slot so the next request retries.
+        """
+        recipe = self.recipe(name)
+        key = self.key_of(recipe)
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.last_used = self._clock()
+            return entry
+
+        pending = self._compiling.get(key)
+        if pending is not None:
+            _metrics.registry().counter(
+                "repro_serve_compile_coalesced_total",
+                "compile requests satisfied by an in-flight compile").inc()
+            return await asyncio.shield(pending)
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._compiling[key] = future
+        try:
+            result = await loop.run_in_executor(
+                executor, self._compile_sync, recipe)
+            entry = ModelEntry(
+                key=key, recipe=recipe, result=result,
+                breaker=CircuitBreaker(self.breaker_config,
+                                       clock=self._clock))
+            self._store(key, entry)
+            future.set_result(entry)
+            return entry
+        except BaseException as exc:
+            future.set_exception(exc)
+            # consume the exception if nobody else awaits the future
+            future.exception()
+            raise
+        finally:
+            self._compiling.pop(key, None)
+
+    def _compile_sync(self, recipe: RegisteredRecipe):
+        _metrics.registry().counter(
+            "repro_serve_compile_total", "model compiles started").inc()
+        from ..testing.faults import fault_point
+        fault_point("service.compile", name=recipe.name)
+        return self.cache.get_or_build(
+            recipe.circuit, recipe.output, symbols=recipe.symbols,
+            order=recipe.order, **recipe.options)
+
+    def _store(self, key: str, entry: ModelEntry) -> None:
+        self._entries[key] = entry
+        while len(self._entries) > self.max_warm:
+            coldest = min(self._entries,
+                          key=lambda k: self._entries[k].last_used)
+            if coldest == key and len(self._entries) == 1:
+                break
+            del self._entries[coldest]
+        _metrics.registry().gauge(
+            "repro_serve_warm_models", "models warm in the registry"
+        ).set(len(self._entries))
+
+    # ------------------------------------------------------------------
+    def entry_for_key(self, key: str) -> ModelEntry | None:
+        return self._entries.get(key)
+
+    def drop(self, name: str) -> bool:
+        """Forget a recipe and its warm entry (compiled artifact stays
+        in the program cache)."""
+        recipe = self._recipes.pop(name, None)
+        if recipe is None:
+            return False
+        self._entries.pop(self.cache.key_for(
+            recipe.circuit, recipe.output, recipe.symbols, recipe.order,
+            **recipe.options), None)
+        return True

@@ -1,0 +1,347 @@
+"""The AWE serving pipeline: admission → quota → bulkhead → breaker →
+coalesced evaluation → typed response.
+
+:class:`AWEService` composes the policy primitives
+(:mod:`repro.service.policies`), the single-flight model registry
+(:mod:`repro.service.registry`) and the request coalescer
+(:mod:`repro.service.coalescer`) into one asyncio pipeline with a
+defended front door.  The contract under load and injected faults:
+**every** request resolves as a success, an explicit *degraded*
+success, or a typed rejection — never a crash, never an unbounded wait.
+
+Graceful degradation: when a model's circuit breaker is open, the
+service does not go dark — it serves the **order-1 reduced-order
+model** from the already-compiled program (two moments, closed-form,
+numerically the most robust reduction) with ``degraded: true`` and the
+tolerance ladder's loosest rung (see :class:`~repro.testing.
+differential.ToleranceLadder`), so callers get a bounded-accuracy
+answer plus an honest label instead of a 503.
+
+Lifecycle: SIGINT/SIGTERM flips the service into *draining* — ``/readyz``
+goes 503, new requests get a typed ``draining`` rejection, in-flight
+batches finish (bounded by ``drain_grace_s``), diagnostics and metrics
+flush, worker pools tear down — then the loop exits cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..obs import metrics as _metrics
+from ..runtime.backends import shutdown_pools
+from ..runtime.resilience import DEFAULT_RESILIENCE
+from ..testing.differential import ToleranceLadder
+from .coalescer import Coalescer, EvalRequest
+from .errors import (BreakerOpen, BulkheadFull, Draining, QuotaExceeded,
+                     ShedError)
+from .policies import (AdmissionController, BreakerConfig, Bulkhead,
+                       RetryBudget, TokenBucket)
+from .registry import ModelRegistry
+
+__all__ = ["AWEService", "ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one :class:`AWEService`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8471
+    # coalescing
+    max_batch: int = 64
+    max_delay_s: float = 0.005
+    # admission
+    max_inflight: int = 64
+    max_queue: int = 128
+    # per-tenant quotas
+    tenant_rate: float = 200.0       #: requests/second sustained
+    tenant_burst: float = 50.0
+    bulkhead_limit: int = 16         #: concurrent requests per tenant
+    # shared retry budget (feeds ResilienceConfig.retry_budget)
+    retry_rate: float = 2.0
+    retry_burst: float = 10.0
+    # deadlines
+    default_deadline_s: float = 2.0
+    max_deadline_s: float = 30.0
+    # degradation + breaker
+    degrade: bool = True             #: serve order-1 ROM when breaker opens
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    # lifecycle
+    drain_grace_s: float = 10.0
+    metrics_path: Path | None = None  #: Prometheus textfile on shutdown
+    # evaluation
+    executor_workers: int = 4
+
+
+class AWEService:
+    """The serving pipeline over a set of registered models.
+
+    Args:
+        config: tunables (defaults are sane for tests and small rigs).
+        registry: model registry; a fresh one is built when omitted.
+        clock: injectable monotonic clock shared with every policy
+            object, so chaos tests can march time deterministically.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None,
+                 registry: ModelRegistry | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self._clock = clock
+        self.registry = registry if registry is not None else ModelRegistry(
+            breaker_config=self.config.breaker, clock=clock)
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="repro-serve")
+        self.retry_budget = RetryBudget(self.config.retry_rate,
+                                        self.config.retry_burst, clock=clock)
+        self.resilience = dataclasses.replace(
+            DEFAULT_RESILIENCE, retry_budget=self.retry_budget.spend)
+        self.coalescer = Coalescer(
+            max_batch=self.config.max_batch,
+            max_delay_s=self.config.max_delay_s,
+            executor=self.executor, resilience=self.resilience, clock=clock)
+        self.admission = AdmissionController(self.config.max_inflight,
+                                             self.config.max_queue)
+        self.ladder = ToleranceLadder()
+        self._tenants: dict[str, TokenBucket] = {}
+        self._bulkheads: dict[str, Bulkhead] = {}
+        self.draining = False
+        self.started = False
+        self._drained = asyncio.Event()
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    # the request pipeline
+    # ------------------------------------------------------------------
+    async def handle_eval(self, payload: dict) -> dict:
+        """Serve one eval request end to end; returns the response body.
+
+        ``payload`` keys: ``model`` (registered name, required),
+        ``metric`` (name in :mod:`repro.core.metrics`, default
+        ``dc_gain``), ``order`` (default: the model's compiled order),
+        ``values`` (element overrides), ``timeout_s``, ``tenant``.
+
+        Raises :class:`~repro.service.errors.ServiceRejection`
+        subclasses for every typed refusal; the HTTP front maps them to
+        status codes, in-process callers catch them directly.
+        """
+        reg = _metrics.registry()
+        reg.counter("repro_serve_requests_total", "eval requests").inc()
+        t0 = self._clock()
+        if self.draining:
+            self._count_reject("draining")
+            raise Draining("service is draining")
+        if not self.admission.try_admit():
+            self._count_reject("shed")
+            raise ShedError(
+                f"at capacity ({self.admission.max_inflight} inflight + "
+                f"{self.admission.max_queue} queued)")
+        try:
+            return await self._admitted(payload, t0)
+        finally:
+            self.admission.release()
+            reg.histogram("repro_serve_latency_seconds",
+                          "end-to-end request latency"
+                          ).observe(self._clock() - t0)
+
+    async def _admitted(self, payload: dict, t0: float) -> dict:
+        tenant = str(payload.get("tenant", "default"))
+        bucket = self._tenants.setdefault(
+            tenant, TokenBucket(self.config.tenant_rate,
+                                self.config.tenant_burst, clock=self._clock))
+        if not bucket.try_acquire():
+            self._count_reject("quota")
+            raise QuotaExceeded(f"tenant {tenant!r} rate quota exhausted")
+        bulkhead = self._bulkheads.setdefault(
+            tenant, Bulkhead(self.config.bulkhead_limit))
+        if not bulkhead.try_enter():
+            self._count_reject("bulkhead_full")
+            raise BulkheadFull(
+                f"tenant {tenant!r} already has {bulkhead.limit} "
+                f"requests in flight")
+        try:
+            return await self._evaluate(payload, tenant, t0)
+        finally:
+            bulkhead.exit()
+
+    async def _evaluate(self, payload: dict, tenant: str, t0: float) -> dict:
+        entry = await self.registry.ensure(str(payload["model"]),
+                                           executor=self.executor)
+        metric = str(payload.get("metric", "dc_gain"))
+        order = int(payload.get("order", entry.recipe.order))
+        values = {str(k): float(v)
+                  for k, v in dict(payload.get("values") or {}).items()}
+        timeout = min(float(payload.get("timeout_s",
+                                        self.config.default_deadline_s)),
+                      self.config.max_deadline_s)
+        deadline = t0 + timeout
+
+        if not entry.breaker.allow():
+            if self.config.degrade and order > 1:
+                return await self._degraded(entry, metric, values, tenant)
+            self._count_reject("breaker_open")
+            raise BreakerOpen(
+                f"model {entry.recipe.name!r} breaker is "
+                f"{entry.breaker.state} and degradation is unavailable")
+
+        outcome = await self.coalescer.submit(EvalRequest(
+            entry=entry, metric=metric, order=order, values=values,
+            deadline=deadline, tenant=tenant))
+        rung, rtol = "nominal", self.ladder.nominal
+        _metrics.registry().counter("repro_serve_requests_total_ok",
+                                    "requests served at full order").inc()
+        return {
+            "model": entry.recipe.name,
+            "metric": metric,
+            "order": order,
+            "value": outcome.value,
+            "degraded": False,
+            "rung": rung,
+            "rtol": rtol,
+            "batch_size": outcome.batch_size,
+            "queue_s": round(outcome.queue_s, 6),
+            "eval_s": round(outcome.eval_s, 6),
+        }
+
+    async def _degraded(self, entry, metric: str, values: dict,
+                        tenant: str) -> dict:
+        """Order-1 fallback from the already-compiled program.
+
+        Two moments, closed-form pole/residue, no batching — the answer
+        is loose (tolerance ladder's ``degraded`` rung) but bounded,
+        explicit, and nearly free.
+        """
+        from ..core.metrics import resolve_metric
+        fn = resolve_metric(metric)
+        loop = asyncio.get_running_loop()
+
+        def eval_order1() -> float:
+            rom = entry.model.rom(values or None, order=1,
+                                  require_stable=False)
+            return float(fn(rom))
+
+        value = await loop.run_in_executor(self.executor, eval_order1)
+        entry.served += 1
+        _metrics.registry().counter(
+            "repro_serve_requests_total_degraded",
+            "requests served by the order-1 degraded fallback").inc()
+        return {
+            "model": entry.recipe.name,
+            "metric": metric,
+            "order": 1,
+            "value": value,
+            "degraded": True,
+            "rung": "degraded",
+            "rtol": self.ladder.degraded,
+            "batch_size": 1,
+        }
+
+    @staticmethod
+    def _count_reject(code: str) -> None:
+        _metrics.registry().counter(
+            f"repro_serve_rejected_total_{code}",
+            f"requests rejected with code {code}").inc()
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness: the process is up and the loop is turning."""
+        return {"status": "ok", "draining": self.draining,
+                "inflight": self.admission.inflight,
+                "models": self.registry.names}
+
+    def readyz(self) -> tuple[bool, dict]:
+        """Readiness: not draining, and the doctor-style cache checks
+        pass (no corrupt/wrong-schema entries on disk)."""
+        checks: dict[str, str] = {}
+        ready = self.started and not self.draining
+        checks["lifecycle"] = ("draining" if self.draining
+                               else "ok" if self.started else "starting")
+        cache = self.registry.cache
+        health = cache.health()
+        checks["program_cache"] = (
+            f"{health['disk_entries']} entries, {health['disk_bytes']} bytes")
+        if cache.disk_dir is not None:
+            bad = [r for r in cache.scan_disk()
+                   if r["status"] not in ("ok", "orphan-tmp")]
+            if bad:
+                ready = False
+                checks["program_cache"] = (
+                    f"{len(bad)} corrupt/stale entries (run repro doctor)")
+        return ready, {"ready": ready, "checks": checks,
+                       "retry_budget": round(self.retry_budget.available, 2)}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, install_signals: bool = True) -> None:
+        """Start the HTTP front and (optionally) signal-driven drain."""
+        from .http import serve_http
+        self._server = await serve_http(self, self.config.host,
+                                        self.config.port)
+        self.started = True
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(
+                        sig, lambda s=sig: asyncio.ensure_future(
+                            self.drain(signal_name=s.name)))
+                except (NotImplementedError, RuntimeError):
+                    pass  # platform without loop signal support
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def drain(self, signal_name: str = "") -> None:
+        """Stop accepting, finish in-flight work, flush, tear down."""
+        if self.draining:
+            return
+        self.draining = True
+        reg = _metrics.registry()
+        reg.counter("repro_serve_drains_total",
+                    "drain sequences initiated").inc()
+        # wait (bounded) for admitted requests to resolve
+        grace_until = self._clock() + self.config.drain_grace_s
+        while self.admission.inflight > 0 and self._clock() < grace_until:
+            await asyncio.sleep(0.01)
+        await self.coalescer.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.started = False
+        self._flush()
+        self.executor.shutdown(wait=True, cancel_futures=True)
+        shutdown_pools()
+        self._drained.set()
+
+    def _flush(self) -> None:
+        """Persist metrics on the way out (diagnostics live in them)."""
+        if self.config.metrics_path is not None:
+            from ..obs.export import write_prometheus
+            try:
+                write_prometheus(self.config.metrics_path,
+                                 _metrics.registry())
+            except OSError:
+                pass
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    async def close(self) -> None:
+        """Immediate teardown (tests); :meth:`drain` for production."""
+        if not self._drained.is_set():
+            await self.drain()

@@ -12,25 +12,29 @@ grid point or shard index that fails.
 
 Known sites (kept in sync with their call sites):
 
-=================  =====================================================
-site               fires
-=================  =====================================================
-``pade.hankel``    before the order-q Hankel solve in
-                   :func:`repro.awe.pade.pade_coefficients`
-                   (payload: ``order``)
-``pade.fast``      on entry of :func:`repro.awe.pade.fast_poles_residues`
-                   (payload: ``order``)
-``sweep.moments``  after the compiled moment program evaluated a chunk in
-                   the batched runtime (payload: ``moments`` — mutable
-                   ``(n_moments, n_points)`` array — and ``offset``, the
-                   chunk's global flat-index base)
-``sweep.shard``    on entry of every shard execution attempt (payload:
-                   ``shard``, ``attempt`` — ``-1`` for the serial
-                   in-process fallback — ``lo``, ``hi``)
-``cache.write``    midway through an atomic cache write, after the first
-                   half of the payload hit the temp file (payload:
-                   ``path``, ``tmp``)
-=================  =====================================================
+===================  ===================================================
+site                 fires
+===================  ===================================================
+``pade.hankel``      before the order-q Hankel solve in
+                     :func:`repro.awe.pade.pade_coefficients`
+                     (payload: ``order``)
+``pade.fast``        on entry of
+                     :func:`repro.awe.pade.fast_poles_residues`
+                     (payload: ``order``)
+``sweep.moments``    after the compiled moment program evaluated a chunk
+                     in the batched runtime (payload: ``moments`` —
+                     mutable ``(n_moments, n_points)`` array — and
+                     ``offset``, the chunk's global flat-index base)
+``sweep.shard``      on entry of every shard execution attempt (payload:
+                     ``shard``, ``attempt`` — ``-1`` for the serial
+                     in-process fallback — ``lo``, ``hi``)
+``cache.write``      midway through an atomic cache write, after the
+                     first half of the payload hit the temp file
+                     (payload: ``path``, ``tmp``)
+``service.compile``  at the start of a serving-layer model compile in
+                     :meth:`repro.service.registry.ModelRegistry.ensure`
+                     (payload: ``name`` — the registered model name)
+===================  ===================================================
 
 Example::
 

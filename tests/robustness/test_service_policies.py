@@ -1,0 +1,218 @@
+"""Service policy primitives under a fake clock.
+
+Every transition in the admission pipeline — quota refill, shed,
+bulkhead, retry budget, breaker state machine — is deterministic once
+the clock is injected; no sleeps, no flakes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnostics import SweepDiagnostics
+from repro.service import (AdmissionController, BreakerConfig, Bulkhead,
+                           CircuitBreaker, RetryBudget, TokenBucket)
+from repro.service.policies import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire(2.0)
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=5.0, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.available == 5.0
+
+    def test_zero_rate_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        clock.advance(1e9)
+        assert not bucket.try_acquire()
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestRetryBudget:
+    def test_spend_matches_bucket(self):
+        clock = FakeClock()
+        budget = RetryBudget(rate=0.0, burst=2.0, clock=clock)
+        assert budget.spend() and budget.spend()
+        assert not budget.spend()  # exhausted — and counted in metrics
+
+    def test_spend_is_resilience_contract_shaped(self):
+        # ResilienceConfig.retry_budget wants a zero-arg () -> bool
+        budget = RetryBudget(rate=1.0, burst=1.0)
+        assert budget.spend() in (True, False)
+
+
+class TestAdmissionController:
+    def test_sheds_only_when_both_budgets_full(self):
+        ctl = AdmissionController(max_inflight=2, max_queue=1)
+        assert [ctl.try_admit() for _ in range(4)] == \
+            [True, True, True, False]
+        assert ctl.inflight == 3
+
+    def test_release_reopens_a_slot(self):
+        ctl = AdmissionController(max_inflight=1, max_queue=0)
+        assert ctl.try_admit()
+        assert not ctl.try_admit()
+        ctl.release()
+        assert ctl.try_admit()
+
+    def test_promote_moves_queued_to_inflight(self):
+        ctl = AdmissionController(max_inflight=1, max_queue=2)
+        for _ in range(3):
+            assert ctl.try_admit()
+        ctl.promote()  # accounting only; total admitted unchanged
+        assert ctl.inflight == 3
+        for _ in range(3):
+            ctl.release()
+        assert ctl.inflight == 0
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=1, max_queue=-1)
+
+
+class TestBulkhead:
+    def test_caps_concurrency(self):
+        bulkhead = Bulkhead(limit=2)
+        assert bulkhead.try_enter() and bulkhead.try_enter()
+        assert not bulkhead.try_enter()
+        bulkhead.exit()
+        assert bulkhead.try_enter()
+
+    def test_exit_never_goes_negative(self):
+        bulkhead = Bulkhead(limit=1)
+        bulkhead.exit()
+        assert bulkhead.active == 0
+        assert bulkhead.try_enter()
+
+    def test_validates_limit(self):
+        with pytest.raises(ValueError):
+            Bulkhead(limit=0)
+
+
+def make_breaker(clock, **overrides):
+    defaults = dict(failure_threshold=0.5, window=4, min_samples=2,
+                    cooldown_s=5.0, half_open_probes=2)
+    defaults.update(overrides)
+    return CircuitBreaker(BreakerConfig(**defaults), clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_at_failure_threshold(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record(True)
+        breaker.record(True)
+        breaker.record(False)
+        assert breaker.state == CLOSED  # 1/3 < 50%
+        breaker.record(False)           # 2/4 reaches the threshold
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_no_judgment_before_min_samples(self):
+        breaker = make_breaker(FakeClock(), min_samples=4)
+        for _ in range(3):
+            breaker.record(False)
+        assert breaker.state == CLOSED
+
+    def test_cooldown_half_opens_with_limited_probes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.record(False)
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow() and breaker.allow()  # two probes pass …
+        assert not breaker.allow()                  # … third is held back
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.record(False)
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record(False)
+        assert breaker.state == OPEN
+        # and the cooldown restarts from the reopen
+        clock.advance(4.0)
+        assert breaker.state == OPEN
+
+    def test_probe_successes_close_and_clear(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.record(False)
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record(True)
+        assert breaker.state == HALF_OPEN  # one of two probes back
+        breaker.record(True)
+        assert breaker.state == CLOSED
+        # window was cleared: one fresh failure must not re-trip
+        breaker.record(False)
+        assert breaker.state == CLOSED
+
+    def test_observe_judges_nan_fraction(self):
+        breaker = make_breaker(FakeClock(), min_samples=1, window=1)
+        healthy = SweepDiagnostics(points=100, nan_points=10)
+        assert breaker.observe(healthy) is True
+        assert breaker.state == CLOSED
+        sick = SweepDiagnostics(points=100, nan_points=60)
+        assert breaker.observe(sick) is False
+        assert breaker.state == OPEN
+
+    def test_observe_ignores_cancelled_sweeps(self):
+        breaker = make_breaker(FakeClock(), min_samples=1, window=1)
+        drained = SweepDiagnostics(points=100, nan_points=100,
+                                   cancelled=True)
+        # a deadline drain is the caller's choice, not the model's fault
+        assert breaker.observe(drained) is True
+        assert breaker.state == CLOSED
+
+    def test_observe_none_counts_healthy(self):
+        breaker = make_breaker(FakeClock(), min_samples=1, window=1)
+        assert breaker.observe(None) is True
+        assert breaker.state == CLOSED

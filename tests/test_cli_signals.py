@@ -1,0 +1,94 @@
+"""CLI signal handling: SIGINT/SIGTERM drain instead of a stack trace.
+
+The first signal cancels the sweep's :class:`~repro.runtime.cancel.
+CancelToken`; in-flight shards stop at their next chunk check, partial
+results and diagnostics are kept, and the command exits with the
+conventional ``128 + signum`` code (130 SIGINT, 143 SIGTERM).
+
+The tests run ``repro sweep`` in-process with a fault-injected slow
+shard and a timer thread that delivers a real signal to this process
+mid-sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.cli import EXIT_SIGINT, EXIT_SIGTERM, main
+from repro.testing import FaultInjector
+
+LINEAR = """* demo lowpass
+Vin in 0 AC 1
+R1 in out 1k
+C1 out 0 1n
+.end
+"""
+
+
+@pytest.fixture
+def linear_netlist(tmp_path):
+    path = tmp_path / "lowpass.sp"
+    path.write_text(LINEAR)
+    return path
+
+
+def _sweep_args(netlist, tmp_path, n: int = 64) -> list[str]:
+    return ["sweep", str(netlist), "-o", "out", "--symbols", "R1,C1",
+            "--sweep", f"C1=1n:10n:{n}", "--metric", "dominant_pole_hz",
+            "--shards", "4", "--workers", "2",
+            "--diagnostics", str(tmp_path / "diag.json")]
+
+
+def _run_with_signal(args, signum: int, delay: float = 0.1) -> int:
+    injector = FaultInjector()
+    # shard 0's first attempt stalls long enough for the signal to land
+    injector.sleeps("sweep.shard", 0.5,
+                    when=lambda p: p["shard"] == 0 and p["attempt"] == 0)
+    timer = threading.Timer(delay, os.kill, (os.getpid(), signum))
+    timer.start()
+    try:
+        with injector.armed():
+            return main(args)
+    finally:
+        timer.cancel()
+
+
+class TestSignalDrain:
+    def test_sigint_drains_with_exit_130(self, linear_netlist, tmp_path,
+                                         capsys):
+        rc = _run_with_signal(_sweep_args(linear_netlist, tmp_path),
+                              signal.SIGINT)
+        assert rc == EXIT_SIGINT
+        captured = capsys.readouterr()
+        assert "SIGINT: draining" in captured.err
+        assert "drained by SIGINT" in captured.out
+        # partial diagnostics were flushed despite the interrupt
+        assert (tmp_path / "diag.json").exists()
+        assert '"cancelled": true' in (tmp_path / "diag.json").read_text()
+
+    def test_sigterm_drains_with_exit_143(self, linear_netlist, tmp_path,
+                                          capsys):
+        rc = _run_with_signal(_sweep_args(linear_netlist, tmp_path),
+                              signal.SIGTERM)
+        assert rc == EXIT_SIGTERM
+        captured = capsys.readouterr()
+        assert "drained by SIGTERM" in captured.out
+
+    def test_unsignalled_run_exits_zero(self, linear_netlist, tmp_path,
+                                        capsys):
+        # same command, no signal: the handler install/restore is inert
+        rc = main(_sweep_args(linear_netlist, tmp_path, n=8))
+        assert rc == 0
+        assert "drained" not in capsys.readouterr().out
+
+    def test_handlers_are_restored(self, linear_netlist, tmp_path):
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        _run_with_signal(_sweep_args(linear_netlist, tmp_path),
+                         signal.SIGINT)
+        assert signal.getsignal(signal.SIGINT) is before_int
+        assert signal.getsignal(signal.SIGTERM) is before_term
