@@ -574,7 +574,7 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
             raises (whole-shard drain, handled by the resilience
             layer).
             """
-            step = hi - lo
+            step = max(1, hi - lo)  # hi == lo: range(lo, hi, 0) raises
             if token is not None:
                 step = max(1, int(chunk_points if chunk_points is not None
                                   else CANCEL_CHUNK_POINTS))

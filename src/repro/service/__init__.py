@@ -32,7 +32,8 @@ leaks threads, processes, or temp files across a drain.  See
 
 from .coalescer import Coalescer, EvalOutcome, EvalRequest
 from .errors import (BreakerOpen, BulkheadFull, DeadlineExceeded, Draining,
-                     QuotaExceeded, ServiceRejection, ShedError, UnknownModel)
+                     InvalidRequest, QuotaExceeded, ServiceRejection,
+                     ShedError, UnknownModel)
 from .policies import (AdmissionController, BreakerConfig, Bulkhead,
                        CircuitBreaker, RetryBudget, TokenBucket)
 from .registry import ModelEntry, ModelRegistry, RegisteredRecipe
@@ -51,6 +52,7 @@ __all__ = [
     "Draining",
     "EvalOutcome",
     "EvalRequest",
+    "InvalidRequest",
     "ModelEntry",
     "ModelRegistry",
     "QuotaExceeded",

@@ -166,6 +166,24 @@ class Coalescer:
     # evaluation
     # ------------------------------------------------------------------
     async def _run_batch(self, requests: list[EvalRequest]) -> None:
+        """Outermost batch guard: **every** member future resolves.
+
+        A stranded future would hold its caller's admission and
+        bulkhead slots forever (their release lives in a ``finally``
+        around the await), so any exception escaping the batch body —
+        including bugs in our own bucketing/sampling code — rejects
+        every still-pending member instead of killing the task.
+        """
+        try:
+            await self._run_batch_inner(requests)
+        except Exception as exc:
+            _metrics.registry().counter(
+                "repro_serve_batch_internal_error_total",
+                "batches that failed outside evaluation").inc()
+            for req in requests:
+                self._reject(req, exc)
+
+    async def _run_batch_inner(self, requests: list[EvalRequest]) -> None:
         reg = _metrics.registry()
         now = self._clock()
         live: list[EvalRequest] = []

@@ -22,6 +22,7 @@ __all__ = [
     "BulkheadFull",
     "DeadlineExceeded",
     "Draining",
+    "InvalidRequest",
     "QuotaExceeded",
     "ServiceRejection",
     "ShedError",
@@ -99,3 +100,14 @@ class UnknownModel(ServiceRejection):
 
     code = "unknown_model"
     http_status = 404
+
+
+class InvalidRequest(ServiceRejection):
+    """The request payload is malformed: unknown metric, element name
+    not in the model's symbolic space, or a non-numeric value.
+
+    Validated *before* the request reaches the coalescer — a bad
+    payload must never be able to poison a shared batch."""
+
+    code = "invalid_request"
+    http_status = 400

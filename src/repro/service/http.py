@@ -37,6 +37,9 @@ from .errors import ServiceRejection
 __all__ = ["serve_http"]
 
 _MAX_BODY = 1 << 20  # 1 MiB request cap: eval bodies are tiny
+_MAX_HEADER_LINES = 100  # far above any legitimate client
+_READ_BUDGET_S = 10.0  # whole request (line + headers + body) must
+                       # arrive within this — the slowloris bound
 
 
 async def serve_http(service, host: str, port: int) -> asyncio.AbstractServer:
@@ -60,19 +63,49 @@ async def serve_http(service, host: str, port: int) -> asyncio.AbstractServer:
     return await asyncio.start_server(handle, host, port)
 
 
+class _HttpError(Exception):
+    """Early typed HTTP error raised while reading a request."""
+
+    def __init__(self, status: int, code: str, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.body = {"error": code, "detail": detail}
+
+
 async def _handle_one(service, reader: asyncio.StreamReader,
                       ) -> tuple[int, object]:
+    # The whole read phase shares one budget: a client that trickles
+    # headers or under-sends its body (slowloris) gets a 408 and the
+    # socket closed instead of holding the handler coroutine forever.
+    # Routing runs outside the budget — eval requests carry their own
+    # deadline machinery.
     try:
-        request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        method, path, body = await asyncio.wait_for(
+            _read_request(reader), timeout=_READ_BUDGET_S)
     except asyncio.TimeoutError:
-        return 408, {"error": "timeout", "detail": "no request line"}
+        return 408, {"error": "timeout",
+                     "detail": f"request not received within "
+                               f"{_READ_BUDGET_S:g}s"}
+    except asyncio.IncompleteReadError:
+        return 400, {"error": "bad_request",
+                     "detail": "connection closed before body complete"}
+    except _HttpError as exc:
+        return exc.status, exc.body
+    return await _route(service, method, path, body)
+
+
+async def _read_request(reader: asyncio.StreamReader,
+                        ) -> tuple[str, str, bytes]:
+    """Read one request line + headers + body; :class:`_HttpError` on
+    anything malformed or oversized."""
+    request_line = await reader.readline()
     parts = request_line.decode("latin-1").split()
     if len(parts) < 2:
-        return 400, {"error": "bad_request", "detail": "malformed request"}
+        raise _HttpError(400, "bad_request", "malformed request")
     method, path = parts[0].upper(), parts[1].split("?", 1)[0]
 
     content_length = 0
-    while True:
+    for _ in range(_MAX_HEADER_LINES):
         line = await reader.readline()
         if line in (b"\r\n", b"\n", b""):
             break
@@ -81,14 +114,18 @@ async def _handle_one(service, reader: asyncio.StreamReader,
             try:
                 content_length = int(value.strip())
             except ValueError:
-                return 400, {"error": "bad_request",
-                             "detail": "bad Content-Length"}
+                raise _HttpError(400, "bad_request", "bad Content-Length")
+    else:
+        raise _HttpError(400, "bad_request",
+                         f"over {_MAX_HEADER_LINES} header lines")
+    if content_length < 0:
+        raise _HttpError(400, "bad_request", "negative Content-Length")
     if content_length > _MAX_BODY:
-        return 413, {"error": "too_large",
-                     "detail": f"body over {_MAX_BODY} bytes"}
-    body = await reader.readexactly(content_length) if content_length else b""
-
-    return await _route(service, method, path, body)
+        raise _HttpError(413, "too_large",
+                         f"body over {_MAX_BODY} bytes")
+    body = (await reader.readexactly(content_length)
+            if content_length else b"")
+    return method, path, body
 
 
 async def _route(service, method: str, path: str, body: bytes,

@@ -11,9 +11,9 @@ The design follows the standard load-shedding playbook:
   :class:`RetryBudget`, the *shared* retry budget handed to
   :class:`~repro.runtime.resilience.ResilienceConfig`, so a fault storm
   cannot multiply load through retries).
-* :class:`AdmissionController` — two bounded budgets (inflight and
-  queued); when both are full the request is shed immediately with a
-  typed 503 instead of queueing unboundedly.
+* :class:`AdmissionController` — one bounded admission budget
+  (``max_inflight + max_queue`` slots); when it is full the request is
+  shed immediately with a typed 503 instead of queueing unboundedly.
 * :class:`Bulkhead` — per-tenant concurrency cap so one tenant's slow
   requests cannot occupy every worker slot.
 * :class:`CircuitBreaker` — per-model closed → open → half-open machine
@@ -117,13 +117,16 @@ class RetryBudget:
 
 
 class AdmissionController:
-    """Bounded inflight + queue budgets with immediate load shedding.
+    """Bounded admission with immediate load shedding.
 
-    A request first tries an *inflight* slot; failing that it may wait
-    in a bounded queue (accounted, not stored — the caller's coroutine
-    is its own queue entry); when both budgets are exhausted the
-    request is shed.  ``try_admit``/``release`` are O(1) and lock-cheap
-    so admission never becomes its own bottleneck.
+    One bounded budget of ``max_inflight + max_queue`` slots: an
+    admitted request's own coroutine is its queue entry (the coalescer
+    holds it, nothing is stored here), so a separate inflight/queued
+    split would be accounting fiction — a single counter says exactly
+    what the service is on the hook for.  When the budget is exhausted
+    the request is shed with a typed 503 instead of queueing
+    unboundedly.  ``try_admit``/``release`` are O(1) and lock-cheap so
+    admission never becomes its own bottleneck.
     """
 
     def __init__(self, max_inflight: int = 32, max_queue: int = 64) -> None:
@@ -132,53 +135,38 @@ class AdmissionController:
                              f"got {max_inflight}, {max_queue}")
         self.max_inflight = max_inflight
         self.max_queue = max_queue
-        self._inflight = 0
-        self._queued = 0
+        self.capacity = max_inflight + max_queue
+        self._admitted = 0
         self._lock = threading.Lock()
 
     def try_admit(self) -> bool:
-        """Claim a slot (inflight or queued); False = shed now."""
+        """Claim a slot; False = shed now."""
         with self._lock:
-            if self._inflight + self._queued >= self.max_inflight + self.max_queue:
+            if self._admitted >= self.capacity:
                 _metrics.registry().counter(
                     "repro_serve_shed_total",
                     "requests shed by admission control").inc()
                 return False
-            if self._inflight < self.max_inflight:
-                self._inflight += 1
-            else:
-                self._queued += 1
+            self._admitted += 1
             self._publish()
             return True
-
-    def promote(self) -> None:
-        """Move one accounted entry from queued to inflight (called when
-        a queued request actually starts evaluating)."""
-        with self._lock:
-            if self._queued > 0:
-                self._queued -= 1
-                self._inflight += 1
-                self._publish()
 
     def release(self) -> None:
         """Return the slot claimed by :meth:`try_admit`."""
         with self._lock:
-            if self._inflight > 0:
-                self._inflight -= 1
-            elif self._queued > 0:
-                self._queued -= 1
+            if self._admitted > 0:
+                self._admitted -= 1
             self._publish()
 
     def _publish(self) -> None:
-        reg = _metrics.registry()
-        reg.gauge("repro_serve_inflight",
-                  "requests currently admitted").set(
-                      self._inflight + self._queued)
+        _metrics.registry().gauge(
+            "repro_serve_inflight",
+            "requests currently admitted").set(self._admitted)
 
     @property
     def inflight(self) -> int:
         with self._lock:
-            return self._inflight + self._queued
+            return self._admitted
 
 
 class Bulkhead:
@@ -245,7 +233,10 @@ class CircuitBreaker:
       until ``cooldown_s`` passes, then half-open.
     * **half-open** — up to ``half_open_probes`` trial requests pass;
       any failure re-opens, ``half_open_probes`` consecutive successes
-      close and clear the window.
+      close and clear the window.  A probe round can also *evaporate*
+      (probes expire preflight or their sweeps are cancelled, so no
+      outcome is ever recorded); after another ``cooldown_s`` the round
+      re-arms rather than wedging with every probe slot consumed.
     """
 
     def __init__(self, config: BreakerConfig | None = None,
@@ -255,6 +246,7 @@ class CircuitBreaker:
         self._state = CLOSED
         self._outcomes: deque[bool] = deque(maxlen=self.config.window)
         self._opened_at = 0.0
+        self._probes_armed_at = 0.0
         self._probes_issued = 0
         self._probe_successes = 0
         self._lock = threading.Lock()
@@ -280,12 +272,29 @@ class CircuitBreaker:
             return False
 
     def _maybe_half_open(self) -> None:
+        now = self._clock()
         if (self._state == OPEN
-                and self._clock() - self._opened_at >= self.config.cooldown_s):
+                and now - self._opened_at >= self.config.cooldown_s):
             self._state = HALF_OPEN
             self._probes_issued = 0
             self._probe_successes = 0
+            self._probes_armed_at = now
             self._transition_metric(HALF_OPEN)
+        elif (self._state == HALF_OPEN
+                and self._probes_issued >= self.config.half_open_probes
+                and now - self._probes_armed_at >= self.config.cooldown_s):
+            # Probes went out but no verdict ever came back — they
+            # expired preflight (deadline ate the budget before any
+            # record()) or their sweeps were cancelled (observe()
+            # deliberately abstains).  Without this re-arm the breaker
+            # wedges: allow() is False forever and the model can never
+            # recover.  Re-issue a fresh probe round after a cooldown.
+            self._probes_issued = 0
+            self._probe_successes = 0
+            self._probes_armed_at = now
+            _metrics.registry().counter(
+                "repro_serve_breaker_probes_rearmed_total",
+                "half-open probe rounds re-armed after lost probes").inc()
 
     # ------------------------------------------------------------------
     def record(self, ok: bool) -> None:

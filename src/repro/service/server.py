@@ -39,8 +39,8 @@ from ..runtime.backends import shutdown_pools
 from ..runtime.resilience import DEFAULT_RESILIENCE
 from ..testing.differential import ToleranceLadder
 from .coalescer import Coalescer, EvalRequest
-from .errors import (BreakerOpen, BulkheadFull, Draining, QuotaExceeded,
-                     ShedError)
+from .errors import (BreakerOpen, BulkheadFull, Draining, InvalidRequest,
+                     QuotaExceeded, ShedError)
 from .policies import (AdmissionController, BreakerConfig, Bulkhead,
                        RetryBudget, TokenBucket)
 from .registry import ModelRegistry
@@ -64,6 +64,7 @@ class ServiceConfig:
     tenant_rate: float = 200.0       #: requests/second sustained
     tenant_burst: float = 50.0
     bulkhead_limit: int = 16         #: concurrent requests per tenant
+    max_tenants: int = 1024          #: LRU cap on per-tenant state
     # shared retry budget (feeds ResilienceConfig.retry_budget)
     retry_rate: float = 2.0
     retry_burst: float = 10.0
@@ -111,8 +112,8 @@ class AWEService:
         self.admission = AdmissionController(self.config.max_inflight,
                                              self.config.max_queue)
         self.ladder = ToleranceLadder()
-        self._tenants: dict[str, TokenBucket] = {}
-        self._bulkheads: dict[str, Bulkhead] = {}
+        #: tenant -> (quota bucket, bulkhead); insertion order is LRU
+        self._tenants: dict[str, tuple[TokenBucket, Bulkhead]] = {}
         self.draining = False
         self.started = False
         self._drained = asyncio.Event()
@@ -154,14 +155,10 @@ class AWEService:
 
     async def _admitted(self, payload: dict, t0: float) -> dict:
         tenant = str(payload.get("tenant", "default"))
-        bucket = self._tenants.setdefault(
-            tenant, TokenBucket(self.config.tenant_rate,
-                                self.config.tenant_burst, clock=self._clock))
+        bucket, bulkhead = self._tenant_state(tenant)
         if not bucket.try_acquire():
             self._count_reject("quota")
             raise QuotaExceeded(f"tenant {tenant!r} rate quota exhausted")
-        bulkhead = self._bulkheads.setdefault(
-            tenant, Bulkhead(self.config.bulkhead_limit))
         if not bulkhead.try_enter():
             self._count_reject("bulkhead_full")
             raise BulkheadFull(
@@ -172,16 +169,36 @@ class AWEService:
         finally:
             bulkhead.exit()
 
+    def _tenant_state(self, tenant: str) -> tuple[TokenBucket, Bulkhead]:
+        """Per-tenant quota state, LRU-bounded at ``max_tenants``.
+
+        Tenant names are client-controlled and unauthenticated, so the
+        map must not grow without bound.  Beyond the cap the
+        least-recently-seen *idle* entries are dropped: a bucket at
+        rest refills toward full burst anyway, so evicting one forgets
+        at most a partial throttle, and a bulkhead with requests in
+        flight is never evicted (its ``exit()`` calls must keep
+        balancing the live object).
+        """
+        state = self._tenants.pop(tenant, None)
+        if state is None:
+            state = (TokenBucket(self.config.tenant_rate,
+                                 self.config.tenant_burst,
+                                 clock=self._clock),
+                     Bulkhead(self.config.bulkhead_limit))
+        self._tenants[tenant] = state  # (re)insert at the MRU end
+        while len(self._tenants) > self.config.max_tenants:
+            victim = next((name for name, (_, bh) in self._tenants.items()
+                           if name != tenant and bh.active == 0), None)
+            if victim is None:
+                break  # everyone else is mid-request; briefly over cap
+            del self._tenants[victim]
+        return state
+
     async def _evaluate(self, payload: dict, tenant: str, t0: float) -> dict:
         entry = await self.registry.ensure(str(payload["model"]),
                                            executor=self.executor)
-        metric = str(payload.get("metric", "dc_gain"))
-        order = int(payload.get("order", entry.recipe.order))
-        values = {str(k): float(v)
-                  for k, v in dict(payload.get("values") or {}).items()}
-        timeout = min(float(payload.get("timeout_s",
-                                        self.config.default_deadline_s)),
-                      self.config.max_deadline_s)
+        metric, order, values, timeout = self._validate(payload, entry)
         deadline = t0 + timeout
 
         if not entry.breaker.allow():
@@ -210,6 +227,46 @@ class AWEService:
             "queue_s": round(outcome.queue_s, 6),
             "eval_s": round(outcome.eval_s, 6),
         }
+
+    def _validate(self, payload: dict, entry) -> tuple[str, int, dict, float]:
+        """Reject malformed payloads *before* they reach the coalescer.
+
+        An unknown metric or element name raising inside the shared
+        batch task would poison every coalesced neighbour (and strand
+        their futures), so the front door checks everything the batch
+        will later dereference: metric name, element names against the
+        model's symbolic slots, numeric values/order/timeout.
+        """
+        from ..core.metrics import resolve_metric
+        metric = str(payload.get("metric", "dc_gain"))
+        try:
+            resolve_metric(metric)
+        except Exception as exc:
+            self._count_reject("invalid_request")
+            raise InvalidRequest(f"unknown metric {metric!r}") from exc
+        try:
+            order = int(payload.get("order", entry.recipe.order))
+            values = {str(k): float(v)
+                      for k, v in dict(payload.get("values") or {}).items()}
+            timeout = float(payload.get("timeout_s",
+                                        self.config.default_deadline_s))
+        except (TypeError, ValueError) as exc:
+            self._count_reject("invalid_request")
+            raise InvalidRequest(
+                f"malformed order/values/timeout_s: {exc}") from exc
+        if not 1 <= order <= entry.recipe.order:
+            self._count_reject("invalid_request")
+            raise InvalidRequest(
+                f"order must be in [1, {entry.recipe.order}] for model "
+                f"{entry.recipe.name!r}, got {order}")
+        unknown = sorted(set(values) - set(entry.model.element_slots))
+        if unknown:
+            self._count_reject("invalid_request")
+            raise InvalidRequest(
+                f"unknown element(s) {unknown} for model "
+                f"{entry.recipe.name!r}; symbolic elements: "
+                f"{sorted(entry.model.element_slots)}")
+        return metric, order, values, min(timeout, self.config.max_deadline_s)
 
     async def _degraded(self, entry, metric: str, values: dict,
                         tenant: str) -> dict:

@@ -25,9 +25,10 @@ from repro.circuits.library import fig1_circuit
 from repro.errors import ReproError
 from repro.runtime import ProgramCache
 from repro.service import (AWEService, BreakerConfig, BulkheadFull,
-                           DeadlineExceeded, Draining, ModelRegistry,
-                           QuotaExceeded, ServiceConfig, ServiceRejection,
-                           ShedError, UnknownModel)
+                           DeadlineExceeded, Draining, EvalRequest,
+                           InvalidRequest, ModelRegistry, QuotaExceeded,
+                           ServiceConfig, ServiceRejection, ShedError,
+                           UnknownModel)
 from repro.service.policies import CLOSED, OPEN
 from repro.testing import FaultInjector, InjectedFault
 
@@ -113,6 +114,107 @@ class TestHappyPath:
             assert b["value"] == pytest.approx(s["value"], rel=1e-12)
         # distinct G1 must give distinct answers (not one smeared batch)
         assert len({round(r["value"], 9) for r in batched}) == len(g1_values)
+
+
+class TestInvalidRequests:
+    """The batch-poisoning regression: an unvalidated metric or element
+    name used to raise inside the shared batch task *before* any
+    rejection path, stranding every member future and leaking their
+    admission + bulkhead slots forever."""
+
+    def test_unknown_metric_is_typed_and_leaks_no_slots(self):
+        async def scenario():
+            # tiny budgets: a few leaked slots would brick the service
+            service = make_service(max_inflight=2, max_queue=0)
+            try:
+                for _ in range(5):
+                    with pytest.raises(InvalidRequest):
+                        await service.handle_eval(
+                            {"model": "fig1", "metric": "no_such_metric"})
+                assert service.admission.inflight == 0
+                after = await service.handle_eval({"model": "fig1"})
+            finally:
+                await service.drain()
+            return after
+
+        after = asyncio.run(scenario())
+        assert math.isfinite(after["value"])
+
+    def test_unknown_element_spares_batch_neighbours(self):
+        """Bad request coalesced with a good one: the bad one gets its
+        typed 400 at the front door, the good one still resolves."""
+        async def scenario():
+            service = make_service(max_batch=2, max_delay_s=0.05)
+            try:
+                results = await asyncio.gather(
+                    service.handle_eval({"model": "fig1",
+                                         "values": {"NOPE": 1.0}}),
+                    service.handle_eval({"model": "fig1",
+                                         "values": {"G1": 1.0}}),
+                    return_exceptions=True)
+            finally:
+                await service.drain()
+            return results
+
+        bad, good = asyncio.run(scenario())
+        assert isinstance(bad, InvalidRequest)
+        assert isinstance(good, dict) and math.isfinite(good["value"])
+
+    @pytest.mark.parametrize("payload", [
+        {"model": "fig1", "order": 0},
+        {"model": "fig1", "order": 99},
+        {"model": "fig1", "order": "lots"},
+        {"model": "fig1", "values": {"G1": "tall"}},
+        {"model": "fig1", "values": {"G1": None}},
+        {"model": "fig1", "timeout_s": "soon"},
+    ])
+    def test_malformed_payloads_are_typed(self, payload):
+        async def scenario():
+            service = make_service()
+            try:
+                with pytest.raises(InvalidRequest):
+                    await service.handle_eval(payload)
+            finally:
+                await service.drain()
+
+        asyncio.run(scenario())
+
+    def test_batch_internal_error_rejects_instead_of_stranding(self):
+        """Defense in depth: even a request poisoned *past* the front
+        door (submitted straight to the coalescer) must reject every
+        member future, never kill the batch task and strand them."""
+        async def scenario():
+            service = make_service()
+            try:
+                entry = await service.registry.ensure("fig1")
+                poisoned = EvalRequest(entry=entry, metric="no_such_metric",
+                                       order=2, values={}, deadline=None)
+                fut = service.coalescer.submit(poisoned)
+                with pytest.raises(Exception):
+                    # a stranded future would hang; wait_for guards it
+                    await asyncio.wait_for(fut, timeout=10.0)
+            finally:
+                await service.drain()
+
+        asyncio.run(scenario())
+
+
+class TestTenantState:
+    def test_tenant_state_is_lru_bounded(self):
+        async def scenario():
+            service = make_service(max_tenants=4)
+            try:
+                for i in range(12):
+                    await service.handle_eval({"model": "fig1",
+                                               "tenant": f"t{i}"})
+                return dict(service._tenants)
+            finally:
+                await service.drain()
+
+        tenants = asyncio.run(scenario())
+        assert len(tenants) <= 4
+        assert "t0" not in tenants   # oldest idle entries evicted …
+        assert "t11" in tenants      # … newest kept
 
 
 class TestAdmissionUnderLoad:

@@ -89,15 +89,21 @@ class TestAdmissionController:
         ctl.release()
         assert ctl.try_admit()
 
-    def test_promote_moves_queued_to_inflight(self):
+    def test_single_budget_accounting(self):
         ctl = AdmissionController(max_inflight=1, max_queue=2)
+        assert ctl.capacity == 3
         for _ in range(3):
             assert ctl.try_admit()
-        ctl.promote()  # accounting only; total admitted unchanged
         assert ctl.inflight == 3
         for _ in range(3):
             ctl.release()
         assert ctl.inflight == 0
+
+    def test_release_never_goes_negative(self):
+        ctl = AdmissionController(max_inflight=1, max_queue=0)
+        ctl.release()
+        assert ctl.inflight == 0
+        assert ctl.try_admit()
 
     def test_validates_parameters(self):
         with pytest.raises(ValueError):
@@ -194,6 +200,52 @@ class TestCircuitBreaker:
         # window was cleared: one fresh failure must not re-trip
         breaker.record(False)
         assert breaker.state == CLOSED
+
+    def test_lost_probes_rearm_after_cooldown(self):
+        """Probes consumed without a recorded verdict (expired
+        preflight, cancelled sweeps) must not wedge the breaker in
+        half-open forever."""
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.record(False)
+        clock.advance(5.1)
+        # both probes go out … and evaporate (no record() ever happens)
+        assert breaker.allow() and breaker.allow()
+        assert not breaker.allow()
+        # without re-arm this would be False until the heat death of
+        # the process; after another cooldown a fresh round is armed
+        clock.advance(5.1)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record(True)
+        breaker.record(True)
+        assert breaker.state == CLOSED
+
+    def test_rearm_does_not_fire_early(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.record(False)
+        clock.advance(5.1)
+        assert breaker.allow() and breaker.allow()
+        clock.advance(4.9)  # within the re-arm cooldown
+        assert not breaker.allow()
+
+    def test_cancelled_probe_sweep_rearms(self):
+        """observe() abstains on cancelled sweeps; the probe slot must
+        come back eventually."""
+        clock = FakeClock()
+        breaker = make_breaker(clock, half_open_probes=1)
+        for _ in range(2):
+            breaker.record(False)
+        clock.advance(5.1)
+        assert breaker.allow()
+        drained = SweepDiagnostics(points=10, nan_points=10, cancelled=True)
+        assert breaker.observe(drained) is True  # abstained, not judged
+        assert not breaker.allow()               # probe slot spent
+        clock.advance(5.1)
+        assert breaker.allow()                   # re-armed
 
     def test_observe_judges_nan_fraction(self):
         breaker = make_breaker(FakeClock(), min_samples=1, window=1)

@@ -138,6 +138,19 @@ class TestDrainSemantics:
     def test_cancelled_flag_false_on_clean_sweep(self, model):
         z = model.sweep(grids(8), metric, cancel=CancelToken())
         assert z.diagnostics.cancelled is False
+
+    def test_empty_grid_sweep_returns_empty(self, model):
+        """Regression: with no token, eval_range used ``step = hi - lo``,
+        so an empty shard range called ``range(lo, hi, 0)`` and raised
+        instead of returning the empty result it prepares for."""
+        z = model.sweep({"G2": np.empty(0), "C2": np.empty(0)}, metric)
+        assert np.asarray(z).size == 0
+
+    def test_empty_grid_sweep_with_token(self, model):
+        z = model.sweep({"G2": np.empty(0), "C2": np.empty(0)}, metric,
+                        cancel=CancelToken())
+        assert np.asarray(z).size == 0
+        assert z.diagnostics.cancelled is False
         assert "cancelled" not in z.diagnostics.summary()
 
     def test_cancelled_in_dict_roundtrip(self, model):
