@@ -105,6 +105,10 @@ async def run() -> dict:
         "cpu_count": os.cpu_count(),
         "throughputs": {
             "serve_requests_per_second": coalesced["requests_per_second"],
+            # latency enters the generic higher-is-better gate as its
+            # inverse: a >25 % p50/p99 regression trips the same check
+            "serve_inverse_p50_latency": 1e3 / latency["p50_ms"],
+            "serve_inverse_p99_latency": 1e3 / latency["p99_ms"],
         },
         "coalesced": coalesced,
         "latency": latency,

@@ -1,0 +1,65 @@
+"""Build identity: the ``repro_build_info`` gauge.
+
+Every Prometheus scrape and JSONL export should be attributable to a
+build — which repro version produced it, on which Python and numpy,
+from which git commit.  This module collects those facts once (the git
+lookup shells out, so the result is cached) and publishes them as an
+identity gauge: value 1, information in the labels, the standard
+``*_build_info`` idiom.
+
+Lives outside :mod:`repro.obs` because the obs package is forbidden
+from importing the rest of repro (it needs the package version) — this
+is the thin bridge that feeds repro-side facts into the obs registry.
+"""
+
+from __future__ import annotations
+
+import functools
+import platform
+import subprocess
+from pathlib import Path
+
+from .obs import metrics as _metrics
+
+__all__ = ["build_info", "publish_build_info"]
+
+
+def _git_sha() -> str:
+    """The repo's HEAD commit, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=2.0)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+@functools.lru_cache(maxsize=1)
+def build_info() -> dict[str, str]:
+    """Label set identifying this build (cached per process)."""
+    from . import __version__
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        numpy_version = "unknown"
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "git_sha": _git_sha(),
+    }
+
+
+def publish_build_info(registry: "_metrics.MetricsRegistry | None" = None,
+                       ) -> "_metrics.Gauge":
+    """Register ``repro_build_info`` (value 1, identity in labels)."""
+    reg = registry if registry is not None else _metrics.registry()
+    gauge = reg.gauge("repro_build_info",
+                      "build identity: version/python/numpy/git sha")
+    gauge.set_labels(build_info())
+    gauge.set(1.0)
+    return gauge

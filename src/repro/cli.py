@@ -28,6 +28,10 @@ Commands:
   models behind ``/v1/eval`` with request coalescing, deadlines,
   admission control, circuit breakers, and graceful degradation
   (see ``docs/serving.md``).
+* ``slo`` — render the SLO report (per-tenant latency quantiles,
+  availability, degradation ratio, burn rates vs declared objectives)
+  from a recorded service run's ``slo.json`` snapshot; exit 1 when an
+  objective is breached so CI can gate on it.
 
 ``sweep``, ``mc``, and ``tran`` handle SIGINT/SIGTERM gracefully: the
 first signal cancels the run cooperatively (in-flight shards finish
@@ -392,6 +396,45 @@ def build_parser() -> argparse.ArgumentParser:
                             "(breaker-open requests get a typed 503)")
     serve.add_argument("--warm", action="store_true",
                        help="compile every registered model before binding")
+    serve.add_argument("--backend", default=None,
+                       choices=["auto", "serial", "thread", "process"],
+                       help="shard execution backend for served sweeps")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="split each served sweep into N shards")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker-pool width for served sweep shards")
+    serve.add_argument("--slo-availability", type=float, default=None,
+                       metavar="FRAC",
+                       help="availability objective (default 0.999)")
+    serve.add_argument("--slo-latency-ms", type=float, default=None,
+                       metavar="MS",
+                       help="latency objective in ms (default 250)")
+    serve.add_argument("--slo-degraded-ratio", type=float, default=None,
+                       metavar="FRAC",
+                       help="degraded-answer ratio objective "
+                            "(default 0.05)")
+    serve.add_argument("--readyz-burn-gate", action="store_true",
+                       help="report unready on /readyz while the fast "
+                            "error-budget burn rate is page-worthy")
+    serve.add_argument("--flightrec-capacity", type=int, default=2048,
+                       metavar="N",
+                       help="flight-recorder ring size (default 2048)")
+    serve.add_argument("--flightrec-dir", type=Path, default=None,
+                       metavar="DIR",
+                       help="directory for flight-recorder dumps "
+                            "(default: $REPRO_FLIGHTREC_DIR or the "
+                            "system temp dir)")
+
+    slo = sub.add_parser("slo", parents=[obs_parent],
+                         help="render the SLO report from a recorded "
+                              "service run (slo.json snapshot)")
+    slo.add_argument("snapshot", type=Path,
+                     help="SLO snapshot JSON — `repro serve "
+                          "--metrics-dir DIR` writes DIR/slo.json when "
+                          "it drains")
+    slo.add_argument("--json", action="store_true",
+                     help="print the raw snapshot JSON instead of the "
+                          "report table")
     return parser
 
 
@@ -898,15 +941,29 @@ def cmd_serve(args) -> int:
     """Run the asyncio serving layer until SIGINT/SIGTERM drains it."""
     import asyncio
 
+    from .obs.slo import SLOConfig
     from .runtime import ProgramCache
     from .service import AWEService, ModelRegistry, ServiceConfig
 
     cache = ProgramCache(disk_dir=args.cache_dir,
                          max_disk_bytes=args.max_cache_bytes)
+    slo_kwargs = {}
+    if args.slo_availability is not None:
+        slo_kwargs["availability_objective"] = args.slo_availability
+    if args.slo_latency_ms is not None:
+        slo_kwargs["latency_objective_s"] = args.slo_latency_ms / 1000.0
+    if args.slo_degraded_ratio is not None:
+        slo_kwargs["degraded_ratio_objective"] = args.slo_degraded_ratio
     config = ServiceConfig(
         host=args.host, port=args.port, max_batch=args.max_batch,
         max_delay_s=args.max_delay_ms / 1000.0,
         default_deadline_s=args.deadline_s, degrade=not args.no_degrade,
+        backend=args.backend, sweep_shards=args.shards,
+        sweep_workers=args.workers,
+        slo=SLOConfig(**slo_kwargs),
+        readyz_gate_on_burn=args.readyz_burn_gate,
+        flightrec_capacity=args.flightrec_capacity,
+        flightrec_dir=args.flightrec_dir,
         metrics_path=(args.metrics_dir / "metrics.prom"
                       if args.metrics_dir is not None else None))
     registry = ModelRegistry(cache=cache)
@@ -942,9 +999,69 @@ def cmd_serve(args) -> int:
               f"(SIGINT/SIGTERM to drain)")
         await service.wait_drained()
         print("drained, exiting")
+        if args.metrics_dir is not None:
+            args.metrics_dir.mkdir(parents=True, exist_ok=True)
+            path = args.metrics_dir / "slo.json"
+            path.write_text(json.dumps(service.slo.snapshot(), indent=2)
+                            + "\n")
+            print(f"wrote {path}")
 
     asyncio.run(run())
     return 0
+
+
+def cmd_slo(args) -> int:
+    """Render the SLO report from a recorded run's snapshot JSON."""
+    snap = json.loads(args.snapshot.read_text())
+    if args.json:
+        print(json.dumps(snap, indent=2))
+        return 0
+    obj = snap.get("objectives", {})
+    totals = snap.get("totals", {})
+    burn = snap.get("burn_rate", {})
+    print(f"SLO report: {totals.get('requests', 0)} requests, "
+          f"{totals.get('served', 0)} served, "
+          f"{totals.get('degraded', 0)} degraded")
+    print(f"  objectives: availability {obj.get('availability', 0):.2%}, "
+          f"degraded <= {obj.get('degraded_ratio', 0):.1%}, "
+          f"latency {obj.get('latency_s', 0) * 1e3:g} ms")
+    availability = snap.get("availability", 1.0)
+    print(f"  availability {availability:.4%}   "
+          f"degraded ratio {snap.get('degraded_ratio', 0.0):.2%}")
+    fast, slow = burn.get("fast", 0.0), burn.get("slow", 0.0)
+    threshold = obj.get("fast_burn_threshold", 14.0)
+    verdict = "FAST BURN" if fast >= threshold else "ok"
+    print(f"  burn rate: fast({burn.get('fast_window_s', 0):g}s) "
+          f"{fast:.2f}x, slow({burn.get('slow_window_s', 0):g}s) "
+          f"{slow:.2f}x  [{verdict}; page at {threshold:g}x]")
+
+    def _ms(v) -> str:
+        return "     n/a" if v is None or v != v else f"{v * 1e3:8.2f}"
+
+    tenants = snap.get("tenants", {})
+    if tenants:
+        print(f"  {'tenant':<16} {'requests':>8} {'avail':>8} {'degr':>6} "
+              f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8}")
+        for tenant in sorted(tenants):
+            t = tenants[tenant]
+            n = sum(t.get("outcomes", {}).values()) or t.get("count", 0)
+            print(f"  {tenant:<16} {n:>8} "
+                  f"{t.get('availability', 1.0):>8.2%} "
+                  f"{t.get('degraded_ratio', 0.0):>6.1%} "
+                  f"{_ms(t.get('p50'))} {_ms(t.get('p95'))} "
+                  f"{_ms(t.get('p99'))}")
+    models = snap.get("models", {})
+    for model in sorted(models):
+        m = models[model]
+        print(f"  model {model}: {m.get('count', 0)} evals, "
+              f"p50/p95/p99 {_ms(m.get('p50')).strip()}/"
+              f"{_ms(m.get('p95')).strip()}/"
+              f"{_ms(m.get('p99')).strip()} ms")
+    breached = (availability < obj.get("availability", 0.0)
+                or fast >= threshold)
+    if breached:
+        print("  OBJECTIVE BREACHED")
+    return 1 if breached else 0
 
 
 def _finalize_obs(tracer, trace_path: Path | None,
@@ -961,6 +1078,9 @@ def _finalize_obs(tracer, trace_path: Path | None,
               f"({len(tracer.snapshot())} spans; load at "
               f"https://ui.perfetto.dev)")
     if metrics_dir is not None:
+        from .buildinfo import publish_build_info
+
+        publish_build_info()
         metrics_dir.mkdir(parents=True, exist_ok=True)
         obs_export.write_prometheus(metrics_dir / "metrics.prom",
                                     obs_metrics.registry())
@@ -981,6 +1101,7 @@ _COMMANDS = {
     "mc": cmd_mc,
     "figures": cmd_figures,
     "serve": cmd_serve,
+    "slo": cmd_slo,
 }
 
 

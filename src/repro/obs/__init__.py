@@ -18,40 +18,69 @@ and machine-readable across the whole compile→sweep pipeline:
   top-k hot-op table with symbolic provenance.
 * :mod:`repro.obs.export` — JSONL event log, Chrome/Perfetto
   ``trace_event`` JSON, and a Prometheus-style textfile.
+* :mod:`repro.obs.context` — request-scoped :class:`RequestContext`
+  (W3C ``traceparent`` in/out, contextvar propagation, wire encoding
+  for process-shard boundaries).
+* :mod:`repro.obs.recorder` — always-on flight recorder: a bounded
+  ring of structured events dumped as JSONL on unexpected exception,
+  ``SIGUSR2``, or on demand — postmortems without tracing enabled.
+* :mod:`repro.obs.slo` — per-tenant / per-model exemplar latency
+  histograms, availability and degradation tracking against declared
+  objectives, and error-budget burn rates.
 
 This package is dependency-free (stdlib only) and must never import from
 the rest of :mod:`repro` — every other layer may import it.  See
 ``docs/observability.md`` for the span taxonomy and metric names.
 """
 
+from .context import (RequestContext, current, from_wire, new_context,
+                      parse_traceparent, use)
 from .export import (chrome_trace_events, prometheus_text, write_chrome_trace,
                      write_jsonl, write_prometheus)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, registry,
                       set_registry)
 from .profile import OpCost, OpProfile, profile_program
+# NOTE: the accessor function ``recorder.recorder()`` is deliberately
+# not re-exported — it would shadow the submodule binding that
+# ``from repro.obs import recorder`` consumers rely on.
+from .recorder import FlightRecorder, record, set_recorder
+from .slo import ExemplarHistogram, SLOConfig, SLOTracker
 from .trace import (Span, Tracer, current_tracer, enabled, span, start_tracing,
                     stop_tracing, tracing)
 
 __all__ = [
     "Counter",
+    "ExemplarHistogram",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "OpCost",
     "OpProfile",
+    "RequestContext",
+    "SLOConfig",
+    "SLOTracker",
     "Span",
     "Tracer",
     "chrome_trace_events",
+    "current",
     "current_tracer",
     "enabled",
+    "from_wire",
+    "new_context",
+    "parse_traceparent",
     "profile_program",
     "prometheus_text",
+    "record",
+    "recorder",
     "registry",
+    "set_recorder",
     "set_registry",
     "span",
     "start_tracing",
     "stop_tracing",
     "tracing",
+    "use",
     "write_chrome_trace",
     "write_jsonl",
     "write_prometheus",

@@ -1,0 +1,177 @@
+"""Request-scoped trace context: W3C ``traceparent`` + propagation.
+
+One HTTP request entering the service becomes many units of work — a
+slot in a coalesced batch, N shard attempts on threads or worker
+processes, a vector-kernel evaluation — and this module carries the
+identity that ties them back together:
+
+* :class:`RequestContext` — the immutable wire identity: 128-bit trace
+  id, 64-bit span id (both lowercase hex, per W3C Trace Context),
+  tenant, and an absolute wall-clock deadline;
+* :func:`parse_traceparent` / :meth:`RequestContext.traceparent` —
+  accept and emit the ``00-<trace>-<span>-<flags>`` header so external
+  callers can join (and continue) the trace;
+* a :mod:`contextvars` current-context — each asyncio request handler
+  runs in its own task, and contextvars copy per task, so
+  :func:`current` is always *this* request's context even while
+  thousands interleave on one event-loop thread;
+* :meth:`RequestContext.to_wire` / :func:`from_wire` — a plain-dict
+  encoding that survives pickling to worker processes.
+
+Like the rest of :mod:`repro.obs`, this module is stdlib-only and must
+never import from the rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+__all__ = [
+    "RequestContext",
+    "current",
+    "from_wire",
+    "new_context",
+    "parse_traceparent",
+    "use",
+]
+
+_TRACEPARENT = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$")
+
+
+def _new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """The identity one request carries through the pipeline.
+
+    Attributes:
+        trace_id: 32 lowercase hex chars; constant for the whole
+            request, including across process boundaries.
+        span_id: 16 lowercase hex chars; the *current* span for
+            outgoing propagation (children get fresh ids via
+            :meth:`child`).
+        tenant: quota/bulkhead identity (client-supplied).
+        deadline: absolute ``time.time()`` deadline, or ``None``.
+        sampled: the incoming ``traceparent`` sampled flag (the flight
+            recorder and SLO layer observe regardless; this only
+            controls the flag echoed back out).
+        local_parent: the *local* tracer span id downstream spans
+            should parent under (an ``itertools.count`` int, not the
+            hex wire id) — process-local, never shipped on the wire.
+    """
+
+    trace_id: str
+    span_id: str
+    tenant: str = "default"
+    deadline: float | None = None
+    sampled: bool = True
+    local_parent: int | None = None
+
+    def traceparent(self) -> str:
+        """The outgoing W3C ``traceparent`` header value."""
+        flags = "01" if self.sampled else "00"
+        return f"00-{self.trace_id}-{self.span_id}-{flags}"
+
+    def child(self) -> "RequestContext":
+        """Same trace, fresh span id (one per pipeline hop)."""
+        return replace(self, span_id=_new_span_id())
+
+    def with_request(self, tenant: str | None = None,
+                     deadline: float | None = None) -> "RequestContext":
+        """Bind request-body fields the header cannot carry."""
+        return replace(self, tenant=tenant if tenant is not None
+                       else self.tenant, deadline=deadline)
+
+    def with_parent(self, local_span_id: int | None) -> "RequestContext":
+        """Bind the local tracer span downstream work parents under."""
+        return replace(self, local_parent=local_span_id)
+
+    # -- process-boundary shipping -------------------------------------
+    def to_wire(self) -> dict:
+        """Plain-dict encoding, safe to pickle into a worker process."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "tenant": self.tenant,
+            "deadline": self.deadline,
+            "sampled": self.sampled,
+        }
+
+
+def from_wire(payload: dict | None) -> "RequestContext | None":
+    """Rebuild a context shipped via :meth:`RequestContext.to_wire`."""
+    if not payload:
+        return None
+    return RequestContext(
+        trace_id=str(payload.get("trace_id", "")) or _new_trace_id(),
+        span_id=str(payload.get("span_id", "")) or _new_span_id(),
+        tenant=str(payload.get("tenant", "default")),
+        deadline=payload.get("deadline"),
+        sampled=bool(payload.get("sampled", True)),
+    )
+
+
+def parse_traceparent(header: str | None) -> "RequestContext | None":
+    """Parse a W3C ``traceparent`` header into a context.
+
+    Returns ``None`` for a missing or malformed header (the caller
+    starts a fresh trace — a bad header must never fail the request).
+    Per the spec, all-zero trace or span ids are invalid, and an
+    unknown version is accepted as long as the version-00 prefix
+    parses.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT.match(header.strip().lower())
+    if match is None:
+        return None
+    version, trace_id, span_id, flags = match.groups()
+    if version == "ff" or trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    try:
+        sampled = bool(int(flags, 16) & 0x01)
+    except ValueError:  # pragma: no cover - regex guarantees hex
+        return None
+    return RequestContext(trace_id=trace_id, span_id=span_id,
+                          sampled=sampled)
+
+
+def new_context(tenant: str = "default",
+                deadline: float | None = None) -> RequestContext:
+    """A fresh root context (no incoming ``traceparent``)."""
+    return RequestContext(trace_id=_new_trace_id(),
+                          span_id=_new_span_id(),
+                          tenant=tenant, deadline=deadline)
+
+
+#: the active request's context; asyncio copies contextvars per task,
+#: so concurrent requests on one event-loop thread never see each other.
+_CURRENT: contextvars.ContextVar[RequestContext | None] = \
+    contextvars.ContextVar("repro_request_context", default=None)
+
+
+def current() -> RequestContext | None:
+    """The active request's context (``None`` outside a request)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use(ctx: RequestContext | None) -> Iterator[RequestContext | None]:
+    """Install ``ctx`` as the current context for the enclosed block."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)

@@ -4,9 +4,13 @@ Three formats, one source of truth (the tracer's span buffer and the
 metrics registry):
 
 * **Chrome ``trace_event`` JSON** — load in Perfetto
-  (https://ui.perfetto.dev) or ``chrome://tracing``.  Spans are emitted
-  as ``B``/``E`` begin/end pairs per thread, which both viewers nest
-  into flame graphs; timestamps are microseconds from the tracer epoch.
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Sync spans are
+  emitted as ``B``/``E`` begin/end pairs per thread, which both viewers
+  nest into flame graphs; detached request-scoped spans (flavor
+  ``async``, see :meth:`repro.obs.trace.Tracer.detached`) become async
+  ``b``/``e`` pairs keyed by span id, so they draw as arrows/tracks
+  without corrupting per-thread nesting; timestamps are microseconds
+  from the tracer epoch.
 * **JSONL event log** — one JSON object per line: a header, every span
   (with logical ``parent_id`` links, including cross-thread ones), and
   a final metrics snapshot.  Grep-able, append-able, schema-stable.
@@ -42,9 +46,13 @@ def _json_safe(value):
     return repr(value)
 
 
-def chrome_trace_events(tracer: Tracer,
+def chrome_trace_events(tracer: Tracer | list,
                         process_name: str = "repro") -> list[dict]:
     """Tracer spans as a Chrome ``trace_event`` list (``B``/``E`` pairs).
+
+    ``tracer`` may also be a plain list of span dicts (a
+    :meth:`~repro.obs.trace.Tracer.snapshot`), so recorded snapshots
+    can be exported without a live tracer.
 
     Within each thread, events are ordered by timestamp with begins
     before ends at equal stamps and outer spans opening before inner
@@ -56,21 +64,34 @@ def chrome_trace_events(tracer: Tracer,
         "args": {"name": process_name},
     }]
     raw: list[tuple[float, int, int, dict]] = []
-    for span in tracer.snapshot():
+    async_events: list[dict] = []
+    spans = tracer if isinstance(tracer, list) else tracer.snapshot()
+    for span in spans:
         ts = span["start_s"] * 1e6
         dur = span["duration_s"] * 1e6
         common = {"name": span["name"], "pid": 1, "tid": span["tid"],
                   "cat": span["name"].split(".", 1)[0]}
-        begin = dict(common, ph="B", ts=ts,
-                     args=_json_safe(dict(span["attrs"],
-                                          span_id=span["span_id"],
-                                          parent_id=span["parent_id"])))
+        args = _json_safe(dict(span["attrs"], span_id=span["span_id"],
+                               parent_id=span["parent_id"]))
+        if span.get("flavor") == "async":
+            # detached spans cross awaits and interleave on one event-loop
+            # thread: emit as async b/e keyed by span id instead of
+            # stack-nested B/E (which would misnest)
+            ident = f"0x{span['span_id']:x}"
+            async_events.append(dict(common, ph="b", id=ident, ts=ts,
+                                     args=args))
+            async_events.append(dict(common, ph="e", id=ident,
+                                     ts=ts + dur))
+            continue
+        begin = dict(common, ph="B", ts=ts, args=args)
         end = dict(common, ph="E", ts=ts + dur)
         # sort key: time, then depth (outer B first / inner E first)
         raw.append((ts, 0, span["depth"], begin))
         raw.append((ts + dur, 1, -span["depth"], end))
     raw.sort(key=lambda item: (item[3]["tid"], item[0], item[1], item[2]))
     events.extend(item[3] for item in raw)
+    async_events.sort(key=lambda ev: (ev["id"], ev["ts"]))
+    events.extend(async_events)
     return events
 
 
@@ -116,7 +137,13 @@ def prometheus_text(registry: MetricsRegistry, prefix: str = "") -> str:
         kind = data["type"]
         lines.append(f"# TYPE {full} {kind}")
         if kind in ("counter", "gauge"):
-            lines.append(f"{full} {_fmt(data['value'])}")
+            labels = data.get("labels")
+            if labels:
+                rendered = ",".join(
+                    f'{k}="{_escape(v)}"' for k, v in sorted(labels.items()))
+                lines.append(f"{full}{{{rendered}}} {_fmt(data['value'])}")
+            else:
+                lines.append(f"{full} {_fmt(data['value'])}")
             continue
         # histogram: rebuild cumulative le-buckets from the sparse dict
         hist = registry.get(name)
@@ -145,3 +172,9 @@ def _fmt(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    """Escape a Prometheus label value."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))

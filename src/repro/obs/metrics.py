@@ -60,22 +60,37 @@ class Counter:
 
 
 class Gauge:
-    """Last-written value."""
+    """Last-written value, with optional constant labels.
 
-    __slots__ = ("name", "help", "value", "_lock")
+    Labels are for identity-style gauges (``repro_build_info``) whose
+    value is 1 and whose information lives in the label set; ordinary
+    gauges leave ``labels`` as ``None`` and the exposition renders the
+    bare name.
+    """
+
+    __slots__ = ("name", "help", "value", "labels", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = math.nan
+        self.labels: dict[str, str] | None = None
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         with self._lock:
             self.value = float(value)
 
+    def set_labels(self, labels: dict[str, str]) -> "Gauge":
+        with self._lock:
+            self.labels = {str(k): str(v) for k, v in labels.items()}
+        return self
+
     def to_dict(self) -> dict:
-        return {"type": "gauge", "value": self.value}
+        record = {"type": "gauge", "value": self.value}
+        if self.labels:
+            record["labels"] = dict(self.labels)
+        return record
 
 
 class Histogram:

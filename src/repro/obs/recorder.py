@@ -1,0 +1,164 @@
+"""Always-on flight recorder: a fixed-size ring of structured events.
+
+Tracing answers "why was this request slow?" — but only if tracing was
+*on* when it happened.  The flight recorder covers the other case: it
+is always on, cheap enough to leave in the serving hot path (one lock
+acquisition and a deque append per event; the ring is
+``maxlen``-bounded so memory is constant), and dumps the last
+``capacity`` events as JSONL when something goes wrong — on an
+unexpected exception in the service, on ``SIGUSR2``, or on demand via
+``GET /v1/debug/flightrec``.
+
+Events are flat dicts with a ``kind`` from a small taxonomy
+(``admit`` / ``reject`` / ``breaker`` / ``quarantine`` / ``cancel`` /
+``cache`` / ``compile`` / ``batch`` / ``dump`` …), a wall-clock ``t``,
+and whatever fields the emitter finds useful (typed rejection code,
+breaker from→to states, trace id when a request context is active).
+Postmortems grep the JSONL; nothing here requires a tracer.
+
+Like the rest of :mod:`repro.obs`, this module is stdlib-only and must
+never import from the rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "FlightRecorder",
+    "record",
+    "recorder",
+    "set_recorder",
+]
+
+#: events kept in the ring; old events are silently dropped (counted).
+DEFAULT_CAPACITY = 2048
+
+#: environment override for where dumps land (else the system tempdir).
+DUMP_DIR_ENV = "REPRO_FLIGHTREC_DIR"
+
+
+class FlightRecorder:
+    """Bounded in-memory ring of structured events, dumpable as JSONL."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 dump_dir: str | None = None) -> None:
+        self.capacity = int(capacity)
+        self.dump_dir = dump_dir
+        self._ring: deque[dict] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._total = 0
+        self._dumps = 0
+        self.created = time.time()
+
+    # -- hot path ------------------------------------------------------
+    def record(self, kind: str, **fields) -> None:
+        """Append one event.  Safe from any thread; never raises."""
+        event = {"t": time.time(), "kind": kind}
+        if fields:
+            event.update(fields)
+        with self._lock:
+            self._ring.append(event)
+            self._total += 1
+
+    # -- inspection ----------------------------------------------------
+    def snapshot(self) -> list[dict]:
+        """The ring's events, oldest first."""
+        with self._lock:
+            return [dict(e) for e in self._ring]
+
+    @property
+    def total(self) -> int:
+        """Events recorded over the recorder's lifetime."""
+        with self._lock:
+            return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Events that aged out of the ring."""
+        with self._lock:
+            return max(0, self._total - len(self._ring))
+
+    def header(self, reason: str) -> dict:
+        with self._lock:
+            kept, total = len(self._ring), self._total
+        return {
+            "kind": "flightrec",
+            "reason": reason,
+            "pid": os.getpid(),
+            "t": time.time(),
+            "created": self.created,
+            "capacity": self.capacity,
+            "events": kept,
+            "total": total,
+            "dropped": max(0, total - kept),
+        }
+
+    def to_jsonl(self, reason: str = "manual") -> str:
+        """Header line + one JSON line per event, oldest first."""
+        lines = [json.dumps(self.header(reason), sort_keys=True)]
+        lines.extend(json.dumps(e, sort_keys=True, default=str)
+                     for e in self.snapshot())
+        return "\n".join(lines) + "\n"
+
+    # -- dumping -------------------------------------------------------
+    def dump(self, path: str | None = None,
+             reason: str = "manual") -> str | None:
+        """Write the ring to ``path`` (or an auto-named file) as JSONL.
+
+        Returns the path written, or ``None`` when the dump itself
+        failed — the recorder is a diagnostic of last resort and must
+        never take the service down with it.
+        """
+        try:
+            if path is None:
+                directory = (self.dump_dir
+                             or os.environ.get(DUMP_DIR_ENV)
+                             or tempfile.gettempdir())
+                os.makedirs(directory, exist_ok=True)
+                stamp = time.strftime("%Y%m%d-%H%M%S")
+                path = os.path.join(
+                    directory,
+                    f"flightrec-{stamp}-pid{os.getpid()}.jsonl")
+            payload = self.to_jsonl(reason)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+            with self._lock:
+                self._dumps += 1
+            return path
+        except OSError:
+            return None
+
+    @property
+    def dumps(self) -> int:
+        with self._lock:
+            return self._dumps
+
+
+#: the process-wide recorder — always on, constant memory.
+_RECORDER = FlightRecorder()
+
+
+def recorder() -> FlightRecorder:
+    """The process-wide flight recorder."""
+    return _RECORDER
+
+
+def set_recorder(rec: FlightRecorder) -> FlightRecorder:
+    """Swap the recorder (tests; returns the previous one)."""
+    global _RECORDER
+    previous, _RECORDER = _RECORDER, rec
+    return previous
+
+
+def record(kind: str, **fields) -> None:
+    """Record one event into the process-wide ring (the one call every
+    emitter uses; cost is one lock + one deque append)."""
+    _RECORDER.record(kind, **fields)

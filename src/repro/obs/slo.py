@@ -1,0 +1,369 @@
+"""SLO layer: exemplar latency histograms, availability, burn rates.
+
+The serving layer declares objectives (availability, degraded-answer
+ratio, a latency target) and this module tracks reality against them:
+
+* **exemplar histograms** — per-tenant and per-model latency
+  distributions over a fixed bucket ladder, where each bucket remembers
+  a *recent trace id* (an exemplar, OpenMetrics-style), so a p99 spike
+  on a dashboard links directly to one concrete traced request;
+* **outcome accounting** — every request resolves to ``ok``,
+  ``degraded``, ``rejected:<code>``, or ``error``; availability is
+  served-over-total, the degradation ratio is degraded-over-served;
+* **burn rates** — bad-minutes are accumulated into fixed-width time
+  buckets, and the burn rate over a window is the window's bad
+  fraction divided by the objective's error budget (``1 − objective``):
+  burn 1.0 spends the budget exactly on schedule, ``fast_burn``
+  (default 14×, the classic page-worthy threshold) over the short
+  window means the budget dies in hours — ``readyz`` can gate on it.
+
+Tenant and model label sets are client-influenced, so both maps are
+bounded: past ``max_series`` keys, new series collapse into
+``"__other__"`` instead of growing without bound.
+
+Like the rest of :mod:`repro.obs`, this module is stdlib-only and must
+never import from the rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "ExemplarHistogram",
+    "LATENCY_BUCKETS",
+    "SLOConfig",
+    "SLOTracker",
+]
+
+#: latency bucket upper bounds (seconds): service-scale, 1 ms – 30 s.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+#: overflow label once the per-tenant / per-model maps hit max_series.
+OTHER = "__other__"
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Declared objectives and burn-rate windows.
+
+    Attributes:
+        availability_objective: fraction of requests that must resolve
+            as served (ok or honestly-degraded).
+        degraded_ratio_objective: ceiling on degraded-over-served.
+        latency_objective_s: the latency target quoted in reports
+            (p99 is compared against it; informational, not gating).
+        fast_window_s / slow_window_s: burn-rate windows.
+        fast_burn_threshold: burn rate over the fast window above which
+            :meth:`SLOTracker.fast_burn_exceeded` trips (and ``readyz``
+            can go unready when configured to gate on it).
+        bucket_s: width of the burn-rate time buckets.
+        max_series: per-map cap on tenant / model label values.
+    """
+
+    availability_objective: float = 0.999
+    degraded_ratio_objective: float = 0.05
+    latency_objective_s: float = 0.25
+    fast_window_s: float = 300.0
+    slow_window_s: float = 3600.0
+    fast_burn_threshold: float = 14.0
+    bucket_s: float = 10.0
+    max_series: int = 256
+
+
+class ExemplarHistogram:
+    """Latency histogram whose buckets carry a recent trace id.
+
+    Not locked — the owning :class:`SLOTracker` serialises access.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count", "exemplars")
+
+    def __init__(self, buckets: tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+        #: bucket index -> (trace_id, value, wall time) — most recent
+        self.exemplars: dict[int, tuple[str, float, float]] = {}
+
+    def observe(self, value: float, trace_id: str | None = None,
+                now: float | None = None) -> None:
+        value = float(value)
+        idx = 0
+        for idx, edge in enumerate(self.buckets):  # ≤15 edges: linear scan
+            if value <= edge:
+                break
+        else:
+            idx = len(self.buckets)
+        self.counts[idx] += 1
+        self.sum += value
+        self.count += 1
+        if trace_id:
+            self.exemplars[idx] = (trace_id, value,
+                                   now if now is not None else time.time())
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (NaN when empty)."""
+        if not self.count:
+            return math.nan
+        rank = q * self.count
+        cum = 0
+        lo = 0.0
+        for idx, edge in enumerate(self.buckets):
+            prev = cum
+            cum += self.counts[idx]
+            if cum >= rank:
+                frac = ((rank - prev) / self.counts[idx]
+                        if self.counts[idx] else 0.0)
+                return lo + frac * (edge - lo)
+            lo = edge
+        return self.buckets[-1]  # everything beyond the ladder
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class _BurnWindow:
+    """Fixed-width time buckets of (good, bad) outcome counts."""
+
+    __slots__ = ("bucket_s", "n", "slots", "starts")
+
+    def __init__(self, bucket_s: float, horizon_s: float) -> None:
+        self.bucket_s = bucket_s
+        self.n = max(1, int(math.ceil(horizon_s / bucket_s))) + 1
+        self.slots = [[0, 0] for _ in range(self.n)]
+        self.starts = [math.nan] * self.n
+
+    def add(self, now: float, good: bool) -> None:
+        start = math.floor(now / self.bucket_s) * self.bucket_s
+        idx = int(start / self.bucket_s) % self.n
+        if self.starts[idx] != start:
+            self.starts[idx] = start
+            self.slots[idx][0] = self.slots[idx][1] = 0
+        self.slots[idx][0 if good else 1] += 1
+
+    def totals(self, now: float, window_s: float) -> tuple[int, int]:
+        cutoff = now - window_s
+        good = bad = 0
+        for start, (g, b) in zip(self.starts, self.slots):
+            if start == start and start >= cutoff:  # not NaN, in window
+                good += g
+                bad += b
+        return good, bad
+
+
+class SLOTracker:
+    """Tracks outcomes and latencies against declared objectives."""
+
+    def __init__(self, config: SLOConfig | None = None,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.config = config if config is not None else SLOConfig()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._by_tenant: dict[str, ExemplarHistogram] = {}
+        self._by_model: dict[str, ExemplarHistogram] = {}
+        self._outcomes: dict[str, dict[str, int]] = {}
+        self._burn = _BurnWindow(self.config.bucket_s,
+                                 self.config.slow_window_s)
+        self._good = 0
+        self._degraded = 0
+        self._total = 0
+
+    # -- hot path ------------------------------------------------------
+    def observe(self, tenant: str, model: str | None, latency_s: float,
+                outcome: str, trace_id: str | None = None) -> None:
+        """Account one resolved request.
+
+        ``outcome`` is ``"ok"``, ``"degraded"``, ``"rejected:<code>"``,
+        or ``"error"``; ok and degraded count as served (good).
+        """
+        now = self.clock()
+        good = outcome in ("ok", "degraded")
+        with self._lock:
+            tkey = self._series_key(self._by_tenant, tenant)
+            hist = self._by_tenant.get(tkey)
+            if hist is None:
+                hist = self._by_tenant[tkey] = ExemplarHistogram()
+            hist.observe(latency_s, trace_id, now)
+            if model is not None:
+                mkey = self._series_key(self._by_model, model)
+                mhist = self._by_model.get(mkey)
+                if mhist is None:
+                    mhist = self._by_model[mkey] = ExemplarHistogram()
+                mhist.observe(latency_s, trace_id, now)
+            per = self._outcomes.setdefault(tkey, {})
+            per[outcome] = per.get(outcome, 0) + 1
+            self._burn.add(now, good)
+            self._total += 1
+            if good:
+                self._good += 1
+            if outcome == "degraded":
+                self._degraded += 1
+
+    def _series_key(self, table: dict, key: str) -> str:
+        if key in table:
+            return key
+        if len(table) >= self.config.max_series:
+            return OTHER
+        return key
+
+    # -- derived signals -----------------------------------------------
+    def availability(self) -> float:
+        with self._lock:
+            return self._good / self._total if self._total else 1.0
+
+    def degraded_ratio(self) -> float:
+        with self._lock:
+            return self._degraded / self._good if self._good else 0.0
+
+    def burn_rate(self, window_s: float) -> float:
+        """Bad fraction over the window, scaled by the error budget."""
+        budget = 1.0 - self.config.availability_objective
+        if budget <= 0.0:
+            return math.inf
+        with self._lock:
+            good, bad = self._burn.totals(self.clock(), window_s)
+        total = good + bad
+        if not total:
+            return 0.0
+        return (bad / total) / budget
+
+    def fast_burn_exceeded(self) -> bool:
+        """True when the fast-window burn rate is page-worthy."""
+        return (self.burn_rate(self.config.fast_window_s)
+                >= self.config.fast_burn_threshold)
+
+    # -- reporting -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready report (what ``repro slo`` prints)."""
+        cfg = self.config
+        with self._lock:
+            tenants = {k: h.to_dict() for k, h in self._by_tenant.items()}
+            models = {k: h.to_dict() for k, h in self._by_model.items()}
+            outcomes = {t: dict(per) for t, per in self._outcomes.items()}
+            total, good, degraded = self._total, self._good, self._degraded
+        for tenant, per in outcomes.items():
+            served = per.get("ok", 0) + per.get("degraded", 0)
+            seen = sum(per.values())
+            entry = tenants.setdefault(tenant, ExemplarHistogram().to_dict())
+            entry["outcomes"] = per
+            entry["availability"] = served / seen if seen else 1.0
+            entry["degraded_ratio"] = (per.get("degraded", 0) / served
+                                       if served else 0.0)
+        return {
+            "objectives": {
+                "availability": cfg.availability_objective,
+                "degraded_ratio": cfg.degraded_ratio_objective,
+                "latency_s": cfg.latency_objective_s,
+                "fast_burn_threshold": cfg.fast_burn_threshold,
+            },
+            "totals": {"requests": total, "served": good,
+                       "degraded": degraded},
+            "availability": good / total if total else 1.0,
+            "degraded_ratio": degraded / good if good else 0.0,
+            "burn_rate": {
+                "fast": self.burn_rate(cfg.fast_window_s),
+                "slow": self.burn_rate(cfg.slow_window_s),
+                "fast_window_s": cfg.fast_window_s,
+                "slow_window_s": cfg.slow_window_s,
+            },
+            "tenants": tenants,
+            "models": models,
+        }
+
+    def prometheus_lines(self) -> list[str]:
+        """Label-bearing SLO series with OpenMetrics-style exemplars.
+
+        The plain registry's exposition has no label support (names
+        carry the identity there); these lines are generated here and
+        appended to ``/metrics`` by the serving layer.
+        """
+        cfg = self.config
+        lines = [
+            "# HELP repro_slo_latency_seconds request latency by tenant",
+            "# TYPE repro_slo_latency_seconds histogram",
+        ]
+        with self._lock:
+            tenant_hists = list(self._by_tenant.items())
+            model_hists = list(self._by_model.items())
+            outcomes = {t: dict(per) for t, per in self._outcomes.items()}
+        for tenant, hist in tenant_hists:
+            cum = 0
+            for idx, edge in enumerate(hist.buckets):
+                cum += hist.counts[idx]
+                line = (f'repro_slo_latency_seconds_bucket{{tenant='
+                        f'"{tenant}",le="{_fmt(edge)}"}} {cum}')
+                exemplar = hist.exemplars.get(idx)
+                if exemplar is not None:
+                    trace_id, value, ts = exemplar
+                    line += (f' # {{trace_id="{trace_id}"}} '
+                             f'{_fmt(value)} {_fmt(ts)}')
+                lines.append(line)
+            lines.append(f'repro_slo_latency_seconds_bucket{{tenant='
+                         f'"{tenant}",le="+Inf"}} {hist.count}')
+            lines.append(f'repro_slo_latency_seconds_sum{{tenant='
+                         f'"{tenant}"}} {_fmt(hist.sum)}')
+            lines.append(f'repro_slo_latency_seconds_count{{tenant='
+                         f'"{tenant}"}} {hist.count}')
+        lines.append("# HELP repro_slo_model_latency_seconds "
+                     "request latency by model")
+        lines.append("# TYPE repro_slo_model_latency_seconds summary")
+        for model, hist in model_hists:
+            for q in (0.5, 0.95, 0.99):
+                lines.append(
+                    f'repro_slo_model_latency_seconds{{model="{model}",'
+                    f'quantile="{q}"}} {_fmt(hist.quantile(q))}')
+            lines.append(f'repro_slo_model_latency_seconds_count{{model='
+                         f'"{model}"}} {hist.count}')
+        lines.append("# HELP repro_slo_requests_total request outcomes "
+                     "by tenant")
+        lines.append("# TYPE repro_slo_requests_total counter")
+        for tenant, per in sorted(outcomes.items()):
+            for outcome, n in sorted(per.items()):
+                lines.append(f'repro_slo_requests_total{{tenant='
+                             f'"{tenant}",outcome="{outcome}"}} {n}')
+        lines.append("# HELP repro_slo_availability served fraction "
+                     "since start")
+        lines.append("# TYPE repro_slo_availability gauge")
+        lines.append(f"repro_slo_availability {_fmt(self.availability())}")
+        lines.append("# HELP repro_slo_degraded_ratio degraded fraction "
+                     "of served")
+        lines.append("# TYPE repro_slo_degraded_ratio gauge")
+        lines.append(
+            f"repro_slo_degraded_ratio {_fmt(self.degraded_ratio())}")
+        lines.append("# HELP repro_slo_burn_rate error-budget burn rate")
+        lines.append("# TYPE repro_slo_burn_rate gauge")
+        for label, window in (("fast", cfg.fast_window_s),
+                              ("slow", cfg.slow_window_s)):
+            lines.append(f'repro_slo_burn_rate{{window="{label}"}} '
+                         f'{_fmt(self.burn_rate(window))}')
+        lines.append("# HELP repro_slo_objective declared objectives")
+        lines.append("# TYPE repro_slo_objective gauge")
+        lines.append(f'repro_slo_objective{{kind="availability"}} '
+                     f'{_fmt(cfg.availability_objective)}')
+        lines.append(f'repro_slo_objective{{kind="degraded_ratio"}} '
+                     f'{_fmt(cfg.degraded_ratio_objective)}')
+        lines.append(f'repro_slo_objective{{kind="latency_s"}} '
+                     f'{_fmt(cfg.latency_objective_s)}')
+        return lines
+
+
+def _fmt(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))

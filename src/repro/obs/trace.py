@@ -66,14 +66,27 @@ _NOOP = _NoopSpan()
 
 
 class Span:
-    """One traced operation: a name, a time interval, and attributes."""
+    """One traced operation: a name, a time interval, and attributes.
+
+    ``flavor`` distinguishes two lifecycles:
+
+    * ``"sync"`` — the default; entered/exited via ``with`` on one
+      thread, participating in the tracer's per-thread span stack;
+    * ``"async"`` — a *detached* span (see :meth:`Tracer.detached`)
+      whose lifetime crosses awaits on a shared event-loop thread.  It
+      carries an explicit ``parent_id``, never touches the thread-local
+      stack (which would misnest under interleaved requests), and is
+      driven by :meth:`start` / :meth:`finish` instead of ``with``.
+      The Chrome exporter emits these as async ``b``/``e`` events so
+      per-thread ``B``/``E`` nesting stays well-formed.
+    """
 
     __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "tid",
-                 "depth", "t0", "duration")
+                 "depth", "t0", "duration", "flavor")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict,
                  span_id: int, parent_id: int | None, tid: int,
-                 depth: int) -> None:
+                 depth: int, flavor: str = "sync") -> None:
         self.tracer = tracer
         self.name = name
         self.attrs = attrs
@@ -83,6 +96,7 @@ class Span:
         self.depth = depth
         self.t0 = 0.0
         self.duration = 0.0
+        self.flavor = flavor
 
     def set(self, **attrs) -> "Span":
         """Attach (or update) attributes; chainable inside ``with``."""
@@ -98,9 +112,21 @@ class Span:
         self.duration = time.perf_counter() - self.t0
         self.tracer._pop(self)
 
+    # -- detached lifecycle (async flavor) -----------------------------
+    def start(self) -> "Span":
+        """Start a detached span without touching the thread stack."""
+        self.t0 = time.perf_counter()
+        return self
+
+    def finish(self) -> "Span":
+        """Finish a detached span and hand it to the tracer buffer."""
+        self.duration = time.perf_counter() - self.t0
+        self.tracer._collect(self)
+        return self
+
     def to_dict(self) -> dict:
         """JSONL-ready record (times relative to the tracer epoch)."""
-        return {
+        record = {
             "kind": "span",
             "name": self.name,
             "span_id": self.span_id,
@@ -111,6 +137,9 @@ class Span:
             "duration_s": self.duration,
             "attrs": self.attrs,
         }
+        if self.flavor != "sync":
+            record["flavor"] = self.flavor
+        return record
 
 
 class Tracer:
@@ -149,6 +178,11 @@ class Tracer:
         with self._lock:
             self.spans.append(span)
 
+    def _collect(self, span: Span) -> None:
+        """Buffer a finished span that never entered a thread stack."""
+        with self._lock:
+            self.spans.append(span)
+
     # ------------------------------------------------------------------
     # spans
     # ------------------------------------------------------------------
@@ -160,6 +194,57 @@ class Tracer:
             parent_id = getattr(self._tls, "inherited", None)
         return Span(self, name, attrs, next(self._ids), parent_id,
                     threading.get_ident(), len(stack))
+
+    def detached(self, name: str, parent_id: int | None = None,
+                 **attrs) -> Span:
+        """A request-scoped span with an *explicit* parent.
+
+        Detached spans are for work that crosses awaits on a shared
+        event-loop thread (HTTP request handling, batch coalescing):
+        the thread-local stack would interleave unrelated requests, so
+        they bypass it entirely — drive them with :meth:`Span.start` /
+        :meth:`Span.finish`.
+        """
+        return Span(self, name, attrs, next(self._ids), parent_id,
+                    threading.get_ident(), 0, flavor="async")
+
+    # ------------------------------------------------------------------
+    # cross-process span adoption
+    # ------------------------------------------------------------------
+    def adopt(self, records: list[dict], epoch_wall: float,
+              parent_id: int | None = None) -> list[Span]:
+        """Graft spans recorded by another process into this tracer.
+
+        ``records`` is a worker tracer's :meth:`snapshot` and
+        ``epoch_wall`` its wall-clock epoch.  Every span gets a fresh
+        local id (worker ids restart at 1 in every process), internal
+        parent links are remapped, roots are re-parented under
+        ``parent_id`` (the span that shipped the work), worker thread
+        idents are replaced with synthetic lane ids (pthread idents can
+        collide across processes), and start times are converted via
+        the wall-clock epochs so the grafted spans land at the right
+        offset on this tracer's timeline.
+        """
+        id_map = {rec["span_id"]: next(self._ids) for rec in records}
+        tid_map: dict = {}
+        offset = self.epoch + (epoch_wall - self.epoch_wall)
+        adopted = []
+        for rec in records:
+            tid = rec.get("tid", 0)
+            if tid not in tid_map:
+                tid_map[tid] = -next(self._ids)
+            parent = rec.get("parent_id")
+            span = Span(self, rec["name"], dict(rec.get("attrs") or {}),
+                        id_map[rec["span_id"]],
+                        id_map.get(parent, parent_id),
+                        tid_map[tid], rec.get("depth", 0),
+                        flavor=rec.get("flavor", "sync"))
+            span.t0 = offset + rec["start_s"]
+            span.duration = rec["duration_s"]
+            adopted.append(span)
+        with self._lock:
+            self.spans.extend(adopted)
+        return adopted
 
     # ------------------------------------------------------------------
     # cross-thread context propagation

@@ -225,7 +225,8 @@ class ProcessShardRunner:
             scalars=self._scalars,
             lo=int(lo), hi=int(hi), shard=int(shard), attempt=int(attempt),
             metric=self._metric, order=self._order,
-            require_stable=self._require_stable, strict=self._strict)
+            require_stable=self._require_stable, strict=self._strict,
+            obs={"trace": True} if _trace.enabled() else None)
         _metrics.registry().counter(
             "repro_backend_worker_shards_total",
             "shard attempts dispatched to worker processes").inc()
@@ -235,11 +236,22 @@ class ProcessShardRunner:
         """Copy a worker's slab slice back into an ordinary shard result.
 
         Serial-fallback results (already ``(values, stats, diag)``) and
-        abandoned shards (``None``) pass through untouched.
+        abandoned shards (``None``) pass through untouched.  A traced
+        worker result carries a sixth element with the worker-local
+        spans; they are grafted into the parent tracer under the calling
+        thread's active span (the sweep that shipped the shard) so a
+        single exported trace shows the cross-process tree.
         """
-        if (isinstance(result, tuple) and len(result) == 5
+        if (isinstance(result, tuple) and len(result) in (5, 6)
                 and result[0] == "shm"):
-            _, lo, hi, stats, diag = result
+            _, lo, hi, stats, diag = result[:5]
+            if len(result) == 6 and result[5]:
+                tracer = _trace.current_tracer()
+                if tracer is not None:
+                    obs = result[5]
+                    tracer.adopt(obs.get("spans") or [],
+                                 obs.get("epoch_wall", tracer.epoch_wall),
+                                 parent_id=tracer.context())
             return np.array(self._out[lo:hi]), stats, diag
         return result
 

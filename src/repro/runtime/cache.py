@@ -63,6 +63,7 @@ from ..core.serialize import (FORMAT_VERSION, LoadedModel, model_from_dict,
                               model_to_dict)
 from ..errors import SymbolicError
 from ..obs import metrics as _metrics
+from ..obs import recorder as _recorder
 from ..obs import trace as _trace
 from ..testing import faults as _faults
 
@@ -568,6 +569,8 @@ class ProgramCache:
                 lookup.set(outcome="memory-hit")
                 reg.counter("repro_cache_hits_total",
                             "program cache memory hits").inc()
+                _recorder.record("cache", outcome="memory-hit",
+                                 key=key[:16])
                 return result
             payload = self.load_disk(key)
             if payload is not None:
@@ -577,6 +580,8 @@ class ProgramCache:
                     lookup.set(outcome="disk-hit")
                     reg.counter("repro_cache_disk_hits_total",
                                 "program cache disk hits").inc()
+                    _recorder.record("cache", outcome="disk-hit",
+                                     key=key[:16])
                     self.put(key, rebuilt)
                     return rebuilt
                 self.stats.stale_rejects += 1
@@ -585,6 +590,7 @@ class ProgramCache:
             lookup.set(outcome="miss")
             reg.counter("repro_cache_misses_total",
                         "program cache misses (full builds)").inc()
+            _recorder.record("cache", outcome="miss", key=key[:16])
         with _trace.span("cache.build", key=key[:16]) as build:
             t0 = time.perf_counter()
             if symbols is not None:

@@ -85,6 +85,9 @@ class ShardJob:
     order: int
     require_stable: bool
     strict: bool
+    #: observability request, e.g. ``{"trace": True}`` — the worker then
+    #: records spans locally and ships them back as a sixth tuple element
+    obs: dict | None = None
 
 
 class _WorkerModel:
@@ -142,8 +145,26 @@ def run_worker_shard(job: ShardJob) -> tuple:
     """Evaluate one shard inside a worker process.
 
     Returns ``("shm", lo, hi, stats, diag)``; the values for
-    ``[lo, hi)`` are already written into the shared output slab.
+    ``[lo, hi)`` are already written into the shared output slab.  When
+    the job carries ``obs={"trace": True}`` a worker-local tracer wraps
+    the work in a ``sweep.shard`` span (the kernel-stage spans nest
+    inside it) and a sixth element ``{"spans": ..., "epoch_wall": ...}``
+    ships the recorded spans back for
+    :meth:`~repro.obs.trace.Tracer.adopt` on the parent side.
     """
+    if not (job.obs or {}).get("trace"):
+        return _evaluate_shard(job)
+    from ..obs import trace as _trace
+    with _trace.tracing() as tracer:
+        with _trace.span("sweep.shard", pid=os.getpid(), shard=job.shard,
+                         lo=job.lo, hi=job.hi, attempt=job.attempt):
+            result = _evaluate_shard(job)
+    return result + ({"spans": tracer.snapshot(),
+                      "epoch_wall": tracer.epoch_wall},)
+
+
+def _evaluate_shard(job: ShardJob) -> tuple:
+    """The untraced shard evaluation (shm attach → chunk eval → detach)."""
     from ..diagnostics import SweepDiagnostics
     from .batched import _sweep_chunk
 

@@ -56,6 +56,7 @@ from typing import Callable, Sequence
 from ..diagnostics import ShardFailure, SweepDiagnostics
 from ..errors import CancelledSweep, ReproError
 from ..obs import metrics as _metrics
+from ..obs import recorder as _recorder
 from .cancel import CancelToken
 
 __all__ = [
@@ -237,6 +238,8 @@ def _drain(shard: int, lo: int, hi: int, attempts: int,
     _metrics.registry().counter(
         "repro_shard_cancelled_total",
         "shards drained by a cancellation token").inc()
+    _recorder.record("cancel", why="shard_drain", shard=shard,
+                     attempts=attempts, reason=cancel.reason)
     _record(diagnostics, ShardFailure(
         shard=shard, lo=lo, hi=hi, attempts=attempts,
         error="CancelledSweep", message=cancel.reason,
@@ -253,6 +256,7 @@ def _spend_retry(config: ResilienceConfig) -> bool:
     _metrics.registry().counter(
         "repro_shard_retry_denied_total",
         "shard retries denied by the shared retry budget").inc()
+    _recorder.record("reject", code="retry_budget")
     return False
 
 
@@ -327,6 +331,8 @@ def _run_one(run_shard: Callable, shard: int, lo: int, hi: int,
         _metrics.registry().counter(
             "repro_shard_serial_fallback_total",
             "shards recovered via the in-process serial fallback").inc()
+        _recorder.record("fallback", shard=shard, attempts=attempts,
+                         error=type(last_exc).__name__ if last_exc else None)
         try:
             if run_takes_cancel:
                 result = run_shard(lo, hi, shard, SERIAL_ATTEMPT,
@@ -352,6 +358,8 @@ def _run_one(run_shard: Callable, shard: int, lo: int, hi: int,
     _metrics.registry().counter(
         "repro_shard_abandoned_total",
         "shards NaN-filled after every attempt failed").inc()
+    _recorder.record("abandon", shard=shard, attempts=attempts,
+                     error=type(last_exc).__name__)
     _record(diagnostics, ShardFailure(
         shard=shard, lo=lo, hi=hi, attempts=attempts,
         error=type(last_exc).__name__, message=str(last_exc),

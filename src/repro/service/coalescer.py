@@ -34,6 +34,8 @@ import numpy as np
 
 from ..core.metrics import resolve_metric
 from ..obs import metrics as _metrics
+from ..obs import recorder as _recorder
+from ..obs import trace as _trace
 from ..runtime.cancel import CancelToken, Deadline
 from .errors import DeadlineExceeded
 from .registry import ModelEntry
@@ -68,6 +70,10 @@ class EvalRequest:
     tenant: str = "default"
     future: asyncio.Future = field(default=None, repr=False)  # type: ignore
     enqueued: float = 0.0
+    #: trace linkage (None when tracing is off): the member's trace id
+    #: and the local span id its batch span should link back to
+    trace_id: str | None = None
+    parent_span: int | None = None
 
     @property
     def bucket(self) -> tuple:
@@ -100,12 +106,18 @@ class Coalescer:
         resilience: optional :class:`~repro.runtime.resilience.
             ResilienceConfig` threaded into ``batched_sweep`` (the
             server wires its shared retry budget through this).
+        backend: sweep backend for the batch evaluation (``None`` keeps
+            ``batched_sweep``'s default; ``"process"`` fans shards out
+            to worker processes — trace context ships with the shards).
+        shards / workers: forwarded to ``batched_sweep`` when set.
         clock: injectable monotonic clock.
     """
 
     def __init__(self, max_batch: int = 64, max_delay_s: float = 0.005,
                  executor=None, resilience=None,
                  chunk_points: int = SERVICE_CHUNK_POINTS,
+                 backend: str | None = None, shards: int | None = None,
+                 workers: int | None = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if max_batch < 1 or max_delay_s < 0:
             raise ValueError("need max_batch >= 1 and max_delay_s >= 0")
@@ -114,6 +126,9 @@ class Coalescer:
         self.executor = executor
         self.resilience = resilience
         self.chunk_points = chunk_points
+        self.backend = backend
+        self.shards = shards
+        self.workers = workers
         self._clock = clock
         self._buckets: dict[tuple, list[EvalRequest]] = {}
         self._timers: dict[tuple, asyncio.TimerHandle] = {}
@@ -180,6 +195,10 @@ class Coalescer:
             _metrics.registry().counter(
                 "repro_serve_batch_internal_error_total",
                 "batches that failed outside evaluation").inc()
+            _recorder.record("batch_error", error=type(exc).__name__,
+                             detail=str(exc)[:200],
+                             members=len(requests))
+            _recorder.recorder().dump(reason="batch-internal-error")
             for req in requests:
                 self._reject(req, exc)
 
@@ -194,6 +213,9 @@ class Coalescer:
                     f"queue"))
                 reg.counter("repro_serve_deadline_preflight_total",
                             "requests expired before evaluation").inc()
+                _recorder.record("cancel", why="deadline_preflight",
+                                 tenant=req.tenant, trace_id=req.trace_id,
+                                 queued_s=round(now - req.enqueued, 4))
             else:
                 live.append(req)
         if not live:
@@ -212,33 +234,65 @@ class Coalescer:
         budget = (None if deadline_at is None
                   else max(0.0, deadline_at - self._clock()))
 
+        # the coalescer's fan-in, recorded explicitly: one batch span
+        # linked to every member request span, so a slow shared batch
+        # is attributable to (and from) each of its members
+        tracer = _trace.current_tracer()
+        batch_span = None
+        if tracer is not None:
+            parents = [r.parent_span for r in live
+                       if r.parent_span is not None]
+            batch_span = tracer.detached(
+                "serve.batch", parents[0] if parents else None,
+                model=entry.recipe.name, metric=live[0].metric,
+                order=order, batch_size=len(live),
+                members=[r.parent_span for r in live],
+                member_traces=[r.trace_id for r in live]).start()
+
         loop = asyncio.get_running_loop()
         t0 = self._clock()
         try:
             result = await loop.run_in_executor(
                 self.executor, self._eval_sync, entry, samples, metric,
-                order, budget)
+                order, budget,
+                batch_span.span_id if batch_span is not None else None)
         except Exception as exc:  # library error: reject the whole batch
             entry.breaker.record(False)
+            if batch_span is not None:
+                batch_span.set(error=type(exc).__name__)
+                batch_span.finish()
+                batch_span = None
             for req in live:
                 self._reject(req, exc)
             return
+        finally:
+            if batch_span is not None:
+                batch_span.finish()
         eval_s = self._clock() - t0
         values, diagnostics = result
         entry.breaker.observe(diagnostics)
         entry.served += len(live)
+        if diagnostics is not None and getattr(diagnostics, "nan_points", 0):
+            _recorder.record(
+                "quarantine", model=entry.recipe.name,
+                nan_points=int(diagnostics.nan_points),
+                points=int(getattr(diagnostics, "points", 0) or 0))
 
         now = self._clock()
         for i, req in enumerate(live):
             if req.deadline is not None and now >= req.deadline:
                 self._reject(req, DeadlineExceeded(
                     "deadline passed during evaluation"))
+                _recorder.record("cancel", why="deadline_inflight",
+                                 tenant=req.tenant, trace_id=req.trace_id)
                 continue
             if (diagnostics is not None
                     and getattr(diagnostics, "cancelled", False)
                     and not np.isfinite(values[i])):
                 self._reject(req, DeadlineExceeded(
                     "batch drained before this sample evaluated"))
+                _recorder.record("cancel", why="batch_drained",
+                                 tenant=req.tenant, trace_id=req.trace_id)
                 continue
             self._resolve(req, EvalOutcome(
                 value=float(values[i]), degraded=False, rung="nominal",
@@ -247,19 +301,42 @@ class Coalescer:
                 diagnostics=diagnostics))
 
     def _eval_sync(self, entry: ModelEntry, samples, metric, order,
-                   budget_s: float | None):
-        """Synchronous paired-column sweep (runs in the executor)."""
+                   budget_s: float | None,
+                   batch_span_id: int | None = None):
+        """Synchronous paired-column sweep (runs in the executor).
+
+        ``batch_span_id`` re-parents the sweep's span tree under the
+        batch span: the executor thread adopts it as its inherited
+        parent, so ``sweep.total`` (and everything below, including
+        worker-process shard spans) nests under the batch.
+        """
         cancel = CancelToken()
         deadline = None
         if budget_s is not None:
             deadline = Deadline.after(budget_s)
             cancel = CancelToken(parent=deadline.token)
         from ..runtime.batched import batched_sweep  # lazy: import cycle
+        sweep_kwargs = {}
+        if self.backend is not None:
+            sweep_kwargs["backend"] = self.backend
+        if self.shards is not None:
+            sweep_kwargs["shards"] = self.shards
+        if self.workers is not None:
+            sweep_kwargs["max_workers"] = self.workers
+        tracer = _trace.current_tracer()
         try:
-            result = batched_sweep(
-                entry.model, samples, metric, order=order,
-                resilience=self.resilience, paired=True, cancel=cancel,
-                chunk_points=self.chunk_points)
+            if tracer is not None and batch_span_id is not None:
+                with tracer.attach(batch_span_id):
+                    result = batched_sweep(
+                        entry.model, samples, metric, order=order,
+                        resilience=self.resilience, paired=True,
+                        cancel=cancel, chunk_points=self.chunk_points,
+                        **sweep_kwargs)
+            else:
+                result = batched_sweep(
+                    entry.model, samples, metric, order=order,
+                    resilience=self.resilience, paired=True, cancel=cancel,
+                    chunk_points=self.chunk_points, **sweep_kwargs)
             return np.asarray(result).reshape(-1), result.diagnostics
         finally:
             if deadline is not None:

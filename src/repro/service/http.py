@@ -11,17 +11,27 @@ closed.
 
 Routes:
 
-====================  =================================================
-``GET /healthz``      liveness (always 200 while the loop turns)
-``GET /readyz``       readiness — 503 while draining or when the
-                      doctor-style cache checks fail
-``GET /metrics``      Prometheus text exposition of the process registry
-``GET /v1/models``    registered model inventory (warmth, breaker state)
-``POST /v1/eval``     evaluate one metric at one parameter point
-====================  =================================================
+==========================  ===========================================
+``GET /healthz``            liveness (always 200 while the loop turns)
+``GET /readyz``             readiness — 503 while draining, when the
+                            doctor-style cache checks fail, or (when
+                            configured) on a fast SLO burn
+``GET /metrics``            Prometheus text exposition: the process
+                            registry plus live policy state and SLO
+                            series (see ``AWEService.metrics_text``)
+``GET /v1/models``          registered model inventory
+``GET /v1/debug/flightrec``  the flight recorder ring as JSONL
+``POST /v1/eval``           evaluate one metric at one parameter point
+==========================  ===========================================
 
 Typed rejections (:mod:`repro.service.errors`) map to their
 ``http_status`` with a JSON body ``{"error": <code>, "detail": …}``.
+
+Tracing: ``POST /v1/eval`` accepts a W3C ``traceparent`` header (a
+fresh trace starts when it is absent or malformed), installs the
+resulting :class:`~repro.obs.context.RequestContext` for the handler
+task, opens an ``http.request`` span when a tracer is installed, and
+echoes the outgoing ``traceparent`` on the response.
 """
 
 from __future__ import annotations
@@ -30,7 +40,10 @@ import asyncio
 import json
 
 from ..errors import ReproError
+from ..obs import context as obs_context
 from ..obs import metrics as _metrics
+from ..obs import recorder as _recorder
+from ..obs import trace as _trace
 from ..obs.export import prometheus_text
 from .errors import ServiceRejection
 
@@ -48,12 +61,19 @@ async def serve_http(service, host: str, port: int) -> asyncio.AbstractServer:
     async def handle(reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
         try:
-            status, body = await _handle_one(service, reader)
-        except Exception:
-            status, body = 500, {"error": "internal",
-                                 "detail": "unhandled server error"}
+            status, body, extra = await _handle_one(service, reader)
+        except Exception as exc:
+            # the flight recorder exists for exactly this moment:
+            # capture the last N events and dump before answering 500
+            _recorder.record("exception", where="http.handle",
+                             error=type(exc).__name__,
+                             detail=str(exc)[:200])
+            _recorder.recorder().dump(reason="unexpected-exception")
+            status, body, extra = 500, {"error": "internal",
+                                        "detail": "unhandled server "
+                                                  "error"}, None
         try:
-            _write_response(writer, status, body)
+            _write_response(writer, status, body, extra)
             await writer.drain()
         except (ConnectionError, OSError):
             pass
@@ -73,29 +93,30 @@ class _HttpError(Exception):
 
 
 async def _handle_one(service, reader: asyncio.StreamReader,
-                      ) -> tuple[int, object]:
+                      ) -> tuple[int, object, dict | None]:
     # The whole read phase shares one budget: a client that trickles
     # headers or under-sends its body (slowloris) gets a 408 and the
     # socket closed instead of holding the handler coroutine forever.
     # Routing runs outside the budget — eval requests carry their own
     # deadline machinery.
     try:
-        method, path, body = await asyncio.wait_for(
+        method, path, headers, body = await asyncio.wait_for(
             _read_request(reader), timeout=_READ_BUDGET_S)
     except asyncio.TimeoutError:
         return 408, {"error": "timeout",
                      "detail": f"request not received within "
-                               f"{_READ_BUDGET_S:g}s"}
+                               f"{_READ_BUDGET_S:g}s"}, None
     except asyncio.IncompleteReadError:
         return 400, {"error": "bad_request",
-                     "detail": "connection closed before body complete"}
+                     "detail": "connection closed before body "
+                               "complete"}, None
     except _HttpError as exc:
-        return exc.status, exc.body
-    return await _route(service, method, path, body)
+        return exc.status, exc.body, None
+    return await _route(service, method, path, headers, body)
 
 
 async def _read_request(reader: asyncio.StreamReader,
-                        ) -> tuple[str, str, bytes]:
+                        ) -> tuple[str, str, dict, bytes]:
     """Read one request line + headers + body; :class:`_HttpError` on
     anything malformed or oversized."""
     request_line = await reader.readline()
@@ -104,13 +125,16 @@ async def _read_request(reader: asyncio.StreamReader,
         raise _HttpError(400, "bad_request", "malformed request")
     method, path = parts[0].upper(), parts[1].split("?", 1)[0]
 
+    headers: dict[str, str] = {}
     content_length = 0
     for _ in range(_MAX_HEADER_LINES):
         line = await reader.readline()
         if line in (b"\r\n", b"\n", b""):
             break
         name, _, value = line.decode("latin-1").partition(":")
-        if name.strip().lower() == "content-length":
+        name = name.strip().lower()
+        headers[name] = value.strip()
+        if name == "content-length":
             try:
                 content_length = int(value.strip())
             except ValueError:
@@ -125,39 +149,81 @@ async def _read_request(reader: asyncio.StreamReader,
                          f"body over {_MAX_BODY} bytes")
     body = (await reader.readexactly(content_length)
             if content_length else b"")
-    return method, path, body
+    return method, path, headers, body
 
 
-async def _route(service, method: str, path: str, body: bytes,
-                 ) -> tuple[int, object]:
+async def _route(service, method: str, path: str, headers: dict,
+                 body: bytes) -> tuple[int, object, dict | None]:
     if method == "GET" and path == "/healthz":
-        return 200, service.healthz()
+        return 200, service.healthz(), None
     if method == "GET" and path == "/readyz":
         ready, report = service.readyz()
-        return (200 if ready else 503), report
+        return (200 if ready else 503), report, None
     if method == "GET" and path == "/metrics":
-        return 200, prometheus_text(_metrics.registry())
+        if hasattr(service, "metrics_text"):
+            return 200, service.metrics_text(), None
+        return 200, prometheus_text(_metrics.registry()), None
     if method == "GET" and path == "/v1/models":
-        return 200, {"models": service.registry.describe()}
+        return 200, {"models": service.registry.describe()}, None
+    if method == "GET" and path == "/v1/debug/flightrec":
+        rec = _recorder.recorder()
+        rec.record("dump", via="endpoint")
+        return 200, rec.to_jsonl(reason="endpoint"), None
     if method == "POST" and path == "/v1/eval":
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError):
-            return 400, {"error": "bad_request", "detail": "invalid JSON"}
+            return 400, {"error": "bad_request",
+                         "detail": "invalid JSON"}, None
         if not isinstance(payload, dict) or "model" not in payload:
             return 400, {"error": "bad_request",
-                         "detail": 'body must be JSON with a "model" key'}
-        try:
-            return 200, await service.handle_eval(payload)
-        except ServiceRejection as exc:
-            return exc.http_status, exc.to_dict()
-        except ReproError as exc:
-            return 422, {"error": "evaluation_failed", "detail": str(exc)}
-    return 404, {"error": "not_found", "detail": f"{method} {path}"}
+                         "detail": 'body must be JSON with a "model" '
+                                   'key'}, None
+        return await _eval(service, payload, headers)
+    return 404, {"error": "not_found", "detail": f"{method} {path}"}, None
+
+
+async def _eval(service, payload: dict, headers: dict,
+                ) -> tuple[int, object, dict | None]:
+    """``POST /v1/eval`` with trace-context propagation.
+
+    A valid incoming ``traceparent`` continues the caller's trace
+    (malformed ones start a fresh trace — a bad header must never fail
+    the request); the context rides a contextvar through the pipeline,
+    and the outgoing ``traceparent`` is echoed so callers can stitch.
+    """
+    ctx = obs_context.parse_traceparent(headers.get("traceparent"))
+    ctx = ctx.child() if ctx is not None else obs_context.new_context()
+    ctx = ctx.with_request(tenant=str(payload.get("tenant", "default")))
+    tracer = _trace.current_tracer()
+    span = None
+    if tracer is not None:
+        span = tracer.detached(
+            "http.request", None, method="POST", path="/v1/eval",
+            trace_id=ctx.trace_id, tenant=ctx.tenant).start()
+        ctx = ctx.with_parent(span.span_id)
+    extra = {"traceparent": ctx.traceparent()}
+    status: int
+    response: object
+    try:
+        with obs_context.use(ctx):
+            response = await service.handle_eval(payload)
+        status = 200
+    except ServiceRejection as exc:
+        status, response = exc.http_status, exc.to_dict()
+    except ReproError as exc:
+        status, response = 422, {"error": "evaluation_failed",
+                                 "detail": str(exc)}
+    finally:
+        if span is not None:
+            span.finish()
+    if span is not None:
+        span.set(status=status)
+    return status, response, extra
 
 
 def _write_response(writer: asyncio.StreamWriter, status: int,
-                    body: object) -> None:
+                    body: object, extra: dict | None = None) -> None:
     if isinstance(body, str):  # /metrics: raw text exposition
         payload = body.encode("utf-8")
         ctype = "text/plain; version=0.0.4; charset=utf-8"
@@ -169,8 +235,11 @@ def _write_response(writer: asyncio.StreamWriter, status: int,
               422: "Unprocessable Entity", 429: "Too Many Requests",
               500: "Internal Server Error", 503: "Service Unavailable",
               504: "Gateway Timeout"}.get(status, "Error")
+    extra_lines = "".join(f"{name}: {value}\r\n"
+                          for name, value in (extra or {}).items())
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {ctype}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra_lines}"
             f"Connection: close\r\n\r\n")
     writer.write(head.encode("latin-1") + payload)

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..obs import metrics as _metrics
+from ..obs import recorder as _recorder
 
 __all__ = [
     "AdmissionController",
@@ -146,6 +147,8 @@ class AdmissionController:
                 _metrics.registry().counter(
                     "repro_serve_shed_total",
                     "requests shed by admission control").inc()
+                _recorder.record("shed", admitted=self._admitted,
+                                 capacity=self.capacity)
                 return False
             self._admitted += 1
             self._publish()
@@ -240,9 +243,11 @@ class CircuitBreaker:
     """
 
     def __init__(self, config: BreakerConfig | None = None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 name: str = "") -> None:
         self.config = config if config is not None else BreakerConfig()
         self._clock = clock
+        self.name = name  #: owning model, for flight-recorder events
         self._state = CLOSED
         self._outcomes: deque[bool] = deque(maxlen=self.config.window)
         self._opened_at = 0.0
@@ -279,7 +284,7 @@ class CircuitBreaker:
             self._probes_issued = 0
             self._probe_successes = 0
             self._probes_armed_at = now
-            self._transition_metric(HALF_OPEN)
+            self._transition(HALF_OPEN, OPEN)
         elif (self._state == HALF_OPEN
                 and self._probes_issued >= self.config.half_open_probes
                 and now - self._probes_armed_at >= self.config.cooldown_s):
@@ -308,7 +313,7 @@ class CircuitBreaker:
                 if self._probe_successes >= self.config.half_open_probes:
                     self._state = CLOSED
                     self._outcomes.clear()
-                    self._transition_metric(CLOSED)
+                    self._transition(CLOSED, HALF_OPEN)
                 return
             self._outcomes.append(ok)
             if self._state == CLOSED and self._trip():
@@ -341,13 +346,15 @@ class CircuitBreaker:
         return failures / n >= self.config.failure_threshold
 
     def _open(self) -> None:
+        was = self._state
         self._state = OPEN
         self._opened_at = self._clock()
         self._outcomes.clear()
-        self._transition_metric(OPEN)
+        self._transition(OPEN, was)
 
-    @staticmethod
-    def _transition_metric(state: str) -> None:
+    def _transition(self, state: str, from_state: str) -> None:
         _metrics.registry().counter(
             f"repro_serve_breaker_{state}_total",
             f"breaker transitions into the {state} state").inc()
+        _recorder.record("breaker", model=self.name or None,
+                         to=state, frm=from_state)

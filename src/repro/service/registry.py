@@ -31,6 +31,7 @@ from typing import Callable, Sequence
 
 from ..circuits import Circuit
 from ..obs import metrics as _metrics
+from ..obs import recorder as _recorder
 from ..runtime.cache import ProgramCache, default_cache
 from .errors import UnknownModel
 from .policies import BreakerConfig, CircuitBreaker
@@ -180,7 +181,7 @@ class ModelRegistry:
             entry = ModelEntry(
                 key=key, recipe=recipe, result=result,
                 breaker=CircuitBreaker(self.breaker_config,
-                                       clock=self._clock))
+                                       clock=self._clock, name=name))
             self._store(key, entry)
             future.set_result(entry)
             return entry
@@ -195,6 +196,8 @@ class ModelRegistry:
     def _compile_sync(self, recipe: RegisteredRecipe):
         _metrics.registry().counter(
             "repro_serve_compile_total", "model compiles started").inc()
+        _recorder.record("compile", model=recipe.name,
+                         order=recipe.order)
         from ..testing.faults import fault_point
         fault_point("service.compile", name=recipe.name)
         return self.cache.get_or_build(

@@ -34,13 +34,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from ..buildinfo import publish_build_info
+from ..obs import context as obs_context
 from ..obs import metrics as _metrics
+from ..obs import recorder as _recorder
+from ..obs import trace as _trace
+from ..obs.export import prometheus_text
+from ..obs.slo import SLOConfig, SLOTracker
 from ..runtime.backends import shutdown_pools
 from ..runtime.resilience import DEFAULT_RESILIENCE
 from ..testing.differential import ToleranceLadder
 from .coalescer import Coalescer, EvalRequest
 from .errors import (BreakerOpen, BulkheadFull, Draining, InvalidRequest,
-                     QuotaExceeded, ShedError)
+                     QuotaExceeded, ServiceRejection, ShedError)
 from .policies import (AdmissionController, BreakerConfig, Bulkhead,
                        RetryBudget, TokenBucket)
 from .registry import ModelRegistry
@@ -79,6 +85,20 @@ class ServiceConfig:
     metrics_path: Path | None = None  #: Prometheus textfile on shutdown
     # evaluation
     executor_workers: int = 4
+    #: sweep backend for coalesced batches (None = batched_sweep's
+    #: default, i.e. serial in-process; "process" fans shards out to
+    #: worker processes — trace context follows either way)
+    backend: str | None = None
+    sweep_shards: int | None = None
+    sweep_workers: int | None = None
+    # observability
+    slo: SLOConfig = field(default_factory=SLOConfig)
+    #: when True, /readyz also goes unready while the fast-window SLO
+    #: burn rate exceeds its threshold (the service is up but eating
+    #: its error budget at page-worthy speed)
+    readyz_gate_on_burn: bool = False
+    flightrec_capacity: int = 2048
+    flightrec_dir: Path | None = None  #: dump dir (else env / tempdir)
 
 
 class AWEService:
@@ -108,10 +128,21 @@ class AWEService:
         self.coalescer = Coalescer(
             max_batch=self.config.max_batch,
             max_delay_s=self.config.max_delay_s,
-            executor=self.executor, resilience=self.resilience, clock=clock)
+            executor=self.executor, resilience=self.resilience,
+            backend=self.config.backend,
+            shards=self.config.sweep_shards,
+            workers=self.config.sweep_workers, clock=clock)
         self.admission = AdmissionController(self.config.max_inflight,
                                              self.config.max_queue)
         self.ladder = ToleranceLadder()
+        self.slo = SLOTracker(self.config.slo, clock=clock)
+        if (self.config.flightrec_capacity != _recorder.DEFAULT_CAPACITY
+                or self.config.flightrec_dir is not None):
+            _recorder.set_recorder(_recorder.FlightRecorder(
+                self.config.flightrec_capacity,
+                dump_dir=(str(self.config.flightrec_dir)
+                          if self.config.flightrec_dir else None)))
+        publish_build_info()
         #: tenant -> (quota bucket, bulkhead); insertion order is LRU
         self._tenants: dict[str, tuple[TokenBucket, Bulkhead]] = {}
         self.draining = False
@@ -137,24 +168,54 @@ class AWEService:
         reg = _metrics.registry()
         reg.counter("repro_serve_requests_total", "eval requests").inc()
         t0 = self._clock()
-        if self.draining:
-            self._count_reject("draining")
-            raise Draining("service is draining")
-        if not self.admission.try_admit():
-            self._count_reject("shed")
-            raise ShedError(
-                f"at capacity ({self.admission.max_inflight} inflight + "
-                f"{self.admission.max_queue} queued)")
-        try:
-            return await self._admitted(payload, t0)
-        finally:
-            self.admission.release()
-            reg.histogram("repro_serve_latency_seconds",
-                          "end-to-end request latency"
-                          ).observe(self._clock() - t0)
-
-    async def _admitted(self, payload: dict, t0: float) -> dict:
         tenant = str(payload.get("tenant", "default"))
+        ctx = obs_context.current()
+        if ctx is None:  # in-process caller: start a fresh trace
+            ctx = obs_context.new_context(tenant=tenant)
+        tracer = _trace.current_tracer()
+        span = None
+        if tracer is not None:
+            span = tracer.detached(
+                "serve.request", ctx.local_parent,
+                trace_id=ctx.trace_id, tenant=tenant,
+                model=str(payload.get("model", ""))).start()
+            ctx = ctx.with_parent(span.span_id)
+        outcome = "error"
+        try:
+            with obs_context.use(ctx):
+                if self.draining:
+                    self._count_reject("draining")
+                    raise Draining("service is draining")
+                if not self.admission.try_admit():
+                    self._count_reject("shed")
+                    raise ShedError(
+                        f"at capacity ({self.admission.max_inflight} "
+                        f"inflight + {self.admission.max_queue} queued)")
+                _recorder.record("admit", tenant=tenant,
+                                 trace_id=ctx.trace_id,
+                                 inflight=self.admission.inflight)
+                try:
+                    result = await self._admitted(payload, tenant, t0)
+                    outcome = ("degraded" if result.get("degraded")
+                               else "ok")
+                    return result
+                finally:
+                    self.admission.release()
+        except ServiceRejection as exc:
+            outcome = f"rejected:{exc.code}"
+            raise
+        finally:
+            latency = self._clock() - t0
+            reg.histogram("repro_serve_latency_seconds",
+                          "end-to-end request latency").observe(latency)
+            self.slo.observe(tenant, str(payload.get("model", "")) or None,
+                             latency, outcome, trace_id=ctx.trace_id)
+            if span is not None:
+                span.set(outcome=outcome)
+                span.finish()
+
+    async def _admitted(self, payload: dict, tenant: str,
+                        t0: float) -> dict:
         bucket, bulkhead = self._tenant_state(tenant)
         if not bucket.try_acquire():
             self._count_reject("quota")
@@ -209,9 +270,12 @@ class AWEService:
                 f"model {entry.recipe.name!r} breaker is "
                 f"{entry.breaker.state} and degradation is unavailable")
 
+        ctx = obs_context.current()
         outcome = await self.coalescer.submit(EvalRequest(
             entry=entry, metric=metric, order=order, values=values,
-            deadline=deadline, tenant=tenant))
+            deadline=deadline, tenant=tenant,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            parent_span=ctx.local_parent if ctx is not None else None))
         rung, rtol = "nominal", self.ladder.nominal
         _metrics.registry().counter("repro_serve_requests_total_ok",
                                     "requests served at full order").inc()
@@ -302,10 +366,15 @@ class AWEService:
         }
 
     @staticmethod
-    def _count_reject(code: str) -> None:
+    def _count_reject(code: str, **fields) -> None:
         _metrics.registry().counter(
             f"repro_serve_rejected_total_{code}",
             f"requests rejected with code {code}").inc()
+        ctx = obs_context.current()
+        if ctx is not None:
+            fields.setdefault("trace_id", ctx.trace_id)
+            fields.setdefault("tenant", ctx.tenant)
+        _recorder.record("reject", code=code, **fields)
 
     # ------------------------------------------------------------------
     # health
@@ -334,8 +403,77 @@ class AWEService:
                 ready = False
                 checks["program_cache"] = (
                     f"{len(bad)} corrupt/stale entries (run repro doctor)")
+        if self.config.readyz_gate_on_burn:
+            fast = self.slo.burn_rate(self.config.slo.fast_window_s)
+            if fast >= self.config.slo.fast_burn_threshold:
+                ready = False
+                checks["slo"] = (
+                    f"fast burn {fast:.1f}x >= "
+                    f"{self.config.slo.fast_burn_threshold:g}x")
+            else:
+                checks["slo"] = f"fast burn {fast:.2f}x"
         return ready, {"ready": ready, "checks": checks,
                        "retry_budget": round(self.retry_budget.available, 2)}
+
+    # ------------------------------------------------------------------
+    # metrics exposition
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """``/metrics`` body: registry + live policy state + SLO series.
+
+        The plain registry exposition has no label support (identity
+        lives in metric-name suffixes there), so the label-bearing
+        policy and SLO series are generated here at scrape time from
+        the live objects — breaker state per model, bulkhead occupancy
+        and token-bucket level per tenant, admission pressure.
+        """
+        reg = _metrics.registry()
+        shed = reg.get("repro_serve_shed_total")
+        lines = [prometheus_text(reg).rstrip("\n")]
+        lines += [
+            "# HELP repro_service_shed_total requests shed by admission "
+            "control",
+            "# TYPE repro_service_shed_total counter",
+            f"repro_service_shed_total "
+            f"{int(shed.value) if shed is not None else 0}",
+            "# HELP repro_service_admission_inflight admitted requests "
+            "in flight",
+            "# TYPE repro_service_admission_inflight gauge",
+            f"repro_service_admission_inflight {self.admission.inflight}",
+            "# HELP repro_service_admission_capacity admission budget "
+            "(inflight + queue)",
+            "# TYPE repro_service_admission_capacity gauge",
+            f"repro_service_admission_capacity {self.admission.capacity}",
+            "# HELP repro_service_breaker_state per-model breaker "
+            "(0 closed, 1 half-open, 2 open)",
+            "# TYPE repro_service_breaker_state gauge",
+        ]
+        state_code = {"closed": 0, "half_open": 1, "open": 2}
+        for item in self.registry.describe():
+            if item["breaker"] is not None:
+                lines.append(
+                    f'repro_service_breaker_state{{model="{item["name"]}"'
+                    f'}} {state_code.get(item["breaker"], -1)}')
+        lines.append("# HELP repro_service_bulkhead_active concurrent "
+                     "requests per tenant")
+        lines.append("# TYPE repro_service_bulkhead_active gauge")
+        tenants = list(self._tenants.items())
+        for tenant, (_, bulkhead) in tenants:
+            lines.append(f'repro_service_bulkhead_active{{tenant='
+                         f'"{tenant}"}} {bulkhead.active}')
+        lines.append("# HELP repro_service_tokens_available per-tenant "
+                     "token-bucket level")
+        lines.append("# TYPE repro_service_tokens_available gauge")
+        for tenant, (bucket, _) in tenants:
+            lines.append(f'repro_service_tokens_available{{tenant='
+                         f'"{tenant}"}} {bucket.available:.2f}')
+        lines.append("# HELP repro_service_flightrec_events events in "
+                     "the flight-recorder ring")
+        lines.append("# TYPE repro_service_flightrec_events gauge")
+        lines.append(f"repro_service_flightrec_events "
+                     f"{len(_recorder.recorder().snapshot())}")
+        lines += self.slo.prometheus_lines()
+        return "\n".join(lines) + "\n"
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -355,6 +493,14 @@ class AWEService:
                             self.drain(signal_name=s.name)))
                 except (NotImplementedError, RuntimeError):
                     pass  # platform without loop signal support
+            if hasattr(signal, "SIGUSR2"):
+                try:
+                    loop.add_signal_handler(
+                        signal.SIGUSR2,
+                        lambda: _recorder.recorder().dump(
+                            reason="SIGUSR2"))
+                except (NotImplementedError, RuntimeError):
+                    pass
 
     @property
     def port(self) -> int:
@@ -371,6 +517,8 @@ class AWEService:
         reg = _metrics.registry()
         reg.counter("repro_serve_drains_total",
                     "drain sequences initiated").inc()
+        _recorder.record("drain", signal=signal_name or None,
+                         inflight=self.admission.inflight)
         # wait (bounded) for admitted requests to resolve
         grace_until = self._clock() + self.config.drain_grace_s
         while self.admission.inflight > 0 and self._clock() < grace_until:

@@ -1,0 +1,131 @@
+"""Request-context propagation: W3C traceparent + contextvars.
+
+The serving pipeline's identity layer must (a) accept any well-formed
+``traceparent`` and continue that trace, (b) treat *every* malformed
+header as "start a fresh trace" rather than an error — a bad header
+must never fail the request — and (c) keep concurrent requests on one
+event-loop thread isolated via contextvars.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+
+from repro.obs import context as obs_context
+from repro.obs.context import (RequestContext, from_wire, new_context,
+                               parse_traceparent)
+
+HEX32 = re.compile(r"^[0-9a-f]{32}$")
+HEX16 = re.compile(r"^[0-9a-f]{16}$")
+
+
+class TestParseTraceparent:
+    def test_valid_header_round_trips(self):
+        header = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+        ctx = parse_traceparent(header)
+        assert ctx is not None
+        assert ctx.trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+        assert ctx.span_id == "00f067aa0ba902b7"
+        assert ctx.sampled is True
+        assert ctx.traceparent() == header
+
+    def test_unsampled_flag_parses_and_echoes(self):
+        header = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+        ctx = parse_traceparent(header)
+        assert ctx is not None and ctx.sampled is False
+        assert ctx.traceparent().endswith("-00")
+
+    def test_uppercase_and_whitespace_tolerated(self):
+        header = "  00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01 "
+        ctx = parse_traceparent(header)
+        assert ctx is not None
+        assert ctx.trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+
+    def test_malformed_headers_yield_none(self):
+        trace, span = "4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7"
+        bad = [
+            None,
+            "",
+            "garbage",
+            f"00-{trace}-{span}",              # missing flags
+            f"00-{trace[:-1]}-{span}-01",      # short trace id
+            f"00-{trace}-{span}x-01",          # long span id
+            f"00-{trace}-{span}-zz",           # non-hex flags
+            f"ff-{trace}-{span}-01",           # forbidden version
+            f"00-{'0' * 32}-{span}-01",        # all-zero trace id
+            f"00-{trace}-{'0' * 16}-01",       # all-zero span id
+            f"00_{trace}_{span}_01",           # wrong separators
+        ]
+        for header in bad:
+            assert parse_traceparent(header) is None, header
+
+
+class TestRequestContext:
+    def test_new_context_generates_wellformed_ids(self):
+        ctx = new_context(tenant="acme", deadline=123.0)
+        assert HEX32.match(ctx.trace_id) and HEX16.match(ctx.span_id)
+        assert ctx.tenant == "acme" and ctx.deadline == 123.0
+        assert parse_traceparent(ctx.traceparent()) is not None
+
+    def test_child_keeps_trace_id_fresh_span_id(self):
+        ctx = new_context()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+        assert HEX16.match(child.span_id)
+
+    def test_with_request_and_with_parent(self):
+        ctx = new_context().with_request(tenant="t1", deadline=9.0)
+        assert ctx.tenant == "t1" and ctx.deadline == 9.0
+        bound = ctx.with_parent(42)
+        assert bound.local_parent == 42
+        assert bound.trace_id == ctx.trace_id
+
+    def test_wire_roundtrip_drops_local_parent(self):
+        ctx = new_context(tenant="acme").with_parent(7)
+        wire = ctx.to_wire()
+        assert "local_parent" not in wire  # process-local, never shipped
+        back = from_wire(wire)
+        assert back is not None
+        assert back.trace_id == ctx.trace_id
+        assert back.span_id == ctx.span_id
+        assert back.tenant == "acme"
+        assert back.local_parent is None
+
+    def test_from_wire_empty_payload(self):
+        assert from_wire(None) is None
+        assert from_wire({}) is None
+
+
+class TestCurrentContext:
+    def test_use_installs_and_restores(self):
+        assert obs_context.current() is None
+        ctx = new_context()
+        with obs_context.use(ctx):
+            assert obs_context.current() is ctx
+            inner = new_context()
+            with obs_context.use(inner):
+                assert obs_context.current() is inner
+            assert obs_context.current() is ctx
+        assert obs_context.current() is None
+
+    def test_asyncio_tasks_are_isolated(self):
+        """Each task sees only its own context even when interleaved."""
+
+        async def request(name: str, results: dict) -> None:
+            ctx = new_context(tenant=name)
+            with obs_context.use(ctx):
+                await asyncio.sleep(0)  # force interleaving
+                results[name] = obs_context.current().tenant
+                await asyncio.sleep(0)
+                assert obs_context.current() is ctx
+
+        async def scenario() -> dict:
+            results: dict = {}
+            await asyncio.gather(*(request(f"tenant-{i}", results)
+                                   for i in range(8)))
+            return results
+
+        results = asyncio.run(scenario())
+        assert results == {f"tenant-{i}": f"tenant-{i}" for i in range(8)}

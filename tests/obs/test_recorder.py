@@ -1,0 +1,124 @@
+"""Flight recorder: bounded ring, JSONL dumps, process-wide accessor."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import recorder as obs_recorder
+from repro.obs.recorder import DUMP_DIR_ENV, FlightRecorder
+
+
+class TestRing:
+    def test_events_carry_kind_time_and_fields(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("admit", tenant="acme", inflight=3)
+        (event,) = rec.snapshot()
+        assert event["kind"] == "admit"
+        assert event["tenant"] == "acme" and event["inflight"] == 3
+        assert event["t"] > 0
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("tick", i=i)
+        events = rec.snapshot()
+        assert len(events) == 4
+        assert [e["i"] for e in events] == [6, 7, 8, 9]  # oldest dropped
+        assert rec.total == 10
+        assert rec.dropped == 6
+
+    def test_snapshot_returns_copies(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record("tick")
+        rec.snapshot()[0]["kind"] = "mutated"
+        assert rec.snapshot()[0]["kind"] == "tick"
+
+
+class TestJsonl:
+    def test_header_line_then_events(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record("admit", tenant="a")
+        rec.record("reject", code="quota")
+        lines = rec.to_jsonl(reason="test").strip().split("\n")
+        header = json.loads(lines[0])
+        assert header["kind"] == "flightrec"
+        assert header["reason"] == "test"
+        assert header["events"] == 2 and header["total"] == 2
+        assert [json.loads(l)["kind"] for l in lines[1:]] == \
+            ["admit", "reject"]
+
+    def test_unserializable_fields_stringified(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record("odd", payload=object())
+        # default=str must keep the dump writable no matter the fields
+        assert "odd" in rec.to_jsonl()
+
+
+class TestDump:
+    def test_dump_to_explicit_path(self, tmp_path):
+        rec = FlightRecorder(capacity=4)
+        rec.record("admit")
+        path = rec.dump(path=str(tmp_path / "ring.jsonl"), reason="unit")
+        assert path is not None
+        lines = (tmp_path / "ring.jsonl").read_text().strip().split("\n")
+        assert json.loads(lines[0])["reason"] == "unit"
+        assert rec.dumps == 1
+
+    def test_auto_path_honors_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DUMP_DIR_ENV, str(tmp_path / "dumps"))
+        rec = FlightRecorder(capacity=4)
+        rec.record("admit")
+        path = rec.dump(reason="env")
+        assert path is not None and path.startswith(str(tmp_path / "dumps"))
+        assert (tmp_path / "dumps").is_dir()
+
+    def test_explicit_dump_dir_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DUMP_DIR_ENV, str(tmp_path / "env"))
+        rec = FlightRecorder(capacity=4, dump_dir=str(tmp_path / "explicit"))
+        path = rec.dump()
+        assert path is not None
+        assert path.startswith(str(tmp_path / "explicit"))
+
+    def test_failed_dump_returns_none_never_raises(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("file, not directory")
+        rec = FlightRecorder(capacity=4, dump_dir=str(target))
+        assert rec.dump(reason="doomed") is None
+        assert rec.dumps == 0
+
+    def test_no_leftover_tmp_file(self, tmp_path):
+        rec = FlightRecorder(capacity=4)
+        rec.record("admit")
+        rec.dump(path=str(tmp_path / "out.jsonl"))
+        assert [p.name for p in tmp_path.iterdir()] == ["out.jsonl"]
+
+
+class TestProcessWide:
+    def test_module_record_feeds_singleton(self):
+        previous = obs_recorder.set_recorder(FlightRecorder(capacity=8))
+        try:
+            obs_recorder.record("breaker", model="m", to="open")
+            events = obs_recorder.recorder().snapshot()
+            assert events and events[-1]["kind"] == "breaker"
+        finally:
+            obs_recorder.set_recorder(previous)
+
+    def test_set_recorder_returns_previous(self):
+        mine = FlightRecorder(capacity=8)
+        previous = obs_recorder.set_recorder(mine)
+        try:
+            assert obs_recorder.recorder() is mine
+        finally:
+            assert obs_recorder.set_recorder(previous) is mine
+
+    def test_submodule_not_shadowed_by_package_reexports(self):
+        """``from repro.obs import recorder`` must yield the module.
+
+        The package ``__init__`` re-exports names from this module; if
+        it ever re-exported the ``recorder()`` accessor, the submodule
+        binding every ``from ..obs import recorder as _recorder``
+        consumer relies on would be silently replaced by a function.
+        """
+        from repro import obs
+        assert obs.recorder is obs_recorder
+        assert hasattr(obs.recorder, "DEFAULT_CAPACITY")

@@ -1,0 +1,189 @@
+"""SLO layer: exemplar histograms, availability, burn rates, CLI report."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.cli import main
+from repro.obs.slo import (LATENCY_BUCKETS, OTHER, ExemplarHistogram,
+                           SLOConfig, SLOTracker)
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestExemplarHistogram:
+    def test_quantiles_bracket_observations(self):
+        hist = ExemplarHistogram()
+        for _ in range(100):
+            hist.observe(0.02)
+        # everything landed in the (0.01, 0.025] bucket
+        assert 0.01 <= hist.quantile(0.5) <= 0.025
+        assert 0.01 <= hist.quantile(0.99) <= 0.025
+        assert hist.count == 100
+        assert abs(hist.sum - 100 * 0.02) < 1e-9
+
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(ExemplarHistogram().quantile(0.5))
+        assert math.isnan(ExemplarHistogram().to_dict()["p50"])
+
+    def test_overflow_bucket(self):
+        hist = ExemplarHistogram()
+        hist.observe(120.0)  # beyond the 30 s ladder
+        assert hist.counts[-1] == 1
+        assert hist.quantile(0.99) == LATENCY_BUCKETS[-1]
+
+    def test_exemplar_remembers_latest_trace(self):
+        hist = ExemplarHistogram()
+        hist.observe(0.02, trace_id="aaa", now=1.0)
+        hist.observe(0.02, trace_id="bbb", now=2.0)
+        (exemplar,) = hist.exemplars.values()
+        assert exemplar == ("bbb", 0.02, 2.0)
+
+
+class TestTrackerAccounting:
+    def test_availability_and_degraded_ratio(self):
+        clock = FakeClock()
+        slo = SLOTracker(clock=clock)
+        for _ in range(8):
+            slo.observe("acme", "m", 0.01, "ok", trace_id="t1")
+        slo.observe("acme", "m", 0.01, "degraded")
+        slo.observe("acme", "m", 0.01, "rejected:quota")
+        assert slo.availability() == 9 / 10          # ok+degraded served
+        assert slo.degraded_ratio() == 1 / 9
+
+    def test_snapshot_shape_and_per_tenant_rollup(self):
+        clock = FakeClock()
+        slo = SLOTracker(SLOConfig(availability_objective=0.99),
+                         clock=clock)
+        slo.observe("acme", "fig1", 0.02, "ok", trace_id="abc")
+        slo.observe("acme", "fig1", 0.02, "error")
+        snap = slo.snapshot()
+        assert snap["objectives"]["availability"] == 0.99
+        assert snap["totals"] == {"requests": 2, "served": 1,
+                                  "degraded": 0}
+        acme = snap["tenants"]["acme"]
+        assert acme["outcomes"] == {"ok": 1, "error": 1}
+        assert acme["availability"] == 0.5
+        assert snap["models"]["fig1"]["count"] == 2
+        json.dumps(snap)  # must be JSON-ready as written (slo.json)
+
+    def test_series_cap_collapses_into_other(self):
+        slo = SLOTracker(SLOConfig(max_series=2), clock=FakeClock())
+        for name in ("a", "b", "c", "d"):
+            slo.observe(name, None, 0.01, "ok")
+        tenants = slo.snapshot()["tenants"]
+        assert set(tenants) == {"a", "b", OTHER}
+        assert tenants[OTHER]["count"] == 2
+
+
+class TestBurnRate:
+    def test_all_good_burns_nothing(self):
+        clock = FakeClock()
+        slo = SLOTracker(clock=clock)
+        for _ in range(50):
+            slo.observe("t", None, 0.01, "ok")
+        assert slo.burn_rate(300.0) == 0.0
+        assert not slo.fast_burn_exceeded()
+
+    def test_total_failure_burns_at_inverse_budget(self):
+        clock = FakeClock()
+        cfg = SLOConfig(availability_objective=0.9)  # budget = 0.1
+        slo = SLOTracker(cfg, clock=clock)
+        for _ in range(20):
+            slo.observe("t", None, 0.01, "error")
+        assert abs(slo.burn_rate(cfg.fast_window_s) - 10.0) < 1e-9
+        assert slo.fast_burn_exceeded() is False  # 10x < 14x
+        cfg14 = SLOConfig(availability_objective=0.999)
+        slo14 = SLOTracker(cfg14, clock=clock)
+        for _ in range(20):
+            slo14.observe("t", None, 0.01, "rejected:shed")
+        assert slo14.fast_burn_exceeded() is True  # 1000x >= 14x
+
+    def test_old_buckets_age_out_of_the_window(self):
+        clock = FakeClock()
+        cfg = SLOConfig(availability_objective=0.9, bucket_s=10.0,
+                        fast_window_s=60.0, slow_window_s=600.0)
+        slo = SLOTracker(cfg, clock=clock)
+        for _ in range(10):
+            slo.observe("t", None, 0.01, "error")
+        assert slo.burn_rate(60.0) > 0
+        clock.advance(120.0)  # failures now outside the fast window
+        for _ in range(10):
+            slo.observe("t", None, 0.01, "ok")
+        assert slo.burn_rate(60.0) == 0.0
+        assert slo.burn_rate(600.0) > 0  # still visible in the slow window
+
+    def test_ring_reuse_invalidates_stale_slot(self):
+        clock = FakeClock()
+        cfg = SLOConfig(availability_objective=0.9, bucket_s=1.0,
+                        fast_window_s=5.0, slow_window_s=10.0)
+        slo = SLOTracker(cfg, clock=clock)
+        slo.observe("t", None, 0.01, "error")
+        clock.advance(11.0)  # same ring slot, new epoch
+        slo.observe("t", None, 0.01, "ok")
+        assert slo.burn_rate(5.0) == 0.0  # old bad count must not leak
+
+
+class TestPrometheusLines:
+    def test_series_and_exemplars(self):
+        clock = FakeClock()
+        slo = SLOTracker(clock=clock)
+        slo.observe("acme", "fig1", 0.02, "ok", trace_id="deadbeef")
+        slo.observe("acme", "fig1", 0.02, "rejected:quota")
+        text = "\n".join(slo.prometheus_lines())
+        assert 'repro_slo_latency_seconds_bucket{tenant="acme"' in text
+        assert '# {trace_id="deadbeef"}' in text  # OpenMetrics exemplar
+        assert 'repro_slo_model_latency_seconds{model="fig1",' \
+               'quantile="0.5"}' in text
+        assert 'repro_slo_requests_total{tenant="acme",outcome="ok"} 1' \
+            in text
+        assert ('repro_slo_requests_total{tenant="acme",'
+                'outcome="rejected:quota"} 1') in text
+        assert "repro_slo_availability 0.5" in text
+        assert 'repro_slo_burn_rate{window="fast"}' in text
+        assert 'repro_slo_objective{kind="availability"} 0.999' in text
+
+
+class TestSloCli:
+    def _write_snapshot(self, tmp_path, **observations):
+        clock = FakeClock()
+        slo = SLOTracker(SLOConfig(availability_objective=0.99),
+                         clock=clock)
+        for outcome, n in observations.items():
+            for _ in range(n):
+                slo.observe("acme", "fig1", 0.02,
+                            outcome.replace("__", ":"))
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(slo.snapshot()))
+        return path
+
+    def test_healthy_report_exits_zero(self, tmp_path, capsys):
+        path = self._write_snapshot(tmp_path, ok=20)
+        assert main(["slo", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report: 20 requests" in out
+        assert "acme" in out and "model fig1" in out
+        assert "OBJECTIVE BREACHED" not in out
+
+    def test_breach_exits_one(self, tmp_path, capsys):
+        path = self._write_snapshot(tmp_path, ok=5, error=15)
+        assert main(["slo", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "OBJECTIVE BREACHED" in out
+        assert "FAST BURN" in out
+
+    def test_json_passthrough(self, tmp_path, capsys):
+        path = self._write_snapshot(tmp_path, ok=3)
+        assert main(["slo", str(path), "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["totals"]["requests"] == 3

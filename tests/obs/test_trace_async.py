@@ -1,0 +1,162 @@
+"""Detached (async-flavor) spans, cross-process adoption, exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import trace as obs_trace
+from repro.obs.export import chrome_trace_events, prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class TestDetachedSpans:
+    def test_start_finish_collects_without_stack(self):
+        tracer = Tracer()
+        span = tracer.detached("http.request", None, path="/v1/eval")
+        span.start()
+        # a sync span opened meanwhile must NOT see the detached span
+        # as its parent — detached spans bypass the thread stack
+        with tracer.span("sweep.total") as sync_span:
+            assert sync_span.parent_id is None
+        span.finish()
+        names = {s["name"] for s in tracer.snapshot()}
+        assert names == {"http.request", "sweep.total"}
+
+    def test_explicit_parent_and_flavor_in_record(self):
+        tracer = Tracer()
+        root = tracer.detached("http.request", None).start().finish()
+        child = tracer.detached("serve.request",
+                                root.span_id).start().finish()
+        records = {s["name"]: s for s in tracer.snapshot()}
+        assert records["serve.request"]["parent_id"] == root.span_id
+        assert records["serve.request"]["flavor"] == "async"
+        assert "flavor" not in json.dumps(
+            {"sync": "absent"})  # marker below checks sync spans
+        with tracer.span("sweep.total"):
+            pass
+        sync = {s["name"]: s for s in tracer.snapshot()}["sweep.total"]
+        assert "flavor" not in sync
+
+    def test_interleaved_requests_do_not_misnest(self):
+        tracer = Tracer()
+        a = tracer.detached("http.request", None, req="a").start()
+        b = tracer.detached("http.request", None, req="b").start()
+        b.finish()
+        a.finish()
+        records = tracer.snapshot()
+        assert all(r["parent_id"] is None for r in records)
+        assert {r["attrs"]["req"] for r in records} == {"a", "b"}
+
+
+class TestAdopt:
+    def _worker_snapshot(self) -> tuple[list[dict], float]:
+        """Record spans on a private tracer, as a worker process would."""
+        worker = Tracer()
+        with worker.span("sweep.shard", shard=0):
+            with worker.span("sweep.evaluate"):
+                pass
+        return worker.snapshot(), worker.epoch_wall
+
+    def test_ids_remapped_and_roots_reparented(self):
+        parent = Tracer()
+        with parent.span("sweep.total") as total:
+            records, epoch_wall = self._worker_snapshot()
+            adopted = parent.adopt(records, epoch_wall,
+                                   parent_id=parent.context())
+        by_name = {s.name: s for s in adopted}
+        shard, evaluate = by_name["sweep.shard"], by_name["sweep.evaluate"]
+        # fresh local ids: unique within the parent tracer even though
+        # the worker's ids restarted at 1 (same counter as the parent's)
+        all_ids = [s["span_id"] for s in parent.snapshot()]
+        assert len(all_ids) == len(set(all_ids))
+        # internal parent link remapped, root re-parented under the sweep
+        assert evaluate.parent_id == shard.span_id
+        assert shard.parent_id == total.span_id
+
+    def test_worker_tids_become_synthetic_lanes(self):
+        parent = Tracer()
+        records, epoch_wall = self._worker_snapshot()
+        adopted = parent.adopt(records, epoch_wall)
+        # pthread idents can collide across processes; adopted spans get
+        # negative synthetic lane ids that cannot collide with real ones
+        assert all(s.tid < 0 for s in adopted)
+        assert len({s.tid for s in adopted}) == 1  # one worker thread
+
+    def test_time_offset_via_wall_clocks(self):
+        parent = Tracer()
+        records = [{"kind": "span", "name": "sweep.shard", "span_id": 1,
+                    "parent_id": None, "tid": 5, "depth": 0,
+                    "start_s": 0.25, "duration_s": 0.5, "attrs": {}}]
+        (span,) = parent.adopt(records, parent.epoch_wall + 2.0)
+        # worker started 2 s (wall) after the parent epoch, plus its own
+        # 0.25 s relative start
+        assert abs((span.t0 - parent.epoch) - 2.25) < 1e-9
+        assert span.duration == 0.5
+
+    def test_adopted_spans_export(self):
+        parent = Tracer()
+        with parent.span("sweep.total"):
+            records, epoch_wall = self._worker_snapshot()
+            parent.adopt(records, epoch_wall, parent_id=parent.context())
+        events = chrome_trace_events(parent)
+        names = {e["name"] for e in events if e["ph"] in "BE"}
+        assert {"sweep.total", "sweep.shard", "sweep.evaluate"} <= names
+
+
+class TestChromeAsyncEvents:
+    def test_async_spans_emit_b_e_pairs_keyed_by_id(self):
+        tracer = Tracer()
+        tracer.detached("http.request", None, tenant="acme").start().finish()
+        with tracer.span("sweep.total"):
+            pass
+        events = chrome_trace_events(tracer)
+        async_events = [e for e in events if e["ph"] in ("b", "e")]
+        assert len(async_events) == 2
+        begin, end = async_events
+        assert begin["ph"] == "b" and end["ph"] == "e"
+        assert begin["id"] == end["id"]
+        assert begin["id"].startswith("0x")
+        assert end["ts"] >= begin["ts"]
+        # sync spans stay stack-nested B/E
+        assert {e["ph"] for e in events if e["name"] == "sweep.total"} == \
+            {"B", "E"}
+        json.dumps(events)  # Perfetto-loadable
+
+    def test_snapshot_list_export_without_live_tracer(self):
+        tracer = Tracer()
+        tracer.detached("serve.batch", None).start().finish()
+        with tracer.span("sweep.total"):
+            pass
+        snapshot = tracer.snapshot()
+        assert chrome_trace_events(snapshot) == chrome_trace_events(tracer)
+
+
+class TestLabeledGauges:
+    def test_prometheus_text_renders_labels(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("repro_build_info", "build metadata")
+        gauge.set_labels({"version": "0.1.0", "git_sha": "abc123"})
+        gauge.set(1.0)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_build_info gauge" in text
+        assert ('repro_build_info{git_sha="abc123",version="0.1.0"} 1'
+                in text)
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "h").set_labels({"v": 'say "hi"\n'}).set(1.0)
+        assert 'v="say \\"hi\\"\\n"' in prometheus_text(reg)
+
+
+class TestBuildInfo:
+    def test_publish_build_info_gauge(self):
+        from repro.buildinfo import build_info, publish_build_info
+        reg = MetricsRegistry()
+        gauge = publish_build_info(reg)
+        assert gauge.value == 1.0
+        info = build_info()
+        assert gauge.labels["version"] == info["version"]
+        assert set(gauge.labels) == {"version", "python", "numpy",
+                                     "git_sha"}
+        assert "repro_build_info{" in prometheus_text(reg)
