@@ -7,15 +7,19 @@ Runs the paper's §3.1 workload end to end under the observability layer:
 2. sweep ``dominant_pole_hz`` over a ``(go_Q14, Ccomp)`` grid with the
    batched sharded runtime, collecting :class:`RuntimeStats`;
 3. time the same sweep once per execution backend (serial / thread /
-   process), after an unmeasured warm-up pass so pool spawn and the
-   per-worker program cache are amortized the way a real sweep sees
-   them, and cross-check every backend against the serial values
-   bit-for-bit;
-4. op-profile the compiled moment program over the same grid batch;
-5. write ``BENCH_sweep.json`` — points/sec overall and per backend,
-   compile and evaluate seconds, the top-3 hot ops with symbolic
-   provenance, and the full stats/metrics snapshots — and, with
-   ``--trace``, a Chrome/Perfetto trace of the whole run.
+   process / native), after an unmeasured warm-up pass so pool spawn,
+   the per-worker program cache, and the native kernel build are
+   amortized the way a real sweep sees them, and cross-check every
+   backend against the serial values bit-for-bit;
+4. time the raw moment-program kernels (ufunc vs native ``eval_batch``)
+   on the full grid batch — the end-to-end native gain is Amdahl-capped
+   by the shared Padé/metric stage, so the kernel-level figure is
+   recorded separately;
+5. op-profile the compiled moment program over the same grid batch;
+6. write ``BENCH_sweep.json`` — points/sec overall, per backend, and
+   per kernel, compile and evaluate seconds, the top-3 hot ops with
+   symbolic provenance, and the full stats/metrics snapshots — and,
+   with ``--trace``, a Chrome/Perfetto trace of the whole run.
 
 ``benchmarks/check_bench_regression.py`` compares this payload against
 the committed baseline and fails CI on a >25 % throughput regression.
@@ -32,6 +36,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -48,7 +53,7 @@ from repro.runtime.batched import grid_columns
 
 GRID_N = 32
 SHARDS = 8
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "native")
 
 
 def bench_backends(model, grids, reference, shards: int,
@@ -82,6 +87,53 @@ def bench_backends(model, grids, reference, shards: int,
     return out
 
 
+def bench_kernels(model, grids, repeats: int = 5) -> dict:
+    """Raw kernel throughput on the full grid batch, no sweep layer.
+
+    The per-backend numbers above include the Padé solve and the metric
+    reduction, which are identical across backends — Amdahl's law caps
+    the visible end-to-end native gain well below the kernel speedup.
+    Timing ``eval_batch`` alone (best of ``repeats``) records what the
+    compiled kernel actually buys.  A missing toolchain records a
+    reason instead of failing the benchmark.
+    """
+    fn = model.compiled_moments.fn
+    _, _, cols = grid_columns(model, grids)
+    n = next(int(c.size) for c in cols if isinstance(c, np.ndarray))
+    mask = tuple(isinstance(c, np.ndarray) for c in cols)
+
+    def best_of(call):
+        call()  # warm-up: ufunc caches / native kernel build
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            call()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        ufunc_seconds = best_of(lambda: fn.eval_batch(list(cols), n))
+    out = {
+        "points": n,
+        "ufunc": {"points_per_second": n / ufunc_seconds},
+    }
+    try:
+        from repro.runtime.native import native_kernel_for
+        kernel = native_kernel_for(fn, mask)
+    except Exception as exc:  # NativeUnavailable, or no toolchain at all
+        out["native"] = {"available": False, "reason": str(exc)}
+        return out
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        native_seconds = best_of(lambda: kernel(list(cols), n))
+    out["native"] = {
+        "available": True,
+        "flavor": kernel.flavor,
+        "points_per_second": n / native_seconds,
+        "speedup_vs_ufunc": ufunc_seconds / native_seconds,
+    }
+    return out
+
+
 def run(grid_n: int = GRID_N, shards: int = SHARDS) -> dict:
     ss = small_signal_741()
     res = awesymbolic(ss.circuit, "out", symbols=["go_Q14", "Ccomp"],
@@ -99,6 +151,13 @@ def run(grid_n: int = GRID_N, shards: int = SHARDS) -> dict:
     finite = int(np.isfinite(np.asarray(z)).sum())
 
     backends = bench_backends(model, grids, z, shards)
+    kernels = bench_kernels(model, grids)
+    throughputs = {
+        "kernel:ufunc": kernels["ufunc"]["points_per_second"],
+    }
+    if kernels["native"].get("available"):
+        throughputs["kernel:native"] = (
+            kernels["native"]["points_per_second"])
 
     _, _, cols = grid_columns(model, grids)
     prof = profile_program(model.compiled_moments.fn, cols, repeats=5)
@@ -111,6 +170,8 @@ def run(grid_n: int = GRID_N, shards: int = SHARDS) -> dict:
         "shards": shards,
         "cpu_count": os.cpu_count(),
         "backends": backends,
+        "kernels": kernels,
+        "throughputs": throughputs,
         "n_ops": model.n_ops,
         "points_per_second": stats.points_per_second,
         "compile_seconds": stats.compile_seconds,
@@ -157,6 +218,17 @@ def main(argv: list[str] | None = None) -> int:
     for name, b in payload["backends"].items():
         print(f"  backend {name:<8} {b['points_per_second']:>12.0f} points/s"
               f"  ({b['workers']} workers)")
+    kernels = payload["kernels"]
+    print(f"  kernel  ufunc    "
+          f"{kernels['ufunc']['points_per_second']:>12.0f} points/s")
+    native = kernels["native"]
+    if native.get("available"):
+        print(f"  kernel  native   "
+              f"{native['points_per_second']:>12.0f} points/s"
+              f"  ({native['flavor']}, "
+              f"{native['speedup_vs_ufunc']:.1f}x ufunc)")
+    else:
+        print(f"  kernel  native   unavailable ({native['reason']})")
     for i, op in enumerate(payload["top_ops"], start=1):
         print(f"  hot op {i}: {op['fraction'] * 100.0:5.1f}%  "
               f"{op['kind']:<5} {op['expr']}")

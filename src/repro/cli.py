@@ -141,7 +141,7 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
                    help="worker-pool width for sweep shards (default: "
                         "min(shards, cpu count) when --shards > 1)")
     p.add_argument("--backend", default=None,
-                   choices=["auto", "serial", "thread", "process"],
+                   choices=["auto", "serial", "thread", "process", "native"],
                    help="shard execution backend (default auto: threads "
                         "when more than one worker; process spawns "
                         "workers and shares arrays via shared memory)")
@@ -162,11 +162,26 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
                    help="write the sweep diagnostics report as JSON")
 
 
-def _add_model_build_args(p: argparse.ArgumentParser) -> None:
-    """Netlist → symbolic model options shared by sweep and trace."""
-    p.add_argument("netlist", type=Path, help="netlist file")
-    p.add_argument("--output", "-o", required=True,
-                   help="observed node name")
+def _add_model_build_args(p: argparse.ArgumentParser,
+                          tape_input: bool = False) -> None:
+    """Netlist → symbolic model options shared by sweep and trace.
+
+    With ``tape_input`` the netlist becomes optional and ``--tape``
+    accepts a saved op-tape artifact instead (no compile at all).
+    """
+    if tape_input:
+        p.add_argument("netlist", type=Path, nargs="?", default=None,
+                       help="netlist file (optional with --tape)")
+        p.add_argument("--tape", type=Path, default=None, metavar="FILE",
+                       help="evaluate a saved op-tape artifact instead of "
+                            "compiling a netlist (see `repro compile "
+                            "--emit-tape`)")
+        p.add_argument("--output", "-o", default=None,
+                       help="observed node name (required with a netlist)")
+    else:
+        p.add_argument("netlist", type=Path, help="netlist file")
+        p.add_argument("--output", "-o", required=True,
+                       help="observed node name")
     p.add_argument("--order", type=int, default=2,
                    help="Padé order (default 2)")
     p.add_argument("--symbols", "-s", default=None,
@@ -228,10 +243,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="element value override (repeatable)")
     _add_sweep_args(evaluate)
 
+    compile_p = sub.add_parser(
+        "compile", parents=[obs_parent],
+        help="compile a netlist and emit a portable op-tape artifact")
+    _add_model_build_args(compile_p)
+    compile_p.add_argument("--emit-tape", type=Path, default=None,
+                           metavar="FILE",
+                           help="write the compiled moment program as a "
+                                "versioned, integrity-hashed .tape "
+                                "artifact (load with `repro sweep "
+                                "--tape` or `repro serve --library`)")
+
     sweep = sub.add_parser("sweep", parents=[obs_parent],
                            help="netlist -> compiled model -> batched "
                                 "metric sweep, in one run")
-    _add_model_build_args(sweep)
+    _add_model_build_args(sweep, tape_input=True)
     _add_sweep_args(sweep)
 
     trace = sub.add_parser("trace", parents=[obs_parent],
@@ -273,7 +299,8 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("--workers", type=int, default=None,
                         help="worker-pool width for the check sweep")
     doctor.add_argument("--backend", default=None,
-                        choices=["auto", "serial", "thread", "process"],
+                        choices=["auto", "serial", "thread", "process",
+                                 "native"],
                         help="shard execution backend for the check sweep")
     doctor.add_argument("--json", type=Path, default=None, metavar="FILE",
                         help="write the diagnostics report as JSON")
@@ -333,7 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--workers", type=int, default=None,
                     help="worker-pool width for sample shards")
     mc.add_argument("--backend", default=None,
-                    choices=["auto", "serial", "thread", "process"],
+                    choices=["auto", "serial", "thread", "process", "native"],
                     help="shard execution backend")
     mode = mc.add_mutually_exclusive_group()
     mode.add_argument("--strict", action="store_true",
@@ -374,9 +401,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--name", default=None,
                        help="model name to register (default: netlist stem)")
     serve.add_argument("--library", action="append", default=[],
-                       choices=["fig1", "741"], metavar="NAME",
+                       metavar="NAME|FILE",
                        help="also serve a built-in library circuit "
-                            "(fig1 | 741; repeatable)")
+                            "(fig1 | 741) or a saved op-tape artifact "
+                            "(path to a .tape file; repeatable)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8471,
                        help="listen port (0 = ephemeral; default 8471)")
@@ -397,7 +425,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--warm", action="store_true",
                        help="compile every registered model before binding")
     serve.add_argument("--backend", default=None,
-                       choices=["auto", "serial", "thread", "process"],
+                       choices=["auto", "serial", "thread", "process",
+                                "native"],
                        help="shard execution backend for served sweeps")
     serve.add_argument("--shards", type=int, default=None,
                        help="split each served sweep into N shards")
@@ -617,9 +646,34 @@ def _build_cached_model(args):
     return res
 
 
+def cmd_compile(args) -> int:
+    from .symbolic.tape import tape_from_model
+
+    res = _build_cached_model(args)
+    print(res.partition.summary())
+    tape = tape_from_model(res.model)
+    print(f"op tape: {tape.n_ops} ops, {len(tape.symbols)} inputs, "
+          f"{len(tape.consts)} consts")
+    print(f"  sha256:{tape.content_hash[:32]}")
+    if args.emit_tape is not None:
+        tape.save(args.emit_tape)
+        print(f"wrote {args.emit_tape}")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     if not args.sweep:
         raise ReproError("sweep needs at least one --sweep NAME=START:STOP:N")
+    if args.tape is not None:
+        from .symbolic.tape import TapeModel, load_tape
+
+        model = TapeModel(load_tape(args.tape))
+        print(f"tape model: {model.title!r}, output {model.output!r}, "
+              f"{model.n_ops} ops per evaluation")
+        return _run_sweep(model, args)
+    if args.netlist is None or args.output is None:
+        raise ReproError("sweep needs a netlist and --output "
+                         "(or --tape FILE)")
     res = _build_cached_model(args)
     print(res.partition.summary())
     print(f"compiled model: {res.model.n_ops} ops per evaluation")
@@ -980,6 +1034,12 @@ def cmd_serve(args) -> int:
         registry.register(name, circuit, args.output, symbols=symbols,
                           order=args.order)
     for lib in args.library:
+        if lib.endswith(".tape") or os.path.isfile(lib):
+            # a preloaded op-tape artifact: loading is the compile, so
+            # the model is warm before the server even binds
+            key = registry.register_tape(lib)
+            print(f"loaded tape {lib} ({key[:21]})")
+            continue
         circuit, output, symbols = _serve_recipe(lib)
         registry.register(lib, circuit, output, symbols=symbols,
                           order=args.order)
@@ -1092,6 +1152,7 @@ def _finalize_obs(tracer, trace_path: Path | None,
 
 _COMMANDS = {
     "analyze": cmd_analyze,
+    "compile": cmd_compile,
     "evaluate": cmd_evaluate,
     "sweep": cmd_sweep,
     "trace": cmd_trace,

@@ -42,6 +42,12 @@ class SymbolicError(ReproError):
     """Errors from the symbolic engine (mismatched spaces, inexact division)."""
 
 
+class TapeError(SymbolicError):
+    """An op-tape artifact is invalid: wrong schema version, integrity
+    hash mismatch, malformed structure, or an expression that cannot be
+    encoded.  Bad artifacts are refused, never executed."""
+
+
 class ApproximationError(ReproError):
     """AWE/Padé failure: singular Hankel system, no stable poles, etc.
 

@@ -14,15 +14,21 @@ provides:
   layer: point quarantine policy, shard retry/timeout/backoff, serial
   fallback (see ``docs/robustness.md``);
 * :data:`BACKENDS` / :func:`resolve_backend` — pluggable shard execution
-  (``serial`` / ``thread`` / ``process``); the process backend ships
-  compiled programs as source to spawned workers and moves bulk arrays
-  through shared memory (see ``docs/runtime.md``).
+  (``serial`` / ``thread`` / ``process`` / ``native``); the process
+  backend ships compiled programs as content-addressed op-tape artifacts
+  to spawned workers (inline pickles for small sweeps, shared memory for
+  bulk ones), and the native backend evaluates through a compiled C or
+  numba kernel generated from the same tape, falling back to the ufunc
+  kernel when no toolchain is available (see ``docs/runtime.md`` and
+  ``docs/artifacts.md``).
 
 ``repro.core`` imports lazily from here (never the reverse at module
 scope) to keep the dependency direction acyclic.
 """
 
-from .backends import BACKENDS, resolve_backend, shutdown_pools
+from .backends import (BACKENDS, INLINE_MAX_POINTS, resolve_backend,
+                       shutdown_pools)
+from .native import NativeUnavailable, build_native_kernel, native_kernel_for
 from .batched import (CANCEL_CHUNK_POINTS, VECTOR_METRICS, batched_sweep,
                       grid_columns, vector_metric, vector_poles_residues)
 from .cache import (CACHE_SCHEMA, CacheStats, CondensationCache,
@@ -35,6 +41,8 @@ from .stats import RuntimeStats
 __all__ = [
     "BACKENDS",
     "CACHE_SCHEMA",
+    "INLINE_MAX_POINTS",
+    "NativeUnavailable",
     "CANCEL_CHUNK_POINTS",
     "DEFAULT_RESILIENCE",
     "VECTOR_METRICS",
@@ -46,6 +54,8 @@ __all__ = [
     "ResilienceConfig",
     "RuntimeStats",
     "batched_sweep",
+    "build_native_kernel",
+    "native_kernel_for",
     "resolve_backend",
     "shutdown_pools",
     "cached_awesymbolic",

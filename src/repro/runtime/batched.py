@@ -277,7 +277,8 @@ _SINGULAR_MSG = "global symbolic system singular at this point"
 
 def _chunk_moments(model, columns: Sequence, n_points: int,
                    stats: RuntimeStats, diag: SweepDiagnostics,
-                   offset: int) -> tuple[np.ndarray, np.ndarray]:
+                   offset: int, kernel: str | None = None,
+                   ) -> tuple[np.ndarray, np.ndarray]:
     """Run the compiled moment program once over a flattened chunk.
 
     Returns ``(moments, singular)`` where ``singular`` marks points whose
@@ -292,7 +293,8 @@ def _chunk_moments(model, columns: Sequence, n_points: int,
     with stats.stage("evaluate"):
         with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
             raw = [np.broadcast_to(np.asarray(v, dtype=float), (n_points,))
-                   for v in cm.fn.eval_batch(columns, n_points)]
+                   for v in cm.fn.eval_batch(columns, n_points,
+                                             kernel=kernel)]
             det = raw[-1]
             singular = det == 0.0
             if singular.any():
@@ -350,6 +352,7 @@ def _sweep_chunk(model, columns: Sequence, n_points: int,
                  metric: Callable[[ReducedOrderModel], float], order: int,
                  require_stable: bool, offset: int = 0,
                  diag: SweepDiagnostics | None = None,
+                 kernel: str | None = None,
                  ) -> tuple[np.ndarray, RuntimeStats, SweepDiagnostics]:
     """Evaluate one flattened chunk.
 
@@ -362,7 +365,7 @@ def _sweep_chunk(model, columns: Sequence, n_points: int,
     if n_points == 0:
         return out, stats, diag
     moments, singular = _chunk_moments(model, columns, n_points, stats,
-                                       diag, offset)
+                                       diag, offset, kernel=kernel)
     _chunk_health(moments, order, diag)
     alive = ~singular
 
@@ -546,6 +549,11 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         backend_name = resolve_backend(backend, workers)
         if backend_name == "serial":
             workers = 1
+        # the native backend evaluates moments through the compiled
+        # (C / numba) tape kernel; shard topology is in-process like
+        # serial/thread, and eval_batch degrades to the ufunc kernel
+        # (with a logged warning) when no native kernel can be built
+        kernel_hint = "native" if backend_name == "native" else None
         stats.backend = backend_name
         stats.shards = n_shards
         stats.workers = workers
@@ -599,7 +607,8 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
                 values, part_stats, part_diag = _sweep_chunk(
                     model, cols, b - a, metric, q, require_stable,
                     offset=int(a),
-                    diag=SweepDiagnostics(strict=config.strict))
+                    diag=SweepDiagnostics(strict=config.strict),
+                    kernel=kernel_hint)
                 values_parts.append(values)
                 if acc_stats is None:
                     acc_stats, acc_diag = part_stats, part_diag
@@ -640,7 +649,7 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         if backend_name == "process" and n_points:
             runner = ProcessShardRunner(model, columns, n_points, metric,
                                         q, require_stable, config.strict,
-                                        workers)
+                                        workers, n_shards=len(bounds) - 1)
             stats.spawn_seconds = runner.spawn_seconds
             try:
                 results = run_shards(run_shard, bounds, workers=workers,

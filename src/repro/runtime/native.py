@@ -1,0 +1,448 @@
+"""Native (compiled) evaluator kernels for op tapes.
+
+The ufunc kernel evaluates a moment program as ~300 separate numpy calls
+per chunk; at sweep-sized chunks that is dominated by per-call dispatch,
+not arithmetic.  This module compiles the *op tape* of a program into a
+single native function — one fused loop over the batch — through either
+of two toolchains:
+
+* **numba** ``@njit`` over a generated per-point loop (used when numba
+  is importable; ``fastmath`` stays off so operations remain IEEE);
+* **generated C** built with the system compiler (``cc``/``gcc``/
+  ``clang``) as a shared object and bound via :mod:`ctypes`.  Constants
+  are emitted as C99 hex float literals (exact), and the build forbids
+  FMA contraction (``-ffp-contract=off -fno-fast-math``) so every op is
+  a single correctly-rounded IEEE operation.
+
+Only tapes whose ops are pure rational arithmetic (+, *, /, integer
+pow) are eligible — ``sqrt``/``log`` switch to complex arithmetic on
+negative inputs and ``exp``/``abs`` may route through SIMD libm variants
+— and every freshly built kernel is **probed**: evaluated on a small
+deterministic batch and byte-compared against ``eval_raw``.  Any
+mismatch, missing toolchain, or build failure raises
+:class:`NativeUnavailable`, which callers treat as "use the ufunc
+kernel" (with a logged warning), never as an error.
+
+Environment knobs:
+
+* ``REPRO_NATIVE`` — ``numba`` / ``c`` force one toolchain, ``off``
+  disables native kernels entirely.
+* ``REPRO_NATIVE_CACHE`` — directory for compiled ``.so`` artifacts
+  (default: a per-user tmp directory).  Objects are content-addressed
+  by tape hash + mask + compiler, so warm starts skip the compiler.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import logging
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Sequence
+
+import numpy as np
+
+from ..symbolic.tape import (NATIVE_OPS, OP_ADD, OP_DIV, OP_MUL, OP_POW,
+                             OpTape, tape_for)
+
+__all__ = ["NativeUnavailable", "native_kernel_for", "build_native_kernel"]
+
+logger = logging.getLogger("repro.runtime.native")
+
+#: bumped when generated-code layout changes, to invalidate cached .so files
+_CODEGEN_VERSION = 1
+
+#: points in the bit-identity probe batch
+_PROBE_POINTS = 8
+
+
+class NativeUnavailable(RuntimeError):
+    """A native kernel cannot be built here; use the ufunc kernel."""
+
+
+# ----------------------------------------------------------------------
+# eligibility + shared codegen helpers
+# ----------------------------------------------------------------------
+def _vec_flags(tape: OpTape, mask: Sequence[bool]) -> list[bool]:
+    """Per-register "varies across the batch" flags under ``mask``."""
+    base = tape.n_inputs + tape.n_consts
+    vec = [False] * tape.n_registers
+    for i in range(tape.n_inputs):
+        vec[i] = bool(mask[i])
+    for i, (opc, a, b) in enumerate(tape.ops):
+        opc, a, b = int(opc), int(a), int(b)
+        operands = (a, b) if opc != OP_POW else (a,)
+        vec[base + i] = any(vec[p] for p in operands)
+    return vec
+
+
+def _check_eligible(tape: OpTape, mask: Sequence[bool]) -> list[bool]:
+    if len(mask) != tape.n_inputs:
+        raise NativeUnavailable(
+            f"mask has {len(mask)} entries for {tape.n_inputs} inputs")
+    if not tape.native_eligible:
+        bad = sorted({int(o) for o in tape.ops[:, 0]} - set(NATIVE_OPS))
+        raise NativeUnavailable(
+            f"tape uses non-rational ops {bad}; only +, *, /, pow are "
+            "native-eligible")
+    vec = _vec_flags(tape, mask)
+    base = tape.n_inputs + tape.n_consts
+    for i, (opc, _a, _b) in enumerate(tape.ops):
+        # a batch-varying ** goes through numpy's SIMD pow, which is not
+        # bit-compatible with the libm pow a native loop would call;
+        # scalar ** hoists to one libm pow in CPython and C alike.
+        # Unrolled small exponents never reach the tape as pow at all.
+        if int(opc) == OP_POW and vec[base + i]:
+            raise NativeUnavailable(
+                "tape applies ** to a batch-varying value; numpy's SIMD "
+                "pow is not bit-reproducible in a native loop")
+    # outputs constant across the batch are simply broadcast-stored —
+    # a float64 copy per point, exact by construction
+    for c in tape.consts:
+        if not np.isfinite(c):
+            raise NativeUnavailable(f"non-finite constant {c!r} on tape")
+    return vec
+
+
+def _mask_tag(mask: Sequence[bool]) -> str:
+    return "".join("1" if m else "0" for m in mask)
+
+
+# ----------------------------------------------------------------------
+# C path
+# ----------------------------------------------------------------------
+def _find_cc() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        path = override
+    else:
+        uid = getattr(os, "getuid", lambda: "na")()
+        path = os.path.join(tempfile.gettempdir(), f"repro-native-{uid}")
+    os.makedirs(path, mode=0o700, exist_ok=True)
+    return path
+
+
+def generate_c_source(tape: OpTape, mask: Sequence[bool],
+                      fn_name: str = "repro_tape_kernel") -> str:
+    """C for one fused batch loop over the tape.
+
+    Signature::
+
+        void fn(long n, const double *scalars,
+                const double *const *cols, double *out)
+
+    ``scalars`` is indexed by input position (array positions unused),
+    ``cols`` holds the masked columns in position order, and ``out`` is
+    a dense ``(n_outputs, n)`` row-major block.  Constants are baked in
+    as C99 hex literals; batch-invariant ops are hoisted above the loop.
+    """
+    vec = _check_eligible(tape, mask)
+    base = tape.n_inputs + tape.n_consts
+    col_of = {}
+    for pos, m in enumerate(mask):
+        if m:
+            col_of[pos] = len(col_of)
+
+    def ref(r: int, in_loop: bool) -> str:
+        if r < tape.n_inputs:
+            if vec[r]:
+                return f"cols[{col_of[r]}][i]" if in_loop else "(bug)"
+            return f"scalars[{r}]"
+        if r < base:
+            return f"k{r - tape.n_inputs}"
+        return f"r{r - base}"
+
+    hoisted: list[str] = []
+    body: list[str] = []
+    for j, c in enumerate(tape.consts):
+        hoisted.append(
+            f"    const double k{j} = {float(c).hex()}; /* {float(c)!r} */")
+    for i, (opc, a, b) in enumerate(tape.ops):
+        opc, a, b = int(opc), int(a), int(b)
+        r = base + i
+        in_loop = vec[r]
+        dest = hoisted if not in_loop else body
+        indent = "    " if not in_loop else "        "
+        ra = ref(a, in_loop)
+        if opc == OP_ADD:
+            text = f"{ra} + {ref(b, in_loop)}"
+        elif opc == OP_MUL:
+            text = f"{ra} * {ref(b, in_loop)}"
+        elif opc == OP_DIV:
+            text = f"{ra} / {ref(b, in_loop)}"
+        else:  # OP_POW, checked eligible
+            text = f"pow({ra}, (double){b}.0)"
+        dest.append(f"{indent}const double r{i} = {text};")
+    stores = [
+        f"        out[{k}*n + i] = {ref(o, True)};"
+        for k, o in enumerate(tape.outputs)]
+    return "\n".join([
+        "#include <math.h>",
+        "",
+        f"void {fn_name}(long n, const double *scalars,",
+        "                const double *const *cols, double *out)",
+        "{",
+        *hoisted,
+        "    for (long i = 0; i < n; i++) {",
+        *body,
+        *stores,
+        "    }",
+        "}",
+        "",
+    ])
+
+
+def _build_c_kernel(tape: OpTape, mask: Sequence[bool]):
+    cc = _find_cc()
+    if cc is None:
+        raise NativeUnavailable("no C compiler (cc/gcc/clang) on PATH")
+    source = generate_c_source(tape, mask)
+    key = hashlib.sha256(
+        f"{_CODEGEN_VERSION}|{tape.content_hash}|{_mask_tag(mask)}|{cc}"
+        .encode()).hexdigest()[:32]
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"tape-{key}.so")
+    if not os.path.exists(so_path):
+        c_path = os.path.join(cache, f"tape-{key}.c")
+        tmp_so = os.path.join(cache, f"tape-{key}.{os.getpid()}.tmp.so")
+        with open(c_path, "w") as fh:
+            fh.write(source)
+        cmd = [cc, "-O2", "-fPIC", "-shared",
+               "-ffp-contract=off", "-fno-fast-math",
+               "-o", tmp_so, c_path, "-lm"]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=120)
+        except Exception as exc:
+            raise NativeUnavailable(f"C compiler failed to run: {exc}")
+        if proc.returncode != 0:
+            raise NativeUnavailable(
+                f"C compilation failed: {proc.stderr.strip()[:500]}")
+        os.replace(tmp_so, so_path)  # atomic publish for concurrent builds
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError as exc:
+        raise NativeUnavailable(f"cannot load compiled kernel: {exc}")
+    cfn = lib.repro_tape_kernel
+    cfn.restype = None
+    cfn.argtypes = [ctypes.c_long, ctypes.POINTER(ctypes.c_double),
+                    ctypes.POINTER(ctypes.POINTER(ctypes.c_double)),
+                    ctypes.POINTER(ctypes.c_double)]
+
+    n_inputs = tape.n_inputs
+    n_out = len(tape.outputs)
+    col_positions = tuple(p for p, m in enumerate(mask) if m)
+    n_cols = len(col_positions)
+    dptr = ctypes.POINTER(ctypes.c_double)
+    PtrArray = dptr * max(1, n_cols)
+
+    def kernel(args, n_points: int):
+        scalars = np.zeros(max(1, n_inputs))
+        cols = []
+        for pos, a in enumerate(args):
+            if mask[pos]:
+                col = np.ascontiguousarray(a, dtype=np.float64)
+                cols.append(col)
+            else:
+                scalars[pos] = float(a)
+        out = np.empty((n_out, n_points))
+        ptrs = PtrArray(*(c.ctypes.data_as(dptr) for c in cols))
+        cfn(n_points, scalars.ctypes.data_as(dptr), ptrs,
+            out.ctypes.data_as(dptr))
+        return tuple(out)
+
+    kernel.flavor = "c"
+    kernel.source = source
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# numba path
+# ----------------------------------------------------------------------
+def generate_numba_source(tape: OpTape, mask: Sequence[bool],
+                          fn_name: str = "_tape_kernel") -> str:
+    """Python source of a per-point loop suitable for ``numba.njit``.
+
+    Signature: ``fn(n, scalars, c0, ..., cK, out)`` with ``scalars`` a
+    float64 vector indexed by input position, one array per masked
+    column, and ``out`` a ``(n_outputs, n)`` array filled in place.
+    """
+    vec = _check_eligible(tape, mask)
+    base = tape.n_inputs + tape.n_consts
+    col_of = {}
+    for pos, m in enumerate(mask):
+        if m:
+            col_of[pos] = len(col_of)
+
+    def ref(r: int, in_loop: bool) -> str:
+        if r < tape.n_inputs:
+            if vec[r]:
+                return f"c{col_of[r]}[i]"
+            return f"scalars[{r}]"
+        if r < base:
+            return f"k{r - tape.n_inputs}"
+        return f"r{r - base}"
+
+    hoisted = [f"    k{j} = {float(c)!r}"
+               for j, c in enumerate(tape.consts)]
+    body: list[str] = []
+    for i, (opc, a, b) in enumerate(tape.ops):
+        opc, a, b = int(opc), int(a), int(b)
+        r = base + i
+        in_loop = vec[r]
+        indent = "    " if not in_loop else "        "
+        ra = ref(a, in_loop)
+        if opc == OP_ADD:
+            text = f"{ra} + {ref(b, in_loop)}"
+        elif opc == OP_MUL:
+            text = f"{ra}*{ref(b, in_loop)}"
+        elif opc == OP_DIV:
+            text = f"{ra} / {ref(b, in_loop)}"
+        else:
+            text = f"{ra}**{b}"
+        (hoisted if not in_loop else body).append(f"{indent}r{i} = {text}")
+    stores = [f"        out[{k}, i] = {ref(o, True)}"
+              for k, o in enumerate(tape.outputs)]
+    cargs = ", ".join(f"c{i}" for i in range(len(col_of)))
+    sep = ", " if cargs else ""
+    return "\n".join([
+        f"def {fn_name}(n, scalars{sep}{cargs}, out):",
+        *hoisted,
+        "    for i in range(n):",
+        *body,
+        *stores,
+    ]) + "\n"
+
+
+def _build_numba_kernel(tape: OpTape, mask: Sequence[bool]):
+    try:
+        import numba
+    except ImportError:
+        raise NativeUnavailable("numba is not installed")
+    source = generate_numba_source(tape, mask)
+    namespace: dict = {}
+    exec(compile(source, "<awesymbolic-native-numba>", "exec"), namespace)
+    try:
+        jitted = numba.njit(fastmath=False)(namespace["_tape_kernel"])
+    except Exception as exc:
+        raise NativeUnavailable(f"numba.njit failed: {exc}")
+
+    n_inputs = tape.n_inputs
+    n_out = len(tape.outputs)
+
+    def kernel(args, n_points: int):
+        scalars = np.zeros(max(1, n_inputs))
+        cols = []
+        for pos, a in enumerate(args):
+            if mask[pos]:
+                cols.append(np.ascontiguousarray(a, dtype=np.float64))
+            else:
+                scalars[pos] = float(a)
+        out = np.empty((n_out, n_points))
+        jitted(n_points, scalars, *cols, out)
+        return tuple(out)
+
+    kernel.flavor = "numba"
+    kernel.source = source
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# probe + entry points
+# ----------------------------------------------------------------------
+def _probe_args(fn, mask: Sequence[bool]):
+    """A small deterministic batch exercising every input."""
+    args = []
+    for pos, sym in enumerate(fn.space.symbols):
+        nominal = sym.nominal if sym.nominal else 1.0
+        if mask[pos]:
+            # distinct, reproducible, nowhere zero
+            col = nominal * (0.625 + 0.125 * np.arange(_PROBE_POINTS)
+                             + 0.037 * (pos + 1))
+            args.append(np.asarray(col, dtype=np.float64))
+        else:
+            args.append(float(nominal * (1.0 + 0.01 * pos)))
+    return args
+
+
+def _probe(fn, kernel, mask: Sequence[bool]) -> None:
+    """Byte-compare the kernel against ``eval_raw`` on the probe batch."""
+    args = _probe_args(fn, mask)
+    with np.errstate(all="ignore"):
+        want = fn.eval_raw(*args)
+        got = kernel(args, _PROBE_POINTS)
+    if len(want) != len(got):
+        raise NativeUnavailable("probe arity mismatch against eval_raw")
+    for k, (w, g) in enumerate(zip(want, got)):
+        w = np.broadcast_to(np.asarray(w, dtype=np.float64),
+                            (_PROBE_POINTS,))
+        if w.tobytes() != np.asarray(g).tobytes():
+            raise NativeUnavailable(
+                f"probe mismatch on output {k}: native kernel is not "
+                "bit-identical to eval_raw on this platform")
+
+
+def disabled() -> bool:
+    """True when ``REPRO_NATIVE=off`` rules the native path out entirely.
+
+    Checked at *dispatch* time too (not only at build time), so flipping
+    the variable in a live process also stops already-built kernels from
+    being used — the off switch means "this evaluation must go through
+    the ufunc kernel", not "don't build anything new".
+    """
+    return os.environ.get("REPRO_NATIVE", "").strip().lower() == "off"
+
+
+def build_native_kernel(tape: OpTape, mask: Sequence[bool], *,
+                        flavors: Sequence[str] | None = None):
+    """Build a native kernel for ``tape`` under ``mask`` (no probe).
+
+    Tries each requested flavor in order; raises
+    :class:`NativeUnavailable` with the last failure when none builds.
+    """
+    mode = os.environ.get("REPRO_NATIVE", "").strip().lower()
+    if mode == "off":
+        raise NativeUnavailable("disabled via REPRO_NATIVE=off")
+    if flavors is None:
+        if mode in ("numba", "c"):
+            flavors = (mode,)
+        else:
+            flavors = ("numba", "c")
+    last: Exception | None = None
+    for flavor in flavors:
+        builder = (_build_numba_kernel if flavor == "numba"
+                   else _build_c_kernel)
+        try:
+            return builder(tape, mask)
+        except NativeUnavailable as exc:
+            last = exc
+    raise NativeUnavailable(str(last) if last else "no native toolchain")
+
+
+def native_kernel_for(fn, mask: Sequence[bool]):
+    """Build + probe a native kernel for a compiled function.
+
+    The returned callable has signature ``kernel(args, n_points) ->
+    tuple[np.ndarray, ...]`` and is guaranteed (by the probe) to be
+    bit-identical to ``fn.eval_raw`` on this platform.
+
+    Raises:
+        NativeUnavailable: anything prevented a verified build.
+    """
+    tape = tape_for(fn)
+    kernel = build_native_kernel(tape, tuple(bool(m) for m in mask))
+    _probe(fn, kernel, mask)
+    logger.debug("native %s kernel ready for tape %s",
+                 kernel.flavor, tape.content_hash[:12])
+    return kernel

@@ -5,20 +5,27 @@ heavy imports (``repro.runtime.batched`` and friends) inside the job
 function so pool startup stays cheap.  The contract with
 :mod:`repro.runtime.backends`:
 
-* the parent ships a :class:`ProgramSpec` — the compiled moment program
-  as *source text* plus its symbol space, never a pickled function — and
-  the worker rebuilds it once per process into :data:`_PROGRAMS`, keyed
-  by the spec's content hash.  Repeat shards of the same sweep (and
-  later sweeps of the same model) hit the warm cache;
-* bulk arrays never travel through pickle.  Grid columns live in a
-  shared-memory input slab of shape ``(n_arrays, n_points)`` float64;
-  results go into a shared ``(n_points,)`` complex128 output slab that
-  each worker writes in place for its own ``[lo, hi)`` slice;
-* the worker returns a small ``("shm", lo, hi, stats, diag)`` marker —
-  the parent copies the slice out of the slab and splices it like any
-  other shard result.
+* the parent ships a :class:`ProgramSpec` — a ~200-byte pointer to a
+  content-addressed **op tape** spooled on local disk (with the tape
+  JSON inlined only when spooling is impossible), never a pickled
+  function and never per-sweep program source.  The worker loads and
+  integrity-verifies the tape once per process into :data:`_PROGRAMS`,
+  keyed by the spec's content hash; repeat shards of the same sweep
+  (and later sweeps of the same model) hit the warm cache without
+  touching the filesystem.  Vector kernels regenerate on demand from
+  the tape itself (``CompiledFunction.kernel_source`` consults
+  ``fn.tape``), so no kernel source travels either;
+* **small sweeps ship inline**: the parent slices each shard's grid
+  columns into the job pickle and the worker returns its values in a
+  ``("vals", lo, hi, stats, diag, values)`` marker — a couple of KB
+  each way, with zero shared-memory setup cost;
+* **large sweeps use shared memory**: grid columns live in an input
+  slab of shape ``(n_arrays, n_points)`` float64, results go into a
+  shared ``(n_points,)`` complex128 output slab each worker writes in
+  place for its own ``[lo, hi)`` slice, and the worker returns a
+  ``("shm", lo, hi, stats, diag)`` marker.
 
-Both slabs are created, closed, and unlinked by the parent; workers
+Shm slabs are created, closed, and unlinked by the parent; workers
 attach by name, drop every numpy view before closing, and unregister
 the segments from their resource tracker (the parent owns cleanup).
 """
@@ -32,7 +39,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["ProgramSpec", "ShardJob", "run_worker_shard"]
+__all__ = ["ProgramSpec", "ShardJob", "run_worker_shard",
+           "run_worker_shards"]
 
 #: per-process cache of rebuilt programs, keyed by ``ProgramSpec.key``
 _PROGRAMS: dict[str, object] = {}
@@ -40,31 +48,22 @@ _PROGRAMS: dict[str, object] = {}
 
 @dataclass(frozen=True)
 class ProgramSpec:
-    """Everything a worker needs to rebuild one compiled moment program.
+    """Pointer to one compiled moment program as an op-tape artifact.
 
     Attributes:
-        key: content hash of the program (cache key across shards/sweeps).
-        source: generated straight-line source defining ``_compiled``.
-        n_ops: arithmetic op count of the program.
-        output_names: labels parallel to the return tuple.
-        symbols: ``((name, nominal), ...)`` reconstructing the
-            :class:`~repro.symbolic.symbols.SymbolSpace`.
+        key: tape content hash + moment order — the warm-cache key
+            across shards, sweeps, and models.
+        tape_path: local path of the spooled ``.tape`` artifact
+            (content-addressed; written once per parent process).
+        tape_json: the tape artifact inlined, only when no spool
+            directory could be created (e.g. read-only tmp).
         order: the compiled moment order (``CompiledMoments.order``).
-        kernel_mask: array-argument mask the vector kernel was
-            specialized on, or ``None`` when no kernel is shipped.
-        kernel_source: generated in-place ufunc kernel source, shipped so
-            workers ``exec`` it instead of re-deriving it from DAG roots
-            (which never leave the parent).
     """
 
     key: str
-    source: str
-    n_ops: int
-    output_names: tuple
-    symbols: tuple
+    tape_path: str | None
+    tape_json: str | None
     order: int
-    kernel_mask: tuple | None = None
-    kernel_source: str | None = None
 
 
 @dataclass(frozen=True)
@@ -73,7 +72,7 @@ class ShardJob:
 
     spec: ProgramSpec
     shm_in: str | None
-    shm_out: str
+    shm_out: str | None
     n_points: int
     array_positions: tuple
     scalars: tuple
@@ -86,8 +85,13 @@ class ShardJob:
     require_stable: bool
     strict: bool
     #: observability request, e.g. ``{"trace": True}`` — the worker then
-    #: records spans locally and ships them back as a sixth tuple element
+    #: records spans locally and ships them back as a trailing element
     obs: dict | None = None
+    #: pre-sliced ``[lo, hi)`` grid columns for the inline (no-shm) path,
+    #: parallel to ``array_positions``
+    inline_arrays: tuple | None = None
+    #: evaluator hint forwarded to ``eval_batch`` (e.g. ``"native"``)
+    kernel: str | None = None
 
 
 class _WorkerModel:
@@ -120,22 +124,22 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 
 
 def _program(spec: ProgramSpec) -> _WorkerModel:
-    """Rebuild (or fetch) the compiled program for ``spec`` in this process."""
+    """Load (or fetch) the compiled program for ``spec`` in this process.
+
+    The tape is integrity-verified on load (schema + sha256) — a worker
+    never executes a corrupted artifact.
+    """
     cached = _PROGRAMS.get(spec.key)
     if cached is not None:
         return cached
     from ..partition.composite import CompiledMoments
-    from ..symbolic.compile import CompiledFunction, runtime_namespace
-    from ..symbolic.symbols import Symbol, SymbolSpace
+    from ..symbolic.tape import load_tape, tape_from_json
 
-    space = SymbolSpace([Symbol(name, nominal=nominal)
-                         for name, nominal in spec.symbols])
-    namespace = runtime_namespace()
-    exec(compile(spec.source, "<awesymbolic-worker>", "exec"), namespace)
-    fn = CompiledFunction(space, spec.source, namespace["_compiled"],
-                          spec.n_ops, tuple(spec.output_names))
-    if spec.kernel_source is not None and spec.kernel_mask is not None:
-        fn.install_kernel(tuple(spec.kernel_mask), spec.kernel_source)
+    if spec.tape_path is not None:
+        tape = load_tape(spec.tape_path)
+    else:
+        tape = tape_from_json(spec.tape_json)
+    fn = tape.build_function()
     model = _WorkerModel(CompiledMoments(fn=fn, order=spec.order))
     _PROGRAMS[spec.key] = model
     return model
@@ -144,13 +148,14 @@ def _program(spec: ProgramSpec) -> _WorkerModel:
 def run_worker_shard(job: ShardJob) -> tuple:
     """Evaluate one shard inside a worker process.
 
-    Returns ``("shm", lo, hi, stats, diag)``; the values for
-    ``[lo, hi)`` are already written into the shared output slab.  When
-    the job carries ``obs={"trace": True}`` a worker-local tracer wraps
-    the work in a ``sweep.shard`` span (the kernel-stage spans nest
-    inside it) and a sixth element ``{"spans": ..., "epoch_wall": ...}``
-    ships the recorded spans back for
-    :meth:`~repro.obs.trace.Tracer.adopt` on the parent side.
+    Returns ``("shm", lo, hi, stats, diag)`` with the values already
+    written into the shared output slab, or — on the inline path —
+    ``("vals", lo, hi, stats, diag, values)`` with the values in the
+    marker itself.  When the job carries ``obs={"trace": True}`` a
+    worker-local tracer wraps the work in a ``sweep.shard`` span (the
+    kernel-stage spans nest inside it) and a trailing element
+    ``{"spans": ..., "epoch_wall": ...}`` ships the recorded spans back
+    for :meth:`~repro.obs.trace.Tracer.adopt` on the parent side.
     """
     if not (job.obs or {}).get("trace"):
         return _evaluate_shard(job)
@@ -163,13 +168,46 @@ def run_worker_shard(job: ShardJob) -> tuple:
                       "epoch_wall": tracer.epoch_wall},)
 
 
+def run_worker_shards(jobs: tuple) -> list:
+    """Evaluate a batch of shards sequentially in one pool task.
+
+    The parent groups a sweep's first-attempt shards into one task per
+    worker so a sweep pays ``workers`` pool round-trips instead of
+    ``n_shards`` (the executor round-trip, not the evaluation, dominates
+    small sweeps).  Each entry of the returned list is ``("ok", result)``
+    or ``("err", exc)`` — a failing shard must not take its batchmates'
+    results down with it; the parent re-raises per shard so retry
+    semantics stay per-shard.
+    """
+    results = []
+    for job in jobs:
+        try:
+            results.append(("ok", run_worker_shard(job)))
+        except BaseException as exc:  # noqa: BLE001 — travels to the parent
+            results.append(("err", exc))
+    return results
+
+
 def _evaluate_shard(job: ShardJob) -> tuple:
-    """The untraced shard evaluation (shm attach → chunk eval → detach)."""
+    """The untraced shard evaluation (inline or shm → chunk eval)."""
     from ..diagnostics import SweepDiagnostics
     from .batched import _sweep_chunk
 
     t0 = time.perf_counter()
     model = _program(job.spec)
+
+    if job.shm_out is None:
+        # inline path: columns arrived pre-sliced in the job itself
+        columns = list(job.scalars)
+        for row, pos in enumerate(job.array_positions):
+            columns[pos] = job.inline_arrays[row]
+        values, stats, diag = _sweep_chunk(
+            model, columns, job.hi - job.lo, job.metric, job.order,
+            job.require_stable, offset=job.lo,
+            diag=SweepDiagnostics(strict=job.strict), kernel=job.kernel)
+        stats.worker_busy[f"pid-{os.getpid()}"] = time.perf_counter() - t0
+        return ("vals", job.lo, job.hi, stats, diag, values)
+
     shm_in = _attach(job.shm_in) if job.shm_in is not None else None
     shm_out = _attach(job.shm_out)
     try:
@@ -186,7 +224,7 @@ def _evaluate_shard(job: ShardJob) -> tuple:
             values, stats, diag = _sweep_chunk(
                 model, columns, job.hi - job.lo, job.metric, job.order,
                 job.require_stable, offset=job.lo,
-                diag=SweepDiagnostics(strict=job.strict))
+                diag=SweepDiagnostics(strict=job.strict), kernel=job.kernel)
             out[job.lo:job.hi] = values
         finally:
             # every view of the shm buffers must be gone before close()

@@ -25,6 +25,7 @@ accuracy bounded by the tolerance ladder's loosest rung).
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -49,6 +50,16 @@ class RegisteredRecipe:
     symbols: tuple[str, ...] | None
     order: int
     options: dict = field(default_factory=dict)
+
+
+class _TapeResult:
+    """Adapter giving a rebuilt tape model the compiled-result shape the
+    registry stores (``entry.model`` reads ``result.model``)."""
+
+    __slots__ = ("model",)
+
+    def __init__(self, model) -> None:
+        self.model = model
 
 
 @dataclass
@@ -111,7 +122,43 @@ class ModelRegistry:
         self._recipes[name] = recipe
         return self.key_of(recipe)
 
+    def register_tape(self, path: str, name: str | None = None) -> str:
+        """Register a preloaded **op-tape artifact** and warm it now.
+
+        The tape (see :mod:`repro.symbolic.tape`) is loaded and
+        integrity-verified immediately — a corrupt artifact is refused at
+        registration, not at first request — and the rebuilt
+        :class:`~repro.symbolic.tape.TapeModel` goes straight into the
+        warm pool: loading *is* the compile, so the first request pays
+        nothing.  The entry's identity is the tape content hash; if the
+        warm handle is later evicted, :meth:`ensure` re-loads from
+        ``path``.  Returns the registry key.
+        """
+        from ..symbolic.tape import TapeModel, load_tape
+
+        tape = load_tape(path)
+        model = TapeModel(tape)
+        if name is None:
+            name = (os.path.splitext(os.path.basename(path))[0]
+                    or model.title)
+        key = f"tape:{tape.content_hash[:32]}:{model.order}"
+        recipe = RegisteredRecipe(
+            name=name, circuit=None, output=model.output,
+            symbols=tuple(s.name for s in model.space.symbols),
+            order=model.order,
+            options={"tape_path": str(path), "tape_key": key})
+        self._recipes[name] = recipe
+        entry = ModelEntry(
+            key=key, recipe=recipe, result=_TapeResult(model),
+            breaker=CircuitBreaker(self.breaker_config,
+                                   clock=self._clock, name=name))
+        self._store(key, entry)
+        return key
+
     def key_of(self, recipe: RegisteredRecipe) -> str:
+        tape_key = recipe.options.get("tape_key")
+        if tape_key is not None:
+            return tape_key
         return self.cache.key_for(recipe.circuit, recipe.output,
                                   recipe.symbols, recipe.order,
                                   **recipe.options)
@@ -200,6 +247,12 @@ class ModelRegistry:
                          order=recipe.order)
         from ..testing.faults import fault_point
         fault_point("service.compile", name=recipe.name)
+        tape_path = recipe.options.get("tape_path")
+        if tape_path is not None:
+            # tape-backed entry evicted from the warm pool: re-warming is
+            # a load + integrity check, never a compile
+            from ..symbolic.tape import TapeModel, load_tape
+            return _TapeResult(TapeModel(load_tape(tape_path)))
         return self.cache.get_or_build(
             recipe.circuit, recipe.output, symbols=recipe.symbols,
             order=recipe.order, **recipe.options)
@@ -226,7 +279,5 @@ class ModelRegistry:
         recipe = self._recipes.pop(name, None)
         if recipe is None:
             return False
-        self._entries.pop(self.cache.key_for(
-            recipe.circuit, recipe.output, recipe.symbols, recipe.order,
-            **recipe.options), None)
+        self._entries.pop(self.key_of(recipe), None)
         return True

@@ -16,6 +16,9 @@ surface is:
   common-subexpression elimination
 * :class:`~repro.symbolic.matrix.PolyMatrix` — small dense symbolic
   matrices with division-free determinant / adjugate / Cramer solve
+* :class:`~repro.symbolic.tape.OpTape` / :class:`~repro.symbolic.tape.TapeModel`
+  — portable, versioned, integrity-hashed op-tape artifacts of compiled
+  programs (save/load, cross-process wire format, native-kernel input)
 """
 
 from .symbols import Symbol, SymbolSpace
@@ -24,6 +27,8 @@ from .rational import Rational
 from .expr import Expr, ExprBuilder
 from .matrix import PolyMatrix, SymbolicLinearSolver
 from .compile import CompiledFunction, compile_exprs, compile_rationals
+from .tape import (OpTape, TapeModel, load_tape, tape_for, tape_from_json,
+                   tape_from_model)
 
 __all__ = [
     "Symbol",
@@ -37,4 +42,10 @@ __all__ = [
     "CompiledFunction",
     "compile_exprs",
     "compile_rationals",
+    "OpTape",
+    "TapeModel",
+    "load_tape",
+    "tape_for",
+    "tape_from_json",
+    "tape_from_model",
 ]

@@ -16,6 +16,7 @@ remain valid across over/under-damped regions of the sweep.
 from __future__ import annotations
 
 import cmath
+import logging
 import math
 import time
 from collections import OrderedDict
@@ -31,6 +32,8 @@ from .expr import Expr, ExprBuilder
 from .poly import Poly
 from .rational import Rational
 from .symbols import SymbolSpace
+
+logger = logging.getLogger("repro.symbolic")
 
 
 def _safe_sqrt(x):
@@ -156,9 +159,13 @@ def vector_namespace() -> dict:
 
 
 #: largest integer exponent lowered to a repeated-multiplication chain
-#: (``x**3`` becomes ``x*x*x``: multiplies are far cheaper than the libm
-#: ``pow`` numpy falls back to for exponents other than 2)
-_POW_UNROLL_MAX = 4
+#: (``x**3`` becomes ``x*x*x``: multiplies are far cheaper than the pow
+#: numpy falls back to for exponents other than 2).  The chain is also
+#: what keeps every evaluation path bit-identical: numpy's SIMD ``pow``
+#: is not bit-compatible with libm ``pow``, so any exponent left as
+#: ``**`` disqualifies the program from the native (C/numba) kernels.
+#: Moment programs stay well inside this bound.
+_POW_UNROLL_MAX = 12
 
 
 def _pow_unrolls(exponent) -> bool:
@@ -244,6 +251,14 @@ class CompiledFunction:
         # vectorized in-place kernels, keyed by the array-argument mask
         self._kernels: dict[tuple[bool, ...], object] = {}
         self._kernel_sources: dict[tuple[bool, ...], tuple[str, int, int]] = {}
+        # portable op-tape twin of this program (set lazily by tape_for,
+        # or at construction when rebuilt from an artifact)
+        self.tape = None
+        # native (C / numba) kernels by mask; masks that failed to build
+        # are remembered so the warning logs once and later batches go
+        # straight to the ufunc kernel
+        self._native_kernels: dict[tuple[bool, ...], object] = {}
+        self._native_failed: set[tuple[bool, ...]] = set()
 
     def __call__(self, values: Mapping | Sequence[float]) -> tuple:
         """Evaluate at ``values`` (mapping by symbol/name, or aligned sequence).
@@ -274,7 +289,8 @@ class CompiledFunction:
         """Positional fast path with no argument normalization."""
         return self._fn(*args)
 
-    def eval_batch(self, args: Sequence, n_points: int):
+    def eval_batch(self, args: Sequence, n_points: int,
+                   kernel: str | None = None):
         """Evaluate a batch of ``n_points`` through the in-place kernel.
 
         ``args`` is positional like :meth:`eval_raw`, where each entry is
@@ -282,8 +298,13 @@ class CompiledFunction:
         The first call per array-argument pattern generates and caches a
         liveness-buffered ufunc kernel (:func:`generate_vector_source`);
         anything the kernel cannot specialize on (complex columns, odd
-        shapes, a function built without DAG roots) falls back to
+        shapes, a function built without DAG roots or tape) falls back to
         :meth:`eval_raw`, which is always value-identical.
+
+        ``kernel="native"`` requests the compiled (C / numba) evaluator
+        for this batch shape; if it cannot be built — no toolchain, an
+        ineligible program, or a failed bit-identity probe — the batch
+        silently uses the ufunc kernel after logging a warning once.
         """
         mask = tuple(
             isinstance(a, np.ndarray) and a.ndim == 1
@@ -292,28 +313,59 @@ class CompiledFunction:
         if not any(mask) or any(isinstance(a, np.ndarray) and not m
                                 for a, m in zip(args, mask)):
             return self._fn(*args)
-        kernel = self._kernels.get(mask)
-        if kernel is None:
+        if kernel == "native" and mask not in self._native_failed:
+            from ..runtime import native as _native  # lazy
+            if _native.disabled():
+                # an explicit off switch beats even a warm kernel cache;
+                # warn once per program, but don't poison _native_failed
+                # (the variable may be flipped back on in this process)
+                if not getattr(self, "_native_off_warned", False):
+                    self._native_off_warned = True
+                    logger.warning(
+                        "native kernel unavailable (disabled via "
+                        "REPRO_NATIVE=off); falling back to the ufunc "
+                        "kernel for this program")
+            else:
+                kern = self._native_kernels.get(mask)
+                if kern is None:
+                    try:
+                        kern = _native.native_kernel_for(self, mask)
+                        self._native_kernels[mask] = kern
+                    except Exception as exc:
+                        self._native_failed.add(mask)
+                        logger.warning(
+                            "native kernel unavailable (%s); falling back "
+                            "to the ufunc kernel for this program", exc)
+                        kern = None
+                if kern is not None:
+                    return kern(args, n_points)
+        vec = self._kernels.get(mask)
+        if vec is None:
             # an installed kernel (e.g. shipped to a worker process) works
-            # without roots; generating a fresh one needs the DAG
-            if not self.roots:
+            # without roots; generating a fresh one needs the DAG or tape
+            if not self.roots and self.tape is None:
                 return self._fn(*args)
             source, _n_ops, _n_buffers = self.kernel_source(mask)
-            kernel = self.install_kernel(mask, source)
-        return kernel(*args, _n=n_points)
+            vec = self.install_kernel(mask, source)
+        return vec(*args, _n=n_points)
 
     def kernel_source(self, mask: tuple[bool, ...]) -> tuple[str, int, int]:
         """``(source, n_ops, n_buffers)`` for the kernel of ``mask``.
 
         Cached per mask; this is the text the process backend ships to
-        workers so they exec instead of regenerate.
+        workers so they exec instead of regenerate.  Functions rebuilt
+        from an op tape (no DAG roots) regenerate the kernel from the
+        tape — same contract, bit-identical values.
         """
         cached = self._kernel_sources.get(mask)
         if cached is None:
-            if not self.roots:
+            if self.roots:
+                cached = generate_vector_source(self.space, self.roots, mask)
+            elif self.tape is not None:
+                cached = self.tape.kernel_source(mask)
+            else:
                 raise SymbolicError(
                     "cannot build a vector kernel without expression roots")
-            cached = generate_vector_source(self.space, self.roots, mask)
             self._kernel_sources[mask] = cached
         return cached
 

@@ -1,0 +1,111 @@
+"""Registry preloading of op-tape artifacts.
+
+A ``.tape`` file registers as a warm, served model with zero compile
+cost: loading is integrity-checked reconstruction, not compilation.
+Corrupt artifacts are refused at registration time — before the server
+ever binds — and an entry evicted from the warm pool re-loads from its
+path on the next request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+from numpy.testing import assert_array_equal
+
+from repro import awesymbolic
+from repro.circuits.library import fig1_circuit
+from repro.core import metrics
+from repro.errors import TapeError
+from repro.service import ModelRegistry
+from repro.symbolic.tape import tape_from_model
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return awesymbolic(fig1_circuit(), "out", symbols=["C1", "C2"], order=2)
+
+
+@pytest.fixture()
+def tape_path(fig1_result, tmp_path):
+    path = tmp_path / "fig1.tape"
+    tape_from_model(fig1_result).save(path)
+    return path
+
+
+class TestRegisterTape:
+    def test_registers_warm(self, tape_path):
+        registry = ModelRegistry()
+        key = registry.register_tape(str(tape_path))
+        assert key.startswith("tape:")
+        assert registry.names == ["fig1"]
+        (info,) = registry.describe()
+        assert info["warm"] is True
+        assert info["output"] == "out"
+        assert info["order"] == 2
+
+    def test_explicit_name(self, tape_path):
+        registry = ModelRegistry()
+        registry.register_tape(str(tape_path), name="opamp")
+        assert registry.names == ["opamp"]
+
+    def test_ensure_returns_entry_without_compiling(self, tape_path):
+        registry = ModelRegistry()
+        registry.register_tape(str(tape_path))
+
+        async def scenario():
+            return await registry.ensure("fig1")
+
+        entry = asyncio.run(scenario())
+        assert entry.model.output == "out"
+        rom = entry.model.rom({"C2": 2e-12}, order=1)
+        assert rom.order == 1
+
+    def test_served_model_matches_source_model(self, fig1_result,
+                                               tape_path):
+        registry = ModelRegistry()
+        registry.register_tape(str(tape_path))
+
+        async def scenario():
+            return await registry.ensure("fig1")
+
+        entry = asyncio.run(scenario())
+        grids = {"C1": np.linspace(0.5e-12, 5e-12, 6),
+                 "C2": np.linspace(0.1e-12, 3e-12, 6)}
+        base = fig1_result.model.sweep(grids, metrics.dominant_pole_hz)
+        other = entry.model.sweep(grids, metrics.dominant_pole_hz)
+        assert_array_equal(np.asarray(base), np.asarray(other))
+
+    def test_rewarm_after_eviction(self, tape_path):
+        registry = ModelRegistry(max_warm=1)
+        registry.register_tape(str(tape_path))
+        key = registry.key_of(registry.recipe("fig1"))
+        # evict the warm handle by hand; the recipe (and its path) stay
+        registry._entries.clear()
+
+        async def scenario():
+            return await registry.ensure("fig1")
+
+        entry = asyncio.run(scenario())
+        assert entry.key == key
+        assert entry.model.output == "out"
+
+    def test_corrupt_tape_refused_at_registration(self, tape_path,
+                                                  tmp_path):
+        payload = json.loads(tape_path.read_text())
+        payload["consts"][0] = repr(float(payload["consts"][0]) * 1.5)
+        bad = tmp_path / "bad.tape"
+        bad.write_text(json.dumps(payload))
+        registry = ModelRegistry()
+        with pytest.raises(TapeError, match="corrupt"):
+            registry.register_tape(str(bad))
+        assert registry.names == []
+
+    def test_drop_forgets_tape_entry(self, tape_path):
+        registry = ModelRegistry()
+        registry.register_tape(str(tape_path))
+        assert registry.drop("fig1") is True
+        assert registry.names == []

@@ -1,12 +1,14 @@
-"""Cross-backend differential tests: serial / thread / process.
+"""Cross-backend differential tests: serial / thread / process / native.
 
-The backend only decides *where* a shard attempt runs; every backend
-must produce bit-identical sweep values (NaN placement included),
-identical quarantine records, and identical diagnostics — on clean
-grids, on grids with degenerate regions, and under injected shard
-faults.  Process-backend runs go through the full shipping path:
-program-as-source rebuild in spawned workers, shared-memory column and
-output slabs, warm per-process program cache.
+The backend only decides *where* (and through which kernel) a shard
+attempt runs; every backend must produce bit-identical sweep values
+(NaN placement included), identical quarantine records, and identical
+diagnostics — on clean grids, on grids with degenerate regions, and
+under injected shard faults.  Process-backend runs go through the full
+shipping path: op-tape artifact rebuild in spawned workers, inline or
+shared-memory column transport, warm per-process program cache.  Native
+runs go through the compiled tape kernel (or its probed ufunc fallback
+— bit-identical either way, which is exactly what these tests pin).
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ from repro.runtime import BACKENDS, RuntimeStats, resolve_backend
 from repro.runtime.batched import _resolve_sharding, batched_sweep
 from repro.testing.faults import FaultInjector
 
-BACKEND_NAMES = ["serial", "thread", "process"]
+BACKEND_NAMES = ["serial", "thread", "process", "native"]
 
 
 @pytest.fixture(scope="module")
@@ -57,7 +59,7 @@ class TestBitIdentity:
     def test_741_all_backends_identical(self, model_741, grids_741):
         base, base_stats = sweep_with(model_741.model, grids_741,
                                       metrics.dominant_pole_hz, "serial")
-        for backend in ("thread", "process"):
+        for backend in ("thread", "process", "native"):
             other, stats = sweep_with(model_741.model, grids_741,
                                       metrics.dominant_pole_hz, backend)
             assert_array_equal(np.asarray(base), np.asarray(other))
@@ -69,7 +71,7 @@ class TestBitIdentity:
                  "C2": np.linspace(0.1e-12, 3e-12, 9)}
         base, _ = sweep_with(fig1_model.model, grids, metrics.dc_gain,
                              "serial")
-        for backend in ("thread", "process"):
+        for backend in ("thread", "process", "native"):
             other, _ = sweep_with(fig1_model.model, grids, metrics.dc_gain,
                                   backend)
             assert_array_equal(np.asarray(base), np.asarray(other))
@@ -93,7 +95,7 @@ class TestBitIdentity:
         base, _ = sweep_with(fig1_model.model, grids,
                              metrics.dominant_pole_hz, "serial")
         base_arr = np.asarray(base)
-        for backend in ("thread", "process"):
+        for backend in ("thread", "process", "native"):
             other, _ = sweep_with(fig1_model.model, grids,
                                   metrics.dominant_pole_hz, backend)
             other_arr = np.asarray(other)
@@ -114,6 +116,7 @@ class TestBitIdentity:
                                 quarantine_key(diag))
         assert reports["thread"] == reports["serial"]
         assert reports["process"] == reports["serial"]
+        assert reports["native"] == reports["serial"]
 
     def test_per_point_fallback_metric_identical(self, fig1_model):
         """A metric with no vectorized implementation exercises the
@@ -221,7 +224,7 @@ class TestProcessBackendEdges:
 
 class TestResolution:
     def test_backend_names(self):
-        assert BACKENDS == ("auto", "serial", "thread", "process")
+        assert BACKENDS == ("auto", "serial", "thread", "process", "native")
 
     def test_auto_resolution(self):
         assert resolve_backend(None, 1) == "serial"

@@ -1,11 +1,12 @@
-"""Pinned known issues — tracked regressions with an expected-failure.
+"""Pinned known issues — tracked regressions against committed baselines.
 
 These tests read the *committed* benchmark baselines, so they are
 deterministic: they pin the shape of a known problem rather than
-re-measuring it on whatever machine runs the suite.  When the
-underlying issue is fixed and a new baseline is committed, the xfail
-flips to XPASS (``strict=False`` keeps that green) and the test body
-should be promoted to a hard assertion.
+re-measuring it on whatever machine runs the suite.  A live regression
+carries an ``xfail``; when the underlying issue is fixed and a new
+baseline is committed, the test body is promoted to a hard assertion so
+the fix cannot silently regress (the process-backend throughput pin
+below went through exactly that cycle).
 """
 
 import json
@@ -25,19 +26,17 @@ def sweep_baseline():
 
 
 class TestProcessBackendThroughput:
-    """ROADMAP open item 5: process backend at 87k pts/s vs serial 270k.
+    """ROADMAP item 5 (fixed): process backend vs serial throughput.
 
-    Spawn/IPC overhead dominates the process pool on the 1024-point 741
-    sweep workload; the committed baseline shows ~0.32x serial
-    throughput where parity (modulo pool spawn) is the goal.
+    Spawn/IPC overhead used to dominate the process pool on the
+    1024-point 741 sweep workload (~0.32x serial in the old baseline).
+    Shipping the op tape as the wire format, caching the program per
+    worker, and batching first-attempt shards into one pool task per
+    worker brought the committed baseline to ~0.9x serial, so the pin
+    is now a hard assertion: a new baseline that falls back below
+    0.5x serial fails the suite.
     """
 
-    @pytest.mark.xfail(
-        reason="known regression: process-backend spawn/IPC overhead "
-               "(ROADMAP item 5, BENCH_sweep.json: process ~87k pts/s "
-               "vs serial ~270k)",
-        strict=False,
-    )
     def test_process_backend_within_2x_of_serial(self, sweep_baseline):
         backends = sweep_baseline["backends"]
         serial = backends["serial"]["points_per_second"]
@@ -46,11 +45,11 @@ class TestProcessBackendThroughput:
             f"process backend at {process:.0f} pts/s is "
             f"{process / serial:.2f}x serial ({serial:.0f} pts/s)")
 
-    def test_baseline_records_all_three_backends(self, sweep_baseline):
-        """The regression stays *visible*: the committed baseline must
-        keep per-backend throughput so the xfail above has data."""
+    def test_baseline_records_all_backends(self, sweep_baseline):
+        """The fix stays *visible*: the committed baseline must keep
+        per-backend throughput so the assertion above has data."""
         backends = sweep_baseline["backends"]
-        assert {"serial", "thread", "process"} <= set(backends)
+        assert {"serial", "thread", "process", "native"} <= set(backends)
         for payload in backends.values():
             assert payload["points_per_second"] > 0
 

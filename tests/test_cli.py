@@ -108,6 +108,46 @@ class TestSaveEvaluate:
         assert "error:" in capsys.readouterr().err
 
 
+class TestCompileTape:
+    def test_compile_emit_then_sweep_tape(self, linear_netlist, tmp_path,
+                                          capsys):
+        tape = tmp_path / "lowpass.tape"
+        rc = main(["compile", str(linear_netlist), "-o", "out",
+                   "--symbols", "C1", "--order", "1",
+                   "--emit-tape", str(tape)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "op tape:" in out and tape.exists()
+        rc = main(["sweep", "--tape", str(tape),
+                   "--sweep", "C1=0.5n:2n:5", "--metric",
+                   "dominant_pole_hz"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tape model:" in out
+        assert "5 points, 0 NaN" in out
+
+    def test_sweep_without_netlist_or_tape_errors(self, capsys):
+        rc = main(["sweep", "--sweep", "C1=0.5n:2n:5"])
+        assert rc == 1
+        assert "netlist" in capsys.readouterr().err
+
+    def test_sweep_corrupt_tape_refused(self, linear_netlist, tmp_path,
+                                        capsys):
+        import json
+
+        tape = tmp_path / "lowpass.tape"
+        main(["compile", str(linear_netlist), "-o", "out",
+              "--symbols", "C1", "--order", "1", "--emit-tape", str(tape)])
+        capsys.readouterr()
+        payload = json.loads(tape.read_text())
+        payload["consts"][0] = repr(float(payload["consts"][0]) + 0.5)
+        tape.write_text(json.dumps(payload))
+        rc = main(["sweep", "--tape", str(tape),
+                   "--sweep", "C1=0.5n:2n:5"])
+        assert rc == 1
+        assert "corrupt" in capsys.readouterr().err
+
+
 class TestMisc:
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as exc:
