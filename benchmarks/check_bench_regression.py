@@ -13,10 +13,17 @@ CI machines are slower than whatever produced the baseline more often
 than not, which is exactly why the gate is a wide ratio rather than an
 absolute floor.
 
+Legs that want a hard guarantee can add repeatable ``--floor
+LABEL=VALUE`` options: an absolute points/s minimum for one tracked
+figure, which fails when the figure is below the floor *or missing*
+(the CI use case is proving a specific path — e.g. the batched
+Padé/metric stage with native kernels disabled — clears a known bar).
+
 Usage::
 
     python benchmarks/check_bench_regression.py \
-        --baseline BENCH_sweep.json --current BENCH_current.json
+        --baseline BENCH_sweep.json --current BENCH_current.json \
+        --floor backend:serial=238000
 """
 
 from __future__ import annotations
@@ -48,6 +55,41 @@ def iter_throughputs(payload: dict):
     for label, value in (payload.get("throughputs") or {}).items():
         if value:
             yield str(label), float(value)
+
+
+def parse_floor(spec: str) -> tuple[str, float]:
+    """Parse one ``LABEL=VALUE`` absolute-floor spec."""
+    label, sep, value = spec.partition("=")
+    if not sep or not label:
+        raise argparse.ArgumentTypeError(
+            f"floor {spec!r} is not LABEL=VALUE")
+    try:
+        return label, float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"floor {spec!r} has a non-numeric value") from None
+
+
+def check_floors(current: dict, floors: dict[str, float]) -> list[str]:
+    """Absolute points/s floors: unlike the baseline ratio, a floor
+    fails when its label is missing — a leg that asks for a floor wants
+    proof the figure exists, not silence."""
+    cur = dict(iter_throughputs(current))
+    failures = []
+    for label in sorted(floors):
+        want = floors[label]
+        got = cur.get(label)
+        if got is None:
+            failures.append(f"{label}: required floor {want:.0f} points/s "
+                            "but the figure is missing from the current run")
+            continue
+        status = "OK" if got >= want else "BELOW FLOOR"
+        print(f"  {label:<18} floor {want:>12.0f}, "
+              f"measured {got:>12.0f} points/s  {status}")
+        if got < want:
+            failures.append(f"{label}: {got:.0f} points/s is below the "
+                            f"absolute floor {want:.0f}")
+    return failures
 
 
 def compare(baseline: dict, current: dict,
@@ -84,6 +126,11 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                     help="fractional drop that fails the gate "
                          f"(default {DEFAULT_TOLERANCE})")
+    ap.add_argument("--floor", type=parse_floor, action="append",
+                    default=[], metavar="LABEL=VALUE",
+                    help="absolute points/s floor for one tracked figure "
+                         "(repeatable); fails if the figure is below VALUE "
+                         "or missing")
     args = ap.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
@@ -91,6 +138,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"throughput gate: {args.current} vs {args.baseline} "
           f"(tolerance {args.tolerance * 100.0:.0f}%)")
     failures = compare(baseline, current, tolerance=args.tolerance)
+    failures += check_floors(current, dict(args.floor))
     for line in failures:
         print(f"FAIL: {line}", file=sys.stderr)
     return 1 if failures else 0

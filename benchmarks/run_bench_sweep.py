@@ -11,15 +11,16 @@ Runs the paper's §3.1 workload end to end under the observability layer:
    the per-worker program cache, and the native kernel build are
    amortized the way a real sweep sees them, and cross-check every
    backend against the serial values bit-for-bit;
-4. time the raw moment-program kernels (ufunc vs native ``eval_batch``)
-   on the full grid batch — the end-to-end native gain is Amdahl-capped
-   by the shared Padé/metric stage, so the kernel-level figure is
-   recorded separately;
+4. time the raw moment-program kernels (ufunc vs native ``eval_batch``
+   vs the fused multi-output native kernel) on the full grid batch —
+   end-to-end gains are bounded by the Padé/metric stages, so the
+   kernel-level figures are recorded separately;
 5. op-profile the compiled moment program over the same grid batch;
-6. write ``BENCH_sweep.json`` — points/sec overall, per backend, and
-   per kernel, compile and evaluate seconds, the top-3 hot ops with
-   symbolic provenance, and the full stats/metrics snapshots — and,
-   with ``--trace``, a Chrome/Perfetto trace of the whole run.
+6. write ``BENCH_sweep.json`` — points/sec overall, per backend (with a
+   moments/pade/metric stage breakdown), and per kernel, compile and
+   evaluate seconds, the top-3 hot ops with symbolic provenance, and
+   the full stats/metrics snapshots — and, with ``--trace``, a
+   Chrome/Perfetto trace of the whole run.
 
 ``benchmarks/check_bench_regression.py`` compares this payload against
 the committed baseline and fails CI on a >25 % throughput regression.
@@ -51,38 +52,67 @@ from repro.obs.profile import profile_program
 from repro.runtime import RuntimeStats
 from repro.runtime.batched import grid_columns
 
-GRID_N = 32
+GRID_N = 64
 SHARDS = 8
 BACKENDS = ("serial", "thread", "process", "native")
+STAGES = (("moments", "evaluate_seconds"), ("pade", "pade_seconds"),
+          ("metric", "metric_seconds"))
+
+
+def stage_breakdown(stats: RuntimeStats) -> dict:
+    """Per-stage seconds and throughput for one measured sweep.
+
+    The three stages cover the whole pipeline: moment-program
+    evaluation, the (batched) Padé solve, and the metric reduction plus
+    any per-point fallback work.  Stage seconds are summed across
+    shards, so per-stage points/s is the *aggregate* rate the stage
+    sustained, comparable across backends with equal worker counts.
+    """
+    out = {}
+    for name, attr in STAGES:
+        seconds = getattr(stats, attr)
+        out[name] = {
+            "seconds": seconds,
+            "points_per_second": (stats.points / seconds) if seconds else None,
+        }
+    return out
 
 
 def bench_backends(model, grids, reference, shards: int,
-                   backends=BACKENDS) -> dict:
-    """Time one sweep per backend, warm-up pass excluded.
+                   backends=BACKENDS, repeats: int = 3) -> dict:
+    """Time sweeps per backend (best of ``repeats``), warm-up excluded.
 
     The warm-up run amortizes what a long sweep amortizes anyway —
     thread/process pool spawn and the per-worker program cache — so the
-    measured pass reflects steady-state throughput.  Each backend's
-    values are also checked bit-identical against ``reference``.
+    measured passes reflect steady-state throughput; keeping the best
+    pass damps scheduler noise on sweeps that finish in milliseconds.
+    Each backend's values are also checked bit-identical against
+    ``reference``.
     """
     out = {}
     for backend in backends:
         warm = RuntimeStats()
         model.sweep(grids, dominant_pole_hz, shards=shards,
                     backend=backend, stats=warm)
-        stats = RuntimeStats()
-        z = model.sweep(grids, dominant_pole_hz, shards=shards,
-                        backend=backend, stats=stats)
-        if not np.array_equal(np.asarray(z), np.asarray(reference),
-                              equal_nan=True):
-            raise AssertionError(
-                f"backend {backend!r} diverged from serial values")
+        stats = None
+        for _ in range(repeats):
+            trial = RuntimeStats()
+            z = model.sweep(grids, dominant_pole_hz, shards=shards,
+                            backend=backend, stats=trial)
+            if not np.array_equal(np.asarray(z), np.asarray(reference),
+                                  equal_nan=True):
+                raise AssertionError(
+                    f"backend {backend!r} diverged from serial values")
+            if stats is None or (trial.points_per_second
+                                 > stats.points_per_second):
+                stats = trial
         out[backend] = {
             "points_per_second": stats.points_per_second,
             "evaluate_seconds": stats.evaluate_seconds,
             "workers": stats.workers,
             "parallel_efficiency": stats.parallel_efficiency,
             "cold_spawn_seconds": warm.spawn_seconds,
+            "stages": stage_breakdown(stats),
         }
     return out
 
@@ -128,8 +158,27 @@ def bench_kernels(model, grids, repeats: int = 5) -> dict:
     out["native"] = {
         "available": True,
         "flavor": kernel.flavor,
+        "parallel": bool(getattr(kernel, "parallel", False)),
+        "threads": int(getattr(kernel, "threads", 1)),
         "points_per_second": n / native_seconds,
         "speedup_vs_ufunc": ufunc_seconds / native_seconds,
+    }
+    try:
+        from repro.runtime.native import build_native_kernel
+        from repro.symbolic.tape import fuse_moments, tape_for
+        fused_kernel = build_native_kernel(fuse_moments(tape_for(fn)), mask)
+    except Exception as exc:
+        out["fused_native"] = {"available": False, "reason": str(exc)}
+        return out
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        fused_seconds = best_of(lambda: fused_kernel(list(cols), n))
+    out["fused_native"] = {
+        "available": True,
+        "flavor": fused_kernel.flavor,
+        "parallel": bool(getattr(fused_kernel, "parallel", False)),
+        "threads": int(getattr(fused_kernel, "threads", 1)),
+        "points_per_second": n / fused_seconds,
+        "speedup_vs_ufunc": ufunc_seconds / fused_seconds,
     }
     return out
 
@@ -158,6 +207,9 @@ def run(grid_n: int = GRID_N, shards: int = SHARDS) -> dict:
     if kernels["native"].get("available"):
         throughputs["kernel:native"] = (
             kernels["native"]["points_per_second"])
+    if kernels.get("fused_native", {}).get("available"):
+        throughputs["kernel:fused-native"] = (
+            kernels["fused_native"]["points_per_second"])
 
     _, _, cols = grid_columns(model, grids)
     prof = profile_program(model.compiled_moments.fn, cols, repeats=5)
@@ -176,6 +228,7 @@ def run(grid_n: int = GRID_N, shards: int = SHARDS) -> dict:
         "points_per_second": stats.points_per_second,
         "compile_seconds": stats.compile_seconds,
         "evaluate_seconds": stats.evaluate_seconds,
+        "stages": stage_breakdown(stats),
         "total_seconds": stats.total_seconds,
         "parallel_efficiency": stats.parallel_efficiency,
         "top_ops": [
@@ -216,19 +269,27 @@ def main(argv: list[str] | None = None) -> int:
           f"compile {payload['compile_seconds']:.3f} s, "
           f"evaluate {payload['evaluate_seconds']:.3f} s")
     for name, b in payload["backends"].items():
+        stages = " ".join(
+            f"{s}={e['seconds']:.3f}s"
+            for s, e in (b.get("stages") or {}).items())
         print(f"  backend {name:<8} {b['points_per_second']:>12.0f} points/s"
-              f"  ({b['workers']} workers)")
+              f"  ({b['workers']} workers)  {stages}")
     kernels = payload["kernels"]
     print(f"  kernel  ufunc    "
           f"{kernels['ufunc']['points_per_second']:>12.0f} points/s")
-    native = kernels["native"]
-    if native.get("available"):
-        print(f"  kernel  native   "
-              f"{native['points_per_second']:>12.0f} points/s"
-              f"  ({native['flavor']}, "
-              f"{native['speedup_vs_ufunc']:.1f}x ufunc)")
-    else:
-        print(f"  kernel  native   unavailable ({native['reason']})")
+    for key, label in (("native", "native"), ("fused_native", "fused")):
+        entry = kernels.get(key)
+        if entry is None:
+            continue
+        if entry.get("available"):
+            threads = (f", {entry['threads']} threads"
+                       if entry.get("parallel") else "")
+            print(f"  kernel  {label:<8} "
+                  f"{entry['points_per_second']:>12.0f} points/s"
+                  f"  ({entry['flavor']}{threads}, "
+                  f"{entry['speedup_vs_ufunc']:.1f}x ufunc)")
+        else:
+            print(f"  kernel  {label:<8} unavailable ({entry['reason']})")
     for i, op in enumerate(payload["top_ops"], start=1):
         print(f"  hot op {i}: {op['fraction'] * 100.0:5.1f}%  "
               f"{op['kind']:<5} {op['expr']}")

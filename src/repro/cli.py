@@ -651,9 +651,12 @@ def cmd_compile(args) -> int:
 
     res = _build_cached_model(args)
     print(res.partition.summary())
-    tape = tape_from_model(res.model)
+    # emitted artifacts are fused (schema 2): one register-machine pass
+    # yields every moment, so consumers skip the per-output dispatch and
+    # the numpy unscaling ladder (docs/artifacts.md)
+    tape = tape_from_model(res.model, fused=True)
     print(f"op tape: {tape.n_ops} ops, {len(tape.symbols)} inputs, "
-          f"{len(tape.consts)} consts")
+          f"{len(tape.consts)} consts (fused, schema 2)")
     print(f"  sha256:{tape.content_hash[:32]}")
     if args.emit_tape is not None:
         tape.save(args.emit_tape)

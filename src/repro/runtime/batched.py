@@ -8,17 +8,24 @@ gap.  A batched sweep:
 
 1. maps every grid axis through the element→symbol value transforms and
    flattens the cartesian product into positional argument columns;
-2. evaluates the compiled moment program *once* per shard (array-in,
-   array-out);
-3. extracts order-1/2 poles and residues with vectorized closed forms —
-   exact array transcriptions of
-   :func:`repro.awe.pade.fast_poles_residues` — and evaluates the metric,
-   using a registered vectorized implementation when one exists;
-4. falls back per point *only* where the closed form is degenerate,
-   the fast Padé is unstable, or the requested order exceeds 2 — the
-   fallback is :func:`repro.awe.stability.rom_from_moments`, the exact
-   per-point path, so batched output is identical to the legacy sweep
-   (``tests/runtime/test_differential.py`` enforces this).
+2. evaluates the *fused* multi-output moment tape (schema 2, see
+   :func:`repro.symbolic.tape.fuse_moments`) once per shard — one
+   register-machine pass emits every moment, sharing subexpressions
+   across outputs and performing the determinant unscaling inside the
+   kernel with the same IEEE operations as the numpy ladder;
+3. extracts poles and residues with vectorized closed forms — exact
+   array transcriptions of :func:`repro.awe.pade.fast_poles_residues`
+   for orders 1-2, stacked Hankel solves plus batched companion-matrix
+   eigenvalues (:func:`vector_poles_residues_general`) for higher
+   orders — and evaluates the metric, using a registered vectorized
+   implementation when one exists;
+4. falls back per point *only* where the closed form is degenerate or
+   the fast Padé is unstable — the fallback is
+   :func:`repro.awe.stability.rom_from_moments`, the exact per-point
+   path.  Orders 1-2 are bit-identical to the legacy sweep
+   (``tests/runtime/test_differential.py`` enforces this); order > 2
+   batched linalg legitimately reorders reductions and is held to the
+   ``ToleranceLadder.exact`` band instead (``docs/runtime.md``).
 
 Shards split the flattened grid into contiguous chunks evaluated
 independently (optionally on a thread pool), and a
@@ -34,6 +41,7 @@ retried and spliced back in order.
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 import threading
@@ -48,6 +56,7 @@ from ..core import metrics as _metrics
 from ..diagnostics import (QuarantinedPoint, ShardFailure, SweepDiagnostics,
                            SweepResult)
 from ..errors import ApproximationError, PartitionError
+from ..obs import metrics as _obs_metrics
 from ..obs import trace as _trace
 from ..testing import faults as _faults
 from .backends import ProcessShardRunner, resolve_backend
@@ -61,9 +70,12 @@ __all__ = [
     "grid_columns",
     "sample_columns",
     "vector_poles_residues",
+    "vector_poles_residues_general",
     "vector_metric",
     "VECTOR_METRICS",
 ]
+
+logger = logging.getLogger("repro.runtime.batched")
 
 #: default sub-chunk size (points) for cancellable shard execution: the
 #: granularity at which a shard observes its cancel token, i.e. the upper
@@ -100,6 +112,124 @@ def _v_dominant_pole_hz(poles: np.ndarray, residues: np.ndarray) -> np.ndarray:
 @vector_metric(_metrics.dc_gain)
 def _v_dc_gain(poles: np.ndarray, residues: np.ndarray) -> np.ndarray:
     return (-residues / poles).sum(axis=0).real
+
+
+#: sample count of the gain-crossing scan grid — must match the scalar
+#: :func:`repro.core.metrics.gain_crossing_frequency` so crossing /
+#: no-crossing (NaN) decisions are made from the identical 600 samples.
+_CROSSING_POINTS = 600
+#: column-block size for the crossing scan: bounds the (600, block)
+#: complex intermediates to a few tens of MB regardless of chunk size.
+_CROSSING_BLOCK = 4096
+
+
+def _v_frequency_response(poles: np.ndarray, residues: np.ndarray,
+                          s: np.ndarray) -> np.ndarray:
+    """``H(s)`` per point: term-by-term accumulation over the pole rows,
+    the same left-to-right order as the small-axis ``.sum(axis=-1)`` in
+    :meth:`ReducedOrderModel.transfer`, so magnitudes match bit-for-bit."""
+    acc = residues[0] / (s - poles[0])
+    for k in range(1, poles.shape[0]):
+        acc = acc + residues[k] / (s - poles[k])
+    return acc
+
+
+def _v_gain_crossing_block(poles: np.ndarray, residues: np.ndarray,
+                           level) -> np.ndarray:
+    q, n = poles.shape
+    out = np.full(n, np.nan)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        mags = np.abs(poles)
+        lo = mags.min(axis=0) * 1e-4
+        hi = mags.max(axis=0) * 1e4
+        omegas = np.logspace(np.log10(lo), np.log10(hi),
+                             _CROSSING_POINTS, axis=0)
+        h = _v_frequency_response(poles, residues, 1j * omegas)
+        above = np.abs(h) > level
+        flips = above[:-1] != above[1:]
+        found = flips.any(axis=0)
+        if not found.any():
+            return out
+        first = np.argmax(flips, axis=0)
+        cols = np.arange(n)
+        lo_log = np.log(omegas[first, cols])
+        hi_log = np.log(omegas[first + 1, cols])
+        side_lo = above[first, cols]
+        lvl = np.broadcast_to(np.asarray(level, dtype=float), (n,))
+        # boolean bisection on log-omega: 60 halvings shrink the logspace
+        # step (~0.031 in log for the 1e8-wide bracket) to ~3e-20, far
+        # below the scalar path's brentq xtol=1e-12, so both land on the
+        # same crossing well inside the differential suite's 1e-9 rtol
+        for _ in range(60):
+            mid = 0.5 * (lo_log + hi_log)
+            h_mid = _v_frequency_response(poles, residues, 1j * np.exp(mid))
+            same = (np.abs(h_mid) > lvl) == side_lo
+            lo_log = np.where(same, mid, lo_log)
+            hi_log = np.where(same, hi_log, mid)
+        out[found] = np.exp(0.5 * (lo_log + hi_log))[found]
+    return out
+
+
+def _v_gain_crossing(poles: np.ndarray, residues: np.ndarray,
+                     level) -> np.ndarray:
+    """First ω (scanning upward) where ``|H(jω)|`` crosses ``level``.
+
+    Vectorized transcription of
+    :func:`repro.core.metrics.gain_crossing_frequency`: identical
+    bracket, identical 600-point log scan (so the crossing / NaN
+    decision is made from the same samples), with the per-point
+    ``brentq`` refinement replaced by a vectorized boolean bisection.
+    ``level`` is a scalar or an ``(n_points,)`` array.
+    """
+    n = poles.shape[1]
+    out = np.empty(n)
+    scalar_level = np.ndim(level) == 0
+    for start in range(0, n, _CROSSING_BLOCK):
+        stop = min(start + _CROSSING_BLOCK, n)
+        lvl = level if scalar_level else level[start:stop]
+        out[start:stop] = _v_gain_crossing_block(
+            poles[:, start:stop], residues[:, start:stop], lvl)
+    return out
+
+
+@vector_metric(_metrics.unity_gain_frequency)
+def _v_unity_gain_frequency(poles: np.ndarray, residues: np.ndarray,
+                            ) -> np.ndarray:
+    return _v_gain_crossing(poles, residues, 1.0)
+
+
+@vector_metric(_metrics.phase_margin)
+def _v_phase_margin(poles: np.ndarray, residues: np.ndarray) -> np.ndarray:
+    w_u = _v_gain_crossing(poles, residues, 1.0)
+    out = np.full(w_u.shape, np.nan)
+    found = np.isfinite(w_u)
+    if found.any():
+        h = _v_frequency_response(poles[:, found], residues[:, found],
+                                  1j * w_u[found])
+        out[found] = 180.0 + np.degrees(np.angle(h))
+    return out
+
+
+@vector_metric(_metrics.bandwidth_3db)
+def _v_bandwidth_3db(poles: np.ndarray, residues: np.ndarray) -> np.ndarray:
+    # the scalar metric *raises* on zero DC gain (quarantining the
+    # point); the vectorized path yields the same NaN output without a
+    # quarantine record — values stay identical across paths
+    dc = np.abs((-residues / poles).sum(axis=0).real)
+    out = np.full(dc.shape, np.nan)
+    defined = dc != 0.0
+    if defined.any():
+        out[defined] = _v_gain_crossing(
+            poles[:, defined], residues[:, defined],
+            dc[defined] / np.sqrt(2.0))
+    return out
+
+
+@vector_metric(_metrics.gain_bandwidth_product)
+def _v_gain_bandwidth_product(poles: np.ndarray, residues: np.ndarray,
+                              ) -> np.ndarray:
+    dc = np.abs((-residues / poles).sum(axis=0).real)
+    return dc * _v_bandwidth_3db(poles, residues)
 
 
 # ----------------------------------------------------------------------
@@ -270,9 +400,149 @@ def vector_poles_residues(moments: np.ndarray, order: int,
 
 
 # ----------------------------------------------------------------------
+# vectorized general-order Padé (stacked Hankel + companion eigvals)
+# ----------------------------------------------------------------------
+def vector_poles_residues_general(moments: np.ndarray, order: int,
+                                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized general-order Padé: stacked Hankel solves plus batched
+    companion-matrix eigenvalues.
+
+    Array transcription of the order-``q`` attempt inside
+    :func:`repro.awe.stability.stable_reduction` — moment-ratio
+    conditioning scale, Hankel solve for the denominator, roots via the
+    same companion matrix ``np.roots`` builds, residues from the
+    moment/pole Vandermonde system, unscale by ``a``.
+
+    Args:
+        moments: ``(>= 2*order, n_points)`` float array (all rows enter
+            the conditioning-scale estimate, as in the scalar path).
+        order: number of poles ``q`` (any ``q >= 1``).
+
+    Returns:
+        ``(poles, residues, ok)`` with ``poles``/``residues`` of shape
+        ``(order, n_points)`` complex.  ``ok`` is conservative: lanes
+        with a zero or non-finite moment, a degenerate denominator, or
+        any non-finite intermediate fall back to the exact per-point
+        path (which also performs the stable order-dropping retries).
+        Unlike the order 1-2 closed forms, stacked LAPACK reductions may
+        reorder floating-point operations relative to ``np.roots`` /
+        per-point solves, so ``ok`` points agree with the scalar path to
+        the ``ToleranceLadder.exact`` band rather than bit-for-bit
+        (``docs/runtime.md`` documents this carve-out).
+    """
+    q = int(order)
+    n = moments.shape[1]
+    poles = np.zeros((q, n), dtype=complex)
+    residues = np.zeros((q, n), dtype=complex)
+    ok = np.zeros(n, dtype=bool)
+    if q < 1 or moments.shape[0] < 2 * q:
+        raise ApproximationError(
+            f"order {q} Padé needs {2 * q} moments, got {moments.shape[0]}")
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        m = moments
+        usable = np.isfinite(m).all(axis=0)
+        if not usable.any():
+            return poles, residues, ok
+        # conditioning scale: per-lane geometric mean of the successive
+        # moment ratios whose both moments are nonzero — the same ratio
+        # set as scaling.moment_scale (masked summation may reorder the
+        # mean's additions, which is inside the order>2 tolerance band)
+        valid = (m[:-1] != 0.0) & (m[1:] != 0.0)
+        safe = np.where(valid, m[1:], 1.0)
+        logs = np.where(valid, np.log(np.abs(np.where(valid, m[:-1], 1.0)
+                                             / safe)), 0.0)
+        count = valid.sum(axis=0)
+        a = np.exp(logs.sum(axis=0) / np.maximum(count, 1))
+        a = np.where((count > 0) & np.isfinite(a) & (a != 0.0), a, 1.0)
+        s = m * a ** np.arange(m.shape[0], dtype=float)[:, None]
+        # Hankel solve for b1..bq: sum_j b_j m'_{k-j} = -m'_k, k = q..2q-1
+        A = np.empty((n, q, q))
+        for r in range(q):
+            for j in range(1, q + 1):
+                A[:, r, j - 1] = s[q + r - j]
+        rhs = -s[q:2 * q].T
+        usable &= (np.isfinite(A).all(axis=(1, 2))
+                   & np.isfinite(rhs).all(axis=1))
+        A[~usable] = np.eye(q)
+        rhs = np.where(usable[:, None], rhs, 0.0)
+        try:
+            b = np.linalg.solve(A, rhs[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError:
+            # an exactly singular lane slipped past the masks; retreat to
+            # the per-point path for the whole chunk (rare, still exact)
+            return poles, residues, np.zeros(n, dtype=bool)
+        usable &= np.isfinite(b).all(axis=1) & (b[:, -1] != 0.0)
+        if not usable.any():
+            return poles, residues, ok
+        # roots of 1 + b1 s + ... + bq s^q via the np.roots companion
+        # matrix: monic-normalized [b_q .. b_1, 1], subdiagonal ones
+        lead = np.where(usable, b[:, -1], 1.0)
+        coeffs = np.concatenate([b[:, -2::-1], np.ones((n, 1))], axis=1)
+        comp = np.zeros((n, q, q))
+        idx = np.arange(q - 1)
+        comp[:, idx + 1, idx] = 1.0
+        comp[:, 0, :] = -coeffs / lead[:, None]
+        comp[~usable] = np.eye(q)
+        try:
+            poles_s = np.linalg.eigvals(comp)
+        except np.linalg.LinAlgError:
+            return poles, residues, np.zeros(n, dtype=bool)
+        usable &= (np.isfinite(poles_s).all(axis=1)
+                   & (np.abs(poles_s) >= 1e-300).all(axis=1))
+        # residues from the moment/pole Vandermonde system:
+        # m'_k = -sum_i r_i / p_i^(k+1), k = 0..q-1 (scaled domain)
+        safe_p = np.where(usable[:, None], poles_s, 1.0)
+        V = -1.0 / safe_p[:, None, :] ** np.arange(1, q + 1)[None, :, None]
+        V[~usable] = np.eye(q)
+        mv = np.where(usable[:, None], s[:q].T, 0.0).astype(complex)
+        try:
+            res = np.linalg.solve(V, mv[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError:
+            # repeated poles somewhere in the stack: per-point fallback
+            return poles, residues, np.zeros(n, dtype=bool)
+        usable &= np.isfinite(res).all(axis=1)
+        poles = (poles_s * a[:, None]).T
+        residues = (res * a[:, None]).T
+        ok = usable
+    return poles, residues, ok
+
+
+# ----------------------------------------------------------------------
 # sweep core
 # ----------------------------------------------------------------------
 _SINGULAR_MSG = "global symbolic system singular at this point"
+
+_FUSED_UNSET = object()
+
+
+def _fused_companion(cm):
+    """The fused (schema-2) twin of a compiled moment program, or ``None``.
+
+    A fused tape evaluates every moment *and* the determinant unscaling
+    in one register-machine pass (:func:`repro.symbolic.tape.fuse_moments`),
+    so a chunk costs one kernel dispatch instead of one per output plus a
+    numpy division ladder.  The fused function is derived lazily from the
+    program's own tape and cached on the :class:`CompiledFunction`; when
+    no tape can be built (e.g. a program lowered from source without
+    expression roots) the sweep keeps the unfused path.
+    """
+    fn = cm.fn
+    cached = getattr(fn, "_fused_fn", _FUSED_UNSET)
+    if cached is not _FUSED_UNSET:
+        return cached
+    if getattr(fn, "moments_fused", False):
+        fn._fused_fn = fn
+        return fn
+    fused = None
+    try:
+        from ..symbolic.tape import fuse_moments, tape_for
+        fused = fuse_moments(tape_for(fn)).build_function()
+    except Exception as exc:
+        logger.info("fused moment tape unavailable (%s); sweeping with "
+                    "per-output evaluation", exc)
+        fused = None
+    fn._fused_fn = fused
+    return fused
 
 
 def _chunk_moments(model, columns: Sequence, n_points: int,
@@ -285,17 +555,40 @@ def _chunk_moments(model, columns: Sequence, n_points: int,
     symbolic system determinant is exactly zero.  In strict mode any such
     point raises :class:`PartitionError` (the pre-quarantine behavior);
     in lenient mode those points are quarantined with stage ``"moments"``
-    and their moment columns are NaN.  Non-singular columns are computed
-    with exactly the same elementwise operations as before, so surviving
-    points are bit-identical to a sweep without degenerate neighbors.
+    and their moment columns are NaN.
+
+    When a fused tape is available the whole slab (moments + det) comes
+    from one pass; its unscaling ladder performs exactly the same IEEE
+    operations as the numpy ladder below, so non-singular columns are
+    bit-identical either way (singular columns are NaN-masked in both).
     """
     cm = model.compiled_moments
+    fused_fn = _fused_companion(cm)
     with stats.stage("evaluate"):
         with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-            raw = [np.broadcast_to(np.asarray(v, dtype=float), (n_points,))
-                   for v in cm.fn.eval_batch(columns, n_points,
-                                             kernel=kernel)]
-            det = raw[-1]
+            moments = det = None
+            if fused_fn is not None:
+                try:
+                    raw = [np.broadcast_to(np.asarray(v, dtype=float),
+                                           (n_points,))
+                           for v in fused_fn.eval_batch(columns, n_points,
+                                                        kernel=kernel)]
+                except ZeroDivisionError:
+                    # all-scalar (no-grid) chunks evaluate in pure Python,
+                    # where a zero determinant raises instead of yielding
+                    # inf/NaN; the unfused ladder below handles it
+                    raw = None
+                if raw is not None:
+                    det = raw[-1]
+                    moments = np.empty((len(raw) - 1, n_points))
+                    for k in range(len(raw) - 1):
+                        moments[k] = raw[k]
+            if moments is None:
+                raw = [np.broadcast_to(np.asarray(v, dtype=float),
+                                       (n_points,))
+                       for v in cm.fn.eval_batch(columns, n_points,
+                                                 kernel=kernel)]
+                det = raw[-1]
             singular = det == 0.0
             if singular.any():
                 if diag.strict:
@@ -304,13 +597,16 @@ def _chunk_moments(model, columns: Sequence, n_points: int,
                     diag.quarantine(QuarantinedPoint(
                         index=offset + int(i), stage="moments",
                         error="PartitionError", message=_SINGULAR_MSG))
-            safe_det = np.where(singular, np.nan, det)
-            moments = np.empty((len(raw) - 1, n_points))
-            scale = safe_det.copy()
-            for k in range(len(raw) - 1):
-                moments[k] = raw[k] / scale
-                if k < len(raw) - 2:
-                    scale = scale * safe_det
+            if moments is None:
+                safe_det = np.where(singular, np.nan, det)
+                moments = np.empty((len(raw) - 1, n_points))
+                scale = safe_det.copy()
+                for k in range(len(raw) - 1):
+                    moments[k] = raw[k] / scale
+                    if k < len(raw) - 2:
+                        scale = scale * safe_det
+            elif singular.any():
+                moments[:, singular] = np.nan
     diag.y0_det_abs.add(np.abs(det))
     if _faults.ACTIVE is not None:
         _faults.fault_point("sweep.moments", moments=moments, offset=offset)
@@ -369,29 +665,29 @@ def _sweep_chunk(model, columns: Sequence, n_points: int,
     _chunk_health(moments, order, diag)
     alive = ~singular
 
-    if order <= 2:
-        with stats.stage("pade"):
+    with stats.stage("pade"):
+        if order <= 2:
             poles, residues, ok = vector_poles_residues(moments, order)
-            if require_stable:
-                ok &= np.all(poles.real < 0.0, axis=0)
-            ok &= alive
-        good = np.flatnonzero(ok)
-        fallback = np.flatnonzero(~ok & alive)
-        with stats.stage("metric"):
-            vectorized = VECTOR_METRICS.get(metric)
-            if vectorized is not None and len(good):
-                out[good] = vectorized(poles[:, good], residues[:, good])
-            else:
-                for i in good:
-                    rom = ReducedOrderModel(poles[:, i], residues[:, i],
-                                            order_requested=order)
-                    try:
-                        out[i] = metric(rom)  # NaN stays, like the legacy sweep
-                    except ApproximationError as exc:
-                        diag.quarantine_error(offset + int(i), "metric", exc)
-        stats.vectorized_points += len(good)
-    else:
-        fallback = np.flatnonzero(alive)
+        else:
+            poles, residues, ok = vector_poles_residues_general(moments, order)
+        if require_stable:
+            ok &= np.all(poles.real < 0.0, axis=0)
+        ok &= alive
+    good = np.flatnonzero(ok)
+    fallback = np.flatnonzero(~ok & alive)
+    with stats.stage("metric"):
+        vectorized = VECTOR_METRICS.get(metric)
+        if vectorized is not None and len(good):
+            out[good] = vectorized(poles[:, good], residues[:, good])
+        else:
+            for i in good:
+                rom = ReducedOrderModel(poles[:, i], residues[:, i],
+                                        order_requested=order)
+                try:
+                    out[i] = metric(rom)  # NaN stays, like the legacy sweep
+                except ApproximationError as exc:
+                    diag.quarantine_error(offset + int(i), "metric", exc)
+    stats.vectorized_points += len(good)
 
     with stats.stage("metric"):
         for i in fallback:
@@ -564,6 +860,22 @@ def batched_sweep(model, grids: Mapping[str, np.ndarray],
         tracer = _trace.current_tracer()
         parent_ctx = tracer.context() if tracer is not None else None
         sweep_cancel = cancel
+
+        if n_points and VECTOR_METRICS.get(metric) is None:
+            # a VECTOR_METRICS miss drops the metric stage to per-point
+            # model objects (~100x slower); surface it once per sweep so
+            # profile output shows *why* the sweep was slow
+            metric_name = getattr(metric, "__name__", repr(metric))
+            _obs_metrics.registry().counter(
+                "repro_sweep_scalar_metric_fallback",
+                "sweeps whose metric had no vectorized implementation",
+            ).inc()
+            if tracer is not None:
+                with tracer.span("sweep.scalar_metric_fallback",
+                                 metric=metric_name):
+                    pass
+            logger.info("metric %s has no VECTOR_METRICS entry; the metric "
+                        "stage runs per point", metric_name)
 
         def eval_range(lo: int, hi: int,
                        token: CancelToken | None, shard: int = 0,

@@ -23,6 +23,17 @@ mismatch, missing toolchain, or build failure raises
 :class:`NativeUnavailable`, which callers treat as "use the ufunc
 kernel" (with a logged warning), never as an error.
 
+Kernels are **range-based**: the generated function evaluates the
+half-open slice ``[lo, hi)`` of the batch, which makes multi-threaded
+execution a pure dispatch concern.  The C flavor releases the GIL inside
+``ctypes``, so a chunk-threaded wrapper splits large batches across a
+persistent thread pool (disjoint output slabs — results are invariant to
+the thread count, still byte-identical to ``eval_raw``); the numba
+flavor compiles a ``prange`` loop under ``parallel=True`` when more than
+one thread is configured.  Batches below ``_THREAD_MIN_POINTS`` stay on
+the calling thread — at that size dispatch overhead exceeds the
+arithmetic.
+
 Environment knobs:
 
 * ``REPRO_NATIVE`` — ``numba`` / ``c`` force one toolchain, ``off``
@@ -30,6 +41,9 @@ Environment knobs:
 * ``REPRO_NATIVE_CACHE`` — directory for compiled ``.so`` artifacts
   (default: a per-user tmp directory).  Objects are content-addressed
   by tape hash + mask + compiler, so warm starts skip the compiler.
+* ``REPRO_NATIVE_THREADS`` — worker threads for the parallel flavor
+  (default: the machine's CPU count; ``1`` forces serial execution).
+  Read at kernel-build time.
 """
 
 from __future__ import annotations
@@ -41,6 +55,8 @@ import os
 import shutil
 import subprocess
 import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
 import numpy as np
@@ -52,11 +68,47 @@ __all__ = ["NativeUnavailable", "native_kernel_for", "build_native_kernel"]
 
 logger = logging.getLogger("repro.runtime.native")
 
-#: bumped when generated-code layout changes, to invalidate cached .so files
-_CODEGEN_VERSION = 1
+#: bumped when generated-code layout changes, to invalidate cached .so
+#: files (2: range-based ``(lo, hi, n)`` kernel signature)
+_CODEGEN_VERSION = 2
 
 #: points in the bit-identity probe batch
 _PROBE_POINTS = 8
+
+#: batches smaller than this run on the calling thread even when a
+#: thread pool is configured — per-task dispatch (~10 µs) would dwarf
+#: the kernel time
+_THREAD_MIN_POINTS = 2048
+
+
+def _native_threads() -> int:
+    """Worker-thread count for parallel kernels (``REPRO_NATIVE_THREADS``,
+    default CPU count).  Values < 1 and junk fall back to 1."""
+    raw = os.environ.get("REPRO_NATIVE_THREADS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            logger.warning("ignoring invalid REPRO_NATIVE_THREADS=%r", raw)
+    return max(1, os.cpu_count() or 1)
+
+
+_POOL: ThreadPoolExecutor | None = None
+_POOL_WIDTH = 0
+_POOL_LOCK = threading.Lock()
+
+
+def _thread_pool(width: int) -> ThreadPoolExecutor:
+    """The persistent kernel thread pool, grown to at least ``width``."""
+    global _POOL, _POOL_WIDTH
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_WIDTH < width:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False)
+            _POOL = ThreadPoolExecutor(max_workers=width,
+                                       thread_name_prefix="repro-native")
+            _POOL_WIDTH = width
+        return _POOL
 
 
 class NativeUnavailable(RuntimeError):
@@ -139,9 +191,12 @@ def generate_c_source(tape: OpTape, mask: Sequence[bool],
 
     Signature::
 
-        void fn(long n, const double *scalars,
+        void fn(long lo, long hi, long n, const double *scalars,
                 const double *const *cols, double *out)
 
+    The function evaluates the half-open row range ``[lo, hi)`` of an
+    ``n``-point batch — serial callers pass ``(0, n, n)``; the threaded
+    wrapper hands each worker a disjoint range over the same buffers.
     ``scalars`` is indexed by input position (array positions unused),
     ``cols`` holds the masked columns in position order, and ``out`` is
     a dense ``(n_outputs, n)`` row-major block.  Constants are baked in
@@ -190,11 +245,11 @@ def generate_c_source(tape: OpTape, mask: Sequence[bool],
     return "\n".join([
         "#include <math.h>",
         "",
-        f"void {fn_name}(long n, const double *scalars,",
+        f"void {fn_name}(long lo, long hi, long n, const double *scalars,",
         "                const double *const *cols, double *out)",
         "{",
         *hoisted,
-        "    for (long i = 0; i < n; i++) {",
+        "    for (long i = lo; i < hi; i++) {",
         *body,
         *stores,
         "    }",
@@ -236,7 +291,8 @@ def _build_c_kernel(tape: OpTape, mask: Sequence[bool]):
         raise NativeUnavailable(f"cannot load compiled kernel: {exc}")
     cfn = lib.repro_tape_kernel
     cfn.restype = None
-    cfn.argtypes = [ctypes.c_long, ctypes.POINTER(ctypes.c_double),
+    cfn.argtypes = [ctypes.c_long, ctypes.c_long, ctypes.c_long,
+                    ctypes.POINTER(ctypes.c_double),
                     ctypes.POINTER(ctypes.POINTER(ctypes.c_double)),
                     ctypes.POINTER(ctypes.c_double)]
 
@@ -246,6 +302,7 @@ def _build_c_kernel(tape: OpTape, mask: Sequence[bool]):
     n_cols = len(col_positions)
     dptr = ctypes.POINTER(ctypes.c_double)
     PtrArray = dptr * max(1, n_cols)
+    threads = _native_threads()
 
     def kernel(args, n_points: int):
         scalars = np.zeros(max(1, n_inputs))
@@ -258,12 +315,30 @@ def _build_c_kernel(tape: OpTape, mask: Sequence[bool]):
                 scalars[pos] = float(a)
         out = np.empty((n_out, n_points))
         ptrs = PtrArray(*(c.ctypes.data_as(dptr) for c in cols))
-        cfn(n_points, scalars.ctypes.data_as(dptr), ptrs,
-            out.ctypes.data_as(dptr))
+        sp = scalars.ctypes.data_as(dptr)
+        op = out.ctypes.data_as(dptr)
+        t = threads if n_points >= _THREAD_MIN_POINTS else 1
+        if t > 1:
+            # ctypes releases the GIL around the call, and each range
+            # writes a disjoint slice of the same slab — results are
+            # identical for every thread count.  The calling thread
+            # takes the first slice; the pool takes the rest.
+            bounds = np.linspace(0, n_points, t + 1, dtype=int)
+            pool = _thread_pool(t - 1)
+            futures = [
+                pool.submit(cfn, int(lo), int(hi), n_points, sp, ptrs, op)
+                for lo, hi in zip(bounds[1:-1], bounds[2:])]
+            cfn(int(bounds[0]), int(bounds[1]), n_points, sp, ptrs, op)
+            for f in futures:
+                f.result()
+        else:
+            cfn(0, n_points, n_points, sp, ptrs, op)
         return tuple(out)
 
     kernel.flavor = "c"
     kernel.source = source
+    kernel.parallel = threads > 1
+    kernel.threads = threads
     return kernel
 
 
@@ -271,12 +346,17 @@ def _build_c_kernel(tape: OpTape, mask: Sequence[bool]):
 # numba path
 # ----------------------------------------------------------------------
 def generate_numba_source(tape: OpTape, mask: Sequence[bool],
-                          fn_name: str = "_tape_kernel") -> str:
+                          fn_name: str = "_tape_kernel",
+                          parallel: bool = False) -> str:
     """Python source of a per-point loop suitable for ``numba.njit``.
 
-    Signature: ``fn(n, scalars, c0, ..., cK, out)`` with ``scalars`` a
-    float64 vector indexed by input position, one array per masked
-    column, and ``out`` a ``(n_outputs, n)`` array filled in place.
+    Signature: ``fn(lo, hi, n, scalars, c0, ..., cK, out)`` evaluating
+    the half-open row range ``[lo, hi)`` of an ``n``-point batch, with
+    ``scalars`` a float64 vector indexed by input position, one array
+    per masked column, and ``out`` a ``(n_outputs, n)`` array filled in
+    place.  With ``parallel=True`` the loop is a ``prange`` for
+    ``numba.njit(parallel=True)`` — iterations are independent and write
+    disjoint columns, so scheduling cannot change the results.
     """
     vec = _check_eligible(tape, mask)
     base = tape.n_inputs + tape.n_consts
@@ -316,10 +396,11 @@ def generate_numba_source(tape: OpTape, mask: Sequence[bool],
               for k, o in enumerate(tape.outputs)]
     cargs = ", ".join(f"c{i}" for i in range(len(col_of)))
     sep = ", " if cargs else ""
+    loop = "prange" if parallel else "range"
     return "\n".join([
-        f"def {fn_name}(n, scalars{sep}{cargs}, out):",
+        f"def {fn_name}(lo, hi, n, scalars{sep}{cargs}, out):",
         *hoisted,
-        "    for i in range(n):",
+        f"    for i in {loop}(lo, hi):",
         *body,
         *stores,
     ]) + "\n"
@@ -330,13 +411,28 @@ def _build_numba_kernel(tape: OpTape, mask: Sequence[bool]):
         import numba
     except ImportError:
         raise NativeUnavailable("numba is not installed")
-    source = generate_numba_source(tape, mask)
-    namespace: dict = {}
-    exec(compile(source, "<awesymbolic-native-numba>", "exec"), namespace)
-    try:
-        jitted = numba.njit(fastmath=False)(namespace["_tape_kernel"])
-    except Exception as exc:
-        raise NativeUnavailable(f"numba.njit failed: {exc}")
+    threads = _native_threads()
+    jitted = None
+    parallel = False
+    source = ""
+    if threads > 1:
+        source = generate_numba_source(tape, mask, parallel=True)
+        namespace: dict = {"prange": numba.prange}
+        exec(compile(source, "<awesymbolic-native-numba>", "exec"), namespace)
+        try:
+            jitted = numba.njit(fastmath=False,
+                                parallel=True)(namespace["_tape_kernel"])
+            parallel = True
+        except Exception:
+            jitted = None  # fall back to the serial jit below
+    if jitted is None:
+        source = generate_numba_source(tape, mask)
+        namespace = {}
+        exec(compile(source, "<awesymbolic-native-numba>", "exec"), namespace)
+        try:
+            jitted = numba.njit(fastmath=False)(namespace["_tape_kernel"])
+        except Exception as exc:
+            raise NativeUnavailable(f"numba.njit failed: {exc}")
 
     n_inputs = tape.n_inputs
     n_out = len(tape.outputs)
@@ -350,11 +446,13 @@ def _build_numba_kernel(tape: OpTape, mask: Sequence[bool]):
             else:
                 scalars[pos] = float(a)
         out = np.empty((n_out, n_points))
-        jitted(n_points, scalars, *cols, out)
+        jitted(0, n_points, n_points, scalars, *cols, out)
         return tuple(out)
 
     kernel.flavor = "numba"
     kernel.source = source
+    kernel.parallel = parallel
+    kernel.threads = threads if parallel else 1
     return kernel
 
 

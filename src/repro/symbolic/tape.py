@@ -45,9 +45,11 @@ from .symbols import Symbol, SymbolSpace
 
 __all__ = [
     "OP_NAMES",
+    "SUPPORTED_TAPE_SCHEMAS",
     "TAPE_SCHEMA",
     "OpTape",
     "TapeModel",
+    "fuse_moments",
     "load_tape",
     "tape_for",
     "tape_from_json",
@@ -55,9 +57,17 @@ __all__ = [
     "tape_from_roots",
 ]
 
-#: artifact schema version; loaders refuse any other value (mirroring the
-#: program cache's ``CACHE_SCHEMA`` compatibility gate)
-TAPE_SCHEMA = 1
+#: newest artifact schema this build can *write*.  Schema 1 is the plain
+#: multi-output program; schema 2 adds the optional ``fused`` section for
+#: tapes whose outputs are already det-unscaled moments (see
+#: :func:`fuse_moments`).  Unfused tapes still serialize as schema 1, so
+#: every pre-existing content hash (cache keys, registry keys, native
+#: ``.so`` keys) is unchanged.
+TAPE_SCHEMA = 2
+
+#: schema versions loaders accept (mirroring the program cache's
+#: ``CACHE_SCHEMA`` compatibility gate — anything else is refused)
+SUPPORTED_TAPE_SCHEMAS = (1, 2)
 
 # opcodes (stable wire values — append, never renumber)
 OP_ADD = 0
@@ -97,10 +107,16 @@ class OpTape:
         output_names: labels parallel to ``outputs``.
         meta: JSON-safe metadata (moment order, element transforms,
             provenance); hashed with the program.
+        fused: ``None`` for a plain program tape (schema 1), or
+            ``{"moments": K}`` when the first ``K`` outputs are already
+            det-unscaled moments ``m_k = n_k / det^(k+1)`` and the last
+            output is the determinant (schema 2; see
+            :func:`fuse_moments`).
     """
 
     def __init__(self, symbols: Sequence, consts, ops, outputs: Sequence[int],
-                 output_names: Sequence[str], meta: dict | None = None) -> None:
+                 output_names: Sequence[str], meta: dict | None = None,
+                 fused: Mapping | None = None) -> None:
         self.symbols = tuple((str(n), None if v is None else float(v))
                              for n, v in symbols)
         self.consts = np.asarray(consts, dtype=np.float64).reshape(-1)
@@ -108,6 +124,7 @@ class OpTape:
         self.outputs = tuple(int(o) for o in outputs)
         self.output_names = tuple(str(n) for n in output_names)
         self.meta = dict(meta) if meta else {}
+        self.fused = dict(fused) if fused else None
         self._hash: str | None = None
         self._validate()
 
@@ -153,14 +170,31 @@ class OpTape:
         for o in self.outputs:
             if not 0 <= o < self.n_registers:
                 raise TapeError(f"op tape output register {o} out of range")
+        if self.fused is not None:
+            try:
+                n_moments = int(self.fused["moments"])
+            except (KeyError, TypeError, ValueError):
+                raise TapeError(
+                    "fused op tape must declare an integer moment count "
+                    f"(got {self.fused!r})") from None
+            if n_moments != len(self.outputs) - 1 or n_moments < 1:
+                raise TapeError(
+                    f"fused op tape declares {n_moments} moments but has "
+                    f"{len(self.outputs)} outputs (need moments + det)")
 
     # ------------------------------------------------------------------
     # content addressing
     # ------------------------------------------------------------------
     def payload(self) -> dict:
-        """The canonical JSON-safe body (everything but the integrity hash)."""
-        return {
-            "schema": TAPE_SCHEMA,
+        """The canonical JSON-safe body (everything but the integrity hash).
+
+        Unfused tapes serialize as schema 1 — byte-for-byte the format
+        this module has always written — so their content hashes (and
+        every cache/registry key derived from them) are stable across the
+        schema-2 introduction.  Only fused tapes carry the new section.
+        """
+        body = {
+            "schema": 2 if self.fused is not None else 1,
             "symbols": [[n, v] for n, v in self.symbols],
             "consts": [float(c) for c in self.consts],
             "ops": [[int(o), int(a), int(b)] for o, a, b in self.ops],
@@ -168,6 +202,9 @@ class OpTape:
             "output_names": list(self.output_names),
             "meta": self.meta,
         }
+        if self.fused is not None:
+            body["fused"] = self.fused
+        return body
 
     @property
     def content_hash(self) -> str:
@@ -385,6 +422,7 @@ class OpTape:
         fn = CompiledFunction(space, source, namespace["_compiled"],
                               self.n_ops, self.output_names)
         fn.tape = self
+        fn.moments_fused = self.fused is not None
         return fn
 
     def build_kernel(self, mask: Sequence[bool]):
@@ -395,8 +433,9 @@ class OpTape:
         return namespace["_vector"]
 
     def __repr__(self) -> str:
-        return (f"OpTape({len(self.outputs)} outputs, {self.n_ops} ops, "
-                f"{self.n_inputs} inputs, {self.n_consts} consts, "
+        kind = "fused, " if self.fused is not None else ""
+        return (f"OpTape({kind}{len(self.outputs)} outputs, {self.n_ops} "
+                f"ops, {self.n_inputs} inputs, {self.n_consts} consts, "
                 f"sha256:{self.content_hash[:12]})")
 
 
@@ -509,6 +548,63 @@ def tape_for(fn: CompiledFunction) -> OpTape:
     return tape
 
 
+def fuse_moments(tape: OpTape) -> OpTape:
+    """Fuse the det-unscaling ladder into a moment tape (schema 2).
+
+    A moment tape's outputs are the raw numerators ``n_0 .. n_K`` plus
+    the shared determinant; every consumer then divides on the Python
+    side: ``m_k = n_k / det^(k+1)``.  This appends that ladder to the
+    tape itself —
+
+    ==========  =================================
+    ``m_0``     ``div(n_0, det)``
+    ``s_1``     ``mul(det, det)``
+    ``m_1``     ``div(n_1, s_1)``
+    ``s_k``     ``mul(s_{k-1}, det)``  (k >= 2)
+    ``m_k``     ``div(n_k, s_k)``
+    ==========  =================================
+
+    — so one register-machine pass (one ufunc kernel, one native loop)
+    emits the finished moments.  The ladder performs exactly the IEEE
+    operations of the batched unscaling loop (``scale = det``;
+    ``scale = scale * det`` per step; one division per moment), so fused
+    outputs are bit-identical to the unfused path at every non-singular
+    point.  At singular points (``det == 0``) the divisions produce
+    infs/NaNs under array semantics — callers mask those columns to NaN,
+    matching the unfused path's ``safe_det`` behavior — and raise
+    ``ZeroDivisionError`` under pure-Python scalar evaluation.
+
+    The fused tape keeps every original op (the numerator registers are
+    shared subexpressions of the ladder, preserving cross-output CSE)
+    and the original metadata; outputs become ``m0 .. mK, det``.
+    """
+    if tape.fused is not None:
+        return tape
+    if len(tape.outputs) < 2:
+        raise TapeError(
+            "fusing needs at least one numerator output plus the "
+            f"determinant; tape has {len(tape.outputs)} outputs")
+    base = tape.n_inputs + tape.n_consts
+    ops = [(int(o), int(a), int(b)) for o, a, b in tape.ops]
+    det = tape.outputs[-1]
+    numerators = tape.outputs[:-1]
+
+    def emit(opcode: int, a: int, b: int) -> int:
+        ops.append((opcode, a, b))
+        return base + len(ops) - 1
+
+    outputs = []
+    scale = det
+    for k, num in enumerate(numerators):
+        if k > 0:
+            scale = emit(OP_MUL, scale, det)
+        outputs.append(emit(OP_DIV, num, scale))
+    outputs.append(det)
+    names = tuple(f"m{k}" for k in range(len(numerators))) + ("det",)
+    return OpTape(tape.symbols, tape.consts, ops, outputs, names,
+                  meta=tape.meta, fused={"moments": len(numerators)})
+
+
 def _transform_name(transform) -> str:
     """Recover the serializable name of an element-value transform by
     probing it (transforms are pure scalar maps — see
@@ -528,17 +624,24 @@ def _transform_name(transform) -> str:
         f"cannot serialize element transform {transform!r} onto an op tape")
 
 
-def tape_from_model(model, title: str | None = None) -> OpTape:
+def tape_from_model(model, title: str | None = None, *,
+                    fused: bool = False) -> OpTape:
     """Lower a compiled model's moment program to a *model* tape.
 
     Accepts an ``AWESymbolicResult``, a ``CompiledAWEModel``, a
     ``LoadedModel``, or a ``TapeModel``; the result carries everything a
     :class:`TapeModel` needs to evaluate and sweep — moment order, Padé
     order, output node, and the element→symbol slot table.
+
+    With ``fused=True`` the returned tape is the schema-2 fused form
+    (:func:`fuse_moments`): its outputs are finished moments plus the
+    determinant, evaluated in one register-machine pass.
     """
     inner = getattr(model, "model", model)  # AWESymbolicResult -> model
     existing = getattr(inner, "tape", None)
     if isinstance(existing, OpTape):
+        if fused and existing.fused is None:
+            return fuse_moments(existing)
         return existing
     cm = inner.compiled_moments
     fn = cm.fn
@@ -564,7 +667,9 @@ def tape_from_model(model, title: str | None = None) -> OpTape:
     tape = tape_for(fn)
     if tape.meta != meta:
         tape = OpTape(tape.symbols, tape.consts, tape.ops, tape.outputs,
-                      tape.output_names, meta=meta)
+                      tape.output_names, meta=meta, fused=tape.fused)
+    if fused and tape.fused is None:
+        tape = fuse_moments(tape)
     return tape
 
 
@@ -581,17 +686,30 @@ def tape_from_dict(data) -> OpTape:
     if not isinstance(data, dict):
         raise TapeError("op tape artifact must be a JSON object")
     schema = data.get("schema")
-    if schema != TAPE_SCHEMA:
+    if schema not in SUPPORTED_TAPE_SCHEMAS:
+        supported = "-".join(str(s) for s in
+                             (SUPPORTED_TAPE_SCHEMAS[0],
+                              SUPPORTED_TAPE_SCHEMAS[-1]))
         raise TapeError(
             f"unsupported op-tape schema {schema!r} "
-            f"(this build reads schema {TAPE_SCHEMA})")
+            f"(this build reads schemas {supported})")
+    fused = data.get("fused")
+    if schema == 1 and fused is not None:
+        raise TapeError(
+            "schema-1 op tape carries a fused section; fused tapes are "
+            "schema 2 — artifact is corrupt or mislabeled")
+    if schema == 2 and fused is None:
+        raise TapeError(
+            "schema-2 op tape is missing its fused section; plain "
+            "program tapes are schema 1 — artifact is corrupt or "
+            "mislabeled")
     declared = data.get("integrity")
     try:
         tape = OpTape(symbols=[(n, v) for n, v in data["symbols"]],
                       consts=data["consts"], ops=data["ops"],
                       outputs=data["outputs"],
                       output_names=data["output_names"],
-                      meta=data.get("meta") or {})
+                      meta=data.get("meta") or {}, fused=fused)
     except TapeError:
         raise
     except Exception as exc:
@@ -692,7 +810,19 @@ class TapeModel:
                    ) -> np.ndarray:
         """Transfer-function moments at one operating point (scalar path,
         same numerator/det unscaling as the batched evaluator)."""
-        raw = self.compiled_moments.fn(self._values_vector(element_values))
+        vec = self._values_vector(element_values)
+        if self.tape.fused is not None:
+            # fused tape: outputs are already m_k = n_k / det^(k+1); a
+            # singular point divides by zero inside the program itself
+            try:
+                raw = self.compiled_moments.fn(vec)
+            except ZeroDivisionError:
+                raise ApproximationError(
+                    "model singular at this point") from None
+            if raw[-1] == 0.0:  # array-semantics inputs: inf/nan, no raise
+                raise ApproximationError("model singular at this point")
+            return np.array(raw[:-1])
+        raw = self.compiled_moments.fn(vec)
         det = raw[-1]
         if det == 0.0:
             raise ApproximationError("model singular at this point")

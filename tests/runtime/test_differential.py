@@ -49,7 +49,8 @@ CASES = [
       "Cload2": np.linspace(10e-15, 1e-12, 7)}),
 ]
 METRICS = [metrics.dominant_pole_hz, metrics.dc_gain, metrics.phase_margin,
-           metrics.unity_gain_frequency]
+           metrics.unity_gain_frequency, metrics.bandwidth_3db,
+           metrics.gain_bandwidth_product]
 
 
 @pytest.mark.parametrize("fixture_name,grids",
@@ -127,6 +128,63 @@ def test_orders_and_instability_paths(lines_model, order):
             grids, metrics.dominant_pole_hz, order,
             require_stable=require_stable)
         assert_same_surface(batched, legacy)
+
+
+@pytest.fixture(scope="module")
+def lines_o4():
+    """Coupled lines compiled deep enough for order-4 Padé."""
+    from repro import awesymbolic
+    from repro.circuits.library import paper_coupled_lines
+    from repro.circuits.library.coupled_lines import victim_output
+
+    ckt = paper_coupled_lines(n_segments=6)
+    return awesymbolic(ckt, victim_output(6), symbols=["Rdrv1", "Cload2"],
+                       order=4)
+
+
+@pytest.mark.parametrize("order", [3, 4])
+def test_general_order_batched_matches_per_point(lines_o4, order):
+    """Order > 2 runs the general vectorized Padé stage (stacked Hankel
+    solves + companion-matrix eigvals).  Batched linalg legitimately
+    reorders reductions, so values agree to the exact-tier tolerance
+    (5e-4) rather than bit-for-bit; NaN placement must still match
+    exactly, and unstable lanes must fall back to the per-point
+    order-dropping path (identical results by construction)."""
+    grids = {"Rdrv1": np.linspace(10.0, 400.0, 6),
+             "Cload2": np.linspace(10e-15, 1e-12, 6)}
+    for require_stable in (True, False):
+        for metric in (metrics.dominant_pole_hz,
+                       metrics.unity_gain_frequency):
+            stats = RuntimeStats()
+            batched = lines_o4.model.sweep(
+                grids, metric, order, require_stable=require_stable,
+                stats=stats)
+            legacy = lines_o4.model.sweep_per_point(
+                grids, metric, order, require_stable=require_stable)
+            assert stats.vectorized_points > 0
+            assert_same_surface(batched, legacy, rtol=5e-4)
+
+
+def test_scalar_metric_fallback_event(fig1_model):
+    """A metric with no VECTOR_METRICS entry still sweeps correctly, and
+    the sweep announces the per-point metric stage exactly once via the
+    ``repro_sweep_scalar_metric_fallback`` counter."""
+    from repro.obs import metrics as obs_metrics
+
+    grids = {"C1": np.linspace(0.5e-12, 5e-12, 5),
+             "C2": np.linspace(0.1e-12, 3e-12, 4)}
+    unregistered = lambda m: metrics.dc_gain(m)  # noqa: E731
+    counter = obs_metrics.registry().counter(
+        "repro_sweep_scalar_metric_fallback")
+    before = counter.value
+    batched = fig1_model.model.sweep(grids, unregistered)
+    assert counter.value == before + 1
+    legacy = fig1_model.model.sweep_per_point(grids, unregistered)
+    assert_same_surface(batched, legacy)
+    # registered metrics do not fire the event
+    before = counter.value
+    fig1_model.model.sweep(grids, metrics.dc_gain)
+    assert counter.value == before
 
 
 def test_sharded_equals_serial(ota_model):

@@ -161,3 +161,84 @@ class TestDegradation:
         tape = tape_for(fn)
         with pytest.raises(NativeUnavailable):
             build_native_kernel(tape, (True,) * len(fn.space))
+
+
+class TestThreadedKernel:
+    """REPRO_NATIVE_THREADS > 1 builds the parallel flavor.
+
+    The threaded kernel splits the point range into disjoint slices of
+    the same output slab, so results must be invariant to the thread
+    count *and* to the 2048-point threshold below which the kernel runs
+    the calling thread only.
+    """
+
+    @pytest.fixture()
+    def threaded(self, model_741, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "3")
+        fn = model_741.model.compiled_moments.fn
+        mask = (True,) * len(fn.space)
+        return fn, _kernel_or_skip(fn, mask)
+
+    def test_parallel_flavor_built(self, threaded):
+        _, kernel = threaded
+        assert kernel.parallel
+        assert kernel.threads == 3
+
+    @pytest.mark.parametrize("n", [1, 7, 2047, 2048, 4096, 10001])
+    def test_byte_identical_across_thread_threshold(self, threaded, n):
+        fn, kernel = threaded
+        cols = _columns(fn, n)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            want = [np.broadcast_to(np.asarray(v, dtype=float), (n,))
+                    for v in fn.eval_batch([np.asarray(c).copy()
+                                            if isinstance(c, np.ndarray)
+                                            else c for c in cols], n)]
+            got = kernel(cols, n)
+        for w, g in zip(want, got):
+            assert w.tobytes() == np.asarray(g).tobytes()
+
+    def test_single_thread_env_stays_serial(self, model_741, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "1")
+        fn = model_741.model.compiled_moments.fn
+        kernel = _kernel_or_skip(fn, (True,) * len(fn.space))
+        assert not kernel.parallel
+        assert kernel.threads == 1
+
+    def test_threaded_native_sweep_matches_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "2")
+        res = awesymbolic(fig1_circuit(), "out", symbols=["C1", "C2"],
+                          order=1)
+        grids = {"C1": np.linspace(0.5e-12, 5e-12, 48),
+                 "C2": np.linspace(0.1e-12, 3e-12, 48)}
+        base = res.model.sweep(grids, metrics.dominant_pole_hz,
+                               backend="serial")
+        other = res.model.sweep(grids, metrics.dominant_pole_hz,
+                                backend="native")
+        assert_array_equal(np.asarray(base), np.asarray(other))
+
+
+class TestFusedKernel:
+    """A schema-2 fused tape lowers to one native pass over the whole
+    moment slab, byte-identical to the fused ufunc evaluation."""
+
+    def test_fused_tape_kernel_byte_identical(self, model_741):
+        from repro.symbolic.tape import fuse_moments
+
+        fn = model_741.model.compiled_moments.fn
+        fused = fuse_moments(tape_for(fn))
+        fused_fn = fused.build_function()
+        mask = (True,) * len(fn.space)
+        try:
+            kernel = build_native_kernel(fused, mask)
+        except NativeUnavailable as exc:
+            pytest.skip(f"no native toolchain here: {exc}")
+        n = 4096
+        cols = _columns(fn, n)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            want = [np.broadcast_to(np.asarray(v, dtype=float), (n,))
+                    for v in fused_fn.eval_batch([np.asarray(c).copy()
+                                                  for c in cols], n)]
+            got = kernel(cols, n)
+        assert len(got) == len(fused.outputs)
+        for w, g in zip(want, got):
+            assert w.tobytes() == np.asarray(g).tobytes()
